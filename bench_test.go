@@ -1,0 +1,333 @@
+// Package repro's benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation, plus the two ablation benchmarks
+// DESIGN.md calls out (§III.B early-stop optimizations; §III.C cache
+// data-array modelling). The figure benchmarks run reduced injection
+// campaigns per iteration and report the measured vulnerabilities as
+// custom metrics; the paper-scale campaigns are run with cmd/figures.
+package repro_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/gem5"
+	"repro/internal/marss"
+	"repro/internal/report"
+	"repro/internal/sims"
+	"repro/internal/workload"
+)
+
+// benchOptions keeps per-iteration campaign cost bounded; the shape of
+// the result (who wins) is stable even at this reduced scale.
+func benchOptions(seed int64) report.Options {
+	return report.Options{
+		Injections: 25,
+		Seed:       seed,
+		Benchmarks: []string{"qsort", "sha"},
+		Workers:    1,
+	}
+}
+
+// benchFigure runs one classification figure campaign per iteration and
+// reports the per-tool vulnerability.
+func benchFigure(b *testing.B, figID int) {
+	b.Helper()
+	spec, err := report.FigureByID(figID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *report.FigureData
+	for i := 0; i < b.N; i++ {
+		fd, err := report.RunFigure(spec, benchOptions(int64(figID)), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = fd
+	}
+	for _, tool := range last.Tools() {
+		b.ReportMetric(last.Average(tool).Vulnerability(), "vuln%/"+sims.ShortLabel(tool))
+	}
+}
+
+// BenchmarkFig2RegFile regenerates Figure 2 (integer physical register
+// file classification).
+func BenchmarkFig2RegFile(b *testing.B) { benchFigure(b, 2) }
+
+// BenchmarkFig3L1D regenerates Figure 3 (L1D data arrays).
+func BenchmarkFig3L1D(b *testing.B) { benchFigure(b, 3) }
+
+// BenchmarkFig4L1I regenerates Figure 4 (L1I instruction arrays).
+func BenchmarkFig4L1I(b *testing.B) { benchFigure(b, 4) }
+
+// BenchmarkFig5L2 regenerates Figure 5 (L2 data arrays).
+func BenchmarkFig5L2(b *testing.B) { benchFigure(b, 5) }
+
+// BenchmarkFig6LSQ regenerates Figure 6 (load/store queue data field).
+func BenchmarkFig6LSQ(b *testing.B) { benchFigure(b, 6) }
+
+// BenchmarkTable2Configs builds the three Table II machine
+// configurations and boots one simulator of each.
+func BenchmarkTable2Configs(b *testing.B) {
+	w, err := workload.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	imgC, err := w.Image(asm.TargetCISC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	imgR, err := w.Image(asm.TargetRISC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = marss.New(marss.DefaultConfig(), imgC)
+		_ = gem5.New(gem5.DefaultConfig(gem5.ISAX86), imgC)
+		_ = gem5.New(gem5.DefaultConfig(gem5.ISAARM), imgR)
+	}
+}
+
+// BenchmarkTable3FaultModels exercises the Table III fault-model
+// generator across all three models plus multi-bit masks.
+func BenchmarkTable3FaultModels(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, m := range []fault.Model{fault.ModelTransient, fault.ModelIntermittent, fault.ModelPermanent} {
+			if _, err := fault.Generate(fault.GeneratorSpec{
+				Structure: "l1d.data", Entries: 512, BitsPerEntry: 512,
+				MaxCycle: 100000, Model: m, Count: 100, Seed: int64(i),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := fault.Generate(fault.GeneratorSpec{
+			Structure: "rf.int", Entries: 256, BitsPerEntry: 64,
+			MaxCycle: 100000, Model: fault.ModelTransient, Count: 100,
+			Seed: int64(i), SitesPerMask: 3,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Structures enumerates the injectable structures of
+// every tool (the Table IV inventory).
+func BenchmarkTable4Structures(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.RenderStructuresTable(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSamplingTable computes the §IV.A statistical sampling numbers
+// and pins the paper's values.
+func BenchmarkSamplingTable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if n := fault.SampleSize(0, 0.99, 0.03); n != 1843 {
+			b.Fatalf("n = %d, want 1843", n)
+		}
+		if n := fault.SampleSize(0, 0.99, 0.05); n != 663 {
+			b.Fatalf("n = %d, want 663", n)
+		}
+	}
+	b.ReportMetric(100*fault.MarginFor(0, 2000, 0.99), "margin%@2000")
+}
+
+// BenchmarkRemarkStats collects the fault-free runtime statistics that
+// back Remarks 1–11 and reports the Remark 3 issued-load ratio.
+func BenchmarkRemarkStats(b *testing.B) {
+	opt := report.Options{Benchmarks: []string{"qsort", "sha", "fft"}}
+	var stats map[string]map[string]map[string]uint64
+	var err error
+	for i := 0; i < b.N; i++ {
+		stats, err = report.GoldenStats(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var m, g float64
+	for _, bench := range opt.Benchmarks {
+		m += float64(stats[bench][sims.MaFINX86]["issued_loads"])
+		g += float64(stats[bench][sims.GeFINX86]["issued_loads"])
+	}
+	b.ReportMetric(m/g, "issuedloads-M/G")
+}
+
+// BenchmarkEarlyStopAblation measures the §III.B early-stop
+// optimizations: the same campaign with and without the invalid-entry
+// and overwritten-before-read stops. The paper reports 30–70% per-run
+// savings.
+func BenchmarkEarlyStopAblation(b *testing.B) {
+	w, err := workload.ByName("sha")
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, err := sims.Factory(sims.GeFINX86, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := core.Golden(factory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := factory()
+	arr := sim.Structures()["l1d.data"]
+	masks, err := fault.Generate(fault.GeneratorSpec{
+		Structure: "l1d.data", Entries: arr.Entries(), BitsPerEntry: arr.BitsPerEntry(),
+		MaxCycle: golden.Cycles, Model: fault.ModelTransient, Count: 30, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"on", false}, {"off", true}} {
+		b.Run("earlystop-"+mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunCampaign(core.CampaignSpec{
+					Benchmark: "sha", Structure: "l1d.data",
+					Masks: masks, Factory: factory, Workers: 1,
+					DisableEarlyStop: mode.disable,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInOrderAblation runs the OoO-vs-in-order reliability study the
+// paper suggests for MARSS's two pipeline models: the same register-file
+// fault population injected into the Table II OoO model and the
+// Atom-like in-order model, reporting both vulnerabilities.
+func BenchmarkInOrderAblation(b *testing.B) {
+	w, err := workload.ByName("sha")
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := w.Image(asm.TargetCISC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		cfg  marss.Config
+	}{{"ooo", marss.DefaultConfig()}, {"inorder", marss.InOrderConfig()}} {
+		b.Run(mode.name, func(b *testing.B) {
+			factory := func() core.Simulator { return marss.New(mode.cfg, img) }
+			golden, err := core.Golden(factory)
+			if err != nil {
+				b.Fatal(err)
+			}
+			masks, err := fault.Generate(fault.GeneratorSpec{
+				Structure: "rf.int", Entries: 256, BitsPerEntry: 64,
+				MaxCycle: golden.Cycles, Model: fault.ModelTransient, Count: 25, Seed: 31,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var vuln float64
+			for i := 0; i < b.N; i++ {
+				res, err := core.RunCampaign(core.CampaignSpec{
+					Benchmark: "sha", Structure: "rf.int",
+					Masks: masks, Factory: factory, Workers: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				vuln = (core.Parser{}).ParseAll(res.Records).Vulnerability()
+			}
+			b.ReportMetric(vuln, "vuln%")
+		})
+	}
+}
+
+// BenchmarkCheckpointAblation measures checkpoint-based prefix sharing:
+// the same campaign with every run booted from scratch versus runs whose
+// faults start beyond the checkpoint restored from a shared
+// drained-machine snapshot (the paper's use of simulator checkpoints to
+// speed up campaigns).
+func BenchmarkCheckpointAblation(b *testing.B) {
+	w, err := workload.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, err := sims.Factory(sims.MaFINX86, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := core.Golden(factory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := factory()
+	arr := sim.Structures()["rf.int"]
+	// Late faults benefit most: all in the last third of the run.
+	masks, err := fault.Generate(fault.GeneratorSpec{
+		Structure: "rf.int", Entries: arr.Entries(), BitsPerEntry: arr.BitsPerEntry(),
+		MaxCycle: golden.Cycles / 3, Model: fault.ModelTransient, Count: 20, Seed: 21,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range masks {
+		for j := range masks[i].Sites {
+			masks[i].Sites[j].Cycle += 2 * golden.Cycles / 3
+		}
+	}
+	for _, mode := range []struct {
+		name string
+		use  bool
+	}{{"from-boot", false}, {"from-checkpoint", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunCampaign(core.CampaignSpec{
+					Benchmark: "qsort", Structure: "rf.int",
+					Masks: masks, Factory: factory, Workers: 1,
+					UseCheckpoint: mode.use,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDataArrayAblation measures the §III.C cost of modelling the
+// cache data arrays in the MARSS-like simulator: fault-free runs with
+// the arrays modelled (MaFIN) versus the tags-only original MARSS. The
+// paper reports ~40% throughput degradation from the data-array
+// extension.
+func BenchmarkDataArrayAblation(b *testing.B) {
+	w, err := workload.ByName("sha")
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := w.Image(asm.TargetCISC)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		model bool
+	}{{"with-data-arrays", true}, {"tags-only", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := marss.DefaultConfig()
+			cfg.ModelDataArrays = mode.model
+			for i := 0; i < b.N; i++ {
+				cpu := marss.New(cfg, img)
+				res := cpu.Run(1 << 62)
+				if res.Status != core.RunCompleted {
+					b.Fatalf("run: %v", res.Status)
+				}
+			}
+		})
+	}
+}

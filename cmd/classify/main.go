@@ -1,0 +1,72 @@
+// Command classify is the parser (the third module of the injection
+// framework, Fig. 1): it reads raw campaign logs from a logs repository
+// and classifies every injection into the fault-effect classes of
+// §III.A. Because the logs hold raw outcomes, the classification can be
+// reconfigured — regrouped or coarsened — without re-running any
+// campaign.
+//
+// Examples:
+//
+//	classify -logs logsrepo                       # all campaigns, six classes
+//	classify -logs logsrepo -key mafin-x86__qsort__lsq.data -details
+//	classify -logs logsrepo -coarse               # Masked vs NonMasked
+//	classify -logs logsrepo -group-simcrash       # simulator crashes → Assert
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+)
+
+func main() {
+	logsDir := flag.String("logs", "logsrepo", "logs repository directory")
+	key := flag.String("key", "", "single campaign key (default: all campaigns)")
+	details := flag.Bool("details", false, "print sub-class details (false/true DUE, deadlock/livelock, crash kinds)")
+	coarse := flag.Bool("coarse", false, "coarse-grained classification: Masked vs NonMasked")
+	groupSim := flag.Bool("group-simcrash", false, "classify simulator crashes as Assert")
+	flag.Parse()
+
+	repo, err := core.NewLogsRepo(*logsDir)
+	if err != nil {
+		fatal(err)
+	}
+	var keys []string
+	if *key != "" {
+		keys = []string{*key}
+	} else {
+		keys, err = repo.Campaigns()
+		if err != nil {
+			fatal(err)
+		}
+		if len(keys) == 0 {
+			fatal(fmt.Errorf("no campaigns in %s", repo.Dir()))
+		}
+	}
+	parser := core.Parser{GroupSimCrashWithAssert: *groupSim, CoarseMaskedOnly: *coarse}
+	for _, k := range keys {
+		res, err := repo.Load(k)
+		if err != nil {
+			fatal(err)
+		}
+		b := parser.ParseAll(res.Records)
+		fmt.Printf("%-45s %s\n", k, b)
+		if *details {
+			var ds []string
+			for d, n := range b.Details {
+				ds = append(ds, fmt.Sprintf("%s=%d", d, n))
+			}
+			sort.Strings(ds)
+			fmt.Printf("%-45s details: %v (golden: %d cycles, %d instrs)\n",
+				"", ds, res.Golden.Cycles, res.Golden.Committed)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "classify:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,107 @@
+// Command faultcamp is the injection campaign controller (the second
+// module of the injection framework, Fig. 1): it reads fault masks from
+// a masks repository (or generates them inline), dispatches every mask
+// to a fresh simulator instance through the injector dispatcher, and
+// stores the raw run logs in a logs repository for classify to parse.
+//
+// Example:
+//
+//	faultcamp -tool mafin-x86 -bench qsort -structure lsq.data \
+//	          -masks masksrepo -logs logsrepo
+//	faultcamp -tool gefin-arm -bench sha -structure l1d.data -n 500 -logs logsrepo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sims"
+	"repro/internal/workload"
+)
+
+func main() {
+	tool := flag.String("tool", "gefin-x86", "tool configuration (mafin-x86, gefin-x86, gefin-arm)")
+	bench := flag.String("bench", "qsort", "benchmark name")
+	structure := flag.String("structure", "rf.int", "target structure")
+	masksDir := flag.String("masks", "", "masks repository to read from (empty: generate inline)")
+	n := flag.Int("n", 200, "inline mask count when -masks is empty")
+	seed := flag.Int64("seed", 1, "inline generation seed")
+	model := flag.String("model", "transient", "inline fault model")
+	logsDir := flag.String("logs", "logsrepo", "logs repository directory")
+	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+	timeoutFactor := flag.Uint64("timeout-factor", 3, "cycle limit as a multiple of the fault-free run")
+	noEarlyStop := flag.Bool("no-early-stop", false, "disable the §III.B early-stop optimizations")
+	checkpoint := flag.Bool("checkpoint", false, "share the fault-free prefix via a drained-machine checkpoint")
+	flag.Parse()
+
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	factory, err := sims.Factory(*tool, w)
+	if err != nil {
+		fatal(err)
+	}
+	key := fault.CampaignKey(*tool, *bench, *structure)
+
+	var masks []fault.Mask
+	if *masksDir != "" {
+		repo, err := fault.NewRepository(*masksDir)
+		if err != nil {
+			fatal(err)
+		}
+		masks, err = repo.Load(key)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		golden, err := core.Golden(factory)
+		if err != nil {
+			fatal(err)
+		}
+		sim := factory()
+		arr, ok := sim.Structures()[*structure]
+		if !ok {
+			fatal(fmt.Errorf("%s has no structure %q", sim.Name(), *structure))
+		}
+		masks, err = fault.Generate(fault.GeneratorSpec{
+			Structure: *structure, Entries: arr.Entries(), BitsPerEntry: arr.BitsPerEntry(),
+			MaxCycle: golden.Cycles, Model: fault.Model(*model), Count: *n, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	start := time.Now()
+	res, err := core.RunCampaign(core.CampaignSpec{
+		Tool: *tool, Benchmark: *bench, Structure: *structure,
+		Masks: masks, Factory: factory,
+		TimeoutFactor: *timeoutFactor, Workers: *workers,
+		DisableEarlyStop: *noEarlyStop,
+		UseCheckpoint:    *checkpoint,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	logs, err := core.NewLogsRepo(*logsDir)
+	if err != nil {
+		fatal(err)
+	}
+	if err := logs.Store(key, res); err != nil {
+		fatal(err)
+	}
+	b := core.Parser{}.ParseAll(res.Records)
+	fmt.Printf("campaign %s: %d injections in %.1fs\n", key, len(res.Records), time.Since(start).Seconds())
+	fmt.Printf("  %s\n", b)
+	fmt.Printf("  logs stored in %s\n", logs.Dir())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultcamp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,164 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation (§IV): the classification Figures 2–6, the Table II–IV
+// analogs, the §IV.A statistical sampling numbers, and the runtime
+// statistics backing Remarks 1–11.
+//
+// Examples:
+//
+//	figures -sampling -table 2 -table 3 -table 4
+//	figures -fig 3 -n 200 -seed 1
+//	figures -all -n 2000 -logs logsrepo      # the paper-scale campaign
+//	figures -remarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+type intList []int
+
+func (l *intList) String() string { return fmt.Sprint(*l) }
+
+func (l *intList) Set(v string) error {
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+		return err
+	}
+	*l = append(*l, n)
+	return nil
+}
+
+func main() {
+	var figs, tables intList
+	flag.Var(&figs, "fig", "figure to regenerate (2-6); repeatable")
+	flag.Var(&tables, "table", "table to print (2, 3 or 4); repeatable")
+	all := flag.Bool("all", false, "regenerate all five figures")
+	sampling := flag.Bool("sampling", false, "print the statistical sampling numbers (§IV.A)")
+	remarks := flag.Bool("remarks", false, "print the runtime statistics backing Remarks 1-11")
+	n := flag.Int("n", 200, "injections per {tool,benchmark,structure} campaign (paper: 2000)")
+	seed := flag.Int64("seed", 1, "mask generation seed")
+	benchCSV := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all ten)")
+	toolCSV := flag.String("tools", "", "comma-separated tool subset (default: all three)")
+	logsDir := flag.String("logs", "", "persist campaign logs to this repository directory")
+	fromLogs := flag.String("from-logs", "", "rebuild figures from stored logs instead of re-running")
+	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
+	summary := flag.Bool("summary", false, "print the §IV.C differential summary across the selected figures")
+	workers := flag.Int("workers", 0, "campaign worker pool size (default GOMAXPROCS)")
+	groupSim := flag.Bool("group-simcrash", false, "classify simulator crashes as Assert")
+	liveOnly := flag.Bool("live-only", false, "restrict faults to entries live at the end of the golden run (conditional vulnerability)")
+	flag.Parse()
+
+	opt := report.Options{
+		Injections: *n,
+		Seed:       *seed,
+		Workers:    *workers,
+		Parser:     core.Parser{GroupSimCrashWithAssert: *groupSim},
+		LiveOnly:   *liveOnly,
+	}
+	if *benchCSV != "" {
+		opt.Benchmarks = strings.Split(*benchCSV, ",")
+	}
+	if *toolCSV != "" {
+		opt.Tools = strings.Split(*toolCSV, ",")
+	}
+	if *logsDir != "" {
+		repo, err := core.NewLogsRepo(*logsDir)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Logs = repo
+	}
+
+	if *sampling {
+		report.RenderSamplingTable(os.Stdout)
+		fmt.Println()
+	}
+	for _, tb := range tables {
+		switch tb {
+		case 2:
+			report.RenderConfigTable(os.Stdout)
+		case 3:
+			report.RenderFaultModels(os.Stdout)
+		case 4:
+			if err := report.RenderStructuresTable(os.Stdout); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("no table %d (have 2, 3, 4)", tb))
+		}
+		fmt.Println()
+	}
+	if *remarks {
+		stats, err := report.GoldenStats(opt)
+		if err != nil {
+			fatal(err)
+		}
+		report.RenderRemarkStats(os.Stdout, stats)
+		fmt.Println()
+	}
+
+	if *all {
+		figs = nil
+		for _, f := range report.Figures {
+			figs = append(figs, f.ID)
+		}
+	}
+	var datasets []*report.FigureData
+	for _, id := range figs {
+		spec, err := report.FigureByID(id)
+		if err != nil {
+			fatal(err)
+		}
+		var fd *report.FigureData
+		if *fromLogs != "" {
+			repo, err := core.NewLogsRepo(*fromLogs)
+			if err != nil {
+				fatal(err)
+			}
+			fd, err = report.LoadFigure(repo, spec, opt)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			fd, err = report.RunFigure(spec, opt, os.Stderr)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fd.Render(os.Stdout)
+		fmt.Println()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, fmt.Sprintf("fig%d_%s.csv", spec.ID, spec.Structure)))
+			if err != nil {
+				fatal(err)
+			}
+			if err := fd.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		datasets = append(datasets, fd)
+	}
+	if *summary && len(datasets) > 0 {
+		report.RenderDifferentialSummary(os.Stdout, datasets)
+		fmt.Println()
+		report.RenderDominantClasses(os.Stdout, datasets)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "figures:", err)
+	os.Exit(1)
+}

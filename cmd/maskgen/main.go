@@ -1,0 +1,84 @@
+// Command maskgen is the fault mask generator (the first module of the
+// injection framework, Fig. 1): it produces a random set of fault masks
+// for one {tool, benchmark, structure} combination and stores them in a
+// masks repository for faultcamp to consume.
+//
+// Example:
+//
+//	maskgen -tool gefin-x86 -bench qsort -structure l1d.data \
+//	        -model transient -n 2000 -seed 7 -masks masksrepo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sims"
+	"repro/internal/workload"
+)
+
+func main() {
+	tool := flag.String("tool", "gefin-x86", "tool configuration (mafin-x86, gefin-x86, gefin-arm)")
+	bench := flag.String("bench", "qsort", "benchmark name")
+	structure := flag.String("structure", "rf.int", "target structure")
+	model := flag.String("model", "transient", "fault model (transient, intermittent, permanent)")
+	n := flag.Int("n", 2000, "number of masks (paper: 2000)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	sites := flag.Int("sites", 1, "sites per mask (multi-bit studies)")
+	duration := flag.Uint64("duration", 0, "intermittent window bound in cycles (0: a tenth of the run)")
+	masksDir := flag.String("masks", "masksrepo", "masks repository directory")
+	flag.Parse()
+
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	factory, err := sims.Factory(*tool, w)
+	if err != nil {
+		fatal(err)
+	}
+	golden, err := core.Golden(factory)
+	if err != nil {
+		fatal(err)
+	}
+	sim := factory()
+	arr, ok := sim.Structures()[*structure]
+	if !ok {
+		fatal(fmt.Errorf("%s has no structure %q; available: %v",
+			sim.Name(), *structure, names(core.Geometries(sim))))
+	}
+	masks, err := fault.Generate(fault.GeneratorSpec{
+		Structure: *structure, Entries: arr.Entries(), BitsPerEntry: arr.BitsPerEntry(),
+		MaxCycle: golden.Cycles, Model: fault.Model(*model),
+		Count: *n, Seed: *seed, SitesPerMask: *sites, Duration: *duration,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	repo, err := fault.NewRepository(*masksDir)
+	if err != nil {
+		fatal(err)
+	}
+	key := fault.CampaignKey(*tool, *bench, *structure)
+	if err := repo.Store(key, masks); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stored %d %s masks for %s (fault-free run: %d cycles) in %s\n",
+		len(masks), *model, key, golden.Cycles, repo.Dir())
+}
+
+func names(gs []core.StructureGeom) []string {
+	var out []string
+	for _, g := range gs {
+		out = append(out, g.Name)
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "maskgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command wdump inspects a benchmark build: the image layout (sections,
+// symbols, entry point) and, with -disasm, the full disassembly for
+// either ISA. It is the debugging companion of the workload suite.
+//
+// Examples:
+//
+//	wdump -bench qsort -isa x86
+//	wdump -bench sha -isa arm -disasm | head -40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa/cisc"
+	"repro/internal/isa/risc"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "qsort", "benchmark name")
+	isaName := flag.String("isa", "x86", "target ISA (x86 or arm)")
+	disasm := flag.Bool("disasm", false, "disassemble the text segment")
+	flag.Parse()
+
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	tgt := asm.TargetCISC
+	if *isaName == "arm" {
+		tgt = asm.TargetRISC
+	} else if *isaName != "x86" {
+		fatal(fmt.Errorf("unknown ISA %q (x86 or arm)", *isaName))
+	}
+	img, err := w.Image(tgt)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s / %s\n", w.Name, img.ISA)
+	fmt.Printf("  entry  0x%06x\n", img.Entry)
+	fmt.Printf("  text   0x%06x - 0x%06x (%6d bytes)\n",
+		img.TextBase, img.TextBase+uint64(len(img.Text)), len(img.Text))
+	fmt.Printf("  data   0x%06x - 0x%06x (%6d bytes)\n",
+		img.DataBase, img.DataBase+uint64(len(img.Data)), len(img.Data))
+	fmt.Printf("  bss    0x%06x - 0x%06x (%6d bytes)\n",
+		img.BSSBase, img.BSSBase+img.BSSSize, img.BSSSize)
+	fmt.Printf("  heap   0x%06x\n", img.HeapBase)
+
+	fmt.Println("  functions:")
+	type sym struct {
+		name string
+		addr uint64
+	}
+	var funcs []sym
+	for n, a := range img.FuncAddrs {
+		funcs = append(funcs, sym{n, a})
+	}
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].addr < funcs[j].addr })
+	for _, s := range funcs {
+		fmt.Printf("    0x%06x %s\n", s.addr, s.name)
+	}
+	fmt.Println("  data symbols:")
+	var syms []sym
+	for n, a := range img.Symbols {
+		syms = append(syms, sym{n, a})
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+	for _, s := range syms {
+		fmt.Printf("    0x%06x %s\n", s.addr, s.name)
+	}
+
+	if !*disasm {
+		return
+	}
+	fmt.Println("\ndisassembly:")
+	funcAt := make(map[uint64]string)
+	for n, a := range img.FuncAddrs {
+		funcAt[a] = n
+	}
+	pc := img.TextBase
+	end := img.TextBase + uint64(len(img.Text))
+	for pc < end {
+		if name, ok := funcAt[pc]; ok {
+			fmt.Printf("\n<%s>:\n", name)
+		}
+		off := pc - img.TextBase
+		var text string
+		var n int
+		if tgt == asm.TargetCISC {
+			text, n = cisc.Disasm(img.Text[off:], pc)
+		} else {
+			text, n = risc.Disasm(img.Text[off:], pc)
+		}
+		if n == 0 {
+			break
+		}
+		fmt.Printf("  %06x:  % -24x %s\n", pc, img.Text[off:off+uint64(n)], text)
+		pc += uint64(n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,483 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/isa/cisc"
+	"repro/internal/isa/risc"
+	"repro/internal/mem"
+)
+
+// DataBase is where the data segment is laid out. It is fixed (rather
+// than following text) so that data addresses are identical across the
+// two ISAs, keeping the cross-ISA study's memory behaviour comparable.
+const DataBase uint64 = 0x100000
+
+// StackReserve is the address below which the heap must stay; the region
+// [StackReserve, StackTop) belongs to the downward-growing stack.
+const StackReserve uint64 = 0x280000
+
+// Target selects an instruction-set back-end.
+type Target uint8
+
+const (
+	// TargetCISC compiles for the x86-flavoured ISA.
+	TargetCISC Target = iota
+	// TargetRISC compiles for the ARM-flavoured ISA.
+	TargetRISC
+)
+
+// String returns the ISA name of the target.
+func (t Target) String() string {
+	if t == TargetCISC {
+		return "x86"
+	}
+	return "arm"
+}
+
+// Image is a linked, bootable program image.
+type Image struct {
+	ISA      string
+	Entry    uint64
+	Text     []byte
+	TextBase uint64
+	Data     []byte
+	DataBase uint64
+	BSSBase  uint64
+	BSSSize  uint64
+	HeapBase uint64
+	// Symbols maps data/bss item names to addresses; it also carries
+	// the predefined "__heap" symbol.
+	Symbols map[string]uint64
+	// FuncAddrs maps function names to entry addresses.
+	FuncAddrs map[string]uint64
+}
+
+// layoutData assigns addresses to data and bss items. The layout is
+// target-independent.
+func (p *Program) layoutData() (data []byte, bssBase, bssSize, heapBase uint64, syms map[string]uint64, err error) {
+	syms = make(map[string]uint64)
+	addr := DataBase
+	align := func(a uint64, n int) uint64 {
+		if n <= 1 {
+			return a
+		}
+		m := uint64(n)
+		return (a + m - 1) / m * m
+	}
+	// Initialized data first.
+	for _, d := range p.data {
+		if d.bytes == nil {
+			continue
+		}
+		if _, dup := syms[d.name]; dup {
+			return nil, 0, 0, 0, nil, fmt.Errorf("asm: duplicate data symbol %q", d.name)
+		}
+		addr = align(addr, d.align)
+		syms[d.name] = addr
+		addr += uint64(len(d.bytes))
+	}
+	dataEnd := addr
+	data = make([]byte, dataEnd-DataBase)
+	for _, d := range p.data {
+		if d.bytes == nil {
+			continue
+		}
+		copy(data[syms[d.name]-DataBase:], d.bytes)
+	}
+	// BSS after data.
+	bssBase = align(dataEnd, 64)
+	addr = bssBase
+	for _, d := range p.data {
+		if d.bytes != nil {
+			continue
+		}
+		if _, dup := syms[d.name]; dup {
+			return nil, 0, 0, 0, nil, fmt.Errorf("asm: duplicate data symbol %q", d.name)
+		}
+		addr = align(addr, d.align)
+		syms[d.name] = addr
+		addr += uint64(d.size)
+	}
+	bssSize = addr - bssBase
+	heapBase = align(addr, 4096)
+	syms["__heap"] = heapBase
+	if heapBase >= StackReserve {
+		return nil, 0, 0, 0, nil, fmt.Errorf("asm: data+bss end %#x beyond stack reserve %#x", heapBase, StackReserve)
+	}
+	return data, bssBase, bssSize, heapBase, syms, nil
+}
+
+// Build compiles and links the program for the target ISA.
+func (p *Program) Build(t Target) (*Image, error) {
+	if _, ok := p.funcIdx["main"]; !ok {
+		return nil, fmt.Errorf("asm: program has no main function")
+	}
+	data, bssBase, bssSize, heapBase, syms, err := p.layoutData()
+	if err != nil {
+		return nil, err
+	}
+	var text []byte
+	var funcAddrs map[string]uint64
+	switch t {
+	case TargetCISC:
+		text, funcAddrs, err = buildCISC(p, syms)
+	case TargetRISC:
+		text, funcAddrs, err = buildRISC(p, syms)
+	default:
+		return nil, fmt.Errorf("asm: unknown target %d", t)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if mem.TextBase+uint64(len(text)) > DataBase {
+		return nil, fmt.Errorf("asm: text size %d overflows into data segment", len(text))
+	}
+	return &Image{
+		ISA:       t.String(),
+		Entry:     funcAddrs["main"],
+		Text:      text,
+		TextBase:  mem.TextBase,
+		Data:      data,
+		DataBase:  DataBase,
+		BSSBase:   bssBase,
+		BSSSize:   bssSize,
+		HeapBase:  heapBase,
+		Symbols:   syms,
+		FuncAddrs: funcAddrs,
+	}, nil
+}
+
+func fitsI32(v int64) bool { return v >= math.MinInt32 && v <= math.MaxInt32 }
+
+func fitsI12(v int64) bool { return v >= -2048 && v <= 2047 }
+
+// patch records a pending branch/call fixup.
+type patch struct {
+	at    int    // byte offset of the patch site in text
+	label string // target label (intra-function) or function name
+}
+
+// ---- CISC back-end -----------------------------------------------------------
+
+func buildCISC(p *Program, syms map[string]uint64) ([]byte, map[string]uint64, error) {
+	var e cisc.Emitter
+	funcAddrs := make(map[string]uint64)
+	var callPatches []patch
+	const scratch = isa.R12
+
+	for _, f := range p.funcs {
+		funcAddrs[f.name] = mem.TextBase + uint64(e.Len())
+		labels := make(map[string]int)
+		var branchPatches []patch
+
+		for _, in := range f.instrs {
+			switch in.kind {
+			case irNop:
+				e.Nop()
+			case irLabel:
+				if _, dup := labels[in.label]; dup {
+					return nil, nil, fmt.Errorf("asm: %s: duplicate label %q", f.name, in.label)
+				}
+				labels[in.label] = e.Len()
+			case irMov:
+				e.ALURR(isa.Mov, in.rd, in.ra)
+			case irMovImm:
+				if fitsI32(in.imm) {
+					e.ALURI(isa.Mov, in.rd, int32(in.imm))
+				} else {
+					e.MovAbs(in.rd, uint64(in.imm))
+				}
+			case irMovSym:
+				addr, ok := syms[in.label]
+				if !ok {
+					return nil, nil, fmt.Errorf("asm: %s: unknown symbol %q", f.name, in.label)
+				}
+				e.MovAbs(in.rd, addr)
+			case irALU3:
+				emitCISCALU3(&e, in.op, in.rd, in.ra, in.rb, scratch)
+			case irALUImm:
+				if !fitsI32(in.imm) {
+					e.MovAbs(scratch, uint64(in.imm))
+					emitCISCALU3(&e, in.op, in.rd, in.ra, scratch, scratch)
+					break
+				}
+				if in.rd != in.ra {
+					e.ALURR(isa.Mov, in.rd, in.ra)
+				}
+				e.ALURI(in.op, in.rd, int32(in.imm))
+			case irLoad:
+				e.Load(in.size, in.sext, in.rd, in.ra, int32(in.imm))
+			case irStore:
+				e.Store(in.size, in.rb, in.ra, int32(in.imm))
+			case irBr:
+				e.ALURR(isa.Cmp, in.ra, in.rb)
+				branchPatches = append(branchPatches, patch{e.Jcc(in.cond), in.label})
+			case irBrImm:
+				if fitsI32(in.imm) {
+					e.ALURI(isa.Cmp, in.ra, int32(in.imm))
+				} else {
+					e.MovAbs(scratch, uint64(in.imm))
+					e.ALURR(isa.Cmp, in.ra, scratch)
+				}
+				branchPatches = append(branchPatches, patch{e.Jcc(in.cond), in.label})
+			case irJmp:
+				branchPatches = append(branchPatches, patch{e.Jmp(), in.label})
+			case irJmpReg:
+				e.JmpReg(in.ra)
+			case irCall:
+				callPatches = append(callPatches, patch{e.Call(), in.label})
+			case irRet:
+				e.Ret()
+			case irSyscall:
+				e.Syscall()
+			case irHalt:
+				e.Halt()
+			case irFALU3:
+				emitCISCFALU3(&e, in.op, in.rd, in.ra, in.rb)
+			case irFMov:
+				e.FMov(in.rd, in.ra)
+			case irFMovImm:
+				e.MovAbs(scratch, math.Float64bits(in.fimm))
+				e.FMovToFP(in.rd, scratch)
+			case irFLoad:
+				e.FLoad(in.rd, in.ra, int32(in.imm))
+			case irFStore:
+				e.FStore(in.rb, in.ra, int32(in.imm))
+			case irFBr:
+				e.FCmp(in.ra, in.rb)
+				branchPatches = append(branchPatches, patch{e.Jcc(in.cond), in.label})
+			case irFCvtIF:
+				e.FCvtIF(in.rd, in.ra)
+			case irFCvtFI:
+				e.FCvtFI(in.rd, in.ra)
+			default:
+				return nil, nil, fmt.Errorf("asm: %s: unhandled IR kind %d", f.name, in.kind)
+			}
+		}
+		for _, bp := range branchPatches {
+			to, ok := labels[bp.label]
+			if !ok {
+				return nil, nil, fmt.Errorf("asm: %s: undefined label %q", f.name, bp.label)
+			}
+			cisc.PatchRel32(e.Code, bp.at, int32(to-(bp.at+4)))
+		}
+	}
+	for _, cp := range callPatches {
+		addr, ok := funcAddrs[cp.label]
+		if !ok {
+			return nil, nil, fmt.Errorf("asm: call to undefined function %q", cp.label)
+		}
+		to := int(addr - mem.TextBase)
+		cisc.PatchRel32(e.Code, cp.at, int32(to-(cp.at+4)))
+	}
+	return e.Code, funcAddrs, nil
+}
+
+// emitCISCALU3 lowers a three-operand ALU op onto the two-operand ISA.
+func emitCISCALU3(e *cisc.Emitter, op isa.Op, rd, ra, rb, scratch isa.Reg) {
+	commutative := op == isa.Add || op == isa.And || op == isa.Or || op == isa.Xor || op == isa.Mul
+	switch {
+	case rd == ra:
+		e.ALURR(op, rd, rb)
+	case rd == rb && commutative:
+		e.ALURR(op, rd, ra)
+	case rd == rb:
+		e.ALURR(isa.Mov, scratch, ra)
+		e.ALURR(op, scratch, rb)
+		e.ALURR(isa.Mov, rd, scratch)
+	default:
+		e.ALURR(isa.Mov, rd, ra)
+		e.ALURR(op, rd, rb)
+	}
+}
+
+// emitCISCFALU3 lowers a three-operand FP op; F7 is the FP scratch.
+func emitCISCFALU3(e *cisc.Emitter, op isa.Op, fd, fa, fb isa.Reg) {
+	commutative := op == isa.FAdd || op == isa.FMul
+	switch {
+	case fd == fa:
+		e.FALU(op, fd, fb)
+	case fd == fb && commutative:
+		e.FALU(op, fd, fa)
+	case fd == fb:
+		e.FMov(isa.F7, fa)
+		e.FALU(op, isa.F7, fb)
+		e.FMov(fd, isa.F7)
+	default:
+		e.FMov(fd, fa)
+		e.FALU(op, fd, fb)
+	}
+}
+
+// ---- RISC back-end -----------------------------------------------------------
+
+func buildRISC(p *Program, syms map[string]uint64) ([]byte, map[string]uint64, error) {
+	var e risc.Emitter
+	funcAddrs := make(map[string]uint64)
+	var callPatches []patch
+	const scratch = isa.R12
+
+	movImm := func(rd isa.Reg, v int64) {
+		uv := uint64(v)
+		emitted := false
+		for hw := 0; hw < 4; hw++ {
+			c := uint16(uv >> (16 * hw))
+			if c == 0 {
+				continue
+			}
+			if !emitted {
+				e.MovZ(rd, c, hw)
+				emitted = true
+			} else {
+				e.MovK(rd, c, hw)
+			}
+		}
+		if !emitted {
+			e.MovZ(rd, 0, 0)
+		}
+	}
+
+	type cbPatch struct {
+		at    int
+		label string
+		wide  bool // B/BL rather than CB/BF
+	}
+
+	for _, f := range p.funcs {
+		funcAddrs[f.name] = mem.TextBase + uint64(e.Len())
+		labels := make(map[string]int)
+		var branchPatches []cbPatch
+
+		// Non-leaf functions spill the link register at entry.
+		if f.hasCall {
+			e.ALUI(isa.Sub, isa.SP, isa.SP, 8)
+			e.Store(8, isa.LR, isa.SP, 0)
+		}
+
+		for _, in := range f.instrs {
+			switch in.kind {
+			case irNop:
+				e.Nop()
+			case irLabel:
+				if _, dup := labels[in.label]; dup {
+					return nil, nil, fmt.Errorf("asm: %s: duplicate label %q", f.name, in.label)
+				}
+				labels[in.label] = e.Len()
+			case irMov:
+				e.MovR(in.rd, in.ra)
+			case irMovImm:
+				movImm(in.rd, in.imm)
+			case irMovSym:
+				addr, ok := syms[in.label]
+				if !ok {
+					return nil, nil, fmt.Errorf("asm: %s: unknown symbol %q", f.name, in.label)
+				}
+				movImm(in.rd, int64(addr))
+			case irALU3:
+				e.ALU3(in.op, in.rd, in.ra, in.rb)
+			case irALUImm:
+				if fitsI12(in.imm) {
+					e.ALUI(in.op, in.rd, in.ra, int32(in.imm))
+				} else {
+					movImm(scratch, in.imm)
+					e.ALU3(in.op, in.rd, in.ra, scratch)
+				}
+			case irLoad:
+				if fitsI12(in.imm) {
+					e.Load(in.size, in.sext, in.rd, in.ra, int32(in.imm))
+				} else {
+					movImm(scratch, in.imm)
+					e.ALU3(isa.Add, scratch, in.ra, scratch)
+					e.Load(in.size, in.sext, in.rd, scratch, 0)
+				}
+			case irStore:
+				if fitsI12(in.imm) {
+					e.Store(in.size, in.rb, in.ra, int32(in.imm))
+				} else {
+					movImm(scratch, in.imm)
+					e.ALU3(isa.Add, scratch, in.ra, scratch)
+					e.Store(in.size, in.rb, scratch, 0)
+				}
+			case irBr:
+				branchPatches = append(branchPatches, cbPatch{e.CB(in.cond, in.ra, in.rb), in.label, false})
+			case irBrImm:
+				movImm(scratch, in.imm)
+				branchPatches = append(branchPatches, cbPatch{e.CB(in.cond, in.ra, scratch), in.label, false})
+			case irJmp:
+				branchPatches = append(branchPatches, cbPatch{e.B(), in.label, true})
+			case irJmpReg:
+				e.BR(in.ra)
+			case irCall:
+				callPatches = append(callPatches, patch{e.BL(), in.label})
+			case irRet:
+				if f.hasCall {
+					e.Load(8, false, isa.LR, isa.SP, 0)
+					e.ALUI(isa.Add, isa.SP, isa.SP, 8)
+				}
+				e.BR(isa.LR)
+			case irSyscall:
+				e.Syscall()
+			case irHalt:
+				e.Halt()
+			case irFALU3:
+				e.FALU(in.op, in.rd, in.ra, in.rb)
+			case irFMov:
+				e.FMov(in.rd, in.ra)
+			case irFMovImm:
+				movImm(scratch, int64(math.Float64bits(in.fimm)))
+				e.FMovToFP(in.rd, scratch)
+			case irFLoad:
+				if fitsI12(in.imm) {
+					e.FLoad(in.rd, in.ra, int32(in.imm))
+				} else {
+					movImm(scratch, in.imm)
+					e.ALU3(isa.Add, scratch, in.ra, scratch)
+					e.FLoad(in.rd, scratch, 0)
+				}
+			case irFStore:
+				if fitsI12(in.imm) {
+					e.FStore(in.rb, in.ra, int32(in.imm))
+				} else {
+					movImm(scratch, in.imm)
+					e.ALU3(isa.Add, scratch, in.ra, scratch)
+					e.FStore(in.rb, scratch, 0)
+				}
+			case irFBr:
+				e.FCmp(scratch, in.ra, in.rb)
+				branchPatches = append(branchPatches, cbPatch{e.BF(in.cond, scratch), in.label, false})
+			case irFCvtIF:
+				e.FCvtIF(in.rd, in.ra)
+			case irFCvtFI:
+				e.FCvtFI(in.rd, in.ra)
+			default:
+				return nil, nil, fmt.Errorf("asm: %s: unhandled IR kind %d", f.name, in.kind)
+			}
+		}
+		for _, bp := range branchPatches {
+			to, ok := labels[bp.label]
+			if !ok {
+				return nil, nil, fmt.Errorf("asm: %s: undefined label %q", f.name, bp.label)
+			}
+			rel := int32(to - bp.at)
+			if bp.wide {
+				risc.PatchB(e.Code, bp.at, rel)
+			} else {
+				if rel < -(1<<13) || rel >= 1<<13 {
+					return nil, nil, fmt.Errorf("asm: %s: branch to %q out of ±8KB range", f.name, bp.label)
+				}
+				risc.PatchCB(e.Code, bp.at, rel)
+			}
+		}
+	}
+	for _, cp := range callPatches {
+		addr, ok := funcAddrs[cp.label]
+		if !ok {
+			return nil, nil, fmt.Errorf("asm: call to undefined function %q", cp.label)
+		}
+		risc.PatchB(e.Code, cp.at, int32(int(addr-mem.TextBase)-cp.at))
+	}
+	return e.Code, funcAddrs, nil
+}

@@ -1,0 +1,383 @@
+// Package asm provides the portable assembly layer of the repository: a
+// register-level intermediate representation with a builder API, two
+// instruction-selection back-ends (one per synthetic ISA), and a linker
+// that lays out text and data into a bootable memory image.
+//
+// The ten MiBench-analog workloads are written once against this IR and
+// compiled to both ISAs, which is what makes the paper's cross-ISA
+// differential study possible: the same algorithm, the same data, two
+// genuinely different instruction streams.
+//
+// Programs may use integer registers R0–R11 plus SP and floating-point
+// registers F0–F6. R12 and F7 are reserved as back-end scratch registers;
+// LR and the microcode temporaries are managed by the back-ends.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// irKind enumerates IR instruction kinds.
+type irKind uint8
+
+const (
+	irNop irKind = iota
+	irMov
+	irMovImm
+	irMovSym
+	irALU3
+	irALUImm
+	irLoad
+	irStore
+	irBr    // compare-and-branch, register-register
+	irBrImm // compare-and-branch, register-immediate
+	irJmp
+	irJmpReg
+	irCall
+	irRet
+	irSyscall
+	irHalt
+	irLabel
+	irFALU3
+	irFMov
+	irFMovImm
+	irFLoad
+	irFStore
+	irFBr
+	irFCvtIF
+	irFCvtFI
+)
+
+// instr is one IR instruction.
+type instr struct {
+	kind  irKind
+	op    isa.Op // ALU/FALU op
+	cond  isa.Cond
+	rd    isa.Reg
+	ra    isa.Reg
+	rb    isa.Reg
+	imm   int64
+	fimm  float64
+	size  uint8
+	sext  bool
+	label string // branch target, call target, label name or symbol
+}
+
+// Func is a function under construction.
+type Func struct {
+	name    string
+	instrs  []instr
+	hasCall bool
+}
+
+// Name returns the function name.
+func (f *Func) Name() string { return f.name }
+
+// Program is a program under construction: functions plus data items.
+type Program struct {
+	funcs   []*Func
+	funcIdx map[string]*Func
+	data    []dataItem
+}
+
+type dataItem struct {
+	name  string
+	bytes []byte
+	size  int // for BSS items bytes is nil and size > 0
+	align int
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{funcIdx: make(map[string]*Func)}
+}
+
+// Func starts a new function with the given name and returns its builder.
+// Every program needs a "main"; execution begins there.
+func (p *Program) Func(name string) *Func {
+	if _, dup := p.funcIdx[name]; dup {
+		panic(fmt.Sprintf("asm: duplicate function %q", name))
+	}
+	f := &Func{name: name}
+	p.funcs = append(p.funcs, f)
+	p.funcIdx[name] = f
+	return f
+}
+
+// Data adds an initialized data item addressable via MovSym.
+func (p *Program) Data(name string, bytes []byte) {
+	p.data = append(p.data, dataItem{name: name, bytes: bytes, align: 8})
+}
+
+// DataAligned adds an initialized data item with the given alignment.
+func (p *Program) DataAligned(name string, bytes []byte, align int) {
+	p.data = append(p.data, dataItem{name: name, bytes: bytes, align: align})
+}
+
+// Bss reserves size zeroed bytes addressable via MovSym.
+func (p *Program) Bss(name string, size int) {
+	p.data = append(p.data, dataItem{name: name, size: size, align: 8})
+}
+
+// ---- Register validation ----------------------------------------------------
+
+func checkInt(r isa.Reg, what string) {
+	if r > isa.R11 && r != isa.SP {
+		panic(fmt.Sprintf("asm: %s register %v not usable by programs (R0-R11, SP only)", what, r))
+	}
+}
+
+func checkFP(r isa.Reg, what string) {
+	if !r.IsFP() || r == isa.F7 {
+		panic(fmt.Sprintf("asm: %s register %v not usable by programs (F0-F6 only)", what, r))
+	}
+}
+
+func checkSize(size uint8) {
+	switch size {
+	case 1, 2, 4, 8:
+	default:
+		panic(fmt.Sprintf("asm: bad access size %d", size))
+	}
+}
+
+// ---- Builder methods ---------------------------------------------------------
+
+func (f *Func) add(i instr) { f.instrs = append(f.instrs, i) }
+
+// Nop emits a no-op.
+func (f *Func) Nop() { f.add(instr{kind: irNop}) }
+
+// Label defines a branch target at the current position.
+func (f *Func) Label(name string) { f.add(instr{kind: irLabel, label: name}) }
+
+// Mov emits rd = ra.
+func (f *Func) Mov(rd, ra isa.Reg) {
+	checkInt(rd, "dst")
+	checkInt(ra, "src")
+	f.add(instr{kind: irMov, rd: rd, ra: ra})
+}
+
+// MovImm emits rd = imm (any 64-bit constant).
+func (f *Func) MovImm(rd isa.Reg, imm int64) {
+	checkInt(rd, "dst")
+	f.add(instr{kind: irMovImm, rd: rd, imm: imm})
+}
+
+// MovSym emits rd = address-of(sym), where sym names a Data/Bss item or a
+// function.
+func (f *Func) MovSym(rd isa.Reg, sym string) {
+	checkInt(rd, "dst")
+	f.add(instr{kind: irMovSym, rd: rd, label: sym})
+}
+
+// alu3 is the common three-operand helper.
+func (f *Func) alu3(op isa.Op, rd, ra, rb isa.Reg) {
+	checkInt(rd, "dst")
+	checkInt(ra, "src1")
+	checkInt(rb, "src2")
+	f.add(instr{kind: irALU3, op: op, rd: rd, ra: ra, rb: rb})
+}
+
+// aluImm is the common register-immediate helper.
+func (f *Func) aluImm(op isa.Op, rd, ra isa.Reg, imm int64) {
+	checkInt(rd, "dst")
+	checkInt(ra, "src1")
+	f.add(instr{kind: irALUImm, op: op, rd: rd, ra: ra, imm: imm})
+}
+
+// Add emits rd = ra + rb. The other ALU builders follow the same shape.
+func (f *Func) Add(rd, ra, rb isa.Reg) { f.alu3(isa.Add, rd, ra, rb) }
+
+// Sub emits rd = ra − rb.
+func (f *Func) Sub(rd, ra, rb isa.Reg) { f.alu3(isa.Sub, rd, ra, rb) }
+
+// And emits rd = ra & rb.
+func (f *Func) And(rd, ra, rb isa.Reg) { f.alu3(isa.And, rd, ra, rb) }
+
+// Or emits rd = ra | rb.
+func (f *Func) Or(rd, ra, rb isa.Reg) { f.alu3(isa.Or, rd, ra, rb) }
+
+// Xor emits rd = ra ^ rb.
+func (f *Func) Xor(rd, ra, rb isa.Reg) { f.alu3(isa.Xor, rd, ra, rb) }
+
+// Shl emits rd = ra << rb.
+func (f *Func) Shl(rd, ra, rb isa.Reg) { f.alu3(isa.Shl, rd, ra, rb) }
+
+// Shr emits rd = ra >> rb (logical).
+func (f *Func) Shr(rd, ra, rb isa.Reg) { f.alu3(isa.Shr, rd, ra, rb) }
+
+// Sar emits rd = ra >> rb (arithmetic).
+func (f *Func) Sar(rd, ra, rb isa.Reg) { f.alu3(isa.Sar, rd, ra, rb) }
+
+// Mul emits rd = ra * rb.
+func (f *Func) Mul(rd, ra, rb isa.Reg) { f.alu3(isa.Mul, rd, ra, rb) }
+
+// Div emits rd = ra / rb (signed).
+func (f *Func) Div(rd, ra, rb isa.Reg) { f.alu3(isa.Div, rd, ra, rb) }
+
+// Rem emits rd = ra % rb (signed).
+func (f *Func) Rem(rd, ra, rb isa.Reg) { f.alu3(isa.Rem, rd, ra, rb) }
+
+// AddI emits rd = ra + imm. The other immediate ALU builders follow suit.
+func (f *Func) AddI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.Add, rd, ra, imm) }
+
+// SubI emits rd = ra − imm.
+func (f *Func) SubI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.Sub, rd, ra, imm) }
+
+// AndI emits rd = ra & imm.
+func (f *Func) AndI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.And, rd, ra, imm) }
+
+// OrI emits rd = ra | imm.
+func (f *Func) OrI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.Or, rd, ra, imm) }
+
+// XorI emits rd = ra ^ imm.
+func (f *Func) XorI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.Xor, rd, ra, imm) }
+
+// ShlI emits rd = ra << imm.
+func (f *Func) ShlI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.Shl, rd, ra, imm) }
+
+// ShrI emits rd = ra >> imm (logical).
+func (f *Func) ShrI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.Shr, rd, ra, imm) }
+
+// SarI emits rd = ra >> imm (arithmetic).
+func (f *Func) SarI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.Sar, rd, ra, imm) }
+
+// MulI emits rd = ra * imm.
+func (f *Func) MulI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.Mul, rd, ra, imm) }
+
+// DivI emits rd = ra / imm.
+func (f *Func) DivI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.Div, rd, ra, imm) }
+
+// RemI emits rd = ra % imm.
+func (f *Func) RemI(rd, ra isa.Reg, imm int64) { f.aluImm(isa.Rem, rd, ra, imm) }
+
+// Load emits rd = zero/sign-extended mem[ra+off] of size bytes.
+func (f *Func) Load(size uint8, signExt bool, rd, ra isa.Reg, off int32) {
+	checkInt(rd, "dst")
+	checkInt(ra, "base")
+	checkSize(size)
+	f.add(instr{kind: irLoad, rd: rd, ra: ra, imm: int64(off), size: size, sext: signExt})
+}
+
+// Store emits mem[ra+off] = low size bytes of rs.
+func (f *Func) Store(size uint8, rs, ra isa.Reg, off int32) {
+	checkInt(rs, "src")
+	checkInt(ra, "base")
+	checkSize(size)
+	f.add(instr{kind: irStore, rb: rs, ra: ra, imm: int64(off), size: size})
+}
+
+// Br emits a conditional branch to label when (ra cond rb) holds.
+func (f *Func) Br(cond isa.Cond, ra, rb isa.Reg, label string) {
+	checkInt(ra, "src1")
+	checkInt(rb, "src2")
+	f.add(instr{kind: irBr, cond: cond, ra: ra, rb: rb, label: label})
+}
+
+// BrI emits a conditional branch to label when (ra cond imm) holds.
+func (f *Func) BrI(cond isa.Cond, ra isa.Reg, imm int64, label string) {
+	checkInt(ra, "src1")
+	f.add(instr{kind: irBrImm, cond: cond, ra: ra, imm: imm, label: label})
+}
+
+// Jmp emits an unconditional jump to label.
+func (f *Func) Jmp(label string) { f.add(instr{kind: irJmp, label: label}) }
+
+// JmpReg emits an indirect jump to the address in ra.
+func (f *Func) JmpReg(ra isa.Reg) {
+	checkInt(ra, "target")
+	f.add(instr{kind: irJmpReg, ra: ra})
+}
+
+// Call emits a call to the named function.
+func (f *Func) Call(fn string) {
+	f.hasCall = true
+	f.add(instr{kind: irCall, label: fn})
+}
+
+// Ret emits a return.
+func (f *Func) Ret() { f.add(instr{kind: irRet}) }
+
+// Syscall emits a system call (number and arguments in R0–R3 by the
+// kernel ABI).
+func (f *Func) Syscall() { f.add(instr{kind: irSyscall}) }
+
+// Halt emits a machine halt.
+func (f *Func) Halt() { f.add(instr{kind: irHalt}) }
+
+// ---- Floating point ----------------------------------------------------------
+
+func (f *Func) falu3(op isa.Op, fd, fa, fb isa.Reg) {
+	checkFP(fd, "dst")
+	checkFP(fa, "src1")
+	checkFP(fb, "src2")
+	f.add(instr{kind: irFALU3, op: op, rd: fd, ra: fa, rb: fb})
+}
+
+// FAdd emits fd = fa + fb.
+func (f *Func) FAdd(fd, fa, fb isa.Reg) { f.falu3(isa.FAdd, fd, fa, fb) }
+
+// FSub emits fd = fa − fb.
+func (f *Func) FSub(fd, fa, fb isa.Reg) { f.falu3(isa.FSub, fd, fa, fb) }
+
+// FMul emits fd = fa * fb.
+func (f *Func) FMul(fd, fa, fb isa.Reg) { f.falu3(isa.FMul, fd, fa, fb) }
+
+// FDiv emits fd = fa / fb.
+func (f *Func) FDiv(fd, fa, fb isa.Reg) { f.falu3(isa.FDiv, fd, fa, fb) }
+
+// FMov emits fd = fa.
+func (f *Func) FMov(fd, fa isa.Reg) {
+	checkFP(fd, "dst")
+	checkFP(fa, "src")
+	f.add(instr{kind: irFMov, rd: fd, ra: fa})
+}
+
+// FMovImm emits fd = the given constant.
+func (f *Func) FMovImm(fd isa.Reg, v float64) {
+	checkFP(fd, "dst")
+	f.add(instr{kind: irFMovImm, rd: fd, fimm: v})
+}
+
+// FLoad emits fd = mem8[ra+off].
+func (f *Func) FLoad(fd, ra isa.Reg, off int32) {
+	checkFP(fd, "dst")
+	checkInt(ra, "base")
+	f.add(instr{kind: irFLoad, rd: fd, ra: ra, imm: int64(off)})
+}
+
+// FStore emits mem8[ra+off] = fs.
+func (f *Func) FStore(fs, ra isa.Reg, off int32) {
+	checkFP(fs, "src")
+	checkInt(ra, "base")
+	f.add(instr{kind: irFStore, rb: fs, ra: ra, imm: int64(off)})
+}
+
+// FBr emits a conditional branch on an FP comparison. Only the condition
+// codes al,eq,ne,lt,ge,le,gt,b are encodable on both ISAs for FP
+// branches.
+func (f *Func) FBr(cond isa.Cond, fa, fb isa.Reg, label string) {
+	checkFP(fa, "src1")
+	checkFP(fb, "src2")
+	if cond > isa.CondB {
+		panic(fmt.Sprintf("asm: FP branch condition %v not encodable", cond))
+	}
+	f.add(instr{kind: irFBr, cond: cond, ra: fa, rb: fb, label: label})
+}
+
+// FCvtIF emits fd = float64(int64 ra).
+func (f *Func) FCvtIF(fd, ra isa.Reg) {
+	checkFP(fd, "dst")
+	checkInt(ra, "src")
+	f.add(instr{kind: irFCvtIF, rd: fd, ra: ra})
+}
+
+// FCvtFI emits rd = int64(trunc fa).
+func (f *Func) FCvtFI(rd, fa isa.Reg) {
+	checkInt(rd, "dst")
+	checkFP(fa, "src")
+	f.add(instr{kind: irFCvtFI, rd: rd, ra: fa})
+}

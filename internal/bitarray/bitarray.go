@@ -1,0 +1,535 @@
+// Package bitarray models hardware storage arrays at bit granularity.
+//
+// Every microarchitectural structure that holds state in the simulators —
+// register files, cache tag/valid/data arrays, load/store queues, issue
+// queues, reorder buffers, branch target buffers, TLBs — is built on
+// Array. An Array is a grid of entries × bits-per-entry storage cells that
+// supports ordinary word/byte access plus fault arming: single bits can be
+// flipped (transient faults) or forced to a value for a window of cycles
+// (intermittent faults) or forever (permanent faults).
+//
+// Arrays also observe accesses to the faulty location so that an injection
+// campaign can stop a run early when the outcome is already decided: a
+// transient fault whose bit is overwritten before it is ever read is
+// guaranteed masked (optimization (ii) of the paper, §III.B), and a fault
+// injected into an invalid/unused entry is likewise guaranteed masked
+// (optimization (i)).
+package bitarray
+
+import "fmt"
+
+// Status describes the lifecycle of an armed fault inside an Array.
+type Status uint8
+
+const (
+	// StatusNone means no fault is armed.
+	StatusNone Status = iota
+	// StatusArmed means a fault is armed but its start cycle has not
+	// been reached yet.
+	StatusArmed
+	// StatusLive means the fault has been applied and no read has
+	// touched the faulty bit yet.
+	StatusLive
+	// StatusConsumed means at least one read has observed the faulty
+	// location after the fault was applied; the outcome now depends on
+	// program behaviour and the run must execute to its end.
+	StatusConsumed
+	// StatusOverwritten means a write fully covered the flipped bit
+	// before any read observed it; a transient fault in this state is
+	// guaranteed masked and the run may stop early.
+	StatusOverwritten
+	// StatusSkippedInvalid means the fault targeted an entry that was
+	// invalid/unused at injection time; guaranteed masked.
+	StatusSkippedInvalid
+)
+
+// String returns the reliability-report name of the status.
+func (s Status) String() string {
+	switch s {
+	case StatusNone:
+		return "none"
+	case StatusArmed:
+		return "armed"
+	case StatusLive:
+		return "live"
+	case StatusConsumed:
+		return "consumed"
+	case StatusOverwritten:
+		return "overwritten"
+	case StatusSkippedInvalid:
+		return "skipped-invalid"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// FaultKind selects one of the fault models of Table III of the paper.
+type FaultKind uint8
+
+const (
+	// Transient flips the bit once at the start cycle.
+	Transient FaultKind = iota
+	// Intermittent forces the bit to StuckVal from the start cycle for
+	// Duration cycles.
+	Intermittent
+	// Permanent forces the bit to StuckVal from the start cycle to the
+	// end of the simulation.
+	Permanent
+)
+
+// String returns the fault-model name used in mask repositories.
+func (k FaultKind) String() string {
+	switch k {
+	case Transient:
+		return "transient"
+	case Intermittent:
+		return "intermittent"
+	case Permanent:
+		return "permanent"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", uint8(k))
+	}
+}
+
+// Fault describes a single-bit fault armed on an Array.
+type Fault struct {
+	Kind     FaultKind
+	Entry    int    // target entry index
+	Bit      int    // bit position within the entry (0 = LSB of byte 0)
+	StuckVal uint8  // 0 or 1; used by Intermittent and Permanent
+	Start    uint64 // activation cycle
+	Duration uint64 // active window in cycles; used by Intermittent
+}
+
+// faultState is the live tracking attached to an Array once a fault is
+// armed on it.
+type faultState struct {
+	f      Fault
+	status Status
+	// active reports whether a stuck-at window is currently forcing the
+	// bit (intermittent within window, permanent after start).
+	active bool
+}
+
+// ValidFunc reports whether an entry currently holds live (allocated,
+// valid) state. Structures attach one so that the injector can apply the
+// invalid-entry early stop.
+type ValidFunc func(entry int) bool
+
+// Array is a faultable storage array of entries × bitsPerEntry bits.
+// The zero value is not usable; use New.
+type Array struct {
+	name         string
+	entries      int
+	bitsPerEntry int
+	wordsPerEnt  int
+	data         []uint64 // entries * wordsPerEnt words, little-endian bit order
+	valid        ValidFunc
+	faults       []*faultState
+
+	// Access counters; cheap and useful for the statistics module.
+	reads  uint64
+	writes uint64
+}
+
+// New returns an Array named name with entries entries of bitsPerEntry
+// bits each. It panics if the geometry is not positive, since array
+// geometry is fixed at configuration time and a bad geometry is a
+// programming error.
+func New(name string, entries, bitsPerEntry int) *Array {
+	if entries <= 0 || bitsPerEntry <= 0 {
+		panic(fmt.Sprintf("bitarray.New(%q): bad geometry %d×%d", name, entries, bitsPerEntry))
+	}
+	w := (bitsPerEntry + 63) / 64
+	return &Array{
+		name:         name,
+		entries:      entries,
+		bitsPerEntry: bitsPerEntry,
+		wordsPerEnt:  w,
+		data:         make([]uint64, entries*w),
+	}
+}
+
+// Name returns the structure name the array was created with.
+func (a *Array) Name() string { return a.name }
+
+// Entries returns the number of entries.
+func (a *Array) Entries() int { return a.entries }
+
+// BitsPerEntry returns the number of bits in each entry.
+func (a *Array) BitsPerEntry() int { return a.bitsPerEntry }
+
+// TotalBits returns the total number of storage bits, the population size
+// used by statistical fault sampling.
+func (a *Array) TotalBits() int { return a.entries * a.bitsPerEntry }
+
+// Reads returns the number of read accesses performed so far.
+func (a *Array) Reads() uint64 { return a.reads }
+
+// Writes returns the number of write accesses performed so far.
+func (a *Array) Writes() uint64 { return a.writes }
+
+// SetValidFunc attaches a validity probe used by the invalid-entry early
+// stop. A nil probe means every entry is considered valid.
+func (a *Array) SetValidFunc(f ValidFunc) { a.valid = f }
+
+// EntryValid reports whether the entry currently holds live state.
+func (a *Array) EntryValid(entry int) bool {
+	if a.valid == nil {
+		return true
+	}
+	return a.valid(entry)
+}
+
+func (a *Array) checkEntry(entry int) {
+	if entry < 0 || entry >= a.entries {
+		panic(fmt.Sprintf("bitarray %q: entry %d out of range [0,%d)", a.name, entry, a.entries))
+	}
+}
+
+// ---- Plain storage access -------------------------------------------------
+
+// ReadWord reads the 64-bit word at word index word of entry. Bits beyond
+// bitsPerEntry read as zero. The access is observed against any live
+// fault.
+func (a *Array) ReadWord(entry, word int) uint64 {
+	a.checkEntry(entry)
+	a.reads++
+	v := a.data[entry*a.wordsPerEnt+word]
+	if len(a.faults) != 0 {
+		v = a.observeRead(entry, word*64, 64, v)
+	}
+	return v
+}
+
+// WriteWord writes the 64-bit word at word index word of entry.
+func (a *Array) WriteWord(entry, word int, v uint64) {
+	a.checkEntry(entry)
+	a.writes++
+	if len(a.faults) != 0 {
+		v = a.observeWrite(entry, word*64, 64, v)
+	}
+	a.data[entry*a.wordsPerEnt+word] = v
+}
+
+// ReadUint64 reads word 0 of entry; convenience for register-file-like
+// arrays whose entries are at most 64 bits wide.
+func (a *Array) ReadUint64(entry int) uint64 { return a.ReadWord(entry, 0) }
+
+// WriteUint64 writes word 0 of entry.
+func (a *Array) WriteUint64(entry int, v uint64) { a.WriteWord(entry, 0, v) }
+
+// ReadBytes fills dst with len(dst) bytes starting at byte offset off of
+// entry. It is used by cache-line-shaped arrays.
+func (a *Array) ReadBytes(entry, off int, dst []byte) {
+	a.checkEntry(entry)
+	a.reads++
+	base := entry * a.wordsPerEnt
+	for i := range dst {
+		bo := off + i
+		w := a.data[base+bo/8]
+		dst[i] = byte(w >> uint((bo%8)*8)) //nolint:gosec // bounded shift
+	}
+	if len(a.faults) != 0 {
+		a.observeReadBytes(entry, off, len(dst), dst)
+	}
+}
+
+// WriteBytes stores src at byte offset off of entry.
+func (a *Array) WriteBytes(entry, off int, src []byte) {
+	a.checkEntry(entry)
+	a.writes++
+	if len(a.faults) != 0 {
+		src = a.observeWriteBytes(entry, off, src)
+	}
+	base := entry * a.wordsPerEnt
+	for i, b := range src {
+		bo := off + i
+		wi := base + bo/8
+		sh := uint((bo % 8) * 8)
+		a.data[wi] = a.data[wi]&^(0xff<<sh) | uint64(b)<<sh
+	}
+}
+
+// ReadBit reads a single bit of entry. Bit 0 is the LSB of byte 0.
+func (a *Array) ReadBit(entry, bit int) uint8 {
+	w := a.ReadWord(entry, bit/64)
+	return uint8(w>>uint(bit%64)) & 1
+}
+
+// WriteBit writes a single bit of entry.
+func (a *Array) WriteBit(entry, bit int, v uint8) {
+	word := bit / 64
+	a.checkEntry(entry)
+	a.writes++
+	idx := entry*a.wordsPerEnt + word
+	cur := a.data[idx]
+	mask := uint64(1) << uint(bit%64)
+	nv := cur &^ mask
+	if v != 0 {
+		nv |= mask
+	}
+	if len(a.faults) != 0 {
+		nv = a.observeWrite(entry, word*64, 64, nv)
+	}
+	a.data[idx] = nv
+}
+
+// rawFlip flips a stored bit without access accounting; used when the
+// injector applies a transient fault.
+func (a *Array) rawFlip(entry, bit int) {
+	a.data[entry*a.wordsPerEnt+bit/64] ^= 1 << uint(bit%64)
+}
+
+// rawBit returns the stored bit without access accounting.
+func (a *Array) rawBit(entry, bit int) uint8 {
+	return uint8(a.data[entry*a.wordsPerEnt+bit/64]>>uint(bit%64)) & 1
+}
+
+// rawSet stores a bit without access accounting.
+func (a *Array) rawSet(entry, bit int, v uint8) {
+	idx := entry*a.wordsPerEnt + bit/64
+	mask := uint64(1) << uint(bit%64)
+	if v != 0 {
+		a.data[idx] |= mask
+	} else {
+		a.data[idx] &^= mask
+	}
+}
+
+// Reset zeroes all storage and clears access counters. Any armed fault is
+// kept armed (Reset is used between the golden warm-up and the faulty run
+// only by tests; campaigns build fresh simulators instead).
+func (a *Array) Reset() {
+	for i := range a.data {
+		a.data[i] = 0
+	}
+	a.reads, a.writes = 0, 0
+}
+
+// Snapshot returns a copy of the raw storage, for checkpointing.
+func (a *Array) Snapshot() []uint64 {
+	s := make([]uint64, len(a.data))
+	copy(s, a.data)
+	return s
+}
+
+// RestoreSnapshot restores raw storage from a Snapshot copy. It panics if
+// the snapshot does not match the array geometry.
+func (a *Array) RestoreSnapshot(s []uint64) {
+	if len(s) != len(a.data) {
+		panic(fmt.Sprintf("bitarray %q: snapshot size %d != %d", a.name, len(s), len(a.data)))
+	}
+	copy(a.data, s)
+}
+
+// ---- Fault arming and observation ------------------------------------------
+
+// Arm attaches fault f to the array. Several faults may be armed on one
+// array (multi-bit upsets); each is tracked independently. A fault does
+// not affect storage until Tick reaches its start cycle.
+func (a *Array) Arm(f Fault) {
+	if f.Entry < 0 || f.Entry >= a.entries || f.Bit < 0 || f.Bit >= a.bitsPerEntry {
+		panic(fmt.Sprintf("bitarray %q: fault target (%d,%d) out of range %d×%d",
+			a.name, f.Entry, f.Bit, a.entries, a.bitsPerEntry))
+	}
+	a.faults = append(a.faults, &faultState{f: f, status: StatusArmed})
+}
+
+// Disarm removes every armed fault.
+func (a *Array) Disarm() { a.faults = nil }
+
+// FaultStatus aggregates the status of the armed faults, for the
+// early-stop decision: a run may stop only when every fault is provably
+// masked, so the aggregate reports a live or consumed fault whenever one
+// exists, and a masked status only when all faults settled masked.
+func (a *Array) FaultStatus() Status {
+	if len(a.faults) == 0 {
+		return StatusNone
+	}
+	agg := StatusNone
+	for _, fs := range a.faults {
+		switch fs.status {
+		case StatusLive:
+			return StatusLive
+		case StatusConsumed:
+			agg = StatusConsumed
+		case StatusArmed:
+			if agg != StatusConsumed {
+				agg = StatusArmed
+			}
+		case StatusOverwritten, StatusSkippedInvalid:
+			if agg == StatusNone {
+				agg = fs.status
+			}
+		}
+	}
+	return agg
+}
+
+// ArmedFault returns the first armed fault and whether any is armed.
+func (a *Array) ArmedFault() (Fault, bool) {
+	if len(a.faults) == 0 {
+		return Fault{}, false
+	}
+	return a.faults[0].f, true
+}
+
+// Tick advances every fault's state machine to cycle. The simulator core
+// calls it once per cycle before doing any work for that cycle. It
+// returns the aggregate status so the campaign controller can early-stop.
+func (a *Array) Tick(cycle uint64) Status {
+	if len(a.faults) == 0 {
+		return StatusNone
+	}
+	for _, fs := range a.faults {
+		switch fs.status {
+		case StatusArmed:
+			if cycle >= fs.f.Start {
+				a.apply(fs)
+			}
+		case StatusLive, StatusConsumed:
+			if fs.f.Kind == Intermittent && fs.active && cycle >= fs.f.Start+fs.f.Duration {
+				fs.active = false
+			}
+		}
+	}
+	return a.FaultStatus()
+}
+
+// apply performs the initial injection at the start cycle.
+func (a *Array) apply(fs *faultState) {
+	if !a.EntryValid(fs.f.Entry) && fs.f.Kind == Transient {
+		fs.status = StatusSkippedInvalid
+		return
+	}
+	switch fs.f.Kind {
+	case Transient:
+		a.rawFlip(fs.f.Entry, fs.f.Bit)
+		fs.status = StatusLive
+	case Intermittent, Permanent:
+		// The cell is forced to the stuck value for the window; a
+		// write during the window cannot change the cell.
+		a.rawSet(fs.f.Entry, fs.f.Bit, fs.f.StuckVal)
+		fs.active = true
+		fs.status = StatusLive
+	}
+}
+
+// stuckActive reports whether a stuck-at window currently forces the bit.
+func (fs *faultState) stuckActive() bool {
+	return fs.active && (fs.f.Kind == Intermittent || fs.f.Kind == Permanent)
+}
+
+// observeRead is called on every word read when faults are armed. It
+// applies stuck-at forcing and records read consumption.
+func (a *Array) observeRead(entry, firstBit, nbits int, v uint64) uint64 {
+	for _, fs := range a.faults {
+		if fs.status != StatusLive && fs.status != StatusConsumed {
+			continue
+		}
+		if entry != fs.f.Entry || fs.f.Bit < firstBit || fs.f.Bit >= firstBit+nbits {
+			continue
+		}
+		if fs.stuckActive() {
+			mask := uint64(1) << uint(fs.f.Bit-firstBit)
+			if fs.f.StuckVal != 0 {
+				v |= mask
+			} else {
+				v &^= mask
+			}
+		}
+		fs.status = StatusConsumed
+	}
+	return v
+}
+
+// observeWrite is called on every word write when faults are armed. For a
+// live transient fault a covering write that lands before any read proves
+// masking. For an active stuck-at fault the cell refuses the new bit.
+func (a *Array) observeWrite(entry, firstBit, nbits int, v uint64) uint64 {
+	for _, fs := range a.faults {
+		if entry != fs.f.Entry || fs.f.Bit < firstBit || fs.f.Bit >= firstBit+nbits {
+			continue
+		}
+		if fs.stuckActive() {
+			mask := uint64(1) << uint(fs.f.Bit-firstBit)
+			if fs.f.StuckVal != 0 {
+				v |= mask
+			} else {
+				v &^= mask
+			}
+			continue
+		}
+		if fs.status == StatusLive && fs.f.Kind == Transient {
+			fs.status = StatusOverwritten
+		}
+	}
+	return v
+}
+
+// observeReadBytes applies fault observation to a byte-range read result.
+func (a *Array) observeReadBytes(entry, off, n int, dst []byte) {
+	first := off * 8
+	for _, fs := range a.faults {
+		if fs.status != StatusLive && fs.status != StatusConsumed {
+			continue
+		}
+		if entry != fs.f.Entry || fs.f.Bit < first || fs.f.Bit >= first+n*8 {
+			continue
+		}
+		if fs.stuckActive() {
+			rel := fs.f.Bit - first
+			mask := byte(1) << uint(rel%8)
+			if fs.f.StuckVal != 0 {
+				dst[rel/8] |= mask
+			} else {
+				dst[rel/8] &^= mask
+			}
+		}
+		fs.status = StatusConsumed
+	}
+}
+
+// observeWriteBytes applies fault observation to a byte-range write. It
+// returns the (possibly forced) bytes to store; it never modifies src in
+// place.
+func (a *Array) observeWriteBytes(entry, off int, src []byte) []byte {
+	first := off * 8
+	out := src
+	for _, fs := range a.faults {
+		if entry != fs.f.Entry || fs.f.Bit < first || fs.f.Bit >= first+len(src)*8 {
+			continue
+		}
+		if fs.stuckActive() {
+			if &out[0] == &src[0] {
+				out = make([]byte, len(src))
+				copy(out, src)
+			}
+			rel := fs.f.Bit - first
+			mask := byte(1) << uint(rel%8)
+			if fs.f.StuckVal != 0 {
+				out[rel/8] |= mask
+			} else {
+				out[rel/8] &^= mask
+			}
+			continue
+		}
+		if fs.status == StatusLive && fs.f.Kind == Transient {
+			fs.status = StatusOverwritten
+		}
+	}
+	return out
+}
+
+// InvalidateObserve tells the array that entry was invalidated (its live
+// state discarded) by the structure that owns it. A live transient fault
+// in a discarded entry can never be read again, so it is equivalent to
+// overwritten-before-read.
+func (a *Array) InvalidateObserve(entry int) {
+	for _, fs := range a.faults {
+		if fs.status == StatusLive && fs.f.Kind == Transient && entry == fs.f.Entry {
+			fs.status = StatusOverwritten
+		}
+	}
+}

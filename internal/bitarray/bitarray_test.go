@@ -1,0 +1,483 @@
+package bitarray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	a := New("rf", 256, 64)
+	if a.Entries() != 256 || a.BitsPerEntry() != 64 {
+		t.Fatalf("geometry = %d×%d, want 256×64", a.Entries(), a.BitsPerEntry())
+	}
+	if a.TotalBits() != 256*64 {
+		t.Fatalf("TotalBits = %d, want %d", a.TotalBits(), 256*64)
+	}
+	if a.Name() != "rf" {
+		t.Fatalf("Name = %q, want rf", a.Name())
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	for _, g := range [][2]int{{0, 8}, {8, 0}, {-1, 8}, {8, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", g[0], g[1])
+				}
+			}()
+			New("bad", g[0], g[1])
+		}()
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	a := New("rf", 8, 64)
+	a.WriteUint64(3, 0xdeadbeefcafef00d)
+	if got := a.ReadUint64(3); got != 0xdeadbeefcafef00d {
+		t.Fatalf("ReadUint64 = %#x", got)
+	}
+	if got := a.ReadUint64(2); got != 0 {
+		t.Fatalf("neighbouring entry disturbed: %#x", got)
+	}
+}
+
+func TestByteRoundTrip(t *testing.T) {
+	a := New("line", 4, 512) // 64-byte cache lines
+	src := make([]byte, 64)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	a.WriteBytes(1, 0, src)
+	dst := make([]byte, 64)
+	a.ReadBytes(1, 0, dst)
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, dst[i], src[i])
+		}
+	}
+	// Partial read within the line.
+	part := make([]byte, 8)
+	a.ReadBytes(1, 16, part)
+	for i := range part {
+		if part[i] != src[16+i] {
+			t.Fatalf("partial byte %d = %#x, want %#x", i, part[i], src[16+i])
+		}
+	}
+	// Partial unaligned write.
+	a.WriteBytes(1, 5, []byte{0xaa, 0xbb, 0xcc})
+	a.ReadBytes(1, 4, part)
+	want := []byte{src[4], 0xaa, 0xbb, 0xcc, src[8], src[9], src[10], src[11]}
+	for i := range part {
+		if part[i] != want[i] {
+			t.Fatalf("after unaligned write, byte %d = %#x, want %#x", i, part[i], want[i])
+		}
+	}
+}
+
+func TestBitAccess(t *testing.T) {
+	a := New("v", 16, 1)
+	a.WriteBit(5, 0, 1)
+	if a.ReadBit(5, 0) != 1 {
+		t.Fatal("bit not set")
+	}
+	a.WriteBit(5, 0, 0)
+	if a.ReadBit(5, 0) != 0 {
+		t.Fatal("bit not cleared")
+	}
+}
+
+func TestAccessCounters(t *testing.T) {
+	a := New("c", 4, 64)
+	a.WriteUint64(0, 1)
+	a.WriteUint64(1, 2)
+	_ = a.ReadUint64(0)
+	if a.Reads() != 1 || a.Writes() != 2 {
+		t.Fatalf("reads=%d writes=%d, want 1,2", a.Reads(), a.Writes())
+	}
+}
+
+func TestTransientFlipAndConsume(t *testing.T) {
+	a := New("rf", 8, 64)
+	a.WriteUint64(2, 0)
+	a.Arm(Fault{Kind: Transient, Entry: 2, Bit: 5, Start: 10})
+	if st := a.Tick(9); st != StatusArmed {
+		t.Fatalf("status before start = %v", st)
+	}
+	if st := a.Tick(10); st != StatusLive {
+		t.Fatalf("status at start = %v", st)
+	}
+	got := a.ReadUint64(2)
+	if got != 1<<5 {
+		t.Fatalf("flipped value = %#x, want %#x", got, uint64(1<<5))
+	}
+	if a.FaultStatus() != StatusConsumed {
+		t.Fatalf("after read status = %v, want consumed", a.FaultStatus())
+	}
+}
+
+func TestTransientOverwrittenBeforeRead(t *testing.T) {
+	a := New("rf", 8, 64)
+	a.Arm(Fault{Kind: Transient, Entry: 1, Bit: 63, Start: 0})
+	a.Tick(0)
+	a.WriteUint64(1, 0x1234) // covers bit 63 before any read
+	if a.FaultStatus() != StatusOverwritten {
+		t.Fatalf("status = %v, want overwritten", a.FaultStatus())
+	}
+	if got := a.ReadUint64(1); got != 0x1234 {
+		t.Fatalf("value after overwrite = %#x", got)
+	}
+}
+
+func TestTransientReadThenWriteStaysConsumed(t *testing.T) {
+	a := New("rf", 8, 64)
+	a.Arm(Fault{Kind: Transient, Entry: 1, Bit: 0, Start: 0})
+	a.Tick(0)
+	_ = a.ReadUint64(1)
+	a.WriteUint64(1, 0)
+	if a.FaultStatus() != StatusConsumed {
+		t.Fatalf("status = %v, want consumed (read happened first)", a.FaultStatus())
+	}
+}
+
+func TestTransientOtherEntryDoesNotConsume(t *testing.T) {
+	a := New("rf", 8, 64)
+	a.Arm(Fault{Kind: Transient, Entry: 1, Bit: 0, Start: 0})
+	a.Tick(0)
+	_ = a.ReadUint64(2)
+	a.WriteUint64(3, 9)
+	if a.FaultStatus() != StatusLive {
+		t.Fatalf("status = %v, want live", a.FaultStatus())
+	}
+}
+
+func TestInvalidEntrySkip(t *testing.T) {
+	a := New("lsq", 8, 64)
+	a.SetValidFunc(func(e int) bool { return e != 4 })
+	a.Arm(Fault{Kind: Transient, Entry: 4, Bit: 1, Start: 0})
+	if st := a.Tick(0); st != StatusSkippedInvalid {
+		t.Fatalf("status = %v, want skipped-invalid", st)
+	}
+	if got := a.ReadUint64(4); got != 0 {
+		t.Fatalf("storage disturbed by skipped fault: %#x", got)
+	}
+}
+
+func TestPermanentStuckAt1(t *testing.T) {
+	a := New("rf", 4, 64)
+	a.Arm(Fault{Kind: Permanent, Entry: 0, Bit: 3, StuckVal: 1, Start: 0})
+	a.Tick(0)
+	if got := a.ReadUint64(0); got != 1<<3 {
+		t.Fatalf("stuck-at-1 read = %#x, want %#x", got, uint64(1<<3))
+	}
+	// A write cannot clear the stuck cell.
+	a.WriteUint64(0, 0)
+	if got := a.ReadUint64(0); got != 1<<3 {
+		t.Fatalf("after write, stuck-at-1 read = %#x, want %#x", got, uint64(1<<3))
+	}
+	// Other bits written normally.
+	a.WriteUint64(0, 0xf0)
+	if got := a.ReadUint64(0); got != 0xf0|1<<3 {
+		t.Fatalf("read = %#x, want %#x", got, uint64(0xf0|1<<3))
+	}
+}
+
+func TestPermanentStuckAt0(t *testing.T) {
+	a := New("rf", 4, 64)
+	a.WriteUint64(1, ^uint64(0))
+	a.Arm(Fault{Kind: Permanent, Entry: 1, Bit: 60, StuckVal: 0, Start: 5})
+	a.Tick(5)
+	if got := a.ReadUint64(1); got != ^uint64(0)&^(1<<60) {
+		t.Fatalf("stuck-at-0 read = %#x", got)
+	}
+}
+
+func TestIntermittentWindow(t *testing.T) {
+	a := New("rf", 4, 64)
+	a.Arm(Fault{Kind: Intermittent, Entry: 0, Bit: 0, StuckVal: 1, Start: 10, Duration: 5})
+	a.Tick(9)
+	if got := a.ReadUint64(0); got != 0 {
+		t.Fatalf("before window read = %#x, want 0", got)
+	}
+	a.Tick(10)
+	if got := a.ReadUint64(0); got != 1 {
+		t.Fatalf("in window read = %#x, want 1", got)
+	}
+	a.WriteUint64(0, 0) // cell refuses the write during the window
+	if got := a.ReadUint64(0); got != 1 {
+		t.Fatalf("in window after write read = %#x, want 1", got)
+	}
+	a.Tick(15) // window over
+	a.WriteUint64(0, 0)
+	if got := a.ReadUint64(0); got != 0 {
+		t.Fatalf("after window read = %#x, want 0", got)
+	}
+}
+
+func TestIntermittentResidueAfterWindow(t *testing.T) {
+	// If nothing rewrites the cell after the window, the stuck value
+	// remains stored (the cell could not hold writes during the window).
+	a := New("rf", 4, 64)
+	a.WriteUint64(0, 0)
+	a.Arm(Fault{Kind: Intermittent, Entry: 0, Bit: 2, StuckVal: 1, Start: 0, Duration: 3})
+	a.Tick(0)
+	a.Tick(10)
+	if got := a.ReadUint64(0); got != 1<<2 {
+		t.Fatalf("residue read = %#x, want %#x", got, uint64(1<<2))
+	}
+}
+
+func TestByteRangeFaultObservation(t *testing.T) {
+	a := New("line", 2, 512)
+	// Fault at byte 20, bit 3 → bit position 163.
+	a.Arm(Fault{Kind: Transient, Entry: 1, Bit: 20*8 + 3, Start: 0})
+	a.Tick(0)
+	// A read of bytes [0,8) does not touch it.
+	buf := make([]byte, 8)
+	a.ReadBytes(1, 0, buf)
+	if a.FaultStatus() != StatusLive {
+		t.Fatalf("status after non-covering read = %v", a.FaultStatus())
+	}
+	// A write of bytes [16,24) covers it → overwritten.
+	a.WriteBytes(1, 16, make([]byte, 8))
+	if a.FaultStatus() != StatusOverwritten {
+		t.Fatalf("status after covering write = %v", a.FaultStatus())
+	}
+}
+
+func TestByteRangeConsume(t *testing.T) {
+	a := New("line", 2, 512)
+	a.WriteBytes(0, 0, make([]byte, 64))
+	a.Arm(Fault{Kind: Transient, Entry: 0, Bit: 9, Start: 0}) // byte 1, bit 1
+	a.Tick(0)
+	buf := make([]byte, 4)
+	a.ReadBytes(0, 0, buf)
+	if a.FaultStatus() != StatusConsumed {
+		t.Fatalf("status = %v, want consumed", a.FaultStatus())
+	}
+	if buf[1] != 1<<1 {
+		t.Fatalf("flipped byte = %#x, want %#x", buf[1], byte(1<<1))
+	}
+}
+
+func TestStuckAtByteRange(t *testing.T) {
+	a := New("line", 1, 512)
+	a.Arm(Fault{Kind: Permanent, Entry: 0, Bit: 8, StuckVal: 1, Start: 0})
+	a.Tick(0)
+	src := make([]byte, 64)
+	a.WriteBytes(0, 0, src)
+	if src[1] != 0 {
+		t.Fatal("observeWriteBytes modified caller's slice")
+	}
+	dst := make([]byte, 64)
+	a.ReadBytes(0, 0, dst)
+	if dst[1] != 1 {
+		t.Fatalf("stuck byte = %#x, want 1", dst[1])
+	}
+}
+
+func TestInvalidateObserve(t *testing.T) {
+	a := New("lsq", 8, 64)
+	a.Arm(Fault{Kind: Transient, Entry: 3, Bit: 0, Start: 0})
+	a.Tick(0)
+	a.InvalidateObserve(2)
+	if a.FaultStatus() != StatusLive {
+		t.Fatalf("status after unrelated invalidate = %v", a.FaultStatus())
+	}
+	a.InvalidateObserve(3)
+	if a.FaultStatus() != StatusOverwritten {
+		t.Fatalf("status after invalidate = %v, want overwritten", a.FaultStatus())
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	a := New("rf", 4, 64)
+	a.WriteUint64(0, 111)
+	a.WriteUint64(3, 333)
+	snap := a.Snapshot()
+	a.WriteUint64(0, 999)
+	a.RestoreSnapshot(snap)
+	if a.ReadUint64(0) != 111 || a.ReadUint64(3) != 333 {
+		t.Fatal("restore did not bring back snapshot state")
+	}
+}
+
+func TestArmPanicsOutOfRange(t *testing.T) {
+	a := New("rf", 4, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Arm out of range did not panic")
+		}
+	}()
+	a.Arm(Fault{Kind: Transient, Entry: 4, Bit: 0})
+}
+
+// Property: for any sequence of writes with no fault armed, reads return
+// exactly what was written (the array is plain storage).
+func TestPropPlainStorage(t *testing.T) {
+	f := func(vals []uint64) bool {
+		a := New("p", 16, 64)
+		want := make(map[int]uint64)
+		for i, v := range vals {
+			e := i % 16
+			a.WriteUint64(e, v)
+			want[e] = v
+		}
+		for e, v := range want {
+			if a.ReadUint64(e) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a transient fault flips exactly one bit — the armed one — and
+// every other entry and bit is untouched.
+func TestPropTransientFlipsExactlyOneBit(t *testing.T) {
+	f := func(seed int64, entry8, bit6 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := New("p", 8, 64)
+		orig := make([]uint64, 8)
+		for e := range orig {
+			orig[e] = rng.Uint64()
+			a.WriteUint64(e, orig[e])
+		}
+		entry := int(entry8 % 8)
+		bit := int(bit6 % 64)
+		a.Arm(Fault{Kind: Transient, Entry: entry, Bit: bit, Start: 0})
+		a.Tick(0)
+		for e := 0; e < 8; e++ {
+			want := orig[e]
+			if e == entry {
+				want ^= 1 << uint(bit)
+			}
+			if a.ReadUint64(e) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: overwrite-before-read always yields StatusOverwritten and
+// leaves the stored value equal to the written value, i.e. the fault is
+// provably masked.
+func TestPropOverwriteMasks(t *testing.T) {
+	f := func(v uint64, bit6 uint8) bool {
+		a := New("p", 1, 64)
+		bit := int(bit6 % 64)
+		a.Arm(Fault{Kind: Transient, Entry: 0, Bit: bit, Start: 0})
+		a.Tick(0)
+		a.WriteUint64(0, v)
+		return a.FaultStatus() == StatusOverwritten && a.ReadUint64(0) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under a permanent stuck-at fault, every read observes the
+// stuck value at the armed bit regardless of the write sequence.
+func TestPropPermanentAlwaysStuck(t *testing.T) {
+	f := func(writes []uint64, bit6, sv uint8) bool {
+		a := New("p", 1, 64)
+		bit := int(bit6 % 64)
+		stuck := sv & 1
+		a.Arm(Fault{Kind: Permanent, Entry: 0, Bit: bit, StuckVal: stuck, Start: 0})
+		a.Tick(0)
+		for _, w := range writes {
+			a.WriteUint64(0, w)
+			got := a.ReadUint64(0)
+			if uint8(got>>uint(bit))&1 != stuck {
+				return false
+			}
+			// All other bits must equal the written value.
+			mask := ^(uint64(1) << uint(bit))
+			if got&mask != w&mask {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkReadWord(b *testing.B) {
+	a := New("rf", 256, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.ReadWord(i&255, 0)
+	}
+}
+
+func BenchmarkReadWordWithFaultArmed(b *testing.B) {
+	a := New("rf", 256, 64)
+	a.Arm(Fault{Kind: Permanent, Entry: 7, Bit: 3, StuckVal: 1, Start: 0})
+	a.Tick(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = a.ReadWord(i&255, 0)
+	}
+}
+
+func TestMultipleArmedFaults(t *testing.T) {
+	// Two independent transient faults on one array — a multi-bit upset.
+	a := New("mbu", 8, 64)
+	a.Arm(Fault{Kind: Transient, Entry: 2, Bit: 0, Start: 0})
+	a.Arm(Fault{Kind: Transient, Entry: 2, Bit: 1, Start: 0})
+	if st := a.Tick(0); st != StatusLive {
+		t.Fatalf("aggregate after apply = %v", st)
+	}
+	if got := a.ReadUint64(2); got != 3 {
+		t.Fatalf("double flip read = %#x, want 3", got)
+	}
+	if a.FaultStatus() != StatusConsumed {
+		t.Fatalf("aggregate after read = %v", a.FaultStatus())
+	}
+
+	// One fault overwritten, the other still live: aggregate must stay
+	// live (no early stop while any fault can still propagate).
+	b := New("mbu2", 8, 64)
+	b.Arm(Fault{Kind: Transient, Entry: 1, Bit: 5, Start: 0})
+	b.Arm(Fault{Kind: Transient, Entry: 3, Bit: 9, Start: 0})
+	b.Tick(0)
+	b.WriteUint64(1, 0) // masks the first fault only
+	if st := b.FaultStatus(); st != StatusLive {
+		t.Fatalf("aggregate with one live fault = %v, want live", st)
+	}
+	b.WriteUint64(3, 0)
+	if st := b.FaultStatus(); st != StatusOverwritten {
+		t.Fatalf("aggregate with all masked = %v, want overwritten", st)
+	}
+}
+
+func TestDisarmClearsAll(t *testing.T) {
+	a := New("d", 4, 8)
+	a.Arm(Fault{Kind: Transient, Entry: 0, Bit: 0, Start: 0})
+	a.Arm(Fault{Kind: Transient, Entry: 1, Bit: 1, Start: 0})
+	a.Disarm()
+	if a.FaultStatus() != StatusNone {
+		t.Fatal("disarm left faults armed")
+	}
+}
+
+func TestStuckAtPairForcesBothBits(t *testing.T) {
+	a := New("p", 2, 64)
+	a.Arm(Fault{Kind: Permanent, Entry: 0, Bit: 0, StuckVal: 1, Start: 0})
+	a.Arm(Fault{Kind: Permanent, Entry: 0, Bit: 1, StuckVal: 1, Start: 0})
+	a.Tick(0)
+	a.WriteUint64(0, 0)
+	if got := a.ReadUint64(0); got != 3 {
+		t.Fatalf("double stuck read = %#x, want 3", got)
+	}
+}

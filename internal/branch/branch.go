@@ -1,0 +1,339 @@
+// Package branch models the front-end prediction structures of the two
+// simulators: tournament direction predictors in the two flavours the
+// paper contrasts (Remark 6), branch target buffers in the two
+// organizations of Table II, and the return address stack.
+//
+// The BTBs and the RAS hold their state in faultable arrays (they appear
+// in Table IV's structure inventory); the direction predictor counters
+// are plain state, matching the paper's focus on storage arrays that
+// carry program-visible values.
+package branch
+
+import (
+	"fmt"
+
+	"repro/internal/bitarray"
+)
+
+// TournamentConfig parameterizes a tournament predictor.
+type TournamentConfig struct {
+	// LocalEntries is the number of per-branch history registers and
+	// local counters (a power of two).
+	LocalEntries int
+	// LocalHistBits is the length of each local history register.
+	LocalHistBits int
+	// GlobalBits is the global history length; the global and choice
+	// tables have 2^GlobalBits counters.
+	GlobalBits int
+	// ChoiceByAddress selects the MARSS-flavoured meta-predictor that
+	// indexes the choice table by branch address; false selects the
+	// Gem5-flavoured one indexed by global history. This is the
+	// front-end difference the paper uses to explain diverging L1I
+	// behaviour between the tools.
+	ChoiceByAddress bool
+}
+
+// Prediction carries the per-branch state needed to train the predictor
+// when the branch resolves.
+type Prediction struct {
+	Taken       bool
+	localTaken  bool
+	globalTaken bool
+	usedGlobal  bool
+	ghrBefore   uint64
+	localIdx    int
+	globalIdx   int
+	choiceIdx   int
+}
+
+// Tournament is a local/global tournament predictor.
+type Tournament struct {
+	cfg       TournamentConfig
+	localHist []uint64
+	localCtr  []uint8
+	globalCtr []uint8
+	choiceCtr []uint8
+	ghr       uint64
+	commitGHR uint64
+
+	lookups    uint64
+	mispredict uint64
+}
+
+// NewTournament builds a predictor; it panics on bad geometry.
+func NewTournament(cfg TournamentConfig) *Tournament {
+	if cfg.LocalEntries <= 0 || cfg.LocalEntries&(cfg.LocalEntries-1) != 0 ||
+		cfg.GlobalBits <= 0 || cfg.GlobalBits > 24 || cfg.LocalHistBits <= 0 || cfg.LocalHistBits > 24 {
+		panic(fmt.Sprintf("branch: bad tournament config %+v", cfg))
+	}
+	n := 1 << cfg.GlobalBits
+	t := &Tournament{
+		cfg:       cfg,
+		localHist: make([]uint64, cfg.LocalEntries),
+		localCtr:  make([]uint8, 1<<cfg.LocalHistBits),
+		globalCtr: make([]uint8, n),
+		choiceCtr: make([]uint8, n),
+	}
+	// Counters start weakly taken; choice starts neutral-to-global.
+	for i := range t.localCtr {
+		t.localCtr[i] = 2
+	}
+	for i := range t.globalCtr {
+		t.globalCtr[i] = 2
+	}
+	for i := range t.choiceCtr {
+		t.choiceCtr[i] = 2
+	}
+	return t
+}
+
+// Lookups returns the number of direction predictions made.
+func (t *Tournament) Lookups() uint64 { return t.lookups }
+
+// Mispredicts returns the number of direction mispredictions recorded.
+func (t *Tournament) Mispredicts() uint64 { return t.mispredict }
+
+func taken2(c uint8) bool { return c >= 2 }
+
+func bump(c uint8, up bool) uint8 {
+	if up {
+		if c < 3 {
+			return c + 1
+		}
+		return c
+	}
+	if c > 0 {
+		return c - 1
+	}
+	return 0
+}
+
+// Predict returns the direction prediction for the conditional branch at
+// pc and speculatively shifts the global history by the prediction (the
+// mispredict path repairs it).
+func (t *Tournament) Predict(pc uint64) Prediction {
+	t.lookups++
+	gmask := uint64(1<<t.cfg.GlobalBits - 1)
+	li := int(pc>>2) & (t.cfg.LocalEntries - 1)
+	lh := t.localHist[li] & uint64(1<<t.cfg.LocalHistBits-1)
+	gi := int(t.ghr & gmask)
+	var ci int
+	if t.cfg.ChoiceByAddress {
+		// MARSS flavour: the final decision is bound to the branch
+		// address.
+		ci = int(pc>>2) & int(gmask)
+	} else {
+		// Gem5 flavour: the decision is bound to the global history;
+		// the branch address does not participate at all.
+		ci = gi
+	}
+	p := Prediction{
+		localTaken:  taken2(t.localCtr[lh]),
+		globalTaken: taken2(t.globalCtr[gi]),
+		usedGlobal:  taken2(t.choiceCtr[ci]),
+		ghrBefore:   t.ghr,
+		localIdx:    int(lh),
+		globalIdx:   gi,
+		choiceIdx:   ci,
+	}
+	if p.usedGlobal {
+		p.Taken = p.globalTaken
+	} else {
+		p.Taken = p.localTaken
+	}
+	// Speculative history update with the predicted outcome.
+	t.ghr = t.ghr << 1
+	if p.Taken {
+		t.ghr |= 1
+	}
+	return p
+}
+
+// Resolve trains the predictor with the actual outcome and repairs the
+// speculative global history on a misprediction. It returns whether the
+// direction was mispredicted.
+func (t *Tournament) Resolve(pc uint64, p Prediction, taken bool) bool {
+	// Train choice toward whichever component was right (only when
+	// they disagreed).
+	if p.localTaken != p.globalTaken {
+		t.choiceCtr[p.choiceIdx] = bump(t.choiceCtr[p.choiceIdx], p.globalTaken == taken)
+	}
+	t.localCtr[p.localIdx] = bump(t.localCtr[p.localIdx], taken)
+	t.globalCtr[p.globalIdx] = bump(t.globalCtr[p.globalIdx], taken)
+	li := int(pc>>2) & (t.cfg.LocalEntries - 1)
+	t.localHist[li] = t.localHist[li]<<1 | b2u(taken)
+	t.commitGHR = t.commitGHR<<1 | b2u(taken)
+	if p.Taken != taken {
+		t.mispredict++
+		t.ghr = p.ghrBefore<<1 | b2u(taken)
+		return true
+	}
+	return false
+}
+
+// OnFlush repairs the speculative global history after a pipeline flush:
+// predictions made by squashed wrong-path branches are discarded and the
+// history reverts to the committed outcomes.
+func (t *Tournament) OnFlush() { t.ghr = t.commitGHR }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- Branch target buffer ----------------------------------------------------
+
+// BTBConfig describes a branch target buffer.
+type BTBConfig struct {
+	// Name prefixes the array structure names.
+	Name string
+	// Entries is the total entry count.
+	Entries int
+	// Ways is the associativity; 1 means direct-mapped (the Gem5
+	// organization).
+	Ways int
+}
+
+// BTB is a branch target buffer with faultable valid/tag/target arrays.
+type BTB struct {
+	cfg     BTBConfig
+	sets    int
+	valid   *bitarray.Array
+	tags    *bitarray.Array
+	targets *bitarray.Array
+	lru     []uint64
+	clock   uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// NewBTB builds a BTB; it panics on bad geometry.
+func NewBTB(cfg BTBConfig) *BTB {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("branch: bad BTB config %+v", cfg))
+	}
+	sets := cfg.Entries / cfg.Ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("branch: BTB sets must be a power of two (%d)", sets))
+	}
+	b := &BTB{
+		cfg:     cfg,
+		sets:    sets,
+		valid:   bitarray.New(cfg.Name+".valid", cfg.Entries, 1),
+		tags:    bitarray.New(cfg.Name+".tag", cfg.Entries, 16),
+		targets: bitarray.New(cfg.Name+".target", cfg.Entries, 32),
+		lru:     make([]uint64, cfg.Entries),
+	}
+	b.tags.SetValidFunc(func(e int) bool { return b.valid.ReadBit(e, 0) != 0 })
+	b.targets.SetValidFunc(func(e int) bool { return b.valid.ReadBit(e, 0) != 0 })
+	return b
+}
+
+// Arrays returns the injectable arrays of the BTB.
+func (b *BTB) Arrays() []*bitarray.Array {
+	return []*bitarray.Array{b.valid, b.tags, b.targets}
+}
+
+// Hits returns the number of BTB hits.
+func (b *BTB) Hits() uint64 { return b.hits }
+
+// Misses returns the number of BTB misses.
+func (b *BTB) Misses() uint64 { return b.misses }
+
+func (b *BTB) index(pc uint64) (set int, tag uint64) {
+	return int(pc>>1) & (b.sets - 1), pc >> 1 / uint64(b.sets) & 0xffff
+}
+
+// Lookup returns the predicted target for the branch at pc.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	set, tag := b.index(pc)
+	base := set * b.cfg.Ways
+	for w := 0; w < b.cfg.Ways; w++ {
+		e := base + w
+		if b.valid.ReadBit(e, 0) != 0 && b.tags.ReadWord(e, 0)&0xffff == tag {
+			b.hits++
+			b.clock++
+			b.lru[e] = b.clock
+			return b.targets.ReadWord(e, 0) & 0xffffffff, true
+		}
+	}
+	b.misses++
+	return 0, false
+}
+
+// Update installs or refreshes the target of the branch at pc.
+func (b *BTB) Update(pc, target uint64) {
+	set, tag := b.index(pc)
+	base := set * b.cfg.Ways
+	victim := base
+	for w := 0; w < b.cfg.Ways; w++ {
+		e := base + w
+		if b.valid.ReadBit(e, 0) != 0 && b.tags.ReadWord(e, 0)&0xffff == tag {
+			victim = e
+			break
+		}
+		if b.valid.ReadBit(e, 0) == 0 {
+			victim = e
+			break
+		}
+		if b.lru[e] < b.lru[victim] {
+			victim = e
+		}
+	}
+	b.tags.WriteWord(victim, 0, tag)
+	b.targets.WriteWord(victim, 0, target&0xffffffff)
+	b.valid.WriteBit(victim, 0, 1)
+	b.clock++
+	b.lru[victim] = b.clock
+}
+
+// ---- Return address stack ----------------------------------------------------
+
+// RAS is a circular return address stack with a faultable target array.
+type RAS struct {
+	entries *bitarray.Array
+	size    int
+	top     int
+	depth   int
+}
+
+// NewRAS builds a return address stack of the given size.
+func NewRAS(name string, size int) *RAS {
+	if size <= 0 {
+		panic("branch: RAS size must be positive")
+	}
+	return &RAS{entries: bitarray.New(name, size, 32), size: size}
+}
+
+// Array returns the injectable storage of the RAS.
+func (r *RAS) Array() *bitarray.Array { return r.entries }
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.top = (r.top + 1) % r.size
+	r.entries.WriteWord(r.top, 0, addr&0xffffffff)
+	if r.depth < r.size {
+		r.depth++
+	}
+}
+
+// Pop predicts the target of a return. An empty stack predicts 0 with
+// ok=false.
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	if r.depth == 0 {
+		return 0, false
+	}
+	addr = r.entries.ReadWord(r.top, 0) & 0xffffffff
+	r.top = (r.top - 1 + r.size) % r.size
+	r.depth--
+	return addr, true
+}
+
+// Snapshot captures the stack position for misprediction recovery.
+func (r *RAS) Snapshot() (top, depth int) { return r.top, r.depth }
+
+// Restore rewinds the stack position to a snapshot.
+func (r *RAS) Restore(top, depth int) { r.top, r.depth = top, depth }

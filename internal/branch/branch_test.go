@@ -1,0 +1,263 @@
+package branch
+
+import (
+	"testing"
+
+	"repro/internal/bitarray"
+)
+
+func newT(byAddr bool) *Tournament {
+	return NewTournament(TournamentConfig{
+		LocalEntries: 1024, LocalHistBits: 10, GlobalBits: 12, ChoiceByAddress: byAddr,
+	})
+}
+
+func TestTournamentLearnsAlwaysTaken(t *testing.T) {
+	for _, byAddr := range []bool{true, false} {
+		p := newT(byAddr)
+		pc := uint64(0x1040)
+		miss := 0
+		for i := 0; i < 100; i++ {
+			pr := p.Predict(pc)
+			if p.Resolve(pc, pr, true) {
+				miss++
+			}
+		}
+		if miss > 4 {
+			t.Errorf("byAddr=%v: %d mispredicts on always-taken", byAddr, miss)
+		}
+		if p.Lookups() != 100 || p.Mispredicts() != uint64(miss) {
+			t.Errorf("byAddr=%v: counters %d/%d", byAddr, p.Lookups(), p.Mispredicts())
+		}
+	}
+}
+
+func TestTournamentLearnsAlternating(t *testing.T) {
+	// A strict alternating pattern is learnable by both the local
+	// history and the global history components.
+	for _, byAddr := range []bool{true, false} {
+		p := newT(byAddr)
+		pc := uint64(0x2000)
+		miss := 0
+		for i := 0; i < 400; i++ {
+			pr := p.Predict(pc)
+			taken := i%2 == 0
+			if p.Resolve(pc, pr, taken) {
+				miss++
+			}
+		}
+		// Allow warm-up noise only.
+		if miss > 40 {
+			t.Errorf("byAddr=%v: %d mispredicts on alternating", byAddr, miss)
+		}
+	}
+}
+
+func TestTournamentLearnsLoopPattern(t *testing.T) {
+	// taken,taken,taken,not — a classic loop-exit pattern.
+	for _, byAddr := range []bool{true, false} {
+		p := newT(byAddr)
+		pc := uint64(0x3000)
+		miss := 0
+		for i := 0; i < 800; i++ {
+			pr := p.Predict(pc)
+			taken := i%4 != 3
+			if p.Resolve(pc, pr, taken) {
+				miss++
+			}
+		}
+		if miss > 80 {
+			t.Errorf("byAddr=%v: %d mispredicts on loop pattern", byAddr, miss)
+		}
+	}
+}
+
+func TestTournamentGHRRepairOnMispredict(t *testing.T) {
+	p := newT(false)
+	pc := uint64(0x4000)
+	pr := p.Predict(pc)
+	actual := !pr.Taken // force a mispredict
+	p.Resolve(pc, pr, actual)
+	// After repair the GHR's LSB must reflect the actual outcome.
+	if p.ghr&1 != b2u(actual) {
+		t.Fatal("GHR not repaired with actual outcome")
+	}
+}
+
+func TestTournamentFlavoursDiverge(t *testing.T) {
+	// Two correlated branches: branch B's outcome equals branch A's
+	// previous outcome. Drive both flavours with the identical stream
+	// and require that their prediction sequences are not identical —
+	// the front-end difference the paper leans on must be observable.
+	pa := newT(true)
+	pg := newT(false)
+	seqA, seqG := "", ""
+	rngState := uint64(12345)
+	lastA := false
+	for i := 0; i < 2000; i++ {
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		outA := rngState>>62&1 == 1
+		for _, pcPair := range []struct {
+			p    *Tournament
+			seq  *string
+			isA  bool
+			pcs  [2]uint64
+			outB bool
+		}{
+			{pa, &seqA, true, [2]uint64{0x1000, 0x2000}, lastA},
+			{pg, &seqG, false, [2]uint64{0x1000, 0x2000}, lastA},
+		} {
+			prA := pcPair.p.Predict(pcPair.pcs[0])
+			pcPair.p.Resolve(pcPair.pcs[0], prA, outA)
+			prB := pcPair.p.Predict(pcPair.pcs[1])
+			pcPair.p.Resolve(pcPair.pcs[1], prB, pcPair.outB)
+			if prB.Taken {
+				*pcPair.seq += "T"
+			} else {
+				*pcPair.seq += "N"
+			}
+		}
+		lastA = outA
+	}
+	if seqA == seqG {
+		t.Error("address-indexed and history-indexed flavours produced identical prediction streams")
+	}
+}
+
+func TestBTBRoundTrip(t *testing.T) {
+	for _, cfg := range []BTBConfig{
+		{Name: "btb.dm", Entries: 2048, Ways: 1},  // Gem5 organization
+		{Name: "btb.dir", Entries: 1024, Ways: 4}, // MARSS direct
+		{Name: "btb.ind", Entries: 512, Ways: 4},  // MARSS indirect
+	} {
+		b := NewBTB(cfg)
+		if _, hit := b.Lookup(0x1234); hit {
+			t.Fatalf("%s: cold hit", cfg.Name)
+		}
+		b.Update(0x1234, 0x5678)
+		tgt, hit := b.Lookup(0x1234)
+		if !hit || tgt != 0x5678 {
+			t.Fatalf("%s: lookup = %#x, %v", cfg.Name, tgt, hit)
+		}
+		// Re-update with a new target replaces in place.
+		b.Update(0x1234, 0x9abc)
+		tgt, hit = b.Lookup(0x1234)
+		if !hit || tgt != 0x9abc {
+			t.Fatalf("%s: refresh = %#x, %v", cfg.Name, tgt, hit)
+		}
+		if b.Hits() != 2 || b.Misses() != 1 {
+			t.Fatalf("%s: counters %d/%d", cfg.Name, b.Hits(), b.Misses())
+		}
+	}
+}
+
+func TestBTBSetAssocReplacement(t *testing.T) {
+	b := NewBTB(BTBConfig{Name: "btb", Entries: 8, Ways: 4}) // 2 sets
+	// Fill one set's 4 ways with branches mapping to the same set.
+	// index uses pc>>1 & (sets-1); with 2 sets, pc increments of 4 keep
+	// alternating sets, so use stride 4 starting at 0x1000 (set fixed).
+	pcs := []uint64{0x1000, 0x1004, 0x1008, 0x100c, 0x1010}
+	for i, pc := range pcs[:4] {
+		b.Update(pc, uint64(0x100+i))
+	}
+	for i, pc := range pcs[:4] {
+		if tgt, hit := b.Lookup(pc); !hit || tgt != uint64(0x100+i) {
+			t.Fatalf("entry %d lost: %v", i, hit)
+		}
+	}
+	b.Update(pcs[4], 0x999) // evicts the LRU (pcs[0], the oldest lookup)
+	if _, hit := b.Lookup(pcs[0]); hit {
+		t.Fatal("LRU entry survived")
+	}
+	if tgt, hit := b.Lookup(pcs[4]); !hit || tgt != 0x999 {
+		t.Fatal("new entry missing")
+	}
+}
+
+func TestBTBTargetFaultRedirects(t *testing.T) {
+	b := NewBTB(BTBConfig{Name: "btb", Entries: 64, Ways: 1})
+	b.Update(0x2000, 0x3000)
+	// Find the valid entry.
+	arrs := b.Arrays()
+	valid, targets := arrs[0], arrs[2]
+	entry := -1
+	for e := 0; e < 64; e++ {
+		if valid.ReadBit(e, 0) != 0 {
+			entry = e
+			break
+		}
+	}
+	targets.Arm(bitarray.Fault{Kind: bitarray.Transient, Entry: entry, Bit: 4, Start: 0})
+	targets.Tick(0)
+	tgt, hit := b.Lookup(0x2000)
+	if !hit || tgt != 0x3000^0x10 {
+		t.Fatalf("faulty target = %#x, want %#x", tgt, uint64(0x3000^0x10))
+	}
+}
+
+func TestRASLIFO(t *testing.T) {
+	r := NewRAS("ras", 16)
+	for i := uint64(1); i <= 5; i++ {
+		r.Push(0x1000 * i)
+	}
+	for i := uint64(5); i >= 1; i-- {
+		a, ok := r.Pop()
+		if !ok || a != 0x1000*i {
+			t.Fatalf("pop %d = %#x, %v", i, a, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("empty pop succeeded")
+	}
+}
+
+func TestRASOverflowWraps(t *testing.T) {
+	r := NewRAS("ras", 4)
+	for i := uint64(1); i <= 6; i++ {
+		r.Push(i)
+	}
+	// Only the newest 4 survive: 6,5,4,3.
+	for _, want := range []uint64{6, 5, 4, 3} {
+		a, ok := r.Pop()
+		if !ok || a != want {
+			t.Fatalf("pop = %d, want %d", a, want)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("overwrapped pop succeeded")
+	}
+}
+
+func TestRASSnapshotRestore(t *testing.T) {
+	r := NewRAS("ras", 8)
+	r.Push(1)
+	r.Push(2)
+	top, depth := r.Snapshot()
+	r.Push(3)
+	r.Pop()
+	r.Pop()
+	r.Restore(top, depth)
+	a, ok := r.Pop()
+	if !ok || a != 2 {
+		t.Fatalf("after restore pop = %d, %v", a, ok)
+	}
+}
+
+func TestConfigPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewTournament(TournamentConfig{LocalEntries: 3, LocalHistBits: 4, GlobalBits: 4}) },
+		func() { NewTournament(TournamentConfig{LocalEntries: 4, LocalHistBits: 0, GlobalBits: 4}) },
+		func() { NewBTB(BTBConfig{Entries: 0, Ways: 1}) },
+		func() { NewBTB(BTBConfig{Entries: 24, Ways: 4}) },
+		func() { NewRAS("r", 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad config accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

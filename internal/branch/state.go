@@ -1,0 +1,99 @@
+package branch
+
+// TournamentState is a deep copy of a tournament predictor, used by the
+// simulators' checkpointing support.
+type TournamentState struct {
+	LocalHist  []uint64
+	LocalCtr   []uint8
+	GlobalCtr  []uint8
+	ChoiceCtr  []uint8
+	GHR        uint64
+	CommitGHR  uint64
+	Lookups    uint64
+	Mispredict uint64
+}
+
+// State captures the predictor.
+func (t *Tournament) State() *TournamentState {
+	s := &TournamentState{
+		LocalHist:  make([]uint64, len(t.localHist)),
+		LocalCtr:   make([]uint8, len(t.localCtr)),
+		GlobalCtr:  make([]uint8, len(t.globalCtr)),
+		ChoiceCtr:  make([]uint8, len(t.choiceCtr)),
+		GHR:        t.ghr,
+		CommitGHR:  t.commitGHR,
+		Lookups:    t.lookups,
+		Mispredict: t.mispredict,
+	}
+	copy(s.LocalHist, t.localHist)
+	copy(s.LocalCtr, t.localCtr)
+	copy(s.GlobalCtr, t.globalCtr)
+	copy(s.ChoiceCtr, t.choiceCtr)
+	return s
+}
+
+// SetState restores a previously captured state (copied, so one state
+// may seed many predictors).
+func (t *Tournament) SetState(s *TournamentState) {
+	copy(t.localHist, s.LocalHist)
+	copy(t.localCtr, s.LocalCtr)
+	copy(t.globalCtr, s.GlobalCtr)
+	copy(t.choiceCtr, s.ChoiceCtr)
+	t.ghr = s.GHR
+	t.commitGHR = s.CommitGHR
+	t.lookups = s.Lookups
+	t.mispredict = s.Mispredict
+}
+
+// BTBState is a deep copy of a branch target buffer.
+type BTBState struct {
+	Valid, Tags, Targets []uint64
+	LRU                  []uint64
+	Clock                uint64
+	Hits, Misses         uint64
+}
+
+// State captures the BTB.
+func (b *BTB) State() *BTBState {
+	s := &BTBState{
+		Valid:   b.valid.Snapshot(),
+		Tags:    b.tags.Snapshot(),
+		Targets: b.targets.Snapshot(),
+		LRU:     make([]uint64, len(b.lru)),
+		Clock:   b.clock,
+		Hits:    b.hits,
+		Misses:  b.misses,
+	}
+	copy(s.LRU, b.lru)
+	return s
+}
+
+// SetState restores a previously captured state.
+func (b *BTB) SetState(s *BTBState) {
+	b.valid.RestoreSnapshot(s.Valid)
+	b.tags.RestoreSnapshot(s.Tags)
+	b.targets.RestoreSnapshot(s.Targets)
+	copy(b.lru, s.LRU)
+	b.clock = s.Clock
+	b.hits = s.Hits
+	b.misses = s.Misses
+}
+
+// RASState is a deep copy of the return address stack.
+type RASState struct {
+	Entries []uint64
+	Top     int
+	Depth   int
+}
+
+// State captures the RAS.
+func (r *RAS) State() *RASState {
+	return &RASState{Entries: r.entries.Snapshot(), Top: r.top, Depth: r.depth}
+}
+
+// SetState restores a previously captured state.
+func (r *RAS) SetState(s *RASState) {
+	r.entries.RestoreSnapshot(s.Entries)
+	r.top = s.Top
+	r.depth = s.Depth
+}

@@ -1,0 +1,372 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitarray"
+	"repro/internal/mem"
+)
+
+func newHierarchy(dual bool) (*Cache, *Cache, *mem.Memory) {
+	m := mem.New()
+	l2 := New(Config{Name: "l2", Size: 1 << 20, LineSize: 64, Ways: 16, Latency: 12, DualCopy: dual}, MemLevel{M: m, Lat: 100})
+	l1 := New(Config{Name: "l1d", Size: 32 << 10, LineSize: 64, Ways: 4, Latency: 2, DualCopy: dual}, l2)
+	return l1, l2, m
+}
+
+func TestGeometryChecks(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "x", Size: 0, LineSize: 64, Ways: 4},
+		{Name: "x", Size: 1000, LineSize: 64, Ways: 4},
+		{Name: "x", Size: 48 << 10, LineSize: 64, Ways: 4}, // 192 sets, not pow2
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg, MemLevel{M: mem.New(), Lat: 1})
+		}()
+	}
+	c := New(Config{Name: "l1", Size: 32 << 10, LineSize: 64, Ways: 4, Latency: 2}, MemLevel{M: mem.New(), Lat: 1})
+	if c.sets != 128 {
+		t.Fatalf("sets = %d, want 128 (the paper's L1 geometry)", c.sets)
+	}
+}
+
+func TestReadThroughAndHit(t *testing.T) {
+	l1, l2, m := newHierarchy(false)
+	m.RawWrite(0x2000, []byte{0xaa, 0xbb, 0xcc, 0xdd})
+	buf := make([]byte, 4)
+	lat, hit := l1.Read(0x2000, buf)
+	if hit {
+		t.Fatal("cold read hit")
+	}
+	if buf[0] != 0xaa || buf[3] != 0xdd {
+		t.Fatalf("data %x", buf)
+	}
+	if lat < 2+12+100 {
+		t.Fatalf("miss latency %d too small", lat)
+	}
+	lat, hit = l1.Read(0x2002, buf[:2])
+	if !hit || lat != 2 {
+		t.Fatalf("warm read: hit=%v lat=%d", hit, lat)
+	}
+	if l1.Stats().ReadHits != 1 || l1.Stats().ReadMisses != 1 {
+		t.Fatalf("stats %+v", l1.Stats())
+	}
+	if l2.Stats().ReadMisses != 1 {
+		t.Fatalf("l2 stats %+v", l2.Stats())
+	}
+}
+
+func TestWriteAllocateAndWriteBack(t *testing.T) {
+	l1, _, m := newHierarchy(false)
+	l1.Write(0x3000, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	// Write-back: memory must still be stale.
+	buf := make([]byte, 8)
+	m.RawRead(0x3000, buf)
+	if buf[0] != 0 {
+		t.Fatal("write-back cache wrote memory on store")
+	}
+	// Read through the cache sees the new data.
+	l1.Read(0x3000, buf)
+	if buf[0] != 1 || buf[7] != 8 {
+		t.Fatalf("cached data %x", buf)
+	}
+	// Evict the set: lines mapping to the same set are 32KB/4ways = 8KB apart.
+	for i := uint64(1); i <= 4; i++ {
+		l1.Read(0x3000+i*8192, buf)
+	}
+	// Dirty line must have been written back through L2; pull it from L2.
+	got := make([]byte, 8)
+	l1.Read(0x3000, got)
+	if got[0] != 1 || got[7] != 8 {
+		t.Fatalf("after eviction: %x", got)
+	}
+	if l1.Stats().Writebacks == 0 {
+		t.Fatal("no writebacks recorded")
+	}
+}
+
+func TestDualCopyWritesMemoryImmediately(t *testing.T) {
+	l1, l2, m := newHierarchy(true)
+	l1.Write(0x4000, []byte{9, 8, 7, 6})
+	buf := make([]byte, 4)
+	m.RawRead(0x4000, buf)
+	if buf[0] != 9 || buf[3] != 6 {
+		t.Fatalf("dual-copy store did not reach memory: %x", buf)
+	}
+	// L2 allocated the line on the L1 refill; its array copy must also
+	// be current.
+	if !l2.Present(0x4000) {
+		t.Fatal("line not in L2")
+	}
+	l2buf := make([]byte, 4)
+	l2.Read(0x4000, l2buf)
+	if l2buf[0] != 9 {
+		t.Fatalf("l2 shadow copy stale: %x", l2buf)
+	}
+	if l1.Stats().Writebacks != 0 {
+		t.Fatal("dual-copy cache performed a writeback")
+	}
+}
+
+func TestDualCopyEvictionDiscardsCorruption(t *testing.T) {
+	// In dual-copy mode a fault in a dirty line dies at eviction:
+	// memory holds the clean copy.
+	l1, _, m := newHierarchy(true)
+	l1.Write(0x5000, []byte{0x11, 0x22})
+	// Corrupt the cached copy directly (as an injected fault would).
+	l1.DataArray().Arm(bitarray.Fault{Kind: bitarray.Transient, Entry: lineIndexOf(l1, 0x5000), Bit: 0, Start: 0})
+	l1.DataArray().Tick(0)
+	// Evict without reading.
+	buf := make([]byte, 2)
+	for i := uint64(1); i <= 4; i++ {
+		l1.Read(0x5000+i*8192, buf)
+	}
+	if l1.DataArray().FaultStatus() != bitarray.StatusOverwritten {
+		t.Fatalf("fault status %v, want overwritten (provably masked)", l1.DataArray().FaultStatus())
+	}
+	m.RawRead(0x5000, buf)
+	if buf[0] != 0x11 {
+		t.Fatalf("memory corrupted: %x", buf)
+	}
+	// Re-reading through the cache sees clean data again.
+	l1.Read(0x5000, buf)
+	if buf[0] != 0x11 || buf[1] != 0x22 {
+		t.Fatalf("reload got %x", buf)
+	}
+}
+
+func TestWriteBackEvictionPropagatesCorruption(t *testing.T) {
+	// In write-back mode the same scenario propagates the corruption.
+	l1, _, m := newHierarchy(false)
+	l1.Write(0x5000, []byte{0x11, 0x22})
+	l1.DataArray().Arm(bitarray.Fault{Kind: bitarray.Transient, Entry: lineIndexOf(l1, 0x5000), Bit: 0, Start: 0})
+	l1.DataArray().Tick(0)
+	buf := make([]byte, 2)
+	for i := uint64(1); i <= 4; i++ {
+		l1.Read(0x5000+i*8192, buf)
+	}
+	if l1.DataArray().FaultStatus() != bitarray.StatusConsumed {
+		t.Fatalf("fault status %v, want consumed (writeback read the line)", l1.DataArray().FaultStatus())
+	}
+	// The flipped bit 0 of the line turned 0x11 into 0x10.
+	l1.Read(0x5000, buf)
+	if buf[0] != 0x10 {
+		t.Fatalf("corruption lost: %x", buf)
+	}
+	_ = m
+}
+
+// lineIndexOf finds the line index currently holding addr.
+func lineIndexOf(c *Cache, addr uint64) int {
+	line, ok := c.lookup(addr)
+	if !ok {
+		panic("line not present")
+	}
+	return line
+}
+
+func TestTagFaultLosesLine(t *testing.T) {
+	l1, _, m := newHierarchy(false)
+	m.RawWrite(0x6000, []byte{0x42})
+	buf := make([]byte, 1)
+	l1.Read(0x6000, buf)
+	line := lineIndexOf(l1, 0x6000)
+	// Flip a tag bit: the line becomes unreachable, next read misses.
+	l1.tags.Arm(bitarray.Fault{Kind: bitarray.Transient, Entry: line, Bit: 3, Start: 0})
+	l1.tags.Tick(0)
+	before := l1.Stats().ReadMisses
+	l1.Read(0x6000, buf)
+	if l1.Stats().ReadMisses != before+1 {
+		t.Fatal("tag fault did not cause a miss")
+	}
+	if buf[0] != 0x42 {
+		t.Fatalf("refetched data wrong: %x", buf)
+	}
+}
+
+func TestValidBitFaultDropsLine(t *testing.T) {
+	l1, _, m := newHierarchy(false)
+	m.RawWrite(0x7000, []byte{0x55})
+	buf := make([]byte, 1)
+	l1.Read(0x7000, buf)
+	line := lineIndexOf(l1, 0x7000)
+	l1.valid.Arm(bitarray.Fault{Kind: bitarray.Permanent, Entry: line, Bit: 0, StuckVal: 0, Start: 0})
+	l1.valid.Tick(0)
+	before := l1.Stats().ReadMisses
+	l1.Read(0x7000, buf)
+	if l1.Stats().ReadMisses != before+1 {
+		t.Fatal("cleared valid bit did not cause a miss")
+	}
+}
+
+func TestLineCrossingAccess(t *testing.T) {
+	l1, _, m := newHierarchy(false)
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	m.RawWrite(0x203c, want) // crosses the 0x2040 line boundary
+	buf := make([]byte, 8)
+	l1.Read(0x203c, buf)
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("crossing read byte %d = %d", i, buf[i])
+		}
+	}
+	l1.Write(0x30fc, want)
+	l1.Read(0x30fc, buf)
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Fatalf("crossing write byte %d = %d", i, buf[i])
+		}
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	l1, _, _ := newHierarchy(false)
+	buf := make([]byte, 1)
+	// Fill the 4 ways of set 0 (8KB stride), touching A last.
+	addrs := []uint64{0x2000, 0x4000, 0x6000, 0x8000}
+	for _, a := range addrs {
+		l1.Read(a, buf)
+	}
+	l1.Read(addrs[0], buf) // A now MRU
+	// A 5th line evicts the LRU — which is addrs[1], not addrs[0].
+	l1.Read(0xA000, buf)
+	if !l1.Present(addrs[0]) {
+		t.Fatal("MRU line evicted")
+	}
+	if l1.Present(addrs[1]) {
+		t.Fatal("LRU line survived")
+	}
+}
+
+func TestPrefetch(t *testing.T) {
+	l1, _, _ := newHierarchy(false)
+	if l1.Present(0x9000) {
+		t.Fatal("unexpected line")
+	}
+	l1.Prefetch(0x9000)
+	if !l1.Present(0x9000) {
+		t.Fatal("prefetch did not install line")
+	}
+	if l1.Stats().Prefetches != 1 {
+		t.Fatal("prefetch not counted")
+	}
+	l1.Prefetch(0x9000) // present: no-op
+	if l1.Stats().Prefetches != 1 {
+		t.Fatal("duplicate prefetch counted")
+	}
+	buf := make([]byte, 1)
+	before := l1.Stats().ReadHits
+	l1.Read(0x9000, buf)
+	if l1.Stats().ReadHits != before+1 {
+		t.Fatal("prefetched line missed")
+	}
+}
+
+// Property: for any sequence of writes followed by reads through a
+// write-back hierarchy, reads return exactly what was last written
+// (functional transparency of the cache model, fault-free).
+func TestPropCacheTransparency(t *testing.T) {
+	type op struct {
+		Addr uint16
+		Val  byte
+	}
+	f := func(ops []op, dual bool) bool {
+		l1, _, _ := newHierarchy(dual)
+		want := make(map[uint64]byte)
+		base := uint64(0x100000)
+		for _, o := range ops {
+			a := base + uint64(o.Addr)
+			l1.Write(a, []byte{o.Val})
+			want[a] = o.Val
+		}
+		buf := make([]byte, 1)
+		for a, v := range want {
+			l1.Read(a, buf)
+			if buf[0] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTLBIdentityAndStats(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "dtlb", Entries: 64, Ways: 4, MissLatency: 30})
+	pa, lat := tlb.Translate(0x123456)
+	if pa != 0x123456 {
+		t.Fatalf("translate = %#x", pa)
+	}
+	if lat != 30 {
+		t.Fatalf("cold translate latency %d", lat)
+	}
+	pa, lat = tlb.Translate(0x123999) // same page
+	if pa != 0x123999 || lat != 0 {
+		t.Fatalf("warm translate = %#x lat %d", pa, lat)
+	}
+	s := tlb.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestTLBPPNFaultRedirects(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "dtlb", Entries: 64, Ways: 4, MissLatency: 30})
+	tlb.Translate(0x5000) // fill vpn 5
+	// Find the entry and flip PPN bit 1: page 5 → page 7.
+	var entry = -1
+	for e := 0; e < 64; e++ {
+		if tlb.valid.ReadBit(e, 0) != 0 {
+			entry = e
+			break
+		}
+	}
+	if entry < 0 {
+		t.Fatal("no valid entry")
+	}
+	tlb.ppns.Arm(bitarray.Fault{Kind: bitarray.Transient, Entry: entry, Bit: 1, Start: 0})
+	tlb.ppns.Tick(0)
+	pa, _ := tlb.Translate(0x5123)
+	if pa != 0x7123 {
+		t.Fatalf("faulty translate = %#x, want 0x7123", pa)
+	}
+}
+
+func TestTLBArraysExposed(t *testing.T) {
+	tlb := NewTLB(TLBConfig{Name: "itlb", Entries: 32, Ways: 4, MissLatency: 20})
+	arrs := tlb.Arrays()
+	if len(arrs) != 3 {
+		t.Fatalf("arrays %d", len(arrs))
+	}
+	names := map[string]bool{}
+	for _, a := range arrs {
+		names[a.Name()] = true
+	}
+	for _, n := range []string{"itlb.valid", "itlb.tag", "itlb.ppn"} {
+		if !names[n] {
+			t.Errorf("missing array %s", n)
+		}
+	}
+}
+
+func TestCacheArraysExposed(t *testing.T) {
+	l1, _, _ := newHierarchy(false)
+	arrs := l1.Arrays()
+	if len(arrs) != 3 {
+		t.Fatalf("arrays %d", len(arrs))
+	}
+	if l1.DataArray().Name() != "l1d.data" {
+		t.Fatalf("data array name %q", l1.DataArray().Name())
+	}
+	if l1.DataArray().TotalBits() != 32<<10<<3 {
+		t.Fatalf("l1d data bits = %d", l1.DataArray().TotalBits())
+	}
+}

@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// TestTimingModeMatchesDataModeBehaviour drives the same access pattern
+// through a data-moving hierarchy and a tags-only one: hit/miss
+// accounting and latency must match exactly (the §III.C ablation keeps
+// the timing model of the original MARSS).
+func TestTimingModeMatchesDataModeBehaviour(t *testing.T) {
+	mkPattern := func() []struct {
+		addr  uint64
+		n     int
+		write bool
+	} {
+		var ops []struct {
+			addr  uint64
+			n     int
+			write bool
+		}
+		state := uint64(99)
+		for i := 0; i < 3000; i++ {
+			state = state*6364136223846793005 + 1442695040888963407
+			addr := 0x100000 + state%(40<<10)
+			n := int(state>>40%8) + 1
+			ops = append(ops, struct {
+				addr  uint64
+				n     int
+				write bool
+			}{addr, n, state>>60%3 == 0})
+		}
+		return ops
+	}
+
+	dataL1, _, _ := newHierarchy(false)
+	timingL1, _, _ := newHierarchy(false)
+	buf := make([]byte, 8)
+	for _, op := range mkPattern() {
+		var latA, latB int
+		if op.write {
+			latA, _ = dataL1.Write(op.addr, buf[:op.n])
+			latB = timingL1.Timing(op.addr, op.n, true)
+		} else {
+			latA, _ = dataL1.Read(op.addr, buf[:op.n])
+			latB = timingL1.Timing(op.addr, op.n, false)
+		}
+		if latA != latB {
+			t.Fatalf("latency diverged at %#x n=%d write=%v: %d vs %d",
+				op.addr, op.n, op.write, latA, latB)
+		}
+	}
+	a, b := dataL1.Stats(), timingL1.Stats()
+	if a.ReadHits != b.ReadHits || a.ReadMisses != b.ReadMisses ||
+		a.WriteHits != b.WriteHits || a.WriteMisses != b.WriteMisses ||
+		a.Replacements != b.Replacements || a.Writebacks != b.Writebacks {
+		t.Fatalf("stats diverged:\n data:   %+v\n timing: %+v", a, b)
+	}
+}
+
+func TestTimingModeMovesNoData(t *testing.T) {
+	m := mem.New()
+	m.RawWrite(0x2000, []byte{0xAB})
+	c := New(Config{Name: "c", Size: 4 << 10, LineSize: 64, Ways: 2, Latency: 1},
+		MemLevel{M: m, Lat: 10})
+	c.Timing(0x2000, 1, false)
+	// The line is now resident for timing purposes…
+	if lat := c.Timing(0x2000, 1, false); lat != 1 {
+		t.Fatalf("warm timing lat %d", lat)
+	}
+	// …but its data array was never filled.
+	buf := make([]byte, 1)
+	c.DataArray().ReadBytes(lineIndexOf(c, 0x2000), 0, buf)
+	if buf[0] != 0 {
+		t.Fatal("timing mode moved data into the array")
+	}
+}

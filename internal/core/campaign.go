@@ -1,0 +1,261 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/bitarray"
+	"repro/internal/fault"
+)
+
+// GoldenInfo is the fault-free reference run of a campaign.
+type GoldenInfo struct {
+	Tool       string            `json:"tool"`
+	Benchmark  string            `json:"benchmark"`
+	Structure  string            `json:"structure"`
+	Cycles     uint64            `json:"cycles"`
+	Committed  uint64            `json:"committed"`
+	OutputHash string            `json:"output_hash"`
+	OutputLen  int               `json:"output_len"`
+	Stats      map[string]uint64 `json:"stats"`
+}
+
+// LogRecord is the per-injection-run line of the logs repository — the
+// raw material the Parser classifies. Keeping raw outcomes (rather than
+// classes) in the logs is what lets the classification be reconfigured
+// without re-running the campaign (§III.B of the paper).
+type LogRecord struct {
+	MaskID        int          `json:"mask_id"`
+	Sites         []fault.Site `json:"sites"`
+	Status        string       `json:"status"`
+	ExitCode      uint64       `json:"exit_code"`
+	OutputHash    string       `json:"output_hash"`
+	OutputMatch   bool         `json:"output_match"`
+	Cycles        uint64       `json:"cycles"`
+	Committed     uint64       `json:"committed"`
+	EventKinds    []string     `json:"event_kinds,omitempty"`
+	FatalExc      string       `json:"fatal_exc,omitempty"`
+	AssertMsg     string       `json:"assert_msg,omitempty"`
+	CommitStalled bool         `json:"commit_stalled,omitempty"`
+}
+
+// CampaignSpec describes one injection campaign: one tool, one benchmark,
+// one structure, a set of fault masks, and the factory that boots a fresh
+// simulator instance per run.
+type CampaignSpec struct {
+	Tool      string
+	Benchmark string
+	Structure string
+	Masks     []fault.Mask
+	Factory   Factory
+	// TimeoutFactor multiplies the fault-free cycle count to form the
+	// per-run cycle limit; the paper uses 3.
+	TimeoutFactor uint64
+	// Workers sets the worker pool size; 0 means GOMAXPROCS.
+	Workers int
+	// DisableEarlyStop turns off the §III.B optimizations (ablation).
+	DisableEarlyStop bool
+	// UseCheckpoint enables checkpoint-based prefix sharing: the
+	// controller checkpoints the fault-free machine at one fifth of the
+	// golden run and restores it into every injection run whose faults
+	// all start beyond that point. Opt-in because restored runs see a
+	// drained pipeline at the checkpoint, which can shift borderline
+	// outcomes relative to boot-runs of the same masks.
+	UseCheckpoint bool
+}
+
+// CampaignResult is the outcome of a whole campaign.
+type CampaignResult struct {
+	Golden  GoldenInfo
+	Records []LogRecord
+}
+
+func hashOutput(out []byte) string {
+	h := sha256.Sum256(out)
+	return hex.EncodeToString(h[:8])
+}
+
+// Golden performs the fault-free reference run of a factory's simulator.
+func Golden(f Factory) (GoldenInfo, error) {
+	sim := f()
+	res := sim.Run(1 << 62)
+	if res.Status != RunCompleted {
+		return GoldenInfo{}, fmt.Errorf("core: golden run did not complete: %v (%s)", res.Status, res.AssertMsg)
+	}
+	if len(res.Events) != 0 {
+		return GoldenInfo{}, fmt.Errorf("core: golden run recorded %d kernel events", len(res.Events))
+	}
+	return GoldenInfo{
+		Tool:       sim.Name(),
+		Cycles:     res.Cycles,
+		Committed:  res.Committed,
+		OutputHash: hashOutput(res.Output),
+		OutputLen:  len(res.Output),
+		Stats:      sim.Stats(),
+	}, nil
+}
+
+// RunOne executes a single injection run against a fresh simulator.
+func RunOne(f Factory, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool) (LogRecord, error) {
+	return RunOneFrom(f, nil, 0, m, golden, timeoutFactor, earlyStop)
+}
+
+// minSiteCycle returns the earliest fault activation of the mask.
+func minSiteCycle(m fault.Mask) uint64 {
+	min := ^uint64(0)
+	for _, s := range m.Sites {
+		if s.Cycle < min {
+			min = s.Cycle
+		}
+	}
+	return min
+}
+
+// RunOneFrom executes a single injection run, seeding the machine from
+// checkpoint cp (taken at cpCycle) when every fault of the mask starts
+// beyond it.
+func RunOneFrom(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool) (LogRecord, error) {
+	sim := f()
+	if cp != nil && minSiteCycle(m) > cpCycle {
+		if ck, ok := sim.(Checkpointer); ok {
+			if err := ck.Restore(cp); err != nil {
+				return LogRecord{}, fmt.Errorf("core: restoring checkpoint: %w", err)
+			}
+		}
+	}
+	structures := sim.Structures()
+	var watch []*bitarray.Array
+	for _, s := range m.Sites {
+		arr, ok := structures[s.Structure]
+		if !ok {
+			return LogRecord{}, fmt.Errorf("core: mask %d targets unknown structure %q on %s", m.ID, s.Structure, sim.Name())
+		}
+		bf, err := s.Fault()
+		if err != nil {
+			return LogRecord{}, fmt.Errorf("core: mask %d: %v", m.ID, err)
+		}
+		arr.Arm(bf)
+		watch = append(watch, arr)
+	}
+	sim.WatchArrays(watch)
+	sim.SetEarlyStop(earlyStop)
+	if timeoutFactor == 0 {
+		timeoutFactor = 3
+	}
+	res := sim.Run(golden.Cycles * timeoutFactor)
+
+	rec := LogRecord{
+		MaskID:        m.ID,
+		Sites:         m.Sites,
+		Status:        res.Status.String(),
+		ExitCode:      res.ExitCode,
+		OutputHash:    hashOutput(res.Output),
+		Cycles:        res.Cycles,
+		Committed:     res.Committed,
+		FatalExc:      "",
+		AssertMsg:     res.AssertMsg,
+		CommitStalled: res.CommitStalled,
+	}
+	if res.Status == RunProcessCrash || res.Status == RunSystemCrash {
+		rec.FatalExc = res.FatalExc.String()
+	}
+	rec.OutputMatch = rec.OutputHash == golden.OutputHash && res.ExitCode == 0
+	for _, ev := range res.Events {
+		rec.EventKinds = append(rec.EventKinds, ev.Exc.String())
+	}
+	return rec, nil
+}
+
+// RunCampaign is the injection campaign controller: it performs the
+// golden run, then dispatches every mask to a worker pool of simulator
+// instances and collects the logs in mask order.
+func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
+	golden, err := Golden(spec.Factory)
+	if err != nil {
+		return nil, err
+	}
+	golden.Benchmark = spec.Benchmark
+	golden.Structure = spec.Structure
+	if spec.Tool != "" {
+		golden.Tool = spec.Tool
+	}
+
+	// Checkpoint the fault-free prefix once; late-fault runs restore it
+	// instead of re-simulating from boot (the paper's checkpoint use).
+	// The checkpoint is placed just before the earliest fault of the
+	// campaign, so every run shares the longest possible prefix.
+	var cp any
+	var cpCycle uint64
+	if spec.UseCheckpoint {
+		earliest := ^uint64(0)
+		for _, m := range spec.Masks {
+			if c := minSiteCycle(m); c < earliest {
+				earliest = c
+			}
+		}
+		// Leave room for the drain overshoot: the machine settles some
+		// cycles past the target, and the checkpoint must still precede
+		// the earliest fault.
+		const drainMargin = 2000
+		target := golden.Cycles / 5
+		if earliest != ^uint64(0) && earliest > drainMargin && earliest-drainMargin > target {
+			target = earliest - drainMargin
+		}
+		if cap := golden.Cycles * 4 / 5; target > cap {
+			target = cap
+		}
+		if base, ok := spec.Factory().(Checkpointer); ok && target > 0 {
+			reached, finished, err := base.RunTo(target)
+			if err == nil && !finished && reached < earliest {
+				if st, cerr := base.Checkpoint(); cerr == nil {
+					cp, cpCycle = st, reached
+				}
+			}
+		}
+	}
+
+	workers := spec.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(spec.Masks) {
+		workers = len(spec.Masks)
+	}
+	records := make([]LogRecord, len(spec.Masks))
+	errs := make([]error, workers)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= len(spec.Masks) {
+					return
+				}
+				rec, err := RunOneFrom(spec.Factory, cp, cpCycle, spec.Masks[i], golden,
+					spec.TimeoutFactor, !spec.DisableEarlyStop)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				records[i] = rec
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &CampaignResult{Golden: golden, Records: records}, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// LogsRepo is the on-disk "logs repository" of Fig. 1: one JSON-lines
+// file per campaign, a golden-run header followed by one record per
+// injection. The Parser (and the classify command) consume it offline.
+type LogsRepo struct {
+	dir string
+}
+
+// NewLogsRepo opens (creating if needed) a logs repository rooted at dir.
+func NewLogsRepo(dir string) (*LogsRepo, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: creating logs repository: %w", err)
+	}
+	return &LogsRepo{dir: dir}, nil
+}
+
+// Dir returns the repository root.
+func (r *LogsRepo) Dir() string { return r.dir }
+
+func (r *LogsRepo) file(key string) string {
+	return filepath.Join(r.dir, key+".log.jsonl")
+}
+
+// Store writes one campaign's golden header and records.
+func (r *LogsRepo) Store(key string, res *CampaignResult) error {
+	f, err := os.Create(r.file(key))
+	if err != nil {
+		return fmt.Errorf("core: storing logs for %s: %w", key, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&res.Golden); err != nil {
+		return fmt.Errorf("core: storing logs for %s: %w", key, err)
+	}
+	for i := range res.Records {
+		if err := enc.Encode(&res.Records[i]); err != nil {
+			return fmt.Errorf("core: storing logs for %s: %w", key, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("core: storing logs for %s: %w", key, err)
+	}
+	return f.Close()
+}
+
+// Load reads one campaign's result back.
+func (r *LogsRepo) Load(key string) (*CampaignResult, error) {
+	f, err := os.Open(r.file(key))
+	if err != nil {
+		return nil, fmt.Errorf("core: loading logs for %s: %w", key, err)
+	}
+	defer f.Close()
+	return ReadLogs(f)
+}
+
+// Campaigns lists stored campaign keys.
+func (r *LogsRepo) Campaigns() ([]string, error) {
+	ents, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("core: listing logs repository: %w", err)
+	}
+	var keys []string
+	const suffix = ".log.jsonl"
+	for _, e := range ents {
+		name := e.Name()
+		if len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix {
+			keys = append(keys, name[:len(name)-len(suffix)])
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// ReadLogs parses a campaign log stream.
+func ReadLogs(rd io.Reader) (*CampaignResult, error) {
+	dec := json.NewDecoder(rd)
+	var res CampaignResult
+	if err := dec.Decode(&res.Golden); err != nil {
+		return nil, fmt.Errorf("core: reading golden header: %w", err)
+	}
+	for {
+		var rec LogRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return &res, nil
+			}
+			return nil, fmt.Errorf("core: reading log record: %w", err)
+		}
+		res.Records = append(res.Records, rec)
+	}
+}

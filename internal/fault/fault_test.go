@@ -1,0 +1,331 @@
+package fault
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitarray"
+)
+
+func TestModelKind(t *testing.T) {
+	cases := []struct {
+		m    Model
+		want bitarray.FaultKind
+	}{
+		{ModelTransient, bitarray.Transient},
+		{ModelIntermittent, bitarray.Intermittent},
+		{ModelPermanent, bitarray.Permanent},
+	}
+	for _, c := range cases {
+		k, err := c.m.Kind()
+		if err != nil || k != c.want {
+			t.Errorf("%q.Kind() = %v, %v", c.m, k, err)
+		}
+	}
+	if _, err := Model("bogus").Kind(); err == nil {
+		t.Error("bogus model accepted")
+	}
+}
+
+func TestSiteFault(t *testing.T) {
+	s := Site{Structure: "l1d.data", Entry: 7, Bit: 100, Model: ModelIntermittent,
+		Cycle: 55, Duration: 10, StuckVal: 1}
+	f, err := s.Fault()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bitarray.Fault{Kind: bitarray.Intermittent, Entry: 7, Bit: 100,
+		StuckVal: 1, Start: 55, Duration: 10}
+	if f != want {
+		t.Fatalf("Fault() = %+v, want %+v", f, want)
+	}
+}
+
+func geom(structure string) (int, int, bool) {
+	if structure == "rf.int" {
+		return 256, 64, true
+	}
+	return 0, 0, false
+}
+
+func TestMaskValidate(t *testing.T) {
+	ok := Mask{ID: 1, Sites: []Site{{Structure: "rf.int", Entry: 10, Bit: 5, Model: ModelTransient, Cycle: 1}}}
+	if err := ok.Validate(geom); err != nil {
+		t.Fatalf("valid mask rejected: %v", err)
+	}
+	bad := []Mask{
+		{ID: 2},
+		{ID: 3, Sites: []Site{{Structure: "nope", Model: ModelTransient}}},
+		{ID: 4, Sites: []Site{{Structure: "rf.int", Entry: 256, Model: ModelTransient}}},
+		{ID: 5, Sites: []Site{{Structure: "rf.int", Bit: 64, Model: ModelTransient}}},
+		{ID: 6, Sites: []Site{{Structure: "rf.int", Model: Model("x")}}},
+		{ID: 7, Sites: []Site{{Structure: "rf.int", Model: ModelIntermittent, Duration: 0}}},
+		{ID: 8, Sites: []Site{{Structure: "rf.int", Model: ModelTransient, StuckVal: 2}}},
+	}
+	for _, m := range bad {
+		if err := m.Validate(geom); err == nil {
+			t.Errorf("mask %d accepted, want error", m.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GeneratorSpec{Structure: "rf.int", Entries: 256, BitsPerEntry: 64,
+		MaxCycle: 100000, Model: ModelTransient, Count: 50, Seed: 42}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 50 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i].ID != i {
+			t.Fatalf("mask %d has ID %d", i, a[i].ID)
+		}
+		if len(a[i].Sites) != 1 || a[i].Sites[0] != b[i].Sites[0] {
+			t.Fatalf("generation not deterministic at mask %d", i)
+		}
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	spec := GeneratorSpec{Structure: "s", Entries: 8, BitsPerEntry: 12,
+		MaxCycle: 500, Model: ModelIntermittent, Count: 300, Seed: 7, Duration: 50}
+	masks, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range masks {
+		s := m.Sites[0]
+		if s.Entry < 0 || s.Entry >= 8 || s.Bit < 0 || s.Bit >= 12 {
+			t.Fatalf("site out of geometry: %+v", s)
+		}
+		if s.Cycle == 0 || s.Cycle > 500 {
+			t.Fatalf("cycle out of range: %+v", s)
+		}
+		if s.Duration == 0 || s.Duration > 50 {
+			t.Fatalf("duration out of range: %+v", s)
+		}
+		if s.StuckVal > 1 {
+			t.Fatalf("stuck value out of range: %+v", s)
+		}
+	}
+}
+
+func TestGeneratePermanentStartsAtZero(t *testing.T) {
+	masks, err := Generate(GeneratorSpec{Structure: "s", Entries: 4, BitsPerEntry: 4,
+		MaxCycle: 100, Model: ModelPermanent, Count: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range masks {
+		if m.Sites[0].Cycle != 0 {
+			t.Fatalf("permanent fault with nonzero start: %+v", m.Sites[0])
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := []GeneratorSpec{
+		{Structure: "s", Entries: 0, BitsPerEntry: 4, MaxCycle: 10, Count: 1},
+		{Structure: "s", Entries: 4, BitsPerEntry: 0, MaxCycle: 10, Count: 1},
+		{Structure: "s", Entries: 4, BitsPerEntry: 4, MaxCycle: 10, Count: 0},
+		{Structure: "s", Entries: 4, BitsPerEntry: 4, MaxCycle: 0, Count: 1},
+	}
+	for i, spec := range bad {
+		if _, err := Generate(spec); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateMultiBit(t *testing.T) {
+	masks, err := Generate(GeneratorSpec{Structure: "s", Entries: 16, BitsPerEntry: 8,
+		MaxCycle: 100, Model: ModelTransient, Count: 10, Seed: 3, SitesPerMask: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range masks {
+		if len(m.Sites) != 3 {
+			t.Fatalf("mask %d has %d sites, want 3", m.ID, len(m.Sites))
+		}
+	}
+}
+
+func TestMultiStructure(t *testing.T) {
+	a, _ := Generate(GeneratorSpec{Structure: "a", Entries: 4, BitsPerEntry: 4,
+		MaxCycle: 10, Model: ModelTransient, Count: 5, Seed: 1})
+	b, _ := Generate(GeneratorSpec{Structure: "b", Entries: 4, BitsPerEntry: 4,
+		MaxCycle: 10, Model: ModelTransient, Count: 5, Seed: 2})
+	merged, err := MultiStructure(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != 5 {
+		t.Fatalf("len = %d", len(merged))
+	}
+	for _, m := range merged {
+		if len(m.Sites) != 2 || m.Sites[0].Structure != "a" || m.Sites[1].Structure != "b" {
+			t.Fatalf("bad merge: %+v", m)
+		}
+	}
+	if _, err := MultiStructure(a, b[:3]); err == nil {
+		t.Fatal("unequal lists accepted")
+	}
+	if _, err := MultiStructure(); err == nil {
+		t.Fatal("empty call accepted")
+	}
+}
+
+// TestSampleSizePaperNumbers pins the paper's §IV.A figures exactly.
+func TestSampleSizePaperNumbers(t *testing.T) {
+	if n := SampleSize(0, 0.99, 0.03); n != 1843 {
+		t.Errorf("SampleSize(∞, 99%%, 3%%) = %d, want 1843", n)
+	}
+	if n := SampleSize(0, 0.99, 0.05); n != 663 {
+		t.Errorf("SampleSize(∞, 99%%, 5%%) = %d, want 663", n)
+	}
+	// 2000 injections correspond to a 2.88% margin at 99% confidence.
+	m := MarginFor(0, 2000, 0.99)
+	if math.Abs(m-0.0288) > 0.0001 {
+		t.Errorf("MarginFor(2000, 99%%) = %.4f, want ≈0.0288", m)
+	}
+}
+
+func TestSampleSizeFinitePopulation(t *testing.T) {
+	// For a small population the finite correction must bite:
+	// n(N) < n(∞) and n(N) ≤ N.
+	inf := SampleSize(0, 0.99, 0.03)
+	for _, N := range []uint64{100, 1000, 10000, 1 << 20} {
+		n := SampleSize(N, 0.99, 0.03)
+		if n > inf {
+			t.Errorf("SampleSize(%d) = %d > %d", N, n, inf)
+		}
+		if uint64(n) > N {
+			t.Errorf("SampleSize(%d) = %d exceeds population", N, n)
+		}
+	}
+	// Tiny population: essentially exhaustive.
+	if n := SampleSize(10, 0.99, 0.03); n != 10 {
+		t.Errorf("SampleSize(10) = %d, want 10", n)
+	}
+}
+
+func TestSampleSizeMonotonicity(t *testing.T) {
+	// Tighter margin requires more runs; higher confidence requires more runs.
+	if SampleSize(0, 0.99, 0.01) <= SampleSize(0, 0.99, 0.03) {
+		t.Error("sample size not monotone in margin")
+	}
+	if SampleSize(0, 0.99, 0.03) <= SampleSize(0, 0.90, 0.03) {
+		t.Error("sample size not monotone in confidence")
+	}
+}
+
+func TestMarginSampleSizeRoundTrip(t *testing.T) {
+	f := func(nSeed uint16) bool {
+		n := int(nSeed%5000) + 100
+		m := MarginFor(0, n, 0.99)
+		back := SampleSize(0, 0.99, m)
+		// Round-trip within rounding slack.
+		return back >= n-1 && back <= n+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZForNonTabulated(t *testing.T) {
+	// 98% two-sided quantile ≈ 2.3263.
+	z := zFor(0.98)
+	if math.Abs(z-2.3263478740408408) > 1e-9 {
+		t.Errorf("zFor(0.98) = %v", z)
+	}
+}
+
+func TestMaskJSONRoundTrip(t *testing.T) {
+	masks, _ := Generate(GeneratorSpec{Structure: "l1d.data", Entries: 8192, BitsPerEntry: 512,
+		MaxCycle: 1e6, Model: ModelIntermittent, Count: 25, Seed: 9, Duration: 1000})
+	var buf bytes.Buffer
+	if err := WriteMasks(&buf, masks); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMasks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(masks) {
+		t.Fatalf("len = %d, want %d", len(back), len(masks))
+	}
+	for i := range masks {
+		if masks[i].ID != back[i].ID || masks[i].Sites[0] != back[i].Sites[0] {
+			t.Fatalf("mask %d round trip mismatch", i)
+		}
+	}
+}
+
+func TestRepository(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "masks")
+	repo, err := NewRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masks, _ := Generate(GeneratorSpec{Structure: "rf.int", Entries: 256, BitsPerEntry: 64,
+		MaxCycle: 1000, Model: ModelTransient, Count: 10, Seed: 5})
+	key := CampaignKey("gefin-x86", "qsort", "rf.int")
+	if err := repo.Store(key, masks); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repo.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 10 {
+		t.Fatalf("loaded %d masks", len(back))
+	}
+	keys, err := repo.Campaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("Campaigns = %v", keys)
+	}
+	if _, err := repo.Load("missing"); err == nil {
+		t.Fatal("loading missing campaign succeeded")
+	}
+}
+
+func TestGenerateAdjacentBurst(t *testing.T) {
+	masks, err := Generate(GeneratorSpec{Structure: "l1d.data", Entries: 512, BitsPerEntry: 512,
+		MaxCycle: 10000, Model: ModelTransient, Count: 50, Seed: 4,
+		SitesPerMask: 3, Adjacent: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range masks {
+		if len(m.Sites) != 3 {
+			t.Fatalf("mask %d: %d sites", m.ID, len(m.Sites))
+		}
+		e, b, c := m.Sites[0].Entry, m.Sites[0].Bit, m.Sites[0].Cycle
+		for j, s := range m.Sites {
+			if s.Entry != e || s.Cycle != c || s.Bit != b+j {
+				t.Fatalf("mask %d not a burst: %+v", m.ID, m.Sites)
+			}
+		}
+		if m.Sites[2].Bit >= 512 {
+			t.Fatalf("burst overflows entry: %+v", m.Sites)
+		}
+	}
+	// Bursts wider than the entry are rejected.
+	if _, err := Generate(GeneratorSpec{Structure: "v", Entries: 8, BitsPerEntry: 2,
+		MaxCycle: 100, Model: ModelTransient, Count: 1, SitesPerMask: 3, Adjacent: true}); err == nil {
+		t.Fatal("oversized burst accepted")
+	}
+}

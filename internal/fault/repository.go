@@ -1,0 +1,116 @@
+package fault
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Repository is the on-disk "masks repository" of the injection framework
+// (Fig. 1 of the paper): one JSON-lines file per
+// {structure, benchmark, tool} campaign, each line one Mask.
+type Repository struct {
+	dir string
+}
+
+// NewRepository opens (creating if needed) a masks repository rooted at dir.
+func NewRepository(dir string) (*Repository, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fault: creating masks repository: %w", err)
+	}
+	return &Repository{dir: dir}, nil
+}
+
+// Dir returns the repository root directory.
+func (r *Repository) Dir() string { return r.dir }
+
+// campaignFile maps a campaign key to its file path.
+func (r *Repository) campaignFile(key string) string {
+	return filepath.Join(r.dir, key+".masks.jsonl")
+}
+
+// CampaignKey builds the canonical campaign key for a tool, benchmark and
+// structure combination.
+func CampaignKey(tool, benchmark, structure string) string {
+	return fmt.Sprintf("%s__%s__%s", tool, benchmark, structure)
+}
+
+// Store writes the masks of a campaign, replacing any previous content.
+func (r *Repository) Store(key string, masks []Mask) error {
+	f, err := os.Create(r.campaignFile(key))
+	if err != nil {
+		return fmt.Errorf("fault: storing masks for %s: %w", key, err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := WriteMasks(w, masks); err != nil {
+		return fmt.Errorf("fault: storing masks for %s: %w", key, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("fault: storing masks for %s: %w", key, err)
+	}
+	return f.Close()
+}
+
+// Load reads the masks of a campaign.
+func (r *Repository) Load(key string) ([]Mask, error) {
+	f, err := os.Open(r.campaignFile(key))
+	if err != nil {
+		return nil, fmt.Errorf("fault: loading masks for %s: %w", key, err)
+	}
+	defer f.Close()
+	masks, err := ReadMasks(f)
+	if err != nil {
+		return nil, fmt.Errorf("fault: loading masks for %s: %w", key, err)
+	}
+	return masks, nil
+}
+
+// Campaigns lists the stored campaign keys in sorted order.
+func (r *Repository) Campaigns() ([]string, error) {
+	ents, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil, fmt.Errorf("fault: listing masks repository: %w", err)
+	}
+	var keys []string
+	for _, e := range ents {
+		name := e.Name()
+		const suffix = ".masks.jsonl"
+		if len(name) > len(suffix) && name[len(name)-len(suffix):] == suffix {
+			keys = append(keys, name[:len(name)-len(suffix)])
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// WriteMasks streams masks as JSON lines.
+func WriteMasks(w io.Writer, masks []Mask) error {
+	enc := json.NewEncoder(w)
+	for i := range masks {
+		if err := enc.Encode(&masks[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadMasks reads JSON-lines masks until EOF.
+func ReadMasks(r io.Reader) ([]Mask, error) {
+	dec := json.NewDecoder(r)
+	var masks []Mask
+	for {
+		var m Mask
+		if err := dec.Decode(&m); err != nil {
+			if err == io.EOF {
+				return masks, nil
+			}
+			return nil, err
+		}
+		masks = append(masks, m)
+	}
+}

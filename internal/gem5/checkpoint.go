@@ -1,0 +1,127 @@
+package gem5
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/kernel"
+	"repro/internal/pipeline"
+)
+
+// Checkpoint is a complete drained-machine state: memory, kernel, every
+// storage array, all front-end predictor state and the architectural
+// register mapping. The paper's injectors use simulator checkpoints to
+// share the common prefix of injection runs; campaigns restore one
+// checkpoint into many fresh machines and inject only faults whose start
+// cycle lies beyond it.
+type Checkpoint struct {
+	PC         uint64
+	Cycle      uint64
+	LastCommit uint64
+	Mem        []byte
+	Kern       kernel.Kernel
+	Stats      Stats
+
+	L1I, L1D, L2 *cache.State
+	DTLB, ITLB   *cache.TLBState
+	BTB          *branch.BTBState
+	Tour         *branch.TournamentState
+	RAS          *branch.RASState
+	IntRF, FPRF  *pipeline.RegFileState
+}
+
+// drained reports whether no speculative state is in flight.
+func (c *CPU) drained() bool {
+	return c.rob.Empty() && len(c.fetchQ) == 0 && len(c.inflight) == 0 &&
+		c.iq.Len() == 0 && c.lsq.Loads()+c.lsq.Stores() == 0
+}
+
+// RunTo simulates fault-free until the machine drains at or beyond the
+// target cycle. It returns the cycle reached and whether the program
+// finished before the target was reached (in which case no checkpoint
+// can be taken).
+func (c *CPU) RunTo(target uint64) (reached uint64, finished bool, err error) {
+	limit := target*4 + 1_000_000
+	for c.cycle < limit {
+		c.commit()
+		if c.finished {
+			return c.cycle, true, nil
+		}
+		c.complete()
+		c.issue()
+		c.rename()
+		if c.cycle < target {
+			c.fetch()
+		} else if c.drained() {
+			c.cycle++
+			c.stats.Cycles = c.cycle
+			return c.cycle, false, nil
+		}
+		c.cycle++
+		c.stats.Cycles = c.cycle
+	}
+	return c.cycle, false, fmt.Errorf("gem5: machine did not drain by cycle %d", limit)
+}
+
+// Checkpoint captures the drained machine. It returns an error when
+// speculative state is still in flight.
+func (c *CPU) Checkpoint() (any, error) {
+	if !c.drained() {
+		return nil, fmt.Errorf("gem5: checkpoint requires a drained machine")
+	}
+	return &Checkpoint{
+		PC:         c.pc,
+		Cycle:      c.cycle,
+		LastCommit: c.lastCommit,
+		Mem:        c.mem.Snapshot(),
+		Kern:       c.kern.Clone(),
+		Stats:      c.stats,
+		L1I:        c.l1i.State(),
+		L1D:        c.l1d.State(),
+		L2:         c.l2.State(),
+		DTLB:       c.dtlb.State(),
+		ITLB:       c.itlb.State(),
+		BTB:        c.btb.State(),
+
+		Tour:  c.tour.State(),
+		RAS:   c.ras.State(),
+		IntRF: c.intRF.State(),
+		FPRF:  c.fpRF.State(),
+	}, nil
+}
+
+// Restore loads a checkpoint into this (freshly built) machine. The
+// checkpoint is copied, so one checkpoint may seed many machines
+// concurrently.
+func (c *CPU) Restore(state any) error {
+	cp, ok := state.(*Checkpoint)
+	if !ok {
+		return fmt.Errorf("gem5: foreign checkpoint type %T", state)
+	}
+	c.mem.RestoreSnapshot(cp.Mem)
+	c.kern = cp.Kern.Clone()
+	c.stats = cp.Stats
+	c.l1i.SetState(cp.L1I)
+	c.l1d.SetState(cp.L1D)
+	c.l2.SetState(cp.L2)
+	c.dtlb.SetState(cp.DTLB)
+	c.itlb.SetState(cp.ITLB)
+	c.btb.SetState(cp.BTB)
+	c.tour.SetState(cp.Tour)
+	c.ras.SetState(cp.RAS)
+	c.intRF.SetState(cp.IntRF)
+	c.fpRF.SetState(cp.FPRF)
+	c.pc = cp.PC
+	c.cycle = cp.Cycle
+	c.lastCommit = cp.LastCommit
+	c.rob.FlushAll()
+	c.iq.FlushAll()
+	c.lsq.FlushAll()
+	c.fetchQ = c.fetchQ[:0]
+	c.inflight = c.inflight[:0]
+	c.fetchBlocked = false
+	c.fetchReady = c.cycle
+	c.finished = false
+	return nil
+}

@@ -1,0 +1,309 @@
+// Package interp is the functional reference model: it executes a linked
+// program image instruction-by-instruction with architectural semantics
+// only (no pipeline, no caches). The test suites use it to validate the
+// assembler back-ends and the workloads, and to cross-check that both
+// microarchitectural simulators compute exactly the same program outputs
+// in fault-free runs.
+package interp
+
+import (
+	"math"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/isa/cisc"
+	"repro/internal/isa/risc"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+)
+
+// Outcome describes how a functional run ended.
+type Outcome uint8
+
+const (
+	// Completed means the program called exit.
+	Completed Outcome = iota
+	// ProcessCrash means a fatal exception killed the program.
+	ProcessCrash
+	// SystemCrash means the kernel panicked.
+	SystemCrash
+	// StepLimit means the run exceeded the instruction budget.
+	StepLimit
+)
+
+// String returns the outcome name.
+func (o Outcome) String() string {
+	switch o {
+	case Completed:
+		return "completed"
+	case ProcessCrash:
+		return "process-crash"
+	case SystemCrash:
+		return "system-crash"
+	case StepLimit:
+		return "step-limit"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the outcome of a functional run.
+type Result struct {
+	Outcome  Outcome
+	ExitCode uint64
+	Output   []byte
+	Steps    uint64 // macro-instructions executed
+	Uops     uint64 // micro-ops executed
+	// FatalExc is the exception that ended a crashed run.
+	FatalExc isa.Exception
+	// Events are the recoverable exceptions recorded by the kernel.
+	Events []kernel.Event
+}
+
+// Machine is a functional machine instance.
+type Machine struct {
+	img  *asm.Image
+	dec  isa.Decoder
+	mem  *mem.Memory
+	kern kernel.Kernel
+
+	pc   uint64
+	regs [isa.NumIntRegs]uint64
+	fp   [isa.NumFPRegs]float64
+}
+
+// New builds a functional machine for the image.
+func New(img *asm.Image) *Machine {
+	m := &Machine{img: img, mem: mem.New()}
+	switch img.ISA {
+	case "arm":
+		m.dec = risc.Decoder{}
+	default:
+		m.dec = cisc.Decoder{}
+	}
+	m.mem.Load(img.TextBase, img.Text)
+	m.mem.Load(img.DataBase, img.Data)
+	m.mem.SetTextEnd(img.TextBase + uint64(len(img.Text)))
+	m.pc = img.Entry
+	m.regs[isa.SP] = mem.StackTop
+	return m
+}
+
+func (m *Machine) get(r isa.Reg) uint64 {
+	if r == isa.RegNone {
+		return 0
+	}
+	if r.IsFP() {
+		return math.Float64bits(m.fp[r.FPIndex()])
+	}
+	return m.regs[r]
+}
+
+func (m *Machine) set(r isa.Reg, v uint64) {
+	if r == isa.RegNone {
+		return
+	}
+	if r.IsFP() {
+		m.fp[r.FPIndex()] = math.Float64frombits(v)
+		return
+	}
+	m.regs[r] = v
+}
+
+func (m *Machine) getF(r isa.Reg) float64 { return m.fp[r.FPIndex()] }
+
+func (m *Machine) setF(r isa.Reg, v float64) { m.fp[r.FPIndex()] = v }
+
+// Run executes up to maxSteps macro-instructions.
+func Run(img *asm.Image, maxSteps uint64) Result {
+	m := New(img)
+	return m.run(maxSteps)
+}
+
+func (m *Machine) fatal(e isa.Exception) Result {
+	return Result{Outcome: ProcessCrash, FatalExc: e, Output: m.kern.Output, Events: m.kern.Events}
+}
+
+func (m *Machine) run(maxSteps uint64) Result {
+	var in isa.Inst
+	buf := make([]byte, m.dec.MaxInstLen())
+	var steps, uops uint64
+	alignCheck := m.dec.Name() == "arm"
+
+	for steps = 0; steps < maxSteps; steps++ {
+		// Wild control flow into the kernel region is a panic.
+		if m.pc >= mem.KernelBase {
+			m.kern.Panic(steps, m.pc, m.pc)
+			return Result{Outcome: SystemCrash, Output: m.kern.Output,
+				Steps: steps, Uops: uops, Events: m.kern.Events}
+		}
+		n, f := m.mem.Fetch(m.pc, buf)
+		if f != mem.FaultNone || n == 0 {
+			r := m.fatal(isa.ExcPageFault)
+			r.Steps, r.Uops = steps, uops
+			return r
+		}
+		if err := m.dec.Decode(buf[:n], m.pc, &in); err != nil {
+			r := m.fatal(isa.ExcIllegalInstr)
+			r.Steps, r.Uops = steps, uops
+			return r
+		}
+		next := m.pc + uint64(in.Len)
+
+		for i := 0; i < int(in.NUops); i++ {
+			u := &in.Uops[i]
+			uops++
+			exc, target, taken, stop := m.exec(u, &in, steps, alignCheck)
+			if exc != isa.ExcNone {
+				switch kernel.SeverityOf(exc) {
+				case kernel.SevRecoverable:
+					// Recorded inside exec; continue.
+				case kernel.SevPanic:
+					return Result{Outcome: SystemCrash, Output: m.kern.Output,
+						Steps: steps, Uops: uops, Events: m.kern.Events}
+				default:
+					r := m.fatal(exc)
+					r.Steps, r.Uops = steps, uops
+					return r
+				}
+			}
+			if stop {
+				return Result{Outcome: Completed, ExitCode: m.kern.ExitCode,
+					Output: m.kern.Output, Steps: steps + 1, Uops: uops, Events: m.kern.Events}
+			}
+			if taken {
+				next = target
+			}
+		}
+		m.pc = next
+	}
+	return Result{Outcome: StepLimit, Output: m.kern.Output, Steps: steps, Uops: uops, Events: m.kern.Events}
+}
+
+// exec executes one micro-op. It returns a raised exception, a branch
+// target with taken flag, and whether the machine stopped.
+func (m *Machine) exec(u *isa.Uop, in *isa.Inst, step uint64, alignCheck bool) (exc isa.Exception, target uint64, taken, stop bool) {
+	switch u.Op {
+	case isa.Nop:
+		return
+
+	case isa.Add, isa.Sub, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr,
+		isa.Sar, isa.Mul, isa.Div, isa.Rem, isa.Mov, isa.Cmp:
+		a := m.get(u.Src1)
+		b := uint64(u.Imm)
+		if !u.UsesImm && u.Src2 != isa.RegNone {
+			b = m.get(u.Src2)
+		} else if u.UsesImm {
+			b = uint64(u.Imm)
+		}
+		r := isa.EvalInt(u.Op, a, b, m.dec.DivZero())
+		if r.DivZero {
+			return isa.ExcDivZero, 0, false, false
+		}
+		m.set(u.Dst, r.Val)
+		return
+
+	case isa.Load, isa.FLoad:
+		addr := m.get(u.Src1) + uint64(u.Imm)
+		if alignCheck && addr%uint64(u.Size) != 0 {
+			m.kern.Record(step, m.pc, isa.ExcAlignment, addr)
+		}
+		var tmp [8]byte
+		if f := m.mem.Read(addr, tmp[:u.Size]); f != mem.FaultNone {
+			return isa.ExcPageFault, 0, false, false
+		}
+		v := leLoad(tmp[:u.Size])
+		if u.Op == isa.FLoad {
+			m.setF(u.Dst, math.Float64frombits(v))
+		} else {
+			m.set(u.Dst, isa.ExtendLoad(v, u.Size, u.SignExt))
+		}
+		return
+
+	case isa.Store, isa.FStore:
+		addr := m.get(u.Src1) + uint64(u.Imm)
+		if alignCheck && addr%uint64(u.Size) != 0 {
+			m.kern.Record(step, m.pc, isa.ExcAlignment, addr)
+		}
+		var v uint64
+		if u.Op == isa.FStore {
+			v = math.Float64bits(m.getF(u.Src2))
+		} else {
+			v = m.get(u.Src2)
+		}
+		var tmp [8]byte
+		leStore(tmp[:u.Size], v)
+		if f := m.mem.Write(addr, tmp[:u.Size]); f != mem.FaultNone {
+			if f == mem.FaultProt {
+				return isa.ExcProtFault, 0, false, false
+			}
+			return isa.ExcPageFault, 0, false, false
+		}
+		return
+
+	case isa.Jmp:
+		return isa.ExcNone, in.Branch.Target, true, false
+	case isa.JmpReg, isa.Ret:
+		return isa.ExcNone, m.get(u.Src1), true, false
+	case isa.BrFlags:
+		if isa.EvalCond(u.Cond, m.get(u.Src1)) {
+			return isa.ExcNone, in.Branch.Target, true, false
+		}
+		return
+	case isa.BrCmp:
+		if isa.EvalCond(u.Cond, isa.CmpFlags(m.get(u.Src1), m.get(u.Src2))) {
+			return isa.ExcNone, in.Branch.Target, true, false
+		}
+		return
+	case isa.Call:
+		if u.Dst != isa.RegNone {
+			m.set(u.Dst, uint64(u.Imm))
+		}
+		return isa.ExcNone, in.Branch.Target, true, false
+
+	case isa.FAdd, isa.FSub, isa.FMul, isa.FDiv, isa.FMov:
+		m.setF(u.Dst, isa.EvalFP(u.Op, m.getF(u.Src1), m.getF(u.Src2)))
+		return
+	case isa.FCvtIF:
+		m.setF(u.Dst, float64(int64(m.get(u.Src1))))
+		return
+	case isa.FCvtFI:
+		m.set(u.Dst, uint64(int64(m.getF(u.Src1))))
+		return
+	case isa.FMovToFP:
+		m.setF(u.Dst, math.Float64frombits(m.get(u.Src1)))
+		return
+	case isa.FMovFromFP:
+		m.set(u.Dst, math.Float64bits(m.getF(u.Src1)))
+		return
+	case isa.FCmp:
+		m.set(u.Dst, isa.FCmpFlags(m.getF(u.Src1), m.getF(u.Src2)))
+		return
+
+	case isa.Syscall:
+		stop = m.kern.Syscall(step, m.pc, m.get, m.set, m.mem.Read)
+		if m.kern.Panicked {
+			return isa.ExcKernelPanic, 0, false, false
+		}
+		return isa.ExcNone, 0, false, stop
+	case isa.Halt:
+		// HALT is privileged; in user mode it is an illegal instruction.
+		return isa.ExcIllegalInstr, 0, false, false
+	default:
+		return isa.ExcIllegalInstr, 0, false, false
+	}
+}
+
+func leLoad(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func leStore(b []byte, v uint64) {
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,184 @@
+package interp_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/interp"
+	"repro/internal/isa"
+)
+
+func buildOne(t *testing.T, tgt asm.Target, build func(p *asm.Program)) *asm.Image {
+	t.Helper()
+	p := asm.NewProgram()
+	build(p)
+	img, err := p.Build(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestOutcomeNames(t *testing.T) {
+	names := map[interp.Outcome]string{
+		interp.Completed:    "completed",
+		interp.ProcessCrash: "process-crash",
+		interp.SystemCrash:  "system-crash",
+		interp.StepLimit:    "step-limit",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d: %q", o, o.String())
+		}
+	}
+	if interp.Outcome(99).String() != "unknown" {
+		t.Error("out-of-range outcome name")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	img := buildOne(t, asm.TargetCISC, func(p *asm.Program) {
+		f := p.Func("main")
+		f.Label("spin")
+		f.Jmp("spin")
+	})
+	res := interp.Run(img, 1000)
+	if res.Outcome != interp.StepLimit || res.Steps != 1000 {
+		t.Fatalf("%v after %d steps", res.Outcome, res.Steps)
+	}
+}
+
+func TestCrashOnUnmappedLoad(t *testing.T) {
+	for _, tgt := range []asm.Target{asm.TargetCISC, asm.TargetRISC} {
+		img := buildOne(t, tgt, func(p *asm.Program) {
+			f := p.Func("main")
+			f.MovImm(isa.R1, 0x500000) // beyond RAM
+			f.Load(8, false, isa.R2, isa.R1, 0)
+		})
+		res := interp.Run(img, 1000)
+		if res.Outcome != interp.ProcessCrash || res.FatalExc != isa.ExcPageFault {
+			t.Fatalf("%v: %v/%v", tgt, res.Outcome, res.FatalExc)
+		}
+	}
+}
+
+func TestSystemCrashOnKernelJump(t *testing.T) {
+	img := buildOne(t, asm.TargetRISC, func(p *asm.Program) {
+		f := p.Func("main")
+		f.MovImm(isa.R1, 0x300100)
+		f.JmpReg(isa.R1)
+	})
+	res := interp.Run(img, 1000)
+	if res.Outcome != interp.SystemCrash {
+		t.Fatalf("%v", res.Outcome)
+	}
+}
+
+func TestRunOffTextEndCrashes(t *testing.T) {
+	// main without exit falls off the end of text.
+	img := buildOne(t, asm.TargetCISC, func(p *asm.Program) {
+		f := p.Func("main")
+		f.Nop()
+	})
+	res := interp.Run(img, 1000)
+	if res.Outcome != interp.ProcessCrash {
+		t.Fatalf("%v", res.Outcome)
+	}
+}
+
+func TestExitCodePropagates(t *testing.T) {
+	img := buildOne(t, asm.TargetRISC, func(p *asm.Program) {
+		f := p.Func("main")
+		f.MovImm(isa.R0, 2)
+		f.MovImm(isa.R1, 42)
+		f.Syscall()
+	})
+	res := interp.Run(img, 1000)
+	if res.Outcome != interp.Completed || res.ExitCode != 42 {
+		t.Fatalf("%v exit %d", res.Outcome, res.ExitCode)
+	}
+}
+
+func TestUopCountExceedsSteps(t *testing.T) {
+	// CISC push/pop crack into multiple uops: Uops > Steps.
+	img := buildOne(t, asm.TargetCISC, func(p *asm.Program) {
+		f := p.Func("main")
+		f.SubI(isa.SP, isa.SP, 16)
+		f.MovImm(isa.R1, 7)
+		f.Store(8, isa.R1, isa.SP, 0)
+		f.Load(8, false, isa.R2, isa.SP, 0)
+		f.AddI(isa.SP, isa.SP, 16)
+		f.MovImm(isa.R0, 2)
+		f.MovImm(isa.R1, 0)
+		f.Syscall()
+	})
+	res := interp.Run(img, 1000)
+	if res.Outcome != interp.Completed {
+		t.Fatalf("%v", res.Outcome)
+	}
+	if res.Uops < res.Steps {
+		t.Fatalf("uops %d < steps %d", res.Uops, res.Steps)
+	}
+}
+
+func TestFullInstructionSurface(t *testing.T) {
+	// One program touching every uop family the interpreter executes:
+	// FP arithmetic and compares, conversions, raw-bit moves, all load
+	// and store widths, indirect jumps and the flags paths.
+	img := buildOne(t, asm.TargetCISC, func(p *asm.Program) {
+		p.Bss("buf", 64)
+		p.Bss("out", 8)
+		f := p.Func("main")
+		f.MovSym(isa.R10, "buf")
+		f.FMovImm(isa.F0, 2.5)
+		f.FMovImm(isa.F1, -4.25)
+		f.FAdd(isa.F2, isa.F0, isa.F1)
+		f.FSub(isa.F3, isa.F0, isa.F1)
+		f.FMul(isa.F4, isa.F2, isa.F3)
+		f.FDiv(isa.F5, isa.F4, isa.F0)
+		f.FMov(isa.F6, isa.F5)
+		f.FStore(isa.F6, isa.R10, 0)
+		f.FLoad(isa.F0, isa.R10, 0)
+		f.FBr(isa.CondLT, isa.F0, isa.F3, "less")
+		f.Nop()
+		f.Label("less")
+		f.FCvtFI(isa.R1, isa.F4)
+		f.FCvtIF(isa.F1, isa.R1)
+		// All store widths.
+		f.Store(1, isa.R1, isa.R10, 8)
+		f.Store(2, isa.R1, isa.R10, 10)
+		f.Store(4, isa.R1, isa.R10, 12)
+		f.Store(8, isa.R1, isa.R10, 16)
+		f.Load(1, true, isa.R2, isa.R10, 8)
+		f.Load(2, false, isa.R3, isa.R10, 10)
+		f.Load(4, true, isa.R4, isa.R10, 12)
+		// Indirect jump through a function-local label is not
+		// expressible; jump to a code address via the text base.
+		f.Mul(isa.R5, isa.R2, isa.R3)
+		f.Rem(isa.R5, isa.R5, isa.R4)
+		f.MovSym(isa.R6, "out")
+		f.Store(8, isa.R5, isa.R6, 0)
+		f.MovImm(isa.R0, 1)
+		f.MovSym(isa.R1, "out")
+		f.MovImm(isa.R2, 8)
+		f.Syscall()
+		f.MovImm(isa.R0, 2)
+		f.MovImm(isa.R1, 0)
+		f.Syscall()
+	})
+	res := interp.Run(img, 100_000)
+	if res.Outcome != interp.Completed || len(res.Output) != 8 {
+		t.Fatalf("%v output %d bytes", res.Outcome, len(res.Output))
+	}
+}
+
+func TestHaltIsPrivileged(t *testing.T) {
+	img := buildOne(t, asm.TargetRISC, func(p *asm.Program) {
+		f := p.Func("main")
+		f.Halt()
+	})
+	res := interp.Run(img, 100)
+	if res.Outcome != interp.ProcessCrash || res.FatalExc != isa.ExcIllegalInstr {
+		t.Fatalf("%v/%v", res.Outcome, res.FatalExc)
+	}
+}

@@ -1,0 +1,566 @@
+// Package cisc implements the x86-flavoured synthetic ISA: a
+// variable-length (1–10 byte) encoding with two-operand ALU instructions,
+// a renamed FLAGS register written by CMP and consumed by conditional
+// jumps, stack-based CALL/RET that crack into micro-op sequences, and a
+// trapping integer divide — the architectural traits the paper's
+// differential analysis attributes to the x86 side.
+package cisc
+
+import (
+	"encoding/binary"
+
+	"repro/internal/isa"
+)
+
+// Opcode bytes. Everything outside these tables decodes as illegal.
+const (
+	opNOP     = 0x00
+	opHALT    = 0x01
+	opSYSC0   = 0x02 // first byte of the two-byte SYSCALL encoding
+	opSYSC1   = 0x05 // mandatory second byte
+	opALURR   = 0x10 // +aluIndex, 2 bytes: opcode, modrm(dst<<4|src)
+	opALURI   = 0x30 // +aluIndex, 6 bytes: opcode, modrm(dst<<4), imm32
+	opMOVABS  = 0x50 // 10 bytes: opcode, reg, imm64
+	opLOAD    = 0x60 // +sizeIndex (zero-extending), 6 bytes
+	opLOADS   = 0x64 // +sizeIndex (sign-extending, sizes 1,2,4), 6 bytes
+	opSTORE   = 0x68 // +sizeIndex, 6 bytes
+	opJMP     = 0x70 // 5 bytes: opcode, rel32
+	opJCC     = 0x71 // 6 bytes: opcode, cc, rel32
+	opCALL    = 0x78 // 5 bytes: opcode, rel32
+	opRET     = 0x79 // 1 byte
+	opJMPREG  = 0x7a // 2 bytes: opcode, reg
+	opPUSH    = 0x7c // 2 bytes: opcode, reg
+	opPOP     = 0x7d // 2 bytes: opcode, reg
+	opFALU    = 0x80 // +fpIndex (fadd,fsub,fmul,fdiv), 2 bytes
+	opFMOV    = 0x84
+	opFCVTIF  = 0x85
+	opFCVTFI  = 0x86
+	opFMOVTOF = 0x87
+	opFLOAD   = 0x88 // 6 bytes
+	opFSTORE  = 0x89 // 6 bytes
+	opFCMP    = 0x8a
+	opFMOVFRF = 0x8d
+)
+
+// aluIndex maps micro-op ALU opcodes to opcode offsets.
+var aluIndex = map[isa.Op]byte{
+	isa.Add: 0, isa.Sub: 1, isa.And: 2, isa.Or: 3, isa.Xor: 4,
+	isa.Shl: 5, isa.Shr: 6, isa.Sar: 7, isa.Mul: 8, isa.Div: 9,
+	isa.Rem: 10, isa.Mov: 11, isa.Cmp: 12,
+}
+
+var aluOps = [...]isa.Op{
+	isa.Add, isa.Sub, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr,
+	isa.Sar, isa.Mul, isa.Div, isa.Rem, isa.Mov, isa.Cmp,
+}
+
+// loadSizes maps size index to (bytes, signExtOffset valid).
+var loadSizes = [...]uint8{1, 2, 4, 8}
+
+// ---- Emitter ----------------------------------------------------------------
+
+// Emitter builds CISC machine code. The assembler back-end drives it.
+type Emitter struct {
+	Code []byte
+}
+
+// Len returns the current code length, i.e. the offset of the next
+// instruction.
+func (e *Emitter) Len() int { return len(e.Code) }
+
+func (e *Emitter) b(bs ...byte) { e.Code = append(e.Code, bs...) }
+
+func (e *Emitter) imm32(v int32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(v))
+	e.Code = append(e.Code, tmp[:]...)
+}
+
+func (e *Emitter) imm64(v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	e.Code = append(e.Code, tmp[:]...)
+}
+
+func modrm(a, b isa.Reg) byte { return byte(a)<<4 | byte(b)&0x0f }
+
+// Nop emits a 1-byte NOP.
+func (e *Emitter) Nop() { e.b(opNOP) }
+
+// Halt emits HALT.
+func (e *Emitter) Halt() { e.b(opHALT) }
+
+// Syscall emits the two-byte SYSCALL.
+func (e *Emitter) Syscall() { e.b(opSYSC0, opSYSC1) }
+
+// ALURR emits a two-operand register ALU instruction: dst = dst op src
+// (for Mov: dst = src; for Cmp: flags = dst cmp src).
+func (e *Emitter) ALURR(op isa.Op, dst, src isa.Reg) {
+	e.b(opALURR+aluIndex[op], modrm(dst, src))
+}
+
+// ALURI emits a register-immediate ALU instruction with a 32-bit
+// sign-extended immediate.
+func (e *Emitter) ALURI(op isa.Op, dst isa.Reg, imm int32) {
+	e.b(opALURI+aluIndex[op], modrm(dst, 0))
+	e.imm32(imm)
+}
+
+// MovAbs emits a 64-bit immediate move.
+func (e *Emitter) MovAbs(dst isa.Reg, imm uint64) {
+	e.b(opMOVABS, byte(dst))
+	e.imm64(imm)
+}
+
+// Load emits a load of size bytes from [base+disp] into dst.
+func (e *Emitter) Load(size uint8, signExt bool, dst, base isa.Reg, disp int32) {
+	op := byte(opLOAD)
+	if signExt {
+		op = opLOADS
+	}
+	switch size {
+	case 1:
+		// offset 0
+	case 2:
+		op++
+	case 4:
+		op += 2
+	case 8:
+		op = opLOAD + 3 // no sign-extending 8-byte load
+	}
+	e.b(op, modrm(dst, base))
+	e.imm32(disp)
+}
+
+// Store emits a store of the low size bytes of src to [base+disp].
+func (e *Emitter) Store(size uint8, src, base isa.Reg, disp int32) {
+	var off byte
+	switch size {
+	case 1:
+		off = 0
+	case 2:
+		off = 1
+	case 4:
+		off = 2
+	case 8:
+		off = 3
+	}
+	e.b(opSTORE+off, modrm(src, base))
+	e.imm32(disp)
+}
+
+// Jmp emits a direct jump with a rel32 placeholder and returns the patch
+// offset of the rel32 field.
+func (e *Emitter) Jmp() int {
+	e.b(opJMP)
+	at := e.Len()
+	e.imm32(0)
+	return at
+}
+
+// Jcc emits a conditional jump and returns the rel32 patch offset.
+func (e *Emitter) Jcc(cc isa.Cond) int {
+	e.b(opJCC, byte(cc))
+	at := e.Len()
+	e.imm32(0)
+	return at
+}
+
+// Call emits a direct call and returns the rel32 patch offset.
+func (e *Emitter) Call() int {
+	e.b(opCALL)
+	at := e.Len()
+	e.imm32(0)
+	return at
+}
+
+// Ret emits RET.
+func (e *Emitter) Ret() { e.b(opRET) }
+
+// JmpReg emits an indirect jump through reg.
+func (e *Emitter) JmpReg(r isa.Reg) { e.b(opJMPREG, byte(r)) }
+
+// Push emits PUSH reg.
+func (e *Emitter) Push(r isa.Reg) { e.b(opPUSH, byte(r)) }
+
+// Pop emits POP reg.
+func (e *Emitter) Pop(r isa.Reg) { e.b(opPOP, byte(r)) }
+
+// FALU emits an FP two-operand ALU instruction: fd = fd op fs.
+func (e *Emitter) FALU(op isa.Op, fd, fs isa.Reg) {
+	var off byte
+	switch op {
+	case isa.FAdd:
+		off = 0
+	case isa.FSub:
+		off = 1
+	case isa.FMul:
+		off = 2
+	case isa.FDiv:
+		off = 3
+	}
+	e.b(opFALU+off, modrm(isa.Reg(fd.FPIndex()), isa.Reg(fs.FPIndex())))
+}
+
+// FMov emits fd = fs.
+func (e *Emitter) FMov(fd, fs isa.Reg) {
+	e.b(opFMOV, modrm(isa.Reg(fd.FPIndex()), isa.Reg(fs.FPIndex())))
+}
+
+// FCvtIF emits fd = float(int src).
+func (e *Emitter) FCvtIF(fd, src isa.Reg) {
+	e.b(opFCVTIF, modrm(isa.Reg(fd.FPIndex()), src))
+}
+
+// FCvtFI emits dst = int(trunc fs).
+func (e *Emitter) FCvtFI(dst, fs isa.Reg) {
+	e.b(opFCVTFI, modrm(dst, isa.Reg(fs.FPIndex())))
+}
+
+// FMovToFP emits fd = rawbits(src).
+func (e *Emitter) FMovToFP(fd, src isa.Reg) {
+	e.b(opFMOVTOF, modrm(isa.Reg(fd.FPIndex()), src))
+}
+
+// FMovFromFP emits dst = rawbits(fs).
+func (e *Emitter) FMovFromFP(dst, fs isa.Reg) {
+	e.b(opFMOVFRF, modrm(dst, isa.Reg(fs.FPIndex())))
+}
+
+// FLoad emits fd = mem8[base+disp].
+func (e *Emitter) FLoad(fd, base isa.Reg, disp int32) {
+	e.b(opFLOAD, modrm(isa.Reg(fd.FPIndex()), base))
+	e.imm32(disp)
+}
+
+// FStore emits mem8[base+disp] = fs.
+func (e *Emitter) FStore(fs, base isa.Reg, disp int32) {
+	e.b(opFSTORE, modrm(isa.Reg(fs.FPIndex()), base))
+	e.imm32(disp)
+}
+
+// FCmp emits flags = compare(fa, fb).
+func (e *Emitter) FCmp(fa, fb isa.Reg) {
+	e.b(opFCMP, modrm(isa.Reg(fa.FPIndex()), isa.Reg(fb.FPIndex())))
+}
+
+// PatchRel32 writes a little-endian rel32 at offset at.
+func PatchRel32(code []byte, at int, rel int32) {
+	binary.LittleEndian.PutUint32(code[at:at+4], uint32(rel))
+}
+
+// ---- Decoder ----------------------------------------------------------------
+
+// Decoder decodes the CISC ISA. It is stateless and safe for concurrent
+// use by value.
+type Decoder struct{}
+
+var _ isa.Decoder = Decoder{}
+
+// Name implements isa.Decoder. The reports call this ISA "x86", matching
+// the paper's terminology.
+func (Decoder) Name() string { return "x86" }
+
+// MaxInstLen implements isa.Decoder.
+func (Decoder) MaxInstLen() int { return 10 }
+
+// MinInstLen implements isa.Decoder.
+func (Decoder) MinInstLen() int { return 1 }
+
+// DivZero implements isa.Decoder: the CISC ISA traps (#DE-like).
+func (Decoder) DivZero() isa.DivZeroPolicy { return isa.DivZeroTrap }
+
+func intReg(n byte) isa.Reg { return isa.Reg(n & 0x0f) }
+
+func fpReg(n byte) (isa.Reg, bool) {
+	if n&0x0f >= isa.NumFPRegs {
+		return isa.RegNone, false
+	}
+	return isa.F0 + isa.Reg(n&0x0f), true
+}
+
+// Decode implements isa.Decoder.
+func (Decoder) Decode(buf []byte, pc uint64, in *isa.Inst) error {
+	in.Reset()
+	if len(buf) == 0 {
+		return isa.ErrTruncated
+	}
+	op := buf[0]
+	need := func(n int) bool { return len(buf) >= n }
+	rel32At := func(off int) uint64 {
+		return pc + uint64(in.Len) + uint64(int64(int32(binary.LittleEndian.Uint32(buf[off:]))))
+	}
+
+	switch {
+	case op == opNOP:
+		in.Len = 1
+		in.Add(isa.Uop{Op: isa.Nop, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		return nil
+
+	case op == opHALT:
+		in.Len = 1
+		in.Add(isa.Uop{Op: isa.Halt, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		return nil
+
+	case op == opSYSC0:
+		if !need(2) {
+			return isa.ErrTruncated
+		}
+		if buf[1] != opSYSC1 {
+			return isa.ErrIllegal
+		}
+		in.Len = 2
+		in.Add(isa.Uop{Op: isa.Syscall, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		return nil
+
+	case op >= opALURR && op < opALURR+byte(len(aluOps)):
+		if !need(2) {
+			return isa.ErrTruncated
+		}
+		in.Len = 2
+		uop := aluOps[op-opALURR]
+		dst, src := intReg(buf[1]>>4), intReg(buf[1])
+		switch uop {
+		case isa.Mov:
+			in.Add(isa.Uop{Op: isa.Mov, Dst: dst, Src1: src, Src2: src})
+		case isa.Cmp:
+			in.Add(isa.Uop{Op: isa.Cmp, Dst: isa.Flags, Src1: dst, Src2: src})
+		default:
+			in.Add(isa.Uop{Op: uop, Dst: dst, Src1: dst, Src2: src})
+		}
+		return nil
+
+	case op >= opALURI && op < opALURI+byte(len(aluOps)):
+		if !need(6) {
+			return isa.ErrTruncated
+		}
+		in.Len = 6
+		uop := aluOps[op-opALURI]
+		dst := intReg(buf[1] >> 4)
+		imm := int64(int32(binary.LittleEndian.Uint32(buf[2:])))
+		switch uop {
+		case isa.Mov:
+			in.Add(isa.Uop{Op: isa.Mov, Dst: dst, Src1: isa.RegNone, Src2: isa.RegNone, Imm: imm, UsesImm: true})
+		case isa.Cmp:
+			in.Add(isa.Uop{Op: isa.Cmp, Dst: isa.Flags, Src1: dst, Src2: isa.RegNone, Imm: imm, UsesImm: true})
+		default:
+			in.Add(isa.Uop{Op: uop, Dst: dst, Src1: dst, Src2: isa.RegNone, Imm: imm, UsesImm: true})
+		}
+		return nil
+
+	case op == opMOVABS:
+		if !need(10) {
+			return isa.ErrTruncated
+		}
+		in.Len = 10
+		dst := intReg(buf[1])
+		imm := int64(binary.LittleEndian.Uint64(buf[2:]))
+		in.Add(isa.Uop{Op: isa.Mov, Dst: dst, Src1: isa.RegNone, Src2: isa.RegNone, Imm: imm, UsesImm: true})
+		return nil
+
+	case op >= opLOAD && op < opLOAD+4:
+		if !need(6) {
+			return isa.ErrTruncated
+		}
+		in.Len = 6
+		dst, base := intReg(buf[1]>>4), intReg(buf[1])
+		disp := int64(int32(binary.LittleEndian.Uint32(buf[2:])))
+		in.Add(isa.Uop{Op: isa.Load, Dst: dst, Src1: base, Src2: isa.RegNone,
+			Imm: disp, Size: loadSizes[op-opLOAD]})
+		return nil
+
+	case op >= opLOADS && op < opLOADS+3:
+		if !need(6) {
+			return isa.ErrTruncated
+		}
+		in.Len = 6
+		dst, base := intReg(buf[1]>>4), intReg(buf[1])
+		disp := int64(int32(binary.LittleEndian.Uint32(buf[2:])))
+		in.Add(isa.Uop{Op: isa.Load, Dst: dst, Src1: base, Src2: isa.RegNone,
+			Imm: disp, Size: loadSizes[op-opLOADS], SignExt: true})
+		return nil
+
+	case op >= opSTORE && op < opSTORE+4:
+		if !need(6) {
+			return isa.ErrTruncated
+		}
+		in.Len = 6
+		src, base := intReg(buf[1]>>4), intReg(buf[1])
+		disp := int64(int32(binary.LittleEndian.Uint32(buf[2:])))
+		in.Add(isa.Uop{Op: isa.Store, Dst: isa.RegNone, Src1: base, Src2: src,
+			Imm: disp, Size: loadSizes[op-opSTORE]})
+		return nil
+
+	case op == opJMP:
+		if !need(5) {
+			return isa.ErrTruncated
+		}
+		in.Len = 5
+		in.Add(isa.Uop{Op: isa.Jmp, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		in.Branch = isa.BranchInfo{IsBranch: true, Target: rel32At(1)}
+		return nil
+
+	case op == opJCC:
+		if !need(6) {
+			return isa.ErrTruncated
+		}
+		if buf[1] >= byte(isa.NumConds) {
+			return isa.ErrIllegal
+		}
+		in.Len = 6
+		cc := isa.Cond(buf[1])
+		in.Add(isa.Uop{Op: isa.BrFlags, Dst: isa.RegNone, Src1: isa.Flags, Src2: isa.RegNone, Cond: cc})
+		in.Branch = isa.BranchInfo{IsBranch: true, IsCond: true, Target: rel32At(2)}
+		return nil
+
+	case op == opCALL:
+		if !need(5) {
+			return isa.ErrTruncated
+		}
+		in.Len = 5
+		ret := int64(pc + 5)
+		// CALL cracks into: materialize return address, push it, jump.
+		in.Add(isa.Uop{Op: isa.Mov, Dst: isa.T1, Src1: isa.RegNone, Src2: isa.RegNone, Imm: ret, UsesImm: true})
+		in.Add(isa.Uop{Op: isa.Sub, Dst: isa.SP, Src1: isa.SP, Src2: isa.RegNone, Imm: 8, UsesImm: true})
+		in.Add(isa.Uop{Op: isa.Store, Dst: isa.RegNone, Src1: isa.SP, Src2: isa.T1, Imm: 0, Size: 8})
+		in.Add(isa.Uop{Op: isa.Call, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		in.Branch = isa.BranchInfo{IsBranch: true, IsCall: true, Target: rel32At(1)}
+		return nil
+
+	case op == opRET:
+		in.Len = 1
+		// RET cracks into: pop return address, jump to it.
+		in.Add(isa.Uop{Op: isa.Load, Dst: isa.T0, Src1: isa.SP, Src2: isa.RegNone, Imm: 0, Size: 8})
+		in.Add(isa.Uop{Op: isa.Add, Dst: isa.SP, Src1: isa.SP, Src2: isa.RegNone, Imm: 8, UsesImm: true})
+		in.Add(isa.Uop{Op: isa.Ret, Dst: isa.RegNone, Src1: isa.T0, Src2: isa.RegNone})
+		in.Branch = isa.BranchInfo{IsBranch: true, IsRet: true, IsIndirect: true}
+		return nil
+
+	case op == opJMPREG:
+		if !need(2) {
+			return isa.ErrTruncated
+		}
+		in.Len = 2
+		in.Add(isa.Uop{Op: isa.JmpReg, Dst: isa.RegNone, Src1: intReg(buf[1]), Src2: isa.RegNone})
+		in.Branch = isa.BranchInfo{IsBranch: true, IsIndirect: true}
+		return nil
+
+	case op == opPUSH:
+		if !need(2) {
+			return isa.ErrTruncated
+		}
+		in.Len = 2
+		r := intReg(buf[1])
+		in.Add(isa.Uop{Op: isa.Sub, Dst: isa.SP, Src1: isa.SP, Src2: isa.RegNone, Imm: 8, UsesImm: true})
+		in.Add(isa.Uop{Op: isa.Store, Dst: isa.RegNone, Src1: isa.SP, Src2: r, Imm: 0, Size: 8})
+		return nil
+
+	case op == opPOP:
+		if !need(2) {
+			return isa.ErrTruncated
+		}
+		in.Len = 2
+		r := intReg(buf[1])
+		in.Add(isa.Uop{Op: isa.Load, Dst: r, Src1: isa.SP, Src2: isa.RegNone, Imm: 0, Size: 8})
+		in.Add(isa.Uop{Op: isa.Add, Dst: isa.SP, Src1: isa.SP, Src2: isa.RegNone, Imm: 8, UsesImm: true})
+		return nil
+
+	case op >= opFALU && op <= opFMOVFRF:
+		return decodeFP(op, buf, in)
+	}
+	return isa.ErrIllegal
+}
+
+func decodeFP(op byte, buf []byte, in *isa.Inst) error {
+	if len(buf) < 2 {
+		return isa.ErrTruncated
+	}
+	hi, lo := buf[1]>>4, buf[1]&0x0f
+	switch op {
+	case opFALU, opFALU + 1, opFALU + 2, opFALU + 3:
+		fd, ok1 := fpReg(hi)
+		fs, ok2 := fpReg(lo)
+		if !ok1 || !ok2 {
+			return isa.ErrIllegal
+		}
+		in.Len = 2
+		fop := [...]isa.Op{isa.FAdd, isa.FSub, isa.FMul, isa.FDiv}[op-opFALU]
+		in.Add(isa.Uop{Op: fop, Dst: fd, Src1: fd, Src2: fs})
+		return nil
+	case opFMOV:
+		fd, ok1 := fpReg(hi)
+		fs, ok2 := fpReg(lo)
+		if !ok1 || !ok2 {
+			return isa.ErrIllegal
+		}
+		in.Len = 2
+		in.Add(isa.Uop{Op: isa.FMov, Dst: fd, Src1: fs, Src2: fs})
+		return nil
+	case opFCVTIF:
+		fd, ok := fpReg(hi)
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Len = 2
+		in.Add(isa.Uop{Op: isa.FCvtIF, Dst: fd, Src1: intReg(lo), Src2: isa.RegNone})
+		return nil
+	case opFCVTFI:
+		fs, ok := fpReg(lo)
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Len = 2
+		in.Add(isa.Uop{Op: isa.FCvtFI, Dst: intReg(hi), Src1: fs, Src2: isa.RegNone})
+		return nil
+	case opFMOVTOF:
+		fd, ok := fpReg(hi)
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Len = 2
+		in.Add(isa.Uop{Op: isa.FMovToFP, Dst: fd, Src1: intReg(lo), Src2: isa.RegNone})
+		return nil
+	case opFMOVFRF:
+		fs, ok := fpReg(lo)
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Len = 2
+		in.Add(isa.Uop{Op: isa.FMovFromFP, Dst: intReg(hi), Src1: fs, Src2: isa.RegNone})
+		return nil
+	case opFLOAD:
+		if len(buf) < 6 {
+			return isa.ErrTruncated
+		}
+		fd, ok := fpReg(hi)
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Len = 6
+		disp := int64(int32(binary.LittleEndian.Uint32(buf[2:])))
+		in.Add(isa.Uop{Op: isa.FLoad, Dst: fd, Src1: intReg(lo), Src2: isa.RegNone, Imm: disp, Size: 8})
+		return nil
+	case opFSTORE:
+		if len(buf) < 6 {
+			return isa.ErrTruncated
+		}
+		fs, ok := fpReg(hi)
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Len = 6
+		disp := int64(int32(binary.LittleEndian.Uint32(buf[2:])))
+		in.Add(isa.Uop{Op: isa.FStore, Dst: isa.RegNone, Src1: intReg(lo), Src2: fs, Imm: disp, Size: 8})
+		return nil
+	case opFCMP:
+		fa, ok1 := fpReg(hi)
+		fb, ok2 := fpReg(lo)
+		if !ok1 || !ok2 {
+			return isa.ErrIllegal
+		}
+		in.Len = 2
+		in.Add(isa.Uop{Op: isa.FCmp, Dst: isa.Flags, Src1: fa, Src2: fb})
+		return nil
+	}
+	return isa.ErrIllegal
+}

@@ -1,0 +1,292 @@
+package cisc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func decodeOne(t *testing.T, code []byte, pc uint64) isa.Inst {
+	t.Helper()
+	var in isa.Inst
+	if err := (Decoder{}).Decode(code, pc, &in); err != nil {
+		t.Fatalf("decode %x: %v", code, err)
+	}
+	return in
+}
+
+func TestDecoderMeta(t *testing.T) {
+	d := Decoder{}
+	if d.Name() != "x86" || d.MaxInstLen() != 10 || d.MinInstLen() != 1 {
+		t.Fatal("decoder metadata")
+	}
+	if d.DivZero() != isa.DivZeroTrap {
+		t.Fatal("CISC must trap on divide by zero")
+	}
+}
+
+func TestNopHaltSyscall(t *testing.T) {
+	var e Emitter
+	e.Nop()
+	e.Halt()
+	e.Syscall()
+	in := decodeOne(t, e.Code, 0)
+	if in.Len != 1 || in.Uops[0].Op != isa.Nop {
+		t.Fatal("nop")
+	}
+	in = decodeOne(t, e.Code[1:], 1)
+	if in.Uops[0].Op != isa.Halt {
+		t.Fatal("halt")
+	}
+	in = decodeOne(t, e.Code[2:], 2)
+	if in.Len != 2 || in.Uops[0].Op != isa.Syscall {
+		t.Fatal("syscall")
+	}
+}
+
+func TestALURoundTrip(t *testing.T) {
+	ops := []isa.Op{isa.Add, isa.Sub, isa.And, isa.Or, isa.Xor, isa.Shl,
+		isa.Shr, isa.Sar, isa.Mul, isa.Div, isa.Rem}
+	for _, op := range ops {
+		var e Emitter
+		e.ALURR(op, isa.R3, isa.R7)
+		in := decodeOne(t, e.Code, 0)
+		u := in.Uops[0]
+		if in.NUops != 1 || u.Op != op || u.Dst != isa.R3 || u.Src1 != isa.R3 || u.Src2 != isa.R7 {
+			t.Errorf("%v rr: %+v", op, u)
+		}
+		e = Emitter{}
+		e.ALURI(op, isa.R5, -12345)
+		in = decodeOne(t, e.Code, 0)
+		u = in.Uops[0]
+		if in.Len != 6 || u.Op != op || u.Dst != isa.R5 || u.Src1 != isa.R5 || !u.UsesImm || u.Imm != -12345 {
+			t.Errorf("%v ri: %+v", op, u)
+		}
+	}
+}
+
+func TestMovAndCmp(t *testing.T) {
+	var e Emitter
+	e.ALURR(isa.Mov, isa.R1, isa.R2)
+	in := decodeOne(t, e.Code, 0)
+	u := in.Uops[0]
+	if u.Op != isa.Mov || u.Dst != isa.R1 || u.Src2 != isa.R2 {
+		t.Fatalf("mov rr: %+v", u)
+	}
+	e = Emitter{}
+	e.ALURR(isa.Cmp, isa.R1, isa.R2)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.Cmp || u.Dst != isa.Flags || u.Src1 != isa.R1 || u.Src2 != isa.R2 {
+		t.Fatalf("cmp rr: %+v", u)
+	}
+	e = Emitter{}
+	e.ALURI(isa.Cmp, isa.R9, 77)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.Cmp || u.Dst != isa.Flags || u.Src1 != isa.R9 || u.Imm != 77 || !u.UsesImm {
+		t.Fatalf("cmp ri: %+v", u)
+	}
+	e = Emitter{}
+	e.MovAbs(isa.R4, 0xdeadbeefcafef00d)
+	in = decodeOne(t, e.Code, 0)
+	u = in.Uops[0]
+	if in.Len != 10 || u.Op != isa.Mov || u.Dst != isa.R4 || uint64(u.Imm) != 0xdeadbeefcafef00d {
+		t.Fatalf("movabs: %+v", u)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	for _, sz := range []uint8{1, 2, 4, 8} {
+		for _, sx := range []bool{false, true} {
+			if sx && sz == 8 {
+				continue
+			}
+			var e Emitter
+			e.Load(sz, sx, isa.R2, isa.R10, -64)
+			in := decodeOne(t, e.Code, 0)
+			u := in.Uops[0]
+			if u.Op != isa.Load || u.Dst != isa.R2 || u.Src1 != isa.R10 ||
+				u.Imm != -64 || u.Size != sz || u.SignExt != sx {
+				t.Errorf("load sz=%d sx=%v: %+v", sz, sx, u)
+			}
+		}
+		var e Emitter
+		e.Store(sz, isa.R6, isa.SP, 256)
+		u := decodeOne(t, e.Code, 0).Uops[0]
+		if u.Op != isa.Store || u.Src2 != isa.R6 || u.Src1 != isa.SP || u.Imm != 256 || u.Size != sz {
+			t.Errorf("store sz=%d: %+v", sz, u)
+		}
+	}
+}
+
+func TestBranches(t *testing.T) {
+	var e Emitter
+	at := e.Jmp()
+	PatchRel32(e.Code, at, 100)
+	in := decodeOne(t, e.Code, 0x1000)
+	if !in.Branch.IsBranch || in.Branch.IsCond || in.Branch.Target != 0x1000+5+100 {
+		t.Fatalf("jmp: %+v", in.Branch)
+	}
+	e = Emitter{}
+	at = e.Jcc(isa.CondLT)
+	PatchRel32(e.Code, at, -24)
+	in = decodeOne(t, e.Code, 0x2000)
+	if !in.Branch.IsCond || in.Branch.Target != 0x2000+6-24 {
+		t.Fatalf("jcc: %+v", in.Branch)
+	}
+	if in.Uops[0].Op != isa.BrFlags || in.Uops[0].Src1 != isa.Flags || in.Uops[0].Cond != isa.CondLT {
+		t.Fatalf("jcc uop: %+v", in.Uops[0])
+	}
+}
+
+func TestCallCracksToPush(t *testing.T) {
+	var e Emitter
+	at := e.Call()
+	PatchRel32(e.Code, at, 0x80)
+	in := decodeOne(t, e.Code, 0x4000)
+	if !in.Branch.IsCall || in.Branch.Target != 0x4000+5+0x80 {
+		t.Fatalf("call branch: %+v", in.Branch)
+	}
+	if in.NUops != 4 {
+		t.Fatalf("call cracks to %d uops, want 4", in.NUops)
+	}
+	// Return address materialized, stack decremented, stored, then jump.
+	if in.Uops[0].Op != isa.Mov || uint64(in.Uops[0].Imm) != 0x4005 {
+		t.Fatalf("uop0: %+v", in.Uops[0])
+	}
+	if in.Uops[1].Op != isa.Sub || in.Uops[1].Dst != isa.SP {
+		t.Fatalf("uop1: %+v", in.Uops[1])
+	}
+	if in.Uops[2].Op != isa.Store || in.Uops[2].Src1 != isa.SP || in.Uops[2].Size != 8 {
+		t.Fatalf("uop2: %+v", in.Uops[2])
+	}
+	if in.Uops[3].Op != isa.Call {
+		t.Fatalf("uop3: %+v", in.Uops[3])
+	}
+}
+
+func TestRetCracksToPop(t *testing.T) {
+	var e Emitter
+	e.Ret()
+	in := decodeOne(t, e.Code, 0)
+	if !in.Branch.IsRet || !in.Branch.IsIndirect {
+		t.Fatalf("ret branch: %+v", in.Branch)
+	}
+	if in.NUops != 3 || in.Uops[0].Op != isa.Load || in.Uops[2].Op != isa.Ret {
+		t.Fatalf("ret uops: %d %+v", in.NUops, in.Uops)
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	var e Emitter
+	e.Push(isa.R8)
+	in := decodeOne(t, e.Code, 0)
+	if in.NUops != 2 || in.Uops[1].Op != isa.Store || in.Uops[1].Src2 != isa.R8 {
+		t.Fatalf("push: %+v", in.Uops)
+	}
+	e = Emitter{}
+	e.Pop(isa.R8)
+	in = decodeOne(t, e.Code, 0)
+	if in.NUops != 2 || in.Uops[0].Op != isa.Load || in.Uops[0].Dst != isa.R8 {
+		t.Fatalf("pop: %+v", in.Uops)
+	}
+}
+
+func TestFPRoundTrip(t *testing.T) {
+	var e Emitter
+	e.FALU(isa.FMul, isa.F2, isa.F5)
+	u := decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FMul || u.Dst != isa.F2 || u.Src1 != isa.F2 || u.Src2 != isa.F5 {
+		t.Fatalf("fmul: %+v", u)
+	}
+	e = Emitter{}
+	e.FLoad(isa.F1, isa.R3, 40)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FLoad || u.Dst != isa.F1 || u.Src1 != isa.R3 || u.Imm != 40 {
+		t.Fatalf("fload: %+v", u)
+	}
+	e = Emitter{}
+	e.FStore(isa.F6, isa.R2, -8)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FStore || u.Src2 != isa.F6 || u.Src1 != isa.R2 || u.Imm != -8 {
+		t.Fatalf("fstore: %+v", u)
+	}
+	e = Emitter{}
+	e.FCvtIF(isa.F0, isa.R1)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FCvtIF || u.Dst != isa.F0 || u.Src1 != isa.R1 {
+		t.Fatalf("fcvtif: %+v", u)
+	}
+	e = Emitter{}
+	e.FCvtFI(isa.R1, isa.F3)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FCvtFI || u.Dst != isa.R1 || u.Src1 != isa.F3 {
+		t.Fatalf("fcvtfi: %+v", u)
+	}
+	e = Emitter{}
+	e.FCmp(isa.F1, isa.F2)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FCmp || u.Dst != isa.Flags {
+		t.Fatalf("fcmp: %+v", u)
+	}
+	e = Emitter{}
+	e.FMovToFP(isa.F4, isa.R9)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FMovToFP || u.Dst != isa.F4 || u.Src1 != isa.R9 {
+		t.Fatalf("fmovtofp: %+v", u)
+	}
+	e = Emitter{}
+	e.FMovFromFP(isa.R9, isa.F4)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FMovFromFP || u.Dst != isa.R9 || u.Src1 != isa.F4 {
+		t.Fatalf("fmovfromfp: %+v", u)
+	}
+}
+
+func TestIllegalAndTruncated(t *testing.T) {
+	d := Decoder{}
+	var in isa.Inst
+	if err := d.Decode([]byte{0xff}, 0, &in); err != isa.ErrIllegal {
+		t.Fatalf("0xff: %v", err)
+	}
+	if err := d.Decode([]byte{0x02, 0x99}, 0, &in); err != isa.ErrIllegal {
+		t.Fatalf("bad syscall second byte: %v", err)
+	}
+	if err := d.Decode(nil, 0, &in); err != isa.ErrTruncated {
+		t.Fatalf("empty: %v", err)
+	}
+	if err := d.Decode([]byte{opALURI}, 0, &in); err != isa.ErrTruncated {
+		t.Fatalf("truncated aluri: %v", err)
+	}
+	// FP register fields above 7 are illegal.
+	if err := d.Decode([]byte{opFALU, 0x9f}, 0, &in); err != isa.ErrIllegal {
+		t.Fatalf("fp reg 9: %v", err)
+	}
+	// Jcc with an undefined condition code is illegal.
+	if err := d.Decode([]byte{opJCC, 0x20, 0, 0, 0, 0}, 0, &in); err != isa.ErrIllegal {
+		t.Fatalf("bad cc: %v", err)
+	}
+}
+
+// Property: the decoder never panics on arbitrary byte sequences — faulty
+// instruction bytes must surface as ErrIllegal/ErrTruncated, not as a
+// simulator crash at the Go level.
+func TestPropDecodeNeverPanics(t *testing.T) {
+	d := Decoder{}
+	f := func(raw []byte, pc uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		var in isa.Inst
+		err := d.Decode(raw, pc, &in)
+		if err == nil && (in.Len == 0 || int(in.Len) > len(raw) || in.NUops == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

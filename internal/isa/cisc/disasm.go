@@ -1,0 +1,90 @@
+package cisc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Disasm decodes and formats the instruction at pc, returning the
+// rendered text and the instruction length. Undecodable bytes render as
+// ".byte 0x.." with length 1, so a disassembly walk always makes
+// progress (exactly how a debugger walks a corrupted text segment).
+func Disasm(buf []byte, pc uint64) (string, int) {
+	var in isa.Inst
+	if err := (Decoder{}).Decode(buf, pc, &in); err != nil {
+		if len(buf) == 0 {
+			return ".end", 0
+		}
+		return fmt.Sprintf(".byte 0x%02x", buf[0]), 1
+	}
+	return render(&in), int(in.Len)
+}
+
+func render(in *isa.Inst) string {
+	b := in.Branch
+	u := in.Uops[0]
+	switch {
+	case b.IsCall:
+		return fmt.Sprintf("call 0x%x", b.Target)
+	case b.IsRet:
+		return "ret"
+	case b.IsBranch && b.IsIndirect:
+		return fmt.Sprintf("jmp *%s", in.Uops[0].Src1)
+	case b.IsBranch && b.IsCond:
+		return fmt.Sprintf("j%s 0x%x", u.Cond, b.Target)
+	case b.IsBranch:
+		return fmt.Sprintf("jmp 0x%x", b.Target)
+	}
+	// PUSH/POP render from their cracked pair.
+	if in.NUops == 2 {
+		if in.Uops[0].Op == isa.Sub && in.Uops[1].Op == isa.Store {
+			return fmt.Sprintf("push %s", in.Uops[1].Src2)
+		}
+		if in.Uops[0].Op == isa.Load && in.Uops[1].Op == isa.Add {
+			return fmt.Sprintf("pop %s", in.Uops[0].Dst)
+		}
+	}
+	switch u.Op {
+	case isa.Nop:
+		return "nop"
+	case isa.Halt:
+		return "hlt"
+	case isa.Syscall:
+		return "syscall"
+	case isa.Load:
+		return fmt.Sprintf("mov%s %s, [%s%+d]", sizeSuffix(u.Size, u.SignExt), u.Dst, u.Src1, u.Imm)
+	case isa.FLoad:
+		return fmt.Sprintf("fld %s, [%s%+d]", u.Dst, u.Src1, u.Imm)
+	case isa.Store:
+		return fmt.Sprintf("mov%s [%s%+d], %s", sizeSuffix(u.Size, false), u.Src1, u.Imm, u.Src2)
+	case isa.FStore:
+		return fmt.Sprintf("fst [%s%+d], %s", u.Src1, u.Imm, u.Src2)
+	case isa.Mov:
+		if u.UsesImm {
+			return fmt.Sprintf("mov %s, $0x%x", u.Dst, uint64(u.Imm))
+		}
+		return fmt.Sprintf("mov %s, %s", u.Dst, u.Src2)
+	case isa.Cmp:
+		if u.UsesImm {
+			return fmt.Sprintf("cmp %s, $%d", u.Src1, u.Imm)
+		}
+		return fmt.Sprintf("cmp %s, %s", u.Src1, u.Src2)
+	case isa.FCmp:
+		return fmt.Sprintf("fcmp %s, %s", u.Src1, u.Src2)
+	}
+	mn := strings.ToLower(u.Op.String())
+	if u.UsesImm {
+		return fmt.Sprintf("%s %s, $%d", mn, u.Dst, u.Imm)
+	}
+	return fmt.Sprintf("%s %s, %s", mn, u.Dst, u.Src2)
+}
+
+func sizeSuffix(size uint8, signExt bool) string {
+	s := map[uint8]string{1: "b", 2: "w", 4: "l", 8: "q"}[size]
+	if signExt {
+		return "s" + s
+	}
+	return s
+}

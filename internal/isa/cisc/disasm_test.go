@@ -1,0 +1,105 @@
+package cisc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestDisasmForms(t *testing.T) {
+	var e Emitter
+	check := func(want string) {
+		t.Helper()
+		got, n := Disasm(e.Code, 0x1000)
+		if n != len(e.Code) {
+			t.Fatalf("%q: length %d != %d", want, n, len(e.Code))
+		}
+		if got != want {
+			t.Fatalf("disasm = %q, want %q", got, want)
+		}
+		e = Emitter{}
+	}
+	e.Nop()
+	check("nop")
+	e.ALURR(isa.Add, isa.R1, isa.R2)
+	check("add r1, r2")
+	e.ALURI(isa.Sub, isa.R3, 42)
+	check("sub r3, $42")
+	e.ALURR(isa.Mov, isa.R4, isa.R5)
+	check("mov r4, r5")
+	e.MovAbs(isa.R6, 0xdead)
+	check("mov r6, $0xdead")
+	e.ALURR(isa.Cmp, isa.R1, isa.R2)
+	check("cmp r1, r2")
+	e.Load(4, true, isa.R2, isa.R3, -8)
+	check("movsl r2, [r3-8]")
+	e.Store(8, isa.R2, isa.SP, 16)
+	check("movq [sp+16], r2")
+	e.Push(isa.R9)
+	check("push r9")
+	e.Pop(isa.R9)
+	check("pop r9")
+	e.Ret()
+	check("ret")
+	e.Syscall()
+	check("syscall")
+	e.JmpReg(isa.R7)
+	check("jmp *r7")
+	e.FALU(isa.FMul, isa.F1, isa.F2)
+	check("fmul f1, f2")
+	e.FLoad(isa.F0, isa.R1, 8)
+	check("fld f0, [r1+8]")
+
+	at := e.Jmp()
+	PatchRel32(e.Code, at, 0x20)
+	check("jmp 0x1025")
+	at = e.Jcc(isa.CondNE)
+	PatchRel32(e.Code, at, -6)
+	check("jne 0x1000")
+	at = e.Call()
+	PatchRel32(e.Code, at, 0x100)
+	check("call 0x1105")
+}
+
+func TestDisasmIllegalByte(t *testing.T) {
+	got, n := Disasm([]byte{0xfe, 0x00}, 0)
+	if n != 1 || !strings.HasPrefix(got, ".byte") {
+		t.Fatalf("%q, %d", got, n)
+	}
+	got, n = Disasm(nil, 0)
+	if n != 0 || got != ".end" {
+		t.Fatalf("%q, %d", got, n)
+	}
+}
+
+// Property: disassembly of arbitrary bytes always terminates with
+// positive progress and never panics.
+func TestPropDisasmTotal(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		pc := uint64(0x1000)
+		for off := 0; off < len(raw); {
+			_, n := Disasm(raw[off:], pc)
+			if n <= 0 {
+				// Only legal at a truncated tail.
+				return len(raw)-off < MaxLen()
+			}
+			off += n
+			pc += uint64(n)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MaxLen exposes the decoder's maximum instruction length for the
+// property test.
+func MaxLen() int { return Decoder{}.MaxInstLen() }

@@ -1,0 +1,195 @@
+package isa
+
+import "math"
+
+// DivZeroPolicy selects the architectural behaviour of integer division
+// by zero. The two ISAs differ here the way x86 and ARM really do, which
+// is one source of differential fault behaviour: a corrupted divisor
+// crashes the process on the CISC ISA but silently produces zero on the
+// RISC ISA.
+type DivZeroPolicy uint8
+
+const (
+	// DivZeroTrap raises a divide-error exception (x86 #DE).
+	DivZeroTrap DivZeroPolicy = iota
+	// DivZeroZero returns zero without trapping (ARM UDIV/SDIV).
+	DivZeroZero
+)
+
+// EvalResult is the outcome of evaluating an ALU micro-op.
+type EvalResult struct {
+	Val     uint64
+	FVal    float64
+	DivZero bool // a trap-policy division by zero occurred
+}
+
+// CmpFlags computes the flags word for Cmp a − b.
+func CmpFlags(a, b uint64) uint64 {
+	d := a - b
+	var f uint64
+	if d == 0 {
+		f |= FlagZ
+	}
+	if a < b {
+		f |= FlagC
+	}
+	if int64(d) < 0 {
+		f |= FlagN
+	}
+	// Signed overflow of a − b: operands differ in sign and the result
+	// sign differs from a's.
+	if (int64(a) < 0) != (int64(b) < 0) && (int64(d) < 0) != (int64(a) < 0) {
+		f |= FlagV
+	}
+	return f
+}
+
+// FCmpFlags computes the flags word for an FP compare. NaN comparisons
+// set C and V (unordered), matching the usual "below" encoding.
+func FCmpFlags(a, b float64) uint64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return FlagC | FlagV
+	}
+	switch {
+	case a == b:
+		return FlagZ
+	case a < b:
+		return FlagC | FlagN
+	default:
+		return 0
+	}
+}
+
+// EvalCond evaluates a condition code against a flags word.
+func EvalCond(c Cond, flags uint64) bool {
+	z := flags&FlagZ != 0
+	cf := flags&FlagC != 0
+	n := flags&FlagN != 0
+	v := flags&FlagV != 0
+	switch c {
+	case CondAlways:
+		return true
+	case CondEQ:
+		return z
+	case CondNE:
+		return !z
+	case CondLT:
+		return n != v
+	case CondGE:
+		return n == v
+	case CondLE:
+		return z || n != v
+	case CondGT:
+		return !z && n == v
+	case CondB:
+		return cf
+	case CondAE:
+		return !cf
+	case CondBE:
+		return cf || z
+	case CondA:
+		return !cf && !z
+	default:
+		return false
+	}
+}
+
+// EvalInt evaluates an integer ALU micro-op on operand values a and b
+// (b is the immediate when the uop uses one). It implements the shared
+// architectural semantics used by both simulators.
+func EvalInt(op Op, a, b uint64, divPolicy DivZeroPolicy) EvalResult {
+	switch op {
+	case Add:
+		return EvalResult{Val: a + b}
+	case Sub:
+		return EvalResult{Val: a - b}
+	case And:
+		return EvalResult{Val: a & b}
+	case Or:
+		return EvalResult{Val: a | b}
+	case Xor:
+		return EvalResult{Val: a ^ b}
+	case Shl:
+		return EvalResult{Val: a << (b & 63)}
+	case Shr:
+		return EvalResult{Val: a >> (b & 63)}
+	case Sar:
+		return EvalResult{Val: uint64(int64(a) >> (b & 63))}
+	case Mul:
+		return EvalResult{Val: a * b}
+	case Div:
+		if b == 0 {
+			if divPolicy == DivZeroTrap {
+				return EvalResult{DivZero: true}
+			}
+			return EvalResult{Val: 0}
+		}
+		if int64(a) == math.MinInt64 && int64(b) == -1 {
+			// Overflowing quotient: x86 traps, ARM wraps.
+			if divPolicy == DivZeroTrap {
+				return EvalResult{DivZero: true}
+			}
+			return EvalResult{Val: a}
+		}
+		return EvalResult{Val: uint64(int64(a) / int64(b))}
+	case Rem:
+		if b == 0 {
+			if divPolicy == DivZeroTrap {
+				return EvalResult{DivZero: true}
+			}
+			return EvalResult{Val: a}
+		}
+		if int64(a) == math.MinInt64 && int64(b) == -1 {
+			return EvalResult{Val: 0}
+		}
+		return EvalResult{Val: uint64(int64(a) % int64(b))}
+	case Mov:
+		return EvalResult{Val: b}
+	case Cmp:
+		return EvalResult{Val: CmpFlags(a, b)}
+	default:
+		return EvalResult{}
+	}
+}
+
+// EvalFP evaluates a floating-point ALU micro-op.
+func EvalFP(op Op, a, b float64) float64 {
+	switch op {
+	case FAdd:
+		return a + b
+	case FSub:
+		return a - b
+	case FMul:
+		return a * b
+	case FDiv:
+		return a / b // IEEE: ±Inf or NaN on zero divisor
+	case FMov:
+		return a
+	default:
+		return 0
+	}
+}
+
+// ExtendLoad applies size truncation and sign/zero extension to a loaded
+// value.
+func ExtendLoad(v uint64, size uint8, signExt bool) uint64 {
+	switch size {
+	case 1:
+		if signExt {
+			return uint64(int64(int8(v)))
+		}
+		return uint64(uint8(v))
+	case 2:
+		if signExt {
+			return uint64(int64(int16(v)))
+		}
+		return uint64(uint16(v))
+	case 4:
+		if signExt {
+			return uint64(int64(int32(v)))
+		}
+		return uint64(uint32(v))
+	default:
+		return v
+	}
+}

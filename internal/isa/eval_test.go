@@ -1,0 +1,234 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalIntBasics(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint64
+		want uint64
+	}{
+		{Add, 2, 3, 5},
+		{Sub, 2, 3, ^uint64(0)},
+		{And, 0xff, 0x0f, 0x0f},
+		{Or, 0xf0, 0x0f, 0xff},
+		{Xor, 0xff, 0x0f, 0xf0},
+		{Shl, 1, 4, 16},
+		{Shl, 1, 68, 16}, // shift amount masked to 6 bits
+		{Shr, 0x8000000000000000, 63, 1},
+		{Sar, 0x8000000000000000, 63, ^uint64(0)},
+		{Mul, 7, 6, 42},
+		{Div, 42, 5, 8},
+		{Div, uint64(0xFFFFFFFFFFFFFFF6), 5, uint64(0xFFFFFFFFFFFFFFFE)}, // -10/5 = -2
+		{Rem, 43, 5, 3},
+		{Mov, 99, 123, 123},
+	}
+	for _, c := range cases {
+		got := EvalInt(c.op, c.a, c.b, DivZeroTrap)
+		if got.Val != c.want || got.DivZero {
+			t.Errorf("EvalInt(%v, %d, %d) = %+v, want %d", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEvalIntDivZeroPolicies(t *testing.T) {
+	if r := EvalInt(Div, 5, 0, DivZeroTrap); !r.DivZero {
+		t.Error("trap policy did not trap on /0")
+	}
+	if r := EvalInt(Div, 5, 0, DivZeroZero); r.DivZero || r.Val != 0 {
+		t.Errorf("zero policy = %+v, want Val 0", r)
+	}
+	if r := EvalInt(Rem, 5, 0, DivZeroZero); r.DivZero || r.Val != 5 {
+		t.Errorf("rem zero policy = %+v, want Val 5 (ARM: a)", r)
+	}
+	// Overflowing INT64_MIN / -1.
+	minI := uint64(1) << 63
+	if r := EvalInt(Div, minI, ^uint64(0), DivZeroTrap); !r.DivZero {
+		t.Error("trap policy did not trap on INT64_MIN/-1")
+	}
+	if r := EvalInt(Div, minI, ^uint64(0), DivZeroZero); r.Val != minI {
+		t.Errorf("zero policy INT64_MIN/-1 = %#x, want wrap to %#x", r.Val, minI)
+	}
+	if r := EvalInt(Rem, minI, ^uint64(0), DivZeroZero); r.Val != 0 {
+		t.Errorf("rem INT64_MIN%%-1 = %d, want 0", r.Val)
+	}
+}
+
+func TestCmpFlagsAndConds(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		hold []Cond
+		not  []Cond
+	}{
+		{5, 5, []Cond{CondEQ, CondGE, CondLE, CondAE, CondBE}, []Cond{CondNE, CondLT, CondGT, CondB, CondA}},
+		{3, 5, []Cond{CondNE, CondLT, CondLE, CondB, CondBE}, []Cond{CondEQ, CondGE, CondGT, CondAE, CondA}},
+		{5, 3, []Cond{CondNE, CondGT, CondGE, CondA, CondAE}, []Cond{CondEQ, CondLT, CondLE, CondB, CondBE}},
+		// Signed vs unsigned disagreement: -1 vs 1.
+		{^uint64(0), 1, []Cond{CondNE, CondLT, CondLE, CondA, CondAE}, []Cond{CondEQ, CondGT, CondGE, CondB, CondBE}},
+		// Overflow case: INT64_MIN vs 1 (signed <, but subtract overflows).
+		{1 << 63, 1, []Cond{CondLT, CondNE}, []Cond{CondGE, CondEQ}},
+	}
+	for _, c := range cases {
+		f := CmpFlags(c.a, c.b)
+		for _, cc := range c.hold {
+			if !EvalCond(cc, f) {
+				t.Errorf("cmp(%#x,%#x): cond %v should hold", c.a, c.b, cc)
+			}
+		}
+		for _, cc := range c.not {
+			if EvalCond(cc, f) {
+				t.Errorf("cmp(%#x,%#x): cond %v should not hold", c.a, c.b, cc)
+			}
+		}
+	}
+}
+
+// Property: EvalCond on CmpFlags agrees with direct integer comparison for
+// every condition code and random operands.
+func TestPropCmpFlagsAgree(t *testing.T) {
+	f := func(a, b uint64) bool {
+		fl := CmpFlags(a, b)
+		sa, sb := int64(a), int64(b)
+		checks := []struct {
+			c    Cond
+			want bool
+		}{
+			{CondEQ, a == b}, {CondNE, a != b},
+			{CondLT, sa < sb}, {CondGE, sa >= sb},
+			{CondLE, sa <= sb}, {CondGT, sa > sb},
+			{CondB, a < b}, {CondAE, a >= b},
+			{CondBE, a <= b}, {CondA, a > b},
+			{CondAlways, true},
+		}
+		for _, ch := range checks {
+			if EvalCond(ch.c, fl) != ch.want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFCmpFlags(t *testing.T) {
+	if f := FCmpFlags(1, 1); !EvalCond(CondEQ, f) {
+		t.Error("1 == 1 failed")
+	}
+	if f := FCmpFlags(1, 2); !EvalCond(CondB, f) || !EvalCond(CondLT, f) {
+		t.Error("1 < 2 failed")
+	}
+	if f := FCmpFlags(2, 1); !EvalCond(CondA, f) {
+		t.Error("2 > 1 failed")
+	}
+	if f := FCmpFlags(math.NaN(), 1); EvalCond(CondEQ, f) || !EvalCond(CondB, f) {
+		t.Error("NaN compare not unordered-below")
+	}
+}
+
+func TestEvalFP(t *testing.T) {
+	if EvalFP(FAdd, 1.5, 2.25) != 3.75 {
+		t.Error("fadd")
+	}
+	if EvalFP(FSub, 1.5, 2.25) != -0.75 {
+		t.Error("fsub")
+	}
+	if EvalFP(FMul, 3, 4) != 12 {
+		t.Error("fmul")
+	}
+	if EvalFP(FDiv, 1, 4) != 0.25 {
+		t.Error("fdiv")
+	}
+	if !math.IsInf(EvalFP(FDiv, 1, 0), 1) {
+		t.Error("fdiv by zero should be +Inf")
+	}
+	if EvalFP(FMov, 7.5, 0) != 7.5 {
+		t.Error("fmov")
+	}
+}
+
+func TestExtendLoad(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		size uint8
+		sx   bool
+		want uint64
+	}{
+		{0xff, 1, false, 0xff},
+		{0xff, 1, true, ^uint64(0)},
+		{0x8000, 2, false, 0x8000},
+		{0x8000, 2, true, 0xffffffffffff8000},
+		{0x80000000, 4, false, 0x80000000},
+		{0x80000000, 4, true, 0xffffffff80000000},
+		{0xdeadbeefcafef00d, 8, false, 0xdeadbeefcafef00d},
+		{0x1234567890, 4, false, 0x34567890},
+	}
+	for _, c := range cases {
+		if got := ExtendLoad(c.v, c.size, c.sx); got != c.want {
+			t.Errorf("ExtendLoad(%#x,%d,%v) = %#x, want %#x", c.v, c.size, c.sx, got, c.want)
+		}
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	cases := map[Reg]string{
+		R0: "r0", R12: "r12", SP: "sp", LR: "lr", R15: "r15",
+		Flags: "flags", T0: "t0", T1: "t1", F0: "f0", F7: "f7", RegNone: "-",
+	}
+	for r, want := range cases {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", uint8(r), r.String(), want)
+		}
+	}
+	if !F3.IsFP() || F3.IsInt() {
+		t.Error("F3 classification wrong")
+	}
+	if !SP.IsInt() || SP.IsFP() {
+		t.Error("SP classification wrong")
+	}
+	if F2.FPIndex() != 2 {
+		t.Error("FPIndex wrong")
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone should be invalid")
+	}
+}
+
+func TestUopPredicates(t *testing.T) {
+	ld := Uop{Op: Load, Dst: R1, Src1: R2, Size: 8}
+	st := Uop{Op: Store, Dst: RegNone, Src1: R2, Src2: R3, Size: 4}
+	br := Uop{Op: BrCmp, Dst: RegNone, Src1: R1, Src2: R2, Cond: CondEQ}
+	fa := Uop{Op: FAdd, Dst: F0, Src1: F1, Src2: F2}
+	if !ld.IsMem() || !ld.IsLoad() || ld.IsStore() {
+		t.Error("load predicates")
+	}
+	if !st.IsMem() || st.IsLoad() || !st.IsStore() {
+		t.Error("store predicates")
+	}
+	if !br.IsBranch() || br.IsMem() {
+		t.Error("branch predicates")
+	}
+	if !fa.IsFPU() {
+		t.Error("fp predicates")
+	}
+	if st.HasDst() || !ld.HasDst() {
+		t.Error("HasDst")
+	}
+}
+
+func TestOpAndCondStrings(t *testing.T) {
+	if Add.String() != "add" || Syscall.String() != "syscall" {
+		t.Error("op names")
+	}
+	if CondEQ.String() != "eq" || CondAlways.String() != "al" {
+		t.Error("cond names")
+	}
+	if Op(200).String() == "" || Cond(200).String() == "" {
+		t.Error("out-of-range names should not be empty")
+	}
+}

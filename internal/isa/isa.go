@@ -1,0 +1,322 @@
+// Package isa defines the micro-operation vocabulary shared by the two
+// synthetic instruction sets of this repository and by both simulator
+// back-ends.
+//
+// The repository models two ISAs in the spirit of the paper's x86 vs ARM
+// comparison:
+//
+//   - a CISC, x86-flavoured ISA (package isa/cisc): variable-length
+//     encoding, two-operand ALU instructions, a renamed FLAGS register
+//     written by CMP and read by conditional jumps, and stack-based
+//     CALL/RET;
+//   - a RISC, ARM-flavoured ISA (package isa/risc): fixed 4-byte
+//     encoding, three-operand ALU instructions, fused compare-and-branch,
+//     and link-register BL/RET.
+//
+// Both decoders crack macro-instructions into the micro-ops defined here,
+// exactly as MARSS and Gem5 crack x86/ARM into their internal uop formats.
+// The functional semantics of every ALU micro-op are defined once, in
+// Eval, so the two simulators implement the same architecture while
+// differing microarchitecturally.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register in a unified namespace:
+// integer registers 0–15, the FLAGS pseudo-register (CISC only), two
+// microcode temporaries used by cracked instruction sequences, and
+// floating-point registers F0–F7.
+type Reg uint8
+
+const (
+	// R0 through R15 are the general-purpose integer registers.
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13 // stack pointer by software convention (SP)
+	R14 // link register on the RISC ISA (LR)
+	R15
+	// Flags is the condition-flags pseudo-register of the CISC ISA. It
+	// is renamed through the integer physical register file, as x86
+	// FLAGS is in real out-of-order cores.
+	Flags
+	// T0 and T1 are microcode temporaries used by cracked sequences
+	// (e.g. CISC CALL/RET/PUSH/POP). They are architecturally invisible
+	// but renamed like any integer register.
+	T0
+	T1
+)
+
+// NumIntRegs is the size of the integer architectural register space.
+const NumIntRegs = 19
+
+// F0 through F7 are the floating-point registers, carved out of a
+// disjoint range of the unified register namespace.
+const (
+	F0 Reg = 32 + iota
+	F1
+	F2
+	F3
+	F4
+	F5
+	F6
+	F7
+)
+
+// NumFPRegs is the size of the FP architectural register space.
+const NumFPRegs = 8
+
+// SP and LR are conventional aliases.
+const (
+	SP = R13
+	LR = R14
+)
+
+// RegNone marks an unused operand slot.
+const RegNone Reg = 0xff
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= F0 && r < F0+NumFPRegs }
+
+// IsInt reports whether r names an integer (or flags/temp) register.
+func (r Reg) IsInt() bool { return r < NumIntRegs }
+
+// Valid reports whether r names any architectural register.
+func (r Reg) Valid() bool { return r.IsInt() || r.IsFP() }
+
+// FPIndex returns the index of an FP register within the FP space.
+func (r Reg) FPIndex() int { return int(r - F0) }
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch {
+	case r == RegNone:
+		return "-"
+	case r == Flags:
+		return "flags"
+	case r == T0:
+		return "t0"
+	case r == T1:
+		return "t1"
+	case r == SP:
+		return "sp"
+	case r == LR:
+		return "lr"
+	case r.IsInt():
+		return fmt.Sprintf("r%d", int(r))
+	case r.IsFP():
+		return fmt.Sprintf("f%d", r.FPIndex())
+	default:
+		return fmt.Sprintf("Reg(%d)", uint8(r))
+	}
+}
+
+// Op is a micro-operation opcode.
+type Op uint8
+
+const (
+	// Nop does nothing.
+	Nop Op = iota
+
+	// Integer ALU operations: Dst = Src1 op Src2 (or Imm when UsesImm).
+	Add
+	Sub
+	And
+	Or
+	Xor
+	Shl
+	Shr // logical right shift
+	Sar // arithmetic right shift
+	Mul
+	Div // signed divide; see Eval for divide-by-zero semantics
+	Rem // signed remainder
+
+	// Mov copies Src1 (or Imm) to Dst.
+	Mov
+
+	// Cmp computes Src1 − Src2 (or Imm) and writes the condition flags
+	// word to Dst (the Flags register on the CISC ISA).
+	Cmp
+
+	// Load reads Size bytes at [Src1 + Imm] into Dst, sign- or
+	// zero-extending per SignExt.
+	Load
+	// Store writes the low Size bytes of Src2 to [Src1 + Imm].
+	Store
+
+	// Jmp is an unconditional direct jump (target carried by the
+	// macro-instruction).
+	Jmp
+	// JmpReg is an indirect jump to the address in Src1.
+	JmpReg
+	// BrFlags is a conditional direct branch that evaluates Cond
+	// against the flags word in Src1 (CISC Jcc).
+	BrFlags
+	// BrCmp is a fused compare-and-branch on Src1 vs Src2 (RISC CBcc).
+	BrCmp
+	// Call is a direct call that writes the return address to Dst
+	// (the link register on RISC; a microcode temp on CISC, where the
+	// cracked sequence stores it to the stack).
+	Call
+	// Ret is an indirect jump to Src1 that is RAS-predicted.
+	Ret
+
+	// Floating-point ALU operations on FP registers.
+	FAdd
+	FSub
+	FMul
+	FDiv
+	// FMov copies an FP register.
+	FMov
+	// FCvtIF converts the integer in Src1 to floating point in Dst.
+	FCvtIF
+	// FCvtFI converts the FP value in Src1 to a (truncated) integer in
+	// Dst.
+	FCvtFI
+	// FMovToFP moves raw 64-bit integer bits from Src1 into FP Dst.
+	FMovToFP
+	// FMovFromFP moves raw FP bits from Src1 into integer Dst.
+	FMovFromFP
+	// FCmp compares FP Src1 and Src2 and writes a flags word to Dst.
+	FCmp
+	// FLoad and FStore move 8-byte FP values between memory and FP regs.
+	FLoad
+	FStore
+
+	// Syscall traps to the kernel at commit.
+	Syscall
+	// Halt stops the simulated machine (normal program exit path is the
+	// exit syscall; Halt is the ultimate fallback).
+	Halt
+
+	numOps
+)
+
+// NumOps is the number of defined micro-op opcodes; simulators use it to
+// detect corrupted issue-queue payloads.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	Nop: "nop", Add: "add", Sub: "sub", And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", Shr: "shr", Sar: "sar", Mul: "mul", Div: "div", Rem: "rem",
+	Mov: "mov", Cmp: "cmp", Load: "load", Store: "store",
+	Jmp: "jmp", JmpReg: "jmpreg", BrFlags: "brflags", BrCmp: "brcmp",
+	Call: "call", Ret: "ret",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv", FMov: "fmov",
+	FCvtIF: "fcvtif", FCvtFI: "fcvtfi", FMovToFP: "fmovtofp", FMovFromFP: "fmovfromfp",
+	FCmp: "fcmp", FLoad: "fload", FStore: "fstore",
+	Syscall: "syscall", Halt: "halt",
+}
+
+// String returns the mnemonic of the op.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Cond is a branch condition code.
+type Cond uint8
+
+const (
+	// CondAlways is used for unconditional control flow.
+	CondAlways Cond = iota
+	CondEQ
+	CondNE
+	CondLT // signed <
+	CondGE // signed >=
+	CondLE // signed <=
+	CondGT // signed >
+	CondB  // unsigned <
+	CondAE // unsigned >=
+	CondBE // unsigned <=
+	CondA  // unsigned >
+	// NumConds is the number of defined condition codes.
+	NumConds
+)
+
+var condNames = [...]string{
+	CondAlways: "al", CondEQ: "eq", CondNE: "ne", CondLT: "lt", CondGE: "ge",
+	CondLE: "le", CondGT: "gt", CondB: "b", CondAE: "ae", CondBE: "be", CondA: "a",
+}
+
+// String returns the condition mnemonic.
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("Cond(%d)", uint8(c))
+}
+
+// Flag bits of the flags word written by Cmp/FCmp.
+const (
+	FlagZ uint64 = 1 << 0 // zero
+	FlagC uint64 = 1 << 1 // carry / unsigned borrow
+	FlagN uint64 = 1 << 2 // negative
+	FlagV uint64 = 1 << 3 // signed overflow
+)
+
+// Uop is one micro-operation. Macro-instructions decode into one or more
+// Uops; the pipeline renames, issues and commits Uops.
+type Uop struct {
+	Op      Op
+	Dst     Reg
+	Src1    Reg
+	Src2    Reg
+	Imm     int64
+	Cond    Cond
+	Size    uint8 // memory access size in bytes (1,2,4,8)
+	SignExt bool  // sign-extend loads
+	UsesImm bool  // second ALU operand is Imm rather than Src2
+}
+
+// String renders the uop for logs and debugging.
+func (u Uop) String() string {
+	if u.UsesImm {
+		return fmt.Sprintf("%s %s, %s, #%d", u.Op, u.Dst, u.Src1, u.Imm)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", u.Op, u.Dst, u.Src1, u.Src2)
+}
+
+// HasDst reports whether the uop writes a destination register.
+func (u Uop) HasDst() bool { return u.Dst != RegNone }
+
+// IsMem reports whether the uop accesses data memory.
+func (u Uop) IsMem() bool {
+	return u.Op == Load || u.Op == Store || u.Op == FLoad || u.Op == FStore
+}
+
+// IsLoad reports whether the uop reads data memory.
+func (u Uop) IsLoad() bool { return u.Op == Load || u.Op == FLoad }
+
+// IsStore reports whether the uop writes data memory.
+func (u Uop) IsStore() bool { return u.Op == Store || u.Op == FStore }
+
+// IsBranch reports whether the uop can redirect control flow.
+func (u Uop) IsBranch() bool {
+	switch u.Op {
+	case Jmp, JmpReg, BrFlags, BrCmp, Call, Ret:
+		return true
+	}
+	return false
+}
+
+// IsFPU reports whether the uop executes on a floating-point unit.
+func (u Uop) IsFPU() bool {
+	switch u.Op {
+	case FAdd, FSub, FMul, FDiv, FMov, FCvtIF, FCvtFI, FCmp, FMovToFP:
+		return true
+	}
+	return false
+}

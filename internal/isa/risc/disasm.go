@@ -1,0 +1,87 @@
+package risc
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Disasm decodes and formats the instruction word at pc, returning the
+// rendered text and the instruction length (always 4 for decodable
+// words; undecodable words render as ".word" with length 4, keeping the
+// fixed-grid walk of a RISC disassembler).
+func Disasm(buf []byte, pc uint64) (string, int) {
+	var in isa.Inst
+	if err := (Decoder{}).Decode(buf, pc, &in); err != nil {
+		if len(buf) < InstLen {
+			return ".end", 0
+		}
+		w := uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24
+		return fmt.Sprintf(".word 0x%08x", w), InstLen
+	}
+	return render(&in), InstLen
+}
+
+func render(in *isa.Inst) string {
+	b := in.Branch
+	u := in.Uops[0]
+	switch {
+	case b.IsCall:
+		return fmt.Sprintf("bl 0x%x", b.Target)
+	case b.IsRet:
+		return "ret"
+	case b.IsBranch && b.IsIndirect:
+		return fmt.Sprintf("br %s", u.Src1)
+	case b.IsBranch && u.Op == isa.BrCmp:
+		return fmt.Sprintf("cb%s %s, %s, 0x%x", u.Cond, u.Src1, u.Src2, b.Target)
+	case b.IsBranch && u.Op == isa.BrFlags:
+		return fmt.Sprintf("bf%s %s, 0x%x", u.Cond, u.Src1, b.Target)
+	case b.IsBranch:
+		return fmt.Sprintf("b 0x%x", b.Target)
+	}
+	// MOVK cracks into an And/Or pair over the same register.
+	if in.NUops == 2 && in.Uops[0].Op == isa.And && in.Uops[1].Op == isa.Or {
+		field := uint64(in.Uops[1].Imm)
+		hw := 0
+		for field > 0xffff {
+			field >>= 16
+			hw++
+		}
+		return fmt.Sprintf("movk %s, #0x%x, lsl #%d", u.Dst, field, hw*16)
+	}
+	switch u.Op {
+	case isa.Nop:
+		return "nop"
+	case isa.Halt:
+		return "hlt"
+	case isa.Syscall:
+		return "svc #0"
+	case isa.Load:
+		return fmt.Sprintf("ldr%s %s, [%s, #%d]", sizeSuffix(u.Size, u.SignExt), u.Dst, u.Src1, u.Imm)
+	case isa.FLoad:
+		return fmt.Sprintf("fldr %s, [%s, #%d]", u.Dst, u.Src1, u.Imm)
+	case isa.Store:
+		return fmt.Sprintf("str%s %s, [%s, #%d]", sizeSuffix(u.Size, false), u.Src2, u.Src1, u.Imm)
+	case isa.FStore:
+		return fmt.Sprintf("fstr %s, [%s, #%d]", u.Src2, u.Src1, u.Imm)
+	case isa.Mov:
+		if u.UsesImm {
+			return fmt.Sprintf("movz %s, #0x%x", u.Dst, uint64(u.Imm))
+		}
+		return fmt.Sprintf("mov %s, %s", u.Dst, u.Src1)
+	case isa.FCmp:
+		return fmt.Sprintf("fcmp %s, %s, %s", u.Dst, u.Src1, u.Src2)
+	}
+	if u.UsesImm {
+		return fmt.Sprintf("%s %s, %s, #%d", u.Op, u.Dst, u.Src1, u.Imm)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", u.Op, u.Dst, u.Src1, u.Src2)
+}
+
+func sizeSuffix(size uint8, signExt bool) string {
+	s := map[uint8]string{1: "b", 2: "h", 4: "w", 8: ""}[size]
+	if signExt {
+		return "s" + s
+	}
+	return s
+}

@@ -1,0 +1,94 @@
+package risc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestDisasmForms(t *testing.T) {
+	var e Emitter
+	check := func(want string) {
+		t.Helper()
+		got, n := Disasm(e.Code, 0x1000)
+		if n != InstLen {
+			t.Fatalf("%q: length %d", want, n)
+		}
+		if got != want {
+			t.Fatalf("disasm = %q, want %q", got, want)
+		}
+		e = Emitter{}
+	}
+	e.Nop()
+	check("nop")
+	e.ALU3(isa.Add, isa.R1, isa.R2, isa.R3)
+	check("add r1, r2, r3")
+	e.ALUI(isa.Xor, isa.R4, isa.R5, -7)
+	check("xor r4, r5, #-7")
+	e.MovR(isa.R1, isa.R2)
+	check("mov r1, r2")
+	e.MovZ(isa.R3, 0xbeef, 0)
+	check("movz r3, #0xbeef")
+	e.MovK(isa.R3, 0x1234, 1)
+	check("movk r3, #0x1234, lsl #16")
+	e.Load(2, true, isa.R2, isa.R3, 12)
+	check("ldrsh r2, [r3, #12]")
+	e.Store(8, isa.R6, isa.SP, -16)
+	check("str r6, [sp, #-16]")
+	e.BR(isa.LR)
+	check("ret")
+	e.BR(isa.R4)
+	check("br r4")
+	e.Syscall()
+	check("svc #0")
+	e.FALU(isa.FDiv, isa.F1, isa.F2, isa.F3)
+	check("fdiv f1, f2, f3")
+	e.FLoad(isa.F0, isa.R1, 8)
+	check("fldr f0, [r1, #8]")
+	e.FCmp(isa.R2, isa.F0, isa.F1)
+	check("fcmp r2, f0, f1")
+
+	at := e.B()
+	PatchB(e.Code, at, 0x40)
+	check("b 0x1040")
+	at = e.BL()
+	PatchB(e.Code, at, -0x10)
+	check("bl 0xff0")
+	at = e.CB(isa.CondLT, isa.R1, isa.R2)
+	PatchCB(e.Code, at, 8)
+	check("cblt r1, r2, 0x1008")
+	at = e.BF(isa.CondEQ, isa.R9)
+	PatchCB(e.Code, at, -4)
+	check("bfeq r9, 0xffc")
+}
+
+func TestDisasmIllegalWord(t *testing.T) {
+	got, n := Disasm([]byte{0, 0, 0, 0xff}, 0)
+	if n != InstLen || !strings.HasPrefix(got, ".word") {
+		t.Fatalf("%q, %d", got, n)
+	}
+	got, n = Disasm([]byte{1, 2}, 0)
+	if n != 0 || got != ".end" {
+		t.Fatalf("%q, %d", got, n)
+	}
+}
+
+// Property: disassembly of arbitrary words never panics and always
+// renders something non-empty.
+func TestPropDisasmTotal(t *testing.T) {
+	f := func(w uint32) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		buf := []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+		s, n := Disasm(buf, 0x2000)
+		return n == InstLen && s != ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,470 @@
+// Package risc implements the ARM-flavoured synthetic ISA: a fixed
+// 4-byte encoding with three-operand ALU instructions, MOVZ/MOVK
+// immediate materialization, fused compare-and-branch, link-register
+// BL/RET and non-trapping integer division — the architectural traits the
+// paper's differential analysis attributes to the ARM side.
+package risc
+
+import (
+	"encoding/binary"
+
+	"repro/internal/isa"
+)
+
+// InstLen is the fixed instruction length in bytes.
+const InstLen = 4
+
+// Opcode values (bits [31:24]).
+const (
+	opNOP   = 0x00
+	opHALT  = 0x01
+	opSYSC  = 0x02
+	opALU3  = 0x10 // +aluIndex: rd = ra op rb
+	opMOVR  = 0x1b // rd = ra
+	opMOVZ  = 0x20 // rd = imm16 << (hw*16)
+	opMOVK  = 0x21 // rd |= imm16 << (hw*16) (inserts, keeping others)
+	opALUI  = 0x30 // +aluIndex: rd = ra op simm12
+	opCB    = 0x40 // |cond: compare-and-branch ra ? rb, imm12<<2
+	opBF    = 0x58 // |cond&7: branch on flags word in ra; see note below
+	opB     = 0x50 // imm24<<2 relative
+	opBL    = 0x51 // imm24<<2 relative, writes LR
+	opBR    = 0x52 // indirect branch to ra; RET when ra == LR
+	opLOAD  = 0x60 // +sizeIndex zero-extending; +4 sign-extending (1,2,4)
+	opSTORE = 0x68 // +sizeIndex: mem[ra+imm12] = rb
+	opFALU  = 0x80 // fadd,fsub,fmul,fdiv: fd = fa op fb
+	opFMOV  = 0x84
+	opFCVIF = 0x85
+	opFCVFI = 0x86
+	opFMVTF = 0x87
+	opFLDR  = 0x88
+	opFSTR  = 0x89
+	opFCMP  = 0x8a // rd(int) = flags(fa ? fb)
+	opFMVFF = 0x8d
+)
+
+// Note on opBF: the RISC ISA has no architectural flags register; FCMP
+// deposits a flags word into a general register and BF.cc branches on it.
+// Because the opcode carries only 3 condition bits, BF supports the first
+// eight condition codes (al,eq,ne,lt,ge,le,gt,b), which is sufficient for
+// floating-point control flow.
+
+var aluOps = [...]isa.Op{
+	isa.Add, isa.Sub, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr,
+	isa.Sar, isa.Mul, isa.Div, isa.Rem,
+}
+
+var aluIndex = map[isa.Op]uint32{
+	isa.Add: 0, isa.Sub: 1, isa.And: 2, isa.Or: 3, isa.Xor: 4,
+	isa.Shl: 5, isa.Shr: 6, isa.Sar: 7, isa.Mul: 8, isa.Div: 9, isa.Rem: 10,
+}
+
+var loadSizes = [...]uint8{1, 2, 4, 8}
+
+// ---- Emitter ----------------------------------------------------------------
+
+// Emitter builds RISC machine code.
+type Emitter struct {
+	Code []byte
+}
+
+// Len returns the current code length.
+func (e *Emitter) Len() int { return len(e.Code) }
+
+func (e *Emitter) w(word uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], word)
+	e.Code = append(e.Code, tmp[:]...)
+}
+
+func enc(op uint32, rd, ra, rb isa.Reg, imm12 int32) uint32 {
+	return op<<24 | uint32(rd&0xf)<<20 | uint32(ra&0xf)<<16 |
+		uint32(rb&0xf)<<12 | uint32(imm12)&0xfff
+}
+
+// Nop emits NOP.
+func (e *Emitter) Nop() { e.w(enc(opNOP, 0, 0, 0, 0)) }
+
+// Halt emits HALT.
+func (e *Emitter) Halt() { e.w(enc(opHALT, 0, 0, 0, 0)) }
+
+// Syscall emits SYSCALL.
+func (e *Emitter) Syscall() { e.w(enc(opSYSC, 0, 0, 0, 0)) }
+
+// ALU3 emits rd = ra op rb.
+func (e *Emitter) ALU3(op isa.Op, rd, ra, rb isa.Reg) {
+	e.w(enc(opALU3+aluIndex[op], rd, ra, rb, 0))
+}
+
+// MovR emits rd = ra.
+func (e *Emitter) MovR(rd, ra isa.Reg) { e.w(enc(opMOVR, rd, ra, 0, 0)) }
+
+// ALUI emits rd = ra op simm12. The immediate must fit in 12 signed bits;
+// the assembler back-end materializes larger immediates.
+func (e *Emitter) ALUI(op isa.Op, rd, ra isa.Reg, imm int32) {
+	e.w(enc(opALUI+aluIndex[op], rd, ra, 0, imm))
+}
+
+// MovZ emits rd = imm16 << (hw*16).
+func (e *Emitter) MovZ(rd isa.Reg, imm16 uint16, hw int) {
+	e.w(opMOVZ<<24 | uint32(rd&0xf)<<20 | uint32(hw&3)<<18 | uint32(imm16))
+}
+
+// MovK emits rd = rd with hw-th 16-bit field replaced by imm16.
+func (e *Emitter) MovK(rd isa.Reg, imm16 uint16, hw int) {
+	e.w(opMOVK<<24 | uint32(rd&0xf)<<20 | uint32(hw&3)<<18 | uint32(imm16))
+}
+
+// CB emits a compare-and-branch with a zero offset and returns the offset
+// of the instruction word for later patching with PatchCB.
+func (e *Emitter) CB(cc isa.Cond, ra, rb isa.Reg) int {
+	at := e.Len()
+	e.w(enc(opCB|uint32(cc), 0, ra, rb, 0))
+	return at
+}
+
+// BF emits a branch-on-flags-word and returns the patch offset.
+func (e *Emitter) BF(cc isa.Cond, ra isa.Reg) int {
+	at := e.Len()
+	e.w(enc(opBF|uint32(cc&7), 0, ra, 0, 0))
+	return at
+}
+
+// B emits an unconditional branch and returns the patch offset.
+func (e *Emitter) B() int {
+	at := e.Len()
+	e.w(opB << 24)
+	return at
+}
+
+// BL emits a branch-and-link and returns the patch offset.
+func (e *Emitter) BL() int {
+	at := e.Len()
+	e.w(opBL << 24)
+	return at
+}
+
+// BR emits an indirect branch through ra (RET when ra is LR).
+func (e *Emitter) BR(ra isa.Reg) { e.w(enc(opBR, 0, ra, 0, 0)) }
+
+// Load emits rd = mem[ra+simm12] with the given size and extension.
+func (e *Emitter) Load(size uint8, signExt bool, rd, ra isa.Reg, imm int32) {
+	op := uint32(opLOAD)
+	switch size {
+	case 2:
+		op++
+	case 4:
+		op += 2
+	case 8:
+		op += 3
+	}
+	if signExt && size < 8 {
+		op = opLOAD + 4 + (op - opLOAD)
+	}
+	e.w(enc(op, rd, ra, 0, imm))
+}
+
+// Store emits mem[ra+simm12] = rb.
+func (e *Emitter) Store(size uint8, rb, ra isa.Reg, imm int32) {
+	op := uint32(opSTORE)
+	switch size {
+	case 2:
+		op++
+	case 4:
+		op += 2
+	case 8:
+		op += 3
+	}
+	e.w(enc(op, 0, ra, rb, imm))
+}
+
+// FALU emits fd = fa op fb.
+func (e *Emitter) FALU(op isa.Op, fd, fa, fb isa.Reg) {
+	var off uint32
+	switch op {
+	case isa.FSub:
+		off = 1
+	case isa.FMul:
+		off = 2
+	case isa.FDiv:
+		off = 3
+	}
+	e.w(enc(opFALU+off, isa.Reg(fd.FPIndex()), isa.Reg(fa.FPIndex()), isa.Reg(fb.FPIndex()), 0))
+}
+
+// FMov emits fd = fa.
+func (e *Emitter) FMov(fd, fa isa.Reg) {
+	e.w(enc(opFMOV, isa.Reg(fd.FPIndex()), isa.Reg(fa.FPIndex()), 0, 0))
+}
+
+// FCvtIF emits fd = float(ra).
+func (e *Emitter) FCvtIF(fd, ra isa.Reg) {
+	e.w(enc(opFCVIF, isa.Reg(fd.FPIndex()), ra, 0, 0))
+}
+
+// FCvtFI emits rd = int(trunc fa).
+func (e *Emitter) FCvtFI(rd, fa isa.Reg) {
+	e.w(enc(opFCVFI, rd, isa.Reg(fa.FPIndex()), 0, 0))
+}
+
+// FMovToFP emits fd = rawbits(ra).
+func (e *Emitter) FMovToFP(fd, ra isa.Reg) {
+	e.w(enc(opFMVTF, isa.Reg(fd.FPIndex()), ra, 0, 0))
+}
+
+// FMovFromFP emits rd = rawbits(fa).
+func (e *Emitter) FMovFromFP(rd, fa isa.Reg) {
+	e.w(enc(opFMVFF, rd, isa.Reg(fa.FPIndex()), 0, 0))
+}
+
+// FLoad emits fd = mem8[ra+simm12].
+func (e *Emitter) FLoad(fd, ra isa.Reg, imm int32) {
+	e.w(enc(opFLDR, isa.Reg(fd.FPIndex()), ra, 0, imm))
+}
+
+// FStore emits mem8[ra+simm12] = fb.
+func (e *Emitter) FStore(fb, ra isa.Reg, imm int32) {
+	e.w(enc(opFSTR, 0, ra, isa.Reg(fb.FPIndex()), imm))
+}
+
+// FCmp emits rd = flags(fa ? fb).
+func (e *Emitter) FCmp(rd, fa, fb isa.Reg) {
+	e.w(enc(opFCMP, rd, isa.Reg(fa.FPIndex()), isa.Reg(fb.FPIndex()), 0))
+}
+
+// PatchCB patches the 12-bit scaled offset of a CB/BF instruction at
+// offset at to reach rel bytes from the instruction. It panics when the
+// branch is out of the ±8KB range, which is an assembler layout bug.
+func PatchCB(code []byte, at int, rel int32) {
+	if rel&3 != 0 || rel < -(1<<13) || rel >= 1<<13 {
+		panic("risc: conditional branch out of range")
+	}
+	w := binary.LittleEndian.Uint32(code[at:])
+	w = w&^uint32(0xfff) | uint32(rel>>2)&0xfff
+	binary.LittleEndian.PutUint32(code[at:], w)
+}
+
+// PatchB patches the 24-bit scaled offset of a B/BL instruction.
+func PatchB(code []byte, at int, rel int32) {
+	if rel&3 != 0 || rel < -(1<<25) || rel >= 1<<25 {
+		panic("risc: branch out of range")
+	}
+	w := binary.LittleEndian.Uint32(code[at:])
+	w = w&^uint32(0xffffff) | uint32(rel>>2)&0xffffff
+	binary.LittleEndian.PutUint32(code[at:], w)
+}
+
+// ---- Decoder ----------------------------------------------------------------
+
+// Decoder decodes the RISC ISA.
+type Decoder struct{}
+
+var _ isa.Decoder = Decoder{}
+
+// Name implements isa.Decoder. Reports call this ISA "arm", matching the
+// paper's terminology.
+func (Decoder) Name() string { return "arm" }
+
+// MaxInstLen implements isa.Decoder.
+func (Decoder) MaxInstLen() int { return InstLen }
+
+// MinInstLen implements isa.Decoder.
+func (Decoder) MinInstLen() int { return InstLen }
+
+// DivZero implements isa.Decoder: division by zero yields zero silently.
+func (Decoder) DivZero() isa.DivZeroPolicy { return isa.DivZeroZero }
+
+func sext12(v uint32) int64 {
+	return int64(int32(v<<20) >> 20)
+}
+
+func sext24(v uint32) int64 {
+	return int64(int32(v<<8) >> 8)
+}
+
+func fpReg(n uint32) (isa.Reg, bool) {
+	if n >= isa.NumFPRegs {
+		return isa.RegNone, false
+	}
+	return isa.F0 + isa.Reg(n), true
+}
+
+// Decode implements isa.Decoder.
+func (Decoder) Decode(buf []byte, pc uint64, in *isa.Inst) error {
+	in.Reset()
+	if len(buf) < InstLen {
+		return isa.ErrTruncated
+	}
+	w := binary.LittleEndian.Uint32(buf)
+	op := w >> 24
+	rd := isa.Reg(w >> 20 & 0xf)
+	ra := isa.Reg(w >> 16 & 0xf)
+	rb := isa.Reg(w >> 12 & 0xf)
+	imm12 := sext12(w & 0xfff)
+	in.Len = InstLen
+
+	switch {
+	case op == opNOP:
+		in.Add(isa.Uop{Op: isa.Nop, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		return nil
+	case op == opHALT:
+		in.Add(isa.Uop{Op: isa.Halt, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		return nil
+	case op == opSYSC:
+		in.Add(isa.Uop{Op: isa.Syscall, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		return nil
+
+	case op >= opALU3 && op < opALU3+uint32(len(aluOps)):
+		in.Add(isa.Uop{Op: aluOps[op-opALU3], Dst: rd, Src1: ra, Src2: rb})
+		return nil
+	case op == opMOVR:
+		in.Add(isa.Uop{Op: isa.Mov, Dst: rd, Src1: ra, Src2: ra})
+		return nil
+
+	case op == opMOVZ:
+		hw := w >> 18 & 3
+		in.Add(isa.Uop{Op: isa.Mov, Dst: rd, Src1: isa.RegNone, Src2: isa.RegNone,
+			Imm: int64(uint64(w&0xffff) << (16 * hw)), UsesImm: true})
+		return nil
+	case op == opMOVK:
+		hw := w >> 18 & 3
+		// rd = (rd &^ mask) | field. Expressed as an And+Or pair would
+		// need two uops; instead a dedicated fused form: rd = ra&^mask
+		// | field with ra = rd keeps it one uop via And/Or cracking.
+		mask := int64(^(uint64(0xffff) << (16 * hw)))
+		field := int64(uint64(w&0xffff) << (16 * hw))
+		in.Add(isa.Uop{Op: isa.And, Dst: rd, Src1: rd, Src2: isa.RegNone, Imm: mask, UsesImm: true})
+		in.Add(isa.Uop{Op: isa.Or, Dst: rd, Src1: rd, Src2: isa.RegNone, Imm: field, UsesImm: true})
+		return nil
+
+	case op >= opALUI && op < opALUI+uint32(len(aluOps)):
+		in.Add(isa.Uop{Op: aluOps[op-opALUI], Dst: rd, Src1: ra, Src2: isa.RegNone,
+			Imm: imm12, UsesImm: true})
+		return nil
+
+	case op >= opCB && op < opCB+uint32(isa.NumConds):
+		cc := isa.Cond(op - opCB)
+		in.Add(isa.Uop{Op: isa.BrCmp, Dst: isa.RegNone, Src1: ra, Src2: rb, Cond: cc})
+		in.Branch = isa.BranchInfo{IsBranch: true, IsCond: cc != isa.CondAlways,
+			Target: pc + uint64(sext12(w&0xfff)<<2)}
+		return nil
+
+	case op >= opBF && op < opBF+8:
+		cc := isa.Cond(op - opBF)
+		in.Add(isa.Uop{Op: isa.BrFlags, Dst: isa.RegNone, Src1: ra, Src2: isa.RegNone, Cond: cc})
+		in.Branch = isa.BranchInfo{IsBranch: true, IsCond: cc != isa.CondAlways,
+			Target: pc + uint64(sext12(w&0xfff)<<2)}
+		return nil
+
+	case op == opB:
+		in.Add(isa.Uop{Op: isa.Jmp, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone})
+		in.Branch = isa.BranchInfo{IsBranch: true, Target: pc + uint64(sext24(w&0xffffff)<<2)}
+		return nil
+	case op == opBL:
+		// BL is a single uop: write the return address to LR and jump.
+		in.Add(isa.Uop{Op: isa.Call, Dst: isa.LR, Src1: isa.RegNone, Src2: isa.RegNone,
+			Imm: int64(pc + InstLen), UsesImm: true})
+		in.Branch = isa.BranchInfo{IsBranch: true, IsCall: true,
+			Target: pc + uint64(sext24(w&0xffffff)<<2)}
+		return nil
+	case op == opBR:
+		if ra == isa.LR {
+			in.Add(isa.Uop{Op: isa.Ret, Dst: isa.RegNone, Src1: ra, Src2: isa.RegNone})
+			in.Branch = isa.BranchInfo{IsBranch: true, IsRet: true, IsIndirect: true}
+		} else {
+			in.Add(isa.Uop{Op: isa.JmpReg, Dst: isa.RegNone, Src1: ra, Src2: isa.RegNone})
+			in.Branch = isa.BranchInfo{IsBranch: true, IsIndirect: true}
+		}
+		return nil
+
+	case op >= opLOAD && op < opLOAD+4:
+		in.Add(isa.Uop{Op: isa.Load, Dst: rd, Src1: ra, Src2: isa.RegNone,
+			Imm: imm12, Size: loadSizes[op-opLOAD]})
+		return nil
+	case op >= opLOAD+4 && op < opLOAD+7:
+		in.Add(isa.Uop{Op: isa.Load, Dst: rd, Src1: ra, Src2: isa.RegNone,
+			Imm: imm12, Size: loadSizes[op-opLOAD-4], SignExt: true})
+		return nil
+	case op >= opSTORE && op < opSTORE+4:
+		in.Add(isa.Uop{Op: isa.Store, Dst: isa.RegNone, Src1: ra, Src2: rb,
+			Imm: imm12, Size: loadSizes[op-opSTORE]})
+		return nil
+
+	case op >= opFALU && op <= opFMVFF:
+		return decodeFP(op, rd, ra, rb, imm12, in)
+	}
+	return isa.ErrIllegal
+}
+
+func decodeFP(op uint32, rd, ra, rb isa.Reg, imm12 int64, in *isa.Inst) error {
+	switch op {
+	case opFALU, opFALU + 1, opFALU + 2, opFALU + 3:
+		fd, ok1 := fpReg(uint32(rd))
+		fa, ok2 := fpReg(uint32(ra))
+		fb, ok3 := fpReg(uint32(rb))
+		if !ok1 || !ok2 || !ok3 {
+			return isa.ErrIllegal
+		}
+		fop := [...]isa.Op{isa.FAdd, isa.FSub, isa.FMul, isa.FDiv}[op-opFALU]
+		in.Add(isa.Uop{Op: fop, Dst: fd, Src1: fa, Src2: fb})
+		return nil
+	case opFMOV:
+		fd, ok1 := fpReg(uint32(rd))
+		fa, ok2 := fpReg(uint32(ra))
+		if !ok1 || !ok2 {
+			return isa.ErrIllegal
+		}
+		in.Add(isa.Uop{Op: isa.FMov, Dst: fd, Src1: fa, Src2: fa})
+		return nil
+	case opFCVIF:
+		fd, ok := fpReg(uint32(rd))
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Add(isa.Uop{Op: isa.FCvtIF, Dst: fd, Src1: ra, Src2: isa.RegNone})
+		return nil
+	case opFCVFI:
+		fa, ok := fpReg(uint32(ra))
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Add(isa.Uop{Op: isa.FCvtFI, Dst: rd, Src1: fa, Src2: isa.RegNone})
+		return nil
+	case opFMVTF:
+		fd, ok := fpReg(uint32(rd))
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Add(isa.Uop{Op: isa.FMovToFP, Dst: fd, Src1: ra, Src2: isa.RegNone})
+		return nil
+	case opFMVFF:
+		fa, ok := fpReg(uint32(ra))
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Add(isa.Uop{Op: isa.FMovFromFP, Dst: rd, Src1: fa, Src2: isa.RegNone})
+		return nil
+	case opFLDR:
+		fd, ok := fpReg(uint32(rd))
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Add(isa.Uop{Op: isa.FLoad, Dst: fd, Src1: ra, Src2: isa.RegNone, Imm: imm12, Size: 8})
+		return nil
+	case opFSTR:
+		fb, ok := fpReg(uint32(rb))
+		if !ok {
+			return isa.ErrIllegal
+		}
+		in.Add(isa.Uop{Op: isa.FStore, Dst: isa.RegNone, Src1: ra, Src2: fb, Imm: imm12, Size: 8})
+		return nil
+	case opFCMP:
+		fa, ok1 := fpReg(uint32(ra))
+		fb, ok2 := fpReg(uint32(rb))
+		if !ok1 || !ok2 {
+			return isa.ErrIllegal
+		}
+		in.Add(isa.Uop{Op: isa.FCmp, Dst: rd, Src1: fa, Src2: fb})
+		return nil
+	}
+	return isa.ErrIllegal
+}

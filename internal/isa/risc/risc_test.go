@@ -1,0 +1,271 @@
+package risc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func decodeOne(t *testing.T, code []byte, pc uint64) isa.Inst {
+	t.Helper()
+	var in isa.Inst
+	if err := (Decoder{}).Decode(code, pc, &in); err != nil {
+		t.Fatalf("decode %x: %v", code, err)
+	}
+	return in
+}
+
+func TestDecoderMeta(t *testing.T) {
+	d := Decoder{}
+	if d.Name() != "arm" || d.MaxInstLen() != 4 || d.MinInstLen() != 4 {
+		t.Fatal("decoder metadata")
+	}
+	if d.DivZero() != isa.DivZeroZero {
+		t.Fatal("RISC divide by zero must be non-trapping")
+	}
+}
+
+func TestALU3RoundTrip(t *testing.T) {
+	for _, op := range aluOps {
+		var e Emitter
+		e.ALU3(op, isa.R3, isa.R7, isa.R11)
+		in := decodeOne(t, e.Code, 0)
+		u := in.Uops[0]
+		if in.Len != 4 || u.Op != op || u.Dst != isa.R3 || u.Src1 != isa.R7 || u.Src2 != isa.R11 {
+			t.Errorf("%v: %+v", op, u)
+		}
+		e = Emitter{}
+		e.ALUI(op, isa.R2, isa.R4, -1000)
+		u = decodeOne(t, e.Code, 0).Uops[0]
+		if u.Op != op || u.Dst != isa.R2 || u.Src1 != isa.R4 || !u.UsesImm || u.Imm != -1000 {
+			t.Errorf("%v imm: %+v", op, u)
+		}
+	}
+}
+
+func TestMovRoundTrip(t *testing.T) {
+	var e Emitter
+	e.MovR(isa.R1, isa.R9)
+	u := decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.Mov || u.Dst != isa.R1 || u.Src2 != isa.R9 {
+		t.Fatalf("movr: %+v", u)
+	}
+}
+
+func TestMovZMovK(t *testing.T) {
+	var e Emitter
+	e.MovZ(isa.R5, 0xbeef, 1)
+	in := decodeOne(t, e.Code, 0)
+	u := in.Uops[0]
+	if u.Op != isa.Mov || u.Dst != isa.R5 || uint64(u.Imm) != 0xbeef0000 || !u.UsesImm {
+		t.Fatalf("movz: %+v", u)
+	}
+	e = Emitter{}
+	e.MovK(isa.R5, 0x1234, 2)
+	in = decodeOne(t, e.Code, 0)
+	if in.NUops != 2 {
+		t.Fatalf("movk cracks to %d uops", in.NUops)
+	}
+	and, or := in.Uops[0], in.Uops[1]
+	if and.Op != isa.And || uint64(and.Imm) != ^(uint64(0xffff)<<32) {
+		t.Fatalf("movk and: %+v", and)
+	}
+	if or.Op != isa.Or || uint64(or.Imm) != uint64(0x1234)<<32 {
+		t.Fatalf("movk or: %+v", or)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	for _, sz := range []uint8{1, 2, 4, 8} {
+		for _, sx := range []bool{false, true} {
+			if sx && sz == 8 {
+				continue
+			}
+			var e Emitter
+			e.Load(sz, sx, isa.R2, isa.R10, -64)
+			u := decodeOne(t, e.Code, 0).Uops[0]
+			if u.Op != isa.Load || u.Dst != isa.R2 || u.Src1 != isa.R10 ||
+				u.Imm != -64 || u.Size != sz || u.SignExt != sx {
+				t.Errorf("load sz=%d sx=%v: %+v", sz, sx, u)
+			}
+		}
+		var e Emitter
+		e.Store(sz, isa.R6, isa.SP, 100)
+		u := decodeOne(t, e.Code, 0).Uops[0]
+		if u.Op != isa.Store || u.Src2 != isa.R6 || u.Src1 != isa.SP || u.Imm != 100 || u.Size != sz {
+			t.Errorf("store sz=%d: %+v", sz, u)
+		}
+	}
+}
+
+func TestCompareBranch(t *testing.T) {
+	var e Emitter
+	at := e.CB(isa.CondGE, isa.R1, isa.R2)
+	PatchCB(e.Code, at, -16)
+	in := decodeOne(t, e.Code, 0x1000)
+	u := in.Uops[0]
+	if u.Op != isa.BrCmp || u.Src1 != isa.R1 || u.Src2 != isa.R2 || u.Cond != isa.CondGE {
+		t.Fatalf("cb uop: %+v", u)
+	}
+	if !in.Branch.IsBranch || !in.Branch.IsCond || in.Branch.Target != 0x1000-16 {
+		t.Fatalf("cb branch: %+v", in.Branch)
+	}
+}
+
+func TestBranchOnFlags(t *testing.T) {
+	var e Emitter
+	at := e.BF(isa.CondLT, isa.R12)
+	PatchCB(e.Code, at, 32)
+	in := decodeOne(t, e.Code, 0x500)
+	u := in.Uops[0]
+	if u.Op != isa.BrFlags || u.Src1 != isa.R12 || u.Cond != isa.CondLT {
+		t.Fatalf("bf uop: %+v", u)
+	}
+	if in.Branch.Target != 0x500+32 {
+		t.Fatalf("bf target: %#x", in.Branch.Target)
+	}
+}
+
+func TestBAndBL(t *testing.T) {
+	var e Emitter
+	at := e.B()
+	PatchB(e.Code, at, 0x10000)
+	in := decodeOne(t, e.Code, 0x8000)
+	if !in.Branch.IsBranch || in.Branch.IsCond || in.Branch.Target != 0x18000 {
+		t.Fatalf("b: %+v", in.Branch)
+	}
+	e = Emitter{}
+	at = e.BL()
+	PatchB(e.Code, at, -0x2000)
+	in = decodeOne(t, e.Code, 0x8000)
+	if !in.Branch.IsCall || in.Branch.Target != 0x6000 {
+		t.Fatalf("bl branch: %+v", in.Branch)
+	}
+	u := in.Uops[0]
+	if u.Op != isa.Call || u.Dst != isa.LR || uint64(u.Imm) != 0x8004 {
+		t.Fatalf("bl uop: %+v", u)
+	}
+}
+
+func TestBRAndRet(t *testing.T) {
+	var e Emitter
+	e.BR(isa.R4)
+	in := decodeOne(t, e.Code, 0)
+	if in.Uops[0].Op != isa.JmpReg || in.Branch.IsRet || !in.Branch.IsIndirect {
+		t.Fatalf("br: %+v %+v", in.Uops[0], in.Branch)
+	}
+	e = Emitter{}
+	e.BR(isa.LR)
+	in = decodeOne(t, e.Code, 0)
+	if in.Uops[0].Op != isa.Ret || !in.Branch.IsRet {
+		t.Fatalf("ret: %+v %+v", in.Uops[0], in.Branch)
+	}
+}
+
+func TestFPRoundTrip(t *testing.T) {
+	var e Emitter
+	e.FALU(isa.FDiv, isa.F1, isa.F2, isa.F3)
+	u := decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FDiv || u.Dst != isa.F1 || u.Src1 != isa.F2 || u.Src2 != isa.F3 {
+		t.Fatalf("fdiv: %+v", u)
+	}
+	e = Emitter{}
+	e.FLoad(isa.F7, isa.R1, 24)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FLoad || u.Dst != isa.F7 || u.Src1 != isa.R1 || u.Imm != 24 {
+		t.Fatalf("fldr: %+v", u)
+	}
+	e = Emitter{}
+	e.FStore(isa.F5, isa.R2, -48)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FStore || u.Src2 != isa.F5 || u.Src1 != isa.R2 || u.Imm != -48 {
+		t.Fatalf("fstr: %+v", u)
+	}
+	e = Emitter{}
+	e.FCmp(isa.R3, isa.F1, isa.F0)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FCmp || u.Dst != isa.R3 || u.Src1 != isa.F1 || u.Src2 != isa.F0 {
+		t.Fatalf("fcmp: %+v", u)
+	}
+	e = Emitter{}
+	e.FMov(isa.F2, isa.F6)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FMov || u.Dst != isa.F2 || u.Src1 != isa.F6 {
+		t.Fatalf("fmov: %+v", u)
+	}
+	e = Emitter{}
+	e.FCvtIF(isa.F3, isa.R8)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FCvtIF || u.Dst != isa.F3 || u.Src1 != isa.R8 {
+		t.Fatalf("fcvtif: %+v", u)
+	}
+	e = Emitter{}
+	e.FCvtFI(isa.R8, isa.F3)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FCvtFI || u.Dst != isa.R8 || u.Src1 != isa.F3 {
+		t.Fatalf("fcvtfi: %+v", u)
+	}
+	e = Emitter{}
+	e.FMovToFP(isa.F0, isa.R0)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FMovToFP {
+		t.Fatalf("fmovtofp: %+v", u)
+	}
+	e = Emitter{}
+	e.FMovFromFP(isa.R0, isa.F0)
+	u = decodeOne(t, e.Code, 0).Uops[0]
+	if u.Op != isa.FMovFromFP {
+		t.Fatalf("fmovfromfp: %+v", u)
+	}
+}
+
+func TestIllegalAndTruncated(t *testing.T) {
+	d := Decoder{}
+	var in isa.Inst
+	if err := d.Decode([]byte{0, 0, 0, 0xff}, 0, &in); err != isa.ErrIllegal {
+		t.Fatalf("0xff opcode: %v", err)
+	}
+	if err := d.Decode([]byte{0, 0}, 0, &in); err != isa.ErrTruncated {
+		t.Fatalf("short: %v", err)
+	}
+	// FP field out of range: FALU with rd nibble = 9.
+	var e Emitter
+	e.w(enc(opFALU, isa.Reg(9), 0, 0, 0))
+	if err := d.Decode(e.Code, 0, &in); err != isa.ErrIllegal {
+		t.Fatalf("fp reg 9: %v", err)
+	}
+}
+
+func TestPatchRangeChecks(t *testing.T) {
+	var e Emitter
+	at := e.CB(isa.CondEQ, isa.R0, isa.R1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range CB patch did not panic")
+		}
+	}()
+	PatchCB(e.Code, at, 1<<14)
+}
+
+// Property: the decoder never panics on arbitrary 4-byte words.
+func TestPropDecodeNeverPanics(t *testing.T) {
+	d := Decoder{}
+	f := func(w uint32, pc uint64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		buf := []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)}
+		var in isa.Inst
+		err := d.Decode(buf, pc, &in)
+		if err == nil && in.NUops == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Package kernel is the thin full-system layer shared by both simulators
+// and the functional reference interpreter: the syscall ABI, exception
+// severity policy, and the simulated output file whose contents decide
+// the Masked/SDC classification of every injection run.
+//
+// The paper's injectors are full-system: faults can surface as process
+// crashes (the program is killed by an exception), system crashes (kernel
+// panic) or detected-unrecoverable errors (the program completes but
+// exceptions were recorded along the way). This package fixes those
+// semantics in one place so the two simulators differ only
+// microarchitecturally.
+package kernel
+
+import (
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Syscall numbers of the kernel ABI. The number goes in R0, arguments in
+// R1–R3, the result in R0.
+const (
+	// SysWrite appends R2 bytes at address R1 to the output file.
+	SysWrite = 1
+	// SysExit terminates the program with code R1.
+	SysExit = 2
+)
+
+// Error return values (negated errno style).
+const (
+	errFault  = ^uint64(13) // EFAULT: bad buffer
+	errNoSys  = ^uint64(37) // ENOSYS: unknown syscall
+	errTooBig = ^uint64(26) // EFBIG: output file limit exceeded
+)
+
+// MaxOutput bounds the simulated output file; a fault that sends the
+// program into a write loop hits this limit instead of exhausting host
+// memory, and the overflow is recorded as an error event.
+const MaxOutput = 1 << 20
+
+// Severity classifies how the kernel reacts to an exception.
+type Severity uint8
+
+const (
+	// SevRecoverable exceptions are recorded and execution continues;
+	// a run that completes with any of these recorded is a DUE.
+	SevRecoverable Severity = iota
+	// SevFatal exceptions kill the simulated process (process crash).
+	SevFatal
+	// SevPanic exceptions take down the simulated kernel (system crash).
+	SevPanic
+)
+
+// SeverityOf returns the kernel policy for an exception.
+func SeverityOf(e isa.Exception) Severity {
+	switch e {
+	case isa.ExcAlignment, isa.ExcSyscallErr:
+		return SevRecoverable
+	case isa.ExcKernelPanic:
+		return SevPanic
+	default:
+		return SevFatal
+	}
+}
+
+// Event is one recorded exception.
+type Event struct {
+	Cycle uint64
+	PC    uint64
+	Exc   isa.Exception
+	Info  uint64 // exception-specific detail (faulting address, syscall number, ...)
+}
+
+// RegGet reads an architectural register.
+type RegGet func(r isa.Reg) uint64
+
+// RegSet writes an architectural register.
+type RegSet func(r isa.Reg, v uint64)
+
+// MemReader reads user memory on behalf of the kernel. The two simulators
+// bind it differently: the MARSS-like simulator reads main memory
+// directly (the QEMU-hypervisor escape of the paper), while the Gem5-like
+// simulator reads through its cache hierarchy.
+type MemReader func(addr uint64, dst []byte) mem.Fault
+
+// Kernel is the per-machine kernel state.
+type Kernel struct {
+	// Output is the simulated output file.
+	Output []byte
+	// Exited and ExitCode are set by SysExit.
+	Exited   bool
+	ExitCode uint64
+	// Events are the recorded recoverable exceptions.
+	Events []Event
+	// Panicked is set when a SevPanic condition was raised.
+	Panicked bool
+}
+
+// Clone returns a deep copy of the kernel state, used by simulator
+// checkpointing.
+func (k *Kernel) Clone() Kernel {
+	c := *k
+	c.Output = append([]byte(nil), k.Output...)
+	c.Events = append([]Event(nil), k.Events...)
+	return c
+}
+
+// Record logs a recoverable exception event.
+func (k *Kernel) Record(cycle, pc uint64, exc isa.Exception, info uint64) {
+	// Cap the log: a fault that turns the program into an exception
+	// storm should not exhaust memory; the classification only needs
+	// existence and kinds.
+	if len(k.Events) < 4096 {
+		k.Events = append(k.Events, Event{Cycle: cycle, PC: pc, Exc: exc, Info: info})
+	}
+}
+
+// Panic marks a kernel panic (system crash).
+func (k *Kernel) Panic(cycle, pc uint64, info uint64) {
+	k.Panicked = true
+	k.Record(cycle, pc, isa.ExcKernelPanic, info)
+}
+
+// Syscall executes the system call selected by R0 with architectural
+// state accessed through get/set and user memory through read. It
+// returns true when the machine should stop (exit or panic).
+func (k *Kernel) Syscall(cycle, pc uint64, get RegGet, set RegSet, read MemReader) bool {
+	num := get(isa.R0)
+	switch num {
+	case SysWrite:
+		addr, n := get(isa.R1), get(isa.R2)
+		if n > MaxOutput || len(k.Output)+int(n) > MaxOutput {
+			k.Record(cycle, pc, isa.ExcSyscallErr, num)
+			set(isa.R0, errTooBig)
+			return false
+		}
+		buf := make([]byte, n)
+		if f := read(addr, buf); f != mem.FaultNone {
+			k.Record(cycle, pc, isa.ExcSyscallErr, num)
+			set(isa.R0, errFault)
+			return false
+		}
+		k.Output = append(k.Output, buf...)
+		set(isa.R0, n)
+		return false
+	case SysExit:
+		k.Exited = true
+		k.ExitCode = get(isa.R1)
+		return true
+	default:
+		// An unknown syscall number (often a corrupted R0) is
+		// recorded and refused, like a real kernel's ENOSYS.
+		k.Record(cycle, pc, isa.ExcSyscallErr, num)
+		set(isa.R0, errNoSys)
+		return false
+	}
+}
+
+// HasDUE reports whether any recoverable exceptions were recorded, the
+// condition that turns a completed run into a DUE.
+func (k *Kernel) HasDUE() bool { return len(k.Events) > 0 }

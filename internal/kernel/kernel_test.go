@@ -1,0 +1,140 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+type fakeMachine struct {
+	regs map[isa.Reg]uint64
+	mem  map[uint64]byte
+}
+
+func newFake() *fakeMachine {
+	return &fakeMachine{regs: map[isa.Reg]uint64{}, mem: map[uint64]byte{}}
+}
+
+func (m *fakeMachine) get(r isa.Reg) uint64    { return m.regs[r] }
+func (m *fakeMachine) set(r isa.Reg, v uint64) { m.regs[r] = v }
+func (m *fakeMachine) read(addr uint64, dst []byte) mem.Fault {
+	if addr < mem.NullPageEnd {
+		return mem.FaultUnmapped
+	}
+	for i := range dst {
+		dst[i] = m.mem[addr+uint64(i)]
+	}
+	return mem.FaultNone
+}
+
+func TestSeverityPolicy(t *testing.T) {
+	cases := map[isa.Exception]Severity{
+		isa.ExcAlignment:    SevRecoverable,
+		isa.ExcSyscallErr:   SevRecoverable,
+		isa.ExcKernelPanic:  SevPanic,
+		isa.ExcIllegalInstr: SevFatal,
+		isa.ExcDivZero:      SevFatal,
+		isa.ExcPageFault:    SevFatal,
+		isa.ExcProtFault:    SevFatal,
+	}
+	for exc, want := range cases {
+		if got := SeverityOf(exc); got != want {
+			t.Errorf("%v: %v, want %v", exc, got, want)
+		}
+	}
+}
+
+func TestWriteSyscall(t *testing.T) {
+	var k Kernel
+	m := newFake()
+	m.regs[isa.R0] = SysWrite
+	m.regs[isa.R1] = 0x2000
+	m.regs[isa.R2] = 3
+	m.mem[0x2000], m.mem[0x2001], m.mem[0x2002] = 'a', 'b', 'c'
+	if stop := k.Syscall(1, 0x1000, m.get, m.set, m.read); stop {
+		t.Fatal("write stopped the machine")
+	}
+	if string(k.Output) != "abc" || m.regs[isa.R0] != 3 {
+		t.Fatalf("output %q, r0 %d", k.Output, m.regs[isa.R0])
+	}
+	if k.HasDUE() {
+		t.Fatal("clean write recorded an event")
+	}
+}
+
+func TestWriteSyscallBadBuffer(t *testing.T) {
+	var k Kernel
+	m := newFake()
+	m.regs[isa.R0] = SysWrite
+	m.regs[isa.R1] = 0x10 // guard page
+	m.regs[isa.R2] = 8
+	k.Syscall(5, 0x1000, m.get, m.set, m.read)
+	if len(k.Output) != 0 {
+		t.Fatal("output written from faulting buffer")
+	}
+	if !k.HasDUE() || k.Events[0].Exc != isa.ExcSyscallErr {
+		t.Fatalf("events: %v", k.Events)
+	}
+	if int64(m.regs[isa.R0]) >= 0 {
+		t.Fatalf("r0 = %d, want negative errno", int64(m.regs[isa.R0]))
+	}
+}
+
+func TestWriteSyscallOutputLimit(t *testing.T) {
+	var k Kernel
+	m := newFake()
+	m.regs[isa.R0] = SysWrite
+	m.regs[isa.R1] = 0x2000
+	m.regs[isa.R2] = MaxOutput + 1
+	k.Syscall(0, 0, m.get, m.set, m.read)
+	if len(k.Output) != 0 || !k.HasDUE() {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestExitSyscall(t *testing.T) {
+	var k Kernel
+	m := newFake()
+	m.regs[isa.R0] = SysExit
+	m.regs[isa.R1] = 7
+	if stop := k.Syscall(0, 0, m.get, m.set, m.read); !stop {
+		t.Fatal("exit did not stop")
+	}
+	if !k.Exited || k.ExitCode != 7 {
+		t.Fatalf("exited %v code %d", k.Exited, k.ExitCode)
+	}
+}
+
+func TestUnknownSyscall(t *testing.T) {
+	var k Kernel
+	m := newFake()
+	m.regs[isa.R0] = 999
+	if stop := k.Syscall(0, 0, m.get, m.set, m.read); stop {
+		t.Fatal("unknown syscall stopped the machine")
+	}
+	if !k.HasDUE() || k.Events[0].Info != 999 {
+		t.Fatalf("events: %v", k.Events)
+	}
+}
+
+func TestPanic(t *testing.T) {
+	var k Kernel
+	k.Panic(10, 0x300000, 0x300000)
+	if !k.Panicked {
+		t.Fatal("not panicked")
+	}
+	if len(k.Events) != 1 || k.Events[0].Exc != isa.ExcKernelPanic {
+		t.Fatalf("events: %v", k.Events)
+	}
+}
+
+func TestEventLogCap(t *testing.T) {
+	var k Kernel
+	for i := 0; i < 10000; i++ {
+		k.Record(uint64(i), 0, isa.ExcAlignment, 0)
+	}
+	if len(k.Events) > 4096 {
+		t.Fatalf("event log unbounded: %d", len(k.Events))
+	}
+}

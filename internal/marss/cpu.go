@@ -1,0 +1,1083 @@
+package marss
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/asm"
+	"repro/internal/bitarray"
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/isa/cisc"
+	"repro/internal/kernel"
+	"repro/internal/mem"
+	"repro/internal/pipeline"
+)
+
+// fetchedUop is one decoded micro-op waiting for rename.
+type fetchedUop struct {
+	uop     isa.Uop
+	pc      uint64
+	nextPC  uint64
+	exc     isa.Exception
+	excInfo uint64
+
+	instFirst bool
+
+	// Branch prediction state, valid on the branch-carrying uop.
+	isBranch   bool
+	binfo      isa.BranchInfo
+	hasPred    bool
+	pred       branch.Prediction
+	predTaken  bool
+	predTarget uint64
+	rasTop     int
+	rasDepth   int
+}
+
+// inflightOp is an issued micro-op waiting for its completion cycle.
+type inflightOp struct {
+	robIdx int
+	seq    uint64
+	done   uint64
+	value  uint64
+	isLoad bool
+}
+
+// Stats are the runtime statistics backing the differential analysis.
+type Stats struct {
+	Cycles          uint64
+	CommittedInstrs uint64
+	CommittedUops   uint64
+	IssuedLoads     uint64
+	CommittedLoads  uint64
+	IssuedStores    uint64
+	CommittedStores uint64
+	ForwardedLoads  uint64
+	LoadReplays     uint64
+	Flushes         uint64
+	Syscalls        uint64
+}
+
+// CPU is one simulated MARSS-like machine.
+type CPU struct {
+	cfg Config
+	img *asm.Image
+	dec cisc.Decoder
+
+	mem  *mem.Memory
+	kern kernel.Kernel
+
+	l2, l1d, l1i *cache.Cache
+	dtlb, itlb   *cache.TLB
+	btbDir       *branch.BTB
+	btbInd       *branch.BTB
+	tour         *branch.Tournament
+	ras          *branch.RAS
+
+	intRF, fpRF *pipeline.RegFile
+	rob         *pipeline.ROB
+	iq          *pipeline.IQ
+	lsq         *pipeline.LSQ
+
+	pc           uint64
+	fetchQ       []fetchedUop
+	fetchBlocked bool
+	fetchReady   uint64
+	inflight     []inflightOp
+
+	cycle      uint64
+	lastCommit uint64
+	stats      Stats
+
+	rasSnaps  [][2]int
+	instHeads []bool
+
+	watch     []*bitarray.Array
+	earlyStop bool
+
+	// Terminal state latched by commit.
+	finished bool
+	result   core.RunResult
+
+	textEnd uint64
+	fbuf    []byte
+	sbuf    [8]byte
+}
+
+// assert is the dense MARSS-style internal check: it stops the simulator
+// with an assertion failure, never an architectural fault.
+func assert(cond bool, msg string) { core.Assert(cond, msg) }
+
+// New boots a simulated machine with the image. The image must be built
+// for the x86-flavoured ISA.
+func New(cfg Config, img *asm.Image) *CPU {
+	if img.ISA != "x86" {
+		panic("marss: MARSS models the x86-flavoured ISA only")
+	}
+	c := &CPU{cfg: cfg, img: img, mem: mem.New(), earlyStop: true}
+	c.l2 = cache.New(cfg.L2, cache.MemLevel{M: c.mem, Lat: cfg.MemLatency})
+	c.l1d = cache.New(cfg.L1D, c.l2)
+	c.l1i = cache.New(cfg.L1I, c.l2)
+	c.dtlb = cache.NewTLB(cache.TLBConfig{Name: "dtlb", Entries: cfg.TLBEntries, Ways: cfg.TLBWays, MissLatency: cfg.TLBMissLat})
+	c.itlb = cache.NewTLB(cache.TLBConfig{Name: "itlb", Entries: cfg.TLBEntries, Ways: cfg.TLBWays, MissLatency: cfg.TLBMissLat})
+	c.btbDir = branch.NewBTB(branch.BTBConfig{Name: "btb.dir", Entries: cfg.BTBDirEntries, Ways: cfg.BTBDirWays})
+	c.btbInd = branch.NewBTB(branch.BTBConfig{Name: "btb.ind", Entries: cfg.BTBIndEntries, Ways: cfg.BTBIndWays})
+	c.tour = branch.NewTournament(branch.TournamentConfig{
+		LocalEntries: cfg.LocalEntries, LocalHistBits: cfg.LocalHistBits,
+		GlobalBits: cfg.GlobalBits, ChoiceByAddress: true,
+	})
+	c.ras = branch.NewRAS("ras", cfg.RASEntries)
+	c.intRF = pipeline.NewRegFile("rf.int", isa.NumIntRegs, cfg.IntPhysRegs, false)
+	c.fpRF = pipeline.NewRegFile("rf.fp", isa.NumFPRegs, cfg.FPPhysRegs, true)
+	c.rob = pipeline.NewROB(cfg.ROBEntries)
+	c.iq = pipeline.NewIQ("iq", cfg.IQEntries)
+	c.lsq = pipeline.NewLSQ(pipeline.LSQConfig{Name: "lsq.data", Unified: true, LoadEntries: cfg.LSQEntries})
+
+	c.mem.Load(img.TextBase, img.Text)
+	c.mem.Load(img.DataBase, img.Data)
+	c.textEnd = img.TextBase + uint64(len(img.Text))
+	c.mem.SetTextEnd(c.textEnd)
+	c.pc = img.Entry
+	c.intRF.WriteArch(int(isa.SP), mem.StackTop)
+	c.fbuf = make([]byte, c.dec.MaxInstLen())
+	c.rasSnaps = make([][2]int, cfg.ROBEntries)
+	c.instHeads = make([]bool, cfg.ROBEntries)
+	return c
+}
+
+// Name implements core.Simulator.
+func (c *CPU) Name() string { return "MaFIN-x86" }
+
+// ISA implements core.Simulator.
+func (c *CPU) ISA() string { return "x86" }
+
+// Structures implements core.Simulator.
+func (c *CPU) Structures() map[string]*bitarray.Array {
+	m := map[string]*bitarray.Array{
+		"rf.int":   c.intRF.Array(),
+		"rf.fp":    c.fpRF.Array(),
+		"lsq.data": c.lsq.DataArray(),
+		"iq":       c.iq.Array(),
+		"ras":      c.ras.Array(),
+	}
+	for _, a := range c.l1d.Arrays() {
+		m[a.Name()] = a
+	}
+	for _, a := range c.l1i.Arrays() {
+		m[a.Name()] = a
+	}
+	for _, a := range c.l2.Arrays() {
+		m[a.Name()] = a
+	}
+	for _, a := range c.dtlb.Arrays() {
+		m[a.Name()] = a
+	}
+	for _, a := range c.itlb.Arrays() {
+		m[a.Name()] = a
+	}
+	for _, a := range c.btbDir.Arrays() {
+		m[a.Name()] = a
+	}
+	for _, a := range c.btbInd.Arrays() {
+		m[a.Name()] = a
+	}
+	return m
+}
+
+// WatchArrays implements core.Simulator.
+func (c *CPU) WatchArrays(arrs []*bitarray.Array) { c.watch = arrs }
+
+// SetEarlyStop implements core.Simulator.
+func (c *CPU) SetEarlyStop(on bool) { c.earlyStop = on }
+
+// Stats implements core.Simulator.
+func (c *CPU) Stats() map[string]uint64 {
+	m := map[string]uint64{
+		"cycles":           c.stats.Cycles,
+		"committed_instrs": c.stats.CommittedInstrs,
+		"committed_uops":   c.stats.CommittedUops,
+		"issued_loads":     c.stats.IssuedLoads,
+		"committed_loads":  c.stats.CommittedLoads,
+		"issued_stores":    c.stats.IssuedStores,
+		"committed_stores": c.stats.CommittedStores,
+		"forwarded_loads":  c.stats.ForwardedLoads,
+		"load_replays":     c.stats.LoadReplays,
+		"flushes":          c.stats.Flushes,
+		"syscalls":         c.stats.Syscalls,
+		"bp_lookups":       c.tour.Lookups(),
+		"bp_mispredicts":   c.tour.Mispredicts(),
+	}
+	addCache := func(prefix string, s cache.Stats) {
+		m[prefix+"_read_hits"] = s.ReadHits
+		m[prefix+"_read_misses"] = s.ReadMisses
+		m[prefix+"_write_hits"] = s.WriteHits
+		m[prefix+"_write_misses"] = s.WriteMisses
+		m[prefix+"_writebacks"] = s.Writebacks
+		m[prefix+"_replacements"] = s.Replacements
+		m[prefix+"_prefetches"] = s.Prefetches
+	}
+	addCache("l1d", c.l1d.Stats())
+	addCache("l1i", c.l1i.Stats())
+	addCache("l2", c.l2.Stats())
+	return m
+}
+
+// ---- Memory helpers ----------------------------------------------------------
+
+// dRead reads program data through the D-cache (or, in the §III.C
+// ablation, through a tags-only timing model with data from memory).
+func (c *CPU) dRead(addr uint64, dst []byte) int {
+	if !c.cfg.ModelDataArrays {
+		lat := c.l1d.Timing(addr, len(dst), false)
+		c.mem.RawRead(addr, dst)
+		return lat
+	}
+	lat, hit := c.l1d.Read(addr, dst)
+	if !hit && c.cfg.L1DPrefetch {
+		c.l1d.Prefetch(addr + uint64(c.cfg.L1D.LineSize))
+	}
+	return lat
+}
+
+// dWrite writes program data through the D-cache.
+func (c *CPU) dWrite(addr uint64, src []byte) int {
+	if !c.cfg.ModelDataArrays {
+		lat := c.l1d.Timing(addr, len(src), true)
+		c.mem.RawWrite(addr, src)
+		return lat
+	}
+	lat, _ := c.l1d.Write(addr, src)
+	return lat
+}
+
+// hypervisorRead is the QEMU-escape path: the kernel reads user memory
+// from the main memory model directly, bypassing the cache arrays, so
+// cache corruption never reaches syscall-visible data (Remark 3).
+func (c *CPU) hypervisorRead(addr uint64, dst []byte) mem.Fault {
+	return c.mem.Read(addr, dst)
+}
+
+// ---- Register helpers ----------------------------------------------------------
+
+func (c *CPU) file(fp bool) *pipeline.RegFile {
+	if fp {
+		return c.fpRF
+	}
+	return c.intRF
+}
+
+func archSlot(r isa.Reg) (fp bool, idx int) {
+	if r.IsFP() {
+		return true, r.FPIndex()
+	}
+	return false, int(r)
+}
+
+func (c *CPU) lookup(r isa.Reg) pipeline.PhysReg {
+	if r == isa.RegNone {
+		return pipeline.PhysNone
+	}
+	fp, idx := archSlot(r)
+	return c.file(fp).Lookup(idx)
+}
+
+func (c *CPU) readPhys(p pipeline.PhysReg) uint64 {
+	assert(int(p.Idx) < c.file(p.FP).Array().Entries(), "regfile: physical register index out of range")
+	return c.file(p.FP).Read(p)
+}
+
+func (c *CPU) ready(p pipeline.PhysReg) bool {
+	if !p.Valid() {
+		return true
+	}
+	assert(int(p.Idx) < c.file(p.FP).Array().Entries(), "regfile: physical register index out of range")
+	return c.file(p.FP).Ready(p)
+}
+
+// ---- Run loop ----------------------------------------------------------------
+
+// Run implements core.Simulator.
+func (c *CPU) Run(limitCycles uint64) (res core.RunResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(core.AssertError); ok {
+				res = c.snapshotResult(core.RunAssert)
+				res.AssertMsg = ae.Msg
+				return
+			}
+			res = c.snapshotResult(core.RunSimCrash)
+			res.AssertMsg = fmt.Sprint(r)
+		}
+	}()
+
+	const deadlockWindow = 100_000
+	for c.cycle < limitCycles {
+		for _, a := range c.watch {
+			st := a.Tick(c.cycle)
+			if c.earlyStop && (st == bitarray.StatusOverwritten || st == bitarray.StatusSkippedInvalid) {
+				return c.snapshotResult(core.RunEarlyMasked)
+			}
+		}
+		c.commit()
+		if c.finished {
+			return c.result
+		}
+		c.complete()
+		c.issue()
+		c.rename()
+		c.fetch()
+		c.cycle++
+		c.stats.Cycles = c.cycle
+		if c.cycle-c.lastCommit > deadlockWindow {
+			r := c.snapshotResult(core.RunCycleLimit)
+			r.CommitStalled = true
+			return r
+		}
+	}
+	r := c.snapshotResult(core.RunCycleLimit)
+	r.CommitStalled = c.cycle-c.lastCommit > deadlockWindow
+	return r
+}
+
+func (c *CPU) snapshotResult(st core.RunStatus) core.RunResult {
+	return core.RunResult{
+		Status:    st,
+		ExitCode:  c.kern.ExitCode,
+		Output:    c.kern.Output,
+		Committed: c.stats.CommittedInstrs,
+		Cycles:    c.cycle,
+		Events:    c.kern.Events,
+	}
+}
+
+func (c *CPU) finish(st core.RunStatus, exc isa.Exception) {
+	c.finished = true
+	c.result = c.snapshotResult(st)
+	c.result.FatalExc = exc
+}
+
+// flush squashes everything in flight and restarts fetch at newPC.
+func (c *CPU) flush(newPC uint64) {
+	c.rob.FlushAll()
+	c.iq.FlushAll()
+	c.lsq.FlushAll()
+	c.intRF.Flush()
+	c.fpRF.Flush()
+	c.tour.OnFlush()
+	c.inflight = c.inflight[:0]
+	c.fetchQ = c.fetchQ[:0]
+	c.fetchBlocked = false
+	c.pc = newPC
+	c.fetchReady = c.cycle + 3 // redirect penalty
+	c.stats.Flushes++
+}
+
+// ---- Fetch ----------------------------------------------------------------
+
+func (c *CPU) poison(pc uint64, exc isa.Exception, info uint64) {
+	c.fetchQ = append(c.fetchQ, fetchedUop{
+		uop: isa.Uop{Op: isa.Nop, Dst: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone},
+		pc:  pc, nextPC: pc, exc: exc, excInfo: info, instFirst: true,
+	})
+	c.fetchBlocked = true
+}
+
+func (c *CPU) fetch() {
+	if c.fetchBlocked || c.cycle < c.fetchReady || len(c.fetchQ) > 4*c.cfg.FetchWidth {
+		return
+	}
+	for n := 0; n < c.cfg.FetchWidth; n++ {
+		pc := c.pc
+		if pc >= mem.KernelBase {
+			// Committed control flow into the kernel region: the
+			// poison reaches commit only on the true path, where it
+			// becomes a kernel panic (system crash).
+			c.poison(pc, isa.ExcKernelPanic, pc)
+			return
+		}
+		if pc < c.img.TextBase || pc >= c.textEnd {
+			c.poison(pc, isa.ExcPageFault, pc)
+			return
+		}
+		paddr, tlbLat := c.itlb.Translate(pc)
+		if paddr >= mem.KernelBase || paddr < mem.NullPageEnd {
+			// A corrupted TLB PPN redirected the fetch itself.
+			c.poison(pc, isa.ExcPageFault, paddr)
+			return
+		}
+		need := c.dec.MaxInstLen()
+		if pc+uint64(need) > c.textEnd {
+			need = int(c.textEnd - pc)
+		}
+		var lat int
+		var hit bool
+		if c.cfg.ModelDataArrays {
+			lat, hit = c.l1i.Read(paddr, c.fbuf[:need])
+		} else {
+			lat = c.l1i.Timing(paddr, need, false)
+			hit = lat <= c.cfg.L1I.Latency
+			c.mem.RawRead(paddr, c.fbuf[:need])
+		}
+		if !hit && c.cfg.L1IPrefetch {
+			c.l1i.Prefetch(paddr + uint64(c.cfg.L1I.LineSize))
+		}
+		stall := lat - c.cfg.L1I.Latency + tlbLat
+		if stall > 0 {
+			c.fetchReady = c.cycle + uint64(stall)
+		}
+
+		var inst isa.Inst
+		if err := c.dec.Decode(c.fbuf[:need], pc, &inst); err != nil {
+			// Invalid encodings flow to commit as poisoned uops; if
+			// they are on the true path MARSS stops with an assert
+			// (Remark 8) — the commit stage decides.
+			c.poison(pc, isa.ExcIllegalInstr, pc)
+			return
+		}
+		nextPC := pc + uint64(inst.Len)
+
+		// Branch prediction.
+		predTaken, predTarget := false, nextPC
+		var pred branch.Prediction
+		hasPred := false
+		rasTop, rasDepth := c.ras.Snapshot()
+		b := inst.Branch
+		if b.IsBranch {
+			switch {
+			case b.IsRet:
+				predTaken = true
+				if t, ok := c.ras.Pop(); ok {
+					predTarget = t
+				}
+			case b.IsIndirect:
+				predTaken = true
+				if t, ok := c.btbInd.Lookup(pc); ok {
+					predTarget = t
+				}
+			case b.IsCond:
+				pred = c.tour.Predict(pc)
+				hasPred = true
+				predTaken = pred.Taken
+				predTarget = b.Target
+				if t, ok := c.btbDir.Lookup(pc); ok {
+					predTarget = t
+				}
+			default: // unconditional direct jump or call
+				predTaken = true
+				predTarget = b.Target
+				if t, ok := c.btbDir.Lookup(pc); ok {
+					predTarget = t
+				}
+			}
+			if b.IsCall {
+				c.ras.Push(nextPC)
+			}
+		}
+
+		for i := 0; i < int(inst.NUops); i++ {
+			fu := fetchedUop{
+				uop: inst.Uops[i], pc: pc, nextPC: nextPC, instFirst: i == 0,
+			}
+			if inst.Uops[i].IsBranch() {
+				fu.isBranch = true
+				fu.binfo = b
+				fu.hasPred = hasPred
+				fu.pred = pred
+				fu.predTaken = predTaken
+				fu.predTarget = predTarget
+				fu.rasTop, fu.rasDepth = rasTop, rasDepth
+			}
+			c.fetchQ = append(c.fetchQ, fu)
+		}
+
+		if b.IsBranch && predTaken {
+			c.pc = predTarget
+			return // taken-predicted branches end the fetch group
+		}
+		c.pc = nextPC
+		if stall > 0 {
+			return
+		}
+	}
+}
+
+// ---- Rename/dispatch ----------------------------------------------------------
+
+func (c *CPU) rename() {
+	for n := 0; n < c.cfg.RenameWidth && len(c.fetchQ) > 0; n++ {
+		fu := &c.fetchQ[0]
+		u := fu.uop
+		if c.rob.Full() {
+			return
+		}
+		isMem := u.IsMem()
+		if isMem && !c.lsq.CanAlloc(u.IsStore()) {
+			return
+		}
+		needsIQ := fu.exc == isa.ExcNone && c.needsIQ(u)
+		if needsIQ && c.iq.Full() {
+			return
+		}
+
+		src1 := c.lookup(u.Src1)
+		src2 := c.lookup(u.Src2)
+		var dst, old pipeline.PhysReg
+		dst = pipeline.PhysNone
+		if u.HasDst() {
+			fp, arch := archSlot(u.Dst)
+			var ok bool
+			dst, old, ok = c.file(fp).Rename(arch)
+			if !ok {
+				return // free list empty: stall rename
+			}
+		}
+
+		idx := c.rob.Alloc()
+		e := c.rob.At(idx)
+		e.PC = fu.pc
+		e.NextPC = fu.nextPC
+		e.Uop = u
+		e.Dst, e.OldDst, e.Src1, e.Src2 = dst, old, src1, src2
+		e.ArchDst = u.Dst
+		e.Exc, e.ExcInfo = fu.exc, fu.excInfo
+		e.IsBranch = fu.isBranch
+		if fu.isBranch {
+			e.BranchInfo = fu.binfo
+			e.HasPred = fu.hasPred
+			e.Pred = fu.pred
+			e.PredTaken = fu.predTaken
+			e.PredTarget = fu.predTarget
+			// Reuse the ROB entry's LSQIdx-free fields to stash the
+			// RAS snapshot via ExcInfo? No — keep it simple and store
+			// in dedicated fields below.
+		}
+		c.rasSnaps[idx] = [2]int{fu.rasTop, fu.rasDepth}
+		if fu.instFirst {
+			c.instHeads[idx] = true
+		} else {
+			c.instHeads[idx] = false
+		}
+
+		switch {
+		case fu.exc != isa.ExcNone:
+			e.Executed = true
+		case u.Op == isa.Nop:
+			e.Executed = true
+		case u.Op == isa.Halt:
+			// Privileged in user mode.
+			e.Exc = isa.ExcIllegalInstr
+			e.Executed = true
+		case u.Op == isa.Syscall:
+			e.IsSyscall = true
+			e.Executed = true
+		case u.Op == isa.Jmp:
+			e.ActualTaken = true
+			e.ActualTarget = fu.binfo.Target
+			e.Mispredicted = c.predictedNext(e) != e.ActualTarget
+			e.Executed = true
+		case u.Op == isa.Call:
+			if dst.Valid() {
+				c.file(dst.FP).Write(dst, uint64(u.Imm))
+			}
+			e.ActualTaken = true
+			e.ActualTarget = fu.binfo.Target
+			e.Mispredicted = c.predictedNext(e) != e.ActualTarget
+			e.Executed = true
+		default:
+			if isMem {
+				li, ok := c.lsq.Alloc(u.IsStore(), idx, e.Seq)
+				assert(ok, "lsq: allocation failed after capacity check")
+				e.LSQIdx = li
+			}
+			w0, w1 := pipeline.PackUop(u, dst, src1, src2)
+			ok := c.iq.Alloc(w0, w1, idx)
+			assert(ok, "iq: allocation failed after capacity check")
+			e.Dispatched = true
+		}
+		c.fetchQ = c.fetchQ[1:]
+	}
+}
+
+// needsIQ reports whether the uop is scheduled through the issue queue.
+func (c *CPU) needsIQ(u isa.Uop) bool {
+	switch u.Op {
+	case isa.Nop, isa.Halt, isa.Syscall, isa.Jmp, isa.Call:
+		return false
+	}
+	return true
+}
+
+// predictedNext returns the next PC the front end followed after this
+// branch.
+func (c *CPU) predictedNext(e *pipeline.ROBEntry) uint64 {
+	if e.PredTaken {
+		return e.PredTarget
+	}
+	return e.NextPC
+}
+
+// actualNext returns the architecturally correct next PC of a resolved
+// branch.
+func actualNext(e *pipeline.ROBEntry) uint64 {
+	if e.ActualTaken {
+		return e.ActualTarget
+	}
+	return e.NextPC
+}
+
+// ---- Issue/execute -------------------------------------------------------------
+
+func (c *CPU) issue() {
+	intBudget, fpBudget, memBudget := c.cfg.IntALUs, c.cfg.FPALUs, c.cfg.MemPorts
+	issued := 0
+	// Oldest-first selection over the occupied issue queue slots.
+	type cand struct {
+		slot int
+		seq  uint64
+	}
+	var cands []cand
+	for i := 0; i < c.iq.Size(); i++ {
+		if c.iq.Occupied(i) {
+			_, robIdx := c.iq.Entry(i)
+			assert(robIdx >= 0 && robIdx < c.rob.Cap(), "iq: corrupted ROB link")
+			cands = append(cands, cand{i, c.rob.At(robIdx).Seq})
+		}
+	}
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].seq < cands[j-1].seq; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+
+	for _, cd := range cands {
+		if issued >= c.cfg.IssueWidth {
+			return
+		}
+		p, robIdx := c.iq.Entry(cd.slot)
+		e := c.rob.At(robIdx)
+		assert(int(p.Op) < isa.NumOps, "iq: corrupted opcode in issue payload")
+		if !c.ready(p.Src1) || !c.ready(p.Src2) {
+			if c.cfg.InOrder {
+				// The Atom-like model issues strictly in program
+				// order: a stalled micro-op stalls everything younger.
+				return
+			}
+			continue
+		}
+		switch {
+		case p.Op == isa.Load || p.Op == isa.FLoad:
+			if memBudget == 0 {
+				if c.cfg.InOrder {
+					return
+				}
+				continue
+			}
+			if c.issueLoad(cd.slot, p, robIdx, e) {
+				memBudget--
+				issued++
+			} else if c.cfg.InOrder {
+				return
+			}
+		case p.Op == isa.Store || p.Op == isa.FStore:
+			if memBudget == 0 {
+				if c.cfg.InOrder {
+					return
+				}
+				continue
+			}
+			c.issueStore(cd.slot, p, robIdx, e)
+			memBudget--
+			issued++
+		case isFPUOp(p.Op):
+			if fpBudget == 0 {
+				if c.cfg.InOrder {
+					return
+				}
+				continue
+			}
+			c.issueFP(cd.slot, p, robIdx, e)
+			fpBudget--
+			issued++
+		default:
+			if intBudget == 0 {
+				if c.cfg.InOrder {
+					return
+				}
+				continue
+			}
+			c.issueInt(cd.slot, p, robIdx, e)
+			intBudget--
+			issued++
+		}
+	}
+}
+
+func isFPUOp(op isa.Op) bool {
+	switch op {
+	case isa.FAdd, isa.FSub, isa.FMul, isa.FDiv, isa.FMov, isa.FCvtIF,
+		isa.FCvtFI, isa.FCmp, isa.FMovToFP, isa.FMovFromFP:
+		return true
+	}
+	return false
+}
+
+func (c *CPU) operand(p pipeline.PackedUop) (a, b uint64) {
+	if p.Src1.Valid() {
+		a = c.readPhys(p.Src1)
+	}
+	if p.UsesImm {
+		b = uint64(p.Imm)
+	} else if p.Src2.Valid() {
+		b = c.readPhys(p.Src2)
+	}
+	return a, b
+}
+
+// agu computes and validates a data address. It returns ok=false when an
+// exception was recorded on the ROB entry.
+func (c *CPU) agu(p pipeline.PackedUop, e *pipeline.ROBEntry, write bool) (addr uint64, lat int, ok bool) {
+	base := c.readPhys(p.Src1)
+	vaddr := base + uint64(p.Imm)
+	assert(p.Size >= 1 && p.Size <= 8, "lsq: corrupted access size")
+	if f := c.mem.CheckUser(vaddr, int(p.Size), write); f != mem.FaultNone {
+		if f == mem.FaultProt {
+			e.Exc = isa.ExcProtFault
+		} else {
+			e.Exc = isa.ExcPageFault
+		}
+		e.ExcInfo = vaddr
+		e.Executed = true
+		return 0, 0, false
+	}
+	paddr, tlbLat := c.dtlb.Translate(vaddr)
+	if f := c.mem.CheckUser(paddr, int(p.Size), write); f != mem.FaultNone {
+		// A corrupted TLB PPN redirected the access out of bounds.
+		e.Exc = isa.ExcPageFault
+		e.ExcInfo = paddr
+		e.Executed = true
+		return 0, 0, false
+	}
+	return paddr, tlbLat, true
+}
+
+// issueLoad attempts to issue a load; MARSS is aggressive: unknown older
+// store addresses do not block it. It reports whether the load occupied
+// a memory port.
+func (c *CPU) issueLoad(slot int, p pipeline.PackedUop, robIdx int, e *pipeline.ROBEntry) bool {
+	addr, tlbLat, ok := c.agu(p, e, false)
+	if !ok {
+		c.iq.Release(slot)
+		return true
+	}
+	assert(e.LSQIdx >= 0, "lsq: load without queue entry")
+	c.lsq.SetAddr(e.LSQIdx, addr, p.Size)
+	fwd := c.lsq.QueryLoad(e.LSQIdx)
+	if fwd.MustWait {
+		return false // partial overlap: retry next cycle
+	}
+	var raw uint64
+	var lat int
+	if fwd.Forward {
+		raw = c.lsq.Data(fwd.FwdIdx) >> (8 * fwd.FwdShift)
+		lat = 1
+		c.stats.ForwardedLoads++
+	} else {
+		lat = c.dRead(addr, c.sbuf[:p.Size])
+		raw = leLoad(c.sbuf[:p.Size])
+	}
+	c.stats.IssuedLoads++
+	c.lsq.MarkExecuted(e.LSQIdx)
+	c.iq.Release(slot)
+	c.inflight = append(c.inflight, inflightOp{
+		robIdx: robIdx, seq: e.Seq, done: c.cycle + uint64(lat+tlbLat), value: raw, isLoad: true,
+	})
+	return true
+}
+
+func (c *CPU) issueStore(slot int, p pipeline.PackedUop, robIdx int, e *pipeline.ROBEntry) {
+	addr, _, ok := c.agu(p, e, true)
+	if !ok {
+		c.iq.Release(slot)
+		return
+	}
+	assert(e.LSQIdx >= 0, "lsq: store without queue entry")
+	var data uint64
+	if p.Src2.Valid() {
+		data = c.readPhys(p.Src2)
+	}
+	c.lsq.SetAddr(e.LSQIdx, addr, p.Size)
+	c.lsq.PutData(e.LSQIdx, data)
+	c.stats.IssuedStores++
+	// Aggressive load speculation: a just-resolved store may expose
+	// younger loads that already read stale data.
+	for _, v := range c.lsq.StoreResolved(e.LSQIdx) {
+		assert(v >= 0 && v < c.rob.Cap(), "lsq: corrupted violation ROB link")
+		c.rob.At(v).Violated = true
+	}
+	// MARSS-style replays: younger loads that already executed against
+	// the same cache line re-access it once the store resolves, which
+	// inflates the executed-load count well above the committed count
+	// (the Remark 3 statistic).
+	for _, li := range c.lsq.LineSharers(e.LSQIdx, uint64(c.cfg.L1D.LineSize)) {
+		la, ls := c.lsq.Addr(li)
+		c.stats.IssuedLoads++
+		c.dRead(la, c.sbuf[:ls])
+	}
+	e.Executed = true
+	c.iq.Release(slot)
+}
+
+func (c *CPU) issueInt(slot int, p pipeline.PackedUop, robIdx int, e *pipeline.ROBEntry) {
+	defer c.iq.Release(slot)
+	switch p.Op {
+	case isa.BrFlags:
+		flags := c.readPhys(p.Src1)
+		e.ActualTaken = isa.EvalCond(p.Cond, flags)
+		e.ActualTarget = e.BranchInfo.Target
+		e.Mispredicted = c.predictedNext(e) != actualNext(e)
+		e.Executed = true
+		return
+	case isa.BrCmp:
+		a, b := c.operand(p)
+		e.ActualTaken = isa.EvalCond(p.Cond, isa.CmpFlags(a, b))
+		e.ActualTarget = e.BranchInfo.Target
+		e.Mispredicted = c.predictedNext(e) != actualNext(e)
+		e.Executed = true
+		return
+	case isa.JmpReg, isa.Ret:
+		e.ActualTaken = true
+		e.ActualTarget = c.readPhys(p.Src1)
+		e.Mispredicted = c.predictedNext(e) != actualNext(e)
+		e.Executed = true
+		return
+	}
+	a, b := c.operand(p)
+	r := isa.EvalInt(p.Op, a, b, c.dec.DivZero())
+	if r.DivZero {
+		e.Exc = isa.ExcDivZero
+		e.Executed = true
+		return
+	}
+	lat := 1
+	switch p.Op {
+	case isa.Mul:
+		lat = 3
+	case isa.Div, isa.Rem:
+		lat = 20
+	}
+	c.inflight = append(c.inflight, inflightOp{robIdx: robIdx, seq: e.Seq, done: c.cycle + uint64(lat), value: r.Val})
+}
+
+func (c *CPU) issueFP(slot int, p pipeline.PackedUop, robIdx int, e *pipeline.ROBEntry) {
+	defer c.iq.Release(slot)
+	bits := func(p pipeline.PhysReg) float64 { return math.Float64frombits(c.readPhys(p)) }
+	var val uint64
+	lat := 4
+	switch p.Op {
+	case isa.FAdd, isa.FSub, isa.FMul, isa.FDiv, isa.FMov:
+		if p.Op == isa.FDiv {
+			lat = 12
+		}
+		val = math.Float64bits(isa.EvalFP(p.Op, bits(p.Src1), bits(p.Src2)))
+	case isa.FCvtIF:
+		val = math.Float64bits(float64(int64(c.readPhys(p.Src1))))
+	case isa.FCvtFI:
+		val = uint64(int64(bits(p.Src1)))
+	case isa.FMovToFP:
+		val = c.readPhys(p.Src1)
+	case isa.FMovFromFP:
+		val = c.readPhys(p.Src1)
+	case isa.FCmp:
+		val = isa.FCmpFlags(bits(p.Src1), bits(p.Src2))
+		lat = 2
+	}
+	c.inflight = append(c.inflight, inflightOp{robIdx: robIdx, seq: e.Seq, done: c.cycle + uint64(lat), value: val})
+}
+
+// ---- Completion ---------------------------------------------------------------
+
+func (c *CPU) complete() {
+	out := c.inflight[:0]
+	for _, op := range c.inflight {
+		if op.done > c.cycle {
+			out = append(out, op)
+			continue
+		}
+		e := c.rob.At(op.robIdx)
+		assert(e.Seq == op.seq, "complete: stale in-flight op after flush")
+		v := op.value
+		if op.isLoad {
+			v = isa.ExtendLoad(v, e.Uop.Size, e.Uop.SignExt)
+			if e.Uop.Op == isa.FLoad {
+				// raw bits flow into the FP register unchanged
+				v = op.value
+			}
+			// MARSS's unified LSQ holds load results too: the value
+			// lands in the queue's data field and the register read
+			// goes through it (Remark 1's mechanism).
+			assert(e.LSQIdx >= 0, "complete: load without queue entry")
+			c.lsq.PutData(e.LSQIdx, v)
+			v = c.lsq.Data(e.LSQIdx)
+		}
+		if e.Dst.Valid() {
+			c.file(e.Dst.FP).Write(e.Dst, v)
+		}
+		e.Executed = true
+	}
+	c.inflight = out
+}
+
+// ---- Commit ---------------------------------------------------------------
+
+func (c *CPU) commit() {
+	for n := 0; n < c.cfg.CommitWidth && !c.rob.Empty(); n++ {
+		idx := c.rob.Head()
+		e := c.rob.At(idx)
+		if !e.Executed {
+			return
+		}
+
+		// Aggressive-load replay: the load read stale data; squash and
+		// refetch from the load's instruction.
+		if e.Violated && e.Uop.IsLoad() && e.Exc == isa.ExcNone {
+			c.stats.LoadReplays++
+			c.flush(e.PC)
+			c.lastCommit = c.cycle
+			return
+		}
+
+		if e.Exc != isa.ExcNone {
+			switch kernel.SeverityOf(e.Exc) {
+			case kernel.SevRecoverable:
+				c.kern.Record(c.cycle, e.PC, e.Exc, e.ExcInfo)
+			case kernel.SevPanic:
+				c.kern.Panic(c.cycle, e.PC, e.ExcInfo)
+				c.finish(core.RunSystemCrash, e.Exc)
+				return
+			default:
+				if e.Exc == isa.ExcIllegalInstr {
+					// MARSS stops with an internal assertion on
+					// undecodable/unimplemented opcodes rather than
+					// delivering #UD — the Remark 8 mechanism that
+					// turns corrupted instruction bytes into Asserts.
+					assert(false, "decode: invalid or unimplemented opcode reached commit")
+				}
+				c.finish(core.RunProcessCrash, e.Exc)
+				return
+			}
+		}
+
+		if e.IsSyscall {
+			stop := c.kern.Syscall(c.cycle, e.PC,
+				func(r isa.Reg) uint64 {
+					fp, a := archSlot(r)
+					return c.file(fp).ReadArch(a)
+				},
+				func(r isa.Reg, v uint64) {
+					fp, a := archSlot(r)
+					c.file(fp).WriteArch(a, v)
+				},
+				c.hypervisorRead)
+			c.stats.Syscalls++
+			c.bumpCommitted(idx)
+			c.rob.PopHead()
+			if stop {
+				c.finish(core.RunCompleted, isa.ExcNone)
+				return
+			}
+			if c.kern.Panicked {
+				c.finish(core.RunSystemCrash, isa.ExcKernelPanic)
+				return
+			}
+			// Syscalls serialize the pipeline.
+			c.flush(e.NextPC)
+			c.lastCommit = c.cycle
+			return
+		}
+
+		if e.LSQIdx >= 0 {
+			if e.Uop.IsStore() {
+				assert(c.lsq.DataValid(e.LSQIdx), "commit: store without data")
+				addr, size := c.lsq.Addr(e.LSQIdx)
+				data := c.lsq.Data(e.LSQIdx)
+				leStore(c.sbuf[:size], data)
+				c.dWrite(addr, c.sbuf[:size])
+				c.stats.CommittedStores++
+			} else {
+				c.stats.CommittedLoads++
+			}
+			c.lsq.Free(e.LSQIdx)
+		}
+
+		if e.Dst.Valid() {
+			fp, arch := archSlot(e.ArchDst)
+			c.file(fp).Commit(arch, e.Dst, e.OldDst)
+		}
+
+		if e.IsBranch {
+			c.trainBranch(e)
+			if e.Mispredicted {
+				snap := c.rasSnaps[idx]
+				c.ras.Restore(snap[0], snap[1])
+				if e.BranchInfo.IsCall {
+					c.ras.Push(e.NextPC)
+				} else if e.BranchInfo.IsRet {
+					c.ras.Pop()
+				}
+				target := actualNext(e)
+				c.bumpCommitted(idx)
+				c.rob.PopHead()
+				c.flush(target)
+				c.lastCommit = c.cycle
+				return
+			}
+		}
+
+		c.bumpCommitted(idx)
+		c.rob.PopHead()
+		c.lastCommit = c.cycle
+	}
+}
+
+func (c *CPU) bumpCommitted(idx int) {
+	c.stats.CommittedUops++
+	if c.instHeads[idx] {
+		c.stats.CommittedInstrs++
+	}
+}
+
+func (c *CPU) trainBranch(e *pipeline.ROBEntry) {
+	if e.HasPred {
+		c.tour.Resolve(e.PC, e.Pred, e.ActualTaken)
+	}
+	b := e.BranchInfo
+	switch {
+	case b.IsRet:
+		// The RAS self-maintains.
+	case b.IsIndirect:
+		c.btbInd.Update(e.PC, e.ActualTarget)
+	default:
+		if e.ActualTaken {
+			c.btbDir.Update(e.PC, e.ActualTarget)
+		}
+	}
+}
+
+// ---- Little-endian helpers --------------------------------------------------
+
+func leLoad(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func leStore(b []byte, v uint64) {
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+}

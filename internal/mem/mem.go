@@ -1,0 +1,173 @@
+// Package mem models the main memory and physical address map of the
+// simulated machine. Both simulators share this substrate: a flat RAM
+// with a guard page at address zero, read-only text, user data/heap/stack
+// below the kernel-reserved region, and the kernel region itself at the
+// top — the layout that lets injected faults manifest as the paper's
+// process-crash (bad user access) and system-crash (kernel corruption)
+// outcomes.
+package mem
+
+// Address map of the simulated machine.
+const (
+	// NullPageEnd is the end of the unmapped guard page at address 0;
+	// any access below it is a page fault (null-pointer dereference).
+	NullPageEnd uint64 = 0x1000
+	// TextBase is where program text is loaded. Text is read-only:
+	// stores to it raise protection faults.
+	TextBase uint64 = 0x1000
+	// StackTop is the initial stack pointer; the stack grows down.
+	StackTop uint64 = 0x300000
+	// KernelBase is the start of the kernel-reserved region. User-mode
+	// accesses to it raise protection faults; a program counter landing
+	// in it indicates wild control flow into the kernel, which the thin
+	// kernel model treats as a panic (system crash).
+	KernelBase uint64 = 0x300000
+	// Size is the total physical memory size.
+	Size uint64 = 0x400000
+)
+
+// Fault classifies the outcome of a memory access.
+type Fault uint8
+
+const (
+	// FaultNone means the access succeeded.
+	FaultNone Fault = iota
+	// FaultUnmapped means the address range falls outside RAM or in
+	// the null guard page.
+	FaultUnmapped
+	// FaultProt means the access violated protection: a store to text
+	// or a user access to the kernel region.
+	FaultProt
+)
+
+// String returns the fault name for logs.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultUnmapped:
+		return "unmapped"
+	case FaultProt:
+		return "protection"
+	default:
+		return "unknown"
+	}
+}
+
+// Memory is the flat RAM of one simulated machine instance. It is not
+// safe for concurrent use; campaigns give every worker its own instance.
+type Memory struct {
+	ram []byte
+	// textEnd is the end of the read-only text segment.
+	textEnd uint64
+
+	reads  uint64
+	writes uint64
+}
+
+// New returns a zeroed memory.
+func New() *Memory {
+	return &Memory{ram: make([]byte, Size)}
+}
+
+// SetTextEnd marks [TextBase, end) as read-only text. The loader calls it.
+func (m *Memory) SetTextEnd(end uint64) { m.textEnd = end }
+
+// TextEnd returns the end of the read-only text segment.
+func (m *Memory) TextEnd() uint64 { return m.textEnd }
+
+// Reads returns the number of read accesses.
+func (m *Memory) Reads() uint64 { return m.reads }
+
+// Writes returns the number of write accesses.
+func (m *Memory) Writes() uint64 { return m.writes }
+
+// inRAM reports whether [addr, addr+n) is inside mapped RAM and above the
+// guard page.
+func inRAM(addr uint64, n int) bool {
+	return addr >= NullPageEnd && addr+uint64(n) <= Size && addr+uint64(n) >= addr
+}
+
+// CheckUser classifies a user-mode data access of n bytes at addr without
+// performing it; the pipelines use it at address-generation time.
+func (m *Memory) CheckUser(addr uint64, n int, write bool) Fault {
+	if !inRAM(addr, n) {
+		return FaultUnmapped
+	}
+	if addr+uint64(n) > KernelBase {
+		return FaultProt
+	}
+	if write && addr < m.textEnd {
+		return FaultProt
+	}
+	return FaultNone
+}
+
+// Read copies n = len(dst) bytes at addr into dst with user-mode
+// permission checks.
+func (m *Memory) Read(addr uint64, dst []byte) Fault {
+	if f := m.CheckUser(addr, len(dst), false); f != FaultNone {
+		return f
+	}
+	m.reads++
+	copy(dst, m.ram[addr:])
+	return FaultNone
+}
+
+// Write stores src at addr with user-mode permission checks.
+func (m *Memory) Write(addr uint64, src []byte) Fault {
+	if f := m.CheckUser(addr, len(src), true); f != FaultNone {
+		return f
+	}
+	m.writes++
+	copy(m.ram[addr:], src)
+	return FaultNone
+}
+
+// Fetch copies len(dst) instruction bytes at addr into dst. Fetching is
+// legal only from the text segment; it tolerates a short read at the end
+// of text (returning how many bytes were valid).
+func (m *Memory) Fetch(addr uint64, dst []byte) (int, Fault) {
+	if addr < TextBase || addr >= m.textEnd {
+		if addr >= KernelBase && addr < Size {
+			return 0, FaultProt
+		}
+		return 0, FaultUnmapped
+	}
+	n := len(dst)
+	if addr+uint64(n) > m.textEnd {
+		n = int(m.textEnd - addr)
+	}
+	m.reads++
+	copy(dst[:n], m.ram[addr:])
+	return n, FaultNone
+}
+
+// RawRead reads without permission checks or accounting; the kernel and
+// the hypervisor escape path (MARSS/QEMU analogue) use it, as does the
+// cache hierarchy when it refills lines from RAM.
+func (m *Memory) RawRead(addr uint64, dst []byte) {
+	copy(dst, m.ram[addr:])
+}
+
+// RawWrite writes without permission checks or accounting.
+func (m *Memory) RawWrite(addr uint64, src []byte) {
+	copy(m.ram[addr:], src)
+}
+
+// Load installs an image segment at base.
+func (m *Memory) Load(base uint64, data []byte) {
+	copy(m.ram[base:], data)
+}
+
+// Snapshot returns a copy of RAM for checkpointing.
+func (m *Memory) Snapshot() []byte {
+	s := make([]byte, len(m.ram))
+	copy(s, m.ram)
+	return s
+}
+
+// RestoreSnapshot restores RAM from a snapshot.
+func (m *Memory) RestoreSnapshot(s []byte) {
+	copy(m.ram, s)
+}

@@ -1,0 +1,143 @@
+package mem
+
+import "testing"
+
+func TestAddressMapInvariants(t *testing.T) {
+	if TextBase != NullPageEnd {
+		t.Error("text must start right after the guard page")
+	}
+	if StackTop != KernelBase {
+		t.Error("stack must top out at the kernel boundary")
+	}
+	if KernelBase >= Size {
+		t.Error("kernel region must fit in RAM")
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	src := []byte{1, 2, 3, 4, 5}
+	if f := m.Write(0x100000, src); f != FaultNone {
+		t.Fatalf("write fault %v", f)
+	}
+	dst := make([]byte, 5)
+	if f := m.Read(0x100000, dst); f != FaultNone {
+		t.Fatalf("read fault %v", f)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("byte %d = %d", i, dst[i])
+		}
+	}
+	if m.Reads() != 1 || m.Writes() != 1 {
+		t.Fatalf("counters %d/%d", m.Reads(), m.Writes())
+	}
+}
+
+func TestGuardPage(t *testing.T) {
+	m := New()
+	buf := make([]byte, 8)
+	if f := m.Read(0, buf); f != FaultUnmapped {
+		t.Errorf("null read: %v", f)
+	}
+	if f := m.Read(0xFF8, buf); f != FaultUnmapped {
+		t.Errorf("guard page straddle: %v", f)
+	}
+	if f := m.Write(0x10, buf); f != FaultUnmapped {
+		t.Errorf("null write: %v", f)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	m := New()
+	buf := make([]byte, 8)
+	if f := m.Read(Size, buf); f != FaultUnmapped {
+		t.Errorf("past end: %v", f)
+	}
+	if f := m.Read(Size-4, buf); f != FaultUnmapped {
+		t.Errorf("straddle end: %v", f)
+	}
+	if f := m.Read(^uint64(0)-3, buf); f != FaultUnmapped {
+		t.Errorf("wraparound: %v", f)
+	}
+}
+
+func TestKernelRegionProtected(t *testing.T) {
+	m := New()
+	buf := make([]byte, 8)
+	if f := m.Read(KernelBase, buf); f != FaultProt {
+		t.Errorf("kernel read: %v", f)
+	}
+	if f := m.Write(KernelBase+0x1000, buf); f != FaultProt {
+		t.Errorf("kernel write: %v", f)
+	}
+	if f := m.Read(KernelBase-8, buf); f != FaultNone {
+		t.Errorf("stack top read: %v", f)
+	}
+	if f := m.Read(KernelBase-4, buf); f != FaultProt {
+		t.Errorf("straddle into kernel: %v", f)
+	}
+}
+
+func TestTextReadOnly(t *testing.T) {
+	m := New()
+	m.Load(TextBase, []byte{0xAA, 0xBB, 0xCC})
+	m.SetTextEnd(TextBase + 3)
+	buf := make([]byte, 2)
+	if f := m.Read(TextBase, buf); f != FaultNone || buf[0] != 0xAA {
+		t.Errorf("text read: %v %x", f, buf)
+	}
+	if f := m.Write(TextBase, buf); f != FaultProt {
+		t.Errorf("text write: %v", f)
+	}
+	if f := m.Write(TextBase+3, buf); f != FaultNone {
+		t.Errorf("post-text write: %v", f)
+	}
+}
+
+func TestFetch(t *testing.T) {
+	m := New()
+	m.Load(TextBase, []byte{1, 2, 3, 4})
+	m.SetTextEnd(TextBase + 4)
+	buf := make([]byte, 10)
+	n, f := m.Fetch(TextBase, buf)
+	if f != FaultNone || n != 4 || buf[0] != 1 {
+		t.Errorf("fetch: n=%d f=%v", n, f)
+	}
+	n, f = m.Fetch(TextBase+2, buf)
+	if f != FaultNone || n != 2 || buf[0] != 3 {
+		t.Errorf("tail fetch: n=%d f=%v buf0=%d", n, f, buf[0])
+	}
+	if _, f = m.Fetch(TextBase+4, buf); f == FaultNone {
+		t.Error("fetch past text succeeded")
+	}
+	if _, f = m.Fetch(KernelBase+8, buf); f != FaultProt {
+		t.Errorf("kernel fetch: %v", f)
+	}
+	if _, f = m.Fetch(0, buf); f != FaultUnmapped {
+		t.Errorf("null fetch: %v", f)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	m := New()
+	m.Write(0x100000, []byte{9, 9, 9})
+	snap := m.Snapshot()
+	m.Write(0x100000, []byte{1, 1, 1})
+	m.RestoreSnapshot(snap)
+	buf := make([]byte, 3)
+	m.Read(0x100000, buf)
+	if buf[0] != 9 {
+		t.Error("restore failed")
+	}
+}
+
+func TestRawAccessBypassesChecks(t *testing.T) {
+	m := New()
+	m.RawWrite(KernelBase+16, []byte{7})
+	buf := make([]byte, 1)
+	m.RawRead(KernelBase+16, buf)
+	if buf[0] != 7 {
+		t.Error("raw access failed")
+	}
+}

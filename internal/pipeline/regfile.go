@@ -1,0 +1,180 @@
+// Package pipeline provides the out-of-order building blocks shared by
+// the two simulator cores: physical register files with register
+// renaming, the reorder buffer, a packed (and therefore faultable) issue
+// queue, and the load/store queue in the two organizations the paper
+// contrasts — MARSS's unified data-holding queue and Gem5's split queues
+// where only the store side holds data (Remark 1).
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/bitarray"
+)
+
+// PhysReg names a physical register: a class (integer or FP) and an
+// index within that class's file.
+type PhysReg struct {
+	FP  bool
+	Idx uint16
+}
+
+// PhysNone marks an absent operand.
+var PhysNone = PhysReg{Idx: 0xffff}
+
+// Valid reports whether the register names a real physical register.
+func (p PhysReg) Valid() bool { return p.Idx != 0xffff }
+
+// String renders the physical register for logs.
+func (p PhysReg) String() string {
+	if !p.Valid() {
+		return "-"
+	}
+	if p.FP {
+		return fmt.Sprintf("pf%d", p.Idx)
+	}
+	return fmt.Sprintf("p%d", p.Idx)
+}
+
+// RegFile is one class of physical register file with its rename table
+// and free list. The value storage is a faultable array — the structure
+// of the paper's Fig. 2.
+type RegFile struct {
+	fp    bool
+	arr   *bitarray.Array
+	ready []bool
+	live  []bool // allocated (mapped or in flight); dead registers
+	// are provably masked injection targets (§III.B optimization (i))
+	free      []uint16
+	rat       []uint16 // speculative arch → phys
+	commitRAT []uint16 // architectural arch → phys
+
+	reads  uint64
+	writes uint64
+}
+
+// NewRegFile builds a physical register file of physRegs registers
+// backing archRegs architectural names. It panics unless every
+// architectural register can be mapped with at least one register to
+// spare for renaming.
+func NewRegFile(name string, archRegs, physRegs int, fp bool) *RegFile {
+	if physRegs <= archRegs {
+		panic(fmt.Sprintf("pipeline: %s: %d physical registers cannot back %d architectural",
+			name, physRegs, archRegs))
+	}
+	r := &RegFile{
+		fp:        fp,
+		arr:       bitarray.New(name, physRegs, 64),
+		ready:     make([]bool, physRegs),
+		live:      make([]bool, physRegs),
+		rat:       make([]uint16, archRegs),
+		commitRAT: make([]uint16, archRegs),
+	}
+	// Identity-map the architectural registers; the rest are free.
+	for i := 0; i < archRegs; i++ {
+		r.rat[i] = uint16(i)
+		r.commitRAT[i] = uint16(i)
+		r.ready[i] = true
+		r.live[i] = true
+	}
+	for i := physRegs - 1; i >= archRegs; i-- {
+		r.free = append(r.free, uint16(i))
+	}
+	r.arr.SetValidFunc(func(e int) bool { return r.live[e] })
+	return r
+}
+
+// Array returns the injectable value storage.
+func (r *RegFile) Array() *bitarray.Array { return r.arr }
+
+// FreeCount returns the number of allocatable physical registers.
+func (r *RegFile) FreeCount() int { return len(r.free) }
+
+// Lookup returns the current speculative mapping of an architectural
+// register index.
+func (r *RegFile) Lookup(arch int) PhysReg {
+	return PhysReg{FP: r.fp, Idx: r.rat[arch]}
+}
+
+// Rename allocates a fresh physical register for a write to arch,
+// returning the new mapping and the previous one (to free at commit).
+// ok is false when the free list is empty (rename must stall).
+func (r *RegFile) Rename(arch int) (dst, old PhysReg, ok bool) {
+	if len(r.free) == 0 {
+		return PhysNone, PhysNone, false
+	}
+	n := r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	old = PhysReg{FP: r.fp, Idx: r.rat[arch]}
+	r.rat[arch] = n
+	r.ready[n] = false
+	r.live[n] = true
+	return PhysReg{FP: r.fp, Idx: n}, old, true
+}
+
+// Read reads a physical register through the faultable array.
+func (r *RegFile) Read(p PhysReg) uint64 {
+	r.reads++
+	return r.arr.ReadUint64(int(p.Idx))
+}
+
+// Write writes a physical register and marks it ready.
+func (r *RegFile) Write(p PhysReg, v uint64) {
+	r.writes++
+	r.arr.WriteUint64(int(p.Idx), v)
+	r.ready[p.Idx] = true
+}
+
+// Ready reports whether the physical register has been produced.
+func (r *RegFile) Ready(p PhysReg) bool { return r.ready[p.Idx] }
+
+// Commit makes the mapping of arch → dst architectural and recycles the
+// physical register it displaced.
+func (r *RegFile) Commit(arch int, dst, old PhysReg) {
+	r.commitRAT[arch] = dst.Idx
+	if old.Valid() {
+		r.free = append(r.free, old.Idx)
+		r.live[old.Idx] = false
+		r.arr.InvalidateObserve(int(old.Idx))
+	}
+}
+
+// ReadArch reads the architectural (committed) value of an architectural
+// register; the kernel uses it at syscalls.
+func (r *RegFile) ReadArch(arch int) uint64 {
+	return r.Read(PhysReg{FP: r.fp, Idx: r.commitRAT[arch]})
+}
+
+// WriteArch writes the architectural value of an architectural register;
+// the kernel uses it for syscall results. The write goes to the
+// committed physical register, which the speculative RAT also maps after
+// a flush.
+func (r *RegFile) WriteArch(arch int, v uint64) {
+	r.Write(PhysReg{FP: r.fp, Idx: r.commitRAT[arch]}, v)
+}
+
+// Flush rewinds the speculative state to the committed state: the RAT is
+// restored and the free list rebuilt from the registers not referenced
+// by the committed mapping.
+func (r *RegFile) Flush() {
+	copy(r.rat, r.commitRAT)
+	for i := range r.live {
+		r.live[i] = false
+	}
+	for _, p := range r.commitRAT {
+		r.live[p] = true
+		r.ready[p] = true
+	}
+	r.free = r.free[:0]
+	for i := r.arr.Entries() - 1; i >= 0; i-- {
+		if !r.live[i] {
+			r.free = append(r.free, uint16(i))
+		}
+	}
+}
+
+// Reads returns the number of physical register reads.
+func (r *RegFile) Reads() uint64 { return r.reads }
+
+// Writes returns the number of physical register writes.
+func (r *RegFile) Writes() uint64 { return r.writes }

@@ -1,0 +1,49 @@
+package pipeline
+
+// RegFileState is a deep copy of a physical register file, its rename
+// tables and allocation state, used by the simulators' checkpointing
+// support. Checkpoints are taken on drained machines, where the
+// speculative RAT equals the committed RAT.
+type RegFileState struct {
+	Arr       []uint64
+	Ready     []bool
+	Live      []bool
+	Free      []uint16
+	RAT       []uint16
+	CommitRAT []uint16
+	Reads     uint64
+	Writes    uint64
+}
+
+// State captures the register file.
+func (r *RegFile) State() *RegFileState {
+	s := &RegFileState{
+		Arr:       r.arr.Snapshot(),
+		Ready:     make([]bool, len(r.ready)),
+		Live:      make([]bool, len(r.live)),
+		Free:      make([]uint16, len(r.free)),
+		RAT:       make([]uint16, len(r.rat)),
+		CommitRAT: make([]uint16, len(r.commitRAT)),
+		Reads:     r.reads,
+		Writes:    r.writes,
+	}
+	copy(s.Ready, r.ready)
+	copy(s.Live, r.live)
+	copy(s.Free, r.free)
+	copy(s.RAT, r.rat)
+	copy(s.CommitRAT, r.commitRAT)
+	return s
+}
+
+// SetState restores a previously captured state (copied, so one state
+// may seed many register files).
+func (r *RegFile) SetState(s *RegFileState) {
+	r.arr.RestoreSnapshot(s.Arr)
+	copy(r.ready, s.Ready)
+	copy(r.live, s.Live)
+	r.free = append(r.free[:0], s.Free...)
+	copy(r.rat, s.RAT)
+	copy(r.commitRAT, s.CommitRAT)
+	r.reads = s.Reads
+	r.writes = s.Writes
+}

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderConfigTable(t *testing.T) {
+	var buf bytes.Buffer
+	RenderConfigTable(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"MARSS/x86", "Gem5/x86", "Gem5/ARM",
+		"32 (unified)", "16 load / 16 store",
+		"64", "40", // ROB sizes
+		"dual-copy", "write-back",
+		"tournament (by address)", "tournament (by history)",
+		"2048 direct-mapped",
+		"aggressive + replay", "conservative",
+		"hypervisor (memory)", "through caches",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("config table missing %q", want)
+		}
+	}
+}
+
+func TestRenderFaultModels(t *testing.T) {
+	var buf bytes.Buffer
+	RenderFaultModels(&buf)
+	for _, want := range []string{"transient", "intermittent", "permanent", "multiplicity"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("fault model table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package sims
+
+import (
+	"testing"
+
+	"repro/internal/bitarray"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// liveEntries returns the indices of structure entries still valid at
+// the end of a golden run — for the L1I these are the resident (hot)
+// code lines.
+func liveEntries(t *testing.T, tool, bench, structure string) ([]int, uint64) {
+	t.Helper()
+	w, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Factory(tool, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := f()
+	res := sim.Run(1 << 62)
+	if res.Status != core.RunCompleted {
+		t.Fatalf("golden %s/%s: %v", tool, bench, res.Status)
+	}
+	arr := sim.Structures()[structure]
+	var live []int
+	for e := 0; e < arr.Entries(); e++ {
+		if arr.EntryValid(e) {
+			live = append(live, e)
+		}
+	}
+	return live, res.Cycles
+}
+
+// injectInto runs one injection into a fresh simulator.
+func injectInto(t *testing.T, tool, bench, structure string, entry, bit int, cycle, limit uint64) core.RunResult {
+	t.Helper()
+	w, _ := workload.ByName(bench)
+	f, _ := Factory(tool, w)
+	sim := f()
+	arr := sim.Structures()[structure]
+	arr.Arm(bitarray.Fault{Kind: bitarray.Transient, Entry: entry, Bit: bit, Start: cycle})
+	sim.WatchArrays([]*bitarray.Array{arr})
+	return sim.Run(limit)
+}
+
+// TestRemark8AssertVsCrash pins the paper's Remark 8 mechanism: the same
+// hot instruction-cache corruption that stops MARSS with an internal
+// assertion is delivered as an architectural fault — a crash — by Gem5.
+func TestRemark8AssertVsCrash(t *testing.T) {
+	const bench = "sha"
+	counts := map[string]map[core.RunStatus]int{}
+	for _, tool := range []string{MaFINX86, GeFINX86} {
+		live, cycles := liveEntries(t, tool, bench, "l1i.data")
+		if len(live) < 8 {
+			t.Fatalf("%s: only %d live L1I lines", tool, len(live))
+		}
+		counts[tool] = map[core.RunStatus]int{}
+		n := 0
+		for _, e := range live {
+			// Several bit positions per hot line, injected early so
+			// the corrupted line is certain to be fetched again.
+			for _, bit := range []int{1, 40, 81, 122, 203, 284, 365, 446} {
+				res := injectInto(t, tool, bench, "l1i.data", e, bit, cycles/8, cycles*3)
+				counts[tool][res.Status]++
+				n++
+				if n >= 160 {
+					break
+				}
+			}
+			if n >= 160 {
+				break
+			}
+		}
+	}
+	t.Logf("MaFIN: %v", counts[MaFINX86])
+	t.Logf("GeFIN: %v", counts[GeFINX86])
+	mAssert := counts[MaFINX86][core.RunAssert]
+	gAssert := counts[GeFINX86][core.RunAssert]
+	gCrash := counts[GeFINX86][core.RunProcessCrash] + counts[GeFINX86][core.RunSystemCrash] +
+		counts[GeFINX86][core.RunSimCrash]
+	if mAssert == 0 {
+		t.Error("MaFIN produced no assertions from hot L1I corruption (Remark 8 mechanism missing)")
+	}
+	if gAssert >= mAssert {
+		t.Errorf("GeFIN asserts (%d) >= MaFIN asserts (%d); the assert-density contrast is gone", gAssert, mAssert)
+	}
+	if gCrash == 0 {
+		t.Error("GeFIN produced no crashes from hot L1I corruption")
+	}
+}
+
+// TestRemark3DualCopyMasking pins the Remark 3 cache-policy contrast at
+// the system level: identical dirty-line corruption, injected into the
+// same physical line state on both tools, is masked more often by the
+// MARSS-like dual-copy hierarchy than by the Gem5-like write-back one.
+func TestRemark3DualCopyMasking(t *testing.T) {
+	const bench = "qsort"
+	vulns := map[string]int{}
+	for _, tool := range []string{MaFINX86, GeFINX86} {
+		live, cycles := liveEntries(t, tool, bench, "l1d.data")
+		if len(live) < 16 {
+			t.Fatalf("%s: only %d live L1D lines", tool, len(live))
+		}
+		w, _ := workload.ByName(bench)
+		f, _ := Factory(tool, w)
+		golden := f()
+		gres := golden.Run(1 << 62)
+		nonMasked := 0
+		n := 0
+		for i, e := range live {
+			res := injectInto(t, tool, bench, "l1d.data", e, (i*37)%512, cycles/2, cycles*3)
+			if !(res.Status == core.RunEarlyMasked ||
+				(res.Status == core.RunCompleted && string(res.Output) == string(gres.Output) && len(res.Events) == 0)) {
+				nonMasked++
+			}
+			n++
+			if n >= 120 {
+				break
+			}
+		}
+		vulns[tool] = nonMasked
+	}
+	t.Logf("non-masked dirty-line corruptions: MaFIN %d, GeFIN %d", vulns[MaFINX86], vulns[GeFINX86])
+	if vulns[MaFINX86] > vulns[GeFINX86] {
+		t.Errorf("MaFIN (%d) more vulnerable than GeFIN (%d) on targeted L1D faults; dual-copy masking not visible",
+			vulns[MaFINX86], vulns[GeFINX86])
+	}
+}

@@ -1,0 +1,64 @@
+package sims
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestAllToolsAllBenchmarksFaultFree is the repository's central
+// integration test: every tool configuration must run every benchmark to
+// completion, producing exactly the pure-Go reference output with no
+// kernel events. It also logs the fault-free cycle counts that size the
+// injection campaigns.
+func TestAllToolsAllBenchmarksFaultFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30 full simulations; skipped in -short mode")
+	}
+	for _, w := range workload.All() {
+		want := w.Reference()
+		for _, tool := range Tools() {
+			f, err := Factory(tool, w)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tool, w.Name, err)
+			}
+			sim := f()
+			res := sim.Run(1 << 62)
+			if res.Status != core.RunCompleted {
+				t.Errorf("%s/%s: %v (%s) after %d cycles",
+					tool, w.Name, res.Status, res.AssertMsg, res.Cycles)
+				continue
+			}
+			if !bytes.Equal(res.Output, want) {
+				t.Errorf("%s/%s: output mismatch (%d vs %d bytes)",
+					tool, w.Name, len(res.Output), len(want))
+				continue
+			}
+			if len(res.Events) != 0 {
+				t.Errorf("%s/%s: kernel events %v", tool, w.Name, res.Events[:1])
+			}
+			s := sim.Stats()
+			t.Logf("%s/%-6s: %8d cycles, %8d instrs, IPC %.2f",
+				tool, w.Name, res.Cycles, res.Committed,
+				float64(s["committed_uops"])/float64(res.Cycles))
+		}
+	}
+}
+
+func TestFactoryUnknownTool(t *testing.T) {
+	w, _ := workload.ByName("qsort")
+	if _, err := Factory("nope", w); err == nil {
+		t.Fatal("unknown tool accepted")
+	}
+}
+
+func TestShortLabels(t *testing.T) {
+	want := map[string]string{MaFINX86: "M-x86", GeFINX86: "G-x86", GeFINARM: "G-ARM"}
+	for tool, lbl := range want {
+		if ShortLabel(tool) != lbl {
+			t.Errorf("%s label %q", tool, ShortLabel(tool))
+		}
+	}
+}

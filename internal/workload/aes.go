@@ -1,0 +1,280 @@
+package workload
+
+import (
+	"crypto/aes"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// caes: AES-128 ECB encryption of 16 blocks (256 bytes), the analog of
+// MiBench's AES workload. The S-box, xtime table, combined
+// SubBytes+ShiftRows index table and expanded round keys are data; the
+// rounds themselves (byte substitution, row shifts, MixColumns over
+// GF(2^8), round-key addition) execute in the IR. The Go reference is
+// the standard library's crypto/aes, which pins the implementation to
+// the real cipher. The output file is the ciphertext.
+
+const aesBlocks = 16
+
+var aesKey = []byte{
+	0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+	0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c,
+}
+
+func aesPlaintext() []byte {
+	return newLCG(0xae5).bytes(aesBlocks * 16)
+}
+
+func refAES() []byte {
+	c, err := aes.NewCipher(aesKey)
+	if err != nil {
+		panic(err)
+	}
+	pt := aesPlaintext()
+	out := make([]byte, len(pt))
+	for i := 0; i < len(pt); i += 16 {
+		c.Encrypt(out[i:i+16], pt[i:i+16])
+	}
+	return out
+}
+
+// aesSbox is the AES S-box.
+var aesSbox = [256]byte{
+	0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+	0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+	0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+	0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+	0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+	0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+	0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+	0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+	0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+	0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+	0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+	0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+	0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+	0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+	0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+	0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+}
+
+// aesXtime is the GF(2^8) doubling table.
+func aesXtime() []byte {
+	t := make([]byte, 256)
+	for i := 0; i < 256; i++ {
+		v := i << 1
+		if i&0x80 != 0 {
+			v ^= 0x11b
+		}
+		t[i] = byte(v)
+	}
+	return t
+}
+
+// aesShiftIdx[i] is the source byte index feeding output byte i of the
+// combined SubBytes+ShiftRows step (column-major state layout).
+func aesShiftIdx() []byte {
+	idx := make([]byte, 16)
+	for c := 0; c < 4; c++ {
+		for r := 0; r < 4; r++ {
+			idx[c*4+r] = byte(((c+r)%4)*4 + r)
+		}
+	}
+	return idx
+}
+
+// aesRoundKeys expands the key to the 11 round keys (176 bytes).
+func aesRoundKeys() []byte {
+	rcon := byte(1)
+	w := make([]byte, 176)
+	copy(w, aesKey)
+	for i := 16; i < 176; i += 4 {
+		t := [4]byte{w[i-4], w[i-3], w[i-2], w[i-1]}
+		if i%16 == 0 {
+			t = [4]byte{aesSbox[t[1]] ^ rcon, aesSbox[t[2]], aesSbox[t[3]], aesSbox[t[0]]}
+			rcon = aesXtime()[rcon]
+		}
+		for j := 0; j < 4; j++ {
+			w[i+j] = w[i-16+j] ^ t[j]
+		}
+	}
+	return w
+}
+
+func buildAES() *asm.Program {
+	p := asm.NewProgram()
+	p.Data("pt", aesPlaintext())
+	p.Data("sbox", aesSbox[:])
+	p.Data("xt", aesXtime())
+	p.Data("sridx", aesShiftIdx())
+	p.Data("rk", aesRoundKeys())
+	p.Bss("st", 16)
+	p.Bss("st2", 16)
+	p.Bss("ct", aesBlocks*16)
+	p.Bss("blkv", 8)
+
+	// subshift: st2[i] = sbox[st[sridx[i]]]
+	ss := p.Func("subshift")
+	ss.MovSym(isa.R10, "st")
+	ss.MovSym(isa.R11, "st2")
+	ss.MovSym(isa.R4, "sridx")
+	ss.MovSym(isa.R5, "sbox")
+	ss.MovImm(isa.R1, 0)
+	ss.Label("loop")
+	ss.Add(isa.R2, isa.R4, isa.R1)
+	ss.Load(1, false, isa.R2, isa.R2, 0) // src index
+	ss.Add(isa.R2, isa.R10, isa.R2)
+	ss.Load(1, false, isa.R2, isa.R2, 0) // st[src]
+	ss.Add(isa.R2, isa.R5, isa.R2)
+	ss.Load(1, false, isa.R2, isa.R2, 0) // sbox[...]
+	ss.Add(isa.R3, isa.R11, isa.R1)
+	ss.Store(1, isa.R2, isa.R3, 0)
+	ss.AddI(isa.R1, isa.R1, 1)
+	ss.BrI(isa.CondLT, isa.R1, 16, "loop")
+	ss.Ret()
+
+	// mixcolumns: st[c] = MixColumn(st2[c]) for the four columns.
+	mc := p.Func("mixcolumns")
+	mc.MovSym(isa.R10, "st2")
+	mc.MovSym(isa.R11, "st")
+	mc.MovSym(isa.R9, "xt")
+	mc.MovImm(isa.R1, 0) // column byte base 0,4,8,12
+	mc.Label("col")
+	// load a0..a3 into r2..r5
+	mc.Add(isa.R8, isa.R10, isa.R1)
+	mc.Load(1, false, isa.R2, isa.R8, 0)
+	mc.Load(1, false, isa.R3, isa.R8, 1)
+	mc.Load(1, false, isa.R4, isa.R8, 2)
+	mc.Load(1, false, isa.R5, isa.R8, 3)
+	// b0 = xt[a0] ^ xt[a1] ^ a1 ^ a2 ^ a3
+	mc.Add(isa.R6, isa.R9, isa.R2)
+	mc.Load(1, false, isa.R6, isa.R6, 0)
+	mc.Add(isa.R7, isa.R9, isa.R3)
+	mc.Load(1, false, isa.R7, isa.R7, 0)
+	mc.Xor(isa.R6, isa.R6, isa.R7)
+	mc.Xor(isa.R6, isa.R6, isa.R3)
+	mc.Xor(isa.R6, isa.R6, isa.R4)
+	mc.Xor(isa.R6, isa.R6, isa.R5)
+	mc.Add(isa.R0, isa.R11, isa.R1)
+	mc.Store(1, isa.R6, isa.R0, 0)
+	// b1 = a0 ^ xt[a1] ^ xt[a2] ^ a2 ^ a3
+	mc.Add(isa.R6, isa.R9, isa.R3)
+	mc.Load(1, false, isa.R6, isa.R6, 0)
+	mc.Xor(isa.R6, isa.R6, isa.R2)
+	mc.Add(isa.R7, isa.R9, isa.R4)
+	mc.Load(1, false, isa.R7, isa.R7, 0)
+	mc.Xor(isa.R6, isa.R6, isa.R7)
+	mc.Xor(isa.R6, isa.R6, isa.R4)
+	mc.Xor(isa.R6, isa.R6, isa.R5)
+	mc.Store(1, isa.R6, isa.R0, 1)
+	// b2 = a0 ^ a1 ^ xt[a2] ^ xt[a3] ^ a3
+	mc.Add(isa.R6, isa.R9, isa.R4)
+	mc.Load(1, false, isa.R6, isa.R6, 0)
+	mc.Xor(isa.R6, isa.R6, isa.R2)
+	mc.Xor(isa.R6, isa.R6, isa.R3)
+	mc.Add(isa.R7, isa.R9, isa.R5)
+	mc.Load(1, false, isa.R7, isa.R7, 0)
+	mc.Xor(isa.R6, isa.R6, isa.R7)
+	mc.Xor(isa.R6, isa.R6, isa.R5)
+	mc.Store(1, isa.R6, isa.R0, 2)
+	// b3 = xt[a0] ^ a0 ^ a1 ^ a2 ^ xt[a3]
+	mc.Add(isa.R6, isa.R9, isa.R2)
+	mc.Load(1, false, isa.R6, isa.R6, 0)
+	mc.Xor(isa.R6, isa.R6, isa.R2)
+	mc.Xor(isa.R6, isa.R6, isa.R3)
+	mc.Xor(isa.R6, isa.R6, isa.R4)
+	mc.Add(isa.R7, isa.R9, isa.R5)
+	mc.Load(1, false, isa.R7, isa.R7, 0)
+	mc.Xor(isa.R6, isa.R6, isa.R7)
+	mc.Store(1, isa.R6, isa.R0, 3)
+	mc.AddI(isa.R1, isa.R1, 4)
+	mc.BrI(isa.CondLT, isa.R1, 16, "col")
+	mc.Ret()
+
+	// addkey(r0 = round): st[i] ^= rk[round*16+i], from st in place.
+	ak := p.Func("addkey")
+	ak.MovSym(isa.R10, "st")
+	ak.MovSym(isa.R11, "rk")
+	ak.ShlI(isa.R2, isa.R0, 4)
+	ak.Add(isa.R11, isa.R11, isa.R2)
+	ak.MovImm(isa.R1, 0)
+	ak.Label("loop")
+	ak.Add(isa.R2, isa.R10, isa.R1)
+	ak.Load(1, false, isa.R3, isa.R2, 0)
+	ak.Add(isa.R4, isa.R11, isa.R1)
+	ak.Load(1, false, isa.R4, isa.R4, 0)
+	ak.Xor(isa.R3, isa.R3, isa.R4)
+	ak.Store(1, isa.R3, isa.R2, 0)
+	ak.AddI(isa.R1, isa.R1, 1)
+	ak.BrI(isa.CondLT, isa.R1, 16, "loop")
+	ak.Ret()
+
+	// copy16(r0 = src, r1 = dst)
+	cp := p.Func("copy16")
+	cp.MovImm(isa.R2, 0)
+	cp.Label("loop")
+	cp.Add(isa.R3, isa.R0, isa.R2)
+	cp.Load(1, false, isa.R4, isa.R3, 0)
+	cp.Add(isa.R3, isa.R1, isa.R2)
+	cp.Store(1, isa.R4, isa.R3, 0)
+	cp.AddI(isa.R2, isa.R2, 1)
+	cp.BrI(isa.CondLT, isa.R2, 16, "loop")
+	cp.Ret()
+
+	f := p.Func("main")
+	f.MovSym(isa.R1, "blkv")
+	f.MovImm(isa.R0, 0)
+	f.Store(8, isa.R0, isa.R1, 0)
+
+	f.Label("blkloop")
+	// st = pt[blk*16]
+	f.MovSym(isa.R1, "blkv")
+	f.Load(8, false, isa.R2, isa.R1, 0)
+	f.ShlI(isa.R2, isa.R2, 4)
+	f.MovSym(isa.R0, "pt")
+	f.Add(isa.R0, isa.R0, isa.R2)
+	f.MovSym(isa.R1, "st")
+	f.Call("copy16")
+	// AddRoundKey 0.
+	f.MovImm(isa.R0, 0)
+	f.Call("addkey")
+	// Rounds 1..9: store the round counter on the stack across calls.
+	f.MovImm(isa.R5, 1)
+	f.Label("rounds")
+	f.SubI(isa.SP, isa.SP, 8)
+	f.Store(8, isa.R5, isa.SP, 0)
+	f.Call("subshift")
+	f.Call("mixcolumns")
+	f.Load(8, false, isa.R0, isa.SP, 0)
+	f.Call("addkey")
+	f.Load(8, false, isa.R5, isa.SP, 0)
+	f.AddI(isa.SP, isa.SP, 8)
+	f.AddI(isa.R5, isa.R5, 1)
+	f.BrI(isa.CondLT, isa.R5, 10, "rounds")
+	// Final round: SubBytes+ShiftRows, copy st2 → st, AddRoundKey 10.
+	f.Call("subshift")
+	f.MovSym(isa.R0, "st2")
+	f.MovSym(isa.R1, "st")
+	f.Call("copy16")
+	f.MovImm(isa.R0, 10)
+	f.Call("addkey")
+	// ct[blk*16] = st
+	f.MovSym(isa.R1, "blkv")
+	f.Load(8, false, isa.R2, isa.R1, 0)
+	f.ShlI(isa.R3, isa.R2, 4)
+	f.MovSym(isa.R0, "st")
+	f.MovSym(isa.R1, "ct")
+	f.Add(isa.R1, isa.R1, isa.R3)
+	f.Call("copy16")
+	// next block
+	f.MovSym(isa.R1, "blkv")
+	f.Load(8, false, isa.R2, isa.R1, 0)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.Store(8, isa.R2, isa.R1, 0)
+	f.BrI(isa.CondLT, isa.R2, aesBlocks, "blkloop")
+
+	emitWriteOut(f, "ct", aesBlocks*16)
+	emitExit(f)
+	return p
+}

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// fft: an in-place radix-2 decimation-in-time FFT of 512 complex points
+// in double precision, the analog of MiBench's fft. Twiddle factors are
+// a precomputed table (the simulated ISAs have no sin/cos); the Go
+// reference executes the identical butterfly order so the IEEE-754
+// results match bit for bit. The output file is the raw real and
+// imaginary arrays.
+
+const (
+	fftN    = 512
+	fftBits = 9 // log2(fftN), the bit-reversal width
+)
+
+func fftInput() []float64 {
+	g := newLCG(0xfff7)
+	xs := make([]float64, fftN)
+	for i := range xs {
+		// A mix of tones plus bounded noise.
+		xs[i] = math.Sin(2*math.Pi*float64(i)*5/fftN) +
+			0.5*math.Sin(2*math.Pi*float64(i)*17/fftN) +
+			0.25*float64(g.next()%1000)/1000
+	}
+	return xs
+}
+
+func fftTwiddles() (wr, wi []float64) {
+	wr = make([]float64, fftN/2)
+	wi = make([]float64, fftN/2)
+	for k := range wr {
+		ang := -2 * math.Pi * float64(k) / fftN
+		wr[k] = math.Cos(ang)
+		wi[k] = math.Sin(ang)
+	}
+	return wr, wi
+}
+
+// fftModel runs the exact algorithm the IR implements.
+func fftModel() (xr, xi []float64) {
+	xr = fftInput()
+	xi = make([]float64, fftN)
+	wr, wi := fftTwiddles()
+	// Bit-reverse permutation.
+	for i := 0; i < fftN; i++ {
+		j, tmp := 0, i
+		for k := 0; k < fftBits; k++ {
+			j = j<<1 | tmp&1
+			tmp >>= 1
+		}
+		if i < j {
+			xr[i], xr[j] = xr[j], xr[i]
+			xi[i], xi[j] = xi[j], xi[i]
+		}
+	}
+	for ln := 2; ln <= fftN; ln <<= 1 {
+		half := ln / 2
+		step := fftN / ln
+		for i := 0; i < fftN; i += ln {
+			for j := 0; j < half; j++ {
+				cr, ci := wr[j*step], wi[j*step]
+				a, b := i+j, i+j+half
+				tr := xr[b]*cr - xi[b]*ci
+				ti := xr[b]*ci + xi[b]*cr
+				xr[b] = xr[a] - tr
+				xi[b] = xi[a] - ti
+				xr[a] = xr[a] + tr
+				xi[a] = xi[a] + ti
+			}
+		}
+	}
+	return xr, xi
+}
+
+func f64bytes(vs []float64) []byte {
+	var out []byte
+	for _, v := range vs {
+		out = append(out, le64(math.Float64bits(v))...)
+	}
+	return out
+}
+
+func refFFT() []byte {
+	xr, xi := fftModel()
+	return append(f64bytes(xr), f64bytes(xi)...)
+}
+
+func buildFFT() *asm.Program {
+	p := asm.NewProgram()
+	// x holds xr[0..fftN-1] then xi[0..fftN-1], contiguously.
+	p.Data("x", append(f64bytes(fftInput()), make([]byte, fftN*8)...))
+	wr, wi := fftTwiddles()
+	// tw holds wr[0..fftN/2-1] then wi[0..fftN/2-1].
+	p.Data("tw", append(f64bytes(wr), f64bytes(wi)...))
+
+	const xiOff = fftN * 8     // byte offset of xi within x
+	const wiOff = fftN / 2 * 8 // byte offset of wi within tw
+
+	f := p.Func("main")
+	xb := isa.R10 // x base
+	tb := isa.R11 // tw base
+	f.MovSym(xb, "x")
+	f.MovSym(tb, "tw")
+
+	// Bit-reverse permutation. i=r1, j=r2, tmp=r3, k=r4.
+	f.MovImm(isa.R1, 0)
+	f.Label("brev")
+	f.MovImm(isa.R2, 0)
+	f.Mov(isa.R3, isa.R1)
+	f.MovImm(isa.R4, 0)
+	f.Label("revk")
+	f.ShlI(isa.R2, isa.R2, 1)
+	f.AndI(isa.R5, isa.R3, 1)
+	f.Or(isa.R2, isa.R2, isa.R5)
+	f.ShrI(isa.R3, isa.R3, 1)
+	f.AddI(isa.R4, isa.R4, 1)
+	f.BrI(isa.CondLT, isa.R4, fftBits, "revk")
+	f.Br(isa.CondGE, isa.R1, isa.R2, "noswap")
+	// swap xr[i],xr[j] and xi[i],xi[j]
+	f.ShlI(isa.R5, isa.R1, 3)
+	f.Add(isa.R5, xb, isa.R5)
+	f.ShlI(isa.R6, isa.R2, 3)
+	f.Add(isa.R6, xb, isa.R6)
+	f.FLoad(isa.F0, isa.R5, 0)
+	f.FLoad(isa.F1, isa.R6, 0)
+	f.FStore(isa.F1, isa.R5, 0)
+	f.FStore(isa.F0, isa.R6, 0)
+	f.FLoad(isa.F0, isa.R5, xiOff)
+	f.FLoad(isa.F1, isa.R6, xiOff)
+	f.FStore(isa.F1, isa.R5, xiOff)
+	f.FStore(isa.F0, isa.R6, xiOff)
+	f.Label("noswap")
+	f.AddI(isa.R1, isa.R1, 1)
+	f.BrI(isa.CondLT, isa.R1, fftN, "brev")
+
+	// Butterfly stages. ln=r1, half=r2, step=r3, i=r4, j=r5.
+	f.MovImm(isa.R1, 2)
+	f.Label("stage")
+	f.ShrI(isa.R2, isa.R1, 1)
+	f.MovImm(isa.R3, fftN)
+	f.Div(isa.R3, isa.R3, isa.R1)
+	f.MovImm(isa.R4, 0)
+	f.Label("groups")
+	f.MovImm(isa.R5, 0)
+	f.Label("bfly")
+	// twiddle address: tb + (j*step)*8
+	f.Mul(isa.R6, isa.R5, isa.R3)
+	f.ShlI(isa.R6, isa.R6, 3)
+	f.Add(isa.R6, tb, isa.R6)
+	f.FLoad(isa.F0, isa.R6, 0)     // cr
+	f.FLoad(isa.F1, isa.R6, wiOff) // ci
+	// a = i+j, b = a+half (byte addresses in r7, r8)
+	f.Add(isa.R7, isa.R4, isa.R5)
+	f.Add(isa.R8, isa.R7, isa.R2)
+	f.ShlI(isa.R7, isa.R7, 3)
+	f.Add(isa.R7, xb, isa.R7)
+	f.ShlI(isa.R8, isa.R8, 3)
+	f.Add(isa.R8, xb, isa.R8)
+	f.FLoad(isa.F2, isa.R8, 0)     // xr[b]
+	f.FLoad(isa.F3, isa.R8, xiOff) // xi[b]
+	// tr = xr[b]*cr - xi[b]*ci ; ti = xr[b]*ci + xi[b]*cr
+	f.FMul(isa.F4, isa.F2, isa.F0)
+	f.FMul(isa.F5, isa.F3, isa.F1)
+	f.FSub(isa.F4, isa.F4, isa.F5) // tr
+	f.FMul(isa.F5, isa.F2, isa.F1)
+	f.FMul(isa.F6, isa.F3, isa.F0)
+	f.FAdd(isa.F5, isa.F5, isa.F6) // ti
+	// xr[b] = xr[a]-tr; xr[a] += tr
+	f.FLoad(isa.F2, isa.R7, 0)
+	f.FSub(isa.F6, isa.F2, isa.F4)
+	f.FStore(isa.F6, isa.R8, 0)
+	f.FAdd(isa.F2, isa.F2, isa.F4)
+	f.FStore(isa.F2, isa.R7, 0)
+	// xi[b] = xi[a]-ti; xi[a] += ti
+	f.FLoad(isa.F3, isa.R7, xiOff)
+	f.FSub(isa.F6, isa.F3, isa.F5)
+	f.FStore(isa.F6, isa.R8, xiOff)
+	f.FAdd(isa.F3, isa.F3, isa.F5)
+	f.FStore(isa.F3, isa.R7, xiOff)
+	f.AddI(isa.R5, isa.R5, 1)
+	f.Br(isa.CondLT, isa.R5, isa.R2, "bfly")
+	f.Add(isa.R4, isa.R4, isa.R1)
+	f.BrI(isa.CondLT, isa.R4, fftN, "groups")
+	f.ShlI(isa.R1, isa.R1, 1)
+	f.BrI(isa.CondLE, isa.R1, fftN, "stage")
+
+	emitWriteOut(f, "x", fftN*16)
+	emitExit(f)
+	return p
+}

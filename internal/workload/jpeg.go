@@ -1,0 +1,543 @@
+package workload
+
+import (
+	"math"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// cjpeg / djpeg: a JPEG-style transform codec over a 16×16 grayscale
+// image — integer 8×8 DCT (scaled-cosine matrix arithmetic), standard
+// luminance quantization, zigzag scan and run-length entropy coding —
+// the analogs of MiBench's cjpeg and djpeg. cjpeg's output file is the
+// encoded stream; djpeg consumes a pre-encoded stream (embedded at build
+// time from the reference encoder) and outputs the decoded pixels.
+
+const (
+	jpegW      = 16
+	jpegH      = 16
+	jpegBlocks = (jpegW / 8) * (jpegH / 8)
+	dctShift   = 20
+	dctRound   = 1 << 19
+	jpegEOB    = 0xFF
+)
+
+// jpegQuant is the standard JPEG luminance quantization table.
+var jpegQuant = [64]int64{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// jpegZigzag maps scan position to block position.
+var jpegZigzag = [64]byte{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// dctMatrix returns the orthonormal DCT-II basis scaled by 1024.
+func dctMatrix() [64]int64 {
+	var m [64]int64
+	for u := 0; u < 8; u++ {
+		alpha := math.Sqrt(2.0 / 8.0)
+		if u == 0 {
+			alpha = math.Sqrt(1.0 / 8.0)
+		}
+		for x := 0; x < 8; x++ {
+			m[u*8+x] = int64(math.Round(alpha * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16) * 1024))
+		}
+	}
+	return m
+}
+
+func jpegImage() []byte { return grayImage(jpegW, jpegH, 0xca7) }
+
+// divRound divides rounding half away from zero, the quantizer's rule.
+func divRound(y, q int64) int64 {
+	if y >= 0 {
+		return (y + q/2) / q
+	}
+	return -((-y + q/2) / q)
+}
+
+// refCJPEG encodes the image; it is both the cjpeg golden output and the
+// djpeg input stream.
+func refCJPEG() []byte {
+	img := jpegImage()
+	m := dctMatrix()
+	var out []byte
+	for b := 0; b < jpegBlocks; b++ {
+		bx, by := b%(jpegW/8), b/(jpegW/8)
+		var px [64]int64
+		for r := 0; r < 8; r++ {
+			for c := 0; c < 8; c++ {
+				px[r*8+c] = int64(img[(by*8+r)*jpegW+bx*8+c]) - 128
+			}
+		}
+		var tmp, y [64]int64
+		for u := 0; u < 8; u++ {
+			for x := 0; x < 8; x++ {
+				var s int64
+				for k := 0; k < 8; k++ {
+					s += m[u*8+k] * px[k*8+x]
+				}
+				tmp[u*8+x] = s
+			}
+		}
+		for u := 0; u < 8; u++ {
+			for v := 0; v < 8; v++ {
+				var s int64
+				for k := 0; k < 8; k++ {
+					s += tmp[u*8+k] * m[v*8+k]
+				}
+				y[u*8+v] = divRound((s+dctRound)>>dctShift, jpegQuant[u*8+v])
+			}
+		}
+		run := 0
+		for i := 0; i < 64; i++ {
+			v := y[jpegZigzag[i]]
+			if v == 0 {
+				run++
+				continue
+			}
+			out = append(out, byte(run), byte(uint16(v)), byte(uint16(v)>>8))
+			run = 0
+		}
+		out = append(out, jpegEOB)
+	}
+	return out
+}
+
+// refDJPEG decodes the reference stream back to pixels.
+func refDJPEG() []byte {
+	m := dctMatrix()
+	stream := refCJPEG()
+	img := make([]byte, jpegW*jpegH)
+	pos := 0
+	for b := 0; b < jpegBlocks; b++ {
+		bx, by := b%(jpegW/8), b/(jpegW/8)
+		var y [64]int64
+		i := 0
+		for {
+			r := stream[pos]
+			pos++
+			if r == jpegEOB {
+				break
+			}
+			i += int(r)
+			v := int64(int16(uint16(stream[pos]) | uint16(stream[pos+1])<<8))
+			pos += 2
+			y[jpegZigzag[i]] = v * jpegQuant[jpegZigzag[i]]
+			i++
+		}
+		var tmp [64]int64
+		for x := 0; x < 8; x++ {
+			for v := 0; v < 8; v++ {
+				var s int64
+				for u := 0; u < 8; u++ {
+					s += m[u*8+x] * y[u*8+v]
+				}
+				tmp[x*8+v] = s
+			}
+		}
+		for x := 0; x < 8; x++ {
+			for k := 0; k < 8; k++ {
+				var s int64
+				for v := 0; v < 8; v++ {
+					s += tmp[x*8+v] * m[v*8+k]
+				}
+				p := ((s + dctRound) >> dctShift) + 128
+				if p < 0 {
+					p = 0
+				}
+				if p > 255 {
+					p = 255
+				}
+				img[(by*8+x)*jpegW+bx*8+k] = byte(p)
+			}
+		}
+	}
+	return img
+}
+
+func jpegTables(p *asm.Program) {
+	m := dctMatrix()
+	p.Data("dctm", le64s(m[:]))
+	p.Data("quant", le64s(jpegQuant[:]))
+	p.Data("zigzag", jpegZigzag[:])
+}
+
+// emitMac8 emits s += A[i*8+k] * B[f(k)] accumulation loops' inner body
+// via a helper pattern shared by the DCT kernels; kept inline at each
+// call site for clarity of the generated code.
+
+func buildCJPEG() *asm.Program {
+	p := asm.NewProgram()
+	p.Data("img", jpegImage())
+	jpegTables(p)
+	p.Bss("P", 64*8)   // centered pixels
+	p.Bss("T", 64*8)   // M·P
+	p.Bss("Y", 64*8)   // quantized coefficients
+	p.Bss("out", 1024) // encoded stream
+	p.Bss("wp", 8)     // write offset
+	p.Bss("bidx", 8)   // block index
+
+	// dctblock: P → Y (forward DCT + quantization). Globals only.
+	d := p.Func("dctblock")
+	// T = M·P: u=r1, x=r2, k=r3, s=r4.
+	d.MovSym(isa.R10, "dctm")
+	d.MovSym(isa.R11, "P")
+	d.MovImm(isa.R1, 0)
+	d.Label("uloop")
+	d.MovImm(isa.R2, 0)
+	d.Label("xloop")
+	d.MovImm(isa.R3, 0)
+	d.MovImm(isa.R4, 0)
+	d.Label("kloop")
+	d.ShlI(isa.R5, isa.R1, 6) // u*64
+	d.ShlI(isa.R6, isa.R3, 3) // k*8
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Add(isa.R5, isa.R10, isa.R5)
+	d.Load(8, false, isa.R7, isa.R5, 0) // M[u*8+k]
+	d.ShlI(isa.R5, isa.R3, 6)           // k*64
+	d.ShlI(isa.R6, isa.R2, 3)           // x*8
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Add(isa.R5, isa.R11, isa.R5)
+	d.Load(8, false, isa.R8, isa.R5, 0) // P[k*8+x]
+	d.Mul(isa.R7, isa.R7, isa.R8)
+	d.Add(isa.R4, isa.R4, isa.R7)
+	d.AddI(isa.R3, isa.R3, 1)
+	d.BrI(isa.CondLT, isa.R3, 8, "kloop")
+	d.MovSym(isa.R5, "T")
+	d.ShlI(isa.R6, isa.R1, 6)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.ShlI(isa.R6, isa.R2, 3)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Store(8, isa.R4, isa.R5, 0)
+	d.AddI(isa.R2, isa.R2, 1)
+	d.BrI(isa.CondLT, isa.R2, 8, "xloop")
+	d.AddI(isa.R1, isa.R1, 1)
+	d.BrI(isa.CondLT, isa.R1, 8, "uloop")
+	// Y = quant((T·Mᵀ + round) >> shift): u=r1, v=r2, k=r3, s=r4.
+	d.MovSym(isa.R11, "T")
+	d.MovImm(isa.R1, 0)
+	d.Label("u2loop")
+	d.MovImm(isa.R2, 0)
+	d.Label("v2loop")
+	d.MovImm(isa.R3, 0)
+	d.MovImm(isa.R4, 0)
+	d.Label("k2loop")
+	d.ShlI(isa.R5, isa.R1, 6)
+	d.ShlI(isa.R6, isa.R3, 3)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Add(isa.R5, isa.R11, isa.R5)
+	d.Load(8, false, isa.R7, isa.R5, 0) // T[u*8+k]
+	d.ShlI(isa.R5, isa.R2, 6)
+	d.ShlI(isa.R6, isa.R3, 3)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Add(isa.R5, isa.R10, isa.R5)
+	d.Load(8, false, isa.R8, isa.R5, 0) // M[v*8+k]
+	d.Mul(isa.R7, isa.R7, isa.R8)
+	d.Add(isa.R4, isa.R4, isa.R7)
+	d.AddI(isa.R3, isa.R3, 1)
+	d.BrI(isa.CondLT, isa.R3, 8, "k2loop")
+	d.AddI(isa.R4, isa.R4, dctRound)
+	d.SarI(isa.R4, isa.R4, dctShift)
+	// Quantize with rounding half away from zero.
+	d.ShlI(isa.R5, isa.R1, 3)
+	d.Add(isa.R5, isa.R5, isa.R2) // u*8+v
+	d.MovSym(isa.R6, "quant")
+	d.ShlI(isa.R7, isa.R5, 3)
+	d.Add(isa.R6, isa.R6, isa.R7)
+	d.Load(8, false, isa.R6, isa.R6, 0) // q
+	d.ShrI(isa.R8, isa.R6, 1)           // q/2
+	d.BrI(isa.CondLT, isa.R4, 0, "neg")
+	d.Add(isa.R4, isa.R4, isa.R8)
+	d.Div(isa.R4, isa.R4, isa.R6)
+	d.Jmp("quantdone")
+	d.Label("neg")
+	d.MovImm(isa.R9, 0)
+	d.Sub(isa.R4, isa.R9, isa.R4) // -y
+	d.Add(isa.R4, isa.R4, isa.R8)
+	d.Div(isa.R4, isa.R4, isa.R6)
+	d.Sub(isa.R4, isa.R9, isa.R4)
+	d.Label("quantdone")
+	d.MovSym(isa.R6, "Y")
+	d.ShlI(isa.R7, isa.R5, 3)
+	d.Add(isa.R6, isa.R6, isa.R7)
+	d.Store(8, isa.R4, isa.R6, 0)
+	d.AddI(isa.R2, isa.R2, 1)
+	d.BrI(isa.CondLT, isa.R2, 8, "v2loop")
+	d.AddI(isa.R1, isa.R1, 1)
+	d.BrI(isa.CondLT, isa.R1, 8, "u2loop")
+	d.Ret()
+
+	f := p.Func("main")
+	f.MovSym(isa.R1, "wp")
+	f.MovImm(isa.R0, 0)
+	f.Store(8, isa.R0, isa.R1, 0)
+	f.MovSym(isa.R1, "bidx")
+	f.Store(8, isa.R0, isa.R1, 0)
+
+	f.Label("blkloop")
+	// Load block pixels centered at 0: P[r*8+c] = img[...] - 128.
+	f.MovSym(isa.R1, "bidx")
+	f.Load(8, false, isa.R1, isa.R1, 0)
+	f.AndI(isa.R2, isa.R1, 1) // bx
+	f.ShrI(isa.R3, isa.R1, 1) // by
+	f.MovSym(isa.R10, "img")
+	f.MovSym(isa.R11, "P")
+	f.MovImm(isa.R4, 0) // r
+	f.Label("prow")
+	f.MovImm(isa.R5, 0) // c
+	f.Label("pcol")
+	// src = img + (by*8+r)*16 + bx*8 + c
+	f.ShlI(isa.R6, isa.R3, 3)
+	f.Add(isa.R6, isa.R6, isa.R4)
+	f.ShlI(isa.R6, isa.R6, 4)
+	f.ShlI(isa.R7, isa.R2, 3)
+	f.Add(isa.R6, isa.R6, isa.R7)
+	f.Add(isa.R6, isa.R6, isa.R5)
+	f.Add(isa.R6, isa.R10, isa.R6)
+	f.Load(1, false, isa.R7, isa.R6, 0)
+	f.SubI(isa.R7, isa.R7, 128)
+	// dst = P + (r*8+c)*8
+	f.ShlI(isa.R6, isa.R4, 3)
+	f.Add(isa.R6, isa.R6, isa.R5)
+	f.ShlI(isa.R6, isa.R6, 3)
+	f.Add(isa.R6, isa.R11, isa.R6)
+	f.Store(8, isa.R7, isa.R6, 0)
+	f.AddI(isa.R5, isa.R5, 1)
+	f.BrI(isa.CondLT, isa.R5, 8, "pcol")
+	f.AddI(isa.R4, isa.R4, 1)
+	f.BrI(isa.CondLT, isa.R4, 8, "prow")
+
+	f.Call("dctblock")
+
+	// Run-length encode Y in zigzag order. i=r1, run=r2.
+	f.MovSym(isa.R10, "zigzag")
+	f.MovSym(isa.R11, "Y")
+	f.MovSym(isa.R8, "out")
+	f.MovSym(isa.R9, "wp")
+	f.Load(8, false, isa.R9, isa.R9, 0) // current offset in r9
+	f.MovImm(isa.R1, 0)
+	f.MovImm(isa.R2, 0)
+	f.Label("rle")
+	f.Add(isa.R3, isa.R10, isa.R1)
+	f.Load(1, false, isa.R3, isa.R3, 0) // zz[i]
+	f.ShlI(isa.R3, isa.R3, 3)
+	f.Add(isa.R3, isa.R11, isa.R3)
+	f.Load(8, false, isa.R4, isa.R3, 0) // v
+	f.BrI(isa.CondNE, isa.R4, 0, "emitv")
+	f.AddI(isa.R2, isa.R2, 1)
+	f.Jmp("rlenext")
+	f.Label("emitv")
+	f.Add(isa.R5, isa.R8, isa.R9)
+	f.Store(1, isa.R2, isa.R5, 0) // run byte
+	f.Store(1, isa.R4, isa.R5, 1) // value low byte
+	f.ShrI(isa.R6, isa.R4, 8)
+	f.Store(1, isa.R6, isa.R5, 2) // value high byte
+	f.AddI(isa.R9, isa.R9, 3)
+	f.MovImm(isa.R2, 0)
+	f.Label("rlenext")
+	f.AddI(isa.R1, isa.R1, 1)
+	f.BrI(isa.CondLT, isa.R1, 64, "rle")
+	// EOB marker.
+	f.Add(isa.R5, isa.R8, isa.R9)
+	f.MovImm(isa.R4, jpegEOB)
+	f.Store(1, isa.R4, isa.R5, 0)
+	f.AddI(isa.R9, isa.R9, 1)
+	f.MovSym(isa.R5, "wp")
+	f.Store(8, isa.R9, isa.R5, 0)
+
+	f.MovSym(isa.R1, "bidx")
+	f.Load(8, false, isa.R2, isa.R1, 0)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.Store(8, isa.R2, isa.R1, 0)
+	f.BrI(isa.CondLT, isa.R2, jpegBlocks, "blkloop")
+
+	// write(out, wp); exit(0)
+	f.MovSym(isa.R3, "wp")
+	f.Load(8, false, isa.R2, isa.R3, 0)
+	f.MovImm(isa.R0, 1)
+	f.MovSym(isa.R1, "out")
+	f.Syscall()
+	emitExit(f)
+	return p
+}
+
+func buildDJPEG() *asm.Program {
+	p := asm.NewProgram()
+	p.Data("stream", refCJPEG())
+	jpegTables(p)
+	p.Bss("Yc", 64*8)         // dequantized coefficients
+	p.Bss("T", 64*8)          // Mᵀ·Y
+	p.Bss("img", jpegW*jpegH) // decoded pixels
+	p.Bss("rp", 8)            // read offset
+	p.Bss("bidx", 8)          // block index
+
+	// idctblock: Yc → pixels of block bidx written into img (clamped).
+	d := p.Func("idctblock")
+	// T[x*8+v] = Σ_u M[u*8+x] * Y[u*8+v]: x=r1, v=r2, u=r3, s=r4.
+	d.MovSym(isa.R10, "dctm")
+	d.MovSym(isa.R11, "Yc")
+	d.MovImm(isa.R1, 0)
+	d.Label("xloop")
+	d.MovImm(isa.R2, 0)
+	d.Label("vloop")
+	d.MovImm(isa.R3, 0)
+	d.MovImm(isa.R4, 0)
+	d.Label("uloop")
+	d.ShlI(isa.R5, isa.R3, 6)
+	d.ShlI(isa.R6, isa.R1, 3)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Add(isa.R5, isa.R10, isa.R5)
+	d.Load(8, false, isa.R7, isa.R5, 0) // M[u*8+x]
+	d.ShlI(isa.R5, isa.R3, 6)
+	d.ShlI(isa.R6, isa.R2, 3)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Add(isa.R5, isa.R11, isa.R5)
+	d.Load(8, false, isa.R8, isa.R5, 0) // Y[u*8+v]
+	d.Mul(isa.R7, isa.R7, isa.R8)
+	d.Add(isa.R4, isa.R4, isa.R7)
+	d.AddI(isa.R3, isa.R3, 1)
+	d.BrI(isa.CondLT, isa.R3, 8, "uloop")
+	d.MovSym(isa.R5, "T")
+	d.ShlI(isa.R6, isa.R1, 6)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.ShlI(isa.R6, isa.R2, 3)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Store(8, isa.R4, isa.R5, 0)
+	d.AddI(isa.R2, isa.R2, 1)
+	d.BrI(isa.CondLT, isa.R2, 8, "vloop")
+	d.AddI(isa.R1, isa.R1, 1)
+	d.BrI(isa.CondLT, isa.R1, 8, "xloop")
+	// p[x*8+k] = clamp(((Σ_v T[x*8+v]*M[v*8+k] + round)>>shift)+128),
+	// stored into img at the block position. x=r1, k=r2, v=r3, s=r4.
+	d.MovSym(isa.R11, "T")
+	d.MovImm(isa.R1, 0)
+	d.Label("x2loop")
+	d.MovImm(isa.R2, 0)
+	d.Label("k2loop")
+	d.MovImm(isa.R3, 0)
+	d.MovImm(isa.R4, 0)
+	d.Label("v2loop")
+	d.ShlI(isa.R5, isa.R1, 6)
+	d.ShlI(isa.R6, isa.R3, 3)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Add(isa.R5, isa.R11, isa.R5)
+	d.Load(8, false, isa.R7, isa.R5, 0) // T[x*8+v]
+	d.ShlI(isa.R5, isa.R3, 6)
+	d.ShlI(isa.R6, isa.R2, 3)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Add(isa.R5, isa.R10, isa.R5)
+	d.Load(8, false, isa.R8, isa.R5, 0) // M[v*8+k]
+	d.Mul(isa.R7, isa.R7, isa.R8)
+	d.Add(isa.R4, isa.R4, isa.R7)
+	d.AddI(isa.R3, isa.R3, 1)
+	d.BrI(isa.CondLT, isa.R3, 8, "v2loop")
+	d.AddI(isa.R4, isa.R4, dctRound)
+	d.SarI(isa.R4, isa.R4, dctShift)
+	d.AddI(isa.R4, isa.R4, 128)
+	d.BrI(isa.CondGE, isa.R4, 0, "noneg")
+	d.MovImm(isa.R4, 0)
+	d.Label("noneg")
+	d.BrI(isa.CondLE, isa.R4, 255, "nocap")
+	d.MovImm(isa.R4, 255)
+	d.Label("nocap")
+	// dst = img + (by*8+x)*16 + bx*8 + k
+	d.MovSym(isa.R5, "bidx")
+	d.Load(8, false, isa.R5, isa.R5, 0)
+	d.AndI(isa.R6, isa.R5, 1) // bx
+	d.ShrI(isa.R5, isa.R5, 1) // by
+	d.ShlI(isa.R5, isa.R5, 3)
+	d.Add(isa.R5, isa.R5, isa.R1)
+	d.ShlI(isa.R5, isa.R5, 4)
+	d.ShlI(isa.R6, isa.R6, 3)
+	d.Add(isa.R5, isa.R5, isa.R6)
+	d.Add(isa.R5, isa.R5, isa.R2)
+	d.MovSym(isa.R6, "img")
+	d.Add(isa.R5, isa.R6, isa.R5)
+	d.Store(1, isa.R4, isa.R5, 0)
+	d.AddI(isa.R2, isa.R2, 1)
+	d.BrI(isa.CondLT, isa.R2, 8, "k2loop")
+	d.AddI(isa.R1, isa.R1, 1)
+	d.BrI(isa.CondLT, isa.R1, 8, "x2loop")
+	d.Ret()
+
+	f := p.Func("main")
+	f.MovSym(isa.R1, "rp")
+	f.MovImm(isa.R0, 0)
+	f.Store(8, isa.R0, isa.R1, 0)
+	f.MovSym(isa.R1, "bidx")
+	f.Store(8, isa.R0, isa.R1, 0)
+
+	f.Label("blkloop")
+	// Clear Yc.
+	f.MovSym(isa.R10, "Yc")
+	f.MovImm(isa.R1, 0)
+	f.MovImm(isa.R2, 0)
+	f.Label("clr")
+	f.ShlI(isa.R3, isa.R1, 3)
+	f.Add(isa.R3, isa.R10, isa.R3)
+	f.Store(8, isa.R2, isa.R3, 0)
+	f.AddI(isa.R1, isa.R1, 1)
+	f.BrI(isa.CondLT, isa.R1, 64, "clr")
+	// Decode one block: i=r1 (zigzag position), rp in r9.
+	f.MovSym(isa.R11, "stream")
+	f.MovSym(isa.R8, "rp")
+	f.Load(8, false, isa.R9, isa.R8, 0)
+	f.MovImm(isa.R1, 0)
+	f.Label("dec")
+	f.Add(isa.R2, isa.R11, isa.R9)
+	f.Load(1, false, isa.R3, isa.R2, 0) // run byte
+	f.BrI(isa.CondEQ, isa.R3, jpegEOB, "blockdone")
+	f.Add(isa.R1, isa.R1, isa.R3)       // skip run zeros
+	f.Load(1, false, isa.R4, isa.R2, 1) // value low byte
+	f.Load(1, false, isa.R5, isa.R2, 2) // value high byte
+	f.ShlI(isa.R5, isa.R5, 8)
+	f.Or(isa.R4, isa.R4, isa.R5)
+	f.ShlI(isa.R4, isa.R4, 48) // sign-extend 16 → 64
+	f.SarI(isa.R4, isa.R4, 48)
+	f.AddI(isa.R9, isa.R9, 3)
+	// Yc[zz[i]] = v * quant[zz[i]]
+	f.MovSym(isa.R5, "zigzag")
+	f.Add(isa.R5, isa.R5, isa.R1)
+	f.Load(1, false, isa.R5, isa.R5, 0)
+	f.MovSym(isa.R6, "quant")
+	f.ShlI(isa.R7, isa.R5, 3)
+	f.Add(isa.R6, isa.R6, isa.R7)
+	f.Load(8, false, isa.R6, isa.R6, 0)
+	f.Mul(isa.R4, isa.R4, isa.R6)
+	f.Add(isa.R7, isa.R10, isa.R7)
+	f.Store(8, isa.R4, isa.R7, 0)
+	f.AddI(isa.R1, isa.R1, 1)
+	f.Jmp("dec")
+	f.Label("blockdone")
+	f.AddI(isa.R9, isa.R9, 1) // consume EOB
+	f.Store(8, isa.R9, isa.R8, 0)
+
+	f.Call("idctblock")
+
+	f.MovSym(isa.R1, "bidx")
+	f.Load(8, false, isa.R2, isa.R1, 0)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.Store(8, isa.R2, isa.R1, 0)
+	f.BrI(isa.CondLT, isa.R2, jpegBlocks, "blkloop")
+
+	emitWriteOut(f, "img", jpegW*jpegH)
+	emitExit(f)
+	return p
+}

@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// qsort: recursive in-place quicksort of 1024 signed 64-bit keys
+// (Lomuto partition), the analog of MiBench's qsort. The output file is
+// the sorted array.
+
+const qsortN = 1024
+
+func qsortInput() []int64 {
+	g := newLCG(0x9b4c)
+	keys := make([]int64, qsortN)
+	for i := range keys {
+		keys[i] = int64(g.next())
+	}
+	return keys
+}
+
+func refQsort() []byte {
+	return le64s(sortInt64(qsortInput()))
+}
+
+func buildQsort() *asm.Program {
+	p := asm.NewProgram()
+	p.Data("arr", le64s(qsortInput()))
+
+	// qsort(r0=lo, r1=hi): sorts arr[lo..hi] inclusive.
+	q := p.Func("qsort")
+	q.Br(isa.CondGE, isa.R0, isa.R1, "done")
+	q.MovSym(isa.R10, "arr")
+	// pivot = arr[hi]
+	q.ShlI(isa.R2, isa.R1, 3)
+	q.Add(isa.R2, isa.R10, isa.R2)
+	q.Load(8, false, isa.R3, isa.R2, 0)
+	// i = lo-1 (r4), j = lo (r5)
+	q.SubI(isa.R4, isa.R0, 1)
+	q.Mov(isa.R5, isa.R0)
+	q.Label("loopj")
+	q.Br(isa.CondGE, isa.R5, isa.R1, "endpart")
+	q.ShlI(isa.R6, isa.R5, 3)
+	q.Add(isa.R6, isa.R10, isa.R6)
+	q.Load(8, false, isa.R7, isa.R6, 0) // arr[j]
+	q.Br(isa.CondGT, isa.R7, isa.R3, "skip")
+	q.AddI(isa.R4, isa.R4, 1)
+	q.ShlI(isa.R8, isa.R4, 3)
+	q.Add(isa.R8, isa.R10, isa.R8)
+	q.Load(8, false, isa.R9, isa.R8, 0) // arr[i]
+	q.Store(8, isa.R7, isa.R8, 0)       // arr[i] = arr[j]
+	q.Store(8, isa.R9, isa.R6, 0)       // arr[j] = old arr[i]
+	q.Label("skip")
+	q.AddI(isa.R5, isa.R5, 1)
+	q.Jmp("loopj")
+	q.Label("endpart")
+	// p = i+1; swap arr[p], arr[hi]
+	q.AddI(isa.R4, isa.R4, 1)
+	q.ShlI(isa.R6, isa.R4, 3)
+	q.Add(isa.R6, isa.R10, isa.R6)
+	q.Load(8, false, isa.R7, isa.R6, 0) // arr[p]
+	q.Load(8, false, isa.R9, isa.R2, 0) // arr[hi]
+	q.Store(8, isa.R9, isa.R6, 0)
+	q.Store(8, isa.R7, isa.R2, 0)
+	// Recurse left: qsort(lo, p-1); save p and hi across the call.
+	q.SubI(isa.SP, isa.SP, 16)
+	q.Store(8, isa.R4, isa.SP, 0) // p
+	q.Store(8, isa.R1, isa.SP, 8) // hi
+	q.SubI(isa.R1, isa.R4, 1)
+	q.Call("qsort")
+	// Recurse right: qsort(p+1, hi).
+	q.Load(8, false, isa.R4, isa.SP, 0)
+	q.Load(8, false, isa.R1, isa.SP, 8)
+	q.AddI(isa.SP, isa.SP, 16)
+	q.AddI(isa.R0, isa.R4, 1)
+	q.Call("qsort")
+	q.Label("done")
+	q.Ret()
+
+	f := p.Func("main")
+	f.MovImm(isa.R0, 0)
+	f.MovImm(isa.R1, qsortN-1)
+	f.Call("qsort")
+	emitWriteOut(f, "arr", qsortN*8)
+	emitExit(f)
+	return p
+}

@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// search: Boyer-Moore-Horspool substring search of eight patterns over a
+// 4 KiB text, the analog of MiBench's (office) string search. For every
+// pattern the output file records the number of occurrences and the
+// first match position.
+
+const searchTextLen = 4096
+
+var searchWords = []string{
+	"fault", "injection", "micro", "architectural", "simulator", "cache",
+	"register", "pipeline", "branch", "queue", "transient", "masked",
+	"silent", "corruption", "vulnerability", "reliability", "the", "and",
+	"of", "differential",
+}
+
+var searchPatterns = []string{
+	"fault", "cache line", "pipeline", "notpresent",
+	"masked", "silent corruption", "the", "queue",
+}
+
+func searchText() []byte {
+	g := newLCG(0x5ea9c4)
+	var b strings.Builder
+	for b.Len() < searchTextLen {
+		w := searchWords[g.next()%uint64(len(searchWords))]
+		b.WriteString(w)
+		if g.next()%8 == 0 {
+			b.WriteString(" line")
+		}
+		if g.next()%23 == 0 {
+			b.WriteString(" silent corruption")
+		}
+		b.WriteByte(' ')
+	}
+	return []byte(b.String()[:searchTextLen])
+}
+
+// horspool is the exact algorithm the IR implements: all matches
+// (including overlapping), advancing by the Horspool shift.
+func horspool(text, pat []byte) (count uint64, first uint64) {
+	m, n := len(pat), len(text)
+	first = ^uint64(0)
+	var shift [256]int
+	for i := range shift {
+		shift[i] = m
+	}
+	for i := 0; i < m-1; i++ {
+		shift[pat[i]] = m - 1 - i
+	}
+	pos := 0
+	for pos <= n-m {
+		k := 0
+		for k < m && text[pos+k] == pat[k] {
+			k++
+		}
+		if k == m {
+			count++
+			if first == ^uint64(0) {
+				first = uint64(pos)
+			}
+		}
+		pos += shift[text[pos+m-1]]
+	}
+	return count, first
+}
+
+func refSearch() []byte {
+	text := searchText()
+	var out []byte
+	for _, p := range searchPatterns {
+		c, f := horspool(text, []byte(p))
+		out = append(out, le64(c)...)
+		out = append(out, le64(f)...)
+	}
+	return out
+}
+
+func buildSearch() *asm.Program {
+	p := asm.NewProgram()
+	text := searchText()
+	p.Data("text", text)
+	// Patterns: concatenated bytes plus (offset, length) tables.
+	var pats []byte
+	var offs, lens []int64
+	for _, s := range searchPatterns {
+		offs = append(offs, int64(len(pats)))
+		lens = append(lens, int64(len(s)))
+		pats = append(pats, s...)
+	}
+	p.Data("pats", pats)
+	p.Data("poff", le64s(offs))
+	p.Data("plen", le64s(lens))
+	p.Bss("shift", 256*8)
+	p.Bss("out", int(len(searchPatterns))*16)
+	p.Bss("pidx", 8)
+
+	f := p.Func("main")
+	f.MovSym(isa.R1, "pidx")
+	f.MovImm(isa.R0, 0)
+	f.Store(8, isa.R0, isa.R1, 0)
+
+	f.Label("patloop")
+	// r10 = pattern base, r11 = m (length).
+	f.MovSym(isa.R1, "pidx")
+	f.Load(8, false, isa.R1, isa.R1, 0)
+	f.ShlI(isa.R2, isa.R1, 3)
+	f.MovSym(isa.R3, "poff")
+	f.Add(isa.R3, isa.R3, isa.R2)
+	f.Load(8, false, isa.R10, isa.R3, 0)
+	f.MovSym(isa.R3, "pats")
+	f.Add(isa.R10, isa.R3, isa.R10)
+	f.MovSym(isa.R3, "plen")
+	f.Add(isa.R3, isa.R3, isa.R2)
+	f.Load(8, false, isa.R11, isa.R3, 0)
+
+	// Build the shift table: shift[c] = m, then m-1-i for pattern heads.
+	f.MovSym(isa.R2, "shift")
+	f.MovImm(isa.R3, 0)
+	f.Label("tinit")
+	f.ShlI(isa.R4, isa.R3, 3)
+	f.Add(isa.R4, isa.R2, isa.R4)
+	f.Store(8, isa.R11, isa.R4, 0)
+	f.AddI(isa.R3, isa.R3, 1)
+	f.BrI(isa.CondLT, isa.R3, 256, "tinit")
+	f.MovImm(isa.R3, 0)
+	f.SubI(isa.R5, isa.R11, 1) // m-1
+	f.Label("tfill")
+	f.Br(isa.CondGE, isa.R3, isa.R5, "tdone")
+	f.Add(isa.R4, isa.R10, isa.R3)
+	f.Load(1, false, isa.R4, isa.R4, 0) // pat[i]
+	f.ShlI(isa.R4, isa.R4, 3)
+	f.Add(isa.R4, isa.R2, isa.R4)
+	f.Sub(isa.R6, isa.R5, isa.R3) // m-1-i
+	f.Store(8, isa.R6, isa.R4, 0)
+	f.AddI(isa.R3, isa.R3, 1)
+	f.Jmp("tfill")
+	f.Label("tdone")
+
+	// Scan: pos=r3, count=r6, first=r7, textbase=r8, limit=r9.
+	f.MovSym(isa.R8, "text")
+	f.MovImm(isa.R9, searchTextLen)
+	f.Sub(isa.R9, isa.R9, isa.R11) // n-m
+	f.MovImm(isa.R3, 0)
+	f.MovImm(isa.R6, 0)
+	f.MovImm(isa.R7, -1)
+	f.Label("scan")
+	f.Br(isa.CondGT, isa.R3, isa.R9, "scandone")
+	// Compare pat against text[pos..]: k=r4.
+	f.MovImm(isa.R4, 0)
+	f.Label("cmp")
+	f.Br(isa.CondGE, isa.R4, isa.R11, "match")
+	f.Add(isa.R5, isa.R8, isa.R3)
+	f.Add(isa.R5, isa.R5, isa.R4)
+	f.Load(1, false, isa.R5, isa.R5, 0)
+	f.Add(isa.R0, isa.R10, isa.R4)
+	f.Load(1, false, isa.R0, isa.R0, 0)
+	f.Br(isa.CondNE, isa.R5, isa.R0, "advance")
+	f.AddI(isa.R4, isa.R4, 1)
+	f.Jmp("cmp")
+	f.Label("match")
+	f.AddI(isa.R6, isa.R6, 1)
+	f.BrI(isa.CondNE, isa.R7, -1, "advance")
+	f.Mov(isa.R7, isa.R3)
+	f.Label("advance")
+	// pos += shift[text[pos+m-1]]
+	f.Add(isa.R5, isa.R8, isa.R3)
+	f.Add(isa.R5, isa.R5, isa.R11)
+	f.Load(1, false, isa.R5, isa.R5, -1)
+	f.ShlI(isa.R5, isa.R5, 3)
+	f.MovSym(isa.R0, "shift")
+	f.Add(isa.R5, isa.R0, isa.R5)
+	f.Load(8, false, isa.R5, isa.R5, 0)
+	f.Add(isa.R3, isa.R3, isa.R5)
+	f.Jmp("scan")
+	f.Label("scandone")
+
+	// out[pidx] = (count, first)
+	f.MovSym(isa.R1, "pidx")
+	f.Load(8, false, isa.R2, isa.R1, 0)
+	f.ShlI(isa.R3, isa.R2, 4)
+	f.MovSym(isa.R4, "out")
+	f.Add(isa.R4, isa.R4, isa.R3)
+	f.Store(8, isa.R6, isa.R4, 0)
+	f.Store(8, isa.R7, isa.R4, 8)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.Store(8, isa.R2, isa.R1, 0)
+	f.BrI(isa.CondLT, isa.R2, int64(len(searchPatterns)), "patloop")
+
+	emitWriteOut(f, "out", int64(len(searchPatterns))*16)
+	emitExit(f)
+	return p
+}

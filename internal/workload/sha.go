@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"crypto/sha1"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// sha: SHA-1 of a 2 KiB message, the analog of MiBench's sha. The hash
+// is computed from scratch in the IR (message schedule, 80 rounds per
+// block); the Go reference is the standard library's crypto/sha1, which
+// pins the assembly implementation to the real algorithm. The output
+// file is the 20-byte digest.
+
+const shaMsgLen = 2048
+
+func shaMessage() []byte {
+	return newLCG(0x51a1).bytes(shaMsgLen)
+}
+
+// shaPadded returns the message with SHA-1 padding applied (done in Go;
+// the IR consumes whole blocks).
+func shaPadded() []byte {
+	msg := shaMessage()
+	l := len(msg)
+	msg = append(msg, 0x80)
+	for len(msg)%64 != 56 {
+		msg = append(msg, 0)
+	}
+	bits := uint64(l) * 8
+	for i := 7; i >= 0; i-- {
+		msg = append(msg, byte(bits>>(8*i)))
+	}
+	return msg
+}
+
+func refSHA() []byte {
+	d := sha1.Sum(shaMessage())
+	return d[:]
+}
+
+func buildSHA() *asm.Program {
+	p := asm.NewProgram()
+	padded := shaPadded()
+	nblocks := int64(len(padded) / 64)
+	p.Data("msg", padded)
+	p.Bss("w", 80*4)
+	p.Bss("hst", 5*8)
+	p.Bss("out", 20)
+
+	f := p.Func("main")
+	mask := isa.R11
+	wbase := isa.R10
+	blk := isa.R8
+	f.MovImm(mask, 0xFFFFFFFF)
+	f.MovSym(wbase, "w")
+	// Initialize the five chaining values.
+	f.MovSym(isa.R9, "hst")
+	for i, h := range []int64{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0} {
+		f.MovImm(isa.R0, h)
+		f.Store(8, isa.R0, isa.R9, int32(i*8))
+	}
+	f.MovImm(blk, 0)
+
+	f.Label("blockloop")
+	// r1 = &msg[blk*64]
+	f.MovSym(isa.R1, "msg")
+	f.ShlI(isa.R0, blk, 6)
+	f.Add(isa.R1, isa.R1, isa.R0)
+
+	// Schedule w[0..15]: big-endian words of the block.
+	f.MovImm(isa.R2, 0)
+	f.Label("w16")
+	f.ShlI(isa.R3, isa.R2, 2)
+	f.Add(isa.R3, isa.R1, isa.R3)
+	f.Load(4, false, isa.R4, isa.R3, 0)
+	// byte swap r4
+	f.AndI(isa.R5, isa.R4, 0xff)
+	f.ShlI(isa.R5, isa.R5, 24)
+	f.ShrI(isa.R6, isa.R4, 8)
+	f.AndI(isa.R6, isa.R6, 0xff)
+	f.ShlI(isa.R6, isa.R6, 16)
+	f.ShrI(isa.R7, isa.R4, 16)
+	f.AndI(isa.R7, isa.R7, 0xff)
+	f.ShlI(isa.R7, isa.R7, 8)
+	f.ShrI(isa.R9, isa.R4, 24)
+	f.AndI(isa.R9, isa.R9, 0xff)
+	f.Or(isa.R4, isa.R5, isa.R6)
+	f.Or(isa.R4, isa.R4, isa.R7)
+	f.Or(isa.R4, isa.R4, isa.R9)
+	f.ShlI(isa.R3, isa.R2, 2)
+	f.Add(isa.R3, wbase, isa.R3)
+	f.Store(4, isa.R4, isa.R3, 0)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.BrI(isa.CondLT, isa.R2, 16, "w16")
+
+	// Schedule w[16..79]: rotl1 of the xor of four earlier words.
+	f.Label("w80")
+	f.ShlI(isa.R3, isa.R2, 2)
+	f.Add(isa.R3, wbase, isa.R3)
+	f.Load(4, false, isa.R4, isa.R3, -12) // w[t-3]
+	f.Load(4, false, isa.R5, isa.R3, -32) // w[t-8]
+	f.Xor(isa.R4, isa.R4, isa.R5)
+	f.Load(4, false, isa.R5, isa.R3, -56) // w[t-14]
+	f.Xor(isa.R4, isa.R4, isa.R5)
+	f.Load(4, false, isa.R5, isa.R3, -64) // w[t-16]
+	f.Xor(isa.R4, isa.R4, isa.R5)
+	f.ShlI(isa.R5, isa.R4, 1)
+	f.ShrI(isa.R4, isa.R4, 31)
+	f.Or(isa.R4, isa.R4, isa.R5)
+	f.And(isa.R4, isa.R4, mask)
+	f.Store(4, isa.R4, isa.R3, 0)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.BrI(isa.CondLT, isa.R2, 80, "w80")
+
+	// Load chaining values into a..e = r2..r6.
+	f.MovSym(isa.R9, "hst")
+	f.Load(8, false, isa.R2, isa.R9, 0)
+	f.Load(8, false, isa.R3, isa.R9, 8)
+	f.Load(8, false, isa.R4, isa.R9, 16)
+	f.Load(8, false, isa.R5, isa.R9, 24)
+	f.Load(8, false, isa.R6, isa.R9, 32)
+
+	// 80 rounds, t in r7.
+	f.MovImm(isa.R7, 0)
+	f.Label("rounds")
+	// f-value in r1, k folded into the temp sum.
+	f.BrI(isa.CondGE, isa.R7, 20, "q2")
+	f.And(isa.R1, isa.R3, isa.R4) // b&c
+	f.Xor(isa.R9, isa.R3, mask)   // ~b
+	f.And(isa.R9, isa.R9, isa.R5) // ~b & d
+	f.Or(isa.R1, isa.R1, isa.R9)
+	f.MovImm(isa.R9, 0x5A827999)
+	f.Jmp("havef")
+	f.Label("q2")
+	f.BrI(isa.CondGE, isa.R7, 40, "q3")
+	f.Xor(isa.R1, isa.R3, isa.R4)
+	f.Xor(isa.R1, isa.R1, isa.R5)
+	f.MovImm(isa.R9, 0x6ED9EBA1)
+	f.Jmp("havef")
+	f.Label("q3")
+	f.BrI(isa.CondGE, isa.R7, 60, "q4")
+	f.And(isa.R1, isa.R3, isa.R4)
+	f.And(isa.R9, isa.R3, isa.R5)
+	f.Or(isa.R1, isa.R1, isa.R9)
+	f.And(isa.R9, isa.R4, isa.R5)
+	f.Or(isa.R1, isa.R1, isa.R9)
+	f.MovImm(isa.R9, 0x8F1BBCDC)
+	f.Jmp("havef")
+	f.Label("q4")
+	f.Xor(isa.R1, isa.R3, isa.R4)
+	f.Xor(isa.R1, isa.R1, isa.R5)
+	f.MovImm(isa.R9, 0xCA62C1D6)
+	f.Label("havef")
+	// temp = rotl5(a) + f + e + k + w[t]
+	f.ShlI(isa.R0, isa.R2, 5)
+	f.Add(isa.R1, isa.R1, isa.R0)
+	f.ShrI(isa.R0, isa.R2, 27)
+	f.Add(isa.R1, isa.R1, isa.R0)
+	f.Add(isa.R1, isa.R1, isa.R6)
+	f.Add(isa.R1, isa.R1, isa.R9)
+	f.ShlI(isa.R9, isa.R7, 2)
+	f.Add(isa.R9, wbase, isa.R9)
+	f.Load(4, false, isa.R9, isa.R9, 0)
+	f.Add(isa.R1, isa.R1, isa.R9)
+	f.And(isa.R1, isa.R1, mask)
+	// e=d; d=c; c=rotl30(b); b=a; a=temp
+	f.Mov(isa.R6, isa.R5)
+	f.Mov(isa.R5, isa.R4)
+	f.ShlI(isa.R9, isa.R3, 30)
+	f.ShrI(isa.R0, isa.R3, 2)
+	f.Or(isa.R9, isa.R9, isa.R0)
+	f.And(isa.R4, isa.R9, mask)
+	f.Mov(isa.R3, isa.R2)
+	f.Mov(isa.R2, isa.R1)
+	f.AddI(isa.R7, isa.R7, 1)
+	f.BrI(isa.CondLT, isa.R7, 80, "rounds")
+
+	// Fold the block into the chaining values.
+	f.MovSym(isa.R9, "hst")
+	for i, r := range []isa.Reg{isa.R2, isa.R3, isa.R4, isa.R5, isa.R6} {
+		f.Load(8, false, isa.R0, isa.R9, int32(i*8))
+		f.Add(isa.R0, isa.R0, r)
+		f.And(isa.R0, isa.R0, mask)
+		f.Store(8, isa.R0, isa.R9, int32(i*8))
+	}
+	f.AddI(blk, blk, 1)
+	f.BrI(isa.CondLT, blk, nblocks, "blockloop")
+
+	// Emit the big-endian digest.
+	f.MovSym(isa.R9, "hst")
+	f.MovSym(isa.R1, "out")
+	f.MovImm(isa.R2, 0)
+	f.Label("emit")
+	f.ShlI(isa.R3, isa.R2, 3)
+	f.Add(isa.R3, isa.R9, isa.R3)
+	f.Load(8, false, isa.R4, isa.R3, 0)
+	// byte swap r4 (32-bit) into r5
+	f.AndI(isa.R5, isa.R4, 0xff)
+	f.ShlI(isa.R5, isa.R5, 24)
+	f.ShrI(isa.R6, isa.R4, 8)
+	f.AndI(isa.R6, isa.R6, 0xff)
+	f.ShlI(isa.R6, isa.R6, 16)
+	f.Or(isa.R5, isa.R5, isa.R6)
+	f.ShrI(isa.R6, isa.R4, 16)
+	f.AndI(isa.R6, isa.R6, 0xff)
+	f.ShlI(isa.R6, isa.R6, 8)
+	f.Or(isa.R5, isa.R5, isa.R6)
+	f.ShrI(isa.R6, isa.R4, 24)
+	f.AndI(isa.R6, isa.R6, 0xff)
+	f.Or(isa.R5, isa.R5, isa.R6)
+	f.ShlI(isa.R3, isa.R2, 2)
+	f.Add(isa.R3, isa.R1, isa.R3)
+	f.Store(4, isa.R5, isa.R3, 0)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.BrI(isa.CondLT, isa.R2, 5, "emit")
+
+	emitWriteOut(f, "out", 20)
+	emitExit(f)
+	return p
+}

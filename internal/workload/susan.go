@@ -1,0 +1,301 @@
+package workload
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+// smooth / edge / corner: the SUSAN-style image kernels of MiBench over
+// a 32×32 grayscale test image —
+//
+//   - smooth: 3×3 mean filter,
+//   - edge:   Sobel gradient magnitude with threshold,
+//   - corner: Moravec corner response (minimum SSD over four shifts)
+//     with threshold.
+//
+// Each writes its result image (interior region) to the output file.
+
+const (
+	susanW = 32
+	susanH = 32
+)
+
+func susanImage() []byte { return grayImage(susanW, susanH, 0x5a5a) }
+
+// ---- smooth -------------------------------------------------------------------
+
+func refSmooth() []byte {
+	img := susanImage()
+	out := make([]byte, (susanW-2)*(susanH-2))
+	for y := 1; y < susanH-1; y++ {
+		for x := 1; x < susanW-1; x++ {
+			var s int64
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					s += int64(img[(y+dy)*susanW+x+dx])
+				}
+			}
+			out[(y-1)*(susanW-2)+x-1] = byte(s / 9)
+		}
+	}
+	return out
+}
+
+func buildSmooth() *asm.Program {
+	p := asm.NewProgram()
+	p.Data("img", susanImage())
+	p.Bss("out", (susanW-2)*(susanH-2))
+
+	f := p.Func("main")
+	f.MovSym(isa.R10, "img")
+	f.MovSym(isa.R11, "out")
+	f.MovImm(isa.R1, 1) // y
+	f.Label("yloop")
+	f.MovImm(isa.R2, 1) // x
+	f.Label("xloop")
+	f.MovImm(isa.R3, 0)  // sum
+	f.MovImm(isa.R4, -1) // dy
+	f.Label("dyloop")
+	f.MovImm(isa.R5, -1) // dx
+	f.Label("dxloop")
+	f.Add(isa.R6, isa.R1, isa.R4)
+	f.ShlI(isa.R6, isa.R6, 5) // (y+dy)*32
+	f.Add(isa.R6, isa.R6, isa.R2)
+	f.Add(isa.R6, isa.R6, isa.R5)
+	f.Add(isa.R6, isa.R10, isa.R6)
+	f.Load(1, false, isa.R7, isa.R6, 0)
+	f.Add(isa.R3, isa.R3, isa.R7)
+	f.AddI(isa.R5, isa.R5, 1)
+	f.BrI(isa.CondLE, isa.R5, 1, "dxloop")
+	f.AddI(isa.R4, isa.R4, 1)
+	f.BrI(isa.CondLE, isa.R4, 1, "dyloop")
+	f.DivI(isa.R3, isa.R3, 9)
+	// out[(y-1)*30 + x-1]
+	f.SubI(isa.R6, isa.R1, 1)
+	f.MulI(isa.R6, isa.R6, susanW-2)
+	f.Add(isa.R6, isa.R6, isa.R2)
+	f.SubI(isa.R6, isa.R6, 1)
+	f.Add(isa.R6, isa.R11, isa.R6)
+	f.Store(1, isa.R3, isa.R6, 0)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.BrI(isa.CondLT, isa.R2, susanW-1, "xloop")
+	f.AddI(isa.R1, isa.R1, 1)
+	f.BrI(isa.CondLT, isa.R1, susanH-1, "yloop")
+
+	emitWriteOut(f, "out", (susanW-2)*(susanH-2))
+	emitExit(f)
+	return p
+}
+
+// ---- edge ---------------------------------------------------------------------
+
+const edgeThreshold = 120
+
+func refEdge() []byte {
+	img := susanImage()
+	px := func(x, y int) int64 { return int64(img[y*susanW+x]) }
+	out := make([]byte, (susanW-2)*(susanH-2))
+	for y := 1; y < susanH-1; y++ {
+		for x := 1; x < susanW-1; x++ {
+			gx := px(x+1, y-1) + 2*px(x+1, y) + px(x+1, y+1) -
+				px(x-1, y-1) - 2*px(x-1, y) - px(x-1, y+1)
+			gy := px(x-1, y+1) + 2*px(x, y+1) + px(x+1, y+1) -
+				px(x-1, y-1) - 2*px(x, y-1) - px(x+1, y-1)
+			if gx < 0 {
+				gx = -gx
+			}
+			if gy < 0 {
+				gy = -gy
+			}
+			v := byte(0)
+			if gx+gy > edgeThreshold {
+				v = 255
+			}
+			out[(y-1)*(susanW-2)+x-1] = v
+		}
+	}
+	return out
+}
+
+func buildEdge() *asm.Program {
+	p := asm.NewProgram()
+	p.Data("img", susanImage())
+	// Sobel kernels as 9-entry tables, matched with pixel offsets.
+	kx := []int64{-1, 0, 1, -2, 0, 2, -1, 0, 1}
+	ky := []int64{-1, -2, -1, 0, 0, 0, 1, 2, 1}
+	p.Data("kx", le64s(kx))
+	p.Data("ky", le64s(ky))
+	p.Bss("out", (susanW-2)*(susanH-2))
+
+	f := p.Func("main")
+	f.MovSym(isa.R10, "img")
+	f.MovSym(isa.R11, "out")
+	f.MovImm(isa.R1, 1) // y
+	f.Label("yloop")
+	f.MovImm(isa.R2, 1) // x
+	f.Label("xloop")
+	f.MovImm(isa.R3, 0) // gx
+	f.MovImm(isa.R4, 0) // gy
+	f.MovImm(isa.R5, 0) // tap index 0..8
+	f.Label("taps")
+	// dy = tap/3 - 1, dx = tap%3 - 1
+	f.DivI(isa.R6, isa.R5, 3)
+	f.SubI(isa.R6, isa.R6, 1)
+	f.RemI(isa.R7, isa.R5, 3)
+	f.SubI(isa.R7, isa.R7, 1)
+	f.Add(isa.R6, isa.R6, isa.R1)
+	f.ShlI(isa.R6, isa.R6, 5)
+	f.Add(isa.R6, isa.R6, isa.R2)
+	f.Add(isa.R6, isa.R6, isa.R7)
+	f.Add(isa.R6, isa.R10, isa.R6)
+	f.Load(1, false, isa.R6, isa.R6, 0) // pixel
+	f.ShlI(isa.R7, isa.R5, 3)
+	f.MovSym(isa.R8, "kx")
+	f.Add(isa.R8, isa.R8, isa.R7)
+	f.Load(8, false, isa.R8, isa.R8, 0)
+	f.Mul(isa.R8, isa.R8, isa.R6)
+	f.Add(isa.R3, isa.R3, isa.R8)
+	f.MovSym(isa.R8, "ky")
+	f.Add(isa.R8, isa.R8, isa.R7)
+	f.Load(8, false, isa.R8, isa.R8, 0)
+	f.Mul(isa.R8, isa.R8, isa.R6)
+	f.Add(isa.R4, isa.R4, isa.R8)
+	f.AddI(isa.R5, isa.R5, 1)
+	f.BrI(isa.CondLT, isa.R5, 9, "taps")
+	// |gx| + |gy|
+	f.BrI(isa.CondGE, isa.R3, 0, "gxpos")
+	f.MovImm(isa.R6, 0)
+	f.Sub(isa.R3, isa.R6, isa.R3)
+	f.Label("gxpos")
+	f.BrI(isa.CondGE, isa.R4, 0, "gypos")
+	f.MovImm(isa.R6, 0)
+	f.Sub(isa.R4, isa.R6, isa.R4)
+	f.Label("gypos")
+	f.Add(isa.R3, isa.R3, isa.R4)
+	f.MovImm(isa.R5, 0)
+	f.BrI(isa.CondLE, isa.R3, edgeThreshold, "store")
+	f.MovImm(isa.R5, 255)
+	f.Label("store")
+	f.SubI(isa.R6, isa.R1, 1)
+	f.MulI(isa.R6, isa.R6, susanW-2)
+	f.Add(isa.R6, isa.R6, isa.R2)
+	f.SubI(isa.R6, isa.R6, 1)
+	f.Add(isa.R6, isa.R11, isa.R6)
+	f.Store(1, isa.R5, isa.R6, 0)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.BrI(isa.CondLT, isa.R2, susanW-1, "xloop")
+	f.AddI(isa.R1, isa.R1, 1)
+	f.BrI(isa.CondLT, isa.R1, susanH-1, "yloop")
+
+	emitWriteOut(f, "out", (susanW-2)*(susanH-2))
+	emitExit(f)
+	return p
+}
+
+// ---- corner -------------------------------------------------------------------
+
+const cornerThreshold = 900
+
+// refCorner computes the Moravec response: for each interior pixel the
+// minimum over four shift directions of the sum of squared differences
+// across a 3×3 window, thresholded.
+func refCorner() []byte {
+	img := susanImage()
+	px := func(x, y int) int64 { return int64(img[y*susanW+x]) }
+	out := make([]byte, (susanW-4)*(susanH-4))
+	shifts := [4][2]int{{1, 0}, {0, 1}, {1, 1}, {1, -1}}
+	for y := 2; y < susanH-2; y++ {
+		for x := 2; x < susanW-2; x++ {
+			minSSD := int64(1) << 62
+			for _, sh := range shifts {
+				var ssd int64
+				for dy := -1; dy <= 1; dy++ {
+					for dx := -1; dx <= 1; dx++ {
+						d := px(x+dx, y+dy) - px(x+dx+sh[0], y+dy+sh[1])
+						ssd += d * d
+					}
+				}
+				if ssd < minSSD {
+					minSSD = ssd
+				}
+			}
+			v := byte(0)
+			if minSSD > cornerThreshold {
+				v = 255
+			}
+			out[(y-2)*(susanW-4)+x-2] = v
+		}
+	}
+	return out
+}
+
+func buildCorner() *asm.Program {
+	p := asm.NewProgram()
+	p.Data("img", susanImage())
+	// Shift table: four (dx,dy) pairs.
+	p.Data("shifts", le64s([]int64{1, 0, 0, 1, 1, 1, 1, -1}))
+	p.Bss("out", (susanW-4)*(susanH-4))
+
+	f := p.Func("main")
+	f.MovSym(isa.R10, "img")
+	f.MovImm(isa.R1, 2) // y
+	f.Label("yloop")
+	f.MovImm(isa.R2, 2) // x
+	f.Label("xloop")
+	f.MovImm(isa.R3, 1<<62) // minSSD
+	f.MovImm(isa.R4, 0)     // shift index
+	f.Label("shloop")
+	f.MovImm(isa.R5, 0)  // ssd
+	f.MovImm(isa.R6, -1) // dy
+	f.Label("dyloop")
+	f.MovImm(isa.R7, -1) // dx
+	f.Label("dxloop")
+	// a = px(x+dx, y+dy)
+	f.Add(isa.R8, isa.R1, isa.R6)
+	f.ShlI(isa.R8, isa.R8, 5)
+	f.Add(isa.R8, isa.R8, isa.R2)
+	f.Add(isa.R8, isa.R8, isa.R7)
+	f.Add(isa.R8, isa.R10, isa.R8)
+	f.Load(1, false, isa.R9, isa.R8, 0)
+	// b = px(x+dx+sx, y+dy+sy): reuse address a + sx + sy*32
+	f.MovSym(isa.R0, "shifts")
+	f.ShlI(isa.R11, isa.R4, 4)
+	f.Add(isa.R0, isa.R0, isa.R11)
+	f.Load(8, false, isa.R11, isa.R0, 0) // sx
+	f.Add(isa.R8, isa.R8, isa.R11)
+	f.Load(8, false, isa.R11, isa.R0, 8) // sy
+	f.ShlI(isa.R11, isa.R11, 5)
+	f.Add(isa.R8, isa.R8, isa.R11)
+	f.Load(1, false, isa.R8, isa.R8, 0)
+	f.Sub(isa.R9, isa.R9, isa.R8)
+	f.Mul(isa.R9, isa.R9, isa.R9)
+	f.Add(isa.R5, isa.R5, isa.R9)
+	f.AddI(isa.R7, isa.R7, 1)
+	f.BrI(isa.CondLE, isa.R7, 1, "dxloop")
+	f.AddI(isa.R6, isa.R6, 1)
+	f.BrI(isa.CondLE, isa.R6, 1, "dyloop")
+	f.Br(isa.CondGE, isa.R5, isa.R3, "noupdate")
+	f.Mov(isa.R3, isa.R5)
+	f.Label("noupdate")
+	f.AddI(isa.R4, isa.R4, 1)
+	f.BrI(isa.CondLT, isa.R4, 4, "shloop")
+	f.MovImm(isa.R5, 0)
+	f.BrI(isa.CondLE, isa.R3, cornerThreshold, "store")
+	f.MovImm(isa.R5, 255)
+	f.Label("store")
+	f.SubI(isa.R6, isa.R1, 2)
+	f.MulI(isa.R6, isa.R6, susanW-4)
+	f.Add(isa.R6, isa.R6, isa.R2)
+	f.SubI(isa.R6, isa.R6, 2)
+	f.MovSym(isa.R7, "out")
+	f.Add(isa.R6, isa.R7, isa.R6)
+	f.Store(1, isa.R5, isa.R6, 0)
+	f.AddI(isa.R2, isa.R2, 1)
+	f.BrI(isa.CondLT, isa.R2, susanW-2, "xloop")
+	f.AddI(isa.R1, isa.R1, 1)
+	f.BrI(isa.CondLT, isa.R1, susanH-2, "yloop")
+
+	emitWriteOut(f, "out", (susanW-4)*(susanH-4))
+	emitExit(f)
+	return p
+}

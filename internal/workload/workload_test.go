@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/interp"
+)
+
+// TestWorkloadsMatchReferenceOnBothISAs is the central functional
+// validation: every benchmark, compiled for both ISAs and executed on
+// the functional model, must reproduce its pure-Go reference output
+// byte for byte with a clean exit.
+func TestWorkloadsMatchReferenceOnBothISAs(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			want := w.Reference()
+			if len(want) == 0 {
+				t.Fatal("empty reference output")
+			}
+			for _, tgt := range []asm.Target{asm.TargetCISC, asm.TargetRISC} {
+				img, err := w.Image(tgt)
+				if err != nil {
+					t.Fatalf("%v: %v", tgt, err)
+				}
+				res := interp.Run(img, 100_000_000)
+				if res.Outcome != interp.Completed {
+					t.Fatalf("%v: outcome %v (exc %v) after %d steps",
+						tgt, res.Outcome, res.FatalExc, res.Steps)
+				}
+				if res.ExitCode != 0 {
+					t.Fatalf("%v: exit %d", tgt, res.ExitCode)
+				}
+				if len(res.Events) != 0 {
+					t.Fatalf("%v: kernel events %v", tgt, res.Events)
+				}
+				if !bytes.Equal(res.Output, want) {
+					limit := len(want)
+					if limit > 64 {
+						limit = 64
+					}
+					got := res.Output
+					if len(got) > limit {
+						got = got[:limit]
+					}
+					t.Fatalf("%v: output mismatch\n got %x (%d bytes)\nwant %x (%d bytes)",
+						tgt, got, len(res.Output), want[:limit], len(want))
+				}
+				t.Logf("%v: %d instructions, %d uops", tgt, res.Steps, res.Uops)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	wantNames := []string{"djpeg", "search", "smooth", "edge", "corner",
+		"sha", "fft", "qsort", "cjpeg", "caes"}
+	if len(names) != 10 {
+		t.Fatalf("want the paper's 10 benchmarks, got %d", len(names))
+	}
+	for i, n := range wantNames {
+		if names[i] != n {
+			t.Errorf("benchmark %d = %q, want %q", i, names[i], n)
+		}
+	}
+	if _, err := ByName("qsort"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestReferenceDeterminism(t *testing.T) {
+	for _, w := range All() {
+		a, b := w.Reference(), w.Reference()
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: nondeterministic reference", w.Name)
+		}
+	}
+}
