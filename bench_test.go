@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -298,6 +299,92 @@ func BenchmarkCheckpointAblation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkMatrixScheduler measures the cross-campaign matrix scheduler:
+// every injection run of a {tool} × {qsort, sha} × {rf.int, lsq.data}
+// matrix flattened onto one shared worker pool, with golden runs
+// memoized per {tool, benchmark} row. Each iteration runs the whole
+// matrix with a fresh private golden cache, so the reported throughput
+// includes the amortized golden cost. Metrics: injection runs per
+// second and simulated megacycles per second.
+func BenchmarkMatrixScheduler(b *testing.B) {
+	type row struct {
+		tool, bench string
+		factory     core.Factory
+		golden      core.GoldenInfo
+	}
+	var rows []row
+	cache := core.NewGoldenCache()
+	for _, tool := range []string{sims.MaFINX86, sims.GeFINX86} {
+		for _, bench := range []string{"qsort", "sha"} {
+			w, err := workload.ByName(bench)
+			if err != nil {
+				b.Fatal(err)
+			}
+			factory, err := sims.Factory(tool, w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			golden, err := cache.Golden(tool, bench, factory)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, row{tool, bench, factory, golden})
+		}
+	}
+	buildSpecs := func() []core.CampaignSpec {
+		var specs []core.CampaignSpec
+		for _, r := range rows {
+			for _, structure := range []string{"rf.int", "lsq.data"} {
+				entries, bits, ok, err := cache.Geometry(r.tool, r.bench, r.factory, structure)
+				if err != nil || !ok {
+					b.Fatalf("geometry %s/%s: ok=%v err=%v", r.tool, structure, ok, err)
+				}
+				masks, err := fault.Generate(fault.GeneratorSpec{
+					Structure: structure, Entries: entries, BitsPerEntry: bits,
+					MaxCycle: r.golden.Cycles, Model: fault.ModelTransient, Count: 10, Seed: 41,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// Golden deliberately nil: each iteration's matrix pays
+				// one memoized golden run per row.
+				specs = append(specs, core.CampaignSpec{
+					Tool: r.tool, Benchmark: r.bench, Structure: structure,
+					Masks: masks, Factory: r.factory, TimeoutFactor: 3,
+				})
+			}
+		}
+		return specs
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(benchName("workers", workers), func(b *testing.B) {
+			var runs int
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				results, err := core.RunMatrix(buildSpecs(), core.MatrixOptions{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					runs += len(res.Records)
+					for _, rec := range res.Records {
+						cycles += rec.Cycles
+					}
+				}
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(runs)/sec, "runs/s")
+				b.ReportMetric(float64(cycles)/1e6/sec, "Mcycles/s")
+			}
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return fmt.Sprintf("%s-%d", prefix, n)
 }
 
 // BenchmarkDataArrayAblation measures the §III.C cost of modelling the

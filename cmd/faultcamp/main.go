@@ -48,7 +48,11 @@ func main() {
 	}
 	key := fault.CampaignKey(*tool, *bench, *structure)
 
+	// The golden memoizer makes the fault-free reference a one-time cost:
+	// inline mask generation and the campaign itself share a single run.
+	cache := core.NewGoldenCache()
 	var masks []fault.Mask
+	var goldenRef *core.GoldenInfo
 	if *masksDir != "" {
 		repo, err := fault.NewRepository(*masksDir)
 		if err != nil {
@@ -59,35 +63,40 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		golden, err := core.Golden(factory)
+		golden, err := cache.Golden(*tool, *bench, factory)
 		if err != nil {
 			fatal(err)
 		}
-		sim := factory()
-		arr, ok := sim.Structures()[*structure]
+		entries, bits, ok, err := cache.Geometry(*tool, *bench, factory, *structure)
+		if err != nil {
+			fatal(err)
+		}
 		if !ok {
-			fatal(fmt.Errorf("%s has no structure %q", sim.Name(), *structure))
+			fatal(fmt.Errorf("%s has no structure %q", golden.Tool, *structure))
 		}
 		masks, err = fault.Generate(fault.GeneratorSpec{
-			Structure: *structure, Entries: arr.Entries(), BitsPerEntry: arr.BitsPerEntry(),
+			Structure: *structure, Entries: entries, BitsPerEntry: bits,
 			MaxCycle: golden.Cycles, Model: fault.Model(*model), Count: *n, Seed: *seed,
 		})
 		if err != nil {
 			fatal(err)
 		}
+		goldenRef = &golden
 	}
 
 	start := time.Now()
-	res, err := core.RunCampaign(core.CampaignSpec{
+	results, err := core.RunMatrix([]core.CampaignSpec{{
 		Tool: *tool, Benchmark: *bench, Structure: *structure,
 		Masks: masks, Factory: factory,
-		TimeoutFactor: *timeoutFactor, Workers: *workers,
+		TimeoutFactor:    *timeoutFactor,
 		DisableEarlyStop: *noEarlyStop,
 		UseCheckpoint:    *checkpoint,
-	})
+		Golden:           goldenRef,
+	}}, core.MatrixOptions{Workers: *workers, Golden: cache})
 	if err != nil {
 		fatal(err)
 	}
+	res := results[0]
 	logs, err := core.NewLogsRepo(*logsDir)
 	if err != nil {
 		fatal(err)

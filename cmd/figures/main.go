@@ -50,17 +50,19 @@ func main() {
 	fromLogs := flag.String("from-logs", "", "rebuild figures from stored logs instead of re-running")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	summary := flag.Bool("summary", false, "print the §IV.C differential summary across the selected figures")
-	workers := flag.Int("workers", 0, "campaign worker pool size (default GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "global scheduler worker pool size (default GOMAXPROCS)")
 	groupSim := flag.Bool("group-simcrash", false, "classify simulator crashes as Assert")
 	liveOnly := flag.Bool("live-only", false, "restrict faults to entries live at the end of the golden run (conditional vulnerability)")
+	checkpoint := flag.Bool("checkpoint", false, "share each {tool,benchmark} fault-free prefix via a drained-machine checkpoint")
 	flag.Parse()
 
 	opt := report.Options{
-		Injections: *n,
-		Seed:       *seed,
-		Workers:    *workers,
-		Parser:     core.Parser{GroupSimCrashWithAssert: *groupSim},
-		LiveOnly:   *liveOnly,
+		Injections:    *n,
+		Seed:          *seed,
+		Workers:       *workers,
+		Parser:        core.Parser{GroupSimCrashWithAssert: *groupSim},
+		LiveOnly:      *liveOnly,
+		UseCheckpoint: *checkpoint,
 	}
 	if *benchCSV != "" {
 		opt.Benchmarks = strings.Split(*benchCSV, ",")
@@ -110,35 +112,44 @@ func main() {
 			figs = append(figs, f.ID)
 		}
 	}
-	var datasets []*report.FigureData
+	specs := make([]report.FigureSpec, 0, len(figs))
 	for _, id := range figs {
 		spec, err := report.FigureByID(id)
 		if err != nil {
 			fatal(err)
 		}
-		var fd *report.FigureData
-		if *fromLogs != "" {
-			repo, err := core.NewLogsRepo(*fromLogs)
-			if err != nil {
-				fatal(err)
-			}
-			fd, err = report.LoadFigure(repo, spec, opt)
-			if err != nil {
-				fatal(err)
-			}
-		} else {
-			fd, err = report.RunFigure(spec, opt, os.Stderr)
-			if err != nil {
-				fatal(err)
-			}
+		specs = append(specs, spec)
+	}
+	var datasets []*report.FigureData
+	if *fromLogs != "" {
+		repo, err := core.NewLogsRepo(*fromLogs)
+		if err != nil {
+			fatal(err)
 		}
+		for _, spec := range specs {
+			fd, err := report.LoadFigure(repo, spec, opt)
+			if err != nil {
+				fatal(err)
+			}
+			datasets = append(datasets, fd)
+		}
+	} else if len(specs) > 0 {
+		// All requested figures run as one flattened campaign matrix:
+		// one shared worker pool, one golden run per {tool, benchmark}.
+		var err error
+		datasets, err = report.RunFigures(specs, opt, os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for i, fd := range datasets {
 		fd.Render(os.Stdout)
 		fmt.Println()
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
 				fatal(err)
 			}
-			f, err := os.Create(filepath.Join(*csvDir, fmt.Sprintf("fig%d_%s.csv", spec.ID, spec.Structure)))
+			f, err := os.Create(filepath.Join(*csvDir, fmt.Sprintf("fig%d_%s.csv", specs[i].ID, specs[i].Structure)))
 			if err != nil {
 				fatal(err)
 			}
@@ -149,7 +160,6 @@ func main() {
 				fatal(err)
 			}
 		}
-		datasets = append(datasets, fd)
 	}
 	if *summary && len(datasets) > 0 {
 		report.RenderDifferentialSummary(os.Stdout, datasets)

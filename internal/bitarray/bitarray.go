@@ -126,6 +126,14 @@ type Array struct {
 	data         []uint64 // entries * wordsPerEnt words, little-endian bit order
 	valid        ValidFunc
 	faults       []*faultState
+	// needObs caches whether any armed fault can still interact with an
+	// access: a live transient (a read consumes it, a covering write
+	// masks it) or a stuck-at fault inside its forcing window. It is the
+	// fast-path gate of the Read*/Write* accessors — the innermost loop
+	// of every simulation — so golden runs, runs whose fault has settled
+	// (consumed, overwritten, skipped) and runs whose intermittent
+	// window has expired skip the observation bookkeeping entirely.
+	needObs bool
 
 	// Access counters; cheap and useful for the statistics module.
 	reads  uint64
@@ -196,7 +204,7 @@ func (a *Array) ReadWord(entry, word int) uint64 {
 	a.checkEntry(entry)
 	a.reads++
 	v := a.data[entry*a.wordsPerEnt+word]
-	if len(a.faults) != 0 {
+	if a.needObs {
 		v = a.observeRead(entry, word*64, 64, v)
 	}
 	return v
@@ -206,7 +214,7 @@ func (a *Array) ReadWord(entry, word int) uint64 {
 func (a *Array) WriteWord(entry, word int, v uint64) {
 	a.checkEntry(entry)
 	a.writes++
-	if len(a.faults) != 0 {
+	if a.needObs {
 		v = a.observeWrite(entry, word*64, 64, v)
 	}
 	a.data[entry*a.wordsPerEnt+word] = v
@@ -230,7 +238,7 @@ func (a *Array) ReadBytes(entry, off int, dst []byte) {
 		w := a.data[base+bo/8]
 		dst[i] = byte(w >> uint((bo%8)*8)) //nolint:gosec // bounded shift
 	}
-	if len(a.faults) != 0 {
+	if a.needObs {
 		a.observeReadBytes(entry, off, len(dst), dst)
 	}
 }
@@ -239,7 +247,7 @@ func (a *Array) ReadBytes(entry, off int, dst []byte) {
 func (a *Array) WriteBytes(entry, off int, src []byte) {
 	a.checkEntry(entry)
 	a.writes++
-	if len(a.faults) != 0 {
+	if a.needObs {
 		src = a.observeWriteBytes(entry, off, src)
 	}
 	base := entry * a.wordsPerEnt
@@ -269,7 +277,7 @@ func (a *Array) WriteBit(entry, bit int, v uint8) {
 	if v != 0 {
 		nv |= mask
 	}
-	if len(a.faults) != 0 {
+	if a.needObs {
 		nv = a.observeWrite(entry, word*64, 64, nv)
 	}
 	a.data[idx] = nv
@@ -334,10 +342,40 @@ func (a *Array) Arm(f Fault) {
 			a.name, f.Entry, f.Bit, a.entries, a.bitsPerEntry))
 	}
 	a.faults = append(a.faults, &faultState{f: f, status: StatusArmed})
+	// Conservatively observe until the first Tick settles the state; an
+	// armed-but-unapplied fault is a no-op in the observe functions, so
+	// this exactly matches the pre-fast-path behaviour.
+	a.needObs = true
 }
 
 // Disarm removes every armed fault.
-func (a *Array) Disarm() { a.faults = nil }
+func (a *Array) Disarm() {
+	a.faults = nil
+	a.needObs = false
+}
+
+// needsObs reports whether the fault can still interact with an access:
+// a live transient waits for its consuming read or masking write, and a
+// stuck-at fault forces the cell only while its window is active. A
+// consumed/overwritten/skipped transient and an expired intermittent are
+// inert — every observe function is a no-op on them.
+func (fs *faultState) needsObs() bool {
+	if fs.f.Kind == Transient {
+		return fs.status == StatusLive
+	}
+	return fs.active
+}
+
+// updateObs recomputes the fast-path gate after a fault state change.
+func (a *Array) updateObs() {
+	for _, fs := range a.faults {
+		if fs.needsObs() {
+			a.needObs = true
+			return
+		}
+	}
+	a.needObs = false
+}
 
 // FaultStatus aggregates the status of the armed faults, for the
 // early-stop decision: a run may stop only when every fault is provably
@@ -394,6 +432,7 @@ func (a *Array) Tick(cycle uint64) Status {
 			}
 		}
 	}
+	a.updateObs()
 	return a.FaultStatus()
 }
 
@@ -424,6 +463,7 @@ func (fs *faultState) stuckActive() bool {
 // observeRead is called on every word read when faults are armed. It
 // applies stuck-at forcing and records read consumption.
 func (a *Array) observeRead(entry, firstBit, nbits int, v uint64) uint64 {
+	changed := false
 	for _, fs := range a.faults {
 		if fs.status != StatusLive && fs.status != StatusConsumed {
 			continue
@@ -439,7 +479,11 @@ func (a *Array) observeRead(entry, firstBit, nbits int, v uint64) uint64 {
 				v &^= mask
 			}
 		}
+		changed = changed || fs.status != StatusConsumed
 		fs.status = StatusConsumed
+	}
+	if changed {
+		a.updateObs()
 	}
 	return v
 }
@@ -448,6 +492,7 @@ func (a *Array) observeRead(entry, firstBit, nbits int, v uint64) uint64 {
 // live transient fault a covering write that lands before any read proves
 // masking. For an active stuck-at fault the cell refuses the new bit.
 func (a *Array) observeWrite(entry, firstBit, nbits int, v uint64) uint64 {
+	changed := false
 	for _, fs := range a.faults {
 		if entry != fs.f.Entry || fs.f.Bit < firstBit || fs.f.Bit >= firstBit+nbits {
 			continue
@@ -463,7 +508,11 @@ func (a *Array) observeWrite(entry, firstBit, nbits int, v uint64) uint64 {
 		}
 		if fs.status == StatusLive && fs.f.Kind == Transient {
 			fs.status = StatusOverwritten
+			changed = true
 		}
+	}
+	if changed {
+		a.updateObs()
 	}
 	return v
 }
@@ -471,6 +520,7 @@ func (a *Array) observeWrite(entry, firstBit, nbits int, v uint64) uint64 {
 // observeReadBytes applies fault observation to a byte-range read result.
 func (a *Array) observeReadBytes(entry, off, n int, dst []byte) {
 	first := off * 8
+	changed := false
 	for _, fs := range a.faults {
 		if fs.status != StatusLive && fs.status != StatusConsumed {
 			continue
@@ -487,7 +537,11 @@ func (a *Array) observeReadBytes(entry, off, n int, dst []byte) {
 				dst[rel/8] &^= mask
 			}
 		}
+		changed = changed || fs.status != StatusConsumed
 		fs.status = StatusConsumed
+	}
+	if changed {
+		a.updateObs()
 	}
 }
 
@@ -497,6 +551,7 @@ func (a *Array) observeReadBytes(entry, off, n int, dst []byte) {
 func (a *Array) observeWriteBytes(entry, off int, src []byte) []byte {
 	first := off * 8
 	out := src
+	changed := false
 	for _, fs := range a.faults {
 		if entry != fs.f.Entry || fs.f.Bit < first || fs.f.Bit >= first+len(src)*8 {
 			continue
@@ -517,7 +572,11 @@ func (a *Array) observeWriteBytes(entry, off int, src []byte) []byte {
 		}
 		if fs.status == StatusLive && fs.f.Kind == Transient {
 			fs.status = StatusOverwritten
+			changed = true
 		}
+	}
+	if changed {
+		a.updateObs()
 	}
 	return out
 }
@@ -527,9 +586,14 @@ func (a *Array) observeWriteBytes(entry, off int, src []byte) []byte {
 // in a discarded entry can never be read again, so it is equivalent to
 // overwritten-before-read.
 func (a *Array) InvalidateObserve(entry int) {
+	changed := false
 	for _, fs := range a.faults {
 		if fs.status == StatusLive && fs.f.Kind == Transient && entry == fs.f.Entry {
 			fs.status = StatusOverwritten
+			changed = true
 		}
+	}
+	if changed {
+		a.updateObs()
 	}
 }

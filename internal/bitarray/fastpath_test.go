@@ -1,0 +1,212 @@
+package bitarray
+
+import "testing"
+
+// benchSink defeats dead-code elimination in the benchmarks.
+var benchSink uint64
+
+// trace runs one deterministic access mix over the array and records
+// every value read plus the final counters, so two arrays can be
+// compared access-for-access.
+func trace(a *Array) (reads []uint64, nr, nw uint64) {
+	buf := make([]byte, 8)
+	for cyc := uint64(0); cyc < 400; cyc++ {
+		a.Tick(cyc)
+		e := int(cyc) % a.Entries()
+		a.WriteUint64(e, 0x8000_0000_0000_0000|cyc)
+		reads = append(reads, a.ReadUint64(e))
+		a.WriteBytes(e, 2, []byte{byte(cyc), byte(cyc >> 8)})
+		a.ReadBytes(e, 0, buf)
+		for _, b := range buf {
+			reads = append(reads, uint64(b))
+		}
+	}
+	return reads, a.Reads(), a.Writes()
+}
+
+// An armed-then-expired fault must leave the read/write traces and the
+// Reads()/Writes() counters identical to a fault-free array: the fast
+// path may skip observation bookkeeping, but never an actual access.
+func TestFastPathTraceParity(t *testing.T) {
+	clean := New("s", 8, 64)
+	faulty := New("s", 8, 64)
+	// Intermittent stuck-at-1 on a bit the written pattern always holds
+	// at 1 (bit 63 of 0x8000...|cyc, untouched by the byte writes), so
+	// the active window forces the cell to the value it would have
+	// anyway and the traces stay byte-identical even while the fault is
+	// live.
+	faulty.Arm(Fault{Kind: Intermittent, Entry: 3, Bit: 63, StuckVal: 1, Start: 50, Duration: 100})
+	if !faulty.needObs {
+		t.Fatal("Arm did not raise the observation gate")
+	}
+
+	cr, crr, crw := trace(clean)
+	fr, frr, frw := trace(faulty)
+	if len(cr) != len(fr) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(cr), len(fr))
+	}
+	for i := range cr {
+		if cr[i] != fr[i] {
+			t.Fatalf("read %d differs: clean %#x, faulty %#x", i, cr[i], fr[i])
+		}
+	}
+	if crr != frr || crw != frw {
+		t.Fatalf("counters differ: clean %d/%d, faulty %d/%d", crr, crw, frr, frw)
+	}
+	// The window expired at cycle 150, so after the trace the gate must
+	// be down again while the consumed status is still reported.
+	if faulty.needObs {
+		t.Fatal("observation gate still up after the stuck-at window expired")
+	}
+	if st := faulty.FaultStatus(); st != StatusConsumed {
+		t.Fatalf("expired fault status = %v, want StatusConsumed", st)
+	}
+}
+
+// The gate must track the fault lifecycle exactly: up from Arm through
+// the live window, down once every fault is inert.
+func TestFastPathGateLifecycle(t *testing.T) {
+	a := New("s", 4, 64)
+	a.WriteUint64(1, 42) // make the entry live before the fault lands
+
+	a.Arm(Fault{Kind: Transient, Entry: 1, Bit: 5, Start: 10})
+	if !a.needObs {
+		t.Fatal("gate down after Arm")
+	}
+	// Before Start the fault is armed but unapplied: every observe
+	// function skips it, so the first Tick may lower the gate.
+	a.Tick(5)
+	if a.needObs {
+		t.Fatal("gate up for an armed-but-unapplied fault after Tick")
+	}
+	a.Tick(10) // injection: live
+	if !a.needObs {
+		t.Fatal("gate down while fault is live")
+	}
+	a.ReadUint64(1) // consuming read: transient becomes inert
+	if a.needObs {
+		t.Fatal("gate up after the transient was consumed")
+	}
+	if st := a.FaultStatus(); st != StatusConsumed {
+		t.Fatalf("status = %v, want StatusConsumed", st)
+	}
+
+	// A masking write on a second live transient also lowers the gate.
+	b := New("s", 4, 64)
+	b.WriteUint64(2, 7)
+	b.Arm(Fault{Kind: Transient, Entry: 2, Bit: 0, Start: 0})
+	b.Tick(0)
+	if !b.needObs {
+		t.Fatal("gate down while fault is live")
+	}
+	b.WriteUint64(2, 7)
+	if b.needObs {
+		t.Fatal("gate up after the transient was overwritten")
+	}
+	if st := b.FaultStatus(); st != StatusOverwritten {
+		t.Fatalf("status = %v, want StatusOverwritten", st)
+	}
+
+	// Disarm always lowers the gate.
+	c := New("s", 4, 64)
+	c.Arm(Fault{Kind: Permanent, Entry: 0, Bit: 0, StuckVal: 1, Start: 0})
+	c.Tick(0)
+	if !c.needObs {
+		t.Fatal("gate down while a permanent fault forces the cell")
+	}
+	c.Disarm()
+	if c.needObs {
+		t.Fatal("gate up after Disarm")
+	}
+}
+
+// An intermittent window that expires must lower the gate even with no
+// intervening access, and a permanent fault must keep it up forever.
+func TestFastPathGateExpiry(t *testing.T) {
+	a := New("s", 4, 64)
+	a.WriteUint64(0, 1)
+	a.Arm(Fault{Kind: Intermittent, Entry: 0, Bit: 3, StuckVal: 1, Start: 10, Duration: 20})
+	a.Tick(10)
+	if !a.needObs {
+		t.Fatal("gate down inside the stuck-at window")
+	}
+	a.Tick(29)
+	if !a.needObs {
+		t.Fatal("gate down one cycle before expiry")
+	}
+	a.Tick(30)
+	if a.needObs {
+		t.Fatal("gate up after the window expired")
+	}
+
+	p := New("s", 4, 64)
+	p.Arm(Fault{Kind: Permanent, Entry: 0, Bit: 3, StuckVal: 1, Start: 0})
+	for cyc := uint64(0); cyc < 1000; cyc += 100 {
+		p.Tick(cyc)
+		if !p.needObs {
+			t.Fatalf("gate down at cycle %d for a permanent fault", cyc)
+		}
+	}
+}
+
+// benchArray builds a 64×64 array with every entry written once.
+func benchArray() *Array {
+	a := New("s", 64, 64)
+	for e := 0; e < 64; e++ {
+		a.WriteUint64(e, uint64(e)*0x9e3779b97f4a7c15)
+	}
+	return a
+}
+
+// The inert-fault paths are the hot loops of every injection run after
+// its fault settles (consumed, overwritten, or expired); these
+// benchmarks pin the fast-path win over the always-observe baseline
+// (compare BenchmarkReadWordWithFaultArmed for the live stuck-at cost).
+func BenchmarkReadWordInertFault(b *testing.B) {
+	cases := []struct {
+		name string
+		prep func(*Array)
+	}{
+		{"ExpiredIntermittent", func(a *Array) {
+			a.Arm(Fault{Kind: Intermittent, Entry: 1, Bit: 2, StuckVal: 1, Start: 0, Duration: 5})
+			a.Tick(0)
+			a.Tick(10) // window over: fault inert, still armed on the array
+		}},
+		{"ConsumedTransient", func(a *Array) {
+			a.Arm(Fault{Kind: Transient, Entry: 1, Bit: 2, Start: 0})
+			a.Tick(0)
+			a.ReadUint64(1) // consume it
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			a := benchArray()
+			c.prep(a)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSink ^= a.ReadWord(i&63, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkWriteWordInertFault(b *testing.B) {
+	for _, armed := range []bool{false, true} {
+		name := "NoFault"
+		if armed {
+			name = "ExpiredIntermittent"
+		}
+		b.Run(name, func(b *testing.B) {
+			a := benchArray()
+			if armed {
+				a.Arm(Fault{Kind: Intermittent, Entry: 1, Bit: 2, StuckVal: 1, Start: 0, Duration: 5})
+				a.Tick(0)
+				a.Tick(10)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.WriteWord(i&63, 0, uint64(i))
+			}
+		})
+	}
+}

@@ -4,8 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/bitarray"
 	"repro/internal/fault"
@@ -65,6 +63,12 @@ type CampaignSpec struct {
 	// drained pipeline at the checkpoint, which can shift borderline
 	// outcomes relative to boot-runs of the same masks.
 	UseCheckpoint bool
+	// Golden, when non-nil, is a precomputed fault-free reference for
+	// this campaign's {tool, benchmark} (typically memoized in a
+	// GoldenCache); the controller uses it instead of performing its own
+	// golden run. Benchmark/Structure/Tool fields are overwritten from
+	// the spec.
+	Golden *GoldenInfo
 }
 
 // CampaignResult is the outcome of a whole campaign.
@@ -80,13 +84,21 @@ func hashOutput(out []byte) string {
 
 // Golden performs the fault-free reference run of a factory's simulator.
 func Golden(f Factory) (GoldenInfo, error) {
+	g, _, err := goldenRun(f)
+	return g, err
+}
+
+// goldenRun performs the fault-free reference run and also returns the
+// finished machine, which the GoldenCache keeps for live-entry probing
+// and geometry lookups.
+func goldenRun(f Factory) (GoldenInfo, Simulator, error) {
 	sim := f()
 	res := sim.Run(1 << 62)
 	if res.Status != RunCompleted {
-		return GoldenInfo{}, fmt.Errorf("core: golden run did not complete: %v (%s)", res.Status, res.AssertMsg)
+		return GoldenInfo{}, nil, fmt.Errorf("core: golden run did not complete: %v (%s)", res.Status, res.AssertMsg)
 	}
 	if len(res.Events) != 0 {
-		return GoldenInfo{}, fmt.Errorf("core: golden run recorded %d kernel events", len(res.Events))
+		return GoldenInfo{}, nil, fmt.Errorf("core: golden run recorded %d kernel events", len(res.Events))
 	}
 	return GoldenInfo{
 		Tool:       sim.Name(),
@@ -95,7 +107,7 @@ func Golden(f Factory) (GoldenInfo, error) {
 		OutputHash: hashOutput(res.Output),
 		OutputLen:  len(res.Output),
 		Stats:      sim.Stats(),
-	}, nil
+	}, sim, nil
 }
 
 // RunOne executes a single injection run against a fresh simulator.
@@ -169,93 +181,17 @@ func RunOneFrom(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenIn
 	return rec, nil
 }
 
-// RunCampaign is the injection campaign controller: it performs the
-// golden run, then dispatches every mask to a worker pool of simulator
-// instances and collects the logs in mask order.
+// RunCampaign is the injection campaign controller: it resolves the
+// golden reference (running it unless spec.Golden supplies a memoized
+// one), then dispatches every mask to a worker pool of simulator
+// instances and collects the logs in mask order. It is the
+// single-campaign case of the matrix scheduler, so a failing worker
+// cancels the pool promptly and the error of the earliest failing mask
+// is returned deterministically.
 func RunCampaign(spec CampaignSpec) (*CampaignResult, error) {
-	golden, err := Golden(spec.Factory)
+	results, err := RunMatrix([]CampaignSpec{spec}, MatrixOptions{Workers: spec.Workers})
 	if err != nil {
 		return nil, err
 	}
-	golden.Benchmark = spec.Benchmark
-	golden.Structure = spec.Structure
-	if spec.Tool != "" {
-		golden.Tool = spec.Tool
-	}
-
-	// Checkpoint the fault-free prefix once; late-fault runs restore it
-	// instead of re-simulating from boot (the paper's checkpoint use).
-	// The checkpoint is placed just before the earliest fault of the
-	// campaign, so every run shares the longest possible prefix.
-	var cp any
-	var cpCycle uint64
-	if spec.UseCheckpoint {
-		earliest := ^uint64(0)
-		for _, m := range spec.Masks {
-			if c := minSiteCycle(m); c < earliest {
-				earliest = c
-			}
-		}
-		// Leave room for the drain overshoot: the machine settles some
-		// cycles past the target, and the checkpoint must still precede
-		// the earliest fault.
-		const drainMargin = 2000
-		target := golden.Cycles / 5
-		if earliest != ^uint64(0) && earliest > drainMargin && earliest-drainMargin > target {
-			target = earliest - drainMargin
-		}
-		if cap := golden.Cycles * 4 / 5; target > cap {
-			target = cap
-		}
-		if base, ok := spec.Factory().(Checkpointer); ok && target > 0 {
-			reached, finished, err := base.RunTo(target)
-			if err == nil && !finished && reached < earliest {
-				if st, cerr := base.Checkpoint(); cerr == nil {
-					cp, cpCycle = st, reached
-				}
-			}
-		}
-	}
-
-	workers := spec.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(spec.Masks) {
-		workers = len(spec.Masks)
-	}
-	records := make([]LogRecord, len(spec.Masks))
-	errs := make([]error, workers)
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= len(spec.Masks) {
-					return
-				}
-				rec, err := RunOneFrom(spec.Factory, cp, cpCycle, spec.Masks[i], golden,
-					spec.TimeoutFactor, !spec.DisableEarlyStop)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				records[i] = rec
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return &CampaignResult{Golden: golden, Records: records}, nil
+	return results[0], nil
 }

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// GoldenCache memoizes fault-free reference runs per {tool, benchmark}.
+// A figure matrix shares one golden run across every structure campaign
+// of a row (the pre-scheduler path simulated it 2× per structure: once
+// in the report layer and once in the campaign controller), and the
+// finished machine is kept so LiveOnly entry probing and mask-geometry
+// lookups reuse it instead of simulating a twin. Safe for concurrent
+// use.
+type GoldenCache struct {
+	mu      sync.Mutex
+	entries map[goldenKey]*goldenEntry
+	runs    int
+}
+
+type goldenKey struct{ tool, bench string }
+
+type goldenEntry struct {
+	once   sync.Once
+	golden GoldenInfo
+	sim    Simulator
+	err    error
+
+	mu   sync.Mutex
+	live map[string][]int // structure → entries live at end of golden run
+}
+
+// NewGoldenCache returns an empty memoizer.
+func NewGoldenCache() *GoldenCache {
+	return &GoldenCache{entries: make(map[goldenKey]*goldenEntry)}
+}
+
+func (c *GoldenCache) entry(tool, bench string) *goldenEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[goldenKey{tool, bench}]
+	if !ok {
+		e = &goldenEntry{}
+		c.entries[goldenKey{tool, bench}] = e
+	}
+	return e
+}
+
+// Golden returns the memoized fault-free reference of the {tool, bench}
+// row, simulating it on f's machine only on the first call. The returned
+// GoldenInfo carries Benchmark but no Structure; campaign code copies it
+// and fills the cell-specific fields.
+func (c *GoldenCache) Golden(tool, bench string, f Factory) (GoldenInfo, error) {
+	e := c.entry(tool, bench)
+	e.once.Do(func() {
+		e.golden, e.sim, e.err = goldenRun(f)
+		e.golden.Benchmark = bench
+		c.mu.Lock()
+		c.runs++
+		c.mu.Unlock()
+	})
+	if e.err != nil {
+		return GoldenInfo{}, e.err
+	}
+	g := e.golden
+	// Hand out a private stats map: cells of a matrix must not alias.
+	g.Stats = make(map[string]uint64, len(e.golden.Stats))
+	for k, v := range e.golden.Stats {
+		g.Stats[k] = v
+	}
+	return g, nil
+}
+
+// Runs reports how many golden simulations the cache actually performed
+// (as opposed to served from memory) — the figure tests assert exactly
+// one per {tool, benchmark} row.
+func (c *GoldenCache) Runs() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.runs
+}
+
+// Geometry returns the {entries, bitsPerEntry} geometry of one structure
+// on the row's machine, reusing the memoized golden simulator. ok is
+// false when the tool has no such structure.
+func (c *GoldenCache) Geometry(tool, bench string, f Factory, structure string) (entries, bits int, ok bool, err error) {
+	e := c.entry(tool, bench)
+	if _, gerr := c.Golden(tool, bench, f); gerr != nil {
+		return 0, 0, false, gerr
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	arr, found := e.sim.Structures()[structure]
+	if !found {
+		return 0, 0, false, nil
+	}
+	return arr.Entries(), arr.BitsPerEntry(), true, nil
+}
+
+// LiveEntries returns the entries of structure holding live data at the
+// end of the row's golden run — the LiveOnly fault population. The probe
+// reuses the memoized golden machine (the pre-scheduler path simulated a
+// twin from boot for every campaign) and is itself memoized per
+// structure.
+func (c *GoldenCache) LiveEntries(tool, bench string, f Factory, structure string) ([]int, error) {
+	e := c.entry(tool, bench)
+	if _, gerr := c.Golden(tool, bench, f); gerr != nil {
+		return nil, gerr
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if live, ok := e.live[structure]; ok {
+		return live, nil
+	}
+	arr, found := e.sim.Structures()[structure]
+	if !found {
+		return nil, fmt.Errorf("core: %s has no structure %q", e.golden.Tool, structure)
+	}
+	var live []int
+	for i := 0; i < arr.Entries(); i++ {
+		if arr.EntryValid(i) {
+			live = append(live, i)
+		}
+	}
+	if e.live == nil {
+		e.live = make(map[string][]int)
+	}
+	e.live[structure] = live
+	return live, nil
+}
+
+// MatrixOptions configures RunMatrix.
+type MatrixOptions struct {
+	// Workers is the size of the single global worker pool shared by
+	// every campaign of the matrix; 0 means GOMAXPROCS. Per-spec Workers
+	// values are ignored — decoupling pool size from per-campaign mask
+	// count is the point of the matrix scheduler.
+	Workers int
+	// Golden optionally shares a golden-run memoizer across RunMatrix
+	// calls (e.g. across the five figures of a full reproduction). When
+	// nil the call uses a private cache.
+	Golden *GoldenCache
+}
+
+// scheduledRun is one injection run of the flattened matrix queue.
+type scheduledRun struct {
+	spec int // index into the specs slice
+	mask int // index into that spec's mask slice
+}
+
+// campaignPrep is the per-campaign state resolved before dispatch.
+type campaignPrep struct {
+	golden  GoldenInfo
+	cp      any
+	cpCycle uint64
+}
+
+// RunMatrix executes a set of {tool, benchmark, structure} campaigns as
+// one flattened work queue on a single shared worker pool, so short
+// campaigns no longer serialize behind long ones. Results are returned
+// in spec order with records in mask order, byte-identical to running
+// each campaign alone: per-run work goes through the same RunOneFrom
+// path, golden references are memoized per {tool, benchmark} row rather
+// than re-simulated per campaign, and checkpoint prefixes (UseCheckpoint)
+// are computed once per row and shared across its structures.
+//
+// On a worker error the pool cancels promptly — in-flight runs finish,
+// queued runs are abandoned — and the error of the earliest queued run
+// that failed is returned.
+func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, error) {
+	cache := opt.Golden
+	if cache == nil {
+		cache = NewGoldenCache()
+	}
+
+	preps := make([]campaignPrep, len(specs))
+	for i, spec := range specs {
+		var g GoldenInfo
+		if spec.Golden != nil {
+			g = *spec.Golden
+		} else {
+			var err error
+			g, err = cache.Golden(spec.Tool, spec.Benchmark, spec.Factory)
+			if err != nil {
+				return nil, err
+			}
+		}
+		g.Benchmark = spec.Benchmark
+		g.Structure = spec.Structure
+		if spec.Tool != "" {
+			g.Tool = spec.Tool
+		}
+		preps[i].golden = g
+	}
+
+	// Checkpoint the fault-free prefix once per {tool, benchmark} row and
+	// share it across the row's structures; every run still decides
+	// individually whether its masks start late enough to restore it.
+	// The checkpoint is placed just before the earliest fault of the
+	// row's checkpoint-enabled campaigns, so runs share the longest
+	// possible prefix.
+	type rowCP struct {
+		cp      any
+		cpCycle uint64
+	}
+	earliest := make(map[goldenKey]uint64)
+	for i, spec := range specs {
+		if !spec.UseCheckpoint {
+			continue
+		}
+		key := goldenKey{preps[i].golden.Tool, spec.Benchmark}
+		e, ok := earliest[key]
+		if !ok {
+			e = ^uint64(0)
+		}
+		for _, m := range spec.Masks {
+			if c := minSiteCycle(m); c < e {
+				e = c
+			}
+		}
+		earliest[key] = e
+	}
+	rows := make(map[goldenKey]rowCP)
+	for i, spec := range specs {
+		if !spec.UseCheckpoint {
+			continue
+		}
+		key := goldenKey{preps[i].golden.Tool, spec.Benchmark}
+		row, done := rows[key]
+		if !done {
+			cp, cpCycle := makeCheckpoint(spec.Factory, preps[i].golden, earliest[key])
+			row = rowCP{cp: cp, cpCycle: cpCycle}
+			rows[key] = row
+		}
+		preps[i].cp, preps[i].cpCycle = row.cp, row.cpCycle
+	}
+
+	// Flatten every injection run into one shared queue, spec-major and
+	// mask-minor, and dispatch it on the global pool.
+	records := make([][]LogRecord, len(specs))
+	var queue []scheduledRun
+	for i, spec := range specs {
+		records[i] = make([]LogRecord, len(spec.Masks))
+		for m := range spec.Masks {
+			queue = append(queue, scheduledRun{spec: i, mask: m})
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queue) {
+		workers = len(queue)
+	}
+
+	var (
+		mu          sync.Mutex
+		next        int
+		stop        bool
+		firstErr    error
+		firstErrRun = -1
+		wg          sync.WaitGroup
+	)
+	fail := func(run int, err error) {
+		mu.Lock()
+		if firstErrRun < 0 || run < firstErrRun {
+			firstErrRun, firstErr = run, err
+		}
+		stop = true
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if stop || next >= len(queue) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				r := queue[i]
+				spec := &specs[r.spec]
+				prep := &preps[r.spec]
+				rec, err := RunOneFrom(spec.Factory, prep.cp, prep.cpCycle, spec.Masks[r.mask],
+					prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop)
+				if err != nil {
+					fail(i, err)
+					return
+				}
+				records[r.spec][r.mask] = rec
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	results := make([]*CampaignResult, len(specs))
+	for i := range specs {
+		results[i] = &CampaignResult{Golden: preps[i].golden, Records: records[i]}
+	}
+	return results, nil
+}
+
+// makeCheckpoint captures the fault-free prefix of a row on a drained
+// machine: the target sits at one fifth of the golden run, pushed later
+// when every checkpoint-enabled fault of the row starts later still, and
+// capped at four fifths.
+func makeCheckpoint(f Factory, golden GoldenInfo, earliest uint64) (any, uint64) {
+	// Leave room for the drain overshoot: the machine settles some
+	// cycles past the target, and the checkpoint must still precede
+	// the earliest fault.
+	const drainMargin = 2000
+	target := golden.Cycles / 5
+	if earliest != ^uint64(0) && earliest > drainMargin && earliest-drainMargin > target {
+		target = earliest - drainMargin
+	}
+	if limit := golden.Cycles * 4 / 5; target > limit {
+		target = limit
+	}
+	base, ok := f().(Checkpointer)
+	if !ok || target == 0 {
+		return nil, 0
+	}
+	reached, finished, err := base.RunTo(target)
+	if err != nil || finished || reached >= earliest {
+		return nil, 0
+	}
+	st, err := base.Checkpoint()
+	if err != nil {
+		return nil, 0
+	}
+	return st, reached
+}

@@ -1,0 +1,186 @@
+package report
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/sims"
+	"repro/internal/workload"
+)
+
+// serialReference reproduces the pre-scheduler serial path of one
+// campaign: its own golden run, the same deterministic mask population,
+// and one boot-run per mask in order — no memoization, no shared queue.
+func serialReference(t *testing.T, tool, bench, structure string, opt Options) *core.CampaignResult {
+	t.Helper()
+	w, err := workload.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := sims.Factory(tool, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := core.Golden(factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden.Benchmark = bench
+	golden.Structure = structure
+	sim := factory()
+	arr, ok := sim.Structures()[structure]
+	if !ok {
+		t.Fatalf("%s has no structure %q", tool, structure)
+	}
+	masks, err := fault.Generate(fault.GeneratorSpec{
+		Structure: structure, Entries: arr.Entries(), BitsPerEntry: arr.BitsPerEntry(),
+		MaxCycle: golden.Cycles, Model: fault.ModelTransient,
+		Count: opt.injections(), Seed: seedFor(opt.Seed, 0, bench, tool+structure),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.LiveOnly {
+		twin := factory()
+		if res := twin.Run(1 << 62); res.Status != core.RunCompleted {
+			t.Fatalf("twin probe: %v", res.Status)
+		}
+		tarr := twin.Structures()[structure]
+		var live []int
+		for e := 0; e < tarr.Entries(); e++ {
+			if tarr.EntryValid(e) {
+				live = append(live, e)
+			}
+		}
+		if len(live) == 0 {
+			t.Fatalf("no live entries in %s", structure)
+		}
+		for i := range masks {
+			for j := range masks[i].Sites {
+				masks[i].Sites[j].Entry = live[masks[i].Sites[j].Entry%len(live)]
+			}
+		}
+	}
+	res := &core.CampaignResult{Golden: golden}
+	for _, m := range masks {
+		rec, err := core.RunOne(factory, m, golden, 3, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Records = append(res.Records, rec)
+	}
+	return res
+}
+
+// The scheduler-driven figure path must be byte-identical to the serial
+// pre-scheduler path for a fixed seed: same per-mask records, same
+// breakdowns, same golden cells.
+func TestRunFiguresMatchesSerialReference(t *testing.T) {
+	opt := Options{
+		Injections: 8,
+		Seed:       7,
+		Benchmarks: []string{"qsort"},
+		Workers:    4,
+	}
+	spec := Figures[4] // Fig 6: lsq.data
+	cache := core.NewGoldenCache()
+	opt.GoldenCache = cache
+	fd, err := RunFigure(spec, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tool := range opt.tools() {
+		want := serialReference(t, tool, "qsort", spec.Structure, opt)
+		// Per-mask records through the scheduler path.
+		res, err := RunCampaignFor(tool, "qsort", spec.Structure, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Records, want.Records) {
+			t.Fatalf("%s: scheduler records differ from serial reference:\n%+v\nvs\n%+v",
+				tool, res.Records, want.Records)
+		}
+		if !reflect.DeepEqual(res.Golden, want.Golden) {
+			t.Fatalf("%s: golden differs: %+v vs %+v", tool, res.Golden, want.Golden)
+		}
+		// Figure cells.
+		cell, ok := fd.CellFor("qsort", tool)
+		if !ok {
+			t.Fatalf("missing cell for %s", tool)
+		}
+		if !reflect.DeepEqual(cell.Breakdown, opt.Parser.ParseAll(want.Records)) {
+			t.Fatalf("%s: cell breakdown differs from serial reference", tool)
+		}
+		if !reflect.DeepEqual(cell.Golden, want.Golden) {
+			t.Fatalf("%s: cell golden differs: %+v vs %+v", tool, cell.Golden, want.Golden)
+		}
+	}
+	// One golden simulation per {tool, benchmark} row for the whole
+	// matrix — the serial path performed two per structure campaign.
+	if got, want := cache.Runs(), len(opt.tools()); got != want {
+		t.Fatalf("golden runs = %d, want exactly %d (one per row)", got, want)
+	}
+}
+
+// A two-figure matrix over the same rows must still run each row's
+// golden exactly once, and produce the same figures as figure-at-a-time
+// runs.
+func TestRunFiguresSharesGoldensAcrossFigures(t *testing.T) {
+	opt := Options{
+		Injections: 5,
+		Seed:       3,
+		Benchmarks: []string{"qsort"},
+		Tools:      []string{sims.MaFINX86, sims.GeFINARM},
+		Workers:    4,
+	}
+	specs := []FigureSpec{Figures[0], Figures[4]} // rf.int and lsq.data
+	cache := core.NewGoldenCache()
+	opt.GoldenCache = cache
+	fds, err := RunFigures(specs, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fds) != 2 {
+		t.Fatalf("figures %d, want 2", len(fds))
+	}
+	if got, want := cache.Runs(), 2; got != want {
+		t.Fatalf("golden runs = %d, want %d (2 rows, shared across 2 figures)", got, want)
+	}
+	for i, spec := range specs {
+		solo, err := RunFigure(spec, Options{
+			Injections: 5, Seed: 3, Benchmarks: opt.Benchmarks,
+			Tools: opt.Tools, Workers: 1,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fds[i].Cells, solo.Cells) {
+			t.Fatalf("fig %d: matrix cells differ from solo run:\n%+v\nvs\n%+v",
+				spec.ID, fds[i].Cells, solo.Cells)
+		}
+	}
+}
+
+// The memoized LiveOnly probe must reproduce the twin-replay population
+// and records exactly.
+func TestLiveOnlyMatchesTwinProbeReference(t *testing.T) {
+	opt := Options{
+		Injections: 6,
+		Seed:       2,
+		Benchmarks: []string{"qsort"},
+		Tools:      []string{sims.GeFINX86},
+		Workers:    2,
+		LiveOnly:   true,
+	}
+	want := serialReference(t, sims.GeFINX86, "qsort", "l2.data", opt)
+	res, err := RunCampaignFor(sims.GeFINX86, "qsort", "l2.data", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Records, want.Records) {
+		t.Fatalf("LiveOnly scheduler records differ from twin-probe reference:\n%+v\nvs\n%+v",
+			res.Records, want.Records)
+	}
+}

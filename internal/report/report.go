@@ -9,7 +9,9 @@ package report
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -70,6 +72,14 @@ type Options struct {
 	// large-structure comparisons (L2, Fig. 5) that uniform sampling
 	// over mostly-dead arrays cannot resolve.
 	LiveOnly bool
+	// UseCheckpoint shares each {tool, benchmark} row's fault-free
+	// prefix across its campaigns via a drained-machine checkpoint (see
+	// core.CampaignSpec.UseCheckpoint for the outcome caveat).
+	UseCheckpoint bool
+	// GoldenCache, when non-nil, memoizes golden runs across report
+	// calls; by default each RunFigures/RunCampaignFor call uses a
+	// private cache.
+	GoldenCache *core.GoldenCache
 }
 
 func (o Options) benchmarks() []string {
@@ -91,6 +101,20 @@ func (o Options) injections() int {
 		return o.Injections
 	}
 	return 200
+}
+
+func (o Options) goldenCache() *core.GoldenCache {
+	if o.GoldenCache != nil {
+		return o.GoldenCache
+	}
+	return core.NewGoldenCache()
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Cell is one campaign of a figure: one bar of the paper's charts.
@@ -121,49 +145,48 @@ func seedFor(base int64, fig int, bench, tool string) int64 {
 	return int64(h & (1<<62 - 1))
 }
 
-// RunCampaignFor runs one {tool, benchmark, structure} campaign.
-func RunCampaignFor(tool, bench, structure string, opt Options) (*core.CampaignResult, error) {
+// campaignSpecFor builds the scheduler spec of one {tool, benchmark,
+// structure} campaign: golden reference and structure geometry come from
+// the memoized golden run of the row, the masks from the deterministic
+// per-campaign seed.
+func campaignSpecFor(tool, bench, structure string, opt Options, cache *core.GoldenCache) (core.CampaignSpec, error) {
 	w, err := workload.ByName(bench)
 	if err != nil {
-		return nil, err
+		return core.CampaignSpec{}, err
 	}
 	factory, err := sims.Factory(tool, w)
 	if err != nil {
-		return nil, err
+		return core.CampaignSpec{}, err
 	}
-	golden, err := core.Golden(factory)
+	golden, err := cache.Golden(tool, bench, factory)
 	if err != nil {
-		return nil, fmt.Errorf("report: golden %s/%s: %w", tool, bench, err)
+		return core.CampaignSpec{}, fmt.Errorf("report: golden %s/%s: %w", tool, bench, err)
 	}
-	sim := factory()
-	arr, ok := sim.Structures()[structure]
+	entries, bits, ok, err := cache.Geometry(tool, bench, factory, structure)
+	if err != nil {
+		return core.CampaignSpec{}, err
+	}
 	if !ok {
-		return nil, fmt.Errorf("report: %s has no structure %q", tool, structure)
+		return core.CampaignSpec{}, fmt.Errorf("report: %s has no structure %q", tool, structure)
 	}
 	masks, err := fault.Generate(fault.GeneratorSpec{
-		Structure: structure, Entries: arr.Entries(), BitsPerEntry: arr.BitsPerEntry(),
+		Structure: structure, Entries: entries, BitsPerEntry: bits,
 		MaxCycle: golden.Cycles, Model: fault.ModelTransient,
 		Count: opt.injections(), Seed: seedFor(opt.Seed, 0, bench, tool+structure),
 	})
 	if err != nil {
-		return nil, err
+		return core.CampaignSpec{}, err
 	}
 	if opt.LiveOnly {
-		// Replay the golden run on a twin machine and remap every mask
-		// entry onto the set of entries holding live data at its end.
-		twin := factory()
-		if res := twin.Run(1 << 62); res.Status != core.RunCompleted {
-			return nil, fmt.Errorf("report: live-entry probe run: %v", res.Status)
-		}
-		tarr := twin.Structures()[structure]
-		var live []int
-		for e := 0; e < tarr.Entries(); e++ {
-			if tarr.EntryValid(e) {
-				live = append(live, e)
-			}
+		// Remap every mask entry onto the set of entries holding live
+		// data at the end of the golden run, probed on the memoized
+		// golden machine instead of a fresh twin replay.
+		live, err := cache.LiveEntries(tool, bench, factory, structure)
+		if err != nil {
+			return core.CampaignSpec{}, err
 		}
 		if len(live) == 0 {
-			return nil, fmt.Errorf("report: %s/%s: no live entries in %s", tool, bench, structure)
+			return core.CampaignSpec{}, fmt.Errorf("report: %s/%s: no live entries in %s", tool, bench, structure)
 		}
 		for i := range masks {
 			for j := range masks[i].Sites {
@@ -171,13 +194,28 @@ func RunCampaignFor(tool, bench, structure string, opt Options) (*core.CampaignR
 			}
 		}
 	}
-	res, err := core.RunCampaign(core.CampaignSpec{
-		Tool: sim.Name(), Benchmark: bench, Structure: structure,
+	return core.CampaignSpec{
+		Tool: golden.Tool, Benchmark: bench, Structure: structure,
 		Masks: masks, Factory: factory, TimeoutFactor: 3, Workers: opt.Workers,
+		UseCheckpoint: opt.UseCheckpoint,
+		Golden:        &golden,
+	}, nil
+}
+
+// RunCampaignFor runs one {tool, benchmark, structure} campaign.
+func RunCampaignFor(tool, bench, structure string, opt Options) (*core.CampaignResult, error) {
+	cache := opt.goldenCache()
+	spec, err := campaignSpecFor(tool, bench, structure, opt, cache)
+	if err != nil {
+		return nil, err
+	}
+	results, err := core.RunMatrix([]core.CampaignSpec{spec}, core.MatrixOptions{
+		Workers: opt.Workers, Golden: cache,
 	})
 	if err != nil {
 		return nil, err
 	}
+	res := results[0]
 	if opt.Logs != nil {
 		key := fault.CampaignKey(tool, bench, structure)
 		if err := opt.Logs.Store(key, res); err != nil {
@@ -189,25 +227,108 @@ func RunCampaignFor(tool, bench, structure string, opt Options) (*core.CampaignR
 
 // RunFigure reproduces one classification figure.
 func RunFigure(spec FigureSpec, opt Options, progress io.Writer) (*FigureData, error) {
-	fd := &FigureData{Spec: spec}
-	for _, bench := range opt.benchmarks() {
-		for _, tool := range opt.tools() {
-			if progress != nil {
-				fmt.Fprintf(progress, "fig %d: %s / %s (%d injections)\n",
-					spec.ID, bench, sims.ShortLabel(tool), opt.injections())
+	fds, err := RunFigures([]FigureSpec{spec}, opt, progress)
+	if err != nil {
+		return nil, err
+	}
+	return fds[0], nil
+}
+
+// RunFigures reproduces several classification figures through the
+// cross-campaign matrix scheduler: every {figure, benchmark, tool}
+// campaign is flattened into one shared run queue executed by a single
+// global worker pool, the golden reference of each {tool, benchmark} row
+// is simulated exactly once for the whole matrix, and (UseCheckpoint)
+// each row's fault-free prefix checkpoint is shared across its
+// structures. Output is deterministic for a fixed seed and identical to
+// running the campaigns one at a time.
+func RunFigures(specs []FigureSpec, opt Options, progress io.Writer) ([]*FigureData, error) {
+	cache := opt.goldenCache()
+	prewarmGoldens(opt, cache)
+
+	// cell identifies one campaign of the flattened matrix: which figure
+	// it belongs to plus the {tool, benchmark} ids its Cell carries.
+	type cell struct {
+		fig         int
+		tool, bench string
+		key         string
+	}
+	var cspecs []core.CampaignSpec
+	var cells []cell
+	for f, spec := range specs {
+		for _, bench := range opt.benchmarks() {
+			for _, tool := range opt.tools() {
+				if progress != nil {
+					fmt.Fprintf(progress, "fig %d: %s / %s (%d injections)\n",
+						spec.ID, bench, sims.ShortLabel(tool), opt.injections())
+				}
+				cs, err := campaignSpecFor(tool, bench, spec.Structure, opt, cache)
+				if err != nil {
+					return nil, err
+				}
+				cspecs = append(cspecs, cs)
+				cells = append(cells, cell{
+					fig: f, tool: tool, bench: bench,
+					key: fault.CampaignKey(tool, bench, spec.Structure),
+				})
 			}
-			res, err := RunCampaignFor(tool, bench, spec.Structure, opt)
-			if err != nil {
-				return nil, err
-			}
-			fd.Cells = append(fd.Cells, Cell{
-				Tool: tool, Benchmark: bench,
-				Breakdown: opt.Parser.ParseAll(res.Records),
-				Golden:    res.Golden,
-			})
 		}
 	}
-	return fd, nil
+
+	results, err := core.RunMatrix(cspecs, core.MatrixOptions{Workers: opt.Workers, Golden: cache})
+	if err != nil {
+		return nil, err
+	}
+	if opt.Logs != nil {
+		for i, res := range results {
+			if err := opt.Logs.Store(cells[i].key, res); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	fds := make([]*FigureData, len(specs))
+	for f, spec := range specs {
+		fds[f] = &FigureData{Spec: spec}
+	}
+	for i, res := range results {
+		c := cells[i]
+		fds[c.fig].Cells = append(fds[c.fig].Cells, Cell{
+			Tool: c.tool, Benchmark: c.bench,
+			Breakdown: opt.Parser.ParseAll(res.Records),
+			Golden:    res.Golden,
+		})
+	}
+	return fds, nil
+}
+
+// prewarmGoldens runs the golden reference of every {tool, benchmark}
+// row of the matrix in parallel, so rows don't serialize behind the
+// first campaign that needs each. Errors are left in the cache and
+// surface, in deterministic campaign order, when the specs are built.
+func prewarmGoldens(opt Options, cache *core.GoldenCache) {
+	sem := make(chan struct{}, opt.workers())
+	var wg sync.WaitGroup
+	for _, bench := range opt.benchmarks() {
+		for _, tool := range opt.tools() {
+			w, err := workload.ByName(bench)
+			if err != nil {
+				continue
+			}
+			factory, err := sims.Factory(tool, w)
+			if err != nil {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(tool, bench string, factory core.Factory) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				_, _ = cache.Golden(tool, bench, factory)
+			}(tool, bench, factory)
+		}
+	}
+	wg.Wait()
 }
 
 // CellFor returns the cell of one benchmark and tool.
