@@ -18,6 +18,7 @@ import (
 	"repro/internal/marss"
 	"repro/internal/report"
 	"repro/internal/sims"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -385,6 +386,65 @@ func BenchmarkMatrixScheduler(b *testing.B) {
 
 func benchName(prefix string, n int) string {
 	return fmt.Sprintf("%s-%d", prefix, n)
+}
+
+// BenchmarkMatrixSchedulerTelemetry is BenchmarkMatrixScheduler with the
+// telemetry layer fully attached — collector, golden source, and a
+// buffering trace sink — pinning the observability overhead against the
+// bare scheduler (acceptance: within 2%).
+func BenchmarkMatrixSchedulerTelemetry(b *testing.B) {
+	w, err := workload.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, err := sims.Factory(sims.GeFINX86, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := core.NewGoldenCache()
+	golden, err := cache.Golden(sims.GeFINX86, "qsort", factory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buildSpecs := func() []core.CampaignSpec {
+		var specs []core.CampaignSpec
+		for _, structure := range []string{"rf.int", "lsq.data"} {
+			entries, bits, ok, err := cache.Geometry(sims.GeFINX86, "qsort", factory, structure)
+			if err != nil || !ok {
+				b.Fatalf("geometry %s: ok=%v err=%v", structure, ok, err)
+			}
+			masks, err := fault.Generate(fault.GeneratorSpec{
+				Structure: structure, Entries: entries, BitsPerEntry: bits,
+				MaxCycle: golden.Cycles, Model: fault.ModelTransient, Count: 10, Seed: 41,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			specs = append(specs, core.CampaignSpec{
+				Tool: sims.GeFINX86, Benchmark: "qsort", Structure: structure,
+				Masks: masks, Factory: factory, TimeoutFactor: 3,
+			})
+		}
+		return specs
+	}
+	for _, mode := range []struct {
+		name string
+		tel  bool
+	}{{"bare", false}, {"collector+trace", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.MatrixOptions{Workers: 8}
+				if mode.tel {
+					collector := telemetry.New()
+					collector.AddSink(telemetry.NewTraceSink())
+					opts.Telemetry = collector
+				}
+				if _, err := core.RunMatrix(buildSpecs(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkDataArrayAblation measures the §III.C cost of modelling the

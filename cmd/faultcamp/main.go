@@ -4,11 +4,18 @@
 // to a fresh simulator instance through the injector dispatcher, and
 // stores the raw run logs in a logs repository for classify to parse.
 //
+// While a campaign executes, the telemetry layer reports progress
+// (runs/s, simulated Mcycles/s, worker utilization, outcome drift) on
+// stderr, optionally serves live JSON/Prometheus snapshots plus pprof on
+// -metrics-addr, and (-trace) writes a JSONL injection trace next to the
+// logs.
+//
 // Example:
 //
 //	faultcamp -tool mafin-x86 -bench qsort -structure lsq.data \
 //	          -masks masksrepo -logs logsrepo
-//	faultcamp -tool gefin-arm -bench sha -structure l1d.data -n 500 -logs logsrepo
+//	faultcamp -tool gefin-arm -bench sha -structure l1d.data -n 500 -logs logsrepo \
+//	          -trace -metrics-addr 127.0.0.1:8321
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/sims"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -36,6 +44,11 @@ func main() {
 	timeoutFactor := flag.Uint64("timeout-factor", 3, "cycle limit as a multiple of the fault-free run")
 	noEarlyStop := flag.Bool("no-early-stop", false, "disable the §III.B early-stop optimizations")
 	checkpoint := flag.Bool("checkpoint", false, "share the fault-free prefix via a drained-machine checkpoint")
+	quiet := flag.Bool("quiet", false, "suppress the periodic progress lines (the final summary stays)")
+	progressEvery := flag.Duration("progress-every", 2*time.Second, "period of the progress lines")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and /debug/pprof on this address (e.g. 127.0.0.1:8321)")
+	traceOn := flag.Bool("trace", false, "write a JSONL injection trace (<key>.trace.jsonl) into the logs repository")
+	snapshotJSON := flag.String("snapshot-json", "", "write the final telemetry snapshot as JSON to this file")
 	flag.Parse()
 
 	w, err := workload.ByName(*bench)
@@ -84,6 +97,30 @@ func main() {
 		goldenRef = &golden
 	}
 
+	logs, err := core.NewLogsRepo(*logsDir)
+	if err != nil {
+		fatal(err)
+	}
+
+	collector := telemetry.New()
+	if *metricsAddr != "" {
+		srv, err := collector.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics listening on http://%s (/metrics /snapshot.json /debug/pprof)\n", srv.Addr())
+	}
+	var trace *telemetry.TraceSink
+	if *traceOn {
+		trace = telemetry.NewTraceSink()
+		collector.AddSink(trace)
+	}
+	var rep *telemetry.Reporter
+	if !*quiet {
+		rep = telemetry.StartReporter(collector, os.Stderr, *progressEvery)
+	}
+
 	start := time.Now()
 	results, err := core.RunMatrix([]core.CampaignSpec{{
 		Tool: *tool, Benchmark: *bench, Structure: *structure,
@@ -92,22 +129,49 @@ func main() {
 		DisableEarlyStop: *noEarlyStop,
 		UseCheckpoint:    *checkpoint,
 		Golden:           goldenRef,
-	}}, core.MatrixOptions{Workers: *workers, Golden: cache})
+	}}, core.MatrixOptions{Workers: *workers, Golden: cache, Telemetry: collector})
+	if rep != nil {
+		rep.Stop()
+	}
 	if err != nil {
 		fatal(err)
 	}
 	res := results[0]
-	logs, err := core.NewLogsRepo(*logsDir)
-	if err != nil {
-		fatal(err)
-	}
 	if err := logs.Store(key, res); err != nil {
 		fatal(err)
 	}
+	if trace != nil {
+		f, err := logs.CreateTrace(key)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.Flush(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	snap := collector.Snapshot()
+	if *snapshotJSON != "" {
+		b, err := snap.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*snapshotJSON, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
 	b := core.Parser{}.ParseAll(res.Records)
 	fmt.Printf("campaign %s: %d injections in %.1fs\n", key, len(res.Records), time.Since(start).Seconds())
 	fmt.Printf("  %s\n", b)
 	fmt.Printf("  logs stored in %s\n", logs.Dir())
+	if trace != nil {
+		fmt.Printf("  trace: %s (%d records)\n", logs.TracePath(key), trace.Len())
+	}
+	fmt.Printf("summary: %s\n", snap.SummaryLine())
 }
 
 func fatal(err error) {

@@ -17,9 +17,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/report"
+	"repro/internal/telemetry"
 )
 
 type intList []int
@@ -54,7 +56,20 @@ func main() {
 	groupSim := flag.Bool("group-simcrash", false, "classify simulator crashes as Assert")
 	liveOnly := flag.Bool("live-only", false, "restrict faults to entries live at the end of the golden run (conditional vulnerability)")
 	checkpoint := flag.Bool("checkpoint", false, "share each {tool,benchmark} fault-free prefix via a drained-machine checkpoint")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and /debug/pprof on this address while campaigns run")
+	traceOn := flag.Bool("trace", false, "write a JSONL injection trace (matrix.trace.jsonl) into the -logs repository")
+	progressEvery := flag.Duration("progress-every", 5*time.Second, "period of the campaign progress lines on stderr")
 	flag.Parse()
+
+	collector := telemetry.New()
+	if *metricsAddr != "" {
+		srv, err := collector.Serve(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics listening on http://%s (/metrics /snapshot.json /debug/pprof)\n", srv.Addr())
+	}
 
 	opt := report.Options{
 		Injections:    *n,
@@ -63,6 +78,8 @@ func main() {
 		Parser:        core.Parser{GroupSimCrashWithAssert: *groupSim},
 		LiveOnly:      *liveOnly,
 		UseCheckpoint: *checkpoint,
+		Telemetry:     collector,
+		ProgressEvery: *progressEvery,
 	}
 	if *benchCSV != "" {
 		opt.Benchmarks = strings.Split(*benchCSV, ",")
@@ -76,6 +93,14 @@ func main() {
 			fatal(err)
 		}
 		opt.Logs = repo
+	}
+	var trace *telemetry.TraceSink
+	if *traceOn {
+		if opt.Logs == nil {
+			fatal(fmt.Errorf("-trace requires -logs (the trace lives in the logs repository)"))
+		}
+		trace = telemetry.NewTraceSink()
+		collector.AddSink(trace)
 	}
 
 	if *sampling {
@@ -140,6 +165,20 @@ func main() {
 		datasets, err = report.RunFigures(specs, opt, os.Stderr)
 		if err != nil {
 			fatal(err)
+		}
+		if trace != nil {
+			f, err := opt.Logs.CreateTrace("matrix")
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.Flush(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "trace: %s (%d records)\n",
+				opt.Logs.TracePath("matrix"), trace.Len())
 		}
 	}
 	for i, fd := range datasets {

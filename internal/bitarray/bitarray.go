@@ -109,6 +109,10 @@ type faultState struct {
 	// active reports whether a stuck-at window is currently forcing the
 	// bit (intermittent within window, permanent after start).
 	active bool
+	// observed records the first read that touched the faulty location
+	// after injection, and the Tick cycle it happened at.
+	observed bool
+	obsCycle uint64
 }
 
 // ValidFunc reports whether an entry currently holds live (allocated,
@@ -138,6 +142,15 @@ type Array struct {
 	// Access counters; cheap and useful for the statistics module.
 	reads  uint64
 	writes uint64
+	// Observation slow-path counters: accesses that ran an observe
+	// function because needObs was up. The fast-path hit count the
+	// telemetry layer reports is (reads+writes) - (obsReads+obsWrites);
+	// incrementing only on the slow path keeps the fast path untouched.
+	obsReads  uint64
+	obsWrites uint64
+	// tickCycle is the cycle of the latest Tick, used to stamp the
+	// first-observation cycle of a consumed fault.
+	tickCycle uint64
 }
 
 // New returns an Array named name with entries entries of bitsPerEntry
@@ -176,6 +189,28 @@ func (a *Array) Reads() uint64 { return a.reads }
 
 // Writes returns the number of write accesses performed so far.
 func (a *Array) Writes() uint64 { return a.writes }
+
+// ObservedReads returns the reads that took the observation slow path;
+// Reads() - ObservedReads() is the fast-path read hit count.
+func (a *Array) ObservedReads() uint64 { return a.obsReads }
+
+// ObservedWrites returns the writes that took the observation slow path.
+func (a *Array) ObservedWrites() uint64 { return a.obsWrites }
+
+// FirstObservation returns the cycle of the earliest read that consumed
+// any armed fault's location after injection, and whether one happened.
+func (a *Array) FirstObservation() (uint64, bool) {
+	min, ok := ^uint64(0), false
+	for _, fs := range a.faults {
+		if fs.observed && fs.obsCycle < min {
+			min, ok = fs.obsCycle, true
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	return min, true
+}
 
 // SetValidFunc attaches a validity probe used by the invalid-entry early
 // stop. A nil probe means every entry is considered valid.
@@ -313,6 +348,7 @@ func (a *Array) Reset() {
 		a.data[i] = 0
 	}
 	a.reads, a.writes = 0, 0
+	a.obsReads, a.obsWrites = 0, 0
 }
 
 // Snapshot returns a copy of the raw storage, for checkpointing.
@@ -420,6 +456,7 @@ func (a *Array) Tick(cycle uint64) Status {
 	if len(a.faults) == 0 {
 		return StatusNone
 	}
+	a.tickCycle = cycle
 	for _, fs := range a.faults {
 		switch fs.status {
 		case StatusArmed:
@@ -463,6 +500,7 @@ func (fs *faultState) stuckActive() bool {
 // observeRead is called on every word read when faults are armed. It
 // applies stuck-at forcing and records read consumption.
 func (a *Array) observeRead(entry, firstBit, nbits int, v uint64) uint64 {
+	a.obsReads++
 	changed := false
 	for _, fs := range a.faults {
 		if fs.status != StatusLive && fs.status != StatusConsumed {
@@ -480,6 +518,9 @@ func (a *Array) observeRead(entry, firstBit, nbits int, v uint64) uint64 {
 			}
 		}
 		changed = changed || fs.status != StatusConsumed
+		if !fs.observed {
+			fs.observed, fs.obsCycle = true, a.tickCycle
+		}
 		fs.status = StatusConsumed
 	}
 	if changed {
@@ -492,6 +533,7 @@ func (a *Array) observeRead(entry, firstBit, nbits int, v uint64) uint64 {
 // live transient fault a covering write that lands before any read proves
 // masking. For an active stuck-at fault the cell refuses the new bit.
 func (a *Array) observeWrite(entry, firstBit, nbits int, v uint64) uint64 {
+	a.obsWrites++
 	changed := false
 	for _, fs := range a.faults {
 		if entry != fs.f.Entry || fs.f.Bit < firstBit || fs.f.Bit >= firstBit+nbits {
@@ -519,6 +561,7 @@ func (a *Array) observeWrite(entry, firstBit, nbits int, v uint64) uint64 {
 
 // observeReadBytes applies fault observation to a byte-range read result.
 func (a *Array) observeReadBytes(entry, off, n int, dst []byte) {
+	a.obsReads++
 	first := off * 8
 	changed := false
 	for _, fs := range a.faults {
@@ -538,6 +581,9 @@ func (a *Array) observeReadBytes(entry, off, n int, dst []byte) {
 			}
 		}
 		changed = changed || fs.status != StatusConsumed
+		if !fs.observed {
+			fs.observed, fs.obsCycle = true, a.tickCycle
+		}
 		fs.status = StatusConsumed
 	}
 	if changed {
@@ -549,6 +595,7 @@ func (a *Array) observeReadBytes(entry, off, n int, dst []byte) {
 // returns the (possibly forced) bytes to store; it never modifies src in
 // place.
 func (a *Array) observeWriteBytes(entry, off int, src []byte) []byte {
+	a.obsWrites++
 	first := off * 8
 	out := src
 	changed := false

@@ -1,0 +1,116 @@
+package bitarray
+
+import "testing"
+
+// Fault-free traffic must never touch the observation counters, and
+// slow-path traffic must count exactly the accesses made while the
+// observation gate is up — the invariant behind the telemetry layer's
+// fast-path hit rate.
+func TestObservationCounters(t *testing.T) {
+	a := New("s", 4, 64)
+	a.WriteUint64(1, 42)
+	a.ReadUint64(1)
+	if a.ObservedReads() != 0 || a.ObservedWrites() != 0 {
+		t.Fatalf("fault-free traffic took the slow path: %d reads, %d writes",
+			a.ObservedReads(), a.ObservedWrites())
+	}
+
+	a.Arm(Fault{Kind: Transient, Entry: 1, Bit: 5, Start: 10})
+	a.Tick(10) // injection: live, gate up
+	a.WriteUint64(2, 7)
+	a.ReadUint64(2)
+	if a.ObservedReads() != 1 || a.ObservedWrites() != 1 {
+		t.Fatalf("live-fault traffic = %d/%d observed reads/writes, want 1/1",
+			a.ObservedReads(), a.ObservedWrites())
+	}
+
+	a.ReadUint64(1) // consumes the transient: gate drops
+	if a.ObservedReads() != 2 {
+		t.Fatalf("consuming read not counted: %d", a.ObservedReads())
+	}
+	a.ReadUint64(1)
+	a.WriteUint64(1, 9)
+	if a.ObservedReads() != 2 || a.ObservedWrites() != 1 {
+		t.Fatalf("post-consumption traffic took the slow path: %d/%d",
+			a.ObservedReads(), a.ObservedWrites())
+	}
+	if a.Reads() != 4 || a.Writes() != 3 {
+		t.Fatalf("total accesses = %d/%d reads/writes, want 4/3", a.Reads(), a.Writes())
+	}
+}
+
+// The byte-range accessors share the same counters and first-observation
+// stamping as the word accessors.
+func TestObservationCountersByteRange(t *testing.T) {
+	a := New("s", 4, 64)
+	a.WriteUint64(0, 0xffff)
+	a.Arm(Fault{Kind: Transient, Entry: 0, Bit: 3, Start: 7})
+	a.Tick(7)
+	buf := make([]byte, 8)
+	a.ReadBytes(0, 0, buf)
+	if a.ObservedReads() != 1 {
+		t.Fatalf("byte read not counted: %d", a.ObservedReads())
+	}
+	if cyc, ok := a.FirstObservation(); !ok || cyc != 7 {
+		t.Fatalf("FirstObservation = %d,%v, want 7,true", cyc, ok)
+	}
+}
+
+// FirstObservation must report the Tick cycle of the read that consumed
+// the fault, and stay absent for faults that are never read.
+func TestFirstObservation(t *testing.T) {
+	a := New("s", 4, 64)
+	a.WriteUint64(1, 42)
+	a.Arm(Fault{Kind: Transient, Entry: 1, Bit: 0, Start: 10})
+	if _, ok := a.FirstObservation(); ok {
+		t.Fatal("observation reported before injection")
+	}
+	a.Tick(10)
+	if _, ok := a.FirstObservation(); ok {
+		t.Fatal("observation reported before any read")
+	}
+	a.Tick(25)
+	a.ReadUint64(1)
+	cyc, ok := a.FirstObservation()
+	if !ok || cyc != 25 {
+		t.Fatalf("FirstObservation = %d,%v, want 25,true", cyc, ok)
+	}
+	// Later reads must not move the stamp.
+	a.Tick(40)
+	a.ReadUint64(1)
+	if cyc, _ := a.FirstObservation(); cyc != 25 {
+		t.Fatalf("FirstObservation moved to %d after a later read", cyc)
+	}
+
+	// An overwritten fault is never observed.
+	b := New("s", 4, 64)
+	b.WriteUint64(2, 7)
+	b.Arm(Fault{Kind: Transient, Entry: 2, Bit: 0, Start: 0})
+	b.Tick(0)
+	b.WriteUint64(2, 7)
+	if st := b.FaultStatus(); st != StatusOverwritten {
+		t.Fatalf("status = %v, want StatusOverwritten", st)
+	}
+	if _, ok := b.FirstObservation(); ok {
+		t.Fatal("overwritten fault reported an observation")
+	}
+}
+
+// Reset must clear the observation counters along with the access
+// counters so checkpoint-restored runs start from zero.
+func TestResetClearsObservationCounters(t *testing.T) {
+	a := New("s", 4, 64)
+	a.WriteUint64(0, 1)
+	a.Arm(Fault{Kind: Permanent, Entry: 0, Bit: 0, StuckVal: 1, Start: 0})
+	a.Tick(0)
+	a.ReadUint64(0)
+	a.WriteUint64(0, 2)
+	if a.ObservedReads() == 0 || a.ObservedWrites() == 0 {
+		t.Fatal("setup made no slow-path accesses")
+	}
+	a.Reset()
+	if a.Reads() != 0 || a.Writes() != 0 || a.ObservedReads() != 0 || a.ObservedWrites() != 0 {
+		t.Fatalf("Reset left counters: %d/%d reads, %d/%d observed",
+			a.Reads(), a.Writes(), a.ObservedReads(), a.ObservedWrites())
+	}
+}

@@ -126,10 +126,64 @@ func minSiteCycle(m fault.Mask) uint64 {
 	return min
 }
 
+// runStats is the per-run telemetry gathered from the watched arrays
+// after an injection run finishes: the fault-observation outcome and the
+// fast-path/slow-path access split the telemetry layer aggregates. It is
+// filled only when a collector is attached.
+type runStats struct {
+	faultStatus bitarray.Status
+	firstObs    uint64
+	observed    bool
+	reads       uint64
+	writes      uint64
+	obsReads    uint64
+	obsWrites   uint64
+}
+
+// earlyStopReason names the §III.B proof behind an early-masked run.
+func (s *runStats) earlyStopReason() string {
+	switch s.faultStatus {
+	case bitarray.StatusOverwritten:
+		return "overwritten"
+	case bitarray.StatusSkippedInvalid:
+		return "skipped-invalid"
+	default:
+		return ""
+	}
+}
+
+// gather reads the post-run state of the watched arrays.
+func (s *runStats) gather(watch []*bitarray.Array) {
+	for _, arr := range watch {
+		s.reads += arr.Reads()
+		s.writes += arr.Writes()
+		s.obsReads += arr.ObservedReads()
+		s.obsWrites += arr.ObservedWrites()
+		if c, ok := arr.FirstObservation(); ok && (!s.observed || c < s.firstObs) {
+			s.observed, s.firstObs = true, c
+		}
+		switch st := arr.FaultStatus(); st {
+		case bitarray.StatusOverwritten:
+			s.faultStatus = st
+		case bitarray.StatusSkippedInvalid:
+			if s.faultStatus != bitarray.StatusOverwritten {
+				s.faultStatus = st
+			}
+		}
+	}
+}
+
 // RunOneFrom executes a single injection run, seeding the machine from
 // checkpoint cp (taken at cpCycle) when every fault of the mask starts
 // beyond it.
 func RunOneFrom(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool) (LogRecord, error) {
+	return runInjection(f, cp, cpCycle, m, golden, timeoutFactor, earlyStop, nil)
+}
+
+// runInjection is RunOneFrom plus optional telemetry gathering; stats is
+// nil when no collector is attached, keeping the uninstrumented path
+// identical to the pre-telemetry one.
+func runInjection(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool, stats *runStats) (LogRecord, error) {
 	sim := f()
 	if cp != nil && minSiteCycle(m) > cpCycle {
 		if ck, ok := sim.(Checkpointer); ok {
@@ -158,6 +212,9 @@ func RunOneFrom(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenIn
 		timeoutFactor = 3
 	}
 	res := sim.Run(golden.Cycles * timeoutFactor)
+	if stats != nil {
+		stats.gather(watch)
+	}
 
 	rec := LogRecord{
 		MaskID:        m.ID,

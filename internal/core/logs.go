@@ -55,6 +55,22 @@ func (r *LogsRepo) Store(key string, res *CampaignResult) error {
 	return f.Close()
 }
 
+// CreateTrace creates (truncating) the JSONL injection trace file named
+// name+".trace.jsonl" in the repository — the opt-in per-injection
+// debugging record stream that lives next to the campaign logs.
+func (r *LogsRepo) CreateTrace(name string) (*os.File, error) {
+	f, err := os.Create(r.TracePath(name))
+	if err != nil {
+		return nil, fmt.Errorf("core: creating trace for %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// TracePath returns the trace file path for a name.
+func (r *LogsRepo) TracePath(name string) string {
+	return filepath.Join(r.dir, name+".trace.jsonl")
+}
+
 // Load reads one campaign's result back.
 func (r *LogsRepo) Load(key string) (*CampaignResult, error) {
 	f, err := os.Open(r.file(key))

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/telemetry"
 )
 
 // GoldenCache memoizes fault-free reference runs per {tool, benchmark}.
@@ -17,6 +21,7 @@ type GoldenCache struct {
 	mu      sync.Mutex
 	entries map[goldenKey]*goldenEntry
 	runs    int
+	calls   int
 }
 
 type goldenKey struct{ tool, bench string }
@@ -53,6 +58,9 @@ func (c *GoldenCache) entry(tool, bench string) *goldenEntry {
 // and fills the cell-specific fields.
 func (c *GoldenCache) Golden(tool, bench string, f Factory) (GoldenInfo, error) {
 	e := c.entry(tool, bench)
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
 	e.once.Do(func() {
 		e.golden, e.sim, e.err = goldenRun(f)
 		e.golden.Benchmark = bench
@@ -79,6 +87,20 @@ func (c *GoldenCache) Runs() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.runs
+}
+
+// Stats reports the golden lookups split into performed simulations and
+// memoized hits — the golden-cache hit-rate gauge of the telemetry
+// snapshot. (Geometry and LiveEntries lookups route through Golden, so
+// their reuse of the memoized machine counts as hits too.)
+func (c *GoldenCache) Stats() (runs, hits int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	hits = c.calls - c.runs
+	if hits < 0 {
+		hits = 0
+	}
+	return c.runs, hits
 }
 
 // Geometry returns the {entries, bitsPerEntry} geometry of one structure
@@ -141,6 +163,12 @@ type MatrixOptions struct {
 	// calls (e.g. across the five figures of a full reproduction). When
 	// nil the call uses a private cache.
 	Golden *GoldenCache
+	// Telemetry, when non-nil, receives one run-end event per injection
+	// run plus queue/worker/golden-cache counters. A nil collector costs
+	// nothing on the run path. Events are classified with the default
+	// Parser; the logs repository remains the source for reconfigurable
+	// offline classification.
+	Telemetry *telemetry.Collector
 }
 
 // scheduledRun is one injection run of the flattened matrix queue.
@@ -255,6 +283,31 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 		workers = len(queue)
 	}
 
+	// Telemetry: register every campaign row up front so the run path
+	// never allocates or locks, and let the snapshot pull golden-cache
+	// statistics live.
+	tel := opt.Telemetry
+	var camps []*telemetry.CampaignStats
+	var keys []string
+	if tel != nil {
+		tel.SetGoldenSource(func() (uint64, uint64) {
+			r, h := cache.Stats()
+			return uint64(r), uint64(h) //nolint:gosec // counters are non-negative
+		})
+		tel.Start(workers)
+		tel.AddQueued(len(queue))
+		camps = make([]*telemetry.CampaignStats, len(specs))
+		keys = make([]string, len(specs))
+		for i, spec := range specs {
+			tool := spec.Tool
+			if tool == "" {
+				tool = preps[i].golden.Tool
+			}
+			keys[i] = fault.CampaignKey(tool, spec.Benchmark, spec.Structure)
+			camps[i] = tel.Campaign(keys[i], tool, spec.Benchmark, spec.Structure)
+		}
+	}
+
 	var (
 		mu          sync.Mutex
 		next        int
@@ -287,13 +340,46 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 				r := queue[i]
 				spec := &specs[r.spec]
 				prep := &preps[r.spec]
-				rec, err := RunOneFrom(spec.Factory, prep.cp, prep.cpCycle, spec.Masks[r.mask],
-					prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop)
+				var stats *runStats
+				var runStart time.Time
+				if tel != nil {
+					tel.RunStarted()
+					stats = new(runStats)
+					runStart = time.Now()
+				}
+				rec, err := runInjection(spec.Factory, prep.cp, prep.cpCycle, spec.Masks[r.mask],
+					prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, stats)
 				if err != nil {
 					fail(i, err)
 					return
 				}
 				records[r.spec][r.mask] = rec
+				if tel != nil {
+					cls, _ := (Parser{}).Classify(rec)
+					early := ""
+					if rec.Status == RunEarlyMasked.String() {
+						early = stats.earlyStopReason()
+					}
+					tel.RunDone(camps[r.spec], telemetry.RunEvent{
+						Campaign:       keys[r.spec],
+						Tool:           camps[r.spec].Tool,
+						Benchmark:      spec.Benchmark,
+						Structure:      spec.Structure,
+						MaskID:         rec.MaskID,
+						Sites:          rec.Sites,
+						Status:         rec.Status,
+						Class:          string(cls),
+						Cycles:         rec.Cycles,
+						Wall:           time.Since(runStart),
+						Observed:       stats.observed,
+						FirstObsCycle:  stats.firstObs,
+						EarlyStop:      early,
+						WatchedReads:   stats.reads,
+						WatchedWrites:  stats.writes,
+						ObservedReads:  stats.obsReads,
+						ObservedWrites: stats.obsWrites,
+					})
+				}
 			}
 		}()
 	}

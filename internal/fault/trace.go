@@ -1,0 +1,65 @@
+package fault
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceRecord is one row of the JSONL injection trace that sits next to
+// the campaign logs in the logs repository. Where a core.LogRecord keeps
+// the raw run outcome for offline (re-)classification, a TraceRecord is
+// the debugging view of one injection: where the fault landed (the mask
+// coordinates), when the machine first observed it, and what the default
+// classification made of the run. Records carry no wall-clock fields, so
+// a trace written for a fixed seed is byte-stable across runs and worker
+// counts.
+type TraceRecord struct {
+	// Campaign is the {tool, benchmark, structure} campaign key.
+	Campaign string `json:"campaign"`
+	// MaskID and Sites are the injected mask's coordinates.
+	MaskID int    `json:"mask_id"`
+	Sites  []Site `json:"sites"`
+	// Status is the raw run status; Class is the default parser's
+	// classification of the run.
+	Status string `json:"status"`
+	Class  string `json:"class"`
+	// Cycles is the simulated cycle count of the run.
+	Cycles uint64 `json:"cycles"`
+	// Observed reports whether any read consumed the faulty location;
+	// FirstObsCycle is the cycle of the earliest such read.
+	Observed      bool   `json:"observed"`
+	FirstObsCycle uint64 `json:"first_obs_cycle,omitempty"`
+	// EarlyStop names the §III.B proof that ended an early-masked run
+	// ("overwritten" or "skipped-invalid").
+	EarlyStop string `json:"early_stop,omitempty"`
+}
+
+// WriteTrace encodes records as JSON lines.
+func WriteTrace(w io.Writer, recs []TraceRecord) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("fault: writing trace record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL injection trace.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	dec := json.NewDecoder(r)
+	var recs []TraceRecord
+	for {
+		var rec TraceRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return recs, nil
+			}
+			return nil, fmt.Errorf("fault: reading trace record %d: %w", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+}

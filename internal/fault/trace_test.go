@@ -1,0 +1,81 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	recs := []TraceRecord{
+		{
+			Campaign: "gefin-x86__qsort__rf.int",
+			MaskID:   0,
+			Sites:    []Site{{Structure: "rf.int", Entry: 3, Bit: 7, Cycle: 120}},
+			Status:   "completed",
+			Class:    "Masked",
+			Cycles:   4096,
+		},
+		{
+			Campaign:      "gefin-x86__qsort__rf.int",
+			MaskID:        1,
+			Sites:         []Site{{Structure: "rf.int", Entry: 1, Bit: 0, Cycle: 10}},
+			Status:        "completed",
+			Class:         "SDC",
+			Cycles:        4100,
+			Observed:      true,
+			FirstObsCycle: 42,
+		},
+		{
+			Campaign:  "gefin-x86__qsort__rf.int",
+			MaskID:    2,
+			Sites:     []Site{{Structure: "rf.int", Entry: 2, Bit: 5, Cycle: 9}},
+			Status:    "early-masked",
+			Class:     "Masked",
+			Cycles:    200,
+			EarlyStop: "overwritten",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != len(recs) {
+		t.Fatalf("trace has %d lines, want %d", got, len(recs))
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("round-trip returned %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i].Campaign != recs[i].Campaign || back[i].MaskID != recs[i].MaskID ||
+			back[i].Class != recs[i].Class || back[i].FirstObsCycle != recs[i].FirstObsCycle ||
+			back[i].EarlyStop != recs[i].EarlyStop || len(back[i].Sites) != len(recs[i].Sites) {
+			t.Fatalf("record %d mangled: got %+v want %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestTraceOmitsEmptyOptionalFields(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTrace(&buf, []TraceRecord{{Campaign: "k", Status: "completed", Class: "Masked"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "first_obs_cycle") || strings.Contains(buf.String(), "early_stop") {
+		t.Fatalf("unobserved record carries optional fields: %s", buf.String())
+	}
+}
+
+func TestReadTraceEmpty(t *testing.T) {
+	recs, err := ReadTrace(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("empty trace returned %d records", len(recs))
+	}
+}

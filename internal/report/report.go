@@ -12,10 +12,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/sims"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -80,6 +82,14 @@ type Options struct {
 	// calls; by default each RunFigures/RunCampaignFor call uses a
 	// private cache.
 	GoldenCache *core.GoldenCache
+	// Telemetry, when non-nil, aggregates scheduler events across report
+	// calls (live metrics snapshots, trace sinks). When nil and a
+	// progress writer is passed, RunFigures uses a private collector to
+	// drive the periodic progress lines.
+	Telemetry *telemetry.Collector
+	// ProgressEvery sets the period of the progress reporter lines
+	// written to the progress writer (default 5s).
+	ProgressEvery time.Duration
 }
 
 func (o Options) benchmarks() []string {
@@ -210,7 +220,7 @@ func RunCampaignFor(tool, bench, structure string, opt Options) (*core.CampaignR
 		return nil, err
 	}
 	results, err := core.RunMatrix([]core.CampaignSpec{spec}, core.MatrixOptions{
-		Workers: opt.Workers, Golden: cache,
+		Workers: opt.Workers, Golden: cache, Telemetry: opt.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -242,6 +252,11 @@ func RunFigure(spec FigureSpec, opt Options, progress io.Writer) (*FigureData, e
 // each row's fault-free prefix checkpoint is shared across its
 // structures. Output is deterministic for a fixed seed and identical to
 // running the campaigns one at a time.
+//
+// A non-nil progress writer receives structured periodic progress lines
+// (runs/s, Mcycles/s, worker utilization, outcome drift) from the
+// telemetry collector — opt.Telemetry when set, a private one otherwise
+// — instead of the old one-line-per-campaign prints.
 func RunFigures(specs []FigureSpec, opt Options, progress io.Writer) ([]*FigureData, error) {
 	cache := opt.goldenCache()
 	prewarmGoldens(opt, cache)
@@ -258,10 +273,6 @@ func RunFigures(specs []FigureSpec, opt Options, progress io.Writer) ([]*FigureD
 	for f, spec := range specs {
 		for _, bench := range opt.benchmarks() {
 			for _, tool := range opt.tools() {
-				if progress != nil {
-					fmt.Fprintf(progress, "fig %d: %s / %s (%d injections)\n",
-						spec.ID, bench, sims.ShortLabel(tool), opt.injections())
-				}
 				cs, err := campaignSpecFor(tool, bench, spec.Structure, opt, cache)
 				if err != nil {
 					return nil, err
@@ -275,9 +286,33 @@ func RunFigures(specs []FigureSpec, opt Options, progress io.Writer) ([]*FigureD
 		}
 	}
 
-	results, err := core.RunMatrix(cspecs, core.MatrixOptions{Workers: opt.Workers, Golden: cache})
+	collector := opt.Telemetry
+	if collector == nil && progress != nil {
+		collector = telemetry.New()
+	}
+	totalRuns := 0
+	for _, cs := range cspecs {
+		totalRuns += len(cs.Masks)
+	}
+	var rep *telemetry.Reporter
+	if progress != nil {
+		fmt.Fprintf(progress, "matrix: %d figures, %d campaigns, %d injection runs\n",
+			len(specs), len(cspecs), totalRuns)
+		rep = telemetry.StartReporter(collector, progress, opt.ProgressEvery)
+		defer rep.Stop()
+	}
+
+	results, err := core.RunMatrix(cspecs, core.MatrixOptions{
+		Workers: opt.Workers, Golden: cache, Telemetry: collector,
+	})
+	if rep != nil {
+		rep.Stop()
+	}
 	if err != nil {
 		return nil, err
+	}
+	if progress != nil {
+		fmt.Fprintln(progress, collector.Snapshot().SummaryLine())
 	}
 	if opt.Logs != nil {
 		for i, res := range results {

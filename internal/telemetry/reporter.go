@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Reporter periodically prints one-line progress snapshots of a
+// Collector to a writer — the live replacement for the scheduler's old
+// unstructured per-campaign progress prints.
+type Reporter struct {
+	c    *Collector
+	w    io.Writer
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// StartReporter begins printing a progress line every interval (default
+// 5s when interval <= 0). Stop it before reading final results so the
+// last line does not interleave.
+func StartReporter(c *Collector, w io.Writer, interval time.Duration) *Reporter {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	r := &Reporter{c: c, w: w, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				fmt.Fprintln(r.w, r.c.Snapshot().ProgressLine())
+			}
+		}
+	}()
+	return r
+}
+
+// Stop halts the ticker and waits for the printing goroutine to exit.
+// Safe to call more than once.
+func (r *Reporter) Stop() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}

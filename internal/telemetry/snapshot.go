@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time view of the aggregate: every counter plus
+// the derived rate gauges, serializable as JSON and as Prometheus text
+// exposition.
+type Snapshot struct {
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	Workers        int     `json:"workers"`
+
+	RunsQueued  uint64 `json:"runs_queued"`
+	RunsStarted uint64 `json:"runs_started"`
+	RunsDone    uint64 `json:"runs_done"`
+	EarlyStops  uint64 `json:"early_stops"`
+
+	RunsPerSec        float64 `json:"runs_per_sec"`
+	SimCycles         uint64  `json:"sim_cycles"`
+	McyclesPerSec     float64 `json:"mcycles_per_sec"`
+	WorkerUtilization float64 `json:"worker_utilization"`
+
+	GoldenRuns    uint64  `json:"golden_runs"`
+	GoldenHits    uint64  `json:"golden_hits"`
+	GoldenHitRate float64 `json:"golden_hit_rate"`
+
+	WatchedReads   uint64  `json:"watched_reads"`
+	WatchedWrites  uint64  `json:"watched_writes"`
+	ObservedReads  uint64  `json:"observed_reads"`
+	ObservedWrites uint64  `json:"observed_writes"`
+	FastPathRate   float64 `json:"fast_path_rate"`
+
+	StatusCounts map[string]uint64  `json:"status_counts"`
+	ClassCounts  map[string]uint64  `json:"class_counts"`
+	Campaigns    []CampaignSnapshot `json:"campaigns,omitempty"`
+}
+
+// CampaignSnapshot is the per-{tool, benchmark, structure} slice of a
+// Snapshot.
+type CampaignSnapshot struct {
+	Tool      string            `json:"tool"`
+	Benchmark string            `json:"benchmark"`
+	Structure string            `json:"structure"`
+	Runs      uint64            `json:"runs"`
+	Cycles    uint64            `json:"cycles"`
+	Classes   map[string]uint64 `json:"classes"`
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// classOrder is the paper's presentation order for the known classes;
+// anything else (e.g. a coarse NonMasked) sorts after, alphabetically.
+var classOrder = []string{"Masked", "SDC", "DUE", "Timeout", "Crash", "Assert"}
+
+// orderedKeys returns the map keys with the known classes first in
+// presentation order, the rest alphabetical.
+func orderedKeys(m map[string]uint64) []string {
+	rank := make(map[string]int, len(classOrder))
+	for i, c := range classOrder {
+		rank[c] = i
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		ri, iok := rank[keys[i]]
+		rj, jok := rank[keys[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return keys[i] < keys[j]
+		}
+	})
+	return keys
+}
+
+// ProgressLine renders the one-line human-readable progress view the
+// periodic reporter prints.
+func (s Snapshot) ProgressLine() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%7.1fs] %d/%d runs  %.1f runs/s  %.1f Mcyc/s",
+		s.ElapsedSeconds, s.RunsDone, s.RunsQueued, s.RunsPerSec, s.McyclesPerSec)
+	if s.Workers > 0 {
+		fmt.Fprintf(&b, "  util %.0f%%", 100*s.WorkerUtilization)
+	}
+	if s.GoldenRuns+s.GoldenHits > 0 {
+		fmt.Fprintf(&b, "  golden %d+%dhit", s.GoldenRuns, s.GoldenHits)
+	}
+	if s.WatchedReads+s.WatchedWrites > 0 {
+		fmt.Fprintf(&b, "  fastpath %.1f%%", 100*s.FastPathRate)
+	}
+	if cls := s.ClassString(); cls != "" {
+		fmt.Fprintf(&b, "  %s", cls)
+	}
+	return b.String()
+}
+
+// ClassString renders the outcome histogram as "Masked=12 SDC=3 ...".
+func (s Snapshot) ClassString() string {
+	parts := make([]string, 0, len(s.ClassCounts))
+	for _, k := range orderedKeys(s.ClassCounts) {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, s.ClassCounts[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// SummaryLine renders the final one-line campaign summary: outcome
+// counts, wall time, and throughput.
+func (s Snapshot) SummaryLine() string {
+	return fmt.Sprintf("%d runs in %.1fs (%.1f runs/s, %.1f Mcyc/s): %s",
+		s.RunsDone, s.ElapsedSeconds, s.RunsPerSec, s.McyclesPerSec, s.ClassString())
+}
+
+// promEscape escapes a Prometheus label value.
+func promEscape(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format, deterministically ordered. Metric names carry the
+// faultinject_ prefix.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP faultinject_%s %s\n# TYPE faultinject_%s counter\nfaultinject_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP faultinject_%s %s\n# TYPE faultinject_%s gauge\nfaultinject_%s %g\n",
+			name, help, name, name, v)
+	}
+	gauge("elapsed_seconds", "Wall-clock seconds since the collector started.", s.ElapsedSeconds)
+	gauge("workers", "Scheduler worker-pool size.", float64(s.Workers))
+	counter("runs_queued_total", "Injection runs entered into the scheduler queue.", s.RunsQueued)
+	counter("runs_started_total", "Injection runs dispatched to workers.", s.RunsStarted)
+	counter("runs_done_total", "Injection runs finished.", s.RunsDone)
+	counter("early_stops_total", "Runs ended early by a provably-masked fault.", s.EarlyStops)
+	counter("sim_cycles_total", "Simulated cycles across finished runs.", s.SimCycles)
+	gauge("runs_per_second", "Finished runs per wall-clock second.", s.RunsPerSec)
+	gauge("mcycles_per_second", "Simulated megacycles per wall-clock second.", s.McyclesPerSec)
+	gauge("worker_utilization", "Fraction of worker time spent inside runs.", s.WorkerUtilization)
+	counter("golden_runs_total", "Golden reference simulations performed.", s.GoldenRuns)
+	counter("golden_hits_total", "Golden references served from the memoizer.", s.GoldenHits)
+	gauge("golden_hit_rate", "Memoized fraction of golden lookups.", s.GoldenHitRate)
+	counter("watched_reads_total", "Reads of fault-armed arrays.", s.WatchedReads)
+	counter("watched_writes_total", "Writes of fault-armed arrays.", s.WatchedWrites)
+	counter("observed_reads_total", "Reads that took the observation slow path.", s.ObservedReads)
+	counter("observed_writes_total", "Writes that took the observation slow path.", s.ObservedWrites)
+	gauge("fast_path_rate", "Fraction of watched accesses skipping observation.", s.FastPathRate)
+
+	fmt.Fprintf(&b, "# HELP faultinject_status_total Runs by raw run status.\n# TYPE faultinject_status_total counter\n")
+	for _, k := range orderedKeys(s.StatusCounts) {
+		fmt.Fprintf(&b, "faultinject_status_total{status=%q} %d\n", promEscape(k), s.StatusCounts[k])
+	}
+	fmt.Fprintf(&b, "# HELP faultinject_class_total Runs by fault-effect class.\n# TYPE faultinject_class_total counter\n")
+	for _, k := range orderedKeys(s.ClassCounts) {
+		fmt.Fprintf(&b, "faultinject_class_total{class=%q} %d\n", promEscape(k), s.ClassCounts[k])
+	}
+	if len(s.Campaigns) > 0 {
+		fmt.Fprintf(&b, "# HELP faultinject_campaign_class_total Runs by campaign and class.\n# TYPE faultinject_campaign_class_total counter\n")
+		for _, cs := range s.Campaigns {
+			for _, k := range orderedKeys(cs.Classes) {
+				fmt.Fprintf(&b, "faultinject_campaign_class_total{tool=%q,benchmark=%q,structure=%q,class=%q} %d\n",
+					promEscape(cs.Tool), promEscape(cs.Benchmark), promEscape(cs.Structure),
+					promEscape(k), cs.Classes[k])
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

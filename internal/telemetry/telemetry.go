@@ -1,0 +1,275 @@
+// Package telemetry is the observability layer of the injection
+// framework: an allocation-light event path the campaign scheduler emits
+// into, a lock-free aggregator of campaign counters and gauges, and the
+// consumers built on top of them — periodic human-readable progress
+// lines, JSON / Prometheus snapshots served over HTTP, and the JSONL
+// injection trace sink.
+//
+// The hot path is Collector.RunDone: a handful of atomic adds plus a
+// sync.Map counter bump per finished injection run. Campaign rows are
+// registered up front by the scheduler, so no per-run allocation or map
+// construction happens while workers are hot. When no Collector is
+// attached to the scheduler the event path costs nothing at all.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// RunEvent is the run-end lifecycle event of one injection run. The
+// scheduler fills it after the run's record is in hand and hands it to
+// Collector.RunDone, which folds it into the counters and fans it out to
+// the attached sinks.
+type RunEvent struct {
+	// Campaign is the {tool, benchmark, structure} campaign key.
+	Campaign string
+	// Tool, Benchmark, Structure label the campaign row.
+	Tool, Benchmark, Structure string
+	// MaskID and Sites are the injected mask's coordinates.
+	MaskID int
+	Sites  []fault.Site
+	// Status is the raw run status string; Class the default parser's
+	// classification of the run.
+	Status string
+	Class  string
+	// Cycles is the simulated cycle count; Wall the host wall time of
+	// the run.
+	Cycles uint64
+	Wall   time.Duration
+	// Observed reports whether any read consumed the faulty location,
+	// and FirstObsCycle when the first one did.
+	Observed      bool
+	FirstObsCycle uint64
+	// EarlyStop names the §III.B proof that ended an early-masked run
+	// ("overwritten" or "skipped-invalid"); empty otherwise.
+	EarlyStop string
+	// WatchedReads/WatchedWrites are the total accesses to the run's
+	// watched (fault-armed) arrays; ObservedReads/ObservedWrites the
+	// subset that took the observation slow path. Their difference is
+	// the bitarray fast-path hit count.
+	WatchedReads, WatchedWrites   uint64
+	ObservedReads, ObservedWrites uint64
+}
+
+// Sink consumes run-end events, e.g. the JSONL trace writer. RunEvent
+// must be safe for concurrent use; the scheduler's workers call it
+// directly.
+type Sink interface {
+	RunEvent(ev RunEvent)
+}
+
+// counterMap is a grow-only map of named atomic counters. Bumping an
+// existing key is lock-free (sync.Map read path); only the first bump of
+// a new key allocates.
+type counterMap struct{ m sync.Map }
+
+func (c *counterMap) add(key string, n uint64) {
+	if v, ok := c.m.Load(key); ok {
+		v.(*atomic.Uint64).Add(n)
+		return
+	}
+	v, _ := c.m.LoadOrStore(key, new(atomic.Uint64))
+	v.(*atomic.Uint64).Add(n)
+}
+
+func (c *counterMap) snapshot() map[string]uint64 {
+	out := make(map[string]uint64)
+	c.m.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return out
+}
+
+// CampaignStats is the per-{tool, benchmark, structure} aggregate. The
+// scheduler registers one per campaign before dispatch and hands the
+// pointer to every run of that campaign, so the hot path never looks a
+// campaign up.
+type CampaignStats struct {
+	Tool, Benchmark, Structure string
+
+	runs    atomic.Uint64
+	cycles  atomic.Uint64
+	classes counterMap
+}
+
+func (cs *CampaignStats) record(ev RunEvent) {
+	cs.runs.Add(1)
+	cs.cycles.Add(ev.Cycles)
+	cs.classes.add(ev.Class, 1)
+}
+
+// Collector is the lock-free aggregator of campaign telemetry. One
+// Collector may span several RunMatrix calls (e.g. the five figures of a
+// full reproduction); counters only ever grow.
+type Collector struct {
+	startNanos atomic.Int64 // wall-clock start, first Start wins
+	workers    atomic.Int64
+
+	queued     atomic.Uint64
+	started    atomic.Uint64
+	done       atomic.Uint64
+	earlyStops atomic.Uint64
+	simCycles  atomic.Uint64
+	busyNanos  atomic.Int64
+
+	watchedReads, watchedWrites   atomic.Uint64
+	observedReads, observedWrites atomic.Uint64
+
+	statuses counterMap
+	classes  counterMap
+
+	goldenSource atomic.Value // func() (runs, hits uint64)
+	sinks        atomic.Value // []Sink, copy-on-write
+
+	mu        sync.Mutex // guards campaign registration only
+	campaigns []*CampaignStats
+	index     map[string]*CampaignStats
+}
+
+// New returns an empty Collector.
+func New() *Collector {
+	return &Collector{index: make(map[string]*CampaignStats)}
+}
+
+// Start stamps the wall-clock origin of the rate gauges and records the
+// worker-pool size. The first call wins the origin; the worker count is
+// updated every call (the last matrix dispatched decides it).
+func (c *Collector) Start(workers int) {
+	c.startNanos.CompareAndSwap(0, time.Now().UnixNano())
+	c.workers.Store(int64(workers))
+}
+
+// AddQueued accounts n runs entering the scheduler queue.
+func (c *Collector) AddQueued(n int) { c.queued.Add(uint64(n)) } //nolint:gosec // n >= 0
+
+// RunStarted accounts one run leaving the queue for a worker.
+func (c *Collector) RunStarted() { c.started.Add(1) }
+
+// Campaign registers (or returns the existing) per-campaign aggregate
+// for a key. Registration takes a lock; it happens once per campaign at
+// matrix-build time, never per run.
+func (c *Collector) Campaign(key, tool, bench, structure string) *CampaignStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cs, ok := c.index[key]; ok {
+		return cs
+	}
+	cs := &CampaignStats{Tool: tool, Benchmark: bench, Structure: structure}
+	c.index[key] = cs
+	c.campaigns = append(c.campaigns, cs)
+	return cs
+}
+
+// SetGoldenSource attaches a live reader of golden-cache statistics
+// (performed runs, memoized hits); the snapshot pulls it lazily so the
+// cache needs no back-reference to the collector.
+func (c *Collector) SetGoldenSource(f func() (runs, hits uint64)) {
+	c.goldenSource.Store(f)
+}
+
+// AddSink attaches a run-event sink (e.g. a trace writer).
+func (c *Collector) AddSink(s Sink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sinks []Sink
+	if v := c.sinks.Load(); v != nil {
+		sinks = append(sinks, v.([]Sink)...)
+	}
+	c.sinks.Store(append(sinks, s))
+}
+
+// RunDone folds one finished run into the aggregate and fans the event
+// out to the sinks. cs may be nil for runs outside any registered
+// campaign.
+func (c *Collector) RunDone(cs *CampaignStats, ev RunEvent) {
+	c.done.Add(1)
+	c.simCycles.Add(ev.Cycles)
+	c.busyNanos.Add(int64(ev.Wall))
+	c.watchedReads.Add(ev.WatchedReads)
+	c.watchedWrites.Add(ev.WatchedWrites)
+	c.observedReads.Add(ev.ObservedReads)
+	c.observedWrites.Add(ev.ObservedWrites)
+	if ev.EarlyStop != "" {
+		c.earlyStops.Add(1)
+	}
+	c.statuses.add(ev.Status, 1)
+	c.classes.add(ev.Class, 1)
+	if cs != nil {
+		cs.record(ev)
+	}
+	if v := c.sinks.Load(); v != nil {
+		for _, s := range v.([]Sink) {
+			s.RunEvent(ev)
+		}
+	}
+}
+
+// Snapshot captures a consistent-enough view of every counter and the
+// derived gauges. Counters are read individually (not under one lock),
+// so totals may be off by in-flight runs — fine for live metrics; the
+// final snapshot after the scheduler returns is exact.
+func (c *Collector) Snapshot() Snapshot {
+	s := Snapshot{
+		Workers:        int(c.workers.Load()),
+		RunsQueued:     c.queued.Load(),
+		RunsStarted:    c.started.Load(),
+		RunsDone:       c.done.Load(),
+		EarlyStops:     c.earlyStops.Load(),
+		SimCycles:      c.simCycles.Load(),
+		WatchedReads:   c.watchedReads.Load(),
+		WatchedWrites:  c.watchedWrites.Load(),
+		ObservedReads:  c.observedReads.Load(),
+		ObservedWrites: c.observedWrites.Load(),
+		StatusCounts:   c.statuses.snapshot(),
+		ClassCounts:    c.classes.snapshot(),
+	}
+	if start := c.startNanos.Load(); start != 0 {
+		s.ElapsedSeconds = time.Since(time.Unix(0, start)).Seconds()
+	}
+	if s.ElapsedSeconds > 0 {
+		s.RunsPerSec = float64(s.RunsDone) / s.ElapsedSeconds
+		s.McyclesPerSec = float64(s.SimCycles) / 1e6 / s.ElapsedSeconds
+		if s.Workers > 0 {
+			s.WorkerUtilization = float64(c.busyNanos.Load()) / 1e9 / s.ElapsedSeconds / float64(s.Workers)
+		}
+	}
+	if v := c.goldenSource.Load(); v != nil {
+		s.GoldenRuns, s.GoldenHits = v.(func() (uint64, uint64))()
+		if total := s.GoldenRuns + s.GoldenHits; total > 0 {
+			s.GoldenHitRate = float64(s.GoldenHits) / float64(total)
+		}
+	}
+	if total := s.WatchedReads + s.WatchedWrites; total > 0 {
+		s.FastPathRate = 1 - float64(s.ObservedReads+s.ObservedWrites)/float64(total)
+	}
+	c.mu.Lock()
+	campaigns := append([]*CampaignStats(nil), c.campaigns...)
+	c.mu.Unlock()
+	for _, cs := range campaigns {
+		s.Campaigns = append(s.Campaigns, CampaignSnapshot{
+			Tool:      cs.Tool,
+			Benchmark: cs.Benchmark,
+			Structure: cs.Structure,
+			Runs:      cs.runs.Load(),
+			Cycles:    cs.cycles.Load(),
+			Classes:   cs.classes.snapshot(),
+		})
+	}
+	sort.Slice(s.Campaigns, func(i, j int) bool {
+		a, b := s.Campaigns[i], s.Campaigns[j]
+		if a.Tool != b.Tool {
+			return a.Tool < b.Tool
+		}
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		return a.Structure < b.Structure
+	})
+	return s
+}

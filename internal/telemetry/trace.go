@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+// TraceSink buffers one fault.TraceRecord per finished injection run and
+// writes them as JSONL on Flush, sorted by (campaign, mask id). Workers
+// finish in nondeterministic order, so buffering and sorting is what
+// makes the trace byte-stable for a fixed seed regardless of the worker
+// count. Records carry no wall-clock fields for the same reason.
+type TraceSink struct {
+	mu   sync.Mutex
+	recs []fault.TraceRecord
+}
+
+// NewTraceSink returns an empty trace sink; attach it with
+// Collector.AddSink and call Flush after the scheduler returns.
+func NewTraceSink() *TraceSink {
+	return &TraceSink{}
+}
+
+// RunEvent implements Sink.
+func (s *TraceSink) RunEvent(ev RunEvent) {
+	rec := fault.TraceRecord{
+		Campaign:      ev.Campaign,
+		MaskID:        ev.MaskID,
+		Sites:         ev.Sites,
+		Status:        ev.Status,
+		Class:         ev.Class,
+		Cycles:        ev.Cycles,
+		Observed:      ev.Observed,
+		FirstObsCycle: ev.FirstObsCycle,
+		EarlyStop:     ev.EarlyStop,
+	}
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	s.mu.Unlock()
+}
+
+// Len reports the number of buffered records.
+func (s *TraceSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Records returns the buffered records in their deterministic
+// (campaign, mask id) order.
+func (s *TraceSink) Records() []fault.TraceRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := append([]fault.TraceRecord(nil), s.recs...)
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Campaign != recs[j].Campaign {
+			return recs[i].Campaign < recs[j].Campaign
+		}
+		return recs[i].MaskID < recs[j].MaskID
+	})
+	return recs
+}
+
+// Flush writes the buffered records to w as sorted JSON lines.
+func (s *TraceSink) Flush(w io.Writer) error {
+	return fault.WriteTrace(w, s.Records())
+}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Runs the matrix-scheduler benchmarks (the bare scheduler and the
+# telemetry-overhead variant) and writes the machine-readable baseline
+# results/BENCH_scheduler.json via scripts/benchjson.
+#
+# Usage: scripts/bench_scheduler.sh [count]
+#   count  -count passed to `go test -bench` (default 1)
+set -eu
+
+cd "$(dirname "$0")/.."
+count="${1:-1}"
+mkdir -p results
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMatrixScheduler' -benchtime 1x \
+    -count "$count" . | tee "$out"
+go run ./scripts/benchjson <"$out" >results/BENCH_scheduler.json
+echo "wrote results/BENCH_scheduler.json"

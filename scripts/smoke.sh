@@ -1,0 +1,24 @@
+#!/bin/sh
+# CI smoke test for the telemetry layer: run one tiny campaign with
+# tracing, the metrics endpoint, and the final-snapshot dump all enabled,
+# then cross-check the three artifacts with scripts/smokecheck.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+tool=gefin-x86
+bench=qsort
+structure=rf.int
+key="${tool}__${bench}__${structure}"
+
+go run ./cmd/faultcamp \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 25 -seed 1 -logs "$tmp/logs" \
+    -trace -metrics-addr 127.0.0.1:0 -snapshot-json "$tmp/snap.json" \
+    -progress-every 500ms
+
+go run ./scripts/smokecheck \
+    -logs "$tmp/logs" -key "$key" -snapshot "$tmp/snap.json"

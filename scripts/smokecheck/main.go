@@ -1,0 +1,115 @@
+// Command smokecheck cross-checks the three artifacts of one telemetry-
+// enabled campaign — the stored logs, the final snapshot JSON, and the
+// JSONL injection trace — against each other (the CI smoke job's
+// assertion step):
+//
+//   - the snapshot JSON parses and its run totals balance,
+//   - the snapshot's outcome histogram equals what the offline parser
+//     computes from the stored records,
+//   - the trace has exactly one row per injection, in (campaign, mask)
+//     order, with classes matching the offline parser record-for-record.
+//
+// Usage:
+//
+//	smokecheck -logs logsrepo -key gefin-x86__qsort__rf.int \
+//	           -snapshot snap.json [-trace logsrepo/<key>.trace.jsonl]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	logsDir := flag.String("logs", "", "logs repository directory")
+	key := flag.String("key", "", "campaign key to check")
+	snapPath := flag.String("snapshot", "", "final snapshot JSON file")
+	tracePath := flag.String("trace", "", "JSONL injection trace (default <logs>/<key>.trace.jsonl)")
+	flag.Parse()
+	if *logsDir == "" || *key == "" || *snapPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	repo, err := core.NewLogsRepo(*logsDir)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := repo.Load(*key)
+	if err != nil {
+		fatal(err)
+	}
+	breakdown := (core.Parser{}).ParseAll(res.Records)
+
+	b, err := os.ReadFile(*snapPath)
+	if err != nil {
+		fatal(err)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		fatal(fmt.Errorf("snapshot JSON does not parse: %w", err))
+	}
+
+	n := uint64(len(res.Records))
+	if snap.RunsDone != n || snap.RunsStarted != n || snap.RunsQueued != n {
+		fatal(fmt.Errorf("snapshot run totals %d/%d/%d queued/started/done, logs have %d records",
+			snap.RunsQueued, snap.RunsStarted, snap.RunsDone, n))
+	}
+	var sum uint64
+	for _, c := range snap.ClassCounts {
+		sum += c
+	}
+	if sum != n {
+		fatal(fmt.Errorf("snapshot classes sum to %d, want %d", sum, n))
+	}
+	if len(snap.ClassCounts) != len(breakdown.Counts) {
+		fatal(fmt.Errorf("snapshot has %d classes, parser %d: %v vs %v",
+			len(snap.ClassCounts), len(breakdown.Counts), snap.ClassCounts, breakdown.Counts))
+	}
+	for cls, want := range breakdown.Counts {
+		if got := snap.ClassCounts[string(cls)]; got != uint64(want) {
+			fatal(fmt.Errorf("snapshot class %s = %d, parser says %d", cls, got, want))
+		}
+	}
+
+	path := *tracePath
+	if path == "" {
+		path = repo.TracePath(*key)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := fault.ReadTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(recs) != len(res.Records) {
+		fatal(fmt.Errorf("trace has %d rows, logs have %d records", len(recs), len(res.Records)))
+	}
+	for i, tr := range recs {
+		if tr.MaskID != res.Records[i].MaskID {
+			fatal(fmt.Errorf("trace row %d is mask %d, logs row is mask %d (order broken)",
+				i, tr.MaskID, res.Records[i].MaskID))
+		}
+		cls, _ := (core.Parser{}).Classify(res.Records[i])
+		if tr.Class != string(cls) {
+			fatal(fmt.Errorf("trace row %d class %q, parser says %q", i, tr.Class, cls))
+		}
+	}
+
+	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d\n",
+		*key, n, snap.ClassString(), len(recs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smokecheck:", err)
+	os.Exit(1)
+}
