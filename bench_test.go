@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"testing"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/core"
@@ -473,6 +474,191 @@ func BenchmarkDataArrayAblation(b *testing.B) {
 				res := cpu.Run(1 << 62)
 				if res.Status != core.RunCompleted {
 					b.Fatalf("run: %v", res.Status)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPruneAblation measures golden-run liveness pruning on the
+// cache campaigns it targets: a transient-fault L1D + L2 data-array
+// matrix at a fixed seed, once fully simulated and once with the pruner
+// settling dead and replicated masks at plan time. The pruned variant
+// pays the profiled fault-free replay up front; the acceptance bar is a
+// >=2x wall-clock speedup (results/BENCH_prune.json records the
+// measured pair).
+func BenchmarkPruneAblation(b *testing.B) {
+	w, err := workload.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, err := sims.Factory(sims.GeFINX86, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := core.NewGoldenCache()
+	golden, err := cache.Golden(sims.GeFINX86, "qsort", factory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buildSpecs := func() []core.CampaignSpec {
+		var specs []core.CampaignSpec
+		for _, structure := range []string{"l1d.data", "l2.data"} {
+			entries, bits, ok, err := cache.Geometry(sims.GeFINX86, "qsort", factory, structure)
+			if err != nil || !ok {
+				b.Fatalf("geometry %s: ok=%v err=%v", structure, ok, err)
+			}
+			masks, err := fault.Generate(fault.GeneratorSpec{
+				Structure: structure, Entries: entries, BitsPerEntry: bits,
+				MaxCycle: golden.Cycles, Model: fault.ModelTransient, Count: 40, Seed: 17,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			specs = append(specs, core.CampaignSpec{
+				Tool: sims.GeFINX86, Benchmark: "qsort", Structure: structure,
+				Masks: masks, Factory: factory, TimeoutFactor: 3, Golden: &golden,
+			})
+		}
+		return specs
+	}
+	for _, mode := range []struct {
+		name  string
+		prune bool
+	}{{"unpruned", false}, {"pruned", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var runs, prunedRuns int
+			for i := 0; i < b.N; i++ {
+				results, err := core.RunMatrix(buildSpecs(), core.MatrixOptions{
+					Workers: 4, Prune: mode.prune,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					runs += len(res.Records)
+					for _, rec := range res.Records {
+						if rec.Status == core.RunPruned.String() {
+							prunedRuns++
+						}
+					}
+				}
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(runs)/sec, "runs/s")
+			}
+			if runs > 0 {
+				b.ReportMetric(100*float64(prunedRuns)/float64(runs), "pruned%")
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpointLadder measures the checkpoint ladder against the
+// legacy single earliest-fault checkpoint on a campaign whose faults
+// are spread over the whole run: the single checkpoint sits at the
+// earliest fault (helping nobody else), while the ladder gives every
+// run the highest rung below its own first fault.
+func BenchmarkCheckpointLadder(b *testing.B) {
+	w, err := workload.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, err := sims.Factory(sims.GeFINX86, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := core.Golden(factory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := factory()
+	arr := sim.Structures()["rf.int"]
+	masks, err := fault.Generate(fault.GeneratorSpec{
+		Structure: "rf.int", Entries: arr.Entries(), BitsPerEntry: arr.BitsPerEntry(),
+		MaxCycle: golden.Cycles, Model: fault.ModelTransient, Count: 30, Seed: 23,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := func() []core.CampaignSpec {
+		return []core.CampaignSpec{{
+			Tool: sims.GeFINX86, Benchmark: "qsort", Structure: "rf.int",
+			Masks: masks, Factory: factory, TimeoutFactor: 3, Golden: &golden,
+			UseCheckpoint: true,
+		}}
+	}
+	for _, mode := range []struct {
+		name   string
+		ladder int
+	}{{"single-checkpoint", 0}, {"ladder-6", 6}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunMatrix(spec(), core.MatrixOptions{
+					Workers: 4, CheckpointLadder: mode.ladder,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGoldenProfileOverhead pins the cost of the liveness profiler
+// on the fault-free run it rides: the same golden run plain and with
+// every targeted cache array profiled. The profiled sub-benchmark also
+// reports its slowdown against a plain baseline measured in the same
+// invocation; the acceptance bar is <5% overhead.
+func BenchmarkGoldenProfileOverhead(b *testing.B) {
+	w, err := workload.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, err := sims.Factory(sims.GeFINX86, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(profiled bool) uint64 {
+		sim := factory()
+		if profiled {
+			cs := sim.(core.CycleSource)
+			for _, name := range []string{"l1d.data", "l2.data"} {
+				sim.Structures()[name].StartProfile(cs.CurrentCycle)
+			}
+		}
+		res := sim.Run(1 << 62)
+		if res.Status != core.RunCompleted {
+			b.Fatalf("golden run: %v", res.Status)
+		}
+		return res.Cycles
+	}
+	baseline := func(n int) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			run(false)
+		}
+		return time.Since(start)
+	}
+	for _, mode := range []struct {
+		name     string
+		profiled bool
+	}{{"plain", false}, {"profiled", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles += run(mode.profiled)
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(cycles)/1e6/sec, "Mcycles/s")
+			}
+			if mode.profiled {
+				elapsed := b.Elapsed()
+				b.StopTimer()
+				plain := baseline(b.N)
+				if plain > 0 {
+					b.ReportMetric(100*(float64(elapsed)/float64(plain)-1), "overhead%")
 				}
 			}
 		})

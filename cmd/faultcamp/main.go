@@ -44,6 +44,9 @@ func main() {
 	timeoutFactor := flag.Uint64("timeout-factor", 3, "cycle limit as a multiple of the fault-free run")
 	noEarlyStop := flag.Bool("no-early-stop", false, "disable the §III.B early-stop optimizations")
 	checkpoint := flag.Bool("checkpoint", false, "share the fault-free prefix via a drained-machine checkpoint")
+	pruneOn := flag.Bool("prune", false, "classify provably-masked faults from the golden-run liveness profile without simulating them")
+	pruneVerify := flag.Int("prune-verify", 0, "simulate up to this many pruned masks and fail on a class mismatch (implies -prune)")
+	ladder := flag.Int("ladder", 0, "number of evenly spaced checkpoint rungs (>= 2, with -checkpoint; 0: single legacy checkpoint)")
 	quiet := flag.Bool("quiet", false, "suppress the periodic progress lines (the final summary stays)")
 	progressEvery := flag.Duration("progress-every", 2*time.Second, "period of the progress lines")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and /debug/pprof on this address (e.g. 127.0.0.1:8321)")
@@ -129,7 +132,10 @@ func main() {
 		DisableEarlyStop: *noEarlyStop,
 		UseCheckpoint:    *checkpoint,
 		Golden:           goldenRef,
-	}}, core.MatrixOptions{Workers: *workers, Golden: cache, Telemetry: collector})
+	}}, core.MatrixOptions{
+		Workers: *workers, Golden: cache, Telemetry: collector,
+		Prune: *pruneOn, PruneVerify: *pruneVerify, CheckpointLadder: *ladder,
+	})
 	if rep != nil {
 		rep.Stop()
 	}
@@ -170,6 +176,10 @@ func main() {
 	fmt.Printf("  logs stored in %s\n", logs.Dir())
 	if trace != nil {
 		fmt.Printf("  trace: %s (%d records)\n", logs.TracePath(key), trace.Len())
+	}
+	if snap.PrunedDead+snap.PrunedReplicated > 0 {
+		fmt.Printf("  pruned: %d dead + %d replicated of %d masks (%.1f%%), %d ladder restores\n",
+			snap.PrunedDead, snap.PrunedReplicated, snap.RunsDone, 100*snap.PruneRate, snap.LadderRestores)
 	}
 	fmt.Printf("summary: %s\n", snap.SummaryLine())
 }

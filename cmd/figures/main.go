@@ -56,6 +56,9 @@ func main() {
 	groupSim := flag.Bool("group-simcrash", false, "classify simulator crashes as Assert")
 	liveOnly := flag.Bool("live-only", false, "restrict faults to entries live at the end of the golden run (conditional vulnerability)")
 	checkpoint := flag.Bool("checkpoint", false, "share each {tool,benchmark} fault-free prefix via a drained-machine checkpoint")
+	pruneOn := flag.Bool("prune", false, "classify provably-masked faults from the golden-run liveness profile without simulating them")
+	pruneVerify := flag.Int("prune-verify", 0, "simulate up to this many pruned masks per campaign and fail on a class mismatch (implies -prune)")
+	ladder := flag.Int("ladder", 0, "number of evenly spaced checkpoint rungs per row (>= 2, with -checkpoint)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and /debug/pprof on this address while campaigns run")
 	traceOn := flag.Bool("trace", false, "write a JSONL injection trace (matrix.trace.jsonl) into the -logs repository")
 	progressEvery := flag.Duration("progress-every", 5*time.Second, "period of the campaign progress lines on stderr")
@@ -80,6 +83,10 @@ func main() {
 		UseCheckpoint: *checkpoint,
 		Telemetry:     collector,
 		ProgressEvery: *progressEvery,
+
+		Prune:            *pruneOn,
+		PruneVerify:      *pruneVerify,
+		CheckpointLadder: *ladder,
 	}
 	if *benchCSV != "" {
 		opt.Benchmarks = strings.Split(*benchCSV, ",")

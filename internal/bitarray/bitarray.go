@@ -151,6 +151,11 @@ type Array struct {
 	// tickCycle is the cycle of the latest Tick, used to stamp the
 	// first-observation cycle of a consumed fault.
 	tickCycle uint64
+
+	// prof, when non-nil, records every access into a liveness profile
+	// (see profile.go). It is nil outside golden-run profiling, so the
+	// accessors pay one predictable branch for it.
+	prof *profiler
 }
 
 // New returns an Array named name with entries entries of bitsPerEntry
@@ -238,6 +243,9 @@ func (a *Array) checkEntry(entry int) {
 func (a *Array) ReadWord(entry, word int) uint64 {
 	a.checkEntry(entry)
 	a.reads++
+	if a.prof != nil {
+		a.profRecord(AccessRead, entry, word*64, 64)
+	}
 	v := a.data[entry*a.wordsPerEnt+word]
 	if a.needObs {
 		v = a.observeRead(entry, word*64, 64, v)
@@ -249,6 +257,9 @@ func (a *Array) ReadWord(entry, word int) uint64 {
 func (a *Array) WriteWord(entry, word int, v uint64) {
 	a.checkEntry(entry)
 	a.writes++
+	if a.prof != nil {
+		a.profRecord(AccessWrite, entry, word*64, 64)
+	}
 	if a.needObs {
 		v = a.observeWrite(entry, word*64, 64, v)
 	}
@@ -267,6 +278,9 @@ func (a *Array) WriteUint64(entry int, v uint64) { a.WriteWord(entry, 0, v) }
 func (a *Array) ReadBytes(entry, off int, dst []byte) {
 	a.checkEntry(entry)
 	a.reads++
+	if a.prof != nil {
+		a.profRecord(AccessRead, entry, off*8, len(dst)*8)
+	}
 	base := entry * a.wordsPerEnt
 	for i := range dst {
 		bo := off + i
@@ -282,6 +296,9 @@ func (a *Array) ReadBytes(entry, off int, dst []byte) {
 func (a *Array) WriteBytes(entry, off int, src []byte) {
 	a.checkEntry(entry)
 	a.writes++
+	if a.prof != nil {
+		a.profRecord(AccessWrite, entry, off*8, len(src)*8)
+	}
 	if a.needObs {
 		src = a.observeWriteBytes(entry, off, src)
 	}
@@ -305,6 +322,11 @@ func (a *Array) WriteBit(entry, bit int, v uint8) {
 	word := bit / 64
 	a.checkEntry(entry)
 	a.writes++
+	if a.prof != nil {
+		// A single-bit write observes (and so covers) its whole word,
+		// matching the observeWrite call below.
+		a.profRecord(AccessWrite, entry, word*64, 64)
+	}
 	idx := entry*a.wordsPerEnt + word
 	cur := a.data[idx]
 	mask := uint64(1) << uint(bit%64)
@@ -633,6 +655,11 @@ func (a *Array) observeWriteBytes(entry, off int, src []byte) []byte {
 // in a discarded entry can never be read again, so it is equivalent to
 // overwritten-before-read.
 func (a *Array) InvalidateObserve(entry int) {
+	if a.prof != nil {
+		// Invalidation discards the entry's live state whatever the bit,
+		// so the event covers the whole entry.
+		a.profRecord(AccessEvict, entry, 0, a.bitsPerEntry)
+	}
 	changed := false
 	for _, fs := range a.faults {
 		if fs.status == StatusLive && fs.f.Kind == Transient && entry == fs.f.Entry {

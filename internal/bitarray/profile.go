@@ -1,0 +1,176 @@
+package bitarray
+
+import "sort"
+
+// AccessKind classifies one liveness-profile event.
+type AccessKind uint8
+
+const (
+	// AccessRead is a read covering a bit range of an entry.
+	AccessRead AccessKind = iota
+	// AccessWrite is a write covering a bit range of an entry.
+	AccessWrite
+	// AccessEvict is an entry-wide invalidation (InvalidateObserve).
+	AccessEvict
+)
+
+// String returns the profile-event name of the kind.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessRead:
+		return "read"
+	case AccessWrite:
+		return "write"
+	case AccessEvict:
+		return "evict"
+	default:
+		return "unknown"
+	}
+}
+
+// ProfileEvent is one access of one entry during a profiled fault-free
+// run. The bit range mirrors exactly what the fault-observation slow
+// path of the corresponding accessor would check against an armed fault:
+// word accesses cover their whole 64-bit word (including single-bit
+// writes, which go through the word path), byte-range accesses cover
+// [off*8, off*8+len*8), and evictions cover the whole entry. Keeping the
+// ranges identical to the runtime observation rules is what makes
+// profile-based fault classification agree with simulation.
+type ProfileEvent struct {
+	// Cycle is the simulator cycle the access happened at. Events of one
+	// entry are ordered by Cycle; ties keep execution order.
+	Cycle uint64
+	// FirstBit and NBits delimit the covered bit range of the entry.
+	FirstBit uint16
+	NBits    uint16
+	// Kind is the access kind.
+	Kind AccessKind
+}
+
+// Covers reports whether the event's bit range includes bit.
+func (e ProfileEvent) Covers(bit int) bool {
+	return int(e.FirstBit) <= bit && bit < int(e.FirstBit)+int(e.NBits)
+}
+
+// Profile is the liveness profile of one array over one fault-free run:
+// per entry, the ordered accesses with their covered bit ranges. The
+// pruning engine queries it to find the first access at or after a fault
+// injection cycle that would touch the faulty bit.
+type Profile struct {
+	// Name is the structure name of the profiled array.
+	Name string
+	// Entries and BitsPerEntry echo the array geometry.
+	Entries      int
+	BitsPerEntry int
+	// Events holds, per entry, the accesses in nondecreasing cycle order
+	// (within a cycle, in execution order).
+	Events [][]ProfileEvent
+}
+
+// NextCovering returns the index and value of the first event of entry at
+// or after cycle whose bit range covers bit. ok is false when no such
+// event exists — the bit is never accessed again. The fault state machine
+// ticks at the top of a cycle before any work, so an access in the
+// injection cycle itself already sees the fault and counts.
+func (p *Profile) NextCovering(entry, bit int, cycle uint64) (int, ProfileEvent, bool) {
+	if entry < 0 || entry >= len(p.Events) {
+		return 0, ProfileEvent{}, false
+	}
+	evs := p.Events[entry]
+	i := sort.Search(len(evs), func(j int) bool { return evs[j].Cycle >= cycle })
+	for ; i < len(evs); i++ {
+		if evs[i].Covers(bit) {
+			return i, evs[i], true
+		}
+	}
+	return 0, ProfileEvent{}, false
+}
+
+// EventCount returns the total number of recorded events.
+func (p *Profile) EventCount() int {
+	n := 0
+	for _, evs := range p.Events {
+		n += len(evs)
+	}
+	return n
+}
+
+// profiler is the recording state attached to an Array while profiling
+// is on. It exists only during fault-free golden replays, so it never
+// coexists with hot injection runs; the accessors gate on a single nil
+// check, keeping the disabled cost to one predictable branch. Events go
+// into one flat execution-order buffer — a single hot append target
+// instead of thousands of independently growing per-entry slices — and
+// are bucketed per entry only at StopProfile.
+type profiler struct {
+	cycle func() uint64
+	recs  []flatEvent
+}
+
+// flatEvent is one recorded access before per-entry bucketing.
+type flatEvent struct {
+	cycle           uint64
+	entry           int32
+	firstBit, nbits uint16
+	kind            AccessKind
+}
+
+// StartProfile turns on liveness profiling, sampling the current cycle
+// from cycle on every access. Profiling records every read, write and
+// eviction per entry until StopProfile; it is meant for fault-free
+// golden replays, not for injection runs.
+func (a *Array) StartProfile(cycle func() uint64) {
+	a.prof = &profiler{
+		cycle: cycle,
+		recs:  make([]flatEvent, 0, 4096),
+	}
+}
+
+// StopProfile turns profiling off and returns the recorded profile, or
+// nil when profiling was never started. The flat buffer is bucketed
+// into exactly-sized per-entry slices here; the stable fill preserves
+// execution order within a cycle.
+func (a *Array) StopProfile() *Profile {
+	p := a.prof
+	if p == nil {
+		return nil
+	}
+	a.prof = nil
+	counts := make([]int, a.entries)
+	for _, r := range p.recs {
+		counts[r.entry]++
+	}
+	events := make([][]ProfileEvent, a.entries)
+	for e, n := range counts {
+		if n > 0 {
+			events[e] = make([]ProfileEvent, 0, n)
+		}
+	}
+	for _, r := range p.recs {
+		events[r.entry] = append(events[r.entry], ProfileEvent{
+			Cycle:    r.cycle,
+			FirstBit: r.firstBit,
+			NBits:    r.nbits,
+			Kind:     r.kind,
+		})
+	}
+	return &Profile{
+		Name:         a.name,
+		Entries:      a.entries,
+		BitsPerEntry: a.bitsPerEntry,
+		Events:       events,
+	}
+}
+
+// profRecord appends one event for entry. Callers pass the same bit
+// range the matching observe function would check.
+func (a *Array) profRecord(kind AccessKind, entry, firstBit, nbits int) {
+	p := a.prof
+	p.recs = append(p.recs, flatEvent{
+		cycle:    p.cycle(),
+		entry:    int32(entry),     //nolint:gosec // entries is far below 2^31
+		firstBit: uint16(firstBit), //nolint:gosec // bitsPerEntry is far below 64k
+		nbits:    uint16(nbits),    //nolint:gosec // ranges are entry-bounded
+		kind:     kind,
+	})
+}

@@ -1,0 +1,148 @@
+package bitarray
+
+import "testing"
+
+// fakeClock is a settable cycle source for profiling tests.
+type fakeClock struct{ c uint64 }
+
+func (f *fakeClock) now() uint64 { return f.c }
+
+func TestProfileRecordsAccessRanges(t *testing.T) {
+	a := New("l1d.data", 4, 512)
+	clk := &fakeClock{}
+	a.StartProfile(clk.now)
+
+	clk.c = 10
+	a.ReadWord(1, 0)
+	clk.c = 20
+	a.WriteWord(1, 2, 0xABCD)
+	clk.c = 30
+	a.ReadBytes(2, 3, make([]byte, 4))
+	clk.c = 40
+	a.WriteBytes(2, 8, []byte{1, 2})
+	clk.c = 50
+	a.WriteBit(3, 70, 1)
+	clk.c = 60
+	a.InvalidateObserve(3)
+
+	p := a.StopProfile()
+	if p == nil {
+		t.Fatal("StopProfile returned nil after StartProfile")
+	}
+	if p.Name != "l1d.data" || p.Entries != 4 || p.BitsPerEntry != 512 {
+		t.Fatalf("profile header %q %d×%d", p.Name, p.Entries, p.BitsPerEntry)
+	}
+	want := map[int][]ProfileEvent{
+		1: {
+			{Cycle: 10, FirstBit: 0, NBits: 64, Kind: AccessRead},
+			{Cycle: 20, FirstBit: 128, NBits: 64, Kind: AccessWrite},
+		},
+		2: {
+			{Cycle: 30, FirstBit: 24, NBits: 32, Kind: AccessRead},
+			{Cycle: 40, FirstBit: 64, NBits: 16, Kind: AccessWrite},
+		},
+		3: {
+			// A single-bit write covers its whole word, like the
+			// observation slow path does.
+			{Cycle: 50, FirstBit: 64, NBits: 64, Kind: AccessWrite},
+			{Cycle: 60, FirstBit: 0, NBits: 512, Kind: AccessEvict},
+		},
+	}
+	for e, evs := range want {
+		if got := p.Events[e]; len(got) != len(evs) {
+			t.Fatalf("entry %d: %d events, want %d: %v", e, len(got), len(evs), got)
+		}
+		for i, ev := range evs {
+			if p.Events[e][i] != ev {
+				t.Errorf("entry %d event %d = %+v, want %+v", e, i, p.Events[e][i], ev)
+			}
+		}
+	}
+	if n := p.EventCount(); n != 6 {
+		t.Errorf("EventCount = %d, want 6", n)
+	}
+}
+
+func TestProfileReadBitRoutesThroughWord(t *testing.T) {
+	a := New("valid", 8, 1)
+	clk := &fakeClock{c: 5}
+	a.StartProfile(clk.now)
+	a.ReadBit(3, 0)
+	p := a.StopProfile()
+	evs := p.Events[3]
+	if len(evs) != 1 || evs[0].Kind != AccessRead || evs[0].NBits != 64 {
+		t.Fatalf("ReadBit events = %v", evs)
+	}
+}
+
+func TestNextCovering(t *testing.T) {
+	p := &Profile{
+		Name: "x", Entries: 2, BitsPerEntry: 128,
+		Events: [][]ProfileEvent{
+			{
+				{Cycle: 10, FirstBit: 0, NBits: 64, Kind: AccessWrite},
+				{Cycle: 20, FirstBit: 64, NBits: 64, Kind: AccessRead},
+				{Cycle: 30, FirstBit: 0, NBits: 128, Kind: AccessEvict},
+			},
+			nil,
+		},
+	}
+	// Injection before the first event of the word: the write covers it.
+	if i, ev, ok := p.NextCovering(0, 5, 0); !ok || i != 0 || ev.Kind != AccessWrite {
+		t.Fatalf("bit 5 cycle 0: i=%d ev=%+v ok=%v", i, ev, ok)
+	}
+	// The fault machine ticks before the cycle's accesses, so an access
+	// in the injection cycle itself counts.
+	if i, ev, ok := p.NextCovering(0, 5, 10); !ok || i != 0 || ev.Kind != AccessWrite {
+		t.Fatalf("bit 5 cycle 10: i=%d ev=%+v ok=%v", i, ev, ok)
+	}
+	// After the write, the next covering event of bit 5 is the eviction.
+	if i, ev, ok := p.NextCovering(0, 5, 11); !ok || i != 2 || ev.Kind != AccessEvict {
+		t.Fatalf("bit 5 cycle 11: i=%d ev=%+v ok=%v", i, ev, ok)
+	}
+	// Bit 70 is covered by the read at 20.
+	if i, ev, ok := p.NextCovering(0, 70, 11); !ok || i != 1 || ev.Kind != AccessRead {
+		t.Fatalf("bit 70 cycle 11: i=%d ev=%+v ok=%v", i, ev, ok)
+	}
+	// Past every event: never accessed again.
+	if _, _, ok := p.NextCovering(0, 5, 31); ok {
+		t.Fatal("bit 5 cycle 31 should have no covering event")
+	}
+	// Untouched entry and out-of-range entries.
+	if _, _, ok := p.NextCovering(1, 0, 0); ok {
+		t.Fatal("entry 1 should have no events")
+	}
+	if _, _, ok := p.NextCovering(-1, 0, 0); ok {
+		t.Fatal("entry -1 should be rejected")
+	}
+}
+
+func TestStopProfileWithoutStart(t *testing.T) {
+	a := New("x", 1, 64)
+	if p := a.StopProfile(); p != nil {
+		t.Fatalf("StopProfile without StartProfile = %+v", p)
+	}
+	// Unprofiled accesses must not record or panic.
+	a.ReadWord(0, 0)
+	a.WriteWord(0, 0, 1)
+}
+
+func TestProfileCoexistsWithObservation(t *testing.T) {
+	// Profiling a run with an armed fault must not disturb the fault
+	// state machine (campaigns never do this, but the hooks sit on the
+	// same accessors).
+	a := New("x", 2, 64)
+	a.Arm(Fault{Kind: Transient, Entry: 0, Bit: 3, Start: 1})
+	clk := &fakeClock{}
+	a.StartProfile(clk.now)
+	a.Tick(1)
+	clk.c = 2
+	a.WriteWord(0, 0, 0)
+	if st := a.FaultStatus(); st != StatusOverwritten {
+		t.Fatalf("fault status = %v, want overwritten", st)
+	}
+	p := a.StopProfile()
+	if p.EventCount() != 1 {
+		t.Fatalf("EventCount = %d", p.EventCount())
+	}
+}

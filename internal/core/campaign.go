@@ -138,6 +138,10 @@ type runStats struct {
 	writes      uint64
 	obsReads    uint64
 	obsWrites   uint64
+	// restored reports whether the run started from a checkpoint rung,
+	// and rungCycle which cycle that rung was captured at.
+	restored  bool
+	rungCycle uint64
 }
 
 // earlyStopReason names the §III.B proof behind an early-masked run.
@@ -177,18 +181,27 @@ func (s *runStats) gather(watch []*bitarray.Array) {
 // checkpoint cp (taken at cpCycle) when every fault of the mask starts
 // beyond it.
 func RunOneFrom(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool) (LogRecord, error) {
-	return runInjection(f, cp, cpCycle, m, golden, timeoutFactor, earlyStop, nil)
+	var rungs []LadderRung
+	if cp != nil {
+		rungs = []LadderRung{{State: cp, Cycle: cpCycle}}
+	}
+	return runInjection(f, rungs, m, golden, timeoutFactor, earlyStop, nil)
 }
 
 // runInjection is RunOneFrom plus optional telemetry gathering; stats is
 // nil when no collector is attached, keeping the uninstrumented path
-// identical to the pre-telemetry one.
-func runInjection(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool, stats *runStats) (LogRecord, error) {
+// identical to the pre-telemetry one. rungs is the (possibly empty)
+// checkpoint ladder of the campaign's row; the run restores the highest
+// rung captured before its earliest fault, or boots from scratch.
+func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool, stats *runStats) (LogRecord, error) {
 	sim := f()
-	if cp != nil && minSiteCycle(m) > cpCycle {
+	if ri := selectRung(rungs, minSiteCycle(m)); ri >= 0 {
 		if ck, ok := sim.(Checkpointer); ok {
-			if err := ck.Restore(cp); err != nil {
+			if err := ck.Restore(rungs[ri].State); err != nil {
 				return LogRecord{}, fmt.Errorf("core: restoring checkpoint: %w", err)
+			}
+			if stats != nil {
+				stats.restored, stats.rungCycle = true, rungs[ri].Cycle
 			}
 		}
 	}

@@ -136,6 +136,7 @@ func TestParserClassification(t *testing.T) {
 		det core.Detail
 	}{
 		{core.LogRecord{Status: "early-masked"}, core.ClassMasked, core.DetailNone},
+		{core.LogRecord{Status: "pruned"}, core.ClassMasked, core.DetailNone},
 		{core.LogRecord{Status: "completed", OutputMatch: true}, core.ClassMasked, core.DetailNone},
 		{core.LogRecord{Status: "completed"}, core.ClassSDC, core.DetailNone},
 		{core.LogRecord{Status: "completed", OutputMatch: true, EventKinds: []string{"alignment"}}, core.ClassDUE, core.DetailFalseDUE},

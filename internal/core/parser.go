@@ -62,7 +62,7 @@ func (p Parser) Classify(rec LogRecord) (Class, Detail) {
 
 func (p Parser) classify(rec LogRecord) (Class, Detail) {
 	switch rec.Status {
-	case RunEarlyMasked.String():
+	case RunEarlyMasked.String(), RunPruned.String():
 		return ClassMasked, DetailNone
 	case RunCompleted.String():
 		clean := len(rec.EventKinds) == 0

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/prune"
+)
+
+func TestSelectRung(t *testing.T) {
+	rungs := []LadderRung{{Cycle: 100}, {Cycle: 200}, {Cycle: 300}}
+	cases := []struct {
+		minSite uint64
+		want    int
+	}{
+		{50, -1},
+		{100, -1}, // strict: a fault at the capture cycle boots from scratch
+		{101, 0},
+		{250, 1},
+		{300, 1},
+		{301, 2},
+		{^uint64(0), 2},
+	}
+	for _, c := range cases {
+		if got := selectRung(rungs, c.minSite); got != c.want {
+			t.Errorf("selectRung(%d) = %d, want %d", c.minSite, got, c.want)
+		}
+	}
+	if got := selectRung(nil, 500); got != -1 {
+		t.Errorf("selectRung(nil) = %d", got)
+	}
+}
+
+func TestSampleVerify(t *testing.T) {
+	plan := &prune.Plan{Decisions: []prune.Decision{
+		{Action: prune.Simulate},
+		{Action: prune.Dead},
+		{Action: prune.Replicate},
+		{Action: prune.Simulate},
+		{Action: prune.Dead},
+		{Action: prune.Dead},
+	}}
+	if got := sampleVerify(plan, 0); got != nil {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := sampleVerify(nil, 5); got != nil {
+		t.Errorf("nil plan: %v", got)
+	}
+	all := sampleVerify(plan, 10)
+	if len(all) != 4 {
+		t.Fatalf("n=10: %v", all)
+	}
+	two := sampleVerify(plan, 2)
+	if len(two) != 2 {
+		t.Fatalf("n=2: %v", two)
+	}
+	// The sample is deterministic, evenly spaced, and only pruned masks.
+	for _, i := range two {
+		if plan.Decisions[i].Action == prune.Simulate {
+			t.Errorf("sampled a simulated mask %d", i)
+		}
+	}
+	if again := sampleVerify(plan, 2); again[0] != two[0] || again[1] != two[1] {
+		t.Errorf("sample not deterministic: %v vs %v", two, again)
+	}
+}

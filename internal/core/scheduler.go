@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/prune"
 	"repro/internal/telemetry"
 )
 
@@ -34,6 +35,13 @@ type goldenEntry struct {
 
 	mu   sync.Mutex
 	live map[string][]int // structure → entries live at end of golden run
+
+	// ladderMu guards the memoized checkpoint ladder separately from mu:
+	// capturing a ladder simulates most of a golden run, and geometry or
+	// live-entry lookups must not block behind it.
+	ladderMu sync.Mutex
+	ladderK  int
+	ladder   []LadderRung
 }
 
 // NewGoldenCache returns an empty memoizer.
@@ -152,6 +160,24 @@ func (c *GoldenCache) LiveEntries(tool, bench string, f Factory, structure strin
 	return live, nil
 }
 
+// Ladder returns the memoized K-rung checkpoint ladder of the {tool,
+// bench} row, capturing it on first use (or when a different K is
+// requested) by chaining RunTo/Checkpoint on one machine. An empty
+// ladder means the simulator cannot checkpoint; runs boot from scratch.
+func (c *GoldenCache) Ladder(tool, bench string, f Factory, k int) ([]LadderRung, error) {
+	e := c.entry(tool, bench)
+	if _, err := c.Golden(tool, bench, f); err != nil {
+		return nil, err
+	}
+	e.ladderMu.Lock()
+	defer e.ladderMu.Unlock()
+	if e.ladderK != k {
+		e.ladder = makeLadder(f, e.golden, k)
+		e.ladderK = k
+	}
+	return e.ladder, nil
+}
+
 // MatrixOptions configures RunMatrix.
 type MatrixOptions struct {
 	// Workers is the size of the single global worker pool shared by
@@ -169,19 +195,43 @@ type MatrixOptions struct {
 	// Parser; the logs repository remains the source for reconfigurable
 	// offline classification.
 	Telemetry *telemetry.Collector
+	// Prune enables golden-run liveness pruning: per row, a profiled
+	// fault-free replay records every access of the targeted structures,
+	// and masks whose fault is provably dead (overwritten, evicted or
+	// never accessed before any read) are classified Masked without
+	// simulation; masks falling into the same inter-access interval are
+	// collapsed to one simulated representative whose verdict the class
+	// shares. When checkpoint restores are in play, one extra replay per
+	// rung keeps the verdicts sound against the restored trajectories.
+	Prune bool
+	// PruneVerify, when positive, additionally simulates up to that many
+	// pruned masks per campaign and fails the matrix when a simulated
+	// class disagrees with the pruned verdict — the differential guard
+	// of the pruning engine. It implies Prune.
+	PruneVerify int
+	// CheckpointLadder is the number of evenly spaced restore points
+	// captured per row for its UseCheckpoint campaigns: K rungs at
+	// (i+1)/(K+1) of the golden run, each run restoring the highest rung
+	// below its earliest fault. Values below 2 keep the legacy single
+	// earliest-fault checkpoint.
+	CheckpointLadder int
 }
 
 // scheduledRun is one injection run of the flattened matrix queue.
 type scheduledRun struct {
 	spec int // index into the specs slice
 	mask int // index into that spec's mask slice
+	// verify is the slot index of a prune-verify run (simulated only to
+	// cross-check a pruned verdict, stored outside the records), or -1
+	// for a normal run.
+	verify int
 }
 
 // campaignPrep is the per-campaign state resolved before dispatch.
 type campaignPrep struct {
-	golden  GoldenInfo
-	cp      any
-	cpCycle uint64
+	golden GoldenInfo
+	rungs  []LadderRung
+	plan   *prune.Plan
 }
 
 // RunMatrix executes a set of {tool, benchmark, structure} campaigns as
@@ -222,16 +272,13 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 		preps[i].golden = g
 	}
 
-	// Checkpoint the fault-free prefix once per {tool, benchmark} row and
-	// share it across the row's structures; every run still decides
-	// individually whether its masks start late enough to restore it.
-	// The checkpoint is placed just before the earliest fault of the
-	// row's checkpoint-enabled campaigns, so runs share the longest
-	// possible prefix.
-	type rowCP struct {
-		cp      any
-		cpCycle uint64
-	}
+	// Resolve the restore points once per {tool, benchmark} row and share
+	// them across the row's structures; every run still decides
+	// individually which rung (if any) its earliest fault permits. With a
+	// ladder (K >= 2) the rungs sit at fixed fractions of the golden run
+	// and are memoized in the cache; the legacy single checkpoint is
+	// placed just before the earliest fault of the row's
+	// checkpoint-enabled campaigns and wrapped as a one-rung ladder.
 	earliest := make(map[goldenKey]uint64)
 	for i, spec := range specs {
 		if !spec.UseCheckpoint {
@@ -249,29 +296,81 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 		}
 		earliest[key] = e
 	}
-	rows := make(map[goldenKey]rowCP)
+	rows := make(map[goldenKey][]LadderRung)
 	for i, spec := range specs {
 		if !spec.UseCheckpoint {
 			continue
 		}
 		key := goldenKey{preps[i].golden.Tool, spec.Benchmark}
-		row, done := rows[key]
+		rungs, done := rows[key]
 		if !done {
-			cp, cpCycle := makeCheckpoint(spec.Factory, preps[i].golden, earliest[key])
-			row = rowCP{cp: cp, cpCycle: cpCycle}
-			rows[key] = row
+			if opt.CheckpointLadder >= 2 {
+				var err error
+				rungs, err = cache.Ladder(key.tool, key.bench, spec.Factory, opt.CheckpointLadder)
+				if err != nil {
+					return nil, err
+				}
+			} else if cp, cpCycle := makeCheckpoint(spec.Factory, preps[i].golden, earliest[key]); cp != nil {
+				rungs = []LadderRung{{State: cp, Cycle: cpCycle}}
+			}
+			rows[key] = rungs
 		}
-		preps[i].cp, preps[i].cpCycle = row.cp, row.cpCycle
+		preps[i].rungs = rungs
+	}
+
+	// Liveness pruning: one profiled fault-free replay per row trajectory
+	// (boot plus one per rung) classifies provably-dead masks Masked and
+	// collapses interval-equivalent masks at plan time, before anything is
+	// queued.
+	pruneOn := opt.Prune || opt.PruneVerify > 0
+	if pruneOn {
+		type rowKey struct {
+			key   goldenKey
+			rungs int // rows with and without restores profile separately
+		}
+		profiled := make(map[rowKey][]prune.Profiles)
+		for i := range specs {
+			spec := &specs[i]
+			key := rowKey{goldenKey{preps[i].golden.Tool, spec.Benchmark}, len(preps[i].rungs)}
+			profiles, done := profiled[key]
+			if !done {
+				var err error
+				profiles, err = buildRowProfiles(spec.Factory, preps[i].rungs,
+					maskStructures(specs), preps[i].golden)
+				if err != nil {
+					return nil, err
+				}
+				profiled[key] = profiles
+			}
+			preps[i].plan, _ = planMasks(spec, preps[i].rungs, profiles)
+		}
 	}
 
 	// Flatten every injection run into one shared queue, spec-major and
-	// mask-minor, and dispatch it on the global pool.
+	// mask-minor, skipping masks the plan settled without simulation. The
+	// prune-verify sample rides on the same queue as extra runs whose
+	// records land in a side table, never in the results.
 	records := make([][]LogRecord, len(specs))
+	verifyIdx := make([][]int, len(specs))
+	verifyRecs := make([][]LogRecord, len(specs))
 	var queue []scheduledRun
+	totalMasks := 0
 	for i, spec := range specs {
 		records[i] = make([]LogRecord, len(spec.Masks))
+		totalMasks += len(spec.Masks)
+		plan := preps[i].plan
 		for m := range spec.Masks {
-			queue = append(queue, scheduledRun{spec: i, mask: m})
+			if plan != nil && plan.Decisions[m].Action != prune.Simulate {
+				continue
+			}
+			queue = append(queue, scheduledRun{spec: i, mask: m, verify: -1})
+		}
+		if opt.PruneVerify > 0 {
+			verifyIdx[i] = sampleVerify(plan, opt.PruneVerify)
+			verifyRecs[i] = make([]LogRecord, len(verifyIdx[i]))
+			for j, m := range verifyIdx[i] {
+				queue = append(queue, scheduledRun{spec: i, mask: m, verify: j})
+			}
 		}
 	}
 
@@ -295,7 +394,10 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 			return uint64(r), uint64(h) //nolint:gosec // counters are non-negative
 		})
 		tel.Start(workers)
-		tel.AddQueued(len(queue))
+		// Queue accounting counts masks, not queue slots: pruned masks
+		// complete at fill time below (so queued == done holds), and
+		// verify re-runs are invisible to telemetry.
+		tel.AddQueued(totalMasks)
 		camps = make([]*telemetry.CampaignStats, len(specs))
 		keys = make([]string, len(specs))
 		for i, spec := range specs {
@@ -340,6 +442,19 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 				r := queue[i]
 				spec := &specs[r.spec]
 				prep := &preps[r.spec]
+				if r.verify >= 0 {
+					// Prune-verify re-run: simulate a pruned mask for the
+					// differential check, bypassing telemetry and the
+					// results entirely.
+					rec, err := runInjection(spec.Factory, prep.rungs, spec.Masks[r.mask],
+						prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, nil)
+					if err != nil {
+						fail(i, err)
+						return
+					}
+					verifyRecs[r.spec][r.verify] = rec
+					continue
+				}
 				var stats *runStats
 				var runStart time.Time
 				if tel != nil {
@@ -347,7 +462,7 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 					stats = new(runStats)
 					runStart = time.Now()
 				}
-				rec, err := runInjection(spec.Factory, prep.cp, prep.cpCycle, spec.Masks[r.mask],
+				rec, err := runInjection(spec.Factory, prep.rungs, spec.Masks[r.mask],
 					prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, stats)
 				if err != nil {
 					fail(i, err)
@@ -378,6 +493,8 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 						WatchedWrites:  stats.writes,
 						ObservedReads:  stats.obsReads,
 						ObservedWrites: stats.obsWrites,
+						LadderRestored: stats.restored,
+						RungCycle:      stats.rungCycle,
 					})
 				}
 			}
@@ -386,6 +503,74 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+
+	// Fill the records the plan settled without simulation: dead masks get
+	// the synthetic pruned record, collapsed masks a copy of their
+	// representative's verdict. Telemetry sees one started/done pair per
+	// pruned mask (keeping queued == done) with the prune provenance on
+	// the event; the collector excludes them from throughput gauges.
+	for i := range specs {
+		plan := preps[i].plan
+		if plan == nil {
+			continue
+		}
+		spec := &specs[i]
+		for m, d := range plan.Decisions {
+			var pruned string
+			repMask := -1
+			switch d.Action {
+			case prune.Simulate:
+				continue
+			case prune.Dead:
+				records[i][m] = prunedRecord(spec.Masks[m], preps[i].golden)
+				pruned = "dead"
+			case prune.Replicate:
+				rec := records[i][d.Rep]
+				rec.MaskID = spec.Masks[m].ID
+				rec.Sites = spec.Masks[m].Sites
+				records[i][m] = rec
+				pruned = "replicated"
+				repMask = spec.Masks[d.Rep].ID
+			}
+			if tel != nil {
+				rec := records[i][m]
+				cls, _ := (Parser{}).Classify(rec)
+				tel.RunStarted()
+				tel.RunDone(camps[i], telemetry.RunEvent{
+					Campaign:  keys[i],
+					Tool:      camps[i].Tool,
+					Benchmark: spec.Benchmark,
+					Structure: spec.Structure,
+					MaskID:    rec.MaskID,
+					Sites:     rec.Sites,
+					Status:    rec.Status,
+					Class:     string(cls),
+					Cycles:    rec.Cycles,
+					Pruned:    pruned,
+					RepMask:   repMask,
+				})
+			}
+		}
+	}
+
+	// The differential guard of -prune-verify: every sampled pruned mask
+	// was also simulated for real; its class must agree with the verdict
+	// the plan assigned. (Classes, not raw statuses: a dead-pruned run
+	// reports "pruned" where the simulation reports "early-masked" or
+	// "completed" — all Masked.)
+	for i := range specs {
+		for j, m := range verifyIdx[i] {
+			planned, _ := (Parser{}).Classify(records[i][m])
+			simulated, _ := (Parser{}).Classify(verifyRecs[i][j])
+			if planned != simulated {
+				d := preps[i].plan.Decisions[m]
+				return nil, fmt.Errorf(
+					"core: prune-verify mismatch on %s mask %d (%s, reason %q): pruned class %s, simulated class %s (status %s)",
+					fault.CampaignKey(preps[i].golden.Tool, specs[i].Benchmark, specs[i].Structure),
+					specs[i].Masks[m].ID, d.Action, d.Reason, planned, simulated, verifyRecs[i][j].Status)
+			}
+		}
 	}
 
 	results := make([]*CampaignResult, len(specs))

@@ -38,13 +38,18 @@ const (
 	// optimization with the fault provably masked (§III.B: fault in an
 	// invalid entry, or overwritten before ever being read).
 	RunEarlyMasked
+	// RunPruned means the run was never simulated: the golden-run
+	// liveness profile proved the fault dead (overwritten, evicted or
+	// never accessed before any read) at plan time, so the outcome is
+	// Masked with certainty — the §III.B proof moved before simulation.
+	RunPruned
 )
 
 var runStatusNames = [...]string{
 	RunCompleted: "completed", RunProcessCrash: "process-crash",
 	RunSystemCrash: "system-crash", RunAssert: "assert",
 	RunSimCrash: "simulator-crash", RunCycleLimit: "cycle-limit",
-	RunEarlyMasked: "early-masked",
+	RunEarlyMasked: "early-masked", RunPruned: "pruned",
 }
 
 // String returns the log name of the status.

@@ -34,6 +34,12 @@ type TraceRecord struct {
 	// EarlyStop names the §III.B proof that ended an early-masked run
 	// ("overwritten" or "skipped-invalid").
 	EarlyStop string `json:"early_stop,omitempty"`
+	// Pruned marks a row the liveness pruner settled without simulation:
+	// "dead" or "replicated". RepMask is the representative whose verdict
+	// a replicated row carries (a pointer: mask IDs start at 0, which
+	// omitempty would otherwise drop).
+	Pruned  string `json:"pruned,omitempty"`
+	RepMask *int   `json:"rep_mask,omitempty"`
 }
 
 // WriteTrace encodes records as JSON lines.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/branch"
 	"repro/internal/cache"
 	"repro/internal/kernel"
+	"repro/internal/mem"
 	"repro/internal/pipeline"
 )
 
@@ -19,9 +20,14 @@ type Checkpoint struct {
 	PC         uint64
 	Cycle      uint64
 	LastCommit uint64
-	Mem        []byte
-	Kern       kernel.Kernel
-	Stats      Stats
+	// Mem is a dirty-page/copy-on-write RAM image: checkpoints taken in
+	// sequence on one machine (a checkpoint ladder) share every page the
+	// run left untouched, so each capture after the first costs only the
+	// pages dirtied since the previous one, and restores skip all-zero
+	// pages entirely.
+	Mem   *mem.PagedSnapshot
+	Kern  kernel.Kernel
+	Stats Stats
 
 	L1I, L1D, L2 *cache.State
 	DTLB, ITLB   *cache.TLBState
@@ -74,7 +80,7 @@ func (c *CPU) Checkpoint() (any, error) {
 		PC:         c.pc,
 		Cycle:      c.cycle,
 		LastCommit: c.lastCommit,
-		Mem:        c.mem.Snapshot(),
+		Mem:        c.mem.SnapshotPaged(),
 		Kern:       c.kern.Clone(),
 		Stats:      c.stats,
 		L1I:        c.l1i.State(),
@@ -99,7 +105,7 @@ func (c *CPU) Restore(state any) error {
 	if !ok {
 		return fmt.Errorf("gem5: foreign checkpoint type %T", state)
 	}
-	c.mem.RestoreSnapshot(cp.Mem)
+	c.mem.RestorePaged(cp.Mem)
 	c.kern = cp.Kern.Clone()
 	c.stats = cp.Stats
 	c.l1i.SetState(cp.L1I)

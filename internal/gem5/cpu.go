@@ -159,6 +159,10 @@ func (c *CPU) Name() string { return "GeFIN-" + string(c.cfg.ISA) }
 // ISA implements core.Simulator.
 func (c *CPU) ISA() string { return string(c.cfg.ISA) }
 
+// CurrentCycle implements core.CycleSource: the golden-run liveness
+// profiler samples it from the storage-array access hooks.
+func (c *CPU) CurrentCycle() uint64 { return c.cycle }
+
 // Structures implements core.Simulator.
 func (c *CPU) Structures() map[string]*bitarray.Array {
 	m := map[string]*bitarray.Array{

@@ -54,6 +54,15 @@ func (f Fault) String() string {
 	}
 }
 
+// Paged-snapshot geometry: RAM is tracked in 4 KiB pages for the
+// dirty-page checkpoint deltas.
+const (
+	// PageSize is the granularity of dirty tracking and snapshot sharing.
+	PageSize uint64 = 4096
+	numPages        = int(Size / PageSize)
+	bmWords         = (numPages + 63) / 64
+)
+
 // Memory is the flat RAM of one simulated machine instance. It is not
 // safe for concurrent use; campaigns give every worker its own instance.
 type Memory struct {
@@ -63,6 +72,17 @@ type Memory struct {
 
 	reads  uint64
 	writes uint64
+
+	// dirty marks pages written since the last paged snapshot (or
+	// restore); nonzero marks pages that have ever been written, so
+	// all-zero pages never get copied or restored. lastSnap is the paged
+	// snapshot the dirty bits are relative to — successive snapshots on
+	// one machine share every clean page with it (copy-on-write), which
+	// is what makes a checkpoint ladder cheap: each rung after the first
+	// only copies the pages the run dirtied since the previous rung.
+	dirty    [bmWords]uint64
+	nonzero  [bmWords]uint64
+	lastSnap *PagedSnapshot
 }
 
 // New returns a zeroed memory.
@@ -120,6 +140,7 @@ func (m *Memory) Write(addr uint64, src []byte) Fault {
 		return f
 	}
 	m.writes++
+	m.markDirty(addr, len(src))
 	copy(m.ram[addr:], src)
 	return FaultNone
 }
@@ -152,11 +173,13 @@ func (m *Memory) RawRead(addr uint64, dst []byte) {
 
 // RawWrite writes without permission checks or accounting.
 func (m *Memory) RawWrite(addr uint64, src []byte) {
+	m.markDirty(addr, len(src))
 	copy(m.ram[addr:], src)
 }
 
 // Load installs an image segment at base.
 func (m *Memory) Load(base uint64, data []byte) {
+	m.markDirty(base, len(data))
 	copy(m.ram[base:], data)
 }
 
@@ -167,7 +190,100 @@ func (m *Memory) Snapshot() []byte {
 	return s
 }
 
-// RestoreSnapshot restores RAM from a snapshot.
+// RestoreSnapshot restores RAM from a snapshot. The paged-snapshot
+// tracking is conservatively reset: every page counts as written.
 func (m *Memory) RestoreSnapshot(s []byte) {
 	copy(m.ram, s)
+	for i := range m.dirty {
+		m.dirty[i] = ^uint64(0)
+		m.nonzero[i] = ^uint64(0)
+	}
+	m.lastSnap = nil
 }
+
+// ---- Paged snapshots -------------------------------------------------------
+
+// PagedSnapshot is a page-granular RAM image. A nil page is all zeroes;
+// pages clean since the previous snapshot of the same machine are shared
+// with it by reference. Snapshots are immutable once taken, so one
+// snapshot may seed many machines concurrently.
+type PagedSnapshot struct {
+	pages [numPages][]byte
+}
+
+// markDirty flags the pages of [addr, addr+n) as written. Out-of-range
+// spans are clamped the way the copy-based accessors clamp them.
+func (m *Memory) markDirty(addr uint64, n int) {
+	if n <= 0 || addr >= Size {
+		return
+	}
+	end := addr + uint64(n) - 1
+	if end >= Size || end < addr {
+		end = Size - 1
+	}
+	for p := int(addr / PageSize); p <= int(end/PageSize); p++ {
+		m.dirty[p>>6] |= 1 << uint(p&63)
+		m.nonzero[p>>6] |= 1 << uint(p&63)
+	}
+}
+
+func bmBit(bm *[bmWords]uint64, p int) bool {
+	return bm[p>>6]&(1<<uint(p&63)) != 0
+}
+
+// SnapshotPaged captures RAM as a paged snapshot. Pages untouched since
+// the machine's previous paged snapshot (or restore) are shared with it;
+// pages never written at all stay nil. The returned snapshot becomes the
+// new sharing base of this machine.
+func (m *Memory) SnapshotPaged() *PagedSnapshot {
+	s := &PagedSnapshot{}
+	for p := 0; p < numPages; p++ {
+		switch {
+		case m.lastSnap != nil && !bmBit(&m.dirty, p):
+			s.pages[p] = m.lastSnap.pages[p]
+		case !bmBit(&m.nonzero, p):
+			// Never written: all zeroes, keep nil.
+		default:
+			pg := make([]byte, PageSize)
+			copy(pg, m.ram[uint64(p)*PageSize:])
+			s.pages[p] = pg
+		}
+	}
+	for i := range m.dirty {
+		m.dirty[i] = 0
+	}
+	m.lastSnap = s
+	return s
+}
+
+// RestorePaged loads a paged snapshot into RAM, copying only pages that
+// can differ: nil (all-zero) snapshot pages are skipped unless this
+// memory has written the page, and a fresh machine restores a small
+// program in a handful of page copies instead of a full-RAM copy. The
+// snapshot becomes the machine's new sharing base.
+func (m *Memory) RestorePaged(s *PagedSnapshot) {
+	for p := 0; p < numPages; p++ {
+		pg := s.pages[p]
+		off := uint64(p) * PageSize
+		if pg == nil {
+			if bmBit(&m.nonzero, p) {
+				page := m.ram[off : off+PageSize]
+				for i := range page {
+					page[i] = 0
+				}
+				m.nonzero[p>>6] &^= 1 << uint(p&63)
+			}
+			continue
+		}
+		copy(m.ram[off:], pg)
+		m.nonzero[p>>6] |= 1 << uint(p&63)
+	}
+	for i := range m.dirty {
+		m.dirty[i] = 0
+	}
+	m.lastSnap = s
+}
+
+// Page returns the snapshot's page p (nil when all zeroes); tests use it
+// to assert copy-on-write sharing.
+func (s *PagedSnapshot) Page(p int) []byte { return s.pages[p] }

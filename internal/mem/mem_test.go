@@ -141,3 +141,97 @@ func TestRawAccessBypassesChecks(t *testing.T) {
 		t.Error("raw access failed")
 	}
 }
+
+func TestPagedSnapshotRoundTrip(t *testing.T) {
+	m := New()
+	m.Write(0x100000, []byte{9, 9, 9})
+	snap := m.SnapshotPaged()
+	m.Write(0x100000, []byte{1, 1, 1})
+	m.Write(0x200000, []byte{5})
+	m.RestorePaged(snap)
+	buf := make([]byte, 3)
+	m.Read(0x100000, buf)
+	if buf[0] != 9 {
+		t.Error("dirty page not restored")
+	}
+	m.Read(0x200000, buf[:1])
+	if buf[0] != 0 {
+		t.Error("page written after the snapshot not zeroed on restore")
+	}
+}
+
+func TestPagedSnapshotSharesCleanPages(t *testing.T) {
+	m := New()
+	m.Write(0x100000, []byte{1})
+	m.Write(0x180000, []byte{2})
+	s1 := m.SnapshotPaged()
+	m.Write(0x180000, []byte{3}) // dirty one page between snapshots
+	s2 := m.SnapshotPaged()
+	clean := int(0x100000 / PageSize)
+	dirty := int(0x180000 / PageSize)
+	if &s1.Page(clean)[0] != &s2.Page(clean)[0] {
+		t.Error("clean page not shared by reference")
+	}
+	if &s1.Page(dirty)[0] == &s2.Page(dirty)[0] {
+		t.Error("dirty page wrongly shared")
+	}
+	if s1.Page(dirty)[0] != 2 || s2.Page(dirty)[0] != 3 {
+		t.Error("snapshots not immutable across the second capture")
+	}
+}
+
+func TestPagedSnapshotZeroPagesStayNil(t *testing.T) {
+	m := New()
+	m.Write(0x100000, []byte{1})
+	s := m.SnapshotPaged()
+	touched := int(0x100000 / PageSize)
+	for p := 0; p < int(Size/PageSize); p++ {
+		if p == touched {
+			if s.Page(p) == nil {
+				t.Fatal("written page missing")
+			}
+			continue
+		}
+		if s.Page(p) != nil {
+			t.Fatalf("page %d materialized without a write", p)
+		}
+	}
+}
+
+func TestPagedRestoreIntoFreshMachine(t *testing.T) {
+	m := New()
+	m.Load(TextBase, []byte{0xAA})
+	m.Write(0x100000, []byte{7})
+	s := m.SnapshotPaged()
+
+	fresh := New()
+	fresh.Write(0x200000, []byte{9}) // must be wiped by the restore
+	fresh.RestorePaged(s)
+	buf := make([]byte, 1)
+	fresh.RawRead(TextBase, buf)
+	if buf[0] != 0xAA {
+		t.Error("text page not restored")
+	}
+	fresh.Read(0x100000, buf)
+	if buf[0] != 7 {
+		t.Error("data page not restored")
+	}
+	fresh.Read(0x200000, buf)
+	if buf[0] != 0 {
+		t.Error("stale write survived the restore")
+	}
+}
+
+func TestLegacyRestoreResetsPagedTracking(t *testing.T) {
+	m := New()
+	m.Write(0x100000, []byte{1})
+	full := m.Snapshot()
+	m.SnapshotPaged()
+	m.RestoreSnapshot(full)
+	// After a full restore the paged tracker must not share stale pages.
+	s := m.SnapshotPaged()
+	p := int(0x100000 / PageSize)
+	if s.Page(p) == nil || s.Page(p)[0] != 1 {
+		t.Error("paged snapshot after legacy restore lost the page")
+	}
+}

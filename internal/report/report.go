@@ -78,6 +78,16 @@ type Options struct {
 	// prefix across its campaigns via a drained-machine checkpoint (see
 	// core.CampaignSpec.UseCheckpoint for the outcome caveat).
 	UseCheckpoint bool
+	// Prune enables golden-run liveness pruning (see
+	// core.MatrixOptions.Prune).
+	Prune bool
+	// PruneVerify simulates up to this many pruned masks per campaign and
+	// fails on a class mismatch; implies Prune.
+	PruneVerify int
+	// CheckpointLadder captures this many evenly spaced restore points per
+	// {tool, benchmark} row instead of the single legacy checkpoint
+	// (effective with UseCheckpoint, values >= 2).
+	CheckpointLadder int
 	// GoldenCache, when non-nil, memoizes golden runs across report
 	// calls; by default each RunFigures/RunCampaignFor call uses a
 	// private cache.
@@ -221,6 +231,7 @@ func RunCampaignFor(tool, bench, structure string, opt Options) (*core.CampaignR
 	}
 	results, err := core.RunMatrix([]core.CampaignSpec{spec}, core.MatrixOptions{
 		Workers: opt.Workers, Golden: cache, Telemetry: opt.Telemetry,
+		Prune: opt.Prune, PruneVerify: opt.PruneVerify, CheckpointLadder: opt.CheckpointLadder,
 	})
 	if err != nil {
 		return nil, err
@@ -304,6 +315,7 @@ func RunFigures(specs []FigureSpec, opt Options, progress io.Writer) ([]*FigureD
 
 	results, err := core.RunMatrix(cspecs, core.MatrixOptions{
 		Workers: opt.Workers, Golden: cache, Telemetry: collector,
+		Prune: opt.Prune, PruneVerify: opt.PruneVerify, CheckpointLadder: opt.CheckpointLadder,
 	})
 	if rep != nil {
 		rep.Stop()

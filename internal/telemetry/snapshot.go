@@ -20,6 +20,11 @@ type Snapshot struct {
 	RunsDone    uint64 `json:"runs_done"`
 	EarlyStops  uint64 `json:"early_stops"`
 
+	PrunedDead       uint64  `json:"pruned_dead"`
+	PrunedReplicated uint64  `json:"pruned_replicated"`
+	PruneRate        float64 `json:"prune_rate"`
+	LadderRestores   uint64  `json:"ladder_restores"`
+
 	RunsPerSec        float64 `json:"runs_per_sec"`
 	SimCycles         uint64  `json:"sim_cycles"`
 	McyclesPerSec     float64 `json:"mcycles_per_sec"`
@@ -103,6 +108,12 @@ func (s Snapshot) ProgressLine() string {
 	if s.WatchedReads+s.WatchedWrites > 0 {
 		fmt.Fprintf(&b, "  fastpath %.1f%%", 100*s.FastPathRate)
 	}
+	if s.PrunedDead+s.PrunedReplicated > 0 {
+		fmt.Fprintf(&b, "  pruned %d+%drep (%.1f%%)", s.PrunedDead, s.PrunedReplicated, 100*s.PruneRate)
+	}
+	if s.LadderRestores > 0 {
+		fmt.Fprintf(&b, "  restores %d", s.LadderRestores)
+	}
 	if cls := s.ClassString(); cls != "" {
 		fmt.Fprintf(&b, "  %s", cls)
 	}
@@ -151,6 +162,10 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	counter("runs_started_total", "Injection runs dispatched to workers.", s.RunsStarted)
 	counter("runs_done_total", "Injection runs finished.", s.RunsDone)
 	counter("early_stops_total", "Runs ended early by a provably-masked fault.", s.EarlyStops)
+	counter("pruned_dead_total", "Masks classified Masked at plan time without simulation.", s.PrunedDead)
+	counter("pruned_replicated_total", "Masks whose verdict was copied from an equivalence-class representative.", s.PrunedReplicated)
+	gauge("prune_rate", "Fraction of finished runs settled without simulation.", s.PruneRate)
+	counter("ladder_restores_total", "Runs restored from a checkpoint-ladder rung instead of booting.", s.LadderRestores)
 	counter("sim_cycles_total", "Simulated cycles across finished runs.", s.SimCycles)
 	gauge("runs_per_second", "Finished runs per wall-clock second.", s.RunsPerSec)
 	gauge("mcycles_per_second", "Simulated megacycles per wall-clock second.", s.McyclesPerSec)

@@ -54,6 +54,20 @@ type RunEvent struct {
 	// the bitarray fast-path hit count.
 	WatchedReads, WatchedWrites   uint64
 	ObservedReads, ObservedWrites uint64
+	// Pruned marks a run the liveness pruner settled without simulation:
+	// "dead" (provably masked at plan time) or "replicated" (verdict
+	// copied from an equivalence-class representative); empty for
+	// simulated runs. Pruned events carry zero Cycles/Wall and are
+	// excluded from the throughput gauges.
+	Pruned string
+	// RepMask is the representative's mask ID for replicated runs, -1
+	// otherwise.
+	RepMask int
+	// LadderRestored reports that the run restored from a checkpoint
+	// rung (rather than booting), and RungCycle the capture cycle of
+	// that rung.
+	LadderRestored bool
+	RungCycle      uint64
 }
 
 // Sink consumes run-end events, e.g. the JSONL trace writer. RunEvent
@@ -117,6 +131,10 @@ type Collector struct {
 	earlyStops atomic.Uint64
 	simCycles  atomic.Uint64
 	busyNanos  atomic.Int64
+
+	prunedDead       atomic.Uint64
+	prunedReplicated atomic.Uint64
+	ladderRestores   atomic.Uint64
 
 	watchedReads, watchedWrites   atomic.Uint64
 	observedReads, observedWrites atomic.Uint64
@@ -189,7 +207,11 @@ func (c *Collector) AddSink(s Sink) {
 // campaign.
 func (c *Collector) RunDone(cs *CampaignStats, ev RunEvent) {
 	c.done.Add(1)
-	c.simCycles.Add(ev.Cycles)
+	if ev.Pruned == "" {
+		// Pruned runs simulated nothing; keeping their (zero) cycles out
+		// of the accumulator keeps the Mcycles/s gauge honest.
+		c.simCycles.Add(ev.Cycles)
+	}
 	c.busyNanos.Add(int64(ev.Wall))
 	c.watchedReads.Add(ev.WatchedReads)
 	c.watchedWrites.Add(ev.WatchedWrites)
@@ -197,6 +219,15 @@ func (c *Collector) RunDone(cs *CampaignStats, ev RunEvent) {
 	c.observedWrites.Add(ev.ObservedWrites)
 	if ev.EarlyStop != "" {
 		c.earlyStops.Add(1)
+	}
+	switch ev.Pruned {
+	case "dead":
+		c.prunedDead.Add(1)
+	case "replicated":
+		c.prunedReplicated.Add(1)
+	}
+	if ev.LadderRestored {
+		c.ladderRestores.Add(1)
 	}
 	c.statuses.add(ev.Status, 1)
 	c.classes.add(ev.Class, 1)
@@ -216,18 +247,21 @@ func (c *Collector) RunDone(cs *CampaignStats, ev RunEvent) {
 // final snapshot after the scheduler returns is exact.
 func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
-		Workers:        int(c.workers.Load()),
-		RunsQueued:     c.queued.Load(),
-		RunsStarted:    c.started.Load(),
-		RunsDone:       c.done.Load(),
-		EarlyStops:     c.earlyStops.Load(),
-		SimCycles:      c.simCycles.Load(),
-		WatchedReads:   c.watchedReads.Load(),
-		WatchedWrites:  c.watchedWrites.Load(),
-		ObservedReads:  c.observedReads.Load(),
-		ObservedWrites: c.observedWrites.Load(),
-		StatusCounts:   c.statuses.snapshot(),
-		ClassCounts:    c.classes.snapshot(),
+		Workers:          int(c.workers.Load()),
+		RunsQueued:       c.queued.Load(),
+		RunsStarted:      c.started.Load(),
+		RunsDone:         c.done.Load(),
+		EarlyStops:       c.earlyStops.Load(),
+		PrunedDead:       c.prunedDead.Load(),
+		PrunedReplicated: c.prunedReplicated.Load(),
+		LadderRestores:   c.ladderRestores.Load(),
+		SimCycles:        c.simCycles.Load(),
+		WatchedReads:     c.watchedReads.Load(),
+		WatchedWrites:    c.watchedWrites.Load(),
+		ObservedReads:    c.observedReads.Load(),
+		ObservedWrites:   c.observedWrites.Load(),
+		StatusCounts:     c.statuses.snapshot(),
+		ClassCounts:      c.classes.snapshot(),
 	}
 	if start := c.startNanos.Load(); start != 0 {
 		s.ElapsedSeconds = time.Since(time.Unix(0, start)).Seconds()
@@ -247,6 +281,9 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	if total := s.WatchedReads + s.WatchedWrites; total > 0 {
 		s.FastPathRate = 1 - float64(s.ObservedReads+s.ObservedWrites)/float64(total)
+	}
+	if s.RunsDone > 0 {
+		s.PruneRate = float64(s.PrunedDead+s.PrunedReplicated) / float64(s.RunsDone)
 	}
 	c.mu.Lock()
 	campaigns := append([]*CampaignStats(nil), c.campaigns...)

@@ -36,6 +36,11 @@ func (s *TraceSink) RunEvent(ev RunEvent) {
 		Observed:      ev.Observed,
 		FirstObsCycle: ev.FirstObsCycle,
 		EarlyStop:     ev.EarlyStop,
+		Pruned:        ev.Pruned,
+	}
+	if ev.Pruned == "replicated" {
+		rep := ev.RepMask
+		rec.RepMask = &rep
 	}
 	s.mu.Lock()
 	s.recs = append(s.recs, rec)

@@ -1,7 +1,10 @@
 #!/bin/sh
 # Runs the matrix-scheduler benchmarks (the bare scheduler and the
-# telemetry-overhead variant) and writes the machine-readable baseline
-# results/BENCH_scheduler.json via scripts/benchjson.
+# telemetry-overhead variant) plus the pruning-engine benchmarks (the
+# prune ablation, the checkpoint ladder, and the golden-run profiling
+# overhead guard) and writes the machine-readable baselines
+# results/BENCH_scheduler.json and results/BENCH_prune.json via
+# scripts/benchjson.
 #
 # Usage: scripts/bench_scheduler.sh [count]
 #   count  -count passed to `go test -bench` (default 1)
@@ -18,3 +21,9 @@ go test -run '^$' -bench 'BenchmarkMatrixScheduler' -benchtime 1x \
     -count "$count" . | tee "$out"
 go run ./scripts/benchjson <"$out" >results/BENCH_scheduler.json
 echo "wrote results/BENCH_scheduler.json"
+
+go test -run '^$' \
+    -bench 'BenchmarkPruneAblation|BenchmarkCheckpointLadder|BenchmarkGoldenProfileOverhead' \
+    -benchtime 3x -count "$count" . | tee "$out"
+go run ./scripts/benchjson <"$out" >results/BENCH_prune.json
+echo "wrote results/BENCH_prune.json"

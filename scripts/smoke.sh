@@ -1,7 +1,10 @@
 #!/bin/sh
-# CI smoke test for the telemetry layer: run one tiny campaign with
-# tracing, the metrics endpoint, and the final-snapshot dump all enabled,
-# then cross-check the three artifacts with scripts/smokecheck.
+# CI smoke test for the telemetry layer and the pruning engine: run one
+# tiny campaign with tracing, the metrics endpoint, and the
+# final-snapshot dump all enabled, then a second campaign with liveness
+# pruning, the checkpoint ladder, and the -prune-verify differential
+# guard on top, cross-checking each run's artifacts with
+# scripts/smokecheck.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -22,3 +25,20 @@ go run ./cmd/faultcamp \
 
 go run ./scripts/smokecheck \
     -logs "$tmp/logs" -key "$key" -snapshot "$tmp/snap.json"
+
+# Pruned campaign: the L1D data array prunes heavily, -prune-verify
+# simulates a sample of the pruned masks anyway and fails on any class
+# disagreement, and smokecheck -prune asserts the trace still carries
+# one provenance-flagged row per injection.
+structure=l1d.data
+key="${tool}__${bench}__${structure}"
+
+go run ./cmd/faultcamp \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 40 -seed 2 -logs "$tmp/logs" \
+    -prune -prune-verify 25 -checkpoint -ladder 3 \
+    -trace -snapshot-json "$tmp/snap_prune.json" \
+    -progress-every 500ms
+
+go run ./scripts/smokecheck \
+    -logs "$tmp/logs" -key "$key" -snapshot "$tmp/snap_prune.json" -prune

@@ -7,12 +7,16 @@
 //   - the snapshot's outcome histogram equals what the offline parser
 //     computes from the stored records,
 //   - the trace has exactly one row per injection, in (campaign, mask)
-//     order, with classes matching the offline parser record-for-record.
+//     order, with classes matching the offline parser record-for-record,
+//   - prune provenance is consistent: dead-pruned rows classify Masked,
+//     replicated rows name a representative with the same class, and the
+//     snapshot's prune counters equal the trace's flagged-row counts
+//     (with -prune additionally asserting that pruning happened at all).
 //
 // Usage:
 //
 //	smokecheck -logs logsrepo -key gefin-x86__qsort__rf.int \
-//	           -snapshot snap.json [-trace logsrepo/<key>.trace.jsonl]
+//	           -snapshot snap.json [-trace logsrepo/<key>.trace.jsonl] [-prune]
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 	key := flag.String("key", "", "campaign key to check")
 	snapPath := flag.String("snapshot", "", "final snapshot JSON file")
 	tracePath := flag.String("trace", "", "JSONL injection trace (default <logs>/<key>.trace.jsonl)")
+	wantPrune := flag.Bool("prune", false, "assert the campaign was pruned (nonzero dead or replicated rows)")
 	flag.Parse()
 	if *logsDir == "" || *key == "" || *snapPath == "" {
 		flag.Usage()
@@ -105,8 +110,50 @@ func main() {
 		}
 	}
 
-	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d\n",
-		*key, n, snap.ClassString(), len(recs))
+	rowOf := make(map[int]int, len(recs))
+	for i, tr := range recs {
+		rowOf[tr.MaskID] = i
+	}
+	var dead, replicated uint64
+	for i, tr := range recs {
+		switch tr.Pruned {
+		case "":
+			if tr.RepMask != nil {
+				fatal(fmt.Errorf("trace row %d is simulated but names representative %d", i, *tr.RepMask))
+			}
+		case "dead":
+			dead++
+			if tr.Class != string(core.ClassMasked) {
+				fatal(fmt.Errorf("trace row %d is dead-pruned but classifies %q", i, tr.Class))
+			}
+		case "replicated":
+			replicated++
+			if tr.RepMask == nil {
+				fatal(fmt.Errorf("trace row %d is replicated but names no representative", i))
+			}
+			r, ok := rowOf[*tr.RepMask]
+			if !ok {
+				fatal(fmt.Errorf("trace row %d replicates mask %d, which has no trace row", i, *tr.RepMask))
+			}
+			if rep := recs[r]; rep.Pruned != "" {
+				fatal(fmt.Errorf("trace row %d replicates mask %d, itself pruned %q", i, *tr.RepMask, rep.Pruned))
+			} else if rep.Class != tr.Class {
+				fatal(fmt.Errorf("trace row %d class %q differs from its representative's %q", i, tr.Class, rep.Class))
+			}
+		default:
+			fatal(fmt.Errorf("trace row %d has unknown prune flag %q", i, tr.Pruned))
+		}
+	}
+	if snap.PrunedDead != dead || snap.PrunedReplicated != replicated {
+		fatal(fmt.Errorf("snapshot prune counters %d dead + %d replicated, trace has %d + %d",
+			snap.PrunedDead, snap.PrunedReplicated, dead, replicated))
+	}
+	if *wantPrune && dead+replicated == 0 {
+		fatal(fmt.Errorf("-prune: campaign was not pruned at all"))
+	}
+
+	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d (%d dead + %d replicated)\n",
+		*key, n, snap.ClassString(), len(recs), dead, replicated)
 }
 
 func fatal(err error) {
