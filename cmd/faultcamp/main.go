@@ -52,6 +52,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and /debug/pprof on this address (e.g. 127.0.0.1:8321)")
 	traceOn := flag.Bool("trace", false, "write a JSONL injection trace (<key>.trace.jsonl) into the logs repository")
 	snapshotJSON := flag.String("snapshot-json", "", "write the final telemetry snapshot as JSON to this file")
+	journalOn := flag.Bool("journal", false, "journal every completed run to <key>.journal.jsonl (fsync'd) so a killed campaign can resume")
+	resume := flag.Bool("resume", false, "load completed runs from the journal instead of re-simulating them (implies -journal)")
+	runWallLimit := flag.Duration("run-wall-limit", 0, "per-run wall-clock backstop: classify a run as Timeout after this much host time (0: off)")
 	flag.Parse()
 
 	w, err := workload.ByName(*bench)
@@ -105,6 +108,15 @@ func main() {
 		fatal(err)
 	}
 
+	var journal *fault.Journal
+	if *journalOn || *resume {
+		journal, err = fault.OpenJournal(logs.JournalPath(key))
+		if err != nil {
+			fatal(err)
+		}
+		defer journal.Close()
+	}
+
 	collector := telemetry.New()
 	if *metricsAddr != "" {
 		srv, err := collector.Serve(*metricsAddr)
@@ -135,6 +147,7 @@ func main() {
 	}}, core.MatrixOptions{
 		Workers: *workers, Golden: cache, Telemetry: collector,
 		Prune: *pruneOn, PruneVerify: *pruneVerify, CheckpointLadder: *ladder,
+		Journal: journal, Resume: *resume, RunWallLimit: *runWallLimit,
 	})
 	if rep != nil {
 		rep.Stop()
@@ -180,6 +193,16 @@ func main() {
 	if snap.PrunedDead+snap.PrunedReplicated > 0 {
 		fmt.Printf("  pruned: %d dead + %d replicated of %d masks (%.1f%%), %d ladder restores\n",
 			snap.PrunedDead, snap.PrunedReplicated, snap.RunsDone, 100*snap.PruneRate, snap.LadderRestores)
+	}
+	if journal != nil {
+		fmt.Printf("  journal: %s (%d runs appended this process", logs.JournalPath(key), journal.Appended())
+		if snap.Resumed > 0 {
+			fmt.Printf(", %d resumed", snap.Resumed)
+		}
+		fmt.Printf(")\n")
+	}
+	if snap.PanicsContained > 0 {
+		fmt.Printf("  contained panics: %d\n", snap.PanicsContained)
 	}
 	fmt.Printf("summary: %s\n", snap.SummaryLine())
 }

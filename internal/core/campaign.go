@@ -115,7 +115,11 @@ func RunOne(f Factory, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, ea
 	return RunOneFrom(f, nil, 0, m, golden, timeoutFactor, earlyStop)
 }
 
-// minSiteCycle returns the earliest fault activation of the mask.
+// minSiteCycle returns the earliest fault activation of the mask. An
+// empty (fault-free) mask reports ^uint64(0) — "no fault ever" — which
+// is correct for earliest-fault aggregation but must NOT be fed to
+// selectRung: a fault-free run is defined to boot from scratch, not to
+// restore the highest checkpoint rung (runInjection guards this).
 func minSiteCycle(m fault.Mask) uint64 {
 	min := ^uint64(0)
 	for _, s := range m.Sites {
@@ -195,28 +199,55 @@ func RunOneFrom(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenIn
 // rung captured before its earliest fault, or boots from scratch.
 func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool, stats *runStats) (LogRecord, error) {
 	sim := f()
-	if ri := selectRung(rungs, minSiteCycle(m)); ri >= 0 {
-		if ck, ok := sim.(Checkpointer); ok {
-			if err := ck.Restore(rungs[ri].State); err != nil {
-				return LogRecord{}, fmt.Errorf("core: restoring checkpoint: %w", err)
-			}
-			if stats != nil {
-				stats.restored, stats.rungCycle = true, rungs[ri].Cycle
+	// Empty masks boot from scratch: with no site to bound the restore,
+	// minSiteCycle reports ^uint64(0) and selectRung would hand back the
+	// highest rung, silently turning a fault-free reference run into a
+	// restored one.
+	if len(m.Sites) > 0 {
+		if ri := selectRung(rungs, minSiteCycle(m)); ri >= 0 {
+			if ck, ok := sim.(Checkpointer); ok {
+				if err := ck.Restore(rungs[ri].State); err != nil {
+					return LogRecord{}, fmt.Errorf("core: restoring checkpoint: %w", err)
+				}
+				if stats != nil {
+					stats.restored, stats.rungCycle = true, rungs[ri].Cycle
+				}
 			}
 		}
 	}
 	structures := sim.Structures()
 	var watch []*bitarray.Array
+	var watched map[string]bool
+	if len(m.Sites) > 1 {
+		// A multi-site mask can place several sites on one structure;
+		// watching the array once per site would double-count its access
+		// stats and make the simulator tick it twice per cycle.
+		watched = make(map[string]bool, len(m.Sites))
+	}
 	for _, s := range m.Sites {
 		arr, ok := structures[s.Structure]
 		if !ok {
 			return LogRecord{}, fmt.Errorf("core: mask %d targets unknown structure %q on %s", m.ID, s.Structure, sim.Name())
+		}
+		// Validate before Arm: bitarray.Arm panics on an out-of-range
+		// target, which must surface as a per-run error naming the mask
+		// (a hand-edited mask file must not abort the whole campaign
+		// process).
+		if s.Entry < 0 || s.Entry >= arr.Entries() || s.Bit < 0 || s.Bit >= arr.BitsPerEntry() {
+			return LogRecord{}, fmt.Errorf("core: mask %d: fault target (%d,%d) outside the %d×%d geometry of %s on %s",
+				m.ID, s.Entry, s.Bit, arr.Entries(), arr.BitsPerEntry(), s.Structure, sim.Name())
 		}
 		bf, err := s.Fault()
 		if err != nil {
 			return LogRecord{}, fmt.Errorf("core: mask %d: %v", m.ID, err)
 		}
 		arr.Arm(bf)
+		if watched != nil {
+			if watched[s.Structure] {
+				continue
+			}
+			watched[s.Structure] = true
+		}
 		watch = append(watch, arr)
 	}
 	sim.WatchArrays(watch)

@@ -71,6 +71,14 @@ func (r *LogsRepo) TracePath(name string) string {
 	return filepath.Join(r.dir, name+".trace.jsonl")
 }
 
+// JournalPath returns the durable run-journal path for a name — the
+// append-only crash-recovery record stream that lives next to the
+// campaign logs (the logs file itself is rewritten whole at the end of a
+// campaign, so it cannot serve as the recovery record).
+func (r *LogsRepo) JournalPath(name string) string {
+	return filepath.Join(r.dir, name+".journal.jsonl")
+}
+
 // Load reads one campaign's result back.
 func (r *LogsRepo) Load(key string) (*CampaignResult, error) {
 	f, err := os.Open(r.file(key))

@@ -180,7 +180,10 @@ func planMasks(spec *CampaignSpec, rungs []LadderRung, profiles []prune.Profiles
 	}
 	rungOf := make([]int, len(spec.Masks))
 	for m, mask := range spec.Masks {
-		if spec.UseCheckpoint {
+		// Empty masks boot from scratch (see runInjection); keeping the
+		// plan-time rung in step with the runtime restore decision is
+		// what makes pruning verdicts trajectory-sound.
+		if spec.UseCheckpoint && len(mask.Sites) > 0 {
 			rungOf[m] = selectRung(rungs, minSiteCycle(mask))
 		} else {
 			rungOf[m] = -1

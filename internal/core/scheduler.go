@@ -1,7 +1,10 @@
 package core
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
+	"reflect"
 	"runtime"
 	"sync"
 	"time"
@@ -215,6 +218,27 @@ type MatrixOptions struct {
 	// below its earliest fault. Values below 2 keep the legacy single
 	// earliest-fault checkpoint.
 	CheckpointLadder int
+	// Journal, when non-nil, receives one fsync'd JSONL line per
+	// completed injection run — the record plus its trace provenance —
+	// before the worker moves on, so a killed campaign loses at most the
+	// runs that were in flight. Verify re-runs and plan-settled (pruned)
+	// masks are not journaled: the former never enter the results, the
+	// latter are replayed from the deterministic plan on resume.
+	Journal *fault.Journal
+	// Resume replays the journal into the results before dispatch:
+	// masks already journaled for a campaign key load their record from
+	// the journal, skip the queue, and count as resumed in telemetry.
+	// The final records — and the injection trace — are byte-identical
+	// to an uninterrupted run. Requires Journal.
+	Resume bool
+	// RunWallLimit, when positive, bounds the host wall-clock time of a
+	// single injection run. The cycle budget (TimeoutFactor) bounds
+	// simulated time; this backstop catches a wedged simulator whose
+	// cycles stop advancing at all. A run over the limit is recorded as
+	// a commit-stalled cycle-limit run (class Timeout, deadlock detail)
+	// and its goroutine abandoned. Wall-timeout verdicts depend on host
+	// timing, so set this comfortably above any honest run.
+	RunWallLimit time.Duration
 }
 
 // scheduledRun is one injection run of the flattened matrix queue.
@@ -245,7 +269,12 @@ type campaignPrep struct {
 //
 // On a worker error the pool cancels promptly — in-flight runs finish,
 // queued runs are abandoned — and the error of the earliest queued run
-// that failed is returned.
+// that failed is returned. Each run executes behind a containment
+// boundary: a panic escaping the simulator or the fault-arming path is
+// converted into that run's error (surfaced through the same
+// deterministic first-error ordering) instead of aborting the process,
+// and masks are validated against structure geometry before anything is
+// queued.
 func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, error) {
 	cache := opt.Golden
 	if cache == nil {
@@ -270,6 +299,47 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 			g.Tool = spec.Tool
 		}
 		preps[i].golden = g
+	}
+
+	// Fail malformed masks at plan time, before anything simulates:
+	// arming a fault outside its structure's geometry panics deep inside
+	// the bitarray, so a typo in a hand-edited mask file must be named up
+	// front (mask ID and site) rather than surface as a contained panic
+	// halfway through a long campaign. Geometry comes from the memoized
+	// golden machine; a supplied golden bypasses the cache, so one
+	// boot-only probe instance answers instead.
+	for i := range specs {
+		spec := &specs[i]
+		var geom func(string) (int, int, bool)
+		var geomErr error
+		if spec.Golden == nil {
+			geom = func(structure string) (int, int, bool) {
+				entries, bits, ok, err := cache.Geometry(spec.Tool, spec.Benchmark, spec.Factory, structure)
+				if err != nil {
+					geomErr = err
+					return 0, 0, false
+				}
+				return entries, bits, ok
+			}
+		} else {
+			arrs := spec.Factory().Structures()
+			geom = func(structure string) (int, int, bool) {
+				arr, ok := arrs[structure]
+				if !ok {
+					return 0, 0, false
+				}
+				return arr.Entries(), arr.BitsPerEntry(), true
+			}
+		}
+		for _, m := range spec.Masks {
+			if err := m.ValidateSites(geom); err != nil {
+				if geomErr != nil {
+					return nil, geomErr
+				}
+				return nil, fmt.Errorf("core: campaign %s: %v",
+					fault.CampaignKey(preps[i].golden.Tool, spec.Benchmark, spec.Structure), err)
+			}
+		}
 	}
 
 	// Resolve the restore points once per {tool, benchmark} row and share
@@ -346,8 +416,45 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 		}
 	}
 
+	// Campaign keys label journal lines and telemetry rows alike.
+	keys := make([]string, len(specs))
+	for i, spec := range specs {
+		tool := spec.Tool
+		if tool == "" {
+			tool = preps[i].golden.Tool
+		}
+		keys[i] = fault.CampaignKey(tool, spec.Benchmark, spec.Structure)
+	}
+
+	// Resume: index the journal's acknowledged runs by {campaign, mask}.
+	// The queue fill below consults it after the prune plan — plans are
+	// regenerated deterministically, so a journaled mask the plan now
+	// settles without simulation stays with the plan's verdict.
+	jnl := opt.Journal
+	var journaled map[string]map[int]*fault.JournalEntry
+	if opt.Resume && jnl != nil {
+		past := jnl.Entries()
+		journaled = make(map[string]map[int]*fault.JournalEntry)
+		for k := range past {
+			e := &past[k]
+			byMask := journaled[e.Campaign]
+			if byMask == nil {
+				byMask = make(map[int]*fault.JournalEntry)
+				journaled[e.Campaign] = byMask
+			}
+			byMask[e.MaskID] = e
+		}
+	}
+	type resumedRun struct {
+		spec  int
+		entry *fault.JournalEntry
+		rec   LogRecord
+	}
+	var resumed []resumedRun
+
 	// Flatten every injection run into one shared queue, spec-major and
-	// mask-minor, skipping masks the plan settled without simulation. The
+	// mask-minor, skipping masks the plan settled without simulation and
+	// masks the journal already holds a completed record for. The
 	// prune-verify sample rides on the same queue as extra runs whose
 	// records land in a side table, never in the results.
 	records := make([][]LogRecord, len(specs))
@@ -361,6 +468,18 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 		plan := preps[i].plan
 		for m := range spec.Masks {
 			if plan != nil && plan.Decisions[m].Action != prune.Simulate {
+				continue
+			}
+			if e := journaled[keys[i]][spec.Masks[m].ID]; e != nil {
+				var rec LogRecord
+				if err := json.Unmarshal(e.Record, &rec); err != nil {
+					return nil, fmt.Errorf("core: journal record for %s mask %d: %w", e.Campaign, e.MaskID, err)
+				}
+				if !reflect.DeepEqual(rec.Sites, spec.Masks[m].Sites) {
+					return nil, fmt.Errorf("core: journal record for %s mask %d was taken with different fault sites — stale journal for this mask set", e.Campaign, e.MaskID)
+				}
+				records[i][m] = rec
+				resumed = append(resumed, resumedRun{spec: i, entry: e, rec: rec})
 				continue
 			}
 			queue = append(queue, scheduledRun{spec: i, mask: m, verify: -1})
@@ -387,26 +506,47 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 	// statistics live.
 	tel := opt.Telemetry
 	var camps []*telemetry.CampaignStats
-	var keys []string
 	if tel != nil {
 		tel.SetGoldenSource(func() (uint64, uint64) {
 			r, h := cache.Stats()
 			return uint64(r), uint64(h) //nolint:gosec // counters are non-negative
 		})
 		tel.Start(workers)
-		// Queue accounting counts masks, not queue slots: pruned masks
-		// complete at fill time below (so queued == done holds), and
-		// verify re-runs are invisible to telemetry.
+		// Queue accounting counts masks, not queue slots: pruned and
+		// resumed masks complete at fill time (so queued == done holds),
+		// and verify re-runs are invisible to telemetry.
 		tel.AddQueued(totalMasks)
 		camps = make([]*telemetry.CampaignStats, len(specs))
-		keys = make([]string, len(specs))
 		for i, spec := range specs {
 			tool := spec.Tool
 			if tool == "" {
 				tool = preps[i].golden.Tool
 			}
-			keys[i] = fault.CampaignKey(tool, spec.Benchmark, spec.Structure)
 			camps[i] = tel.Campaign(keys[i], tool, spec.Benchmark, spec.Structure)
+		}
+		// Resumed runs completed in an earlier process; their events carry
+		// the journaled trace provenance (so the trace sink reproduces the
+		// uninterrupted trace byte-for-byte) but zero Wall and Resumed set,
+		// keeping the throughput gauges about this process's work.
+		for _, r := range resumed {
+			spec := &specs[r.spec]
+			cls, _ := (Parser{}).Classify(r.rec)
+			tel.RunStarted()
+			tel.RunDone(camps[r.spec], telemetry.RunEvent{
+				Campaign:      keys[r.spec],
+				Tool:          camps[r.spec].Tool,
+				Benchmark:     spec.Benchmark,
+				Structure:     spec.Structure,
+				MaskID:        r.rec.MaskID,
+				Sites:         r.rec.Sites,
+				Status:        r.rec.Status,
+				Class:         string(cls),
+				Cycles:        r.rec.Cycles,
+				Observed:      r.entry.Observed,
+				FirstObsCycle: r.entry.FirstObsCycle,
+				EarlyStop:     r.entry.EarlyStop,
+				Resumed:       true,
+			})
 		}
 	}
 
@@ -426,6 +566,16 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 		stop = true
 		mu.Unlock()
 	}
+	// noteErr accounts a per-run failure before the deterministic
+	// first-error selection; a contained panic bumps the telemetry
+	// counter even when a different run's error ultimately wins.
+	noteErr := func(run int, err error) {
+		var pe *PanicError
+		if tel != nil && errors.As(err, &pe) {
+			tel.PanicContained()
+		}
+		fail(run, err)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -444,12 +594,12 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 				prep := &preps[r.spec]
 				if r.verify >= 0 {
 					// Prune-verify re-run: simulate a pruned mask for the
-					// differential check, bypassing telemetry and the
-					// results entirely.
-					rec, err := runInjection(spec.Factory, prep.rungs, spec.Masks[r.mask],
-						prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, nil)
+					// differential check, bypassing telemetry, the journal
+					// and the results entirely.
+					rec, err := runGuarded(spec.Factory, prep.rungs, spec.Masks[r.mask],
+						prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, opt.RunWallLimit, nil)
 					if err != nil {
-						fail(i, err)
+						noteErr(i, err)
 						return
 					}
 					verifyRecs[r.spec][r.verify] = rec
@@ -457,18 +607,33 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 				}
 				var stats *runStats
 				var runStart time.Time
+				if tel != nil || jnl != nil {
+					stats = new(runStats)
+				}
 				if tel != nil {
 					tel.RunStarted()
-					stats = new(runStats)
 					runStart = time.Now()
 				}
-				rec, err := runInjection(spec.Factory, prep.rungs, spec.Masks[r.mask],
-					prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, stats)
+				rec, err := runGuarded(spec.Factory, prep.rungs, spec.Masks[r.mask],
+					prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, opt.RunWallLimit, stats)
 				if err != nil {
-					fail(i, err)
+					noteErr(i, err)
 					return
 				}
 				records[r.spec][r.mask] = rec
+				if jnl != nil {
+					// Durability point: the record is not acknowledged until
+					// its journal line is fsync'd, so a crash can only lose
+					// runs that a resume will redo, never corrupt one.
+					e, jerr := journalEntry(keys[r.spec], rec, stats)
+					if jerr == nil {
+						jerr = jnl.Append(e)
+					}
+					if jerr != nil {
+						fail(i, jerr)
+						return
+					}
+				}
 				if tel != nil {
 					cls, _ := (Parser{}).Classify(rec)
 					early := ""

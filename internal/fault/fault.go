@@ -92,6 +92,14 @@ func (m Mask) Validate(geom func(structure string) (entries, bits int, ok bool))
 	if len(m.Sites) == 0 {
 		return fmt.Errorf("fault: mask %d has no sites", m.ID)
 	}
+	return m.ValidateSites(geom)
+}
+
+// ValidateSites checks every site of the mask against a structure
+// geometry lookup. Unlike Validate it accepts an empty mask: the
+// campaign scheduler treats a mask with no sites as a fault-free run
+// booted from scratch, so only the sites that exist need to be sound.
+func (m Mask) ValidateSites(geom func(structure string) (entries, bits int, ok bool)) error {
 	for i, s := range m.Sites {
 		entries, bits, ok := geom(s.Structure)
 		if !ok {

@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// JournalEntry is one line of the durable run journal: the completed
+// record of a single injection run, keyed by {campaign, mask_id}. The
+// journal is the crash-safety counterpart of the logs repository — where
+// logs are written once at campaign end, journal lines are fsync'd as
+// runs finish, so a killed campaign can be resumed without re-simulating
+// any completed mask.
+//
+// Record is the raw core.LogRecord JSON (kept opaque here so the fault
+// package needs no dependency on core). The Observed/FirstObsCycle/
+// EarlyStop extras mirror the TraceRecord fields that are not derivable
+// from the record alone; carrying them is what makes a resumed
+// campaign's JSONL injection trace byte-identical to an uninterrupted
+// run's.
+type JournalEntry struct {
+	Campaign      string          `json:"campaign"`
+	MaskID        int             `json:"mask_id"`
+	Record        json.RawMessage `json:"record"`
+	Observed      bool            `json:"observed,omitempty"`
+	FirstObsCycle uint64          `json:"first_obs_cycle,omitempty"`
+	EarlyStop     string          `json:"early_stop,omitempty"`
+}
+
+// Journal is an append-only JSONL run journal. Append marshals one entry,
+// writes it as a single line and fsyncs before returning, so every
+// acknowledged line survives a SIGKILL of the campaign process. Safe for
+// concurrent use by scheduler workers.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	past     []JournalEntry
+	appended int
+}
+
+// parseJournal decodes the longest valid line-prefix of a journal file.
+// A crash can leave a torn (or, after power loss, corrupt) tail; entries
+// after the first undecodable line are dropped and validLen reports how
+// many bytes of the file are good, so OpenJournal can truncate the rest
+// away before appending.
+func parseJournal(data []byte) (entries []JournalEntry, validLen int64) {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(data[off:off+nl], &e); err != nil {
+			break
+		}
+		entries = append(entries, e)
+		off += nl + 1
+		validLen = int64(off)
+	}
+	return entries, validLen
+}
+
+// OpenJournal opens (creating if needed) the journal at path for
+// appending. Entries already on disk — the completed runs of a killed
+// campaign — are loaded and exposed via Entries; a torn trailing line is
+// discarded and truncated away so the next Append starts on a clean line
+// boundary.
+func OpenJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("fault: opening journal %s: %w", path, err)
+	}
+	entries, validLen := parseJournal(data)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fault: opening journal %s: %w", path, err)
+	}
+	if validLen < int64(len(data)) {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fault: truncating torn journal tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(validLen, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fault: seeking journal %s: %w", path, err)
+	}
+	return &Journal{f: f, path: path, past: entries}, nil
+}
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// Entries returns the entries that were on disk when the journal was
+// opened — the resume set. The returned slice is shared; treat it as
+// read-only.
+func (j *Journal) Entries() []JournalEntry { return j.past }
+
+// Appended reports how many entries this process has appended since
+// opening (excludes the resume set).
+func (j *Journal) Appended() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appended
+}
+
+// Append writes one entry as a JSON line and fsyncs it.
+func (j *Journal) Append(e JournalEntry) error {
+	b, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("fault: journal append for %s mask %d: %w", e.Campaign, e.MaskID, err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("fault: journal %s is closed", j.path)
+	}
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("fault: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("fault: journal sync: %w", err)
+	}
+	j.appended++
+	return nil
+}
+
+// Close closes the journal file. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// ReadJournal decodes journal entries from a reader, tolerating a torn
+// trailing line the way OpenJournal does.
+func ReadJournal(r io.Reader) ([]JournalEntry, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("fault: reading journal: %w", err)
+	}
+	entries, _ := parseJournal(data)
+	return entries, nil
+}
+
+// ReadJournalFile reads the journal at path; a missing file is an empty
+// journal, not an error.
+func ReadJournalFile(path string) ([]JournalEntry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fault: reading journal %s: %w", path, err)
+	}
+	entries, _ := parseJournal(data)
+	return entries, nil
+}

@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func journalEntry(campaign string, mask int) JournalEntry {
+	return JournalEntry{
+		Campaign: campaign,
+		MaskID:   mask,
+		Record:   json.RawMessage(`{"mask_id":` + jsonInt(mask) + `,"status":"completed"}`),
+		Observed: mask%2 == 0,
+	}
+}
+
+func jsonInt(n int) string {
+	b, _ := json.Marshal(n)
+	return string(b)
+}
+
+// TestJournalRoundTrip appends across two opens and checks the resume
+// set reflects exactly what was acknowledged before each reopen.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "camp.journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Entries(); len(got) != 0 {
+		t.Fatalf("fresh journal has %d entries", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(journalEntry("k", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.Appended() != 3 {
+		t.Fatalf("appended = %d, want 3", j.Appended())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalEntry("k", 9)); err == nil {
+		t.Fatal("append on closed journal succeeded")
+	}
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	past := j2.Entries()
+	if len(past) != 3 {
+		t.Fatalf("reopened journal has %d entries, want 3", len(past))
+	}
+	for i, e := range past {
+		if e.Campaign != "k" || e.MaskID != i || e.Observed != (i%2 == 0) {
+			t.Fatalf("entry %d round-tripped wrong: %+v", i, e)
+		}
+		var rec struct {
+			MaskID int    `json:"mask_id"`
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(e.Record, &rec); err != nil || rec.MaskID != i || rec.Status != "completed" {
+			t.Fatalf("entry %d record payload: %s (%v)", i, e.Record, err)
+		}
+	}
+	if err := j2.Append(journalEntry("k", 3)); err != nil {
+		t.Fatal(err)
+	}
+	all, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 || all[3].MaskID != 3 {
+		t.Fatalf("after reopen+append: %d entries (%+v)", len(all), all)
+	}
+}
+
+// TestJournalTornTailRecovered simulates the crash case: a journal whose
+// last line was cut mid-write must reopen to the valid prefix, and the
+// next append must land on a clean line boundary.
+func TestJournalTornTailRecovered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := j.Append(journalEntry("k", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Tear the file: half an entry, no trailing newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"campaign":"k","mask_id":2,"rec`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.Entries(); len(got) != 2 {
+		t.Fatalf("torn journal reopened with %d entries, want 2", len(got))
+	}
+	if err := j2.Append(journalEntry("k", 2)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("recovered journal has %d lines: %q", len(lines), data)
+	}
+	for i, line := range lines {
+		var e JournalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %d does not parse after torn-tail recovery: %q (%v)", i, line, err)
+		}
+		if e.MaskID != i {
+			t.Fatalf("line %d is mask %d", i, e.MaskID)
+		}
+	}
+}
+
+// TestJournalMissingFile: reading a journal that never existed is an
+// empty resume set, not an error.
+func TestJournalMissingFile(t *testing.T) {
+	entries, err := ReadJournalFile(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != nil {
+		t.Fatalf("missing journal read as %+v", entries)
+	}
+}
+
+// TestReadJournalReader covers the io.Reader form used by smokecheck.
+func TestReadJournalReader(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 2; i++ {
+		b, _ := json.Marshal(journalEntry("c", i))
+		sb.Write(b)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(`{"torn`)
+	entries, err := ReadJournal(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[1].Campaign != "c" {
+		t.Fatalf("entries: %+v", entries)
+	}
+}
+
+// BenchmarkJournalAppend measures the fsync'd per-run journal cost — the
+// durability overhead quoted in EXPERIMENTS.md.
+func BenchmarkJournalAppend(b *testing.B) {
+	j, err := OpenJournal(filepath.Join(b.TempDir(), "bench.journal.jsonl"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	e := journalEntry("bench", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.MaskID = i
+		if err := j.Append(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -24,6 +24,8 @@ type Snapshot struct {
 	PrunedReplicated uint64  `json:"pruned_replicated"`
 	PruneRate        float64 `json:"prune_rate"`
 	LadderRestores   uint64  `json:"ladder_restores"`
+	Resumed          uint64  `json:"resumed"`
+	PanicsContained  uint64  `json:"panics_contained"`
 
 	RunsPerSec        float64 `json:"runs_per_sec"`
 	SimCycles         uint64  `json:"sim_cycles"`
@@ -114,6 +116,12 @@ func (s Snapshot) ProgressLine() string {
 	if s.LadderRestores > 0 {
 		fmt.Fprintf(&b, "  restores %d", s.LadderRestores)
 	}
+	if s.Resumed > 0 {
+		fmt.Fprintf(&b, "  resumed %d", s.Resumed)
+	}
+	if s.PanicsContained > 0 {
+		fmt.Fprintf(&b, "  panics %d", s.PanicsContained)
+	}
 	if cls := s.ClassString(); cls != "" {
 		fmt.Fprintf(&b, "  %s", cls)
 	}
@@ -166,6 +174,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	counter("pruned_replicated_total", "Masks whose verdict was copied from an equivalence-class representative.", s.PrunedReplicated)
 	gauge("prune_rate", "Fraction of finished runs settled without simulation.", s.PruneRate)
 	counter("ladder_restores_total", "Runs restored from a checkpoint-ladder rung instead of booting.", s.LadderRestores)
+	counter("resumed_total", "Completed masks loaded from the run journal instead of re-simulated.", s.Resumed)
+	counter("panics_contained_total", "Worker panics converted into per-run errors by the containment boundary.", s.PanicsContained)
 	counter("sim_cycles_total", "Simulated cycles across finished runs.", s.SimCycles)
 	gauge("runs_per_second", "Finished runs per wall-clock second.", s.RunsPerSec)
 	gauge("mcycles_per_second", "Simulated megacycles per wall-clock second.", s.McyclesPerSec)

@@ -68,6 +68,13 @@ type RunEvent struct {
 	// that rung.
 	LadderRestored bool
 	RungCycle      uint64
+	// Resumed marks a run whose record was loaded from the durable run
+	// journal of an earlier (interrupted) process instead of being
+	// re-simulated. Resumed events carry the journaled outcome and trace
+	// provenance but zero Wall, and are excluded from the throughput
+	// gauges; the trace sink serializes them like any other run, which is
+	// what keeps a resumed trace byte-identical to an uninterrupted one.
+	Resumed bool
 }
 
 // Sink consumes run-end events, e.g. the JSONL trace writer. RunEvent
@@ -135,6 +142,8 @@ type Collector struct {
 	prunedDead       atomic.Uint64
 	prunedReplicated atomic.Uint64
 	ladderRestores   atomic.Uint64
+	resumed          atomic.Uint64
+	panicsContained  atomic.Uint64
 
 	watchedReads, watchedWrites   atomic.Uint64
 	observedReads, observedWrites atomic.Uint64
@@ -168,6 +177,10 @@ func (c *Collector) AddQueued(n int) { c.queued.Add(uint64(n)) } //nolint:gosec 
 
 // RunStarted accounts one run leaving the queue for a worker.
 func (c *Collector) RunStarted() { c.started.Add(1) }
+
+// PanicContained accounts one worker panic the scheduler's recover
+// boundary converted into a per-run error.
+func (c *Collector) PanicContained() { c.panicsContained.Add(1) }
 
 // Campaign registers (or returns the existing) per-campaign aggregate
 // for a key. Registration takes a lock; it happens once per campaign at
@@ -207,10 +220,14 @@ func (c *Collector) AddSink(s Sink) {
 // campaign.
 func (c *Collector) RunDone(cs *CampaignStats, ev RunEvent) {
 	c.done.Add(1)
-	if ev.Pruned == "" {
-		// Pruned runs simulated nothing; keeping their (zero) cycles out
-		// of the accumulator keeps the Mcycles/s gauge honest.
+	if ev.Pruned == "" && !ev.Resumed {
+		// Pruned runs simulated nothing and resumed runs simulated in an
+		// earlier process; keeping their cycles out of the accumulator
+		// keeps the Mcycles/s gauge about this process's work.
 		c.simCycles.Add(ev.Cycles)
+	}
+	if ev.Resumed {
+		c.resumed.Add(1)
 	}
 	c.busyNanos.Add(int64(ev.Wall))
 	c.watchedReads.Add(ev.WatchedReads)
@@ -255,6 +272,8 @@ func (c *Collector) Snapshot() Snapshot {
 		PrunedDead:       c.prunedDead.Load(),
 		PrunedReplicated: c.prunedReplicated.Load(),
 		LadderRestores:   c.ladderRestores.Load(),
+		Resumed:          c.resumed.Load(),
+		PanicsContained:  c.panicsContained.Load(),
 		SimCycles:        c.simCycles.Load(),
 		WatchedReads:     c.watchedReads.Load(),
 		WatchedWrites:    c.watchedWrites.Load(),

@@ -436,3 +436,45 @@ func TestZeroElapsedNoNaN(t *testing.T) {
 		t.Fatalf("snapshot has non-finite gauges: %s", b)
 	}
 }
+
+// TestResumedAndPanicCounters pins the crash-safety counters: resumed
+// events count toward run totals and class histograms (so resumed
+// campaign snapshots still balance) but not toward simulated cycles,
+// and both counters surface in the progress line and the Prometheus
+// exposition.
+func TestResumedAndPanicCounters(t *testing.T) {
+	c := New()
+	c.Start(2)
+	c.AddQueued(2)
+	camp := c.Campaign("k", "t", "b", "s")
+	c.RunStarted()
+	c.RunDone(camp, RunEvent{Campaign: "k", Class: "Masked", Status: "completed", Cycles: 100})
+	c.RunStarted()
+	c.RunDone(camp, RunEvent{Campaign: "k", Class: "SDC", Status: "completed", Cycles: 100, Resumed: true})
+	c.PanicContained()
+	s := c.Snapshot()
+	if s.RunsDone != 2 || s.Resumed != 1 || s.PanicsContained != 1 {
+		t.Fatalf("done/resumed/panics = %d/%d/%d, want 2/1/1", s.RunsDone, s.Resumed, s.PanicsContained)
+	}
+	if s.SimCycles != 100 {
+		t.Fatalf("SimCycles = %d, want 100 (resumed cycles are another process's work)", s.SimCycles)
+	}
+	if s.ClassCounts["SDC"] != 1 || s.ClassCounts["Masked"] != 1 {
+		t.Fatalf("class counts %v, want the resumed run included", s.ClassCounts)
+	}
+	line := s.ProgressLine()
+	for _, want := range []string{"resumed 1", "panics 1"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("progress line %q lacks %q", line, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"faultinject_resumed_total 1", "faultinject_panics_contained_total 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("prometheus output lacks %q", want)
+		}
+	}
+}

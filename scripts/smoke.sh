@@ -42,3 +42,45 @@ go run ./cmd/faultcamp \
 
 go run ./scripts/smokecheck \
     -logs "$tmp/logs" -key "$key" -snapshot "$tmp/snap_prune.json" -prune
+
+# Crash-and-resume: run a journaled reference campaign to completion,
+# then start an identical campaign, SIGKILL it mid-flight, and resume it
+# from the journal. The resumed logs and trace must be byte-identical to
+# the uninterrupted reference, and smokecheck validates the journal's
+# provenance (one fsync'd entry per simulated run, none for pruned ones).
+# Built as a binary: kill -9 on `go run` would orphan the real campaign.
+structure=rf.int
+key="${tool}__${bench}__${structure}"
+go build -o "$tmp/faultcamp" ./cmd/faultcamp
+
+"$tmp/faultcamp" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 60 -seed 3 -logs "$tmp/ref" \
+    -journal -trace -quiet -snapshot-json "$tmp/snap_ref.json"
+
+"$tmp/faultcamp" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 60 -seed 3 -logs "$tmp/resumed" -workers 1 \
+    -journal -trace -quiet -snapshot-json "$tmp/snap_gone.json" &
+pid=$!
+journal="$tmp/resumed/${key}.journal.jsonl"
+i=0
+while [ "$(wc -l < "$journal" 2>/dev/null || echo 0)" -lt 10 ] && [ $i -lt 600 ]; do
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+"$tmp/faultcamp" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 60 -seed 3 -logs "$tmp/resumed" \
+    -resume -trace -quiet -snapshot-json "$tmp/snap_resumed.json"
+
+cmp "$tmp/ref/${key}.log.jsonl" "$tmp/resumed/${key}.log.jsonl"
+cmp "$tmp/ref/${key}.trace.jsonl" "$tmp/resumed/${key}.trace.jsonl"
+
+go run ./scripts/smokecheck \
+    -logs "$tmp/resumed" -key "$key" -snapshot "$tmp/snap_resumed.json" \
+    -journal -want-resumed
+echo "smoke: resumed campaign is byte-identical to the uninterrupted reference"

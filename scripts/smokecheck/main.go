@@ -11,12 +11,18 @@
 //   - prune provenance is consistent: dead-pruned rows classify Masked,
 //     replicated rows name a representative with the same class, and the
 //     snapshot's prune counters equal the trace's flagged-row counts
-//     (with -prune additionally asserting that pruning happened at all).
+//     (with -prune additionally asserting that pruning happened at all),
+//   - with -journal, the durable run journal carries exactly one entry
+//     per simulated (non-pruned) injection, each labeled with the
+//     campaign key and byte-equivalent to the stored log record, and
+//     with -want-resumed the snapshot reports at least one run loaded
+//     from the journal rather than re-simulated.
 //
 // Usage:
 //
 //	smokecheck -logs logsrepo -key gefin-x86__qsort__rf.int \
 //	           -snapshot snap.json [-trace logsrepo/<key>.trace.jsonl] [-prune]
+//	           [-journal [-want-resumed]]
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -36,6 +43,8 @@ func main() {
 	snapPath := flag.String("snapshot", "", "final snapshot JSON file")
 	tracePath := flag.String("trace", "", "JSONL injection trace (default <logs>/<key>.trace.jsonl)")
 	wantPrune := flag.Bool("prune", false, "assert the campaign was pruned (nonzero dead or replicated rows)")
+	wantJournal := flag.Bool("journal", false, "validate the run journal against the logs and trace")
+	wantResumed := flag.Bool("want-resumed", false, "assert the snapshot reports runs resumed from the journal")
 	flag.Parse()
 	if *logsDir == "" || *key == "" || *snapPath == "" {
 		flag.Usage()
@@ -152,8 +161,55 @@ func main() {
 		fatal(fmt.Errorf("-prune: campaign was not pruned at all"))
 	}
 
-	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d (%d dead + %d replicated)\n",
-		*key, n, snap.ClassString(), len(recs), dead, replicated)
+	var journaled int
+	if *wantJournal {
+		entries, err := fault.ReadJournalFile(repo.JournalPath(*key))
+		if err != nil {
+			fatal(err)
+		}
+		recOf := make(map[int]core.LogRecord, len(res.Records))
+		for _, rec := range res.Records {
+			recOf[rec.MaskID] = rec
+		}
+		seen := make(map[int]bool, len(entries))
+		for i, e := range entries {
+			if e.Campaign != *key {
+				fatal(fmt.Errorf("journal entry %d belongs to campaign %q, want %q", i, e.Campaign, *key))
+			}
+			if seen[e.MaskID] {
+				fatal(fmt.Errorf("journal holds mask %d twice", e.MaskID))
+			}
+			seen[e.MaskID] = true
+			stored, ok := recOf[e.MaskID]
+			if !ok {
+				fatal(fmt.Errorf("journal entry %d is mask %d, which the logs do not have", i, e.MaskID))
+			}
+			var rec core.LogRecord
+			if err := json.Unmarshal(e.Record, &rec); err != nil {
+				fatal(fmt.Errorf("journal entry %d record does not parse: %w", i, err))
+			}
+			if !reflect.DeepEqual(rec, stored) {
+				fatal(fmt.Errorf("journal record for mask %d differs from the stored log record", e.MaskID))
+			}
+		}
+		// The journal and the trace's simulated rows must name the same
+		// masks: every simulated run was journaled, no pruned run was.
+		for _, tr := range recs {
+			if tr.Pruned == "" && !seen[tr.MaskID] {
+				fatal(fmt.Errorf("simulated mask %d has no journal entry", tr.MaskID))
+			}
+			if tr.Pruned != "" && seen[tr.MaskID] {
+				fatal(fmt.Errorf("pruned mask %d was journaled", tr.MaskID))
+			}
+		}
+		journaled = len(entries)
+	}
+	if *wantResumed && snap.Resumed == 0 {
+		fatal(fmt.Errorf("-want-resumed: snapshot reports no resumed runs"))
+	}
+
+	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d (%d dead + %d replicated, %d journaled, %d resumed)\n",
+		*key, n, snap.ClassString(), len(recs), dead, replicated, journaled, snap.Resumed)
 }
 
 func fatal(err error) {
