@@ -24,11 +24,9 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/fault"
-	"repro/internal/sims"
-	"repro/internal/telemetry"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -36,122 +34,54 @@ func main() {
 	bench := flag.String("bench", "qsort", "benchmark name")
 	structure := flag.String("structure", "rf.int", "target structure")
 	masksDir := flag.String("masks", "", "masks repository to read from (empty: generate inline)")
-	n := flag.Int("n", 200, "inline mask count when -masks is empty")
-	seed := flag.Int64("seed", 1, "inline generation seed")
-	model := flag.String("model", "transient", "inline fault model")
 	logsDir := flag.String("logs", "logsrepo", "logs repository directory")
-	workers := flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
-	timeoutFactor := flag.Uint64("timeout-factor", 3, "cycle limit as a multiple of the fault-free run")
-	noEarlyStop := flag.Bool("no-early-stop", false, "disable the §III.B early-stop optimizations")
-	checkpoint := flag.Bool("checkpoint", false, "share the fault-free prefix via a drained-machine checkpoint")
-	pruneOn := flag.Bool("prune", false, "classify provably-masked faults from the golden-run liveness profile without simulating them")
-	pruneVerify := flag.Int("prune-verify", 0, "simulate up to this many pruned masks and fail on a class mismatch (implies -prune)")
-	ladder := flag.Int("ladder", 0, "number of evenly spaced checkpoint rungs (>= 2, with -checkpoint; 0: single legacy checkpoint)")
-	quiet := flag.Bool("quiet", false, "suppress the periodic progress lines (the final summary stays)")
-	progressEvery := flag.Duration("progress-every", 2*time.Second, "period of the progress lines")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and /debug/pprof on this address (e.g. 127.0.0.1:8321)")
-	traceOn := flag.Bool("trace", false, "write a JSONL injection trace (<key>.trace.jsonl) into the logs repository")
-	snapshotJSON := flag.String("snapshot-json", "", "write the final telemetry snapshot as JSON to this file")
 	journalOn := flag.Bool("journal", false, "journal every completed run to <key>.journal.jsonl (fsync'd) so a killed campaign can resume")
 	resume := flag.Bool("resume", false, "load completed runs from the journal instead of re-simulating them (implies -journal)")
-	runWallLimit := flag.Duration("run-wall-limit", 0, "per-run wall-clock backstop: classify a run as Timeout after this much host time (0: off)")
+	cf := cli.Campaign(flag.CommandLine, 200)
+	tf := cli.Telemetry(flag.CommandLine, 2*time.Second)
 	flag.Parse()
 
-	w, err := workload.ByName(*bench)
-	if err != nil {
-		fatal(err)
-	}
-	factory, err := sims.Factory(*tool, w)
-	if err != nil {
-		fatal(err)
-	}
 	key := fault.CampaignKey(*tool, *bench, *structure)
-
-	// The golden memoizer makes the fault-free reference a one-time cost:
-	// inline mask generation and the campaign itself share a single run.
-	cache := core.NewGoldenCache()
-	var masks []fault.Mask
-	var goldenRef *core.GoldenInfo
+	cell := core.CampaignCell{Tool: *tool, Benchmark: *bench, Structure: *structure}
 	if *masksDir != "" {
 		repo, err := fault.NewRepository(*masksDir)
 		if err != nil {
 			fatal(err)
 		}
-		masks, err = repo.Load(key)
+		cell.Masks, err = repo.Load(key)
 		if err != nil {
 			fatal(err)
 		}
-	} else {
-		golden, err := cache.Golden(*tool, *bench, factory)
-		if err != nil {
-			fatal(err)
-		}
-		entries, bits, ok, err := cache.Geometry(*tool, *bench, factory, *structure)
-		if err != nil {
-			fatal(err)
-		}
-		if !ok {
-			fatal(fmt.Errorf("%s has no structure %q", golden.Tool, *structure))
-		}
-		masks, err = fault.Generate(fault.GeneratorSpec{
-			Structure: *structure, Entries: entries, BitsPerEntry: bits,
-			MaxCycle: golden.Cycles, Model: fault.Model(*model), Count: *n, Seed: *seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		goldenRef = &golden
+	}
+	cfg, err := cf.Config([]core.CampaignCell{cell})
+	if err != nil {
+		fatal(err)
 	}
 
 	logs, err := core.NewLogsRepo(*logsDir)
 	if err != nil {
 		fatal(err)
 	}
-
-	var journal *fault.Journal
+	att := core.Attach{Golden: core.NewGoldenCache(), Resume: *resume}
 	if *journalOn || *resume {
-		journal, err = fault.OpenJournal(logs.JournalPath(key))
+		att.Journal, err = fault.OpenJournal(logs.JournalPath(key))
 		if err != nil {
 			fatal(err)
 		}
-		defer journal.Close()
+		defer att.Journal.Close()
 	}
 
-	collector := telemetry.New()
-	if *metricsAddr != "" {
-		srv, err := collector.Serve(*metricsAddr)
-		if err != nil {
-			fatal(err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics listening on http://%s (/metrics /snapshot.json /debug/pprof)\n", srv.Addr())
+	obs, err := tf.Start(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
-	var trace *telemetry.TraceSink
-	if *traceOn {
-		trace = telemetry.NewTraceSink()
-		collector.AddSink(trace)
-	}
-	var rep *telemetry.Reporter
-	if !*quiet {
-		rep = telemetry.StartReporter(collector, os.Stderr, *progressEvery)
-	}
+	defer obs.Close()
+	obs.StartReporter(tf, os.Stderr)
+	att.Telemetry = obs.Collector
 
 	start := time.Now()
-	results, err := core.RunMatrix([]core.CampaignSpec{{
-		Tool: *tool, Benchmark: *bench, Structure: *structure,
-		Masks: masks, Factory: factory,
-		TimeoutFactor:    *timeoutFactor,
-		DisableEarlyStop: *noEarlyStop,
-		UseCheckpoint:    *checkpoint,
-		Golden:           goldenRef,
-	}}, core.MatrixOptions{
-		Workers: *workers, Golden: cache, Telemetry: collector,
-		Prune: *pruneOn, PruneVerify: *pruneVerify, CheckpointLadder: *ladder,
-		Journal: journal, Resume: *resume, RunWallLimit: *runWallLimit,
-	})
-	if rep != nil {
-		rep.Stop()
-	}
+	results, err := core.RunConfig(cfg, cli.Resolve, att)
+	obs.StopReporter()
 	if err != nil {
 		fatal(err)
 	}
@@ -159,43 +89,28 @@ func main() {
 	if err := logs.Store(key, res); err != nil {
 		fatal(err)
 	}
-	if trace != nil {
-		f, err := logs.CreateTrace(key)
-		if err != nil {
-			fatal(err)
-		}
-		if err := trace.Flush(f); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
+	tracePath, err := obs.FlushTrace(logs, key)
+	if err != nil {
+		fatal(err)
 	}
-
-	snap := collector.Snapshot()
-	if *snapshotJSON != "" {
-		b, err := snap.JSON()
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(*snapshotJSON, append(b, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
+	snap, err := obs.Finish(tf)
+	if err != nil {
+		fatal(err)
 	}
 
 	b := core.Parser{}.ParseAll(res.Records)
 	fmt.Printf("campaign %s: %d injections in %.1fs\n", key, len(res.Records), time.Since(start).Seconds())
 	fmt.Printf("  %s\n", b)
 	fmt.Printf("  logs stored in %s\n", logs.Dir())
-	if trace != nil {
-		fmt.Printf("  trace: %s (%d records)\n", logs.TracePath(key), trace.Len())
+	if tracePath != "" {
+		fmt.Printf("  trace: %s (%d records)\n", tracePath, obs.Trace.Len())
 	}
 	if snap.PrunedDead+snap.PrunedReplicated > 0 {
 		fmt.Printf("  pruned: %d dead + %d replicated of %d masks (%.1f%%), %d ladder restores\n",
 			snap.PrunedDead, snap.PrunedReplicated, snap.RunsDone, 100*snap.PruneRate, snap.LadderRestores)
 	}
-	if journal != nil {
-		fmt.Printf("  journal: %s (%d runs appended this process", logs.JournalPath(key), journal.Appended())
+	if att.Journal != nil {
+		fmt.Printf("  journal: %s (%d runs appended this process", logs.JournalPath(key), att.Journal.Appended())
 		if snap.Resumed > 0 {
 			fmt.Printf(", %d resumed", snap.Resumed)
 		}

@@ -1,0 +1,183 @@
+// Command faultcampd is the distributed campaign coordinator: it plans
+// a campaign config into mask-range shards, serves them to faultworker
+// processes over HTTP/JSON with lease-based assignment (heartbeats,
+// requeue on worker death, retry with backoff), journals completed runs
+// as the exactly-once ledger, and merges the shard results into a logs
+// repository — and, with -trace, a JSONL injection trace — byte-
+// identical to a single-node faultcamp run of the same config.
+//
+// Example:
+//
+//	faultcampd -tool gefin-x86 -bench qsort -structure rf.int -n 500 \
+//	           -logs logsrepo -listen 127.0.0.1:0 -addr-file coord.addr &
+//	faultworker -addr-file coord.addr -id w1 &
+//	faultworker -addr-file coord.addr -id w2
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fault"
+)
+
+func main() {
+	tool := flag.String("tool", "gefin-x86", "tool configuration (single-cell mode)")
+	bench := flag.String("bench", "qsort", "benchmark name (single-cell mode)")
+	structure := flag.String("structure", "rf.int", "target structure (single-cell mode)")
+	configPath := flag.String("config", "", "campaign config JSON file (overrides -tool/-bench/-structure and the campaign flags)")
+	logsDir := flag.String("logs", "logsrepo", "logs repository directory for the merged results")
+	journalOn := flag.Bool("journal", false, "journal every merged simulated run to <key>.journal.jsonl (fsync'd)")
+	listen := flag.String("listen", "127.0.0.1:0", "coordinator listen address")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (worker handshake)")
+	shardSize := flag.Int("shard-size", 50, "masks per shard")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "shard lease TTL; a worker silent this long loses its shard")
+	maxRetries := flag.Int("max-retries", 3, "requeue budget per shard before the campaign fails")
+	retryBackoff := flag.Duration("retry-backoff", time.Second, "delay before a requeued shard is reassigned (scaled by retry count)")
+	verbose := flag.Bool("verbose", false, "log lease grants, requeues and completions to stderr")
+	cf := cli.Campaign(flag.CommandLine, 200)
+	tf := cli.Telemetry(flag.CommandLine, 2*time.Second)
+	flag.Parse()
+
+	var cfg core.CampaignConfig
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *configPath, err))
+		}
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		cfg, err = cf.Config([]core.CampaignCell{{Tool: *tool, Benchmark: *bench, Structure: *structure}})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// Fail fast on what is checkable without a simulator: unknown tools
+	// and benchmarks die here, not on the first worker. Structure names
+	// need golden-run geometry, so those surface via a worker's shard
+	// error (which fails the campaign with the structure named).
+	for i, cell := range cfg.Campaigns {
+		if _, err := cli.Resolve(cell.Tool, cell.Benchmark); err != nil {
+			fatal(fmt.Errorf("campaigns[%d]: %w", i, err))
+		}
+	}
+	keys := cfg.Keys()
+
+	logs, err := core.NewLogsRepo(*logsDir)
+	if err != nil {
+		fatal(err)
+	}
+	obs, err := tf.Start(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	defer obs.Close()
+
+	copt := dist.CoordinatorOptions{
+		ShardSize:    *shardSize,
+		LeaseTTL:     *leaseTTL,
+		MaxRetries:   *maxRetries,
+		RetryBackoff: *retryBackoff,
+		Telemetry:    obs.Collector,
+	}
+	if *verbose {
+		copt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *journalOn {
+		copt.JournalFor = func(key string) (*fault.Journal, error) {
+			return fault.OpenJournal(logs.JournalPath(key))
+		}
+	}
+	coord, err := dist.New(cfg, copt)
+	if err != nil {
+		fatal(err)
+	}
+	defer coord.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "faultcampd listening on http://%s (%d campaigns, %d shards)\n",
+		ln.Addr(), len(cfg.Campaigns), coord.Stats().Shards)
+	if *addrFile != "" {
+		// Write-then-rename so a polling worker never reads a torn file.
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte("http://"+ln.Addr().String()+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			fatal(err)
+		}
+	}
+
+	obs.StartReporter(tf, os.Stderr)
+	start := time.Now()
+	results, err := coord.Wait(context.Background())
+	obs.StopReporter()
+	if err != nil {
+		fatal(err)
+	}
+	for i, res := range results {
+		if err := logs.Store(keys[i], res); err != nil {
+			fatal(err)
+		}
+	}
+	traceKey := "matrix"
+	if len(keys) == 1 {
+		traceKey = keys[0]
+	}
+	tracePath, err := obs.FlushTrace(logs, traceKey)
+	if err != nil {
+		fatal(err)
+	}
+	snap, err := obs.Finish(tf)
+	if err != nil {
+		fatal(err)
+	}
+
+	st := coord.Stats()
+	total := 0
+	for _, res := range results {
+		total += len(res.Records)
+	}
+	fmt.Printf("distributed campaign: %d injections across %d campaigns in %.1fs\n",
+		total, len(results), time.Since(start).Seconds())
+	fmt.Printf("  shards: %d completed (%d requeued, %d duplicate completions discarded)\n",
+		st.Completed, st.Requeues, st.Duplicates)
+	fmt.Printf("  logs stored in %s\n", logs.Dir())
+	if tracePath != "" {
+		fmt.Printf("  trace: %s (%d records)\n", tracePath, obs.Trace.Len())
+	}
+	if *journalOn {
+		for _, key := range keys {
+			fmt.Printf("  journal: %s\n", logs.JournalPath(key))
+		}
+	}
+	fmt.Printf("summary: %s\n", snap.SummaryLine())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultcampd:", err)
+	os.Exit(1)
+}

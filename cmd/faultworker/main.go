@@ -1,0 +1,88 @@
+// Command faultworker is the remote injection worker of a distributed
+// campaign: it fetches the campaign config from a faultcampd
+// coordinator, leases mask-range shards, executes each with the same
+// scheduler machinery a single-node run uses (rebuilding masks,
+// checkpoints and prune plans deterministically from the config), and
+// streams results back while heartbeating its leases.
+//
+// Example:
+//
+//	faultworker -coordinator http://127.0.0.1:8400 -id w1
+//	faultworker -addr-file coord.addr     # wait for faultcampd's handshake file
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func main() {
+	coordURL := flag.String("coordinator", "", "coordinator base URL (e.g. http://127.0.0.1:8400)")
+	addrFile := flag.String("addr-file", "", "read the coordinator address from this file (polls until faultcampd writes it)")
+	id := flag.String("id", "", "worker id (default host:pid)")
+	poll := flag.Duration("poll", 0, "cap on the wait between lease polls (0: honor the coordinator's hint)")
+	heartbeat := flag.Duration("heartbeat", 0, "lease heartbeat period (0: a third of the coordinator's lease TTL)")
+	quiet := flag.Bool("quiet", false, "suppress per-shard progress lines")
+	flag.Parse()
+
+	if *coordURL == "" && *addrFile == "" {
+		fatal(fmt.Errorf("need -coordinator or -addr-file"))
+	}
+	if *coordURL == "" {
+		url, err := waitForAddr(*addrFile, 30*time.Second)
+		if err != nil {
+			fatal(err)
+		}
+		*coordURL = url
+	}
+	if *id == "" {
+		host, _ := os.Hostname()
+		*id = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+
+	opt := dist.WorkerOptions{
+		ID:        *id,
+		Resolve:   cli.Resolve,
+		Golden:    core.NewGoldenCache(),
+		Heartbeat: *heartbeat,
+		Poll:      *poll,
+	}
+	if !*quiet {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if err := dist.RunWorker(context.Background(), strings.TrimSuffix(*coordURL, "/"), opt); err != nil {
+		fatal(err)
+	}
+}
+
+// waitForAddr polls for the coordinator's handshake file.
+func waitForAddr(path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			if addr := strings.TrimSpace(string(data)); addr != "" {
+				return addr, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("no coordinator address in %s after %s", path, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "faultworker:", err)
+	os.Exit(1)
+}

@@ -14,14 +14,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/report"
-	"repro/internal/telemetry"
 )
 
 type intList []int
@@ -44,50 +45,29 @@ func main() {
 	all := flag.Bool("all", false, "regenerate all five figures")
 	sampling := flag.Bool("sampling", false, "print the statistical sampling numbers (§IV.A)")
 	remarks := flag.Bool("remarks", false, "print the runtime statistics backing Remarks 1-11")
-	n := flag.Int("n", 200, "injections per {tool,benchmark,structure} campaign (paper: 2000)")
-	seed := flag.Int64("seed", 1, "mask generation seed")
 	benchCSV := flag.String("benchmarks", "", "comma-separated benchmark subset (default: all ten)")
 	toolCSV := flag.String("tools", "", "comma-separated tool subset (default: all three)")
 	logsDir := flag.String("logs", "", "persist campaign logs to this repository directory")
 	fromLogs := flag.String("from-logs", "", "rebuild figures from stored logs instead of re-running")
 	csvDir := flag.String("csv", "", "also write one CSV per figure into this directory")
 	summary := flag.Bool("summary", false, "print the §IV.C differential summary across the selected figures")
-	workers := flag.Int("workers", 0, "global scheduler worker pool size (default GOMAXPROCS)")
 	groupSim := flag.Bool("group-simcrash", false, "classify simulator crashes as Assert")
-	liveOnly := flag.Bool("live-only", false, "restrict faults to entries live at the end of the golden run (conditional vulnerability)")
-	checkpoint := flag.Bool("checkpoint", false, "share each {tool,benchmark} fault-free prefix via a drained-machine checkpoint")
-	pruneOn := flag.Bool("prune", false, "classify provably-masked faults from the golden-run liveness profile without simulating them")
-	pruneVerify := flag.Int("prune-verify", 0, "simulate up to this many pruned masks per campaign and fail on a class mismatch (implies -prune)")
-	ladder := flag.Int("ladder", 0, "number of evenly spaced checkpoint rungs per row (>= 2, with -checkpoint)")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /snapshot.json and /debug/pprof on this address while campaigns run")
-	traceOn := flag.Bool("trace", false, "write a JSONL injection trace (matrix.trace.jsonl) into the -logs repository")
-	progressEvery := flag.Duration("progress-every", 5*time.Second, "period of the campaign progress lines on stderr")
+	cf := cli.Campaign(flag.CommandLine, 200)
+	tf := cli.Telemetry(flag.CommandLine, 5*time.Second)
 	flag.Parse()
 
-	collector := telemetry.New()
-	if *metricsAddr != "" {
-		srv, err := collector.Serve(*metricsAddr)
-		if err != nil {
-			fatal(err)
-		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "metrics listening on http://%s (/metrics /snapshot.json /debug/pprof)\n", srv.Addr())
+	obs, err := tf.Start(os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
+	defer obs.Close()
 
-	opt := report.Options{
-		Injections:    *n,
-		Seed:          *seed,
-		Workers:       *workers,
-		Parser:        core.Parser{GroupSimCrashWithAssert: *groupSim},
-		LiveOnly:      *liveOnly,
-		UseCheckpoint: *checkpoint,
-		Telemetry:     collector,
-		ProgressEvery: *progressEvery,
-
-		Prune:            *pruneOn,
-		PruneVerify:      *pruneVerify,
-		CheckpointLadder: *ladder,
-	}
+	// The shared campaign knobs arrive through the consolidated config
+	// API; the figure specs supply the cells later.
+	opt := report.OptionsFromConfig(cf.Apply(nil))
+	opt.Parser = core.Parser{GroupSimCrashWithAssert: *groupSim}
+	opt.Telemetry = obs.Collector
+	opt.ProgressEvery = tf.ProgressEvery
 	if *benchCSV != "" {
 		opt.Benchmarks = strings.Split(*benchCSV, ",")
 	}
@@ -101,13 +81,12 @@ func main() {
 		}
 		opt.Logs = repo
 	}
-	var trace *telemetry.TraceSink
-	if *traceOn {
-		if opt.Logs == nil {
-			fatal(fmt.Errorf("-trace requires -logs (the trace lives in the logs repository)"))
-		}
-		trace = telemetry.NewTraceSink()
-		collector.AddSink(trace)
+	if obs.Trace != nil && opt.Logs == nil {
+		fatal(fmt.Errorf("-trace requires -logs (the trace lives in the logs repository)"))
+	}
+	var progress io.Writer = os.Stderr
+	if tf.Quiet {
+		progress = nil
 	}
 
 	if *sampling {
@@ -169,24 +148,20 @@ func main() {
 		// All requested figures run as one flattened campaign matrix:
 		// one shared worker pool, one golden run per {tool, benchmark}.
 		var err error
-		datasets, err = report.RunFigures(specs, opt, os.Stderr)
+		datasets, err = report.RunFigures(specs, opt, progress)
 		if err != nil {
 			fatal(err)
 		}
-		if trace != nil {
-			f, err := opt.Logs.CreateTrace("matrix")
-			if err != nil {
-				fatal(err)
-			}
-			if err := trace.Flush(f); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "trace: %s (%d records)\n",
-				opt.Logs.TracePath("matrix"), trace.Len())
+		tracePath, err := obs.FlushTrace(opt.Logs, "matrix")
+		if err != nil {
+			fatal(err)
 		}
+		if tracePath != "" {
+			fmt.Fprintf(os.Stderr, "trace: %s (%d records)\n", tracePath, obs.Trace.Len())
+		}
+	}
+	if _, err := obs.Finish(tf); err != nil {
+		fatal(err)
 	}
 	for i, fd := range datasets {
 		fd.Render(os.Stdout)

@@ -1,0 +1,214 @@
+// Package cli is the shared flag surface of the campaign-running
+// commands. faultcamp, figures, and faultcampd all expose the same
+// campaign-execution and telemetry knobs; before this package each
+// command re-declared its own copies (two dozen flags, drifting
+// defaults, triple maintenance). Here they are declared once, bind onto
+// core.CampaignConfig — the consolidated campaign API — and each
+// command keeps only the flags that are genuinely its own.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sims"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Resolve is the production Resolver: it materializes the simulator
+// factory of a {tool, benchmark} cell through the sims registry and the
+// workload table. Every command hands this to core.RunConfig /
+// core.RunShard; tests substitute fakes.
+func Resolve(tool, benchmark string) (core.Factory, error) {
+	w, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return sims.Factory(tool, w)
+}
+
+// CampaignFlags holds the shared campaign-execution knobs after
+// parsing. Config() turns them into a core.CampaignConfig.
+type CampaignFlags struct {
+	N             int
+	Seed          int64
+	Model         string
+	Workers       int
+	TimeoutFactor uint64
+	NoEarlyStop   bool
+	Checkpoint    bool
+	Prune         bool
+	PruneVerify   int
+	Ladder        int
+	RunWallLimit  time.Duration
+	LiveOnly      bool
+}
+
+// Campaign registers the shared campaign-execution flags on fs.
+// defaultN sets the command's default injection count (faultcamp and
+// figures historically differ only there).
+func Campaign(fs *flag.FlagSet, defaultN int) *CampaignFlags {
+	c := &CampaignFlags{}
+	fs.IntVar(&c.N, "n", defaultN, "injections per campaign when no explicit masks are given")
+	fs.Int64Var(&c.Seed, "seed", 1, "mask generation seed")
+	fs.StringVar(&c.Model, "model", "transient", "generated fault model (transient, intermittent, permanent)")
+	fs.IntVar(&c.Workers, "workers", 0, "worker pool size (default GOMAXPROCS)")
+	fs.Uint64Var(&c.TimeoutFactor, "timeout-factor", 3, "cycle limit as a multiple of the fault-free run")
+	fs.BoolVar(&c.NoEarlyStop, "no-early-stop", false, "disable the §III.B early-stop optimizations")
+	fs.BoolVar(&c.Checkpoint, "checkpoint", false, "share the fault-free prefix via a drained-machine checkpoint")
+	fs.BoolVar(&c.Prune, "prune", false, "classify provably-masked faults from the golden-run liveness profile without simulating them")
+	fs.IntVar(&c.PruneVerify, "prune-verify", 0, "simulate up to this many pruned masks per campaign and fail on a class mismatch (implies -prune)")
+	fs.IntVar(&c.Ladder, "ladder", 0, "number of evenly spaced checkpoint rungs (>= 2, with -checkpoint; 0: single legacy checkpoint)")
+	fs.DurationVar(&c.RunWallLimit, "run-wall-limit", 0, "per-run wall-clock backstop: classify a run as Timeout after this much host time (0: off)")
+	fs.BoolVar(&c.LiveOnly, "live-only", false, "restrict generated faults to entries live at the end of the golden run (conditional vulnerability)")
+	return c
+}
+
+// Config binds the parsed flags onto a validated CampaignConfig over
+// the given cells.
+func (c *CampaignFlags) Config(cells []core.CampaignCell) (core.CampaignConfig, error) {
+	cfg := c.Apply(cells)
+	return cfg, cfg.Validate()
+}
+
+// Apply binds the parsed flags onto a CampaignConfig without
+// validating; for callers (figures) that consume the shared knobs but
+// derive their own campaign cells later.
+func (c *CampaignFlags) Apply(cells []core.CampaignCell) core.CampaignConfig {
+	return core.CampaignConfig{
+		SchemaVersion:    core.ConfigSchemaVersion,
+		Campaigns:        cells,
+		Injections:       c.N,
+		Seed:             c.Seed,
+		Model:            c.Model,
+		LiveOnly:         c.LiveOnly,
+		TimeoutFactor:    c.TimeoutFactor,
+		DisableEarlyStop: c.NoEarlyStop,
+		UseCheckpoint:    c.Checkpoint,
+		Workers:          c.Workers,
+		Prune:            c.Prune,
+		PruneVerify:      c.PruneVerify,
+		CheckpointLadder: c.Ladder,
+		RunWallLimit:     c.RunWallLimit,
+	}
+}
+
+// TelemetryFlags holds the shared observability knobs after parsing.
+type TelemetryFlags struct {
+	Quiet         bool
+	ProgressEvery time.Duration
+	MetricsAddr   string
+	Trace         bool
+	SnapshotJSON  string
+}
+
+// Telemetry registers the shared observability flags on fs.
+func Telemetry(fs *flag.FlagSet, progressDefault time.Duration) *TelemetryFlags {
+	t := &TelemetryFlags{}
+	fs.BoolVar(&t.Quiet, "quiet", false, "suppress the periodic progress lines (the final summary stays)")
+	fs.DurationVar(&t.ProgressEvery, "progress-every", progressDefault, "period of the progress lines")
+	fs.StringVar(&t.MetricsAddr, "metrics-addr", "", "serve /metrics, /snapshot.json and /debug/pprof on this address (e.g. 127.0.0.1:8321)")
+	fs.BoolVar(&t.Trace, "trace", false, "write a JSONL injection trace into the logs repository")
+	fs.StringVar(&t.SnapshotJSON, "snapshot-json", "", "write the final telemetry snapshot as JSON to this file")
+	return t
+}
+
+// Observability bundles the live telemetry stack of one command
+// invocation: the collector, the optional trace sink, the optional
+// metrics server and the optional progress reporter. Build it with
+// TelemetryFlags.Start, stop the reporter before printing the summary,
+// Close everything on the way out.
+type Observability struct {
+	Collector *telemetry.Collector
+	Trace     *telemetry.TraceSink
+	server    *telemetry.Server
+	reporter  *telemetry.Reporter
+}
+
+// Start builds the telemetry stack the parsed flags ask for. Server
+// announcements go to errw.
+func (t *TelemetryFlags) Start(errw io.Writer) (*Observability, error) {
+	o := &Observability{Collector: telemetry.New()}
+	if t.MetricsAddr != "" {
+		srv, err := o.Collector.Serve(t.MetricsAddr)
+		if err != nil {
+			return nil, err
+		}
+		o.server = srv
+		fmt.Fprintf(errw, "metrics listening on http://%s (/metrics /snapshot.json /debug/pprof)\n", srv.Addr())
+	}
+	if t.Trace {
+		o.Trace = telemetry.NewTraceSink()
+		o.Collector.AddSink(o.Trace)
+	}
+	return o, nil
+}
+
+// StartReporter starts the periodic progress reporter on w unless the
+// flags asked for quiet.
+func (o *Observability) StartReporter(t *TelemetryFlags, w io.Writer) {
+	if !t.Quiet && o.reporter == nil {
+		o.reporter = telemetry.StartReporter(o.Collector, w, t.ProgressEvery)
+	}
+}
+
+// StopReporter stops the progress reporter (idempotent), so the final
+// summary isn't interleaved with a late progress line.
+func (o *Observability) StopReporter() {
+	if o.reporter != nil {
+		o.reporter.Stop()
+		o.reporter = nil
+	}
+}
+
+// Close stops the reporter and the metrics server.
+func (o *Observability) Close() {
+	o.StopReporter()
+	if o.server != nil {
+		o.server.Close()
+		o.server = nil
+	}
+}
+
+// Finish stops the reporter, takes the final snapshot, and writes it to
+// the -snapshot-json file when one was asked for.
+func (o *Observability) Finish(t *TelemetryFlags) (telemetry.Snapshot, error) {
+	o.StopReporter()
+	snap := o.Collector.Snapshot()
+	if t.SnapshotJSON != "" {
+		b, err := snap.JSON()
+		if err != nil {
+			return snap, err
+		}
+		if err := os.WriteFile(t.SnapshotJSON, append(b, '\n'), 0o644); err != nil {
+			return snap, err
+		}
+	}
+	return snap, nil
+}
+
+// FlushTrace writes the trace sink (when one is active) into the logs
+// repository under key, and reports the trace path for the summary
+// line; "" when tracing is off.
+func (o *Observability) FlushTrace(logs *core.LogsRepo, key string) (string, error) {
+	if o.Trace == nil {
+		return "", nil
+	}
+	f, err := logs.CreateTrace(key)
+	if err != nil {
+		return "", err
+	}
+	if err := o.Trace.Flush(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return logs.TracePath(key), nil
+}

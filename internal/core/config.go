@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/prune"
+	"repro/internal/telemetry"
+)
+
+// ConfigSchemaVersion is the CampaignConfig format version this build
+// writes and serves; the distributed protocol carries it so a worker
+// from a newer build never misreads a coordinator's config (and vice
+// versa).
+const ConfigSchemaVersion = 1
+
+// CampaignCell is one {tool, benchmark, structure} campaign of a
+// config. Cells reference tools and benchmarks by name — a config is
+// fully serializable, which is what lets the distributed coordinator
+// hand the exact same description to remote workers that the local path
+// consumes — and a Resolver materializes the simulator factories.
+type CampaignCell struct {
+	Tool      string `json:"tool"`
+	Benchmark string `json:"benchmark"`
+	Structure string `json:"structure"`
+	// Injections overrides CampaignConfig.Injections for this cell
+	// (0: inherit).
+	Injections int `json:"injections,omitempty"`
+	// Seed overrides CampaignConfig.Seed for this cell (0: inherit).
+	Seed int64 `json:"seed,omitempty"`
+	// Masks, when non-empty, is the explicit fault population of the
+	// cell (e.g. loaded from a masks repository); Injections/Seed/Model
+	// generation is skipped and LiveOnly remapping does not apply —
+	// explicit masks are injected exactly as given.
+	Masks []fault.Mask `json:"masks,omitempty"`
+}
+
+// CampaignConfig is the consolidated, validated description of an
+// injection campaign matrix — the one public knob surface that replaces
+// the MatrixOptions/CampaignSpec sprawl (and the per-CLI flag wiring on
+// top of it). The same value drives local execution (RunConfig), shard
+// execution on a remote worker (RunShard), and the coordinator's
+// planning; it serializes as JSON for the wire and for config files.
+//
+// Everything in a CampaignConfig is portable: process-local resources
+// (golden caches, telemetry collectors, journals) attach separately via
+// Attach, so shipping a config to another machine can never smuggle a
+// dangling handle along.
+type CampaignConfig struct {
+	// SchemaVersion stamps the config format version; zero means
+	// "current" on the way in and is stamped to ConfigSchemaVersion when
+	// the config is served over the wire.
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// Campaigns are the cells of the matrix.
+	Campaigns []CampaignCell `json:"campaigns"`
+	// Injections is the per-cell mask count when a cell has no explicit
+	// Masks and no Injections override.
+	Injections int `json:"injections,omitempty"`
+	// Seed drives deterministic mask generation (cells may override).
+	Seed int64 `json:"seed,omitempty"`
+	// Model is the generated fault model ("transient", "intermittent",
+	// "permanent"); empty means transient.
+	Model string `json:"model,omitempty"`
+	// LiveOnly remaps generated fault entries onto the entries live at
+	// the end of the golden run (conditional vulnerability).
+	LiveOnly bool `json:"live_only,omitempty"`
+	// TimeoutFactor multiplies the fault-free cycle count to form the
+	// per-run cycle limit; 0 means the paper's 3.
+	TimeoutFactor uint64 `json:"timeout_factor,omitempty"`
+	// DisableEarlyStop turns off the §III.B optimizations (ablation).
+	DisableEarlyStop bool `json:"disable_early_stop,omitempty"`
+	// UseCheckpoint shares each row's fault-free prefix via drained-
+	// machine checkpoints.
+	UseCheckpoint bool `json:"use_checkpoint,omitempty"`
+	// Workers is the simulation worker-pool size of the executing
+	// process — each distributed worker applies it locally; 0 means
+	// GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Prune enables golden-run liveness pruning; PruneVerify
+	// additionally simulates up to that many pruned masks per campaign
+	// and fails on a class mismatch (implies Prune).
+	Prune       bool `json:"prune,omitempty"`
+	PruneVerify int  `json:"prune_verify,omitempty"`
+	// CheckpointLadder is the number of evenly spaced restore rungs per
+	// row (>= 2, with UseCheckpoint); 0 keeps the legacy single
+	// checkpoint.
+	CheckpointLadder int `json:"checkpoint_ladder,omitempty"`
+	// RunWallLimit bounds the host wall-clock time of a single run
+	// (serialized as nanoseconds); 0 is off.
+	RunWallLimit time.Duration `json:"run_wall_limit_ns,omitempty"`
+}
+
+// Validate checks the config and names the offending field of the first
+// problem, in the JSON spelling, so a CLI or protocol error message
+// points at what to fix.
+func (c CampaignConfig) Validate() error {
+	bad := func(field, format string, args ...any) error {
+		return fmt.Errorf("core: campaign config: %s: %s", field, fmt.Sprintf(format, args...))
+	}
+	if c.SchemaVersion > ConfigSchemaVersion {
+		return bad("schema_version", "version %d is newer than this build understands (<= %d)", c.SchemaVersion, ConfigSchemaVersion)
+	}
+	if len(c.Campaigns) == 0 {
+		return bad("campaigns", "empty — nothing to run")
+	}
+	if c.Injections < 0 {
+		return bad("injections", "negative count %d", c.Injections)
+	}
+	if c.Model != "" {
+		if _, err := fault.Model(c.Model).Kind(); err != nil {
+			return bad("model", "unknown model %q", c.Model)
+		}
+	}
+	if c.Workers < 0 {
+		return bad("workers", "negative pool size %d", c.Workers)
+	}
+	if c.PruneVerify < 0 {
+		return bad("prune_verify", "negative sample size %d", c.PruneVerify)
+	}
+	if c.CheckpointLadder < 0 || c.CheckpointLadder == 1 {
+		return bad("checkpoint_ladder", "%d rungs (want 0, or >= 2)", c.CheckpointLadder)
+	}
+	if c.RunWallLimit < 0 {
+		return bad("run_wall_limit_ns", "negative limit %d", c.RunWallLimit)
+	}
+	for i, cell := range c.Campaigns {
+		field := func(name string) string { return fmt.Sprintf("campaigns[%d].%s", i, name) }
+		if cell.Tool == "" {
+			return bad(field("tool"), "empty")
+		}
+		if cell.Benchmark == "" {
+			return bad(field("benchmark"), "empty")
+		}
+		if cell.Structure == "" {
+			return bad(field("structure"), "empty")
+		}
+		if cell.Injections < 0 {
+			return bad(field("injections"), "negative count %d", cell.Injections)
+		}
+		if cell.Seed < 0 {
+			return bad(field("seed"), "negative seed %d", cell.Seed)
+		}
+		if len(cell.Masks) == 0 && c.MaskCount(i) <= 0 {
+			return bad(field("injections"), "no explicit masks and no injection count (set injections on the cell or the config)")
+		}
+		for j, m := range cell.Masks {
+			for k, s := range m.Sites {
+				if _, err := s.Model.Kind(); err != nil {
+					return bad(fmt.Sprintf("campaigns[%d].masks[%d].sites[%d].model", i, j, k), "unknown model %q", s.Model)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MaskCount reports how many masks campaign cell i will run — the shard
+// planner's unit of work. It needs no simulator: explicit masks count
+// themselves, generated ones come from the configured injection counts.
+func (c CampaignConfig) MaskCount(i int) int {
+	cell := c.Campaigns[i]
+	if len(cell.Masks) > 0 {
+		return len(cell.Masks)
+	}
+	if cell.Injections > 0 {
+		return cell.Injections
+	}
+	return c.Injections
+}
+
+// Keys returns the campaign key of every cell, in cell order — the
+// labels of journal lines, telemetry rows and log files.
+func (c CampaignConfig) Keys() []string {
+	keys := make([]string, len(c.Campaigns))
+	for i, cell := range c.Campaigns {
+		keys[i] = fault.CampaignKey(cell.Tool, cell.Benchmark, cell.Structure)
+	}
+	return keys
+}
+
+func (c CampaignConfig) model() fault.Model {
+	if c.Model == "" {
+		return fault.ModelTransient
+	}
+	return fault.Model(c.Model)
+}
+
+func (c CampaignConfig) cellSeed(i int) int64 {
+	if s := c.Campaigns[i].Seed; s != 0 {
+		return s
+	}
+	return c.Seed
+}
+
+// Resolver materializes the simulator factory of a {tool, benchmark}
+// pair named by a config cell. The core package defines only the shape:
+// the sims wiring lives above core (cli.Resolve), and tests substitute
+// fakes.
+type Resolver func(tool, benchmark string) (Factory, error)
+
+// Attach carries the process-local, non-serializable resources of a
+// config run — exactly the parts a CampaignConfig deliberately cannot
+// express.
+type Attach struct {
+	// Golden shares a golden-run memoizer across calls; nil uses a
+	// private cache.
+	Golden *GoldenCache
+	// Telemetry receives the run-end event stream; nil costs nothing.
+	Telemetry *telemetry.Collector
+	// Journal receives one fsync'd line per completed run; Resume loads
+	// completed masks from it instead of re-simulating. RunShard ignores
+	// both — in a distributed campaign the coordinator owns the journal
+	// as the exactly-once completion ledger.
+	Journal *fault.Journal
+	Resume  bool
+}
+
+func (c CampaignConfig) matrixOptions(att Attach, cache *GoldenCache) MatrixOptions {
+	return MatrixOptions{
+		Workers:          c.Workers,
+		Golden:           cache,
+		Telemetry:        att.Telemetry,
+		Prune:            c.Prune,
+		PruneVerify:      c.PruneVerify,
+		CheckpointLadder: c.CheckpointLadder,
+		Journal:          att.Journal,
+		Resume:           att.Resume,
+		RunWallLimit:     c.RunWallLimit,
+	}
+}
+
+// buildSpec materializes the scheduler spec of cell i: the factory from
+// the resolver, and the mask population either verbatim (explicit
+// masks) or generated deterministically from {seed, model, injections}
+// against the golden geometry. Two processes building the same cell of
+// the same config produce identical masks — the root of the distributed
+// path's byte-identity.
+func (c CampaignConfig) buildSpec(i int, resolve Resolver, cache *GoldenCache) (CampaignSpec, error) {
+	cell := c.Campaigns[i]
+	factory, err := resolve(cell.Tool, cell.Benchmark)
+	if err != nil {
+		return CampaignSpec{}, err
+	}
+	masks := cell.Masks
+	if len(masks) == 0 {
+		golden, err := cache.Golden(cell.Tool, cell.Benchmark, factory)
+		if err != nil {
+			return CampaignSpec{}, err
+		}
+		entries, bits, ok, err := cache.Geometry(cell.Tool, cell.Benchmark, factory, cell.Structure)
+		if err != nil {
+			return CampaignSpec{}, err
+		}
+		if !ok {
+			return CampaignSpec{}, fmt.Errorf("core: campaigns[%d]: %s has no structure %q", i, golden.Tool, cell.Structure)
+		}
+		masks, err = fault.Generate(fault.GeneratorSpec{
+			Structure: cell.Structure, Entries: entries, BitsPerEntry: bits,
+			MaxCycle: golden.Cycles, Model: c.model(),
+			Count: c.MaskCount(i), Seed: c.cellSeed(i),
+		})
+		if err != nil {
+			return CampaignSpec{}, err
+		}
+		if c.LiveOnly {
+			live, err := cache.LiveEntries(cell.Tool, cell.Benchmark, factory, cell.Structure)
+			if err != nil {
+				return CampaignSpec{}, err
+			}
+			if len(live) == 0 {
+				return CampaignSpec{}, fmt.Errorf("core: campaigns[%d]: no live entries in %s at the end of the %s/%s golden run",
+					i, cell.Structure, cell.Tool, cell.Benchmark)
+			}
+			for mi := range masks {
+				for si := range masks[mi].Sites {
+					masks[mi].Sites[si].Entry = live[masks[mi].Sites[si].Entry%len(live)]
+				}
+			}
+		}
+	}
+	return CampaignSpec{
+		Tool: cell.Tool, Benchmark: cell.Benchmark, Structure: cell.Structure,
+		Masks: masks, Factory: factory,
+		TimeoutFactor:    c.TimeoutFactor,
+		DisableEarlyStop: c.DisableEarlyStop,
+		UseCheckpoint:    c.UseCheckpoint,
+	}, nil
+}
+
+// BuildSpecs materializes every cell of the config (see buildSpec).
+func (c CampaignConfig) BuildSpecs(resolve Resolver, cache *GoldenCache) ([]CampaignSpec, error) {
+	specs := make([]CampaignSpec, len(c.Campaigns))
+	for i := range c.Campaigns {
+		spec, err := c.buildSpec(i, resolve, cache)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	return specs, nil
+}
+
+// RunConfig executes a whole campaign config locally — the consolidated
+// entry point the CLIs use, and the reference semantics the distributed
+// path must reproduce byte-for-byte.
+func RunConfig(cfg CampaignConfig, resolve Resolver, att Attach) ([]*CampaignResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if resolve == nil {
+		return nil, fmt.Errorf("core: RunConfig needs a Resolver to materialize simulator factories")
+	}
+	cache := att.Golden
+	if cache == nil {
+		cache = NewGoldenCache()
+	}
+	specs, err := cfg.BuildSpecs(resolve, cache)
+	if err != nil {
+		return nil, err
+	}
+	results, _, err := runMatrix(specs, cfg.matrixOptions(att, cache), nil)
+	return results, err
+}
+
+// ShardRun is the wire form of one mask of an executed shard: the log
+// record plus the trace provenance and telemetry extras the coordinator
+// needs to reproduce the single-node event stream. A replicated row
+// carries only its identity (the representative may live in another
+// shard); the coordinator copies the representative's verdict at merge
+// time exactly as the single-node plan fill-in does.
+type ShardRun struct {
+	// Index is the mask index within the campaign cell.
+	Index int `json:"index"`
+	// Record is the completed log record; for a replicated row only
+	// MaskID and Sites are meaningful.
+	Record LogRecord `json:"record"`
+	// Pruned is "" (simulated), "dead" or "replicated"; RepIndex names
+	// the representative's mask index for replicated rows.
+	Pruned   string `json:"pruned,omitempty"`
+	RepIndex int    `json:"rep_index,omitempty"`
+	// Trace provenance of simulated rows (see fault.TraceRecord).
+	Observed      bool   `json:"observed,omitempty"`
+	FirstObsCycle uint64 `json:"first_obs_cycle,omitempty"`
+	EarlyStop     string `json:"early_stop,omitempty"`
+	// Telemetry extras of simulated rows.
+	WallNS         int64  `json:"wall_ns,omitempty"`
+	WatchedReads   uint64 `json:"watched_reads,omitempty"`
+	WatchedWrites  uint64 `json:"watched_writes,omitempty"`
+	ObservedReads  uint64 `json:"observed_reads,omitempty"`
+	ObservedWrites uint64 `json:"observed_writes,omitempty"`
+	LadderRestored bool   `json:"ladder_restored,omitempty"`
+	RungCycle      uint64 `json:"rung_cycle,omitempty"`
+}
+
+// ShardResult is the outcome of one executed shard: the golden header
+// of the cell (identical from every shard — deterministic simulators)
+// and one run per mask of the window.
+type ShardResult struct {
+	Golden GoldenInfo `json:"golden"`
+	Runs   []ShardRun `json:"runs"`
+}
+
+// eventCapture buffers run-end events by mask ID so RunShard can read
+// back the telemetry extras of its simulated runs.
+type eventCapture struct {
+	mu     sync.Mutex
+	byMask map[int]telemetry.RunEvent
+}
+
+func (c *eventCapture) RunEvent(ev telemetry.RunEvent) {
+	c.mu.Lock()
+	c.byMask[ev.MaskID] = ev
+	c.mu.Unlock()
+}
+
+// RunShard executes the mask window [lo, hi) of campaign cell `campaign`
+// — a distributed worker's unit of work. The full cell is rebuilt
+// deterministically from the config (masks, checkpoint placement, prune
+// plan), so every plan-time decision matches what a single-node run of
+// the whole config would decide; only the windowed masks simulate.
+// Pruned-dead rows are settled locally (their verdict needs only the
+// golden reference); replicated rows are returned as stubs for the
+// coordinator to resolve against their representative at merge time.
+//
+// att.Journal/att.Resume are ignored: the coordinator owns the journal
+// of a distributed campaign as its exactly-once completion ledger.
+// att.Golden is worth sharing across a worker's shards — goldens,
+// ladders and liveness profiles all memoize in it.
+func RunShard(cfg CampaignConfig, campaign, lo, hi int, resolve Resolver, att Attach) (*ShardResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if resolve == nil {
+		return nil, fmt.Errorf("core: RunShard needs a Resolver to materialize simulator factories")
+	}
+	if campaign < 0 || campaign >= len(cfg.Campaigns) {
+		return nil, fmt.Errorf("core: shard targets campaign %d of %d", campaign, len(cfg.Campaigns))
+	}
+	n := cfg.MaskCount(campaign)
+	if lo < 0 || hi > n || lo >= hi {
+		return nil, fmt.Errorf("core: shard window [%d,%d) outside campaign %d's %d masks", lo, hi, campaign, n)
+	}
+	cache := att.Golden
+	if cache == nil {
+		cache = NewGoldenCache()
+	}
+	spec, err := cfg.buildSpec(campaign, resolve, cache)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Masks) != n {
+		return nil, fmt.Errorf("core: campaign %d materialized %d masks, config promises %d", campaign, len(spec.Masks), n)
+	}
+
+	// A private collector with a capture sink reads back the per-run
+	// telemetry extras; the caller's collector (if any) must not see
+	// shard-local events — the coordinator re-emits the merged stream.
+	collector := telemetry.New()
+	capture := &eventCapture{byMask: make(map[int]telemetry.RunEvent, hi-lo)}
+	collector.AddSink(capture)
+	opt := cfg.matrixOptions(Attach{Telemetry: collector}, cache)
+
+	results, plans, err := runMatrix([]CampaignSpec{spec}, opt, []maskWindow{{lo, hi}})
+	if err != nil {
+		return nil, err
+	}
+	res, plan := results[0], plans[0]
+
+	out := &ShardResult{Golden: res.Golden, Runs: make([]ShardRun, 0, hi-lo)}
+	for m := lo; m < hi; m++ {
+		run := ShardRun{Index: m}
+		action := prune.Simulate
+		if plan != nil {
+			action = plan.Decisions[m].Action
+		}
+		switch action {
+		case prune.Dead:
+			run.Record = res.Records[m]
+			run.Pruned = "dead"
+		case prune.Replicate:
+			run.Pruned = "replicated"
+			run.RepIndex = plan.Decisions[m].Rep
+			run.Record = LogRecord{MaskID: spec.Masks[m].ID, Sites: spec.Masks[m].Sites}
+		default:
+			run.Record = res.Records[m]
+			capture.mu.Lock()
+			ev, ok := capture.byMask[run.Record.MaskID]
+			capture.mu.Unlock()
+			if ok {
+				run.Observed = ev.Observed
+				run.FirstObsCycle = ev.FirstObsCycle
+				run.EarlyStop = ev.EarlyStop
+				run.WallNS = int64(ev.Wall)
+				run.WatchedReads, run.WatchedWrites = ev.WatchedReads, ev.WatchedWrites
+				run.ObservedReads, run.ObservedWrites = ev.ObservedReads, ev.ObservedWrites
+				run.LadderRestored, run.RungCycle = ev.LadderRestored, ev.RungCycle
+			}
+		}
+		out.Runs = append(out.Runs, run)
+	}
+	return out, nil
+}

@@ -45,6 +45,13 @@ type goldenEntry struct {
 	ladderMu sync.Mutex
 	ladderK  int
 	ladder   []LadderRung
+
+	// profMu guards the memoized liveness profiles (see Profiles), keyed
+	// by rung placement and profiled-structure set. Separate from mu for
+	// the same reason as ladderMu: a profiled replay simulates a whole
+	// golden run.
+	profMu   sync.Mutex
+	profiles map[string][]prune.Profiles
 }
 
 // NewGoldenCache returns an empty memoizer.
@@ -181,6 +188,46 @@ func (c *GoldenCache) Ladder(tool, bench string, f Factory, k int) ([]LadderRung
 	return e.ladder, nil
 }
 
+// Profiles returns the memoized liveness profiles of the row's replay
+// trajectories (boot plus one per rung) for one profiled-structure set,
+// running the profiled replays only on the first call. Memoization is
+// keyed by the rung capture cycles and the structure names: a shard
+// worker re-planning the same campaign hits the memo instead of
+// re-simulating 1+len(rungs) golden replays per shard. A nil result (no
+// error) means the simulator cannot be profiled and pruning is off for
+// the row.
+func (c *GoldenCache) Profiles(tool, bench string, f Factory, rungs []LadderRung, structures []string) ([]prune.Profiles, error) {
+	e := c.entry(tool, bench)
+	if _, err := c.Golden(tool, bench, f); err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%v|%q", rungCycles(rungs), structures)
+	e.profMu.Lock()
+	defer e.profMu.Unlock()
+	if p, ok := e.profiles[key]; ok {
+		return p, nil
+	}
+	p, err := buildRowProfiles(f, rungs, structures, e.golden)
+	if err != nil {
+		return nil, err
+	}
+	if e.profiles == nil {
+		e.profiles = make(map[string][]prune.Profiles)
+	}
+	e.profiles[key] = p
+	return p, nil
+}
+
+// rungCycles projects a ladder onto its capture cycles — the part of a
+// rung that identifies the replay trajectory it induces.
+func rungCycles(rungs []LadderRung) []uint64 {
+	out := make([]uint64, len(rungs))
+	for i, r := range rungs {
+		out[i] = r.Cycle
+	}
+	return out
+}
+
 // MatrixOptions configures RunMatrix.
 type MatrixOptions struct {
 	// Workers is the size of the single global worker pool shared by
@@ -275,10 +322,50 @@ type campaignPrep struct {
 // deterministic first-error ordering) instead of aborting the process,
 // and masks are validated against structure geometry before anything is
 // queued.
+//
+// Deprecated: RunMatrix predates the consolidated campaign API. New
+// callers should describe campaigns with a CampaignConfig and use
+// RunConfig (local execution) or RunShard (one mask window of a
+// distributed campaign); both run through the same scheduler. RunMatrix
+// stays as a thin wrapper so existing callers compile unchanged.
 func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, error) {
+	results, _, err := runMatrix(specs, opt, nil)
+	return results, err
+}
+
+// maskWindow restricts the scheduler to the half-open mask index range
+// [lo, hi) of one spec — the shard executor's view of a campaign. The
+// spec still carries the full mask set, so plan-time artifacts whose
+// placement depends on the whole campaign (checkpoint positions, prune
+// plans, mask validation) are computed exactly as a single-node run
+// computes them; only queueing and record fill-in are windowed.
+type maskWindow struct{ lo, hi int }
+
+// runMatrix is the scheduler core behind RunMatrix, RunConfig and
+// RunShard. windows, when non-nil, holds one mask window per spec and
+// limits simulation and record fill-in to the windowed masks: out-of-
+// window records stay zero, plan-settled replicated masks are left to
+// the merge layer (their representative may live in another window),
+// and prune-verify samples only masks whose comparison record exists in
+// the window. The per-spec prune plans are returned alongside the
+// results so shard executors can report per-mask provenance.
+func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([]*CampaignResult, []*prune.Plan, error) {
 	cache := opt.Golden
 	if cache == nil {
 		cache = NewGoldenCache()
+	}
+	if windows != nil {
+		if len(windows) != len(specs) {
+			return nil, nil, fmt.Errorf("core: %d mask windows for %d specs", len(windows), len(specs))
+		}
+		for i, w := range windows {
+			if w.lo < 0 || w.hi > len(specs[i].Masks) || w.lo > w.hi {
+				return nil, nil, fmt.Errorf("core: spec %d: mask window [%d,%d) outside [0,%d)", i, w.lo, w.hi, len(specs[i].Masks))
+			}
+		}
+	}
+	inWindow := func(spec, m int) bool {
+		return windows == nil || (m >= windows[spec].lo && m < windows[spec].hi)
 	}
 
 	preps := make([]campaignPrep, len(specs))
@@ -290,7 +377,7 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 			var err error
 			g, err = cache.Golden(spec.Tool, spec.Benchmark, spec.Factory)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		g.Benchmark = spec.Benchmark
@@ -334,9 +421,9 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 		for _, m := range spec.Masks {
 			if err := m.ValidateSites(geom); err != nil {
 				if geomErr != nil {
-					return nil, geomErr
+					return nil, nil, geomErr
 				}
-				return nil, fmt.Errorf("core: campaign %s: %v",
+				return nil, nil, fmt.Errorf("core: campaign %s: %v",
 					fault.CampaignKey(preps[i].golden.Tool, spec.Benchmark, spec.Structure), err)
 			}
 		}
@@ -378,7 +465,7 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 				var err error
 				rungs, err = cache.Ladder(key.tool, key.bench, spec.Factory, opt.CheckpointLadder)
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			} else if cp, cpCycle := makeCheckpoint(spec.Factory, preps[i].golden, earliest[key]); cp != nil {
 				rungs = []LadderRung{{State: cp, Cycle: cpCycle}}
@@ -399,16 +486,25 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 			rungs int // rows with and without restores profile separately
 		}
 		profiled := make(map[rowKey][]prune.Profiles)
+		structures := maskStructures(specs)
 		for i := range specs {
 			spec := &specs[i]
 			key := rowKey{goldenKey{preps[i].golden.Tool, spec.Benchmark}, len(preps[i].rungs)}
 			profiles, done := profiled[key]
 			if !done {
 				var err error
-				profiles, err = buildRowProfiles(spec.Factory, preps[i].rungs,
-					maskStructures(specs), preps[i].golden)
+				if spec.Golden == nil {
+					// The cache memoizes the profiled replays per {rungs,
+					// structures}, so a worker re-planning the same campaign
+					// for every shard profiles the row once, not once per
+					// shard. A supplied golden bypasses the cache (its row
+					// may not be the cache's), so it profiles locally.
+					profiles, err = cache.Profiles(spec.Tool, spec.Benchmark, spec.Factory, preps[i].rungs, structures)
+				} else {
+					profiles, err = buildRowProfiles(spec.Factory, preps[i].rungs, structures, preps[i].golden)
+				}
 				if err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 				profiled[key] = profiles
 			}
@@ -464,19 +560,22 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 	totalMasks := 0
 	for i, spec := range specs {
 		records[i] = make([]LogRecord, len(spec.Masks))
-		totalMasks += len(spec.Masks)
 		plan := preps[i].plan
 		for m := range spec.Masks {
+			if !inWindow(i, m) {
+				continue
+			}
+			totalMasks++
 			if plan != nil && plan.Decisions[m].Action != prune.Simulate {
 				continue
 			}
 			if e := journaled[keys[i]][spec.Masks[m].ID]; e != nil {
 				var rec LogRecord
 				if err := json.Unmarshal(e.Record, &rec); err != nil {
-					return nil, fmt.Errorf("core: journal record for %s mask %d: %w", e.Campaign, e.MaskID, err)
+					return nil, nil, fmt.Errorf("core: journal record for %s mask %d: %w", e.Campaign, e.MaskID, err)
 				}
 				if !reflect.DeepEqual(rec.Sites, spec.Masks[m].Sites) {
-					return nil, fmt.Errorf("core: journal record for %s mask %d was taken with different fault sites — stale journal for this mask set", e.Campaign, e.MaskID)
+					return nil, nil, fmt.Errorf("core: journal record for %s mask %d was taken with different fault sites — stale journal for this mask set", e.Campaign, e.MaskID)
 				}
 				records[i][m] = rec
 				resumed = append(resumed, resumedRun{spec: i, entry: e, rec: rec})
@@ -485,7 +584,18 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 			queue = append(queue, scheduledRun{spec: i, mask: m, verify: -1})
 		}
 		if opt.PruneVerify > 0 {
-			verifyIdx[i] = sampleVerify(plan, opt.PruneVerify)
+			// Windowed: verify only masks whose planned verdict this window
+			// can reproduce — a dead mask in the window, or a replicated
+			// mask whose representative's record is simulated here too.
+			for _, m := range sampleVerify(plan, opt.PruneVerify) {
+				if !inWindow(i, m) {
+					continue
+				}
+				if d := plan.Decisions[m]; d.Action == prune.Replicate && !inWindow(i, d.Rep) {
+					continue
+				}
+				verifyIdx[i] = append(verifyIdx[i], m)
+			}
 			verifyRecs[i] = make([]LogRecord, len(verifyIdx[i]))
 			for j, m := range verifyIdx[i] {
 				queue = append(queue, scheduledRun{spec: i, mask: m, verify: j})
@@ -667,7 +777,7 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
 
 	// Fill the records the plan settled without simulation: dead masks get
@@ -682,6 +792,9 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 		}
 		spec := &specs[i]
 		for m, d := range plan.Decisions {
+			if !inWindow(i, m) {
+				continue
+			}
 			var pruned string
 			repMask := -1
 			switch d.Action {
@@ -691,6 +804,15 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 				records[i][m] = prunedRecord(spec.Masks[m], preps[i].golden)
 				pruned = "dead"
 			case prune.Replicate:
+				if windows != nil {
+					// The representative may live in another shard's window;
+					// replicated rows are resolved at merge time from the
+					// representative's completed record, reproducing exactly
+					// this copy-and-restamp. Skipping the local fill (even
+					// when the representative happens to be in-window) keeps
+					// every shard's treatment of replicated rows identical.
+					continue
+				}
 				rec := records[i][d.Rep]
 				rec.MaskID = spec.Masks[m].ID
 				rec.Sites = spec.Masks[m].Sites
@@ -726,11 +848,19 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 	// "completed" — all Masked.)
 	for i := range specs {
 		for j, m := range verifyIdx[i] {
-			planned, _ := (Parser{}).Classify(records[i][m])
+			// A replicated mask's planned verdict is its representative's
+			// class; comparing against the representative's record directly
+			// keeps the check meaningful in windowed mode, where replicated
+			// rows are filled at merge time rather than here.
+			ri := m
+			if d := preps[i].plan.Decisions[m]; d.Action == prune.Replicate {
+				ri = d.Rep
+			}
+			planned, _ := (Parser{}).Classify(records[i][ri])
 			simulated, _ := (Parser{}).Classify(verifyRecs[i][j])
 			if planned != simulated {
 				d := preps[i].plan.Decisions[m]
-				return nil, fmt.Errorf(
+				return nil, nil, fmt.Errorf(
 					"core: prune-verify mismatch on %s mask %d (%s, reason %q): pruned class %s, simulated class %s (status %s)",
 					fault.CampaignKey(preps[i].golden.Tool, specs[i].Benchmark, specs[i].Structure),
 					specs[i].Masks[m].ID, d.Action, d.Reason, planned, simulated, verifyRecs[i][j].Status)
@@ -739,10 +869,12 @@ func RunMatrix(specs []CampaignSpec, opt MatrixOptions) ([]*CampaignResult, erro
 	}
 
 	results := make([]*CampaignResult, len(specs))
+	plans := make([]*prune.Plan, len(specs))
 	for i := range specs {
 		results[i] = &CampaignResult{Golden: preps[i].golden, Records: records[i]}
+		plans[i] = preps[i].plan
 	}
-	return results, nil
+	return results, plans, nil
 }
 
 // makeCheckpoint captures the fault-free prefix of a row on a drained

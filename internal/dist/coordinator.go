@@ -1,0 +1,585 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+)
+
+// CoordinatorOptions parameterize shard planning, lease terms, and the
+// coordinator-side resources of a distributed campaign.
+type CoordinatorOptions struct {
+	// ShardSize is the number of masks per shard (default 50). Smaller
+	// shards spread better and re-run less on worker death; larger ones
+	// amortize the per-shard plan rebuild on the worker.
+	ShardSize int
+	// LeaseTTL is how long a worker may hold a shard without
+	// heartbeating before the coordinator requeues it (default 10s).
+	LeaseTTL time.Duration
+	// MaxRetries bounds how many times one shard may be requeued after
+	// lease expiry before the campaign fails (default 3).
+	MaxRetries int
+	// RetryBackoff delays a requeued shard's next assignment by
+	// backoff×retries (default 1s).
+	RetryBackoff time.Duration
+	// Telemetry, when non-nil, receives the merged event stream — one
+	// run-end event per mask, with the same provenance a single-node run
+	// emits, so progress lines, snapshots and trace sinks aggregate
+	// across shards unchanged.
+	Telemetry *telemetry.Collector
+	// JournalFor, when non-nil, opens the durable run journal of a
+	// campaign key. The coordinator appends every merged simulated run
+	// to it — the exactly-once completion ledger of the distributed
+	// campaign (workers never journal).
+	JournalFor func(key string) (*fault.Journal, error)
+	// Logf, when non-nil, receives coordinator lifecycle lines (lease
+	// grants, requeues, duplicates).
+	Logf func(format string, args ...any)
+
+	// now is the clock; tests compress lease time.
+	now func() time.Time
+}
+
+func (o CoordinatorOptions) shardSize() int {
+	if o.ShardSize > 0 {
+		return o.ShardSize
+	}
+	return 50
+}
+
+func (o CoordinatorOptions) leaseTTL() time.Duration {
+	if o.LeaseTTL > 0 {
+		return o.LeaseTTL
+	}
+	return 10 * time.Second
+}
+
+func (o CoordinatorOptions) maxRetries() int {
+	if o.MaxRetries > 0 {
+		return o.MaxRetries
+	}
+	return 3
+}
+
+func (o CoordinatorOptions) retryBackoff() time.Duration {
+	if o.RetryBackoff > 0 {
+		return o.RetryBackoff
+	}
+	return time.Second
+}
+
+// Stats is a point-in-time view of the coordinator's shard accounting.
+type Stats struct {
+	Shards     int // planned shards
+	Completed  int // shards merged
+	Requeues   int // lease expiries that put a shard back on the queue
+	Duplicates int // completions of already-completed shards (discarded)
+}
+
+const (
+	shardQueued = iota
+	shardLeased
+	shardCompleted
+)
+
+type shardState struct {
+	shard    Shard
+	state    int
+	worker   string
+	expiry   time.Time // lease deadline while leased
+	eligible time.Time // earliest next assignment while queued
+	retries  int
+}
+
+// pendingReplica is a replicated row awaiting its representative's
+// merged record; resolved at finalize exactly like the single-node
+// plan fill-in.
+type pendingReplica struct {
+	campaign, index, rep int
+	maskID               int
+	sites                []fault.Site
+}
+
+// Coordinator plans a campaign config into mask-range shards, serves
+// them to workers over the /v1 protocol, and merges completed shards
+// into per-campaign results identical to a single-node run.
+type Coordinator struct {
+	cfg  core.CampaignConfig
+	opt  CoordinatorOptions
+	keys []string
+
+	mu        sync.Mutex
+	shards    []*shardState
+	remaining int
+	goldens   []core.GoldenInfo
+	goldenSet []bool
+	records   [][]core.LogRecord
+	filled    [][]bool
+	replicas  []pendingReplica
+	journals  map[string]*fault.Journal
+	camps     []*telemetry.CampaignStats
+	stats     Stats
+	failure   error
+	finished  bool
+	doneCh    chan struct{}
+	results   []*core.CampaignResult
+}
+
+// New validates the config, plans the shard queue, and registers the
+// campaign rows with the telemetry collector.
+func New(cfg core.CampaignConfig, opt CoordinatorOptions) (*Coordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.SchemaVersion == 0 {
+		cfg.SchemaVersion = core.ConfigSchemaVersion
+	}
+	if opt.now == nil {
+		opt.now = time.Now
+	}
+	c := &Coordinator{
+		cfg: cfg, opt: opt, keys: cfg.Keys(),
+		goldens:   make([]core.GoldenInfo, len(cfg.Campaigns)),
+		goldenSet: make([]bool, len(cfg.Campaigns)),
+		records:   make([][]core.LogRecord, len(cfg.Campaigns)),
+		filled:    make([][]bool, len(cfg.Campaigns)),
+		journals:  make(map[string]*fault.Journal),
+		doneCh:    make(chan struct{}),
+	}
+	total := 0
+	size := opt.shardSize()
+	for i := range cfg.Campaigns {
+		n := cfg.MaskCount(i)
+		total += n
+		c.records[i] = make([]core.LogRecord, n)
+		c.filled[i] = make([]bool, n)
+		for lo := 0; lo < n; lo += size {
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			c.shards = append(c.shards, &shardState{
+				shard: Shard{ID: len(c.shards), Campaign: i, MaskLo: lo, MaskHi: hi},
+			})
+		}
+	}
+	c.remaining = len(c.shards)
+	c.stats.Shards = len(c.shards)
+	if tel := opt.Telemetry; tel != nil {
+		// Worker pools live in the worker processes; the coordinator has
+		// no pool of its own, so the utilization gauge stays off.
+		tel.Start(0)
+		tel.AddQueued(total)
+		c.camps = make([]*telemetry.CampaignStats, len(cfg.Campaigns))
+		for i, cell := range cfg.Campaigns {
+			c.camps[i] = tel.Campaign(c.keys[i], cell.Tool, cell.Benchmark, cell.Structure)
+		}
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opt.Logf != nil {
+		c.opt.Logf(format, args...)
+	}
+}
+
+// Stats returns the current shard accounting.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// failLocked records the first terminal error and wakes Wait.
+func (c *Coordinator) failLocked(err error) {
+	if c.failure == nil {
+		c.failure = err
+	}
+	c.finishLocked()
+}
+
+func (c *Coordinator) finishLocked() {
+	if !c.finished {
+		c.finished = true
+		close(c.doneCh)
+	}
+}
+
+// sweepLocked requeues the shards of workers that stopped heartbeating.
+// Called on every lease and from Wait's ticker, so dead workers are
+// noticed even when no one else asks for work.
+func (c *Coordinator) sweepLocked(now time.Time) {
+	for _, s := range c.shards {
+		if s.state != shardLeased || s.expiry.After(now) {
+			continue
+		}
+		s.retries++
+		if s.retries > c.opt.maxRetries() {
+			c.failLocked(fmt.Errorf("dist: shard %d (campaign %d masks [%d,%d)) lost its lease %d times; giving up",
+				s.shard.ID, s.shard.Campaign, s.shard.MaskLo, s.shard.MaskHi, s.retries))
+			return
+		}
+		c.logf("dist: shard %d lease by %s expired; requeued (retry %d)", s.shard.ID, s.worker, s.retries)
+		s.state = shardQueued
+		s.worker = ""
+		s.eligible = now.Add(time.Duration(s.retries) * c.opt.retryBackoff())
+		c.stats.Requeues++
+	}
+}
+
+func (c *Coordinator) lease(workerID string) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.now()
+	c.sweepLocked(now)
+	if c.failure != nil {
+		return LeaseResponse{Status: StatusFailed, Error: c.failure.Error()}
+	}
+	if c.remaining == 0 {
+		return LeaseResponse{Status: StatusDone}
+	}
+	var nearest time.Time
+	for _, s := range c.shards {
+		switch s.state {
+		case shardQueued:
+			if !s.eligible.After(now) {
+				s.state = shardLeased
+				s.worker = workerID
+				s.expiry = now.Add(c.opt.leaseTTL())
+				c.logf("dist: shard %d leased to %s", s.shard.ID, workerID)
+				sh := s.shard
+				return LeaseResponse{Status: StatusShard, Shard: &sh}
+			}
+			if nearest.IsZero() || s.eligible.Before(nearest) {
+				nearest = s.eligible
+			}
+		case shardLeased:
+			if nearest.IsZero() || s.expiry.Before(nearest) {
+				nearest = s.expiry
+			}
+		}
+	}
+	wait := time.Second
+	if !nearest.IsZero() {
+		wait = nearest.Sub(now)
+	}
+	if wait < 50*time.Millisecond {
+		wait = 50 * time.Millisecond
+	}
+	if wait > time.Second {
+		wait = time.Second
+	}
+	return LeaseResponse{Status: StatusWait, WaitMS: wait.Milliseconds()}
+}
+
+func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.ShardID < 0 || req.ShardID >= len(c.shards) {
+		return HeartbeatResponse{}
+	}
+	s := c.shards[req.ShardID]
+	now := c.opt.now()
+	if s.state != shardLeased || s.worker != req.WorkerID || !s.expiry.After(now) {
+		return HeartbeatResponse{}
+	}
+	s.expiry = now.Add(c.opt.leaseTTL())
+	return HeartbeatResponse{OK: true}
+}
+
+// ackLocked stamps the campaign's terminal state onto a completion ack
+// so the delivering worker never needs a post-completion lease poll —
+// which would race the coordinator's shutdown once the last shard lands.
+func (c *Coordinator) ackLocked(r CompleteResponse) CompleteResponse {
+	if c.failure != nil {
+		r.Failed = c.failure.Error()
+	} else if c.finished {
+		r.Done = true
+	}
+	return r
+}
+
+func (c *Coordinator) complete(req CompleteRequest) CompleteResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.ShardID < 0 || req.ShardID >= len(c.shards) {
+		return CompleteResponse{Error: fmt.Sprintf("dist: no shard %d", req.ShardID)}
+	}
+	s := c.shards[req.ShardID]
+	if req.Error != "" {
+		// Shard execution is deterministic: the same masks would fail the
+		// same way on any worker, so a reported error fails the campaign.
+		c.failLocked(fmt.Errorf("dist: worker %s failed shard %d (campaign %d masks [%d,%d)): %s",
+			req.WorkerID, s.shard.ID, s.shard.Campaign, s.shard.MaskLo, s.shard.MaskHi, req.Error))
+		return c.ackLocked(CompleteResponse{OK: true})
+	}
+	if s.state == shardCompleted {
+		// A requeued shard finished twice (the original worker was slow,
+		// not dead). The late copy is byte-identical by determinism;
+		// discard it — the per-mask ledger stays exactly-once.
+		c.stats.Duplicates++
+		c.logf("dist: duplicate completion of shard %d by %s discarded", s.shard.ID, req.WorkerID)
+		return c.ackLocked(CompleteResponse{OK: true})
+	}
+	if err := c.mergeLocked(s.shard, req.Result); err != nil {
+		c.failLocked(err)
+		return c.ackLocked(CompleteResponse{OK: true})
+	}
+	s.state = shardCompleted
+	s.worker = req.WorkerID
+	c.remaining--
+	c.stats.Completed++
+	c.logf("dist: shard %d completed by %s (%d/%d)", s.shard.ID, req.WorkerID, c.stats.Completed, c.stats.Shards)
+	if c.remaining == 0 && c.failure == nil {
+		if err := c.finalizeLocked(); err != nil {
+			c.failLocked(err)
+		} else {
+			c.finishLocked()
+		}
+	}
+	return c.ackLocked(CompleteResponse{OK: true, Accepted: true})
+}
+
+// mergeLocked folds one shard result into the per-campaign record
+// arrays, journals its simulated runs, and re-emits its run-end events
+// through the coordinator's collector — the same events, with the same
+// provenance, a single-node run would have emitted for these masks.
+func (c *Coordinator) mergeLocked(sh Shard, res *core.ShardResult) error {
+	if res == nil {
+		return fmt.Errorf("dist: shard %d completed without a result", sh.ID)
+	}
+	if len(res.Runs) != sh.MaskHi-sh.MaskLo {
+		return fmt.Errorf("dist: shard %d returned %d runs for window [%d,%d)", sh.ID, len(res.Runs), sh.MaskLo, sh.MaskHi)
+	}
+	i := sh.Campaign
+	if !c.goldenSet[i] {
+		c.goldens[i] = res.Golden
+		c.goldenSet[i] = true
+	} else if !reflect.DeepEqual(c.goldens[i], res.Golden) {
+		// Deterministic simulators must agree on the fault-free reference;
+		// a mismatch means the fleet runs divergent builds.
+		return fmt.Errorf("dist: shard %d golden header disagrees with campaign %d's (mixed worker builds?)", sh.ID, i)
+	}
+	for _, run := range res.Runs {
+		if run.Index < sh.MaskLo || run.Index >= sh.MaskHi {
+			return fmt.Errorf("dist: shard %d returned mask index %d outside window [%d,%d)", sh.ID, run.Index, sh.MaskLo, sh.MaskHi)
+		}
+		if c.filled[i][run.Index] {
+			continue // exactly-once ledger: an overlapping row merges once
+		}
+		c.filled[i][run.Index] = true
+		switch run.Pruned {
+		case "replicated":
+			c.replicas = append(c.replicas, pendingReplica{
+				campaign: i, index: run.Index, rep: run.RepIndex,
+				maskID: run.Record.MaskID, sites: run.Record.Sites,
+			})
+			continue // verdict copied from the representative at finalize
+		case "":
+			// Only simulated runs reach the journal — the same rows a
+			// single-node -journal campaign acknowledges.
+			if c.opt.JournalFor != nil {
+				if err := c.journalLocked(c.keys[i], run); err != nil {
+					return err
+				}
+			}
+		}
+		c.records[i][run.Index] = run.Record
+		c.emitLocked(i, run, run.Pruned, -1)
+	}
+	return nil
+}
+
+func (c *Coordinator) journalLocked(key string, run core.ShardRun) error {
+	jnl, ok := c.journals[key]
+	if !ok {
+		var err error
+		if jnl, err = c.opt.JournalFor(key); err != nil {
+			return fmt.Errorf("dist: opening journal for %s: %w", key, err)
+		}
+		c.journals[key] = jnl
+	}
+	raw, err := json.Marshal(&run.Record)
+	if err != nil {
+		return fmt.Errorf("dist: journaling %s mask %d: %w", key, run.Record.MaskID, err)
+	}
+	return jnl.Append(fault.JournalEntry{
+		Campaign: key, MaskID: run.Record.MaskID, Record: raw,
+		Observed: run.Observed, FirstObsCycle: run.FirstObsCycle, EarlyStop: run.EarlyStop,
+	})
+}
+
+// emitLocked synthesizes the run-end telemetry event of one merged row.
+func (c *Coordinator) emitLocked(i int, run core.ShardRun, pruned string, repMask int) {
+	tel := c.opt.Telemetry
+	if tel == nil {
+		return
+	}
+	cell := c.cfg.Campaigns[i]
+	cls, _ := (core.Parser{}).Classify(run.Record)
+	tel.RunStarted()
+	tel.RunDone(c.camps[i], telemetry.RunEvent{
+		Campaign:       c.keys[i],
+		Tool:           c.camps[i].Tool,
+		Benchmark:      cell.Benchmark,
+		Structure:      cell.Structure,
+		MaskID:         run.Record.MaskID,
+		Sites:          run.Record.Sites,
+		Status:         run.Record.Status,
+		Class:          string(cls),
+		Cycles:         run.Record.Cycles,
+		Wall:           time.Duration(run.WallNS),
+		Observed:       run.Observed,
+		FirstObsCycle:  run.FirstObsCycle,
+		EarlyStop:      run.EarlyStop,
+		WatchedReads:   run.WatchedReads,
+		WatchedWrites:  run.WatchedWrites,
+		ObservedReads:  run.ObservedReads,
+		ObservedWrites: run.ObservedWrites,
+		LadderRestored: run.LadderRestored,
+		RungCycle:      run.RungCycle,
+		Pruned:         pruned,
+		RepMask:        repMask,
+	})
+}
+
+// finalizeLocked resolves replicated rows against their merged
+// representatives — copying the representative's record and restamping
+// the mask identity, exactly as the single-node plan fill-in does —
+// then checks the per-mask ledger is complete and builds the results.
+func (c *Coordinator) finalizeLocked() error {
+	for _, r := range c.replicas {
+		if !c.filled[r.campaign][r.rep] {
+			return fmt.Errorf("dist: campaign %d mask %d replicates mask %d, which never completed", r.campaign, r.index, r.rep)
+		}
+		rep := c.records[r.campaign][r.rep]
+		repMask := rep.MaskID
+		rec := rep
+		rec.MaskID = r.maskID
+		rec.Sites = r.sites
+		c.records[r.campaign][r.index] = rec
+		c.emitLocked(r.campaign, core.ShardRun{Index: r.index, Record: rec}, "replicated", repMask)
+	}
+	for i := range c.records {
+		for m, ok := range c.filled[i] {
+			if !ok {
+				return fmt.Errorf("dist: campaign %d mask %d never completed despite all shards reporting", i, m)
+			}
+		}
+	}
+	c.results = make([]*core.CampaignResult, len(c.records))
+	for i := range c.records {
+		c.results[i] = &core.CampaignResult{Golden: c.goldens[i], Records: c.records[i]}
+	}
+	return nil
+}
+
+// Wait blocks until every shard has completed (returning the merged
+// per-campaign results, in config cell order) or the campaign fails.
+// It also drives the lease sweep, so dead workers are requeued even
+// when no live worker is polling.
+func (c *Coordinator) Wait(ctx context.Context) ([]*core.CampaignResult, error) {
+	tick := c.opt.leaseTTL() / 2
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.doneCh:
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			if c.failure != nil {
+				return nil, c.failure
+			}
+			return c.results, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ticker.C:
+			c.mu.Lock()
+			c.sweepLocked(c.opt.now())
+			c.mu.Unlock()
+		}
+	}
+}
+
+// Close closes the journals the coordinator opened.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, j := range c.journals {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	c.journals = map[string]*fault.Journal{}
+	return first
+}
+
+// Handler returns the /v1 protocol endpoints.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/config", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, ConfigResponse{
+			ProtocolVersion: ProtocolVersion,
+			Config:          c.cfg,
+			LeaseTTLMS:      c.opt.leaseTTL().Milliseconds(),
+		})
+	})
+	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.lease(req.WorkerID))
+	})
+	mux.HandleFunc("/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.heartbeat(req))
+	})
+	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.complete(req))
+	})
+	return mux
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

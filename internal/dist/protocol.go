@@ -1,0 +1,110 @@
+// Package dist is the distributed campaign layer: a faultcampd
+// coordinator slices a campaign config's mask populations into shard
+// ranges and serves them over HTTP/JSON to faultworker processes, which
+// execute each shard with the same scheduler machinery a single-node
+// run uses (core.RunShard) and stream results back. The coordinator
+// owns lease-based shard assignment with heartbeats, requeues the
+// shards of dead workers, journals completed runs as the exactly-once
+// completion ledger, and merges per-shard results into logs and traces
+// byte-identical to a single-node run of the same config.
+//
+// The protocol is deliberately small and stateless on the worker side:
+// everything a worker needs to rebuild a campaign cell — masks,
+// checkpoint placement, prune plan — derives deterministically from the
+// config, so the wire carries only the config once plus {campaign,
+// mask_lo, mask_hi} per shard.
+package dist
+
+import (
+	"repro/internal/core"
+)
+
+// ProtocolVersion is the coordinator/worker wire format version. A
+// worker refuses a coordinator speaking a newer version (and vice
+// versa the coordinator's config carries its own schema version), so a
+// mixed-build fleet fails loudly instead of merging subtly different
+// outputs.
+const ProtocolVersion = 1
+
+// Shard is one unit of distributed work: the mask window [MaskLo,
+// MaskHi) of one campaign cell of the config.
+type Shard struct {
+	ID       int `json:"id"`
+	Campaign int `json:"campaign"`
+	MaskLo   int `json:"mask_lo"`
+	MaskHi   int `json:"mask_hi"`
+}
+
+// ConfigResponse is the body of GET /v1/config: the full campaign
+// config plus the lease terms the coordinator enforces.
+type ConfigResponse struct {
+	ProtocolVersion int                 `json:"protocol_version"`
+	Config          core.CampaignConfig `json:"config"`
+	LeaseTTLMS      int64               `json:"lease_ttl_ms"`
+}
+
+// LeaseRequest is the body of POST /v1/lease.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// Lease statuses.
+const (
+	// StatusShard carries a shard assignment.
+	StatusShard = "shard"
+	// StatusWait means every runnable shard is leased or backing off;
+	// poll again after WaitMS.
+	StatusWait = "wait"
+	// StatusDone means every shard completed; the worker may exit.
+	StatusDone = "done"
+	// StatusFailed means the campaign failed terminally (a worker
+	// reported a deterministic error, or a shard ran out of retries).
+	StatusFailed = "failed"
+)
+
+// LeaseResponse is the body of a lease reply.
+type LeaseResponse struct {
+	Status string `json:"status"`
+	Shard  *Shard `json:"shard,omitempty"`
+	WaitMS int64  `json:"wait_ms,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// HeartbeatRequest extends a shard lease.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+	ShardID  int    `json:"shard_id"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat. OK false means the lease
+// was lost (expired and requeued, or the shard completed elsewhere);
+// the worker's result, if it still sends one, will be deduplicated.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// CompleteRequest delivers a shard's outcome. A non-empty Error marks
+// the shard — and with it the campaign — failed: shard execution is
+// deterministic, so retrying the same masks on another worker would
+// fail identically.
+type CompleteRequest struct {
+	WorkerID string            `json:"worker_id"`
+	ShardID  int               `json:"shard_id"`
+	Result   *core.ShardResult `json:"result,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion. Accepted false means the
+// shard had already been completed (a requeued shard finished twice);
+// the duplicate was discarded, which is fine — the merge ledger is
+// exactly-once per mask. Done and Failed report the campaign's terminal
+// state in the acknowledgement itself, so the worker that delivers the
+// final shard learns the outcome without racing the coordinator's
+// shutdown on one more lease poll.
+type CompleteResponse struct {
+	OK       bool   `json:"ok"`
+	Accepted bool   `json:"accepted"`
+	Done     bool   `json:"done,omitempty"`
+	Failed   string `json:"failed,omitempty"`
+	Error    string `json:"error,omitempty"`
+}

@@ -1,0 +1,242 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+)
+
+// WorkerOptions parameterize one faultworker process.
+type WorkerOptions struct {
+	// ID names the worker in leases and logs; required.
+	ID string
+	// Resolve materializes simulator factories for the config's cells;
+	// required (cli.Resolve in production, fakes in tests).
+	Resolve core.Resolver
+	// Golden shares golden runs, ladders and liveness profiles across
+	// the worker's shards; nil uses a private cache (still shared across
+	// shards — the point of running a worker process).
+	Golden *core.GoldenCache
+	// Heartbeat overrides the lease-extension period; 0 derives TTL/3
+	// from the coordinator's lease terms.
+	Heartbeat time.Duration
+	// Poll caps the wait between lease polls when the coordinator has
+	// no runnable shard; 0 honors the coordinator's wait hint as-is.
+	Poll time.Duration
+	// Logf, when non-nil, receives worker lifecycle lines.
+	Logf func(format string, args ...any)
+	// Client is the HTTP client; nil uses a default with a sane timeout.
+	Client *http.Client
+}
+
+// RunWorker executes shards from the coordinator at coordURL until the
+// campaign completes (nil), fails (the campaign error), or ctx ends.
+//
+// The worker is stateless between shards: each shard rebuilds its
+// campaign cell deterministically from the config via core.RunShard,
+// with the golden cache carrying the only cross-shard state (memoized
+// fault-free runs and plan-time artifacts).
+func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
+	if opt.ID == "" {
+		return fmt.Errorf("dist: worker needs an ID")
+	}
+	if opt.Resolve == nil {
+		return fmt.Errorf("dist: worker needs a Resolver")
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opt.Golden == nil {
+		opt.Golden = core.NewGoldenCache()
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	cfgResp, err := fetchConfig(ctx, opt.Client, coordURL)
+	if err != nil {
+		return err
+	}
+	if cfgResp.ProtocolVersion > ProtocolVersion {
+		return fmt.Errorf("dist: coordinator speaks protocol %d; this worker speaks <= %d", cfgResp.ProtocolVersion, ProtocolVersion)
+	}
+	cfg := cfgResp.Config
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("dist: coordinator config: %w", err)
+	}
+	heartbeat := opt.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = time.Duration(cfgResp.LeaseTTLMS) * time.Millisecond / 3
+	}
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease LeaseResponse
+		if err := postJSON(ctx, opt.Client, coordURL+"/v1/lease", LeaseRequest{WorkerID: opt.ID}, &lease); err != nil {
+			return err
+		}
+		switch lease.Status {
+		case StatusDone:
+			logf("worker %s: campaign complete", opt.ID)
+			return nil
+		case StatusFailed:
+			return fmt.Errorf("dist: campaign failed: %s", lease.Error)
+		case StatusWait:
+			wait := time.Duration(lease.WaitMS) * time.Millisecond
+			if opt.Poll > 0 && wait > opt.Poll {
+				wait = opt.Poll
+			}
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+		case StatusShard:
+			sh := *lease.Shard
+			logf("worker %s: shard %d (campaign %d masks [%d,%d))", opt.ID, sh.ID, sh.Campaign, sh.MaskLo, sh.MaskHi)
+			result, runErr := runLeased(ctx, opt, coordURL, cfg, sh, heartbeat)
+			req := CompleteRequest{WorkerID: opt.ID, ShardID: sh.ID, Result: result}
+			if runErr != nil {
+				// Deterministic failure: report it so the coordinator fails
+				// the campaign instead of retrying the same masks elsewhere.
+				req.Result = nil
+				req.Error = runErr.Error()
+			}
+			var resp CompleteResponse
+			if err := postJSON(ctx, opt.Client, coordURL+"/v1/complete", req, &resp); err != nil {
+				return err
+			}
+			if resp.Error != "" {
+				return fmt.Errorf("dist: completing shard %d: %s", sh.ID, resp.Error)
+			}
+			if !resp.Accepted && runErr == nil {
+				logf("worker %s: shard %d was already completed elsewhere", opt.ID, sh.ID)
+			}
+			if runErr != nil {
+				return fmt.Errorf("dist: shard %d: %w", sh.ID, runErr)
+			}
+			// The ack carries the campaign's terminal state so the worker
+			// that lands the final shard exits without one more lease poll
+			// (which would race the coordinator's shutdown).
+			if resp.Failed != "" {
+				return fmt.Errorf("dist: campaign failed: %s", resp.Failed)
+			}
+			if resp.Done {
+				logf("worker %s: campaign complete", opt.ID)
+				return nil
+			}
+		default:
+			return fmt.Errorf("dist: coordinator returned unknown lease status %q", lease.Status)
+		}
+	}
+}
+
+// runLeased executes one shard while a background goroutine keeps the
+// lease alive. A lost lease (coordinator requeued the shard) does not
+// abort the run — core.RunShard is not interruptible mid-mask and the
+// completed result is still byte-identical, so it is sent anyway and
+// deduplicated by the coordinator.
+func runLeased(ctx context.Context, opt WorkerOptions, coordURL string, cfg core.CampaignConfig, sh Shard, heartbeat time.Duration) (*core.ShardResult, error) {
+	hbCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go func() {
+		ticker := time.NewTicker(heartbeat)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-ticker.C:
+				var resp HeartbeatResponse
+				err := postJSON(hbCtx, opt.Client, coordURL+"/v1/heartbeat",
+					HeartbeatRequest{WorkerID: opt.ID, ShardID: sh.ID}, &resp)
+				if err == nil && !resp.OK && opt.Logf != nil {
+					opt.Logf("worker %s: lease on shard %d lost", opt.ID, sh.ID)
+				}
+			}
+		}
+	}()
+	return core.RunShard(cfg, sh.Campaign, sh.MaskLo, sh.MaskHi, opt.Resolve, core.Attach{Golden: opt.Golden})
+}
+
+// fetchConfig GETs the coordinator's config, retrying briefly so a
+// worker may start before its coordinator finishes binding.
+func fetchConfig(ctx context.Context, client *http.Client, coordURL string) (ConfigResponse, error) {
+	var resp ConfigResponse
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return resp, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, coordURL+"/v1/config", nil)
+		if err != nil {
+			return resp, err
+		}
+		r, err := client.Do(req)
+		if err == nil {
+			err = decodeResponse(r, &resp)
+			if err == nil {
+				return resp, nil
+			}
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return resp, ctx.Err()
+		case <-time.After(time.Duration(attempt+1) * 200 * time.Millisecond):
+		}
+	}
+	return resp, fmt.Errorf("dist: fetching coordinator config: %w", lastErr)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	var lastErr error
+	for attempt := 0; attempt < 5; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		r, err := client.Do(req)
+		if err == nil {
+			if err = decodeResponse(r, out); err == nil {
+				return nil
+			}
+		}
+		lastErr = err
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Duration(attempt+1) * 100 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("dist: %s: %w", url, lastErr)
+}
+
+func decodeResponse(r *http.Response, out any) error {
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return fmt.Errorf("HTTP %d: %s", r.StatusCode, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(r.Body).Decode(out)
+}

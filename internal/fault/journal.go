@@ -23,6 +23,11 @@ import (
 // campaign's JSONL injection trace byte-identical to an uninterrupted
 // run's.
 type JournalEntry struct {
+	// SchemaVersion is the journal format version the line was written
+	// under; Append stamps JournalSchemaVersion on entries that carry
+	// none. Zero identifies lines from before the field existed (the
+	// unversioned PR 2–4 format), which parse unchanged.
+	SchemaVersion int             `json:"schema_version,omitempty"`
 	Campaign      string          `json:"campaign"`
 	MaskID        int             `json:"mask_id"`
 	Record        json.RawMessage `json:"record"`
@@ -30,6 +35,11 @@ type JournalEntry struct {
 	FirstObsCycle uint64          `json:"first_obs_cycle,omitempty"`
 	EarlyStop     string          `json:"early_stop,omitempty"`
 }
+
+// JournalSchemaVersion is the journal format version this build writes
+// (see TraceSchemaVersion for the version history; the two formats
+// version independently but are currently both at 1).
+const JournalSchemaVersion = 1
 
 // Journal is an append-only JSONL run journal. Append marshals one entry,
 // writes it as a single line and fsyncs before returning, so every
@@ -47,8 +57,11 @@ type Journal struct {
 // A crash can leave a torn (or, after power loss, corrupt) tail; entries
 // after the first undecodable line are dropped and validLen reports how
 // many bytes of the file are good, so OpenJournal can truncate the rest
-// away before appending.
-func parseJournal(data []byte) (entries []JournalEntry, validLen int64) {
+// away before appending. A line that parses but carries a schema version
+// newer than this build understands is a hard error — unlike a torn
+// tail, it means a newer build owns the journal, and truncating its
+// lines away would destroy acknowledged runs.
+func parseJournal(data []byte) (entries []JournalEntry, validLen int64, err error) {
 	off := 0
 	for off < len(data) {
 		nl := bytes.IndexByte(data[off:], '\n')
@@ -59,11 +72,15 @@ func parseJournal(data []byte) (entries []JournalEntry, validLen int64) {
 		if err := json.Unmarshal(data[off:off+nl], &e); err != nil {
 			break
 		}
+		if e.SchemaVersion > JournalSchemaVersion {
+			return nil, 0, fmt.Errorf("fault: journal entry %d has schema version %d; this build reads versions <= %d",
+				len(entries), e.SchemaVersion, JournalSchemaVersion)
+		}
 		entries = append(entries, e)
 		off += nl + 1
 		validLen = int64(off)
 	}
-	return entries, validLen
+	return entries, validLen, nil
 }
 
 // OpenJournal opens (creating if needed) the journal at path for
@@ -76,7 +93,10 @@ func OpenJournal(path string) (*Journal, error) {
 	if err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("fault: opening journal %s: %w", path, err)
 	}
-	entries, validLen := parseJournal(data)
+	entries, validLen, err := parseJournal(data)
+	if err != nil {
+		return nil, fmt.Errorf("fault: opening journal %s: %w", path, err)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("fault: opening journal %s: %w", path, err)
@@ -110,8 +130,12 @@ func (j *Journal) Appended() int {
 	return j.appended
 }
 
-// Append writes one entry as a JSON line and fsyncs it.
+// Append writes one entry as a JSON line and fsyncs it, stamping the
+// current JournalSchemaVersion on entries that carry none.
 func (j *Journal) Append(e JournalEntry) error {
+	if e.SchemaVersion == 0 {
+		e.SchemaVersion = JournalSchemaVersion
+	}
 	b, err := json.Marshal(&e)
 	if err != nil {
 		return fmt.Errorf("fault: journal append for %s mask %d: %w", e.Campaign, e.MaskID, err)
@@ -145,14 +169,15 @@ func (j *Journal) Close() error {
 }
 
 // ReadJournal decodes journal entries from a reader, tolerating a torn
-// trailing line the way OpenJournal does.
+// trailing line the way OpenJournal does. Entries stamped with a newer
+// schema version than this build understands are an error.
 func ReadJournal(r io.Reader) ([]JournalEntry, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("fault: reading journal: %w", err)
 	}
-	entries, _ := parseJournal(data)
-	return entries, nil
+	entries, _, err := parseJournal(data)
+	return entries, err
 }
 
 // ReadJournalFile reads the journal at path; a missing file is an empty
@@ -165,6 +190,6 @@ func ReadJournalFile(path string) ([]JournalEntry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fault: reading journal %s: %w", path, err)
 	}
-	entries, _ := parseJournal(data)
-	return entries, nil
+	entries, _, err := parseJournal(data)
+	return entries, err
 }

@@ -168,6 +168,56 @@ func TestReadJournalReader(t *testing.T) {
 	}
 }
 
+// Appends stamp the current schema version, unversioned lines (the PR
+// 2–4 format) load as version 0, and a line from a newer build fails the
+// open — unlike a torn tail it must not be truncated away.
+func TestJournalSchemaVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v.journal.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(journalEntry("k", 0)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema_version":1`) {
+		t.Fatalf("appended line carries no schema version: %s", data)
+	}
+
+	// An unversioned (legacy) line parses as version 0 next to a stamped one.
+	legacy := `{"campaign":"k","mask_id":1,"record":{"mask_id":1,"status":"completed"}}` + "\n"
+	if err := os.WriteFile(path, append(data, legacy...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadJournalFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].SchemaVersion != JournalSchemaVersion || entries[1].SchemaVersion != 0 {
+		t.Fatalf("mixed-version journal misread: %+v", entries)
+	}
+
+	// A future-versioned line is a hard error on every read path.
+	future := `{"schema_version":99,"campaign":"k","mask_id":2,"record":{}}` + "\n"
+	if err := os.WriteFile(path, []byte(future), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournalFile(path); err == nil || !strings.Contains(err.Error(), "schema version 99") {
+		t.Fatalf("ReadJournalFile accepted a future version: %v", err)
+	}
+	if _, err := ReadJournal(strings.NewReader(future)); err == nil {
+		t.Fatal("ReadJournal accepted a future version")
+	}
+	if _, err := OpenJournal(path); err == nil {
+		t.Fatal("OpenJournal accepted (and would truncate) a future-versioned journal")
+	}
+}
+
 // BenchmarkJournalAppend measures the fsync'd per-run journal cost — the
 // durability overhead quoted in EXPERIMENTS.md.
 func BenchmarkJournalAppend(b *testing.B) {

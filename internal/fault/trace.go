@@ -7,6 +7,14 @@ import (
 	"io"
 )
 
+// TraceSchemaVersion is the trace format version this build writes.
+// Every row carries it, so a reader can reject rows written by a newer
+// build instead of silently misinterpreting fields. Version history:
+//
+//	0 (absent) — the unversioned PR 2–4 format; accepted on read
+//	1          — identical fields plus the schema_version stamp itself
+const TraceSchemaVersion = 1
+
 // TraceRecord is one row of the JSONL injection trace that sits next to
 // the campaign logs in the logs repository. Where a core.LogRecord keeps
 // the raw run outcome for offline (re-)classification, a TraceRecord is
@@ -16,6 +24,10 @@ import (
 // a trace written for a fixed seed is byte-stable across runs and worker
 // counts.
 type TraceRecord struct {
+	// SchemaVersion is the trace format version the row was written
+	// under; WriteTrace stamps TraceSchemaVersion on rows that carry
+	// none. Zero identifies rows from before the field existed.
+	SchemaVersion int `json:"schema_version,omitempty"`
 	// Campaign is the {tool, benchmark, structure} campaign key.
 	Campaign string `json:"campaign"`
 	// MaskID and Sites are the injected mask's coordinates.
@@ -42,19 +54,27 @@ type TraceRecord struct {
 	RepMask *int   `json:"rep_mask,omitempty"`
 }
 
-// WriteTrace encodes records as JSON lines.
+// WriteTrace encodes records as JSON lines, stamping the current
+// TraceSchemaVersion on rows that carry none.
 func WriteTrace(w io.Writer, recs []TraceRecord) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i := range recs {
-		if err := enc.Encode(&recs[i]); err != nil {
+		rec := recs[i]
+		if rec.SchemaVersion == 0 {
+			rec.SchemaVersion = TraceSchemaVersion
+		}
+		if err := enc.Encode(&rec); err != nil {
 			return fmt.Errorf("fault: writing trace record %d: %w", i, err)
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadTrace parses a JSONL injection trace.
+// ReadTrace parses a JSONL injection trace. Rows stamped with a schema
+// version newer than this build understands are an error — a trace from
+// a newer build must be rejected, not misread. Unstamped rows (the PR
+// 2–4 format, version 0) are accepted unchanged.
 func ReadTrace(r io.Reader) ([]TraceRecord, error) {
 	dec := json.NewDecoder(r)
 	var recs []TraceRecord
@@ -65,6 +85,10 @@ func ReadTrace(r io.Reader) ([]TraceRecord, error) {
 				return recs, nil
 			}
 			return nil, fmt.Errorf("fault: reading trace record %d: %w", len(recs), err)
+		}
+		if rec.SchemaVersion > TraceSchemaVersion {
+			return nil, fmt.Errorf("fault: trace record %d has schema version %d; this build reads versions <= %d",
+				len(recs), rec.SchemaVersion, TraceSchemaVersion)
 		}
 		recs = append(recs, rec)
 	}

@@ -79,3 +79,37 @@ func TestReadTraceEmpty(t *testing.T) {
 		t.Fatalf("empty trace returned %d records", len(recs))
 	}
 }
+
+// Every written row carries the current schema version; unversioned rows
+// (the PR 2–4 format) read back fine, and rows from a newer build are
+// rejected rather than misread.
+func TestTraceSchemaVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []TraceRecord{{Campaign: "k", Status: "completed", Class: "Masked"}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema_version":1`) {
+		t.Fatalf("written row carries no schema version: %s", buf.String())
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].SchemaVersion != TraceSchemaVersion {
+		t.Fatalf("round-trip version: %+v", back)
+	}
+
+	legacy := `{"campaign":"k","mask_id":0,"sites":null,"status":"completed","class":"Masked","cycles":0,"observed":false}` + "\n"
+	old, err := ReadTrace(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("unversioned trace rejected: %v", err)
+	}
+	if len(old) != 1 || old[0].SchemaVersion != 0 || old[0].Class != "Masked" {
+		t.Fatalf("unversioned trace misread: %+v", old)
+	}
+
+	future := `{"schema_version":99,"campaign":"k","status":"completed","class":"Masked"}` + "\n"
+	if _, err := ReadTrace(strings.NewReader(future)); err == nil || !strings.Contains(err.Error(), "schema version 99") {
+		t.Fatalf("future-versioned trace accepted: %v", err)
+	}
+}

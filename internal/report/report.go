@@ -88,6 +88,17 @@ type Options struct {
 	// {tool, benchmark} row instead of the single legacy checkpoint
 	// (effective with UseCheckpoint, values >= 2).
 	CheckpointLadder int
+	// Model is the generated fault model; empty means transient (the
+	// paper's primary model).
+	Model string
+	// TimeoutFactor multiplies the fault-free cycle count to form the
+	// per-run cycle limit; 0 means the paper's 3.
+	TimeoutFactor uint64
+	// DisableEarlyStop turns off the §III.B optimizations (ablation).
+	DisableEarlyStop bool
+	// RunWallLimit bounds the host wall-clock time of a single run; 0 is
+	// off.
+	RunWallLimit time.Duration
 	// GoldenCache, when non-nil, memoizes golden runs across report
 	// calls; by default each RunFigures/RunCampaignFor call uses a
 	// private cache.
@@ -135,6 +146,49 @@ func (o Options) workers() int {
 		return o.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) model() fault.Model {
+	if o.Model == "" {
+		return fault.ModelTransient
+	}
+	return fault.Model(o.Model)
+}
+
+func (o Options) timeoutFactor() uint64 {
+	if o.TimeoutFactor > 0 {
+		return o.TimeoutFactor
+	}
+	return 3
+}
+
+func (o Options) matrixOptions(cache *core.GoldenCache, collector *telemetry.Collector) core.MatrixOptions {
+	return core.MatrixOptions{
+		Workers: o.Workers, Golden: cache, Telemetry: collector,
+		Prune: o.Prune, PruneVerify: o.PruneVerify, CheckpointLadder: o.CheckpointLadder,
+		RunWallLimit: o.RunWallLimit,
+	}
+}
+
+// OptionsFromConfig maps the shared knobs of a core.CampaignConfig —
+// the consolidated campaign API the CLIs bind their flags onto — into
+// report Options. The config's cells are ignored: the report package
+// derives its own campaign matrix from figure specs.
+func OptionsFromConfig(cfg core.CampaignConfig) Options {
+	return Options{
+		Injections:       cfg.Injections,
+		Seed:             cfg.Seed,
+		Workers:          cfg.Workers,
+		LiveOnly:         cfg.LiveOnly,
+		UseCheckpoint:    cfg.UseCheckpoint,
+		Prune:            cfg.Prune,
+		PruneVerify:      cfg.PruneVerify,
+		CheckpointLadder: cfg.CheckpointLadder,
+		Model:            cfg.Model,
+		TimeoutFactor:    cfg.TimeoutFactor,
+		DisableEarlyStop: cfg.DisableEarlyStop,
+		RunWallLimit:     cfg.RunWallLimit,
+	}
 }
 
 // Cell is one campaign of a figure: one bar of the paper's charts.
@@ -191,7 +245,7 @@ func campaignSpecFor(tool, bench, structure string, opt Options, cache *core.Gol
 	}
 	masks, err := fault.Generate(fault.GeneratorSpec{
 		Structure: structure, Entries: entries, BitsPerEntry: bits,
-		MaxCycle: golden.Cycles, Model: fault.ModelTransient,
+		MaxCycle: golden.Cycles, Model: opt.model(),
 		Count: opt.injections(), Seed: seedFor(opt.Seed, 0, bench, tool+structure),
 	})
 	if err != nil {
@@ -216,9 +270,10 @@ func campaignSpecFor(tool, bench, structure string, opt Options, cache *core.Gol
 	}
 	return core.CampaignSpec{
 		Tool: golden.Tool, Benchmark: bench, Structure: structure,
-		Masks: masks, Factory: factory, TimeoutFactor: 3, Workers: opt.Workers,
-		UseCheckpoint: opt.UseCheckpoint,
-		Golden:        &golden,
+		Masks: masks, Factory: factory, TimeoutFactor: opt.timeoutFactor(), Workers: opt.Workers,
+		UseCheckpoint:    opt.UseCheckpoint,
+		DisableEarlyStop: opt.DisableEarlyStop,
+		Golden:           &golden,
 	}, nil
 }
 
@@ -229,10 +284,7 @@ func RunCampaignFor(tool, bench, structure string, opt Options) (*core.CampaignR
 	if err != nil {
 		return nil, err
 	}
-	results, err := core.RunMatrix([]core.CampaignSpec{spec}, core.MatrixOptions{
-		Workers: opt.Workers, Golden: cache, Telemetry: opt.Telemetry,
-		Prune: opt.Prune, PruneVerify: opt.PruneVerify, CheckpointLadder: opt.CheckpointLadder,
-	})
+	results, err := core.RunMatrix([]core.CampaignSpec{spec}, opt.matrixOptions(cache, opt.Telemetry))
 	if err != nil {
 		return nil, err
 	}
@@ -313,10 +365,7 @@ func RunFigures(specs []FigureSpec, opt Options, progress io.Writer) ([]*FigureD
 		defer rep.Stop()
 	}
 
-	results, err := core.RunMatrix(cspecs, core.MatrixOptions{
-		Workers: opt.Workers, Golden: cache, Telemetry: collector,
-		Prune: opt.Prune, PruneVerify: opt.PruneVerify, CheckpointLadder: opt.CheckpointLadder,
-	})
+	results, err := core.RunMatrix(cspecs, opt.matrixOptions(cache, collector))
 	if rep != nil {
 		rep.Stop()
 	}

@@ -3,8 +3,9 @@
 # tiny campaign with tracing, the metrics endpoint, and the
 # final-snapshot dump all enabled, then a second campaign with liveness
 # pruning, the checkpoint ladder, and the -prune-verify differential
-# guard on top, cross-checking each run's artifacts with
-# scripts/smokecheck.
+# guard on top, then a kill-and-resume round and a distributed
+# coordinator/worker round with a SIGKILLed worker, cross-checking each
+# run's artifacts with scripts/smokecheck.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -84,3 +85,45 @@ go run ./scripts/smokecheck \
     -logs "$tmp/resumed" -key "$key" -snapshot "$tmp/snap_resumed.json" \
     -journal -want-resumed
 echo "smoke: resumed campaign is byte-identical to the uninterrupted reference"
+
+# Distributed campaign: a faultcampd coordinator shards the same rf.int
+# campaign over HTTP; the first worker is SIGKILLed mid-campaign so its
+# leased shard expires and is requeued, and a second worker finishes the
+# matrix. The merged logs and trace must be byte-identical to the
+# single-node reference above, and smokecheck -journal validates the
+# coordinator's exactly-once ledger against them.
+go build -o "$tmp/faultcampd" ./cmd/faultcampd
+go build -o "$tmp/faultworker" ./cmd/faultworker
+
+"$tmp/faultcampd" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 60 -seed 3 -logs "$tmp/dist" \
+    -shard-size 10 -lease-ttl 2s -retry-backoff 100ms \
+    -addr-file "$tmp/coord.addr" \
+    -journal -trace -quiet -snapshot-json "$tmp/snap_dist.json" &
+dpid=$!
+
+# The doomed worker runs alone until the coordinator has merged (and
+# journaled) at least one shard — at that point it holds a lease on the
+# next one — then dies without a goodbye.
+"$tmp/faultworker" -addr-file "$tmp/coord.addr" -id doomed -quiet &
+doomed=$!
+# The coordinator creates the journal lazily on the first merged shard,
+# so count through cat: a missing file reads as zero lines, not an error.
+journal="$tmp/dist/${key}.journal.jsonl"
+i=0
+while [ "$(cat "$journal" 2>/dev/null | wc -l)" -lt 10 ] && [ $i -lt 1200 ]; do
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -9 "$doomed" 2>/dev/null || true
+wait "$doomed" 2>/dev/null || true
+
+"$tmp/faultworker" -addr-file "$tmp/coord.addr" -id survivor -quiet
+wait "$dpid"
+
+cmp "$tmp/ref/${key}.log.jsonl" "$tmp/dist/${key}.log.jsonl"
+cmp "$tmp/ref/${key}.trace.jsonl" "$tmp/dist/${key}.trace.jsonl"
+go run ./scripts/smokecheck \
+    -logs "$tmp/dist" -key "$key" -snapshot "$tmp/snap_dist.json" -journal
+echo "smoke: distributed campaign merged byte-identical to the single-node reference"
