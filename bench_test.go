@@ -664,3 +664,94 @@ func BenchmarkGoldenProfileOverhead(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkDetailWindow measures detail-window simulation against the
+// PR 3 prune+ladder baseline on the campaigns windowing targets:
+// register-file and L1D transients remapped onto the live-entry
+// population (the -live-only sampling), so the liveness pruner cannot
+// settle most of them at plan time and the two modes differ on real
+// simulated runs. The baseline simulates rung-to-outcome
+// cycle-accurately; the windowed mode runs functionally everywhere
+// outside a ~3k-cycle detail window around the fault. The acceptance
+// bar is a >=5x runs/s speedup (results/BENCH_window.json records the
+// measured pair).
+func BenchmarkDetailWindow(b *testing.B) {
+	w, err := workload.ByName("qsort")
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory, err := sims.Factory(sims.GeFINX86, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := core.NewGoldenCache()
+	golden, err := cache.Golden(sims.GeFINX86, "qsort", factory)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := factory()
+	buildSpecs := func() []core.CampaignSpec {
+		var specs []core.CampaignSpec
+		for _, structure := range []string{"rf.int", "l1d.data"} {
+			arr := sim.Structures()[structure]
+			masks, err := fault.Generate(fault.GeneratorSpec{
+				Structure: structure, Entries: arr.Entries(), BitsPerEntry: arr.BitsPerEntry(),
+				MaxCycle: golden.Cycles, Model: fault.ModelTransient, Count: 60, Seed: 29,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			live, err := cache.LiveEntries(sims.GeFINX86, "qsort", factory, structure)
+			if err != nil || len(live) == 0 {
+				b.Fatalf("live entries for %s: %d (%v)", structure, len(live), err)
+			}
+			for mi := range masks {
+				for si := range masks[mi].Sites {
+					masks[mi].Sites[si].Entry = live[masks[mi].Sites[si].Entry%len(live)]
+				}
+			}
+			specs = append(specs, core.CampaignSpec{
+				Tool: sims.GeFINX86, Benchmark: "qsort", Structure: structure,
+				Masks: masks, Factory: factory, TimeoutFactor: 3, Golden: &golden,
+				UseCheckpoint: true,
+			})
+		}
+		return specs
+	}
+	for _, mode := range []struct {
+		name   string
+		window bool
+	}{{"prune+ladder", false}, {"window+prune+ladder", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var runs uint64
+			var snap telemetry.Snapshot
+			for i := 0; i < b.N; i++ {
+				col := telemetry.New()
+				opt := core.MatrixOptions{
+					Workers: 4, Telemetry: col,
+					Prune: true, CheckpointLadder: 3,
+				}
+				if mode.window {
+					opt.DetailWindow = true
+					opt.WindowPre = 2000
+					opt.WindowPost = 1000
+				}
+				results, err := core.RunMatrix(buildSpecs(), opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					runs += uint64(len(res.Records))
+				}
+				snap = col.Snapshot()
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(runs)/sec, "runs/s")
+			}
+			if mode.window {
+				b.ReportMetric(100*snap.FastTierShare, "fast%")
+			}
+		})
+	}
+}

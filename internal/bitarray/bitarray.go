@@ -471,6 +471,38 @@ func (a *Array) ArmedFault() (Fault, bool) {
 	return a.faults[0].f, true
 }
 
+// Faults returns the armed faults, in arming order. The detail-window
+// scheduler inspects them to decide whether residual corruption can
+// still be serving from the array.
+func (a *Array) Faults() []Fault {
+	fs := make([]Fault, len(a.faults))
+	for i, s := range a.faults {
+		fs[i] = s.f
+	}
+	return fs
+}
+
+// FaultsApplied reports whether the fault machinery is done *changing*
+// this array: every armed fault has had its flip applied (or was skipped
+// on an invalid entry) and no stuck-at window is still forcing the bit.
+// An armed-but-unapplied fault and an active intermittent or permanent
+// fault keep the array unapplied — the cell's future content still
+// depends on the fault machinery, so a cycle-accurate run may not leave
+// the detail window yet. A live-but-unread transient does NOT block:
+// once the flip is in the cell, its effect is ordinary (possibly
+// corrupt) stored state, which an architectural capture of a drained
+// machine carries over exactly — residency safety of cache and TLB
+// cells is the caller's separate concern (see the simulators'
+// residencySafe).
+func (a *Array) FaultsApplied() bool {
+	for _, fs := range a.faults {
+		if fs.status == StatusArmed || fs.active {
+			return false
+		}
+	}
+	return true
+}
+
 // Tick advances every fault's state machine to cycle. The simulator core
 // calls it once per cycle before doing any work for that cycle. It
 // returns the aggregate status so the campaign controller can early-stop.

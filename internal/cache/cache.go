@@ -351,6 +351,48 @@ func (c *Cache) Present(addr uint64) bool {
 	return ok
 }
 
+// FlushDirty writes every dirty valid line back down the hierarchy,
+// exactly as eviction would — including any injected corruption, and at
+// the address the (possibly corrupted) stored tag names. Afterwards the
+// lower levels hold the architecturally authoritative data. In dual-copy
+// mode main memory is already authoritative and nothing moves. Lines
+// stay valid and resident; only the dirty bits clear.
+func (c *Cache) FlushDirty() {
+	if c.cfg.DualCopy {
+		return
+	}
+	for line := range c.dirty {
+		if !c.dirty[line] || c.valid.ReadBit(line, 0) == 0 {
+			continue
+		}
+		c.stats.Writebacks++
+		c.data.ReadBytes(line, 0, c.lineBuf)
+		tag := c.tags.ReadWord(line, 0) & (1<<TagBits - 1)
+		set := line / c.cfg.Ways
+		addr := tag<<(c.offBits+c.setBits) | uint64(set)<<c.offBits
+		c.lower.WriteLine(addr, c.lineBuf)
+		c.dirty[line] = false
+	}
+}
+
+// LineCaptureSafe reports whether a fault resident in the given line can
+// no longer diverge a run whose RAM is about to become the only copy of
+// program data: the line is invalid (its content is unreachable), or —
+// in write-back mode — dirty, in which case FlushDirty pushes the
+// array's content (corruption included) to RAM exactly as the eventual
+// eviction would. A clean valid line is unsafe in both modes: the true
+// run would keep serving the (possibly corrupt) array copy while RAM
+// holds different bytes.
+func (c *Cache) LineCaptureSafe(line int) bool {
+	if line < 0 || line >= len(c.dirty) {
+		return true
+	}
+	if c.valid.ReadBit(line, 0) == 0 {
+		return true
+	}
+	return c.dirty[line] && !c.cfg.DualCopy
+}
+
 // ---- Level implementation (a cache can back another cache) ------------------
 
 // ReadLine implements Level.

@@ -75,6 +75,14 @@ func (t *TLB) Arrays() []*bitarray.Array {
 	return []*bitarray.Array{t.valid, t.tags, t.ppns}
 }
 
+// EntryValid reports whether the entry currently holds a valid
+// translation. The detail-window scheduler treats a fault in a valid
+// TLB entry as still resident: the stored translation keeps steering
+// accesses, so the run may not leave the cycle-accurate window.
+func (t *TLB) EntryValid(e int) bool {
+	return e >= 0 && e < t.cfg.Entries && t.valid.ReadBit(e, 0) != 0
+}
+
 // Translate maps a virtual address to a physical address, returning the
 // added latency on a miss.
 func (t *TLB) Translate(vaddr uint64) (paddr uint64, lat int) {

@@ -47,6 +47,10 @@ type CampaignFlags struct {
 	Ladder        int
 	RunWallLimit  time.Duration
 	LiveOnly      bool
+	DetailWindow  bool
+	WindowPre     uint64
+	WindowPost    uint64
+	WindowVerify  int
 }
 
 // Campaign registers the shared campaign-execution flags on fs.
@@ -66,6 +70,10 @@ func Campaign(fs *flag.FlagSet, defaultN int) *CampaignFlags {
 	fs.IntVar(&c.Ladder, "ladder", 0, "number of evenly spaced checkpoint rungs (>= 2, with -checkpoint; 0: single legacy checkpoint)")
 	fs.DurationVar(&c.RunWallLimit, "run-wall-limit", 0, "per-run wall-clock backstop: classify a run as Timeout after this much host time (0: off)")
 	fs.BoolVar(&c.LiveOnly, "live-only", false, "restrict generated faults to entries live at the end of the golden run (conditional vulnerability)")
+	fs.BoolVar(&c.DetailWindow, "detail-window", false, "simulate cycle-accurately only inside a detail window around each fault, functionally everywhere else")
+	fs.Uint64Var(&c.WindowPre, "window-pre", 2000, "cycle-accurate margin before the earliest fault arms (with -detail-window)")
+	fs.Uint64Var(&c.WindowPost, "window-post", 1000, "cycle-accurate margin after the last fault settles (with -detail-window)")
+	fs.IntVar(&c.WindowVerify, "window-verify", 0, "re-simulate up to this many windowed masks per campaign fully cycle-accurately and fail on a class mismatch (implies -detail-window)")
 	return c
 }
 
@@ -80,8 +88,7 @@ func (c *CampaignFlags) Config(cells []core.CampaignCell) (core.CampaignConfig, 
 // validating; for callers (figures) that consume the shared knobs but
 // derive their own campaign cells later.
 func (c *CampaignFlags) Apply(cells []core.CampaignCell) core.CampaignConfig {
-	return core.CampaignConfig{
-		SchemaVersion:    core.ConfigSchemaVersion,
+	cfg := core.CampaignConfig{
 		Campaigns:        cells,
 		Injections:       c.N,
 		Seed:             c.Seed,
@@ -96,6 +103,19 @@ func (c *CampaignFlags) Apply(cells []core.CampaignCell) core.CampaignConfig {
 		CheckpointLadder: c.Ladder,
 		RunWallLimit:     c.RunWallLimit,
 	}
+	// The margin flags carry defaults, so they bind only when windowing
+	// is actually on — a windowless config must not grow schema-v2
+	// fields (or trip validation) because of a default.
+	if c.DetailWindow || c.WindowVerify > 0 {
+		cfg.DetailWindow = c.DetailWindow
+		cfg.WindowPre = c.WindowPre
+		cfg.WindowPost = c.WindowPost
+		cfg.WindowVerify = c.WindowVerify
+	}
+	// Stamp the lowest schema version that can express the config, so
+	// configs without the new fields stay readable by legacy builds.
+	cfg.SchemaVersion = cfg.WireSchemaVersion()
+	return cfg
 }
 
 // TelemetryFlags holds the shared observability knobs after parsing.

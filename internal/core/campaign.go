@@ -146,6 +146,16 @@ type runStats struct {
 	// and rungCycle which cycle that rung was captured at.
 	restored  bool
 	rungCycle uint64
+	// Detail-window provenance: windowed marks a run executed under a
+	// detail window, entered/exited whether it was seeded from the fast
+	// tier and whether it handed off back to it; fastSteps counts the
+	// instructions executed functionally (entry plus tail) and
+	// detailCycles the cycles actually simulated cycle-accurately.
+	windowed      bool
+	windowEntered bool
+	windowExited  bool
+	fastSteps     uint64
+	detailCycles  uint64
 }
 
 // earlyStopReason names the §III.B proof behind an early-masked run.
@@ -189,26 +199,72 @@ func RunOneFrom(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenIn
 	if cp != nil {
 		rungs = []LadderRung{{State: cp, Cycle: cpCycle}}
 	}
-	return runInjection(f, rungs, m, golden, timeoutFactor, earlyStop, nil)
+	return runInjection(f, rungs, m, golden, timeoutFactor, earlyStop, nil, nil)
 }
 
 // runInjection is RunOneFrom plus optional telemetry gathering; stats is
 // nil when no collector is attached, keeping the uninstrumented path
 // identical to the pre-telemetry one. rungs is the (possibly empty)
 // checkpoint ladder of the campaign's row; the run restores the highest
-// rung captured before its earliest fault, or boots from scratch.
-func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool, stats *runStats) (LogRecord, error) {
+// rung captured before its earliest fault, or boots from scratch. win,
+// when non-nil on a window-capable simulator, turns on detail-window
+// execution: the run fast-forwards to just before its earliest fault on
+// the functional tier, simulates cycle-accurately only until the fault
+// provably settles (or, for win.noExit, to the end — the verify mode),
+// and finishes functionally.
+func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool, win *windowConfig, stats *runStats) (LogRecord, error) {
 	sim := f()
+	wi, _ := sim.(Windower)
+	// Fault-free masks never window: with no site there is no window to
+	// place, and the run is defined to be the plain golden trajectory.
+	canWindow := win != nil && wi != nil && len(m.Sites) > 0 && golden.Cycles > 0
+	if stats != nil {
+		stats.windowed = canWindow
+	}
+	// startCycle is where cycle-accurate simulation begins (window
+	// entry, rung cycle, or boot at zero) — the base of the
+	// detail-cycles accounting.
+	var startCycle uint64
+	seeded := false
 	// Empty masks boot from scratch: with no site to bound the restore,
 	// minSiteCycle reports ^uint64(0) and selectRung would hand back the
 	// highest rung, silently turning a fault-free reference run into a
 	// restored one.
 	if len(m.Sites) > 0 {
-		if ri := selectRung(rungs, minSiteCycle(m)); ri >= 0 {
+		minSite := minSiteCycle(m)
+		ri := selectRung(rungs, minSite)
+		if canWindow {
+			// Prefer the functional fast-forward when it gets closer to
+			// the window entry than the best checkpoint rung; the pre
+			// margin both warms the cold microarchitectural state and
+			// absorbs the approximation of placing the entry by the
+			// golden run's average commit rate.
+			var entry uint64
+			if minSite > win.pre {
+				entry = minSite - win.pre
+			}
+			var rungCycle uint64
+			if ri >= 0 {
+				rungCycle = rungs[ri].Cycle
+			}
+			if entry > rungCycle {
+				var fast uint64
+				seeded, fast = windowEntry(wi, golden, entry)
+				if seeded {
+					startCycle = entry
+					if stats != nil {
+						stats.windowEntered = true
+						stats.fastSteps += fast
+					}
+				}
+			}
+		}
+		if !seeded && ri >= 0 {
 			if ck, ok := sim.(Checkpointer); ok {
 				if err := ck.Restore(rungs[ri].State); err != nil {
 					return LogRecord{}, fmt.Errorf("core: restoring checkpoint: %w", err)
 				}
+				startCycle = rungs[ri].Cycle
 				if stats != nil {
 					stats.restored, stats.rungCycle = true, rungs[ri].Cycle
 				}
@@ -255,9 +311,32 @@ func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo
 	if timeoutFactor == 0 {
 		timeoutFactor = 3
 	}
-	res := sim.Run(golden.Cycles * timeoutFactor)
+	var res RunResult
+	exited := false
+	if canWindow && !win.noExit {
+		res, exited = wi.RunWindow(golden.Cycles*timeoutFactor, win.post)
+	} else {
+		res = sim.Run(golden.Cycles * timeoutFactor)
+	}
+	// Gather before any capture: the watched arrays' raw access counters
+	// still bump on capture-time reads.
 	if stats != nil {
 		stats.gather(watch)
+	}
+	if exited {
+		st, err := wi.CaptureArch()
+		if err != nil {
+			return LogRecord{}, fmt.Errorf("core: mask %d: window exit: %v", m.ID, err)
+		}
+		var tailSteps uint64
+		res, tailSteps = windowTail(wi.Image(), st, golden, timeoutFactor)
+		if stats != nil {
+			stats.windowExited = true
+			stats.fastSteps += tailSteps
+			stats.detailCycles = st.Cycle - startCycle
+		}
+	} else if canWindow && stats != nil && res.Cycles >= startCycle {
+		stats.detailCycles = res.Cycles - startCycle
 	}
 
 	rec := LogRecord{

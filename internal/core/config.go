@@ -14,7 +14,14 @@ import (
 // writes and serves; the distributed protocol carries it so a worker
 // from a newer build never misreads a coordinator's config (and vice
 // versa).
-const ConfigSchemaVersion = 1
+//
+// Version history:
+//
+//	1 — initial consolidated config (PR 5).
+//	2 — detail-window fields (detail_window, window_pre_cycles,
+//	    window_post_cycles, window_verify). A config that uses none of
+//	    them is served as version 1, so legacy readers keep working.
+const ConfigSchemaVersion = 2
 
 // CampaignCell is one {tool, benchmark, structure} campaign of a
 // config. Cells reference tools and benchmarks by name — a config is
@@ -90,6 +97,36 @@ type CampaignConfig struct {
 	// RunWallLimit bounds the host wall-clock time of a single run
 	// (serialized as nanoseconds); 0 is off.
 	RunWallLimit time.Duration `json:"run_wall_limit_ns,omitempty"`
+	// DetailWindow enables sampled execution: each run simulates
+	// cycle-accurately only inside a detail window around its fault and
+	// on the functional interpreter everywhere else. WindowPre and
+	// WindowPost are the margins, in cycles, of cycle-accurate
+	// simulation kept before the earliest fault arms and after the last
+	// fault settles. WindowVerify re-simulates up to that many windowed
+	// masks per campaign fully cycle-accurately from the same window
+	// entry and fails on an outcome-class disagreement (implies
+	// DetailWindow).
+	DetailWindow bool   `json:"detail_window,omitempty"`
+	WindowPre    uint64 `json:"window_pre_cycles,omitempty"`
+	WindowPost   uint64 `json:"window_post_cycles,omitempty"`
+	WindowVerify int    `json:"window_verify,omitempty"`
+}
+
+// usesWindow reports whether any detail-window field is in use — the
+// schema-version-2 surface. Configs without it are served as version 1
+// so legacy readers keep working.
+func (c CampaignConfig) usesWindow() bool {
+	return c.DetailWindow || c.WindowPre != 0 || c.WindowPost != 0 || c.WindowVerify != 0
+}
+
+// WireSchemaVersion is the schema version a zero-version config is
+// stamped with when served over the wire: the lowest version that can
+// express it.
+func (c CampaignConfig) WireSchemaVersion() int {
+	if c.usesWindow() {
+		return 2
+	}
+	return 1
 }
 
 // Validate checks the config and names the offending field of the first
@@ -124,6 +161,12 @@ func (c CampaignConfig) Validate() error {
 	}
 	if c.RunWallLimit < 0 {
 		return bad("run_wall_limit_ns", "negative limit %d", c.RunWallLimit)
+	}
+	if c.WindowVerify < 0 {
+		return bad("window_verify", "negative sample size %d", c.WindowVerify)
+	}
+	if !c.DetailWindow && c.WindowVerify == 0 && (c.WindowPre != 0 || c.WindowPost != 0) {
+		return bad("detail_window", "window margins set but windowing is off")
 	}
 	for i, cell := range c.Campaigns {
 		field := func(name string) string { return fmt.Sprintf("campaigns[%d].%s", i, name) }
@@ -228,6 +271,10 @@ func (c CampaignConfig) matrixOptions(att Attach, cache *GoldenCache) MatrixOpti
 		Journal:          att.Journal,
 		Resume:           att.Resume,
 		RunWallLimit:     c.RunWallLimit,
+		DetailWindow:     c.DetailWindow,
+		WindowPre:        c.WindowPre,
+		WindowPost:       c.WindowPost,
+		WindowVerify:     c.WindowVerify,
 	}
 }
 
@@ -352,6 +399,11 @@ type ShardRun struct {
 	ObservedWrites uint64 `json:"observed_writes,omitempty"`
 	LadderRestored bool   `json:"ladder_restored,omitempty"`
 	RungCycle      uint64 `json:"rung_cycle,omitempty"`
+	Windowed       bool   `json:"windowed,omitempty"`
+	WindowEntered  bool   `json:"window_entered,omitempty"`
+	WindowExited   bool   `json:"window_exited,omitempty"`
+	FastSteps      uint64 `json:"fast_steps,omitempty"`
+	DetailCycles   uint64 `json:"detail_cycles,omitempty"`
 }
 
 // ShardResult is the outcome of one executed shard: the golden header
@@ -456,6 +508,8 @@ func RunShard(cfg CampaignConfig, campaign, lo, hi int, resolve Resolver, att At
 				run.WatchedReads, run.WatchedWrites = ev.WatchedReads, ev.WatchedWrites
 				run.ObservedReads, run.ObservedWrites = ev.ObservedReads, ev.ObservedWrites
 				run.LadderRestored, run.RungCycle = ev.LadderRestored, ev.RungCycle
+				run.Windowed, run.WindowEntered, run.WindowExited = ev.Windowed, ev.WindowEntered, ev.WindowExited
+				run.FastSteps, run.DetailCycles = ev.FastSteps, ev.DetailCycles
 			}
 		}
 		out.Runs = append(out.Runs, run)

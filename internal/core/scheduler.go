@@ -286,6 +286,25 @@ type MatrixOptions struct {
 	// and its goroutine abandoned. Wall-timeout verdicts depend on host
 	// timing, so set this comfortably above any honest run.
 	RunWallLimit time.Duration
+	// DetailWindow enables sampled execution on window-capable
+	// simulators: each injected run simulates cycle-accurately only
+	// inside a detail window around its fault — entered by a functional
+	// fast-forward (or a checkpoint rung, whichever is closer) and left
+	// once every fault provably settled with no residual corruption in a
+	// cache or TLB — and runs on the functional interpreter everywhere
+	// else. WindowPre and WindowPost are the margins, in cycles, of
+	// cycle-accurate simulation kept before the earliest fault arms and
+	// after the last fault settles; runs whose fault never settles stay
+	// cycle-accurate to the end.
+	DetailWindow bool
+	WindowPre    uint64
+	WindowPost   uint64
+	// WindowVerify, when positive, additionally re-simulates up to that
+	// many windowed masks per campaign fully cycle-accurately from the
+	// same window entry and fails the matrix when an outcome class
+	// disagrees with the windowed verdict — the differential guard of
+	// the window-exit proof. It implies DetailWindow.
+	WindowVerify int
 }
 
 // scheduledRun is one injection run of the flattened matrix queue.
@@ -296,6 +315,10 @@ type scheduledRun struct {
 	// cross-check a pruned verdict, stored outside the records), or -1
 	// for a normal run.
 	verify int
+	// wverify is the slot index of a window-verify run (a windowed mask
+	// re-simulated fully cycle-accurately, stored outside the records),
+	// or -1 for a normal run.
+	wverify int
 }
 
 // campaignPrep is the per-campaign state resolved before dispatch.
@@ -548,19 +571,32 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 	}
 	var resumed []resumedRun
 
+	// Detail-window policy: one shared config for the real runs, plus
+	// the no-exit variant the window-verify re-runs use to stay
+	// cycle-accurate from the same window entry.
+	var win, winNoExit *windowConfig
+	if opt.DetailWindow || opt.WindowVerify > 0 {
+		win = &windowConfig{pre: opt.WindowPre, post: opt.WindowPost}
+		winNoExit = &windowConfig{pre: opt.WindowPre, post: opt.WindowPost, noExit: true}
+	}
+
 	// Flatten every injection run into one shared queue, spec-major and
 	// mask-minor, skipping masks the plan settled without simulation and
 	// masks the journal already holds a completed record for. The
-	// prune-verify sample rides on the same queue as extra runs whose
-	// records land in a side table, never in the results.
+	// prune-verify and window-verify samples ride on the same queue as
+	// extra runs whose records land in side tables, never in the
+	// results.
 	records := make([][]LogRecord, len(specs))
 	verifyIdx := make([][]int, len(specs))
 	verifyRecs := make([][]LogRecord, len(specs))
+	wverifyIdx := make([][]int, len(specs))
+	wverifyRecs := make([][]LogRecord, len(specs))
 	var queue []scheduledRun
 	totalMasks := 0
 	for i, spec := range specs {
 		records[i] = make([]LogRecord, len(spec.Masks))
 		plan := preps[i].plan
+		var simIdx []int // masks this spec actually simulates
 		for m := range spec.Masks {
 			if !inWindow(i, m) {
 				continue
@@ -581,7 +617,8 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 				resumed = append(resumed, resumedRun{spec: i, entry: e, rec: rec})
 				continue
 			}
-			queue = append(queue, scheduledRun{spec: i, mask: m, verify: -1})
+			simIdx = append(simIdx, m)
+			queue = append(queue, scheduledRun{spec: i, mask: m, verify: -1, wverify: -1})
 		}
 		if opt.PruneVerify > 0 {
 			// Windowed: verify only masks whose planned verdict this window
@@ -598,7 +635,14 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 			}
 			verifyRecs[i] = make([]LogRecord, len(verifyIdx[i]))
 			for j, m := range verifyIdx[i] {
-				queue = append(queue, scheduledRun{spec: i, mask: m, verify: j})
+				queue = append(queue, scheduledRun{spec: i, mask: m, verify: j, wverify: -1})
+			}
+		}
+		if opt.WindowVerify > 0 {
+			wverifyIdx[i] = sampleWindowVerify(simIdx, opt.WindowVerify)
+			wverifyRecs[i] = make([]LogRecord, len(wverifyIdx[i]))
+			for j, m := range wverifyIdx[i] {
+				queue = append(queue, scheduledRun{spec: i, mask: m, verify: -1, wverify: j})
 			}
 		}
 	}
@@ -705,14 +749,29 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 				if r.verify >= 0 {
 					// Prune-verify re-run: simulate a pruned mask for the
 					// differential check, bypassing telemetry, the journal
-					// and the results entirely.
+					// and the results entirely. It runs under the same
+					// window policy as the real runs — the check is about
+					// the prune verdict, not the execution tier.
 					rec, err := runGuarded(spec.Factory, prep.rungs, spec.Masks[r.mask],
-						prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, opt.RunWallLimit, nil)
+						prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, win, opt.RunWallLimit, nil)
 					if err != nil {
 						noteErr(i, err)
 						return
 					}
 					verifyRecs[r.spec][r.verify] = rec
+					continue
+				}
+				if r.wverify >= 0 {
+					// Window-verify re-run: simulate a windowed mask fully
+					// cycle-accurately from the same window entry, bypassing
+					// telemetry, the journal and the results entirely.
+					rec, err := runGuarded(spec.Factory, prep.rungs, spec.Masks[r.mask],
+						prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, winNoExit, opt.RunWallLimit, nil)
+					if err != nil {
+						noteErr(i, err)
+						return
+					}
+					wverifyRecs[r.spec][r.wverify] = rec
 					continue
 				}
 				var stats *runStats
@@ -725,7 +784,7 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 					runStart = time.Now()
 				}
 				rec, err := runGuarded(spec.Factory, prep.rungs, spec.Masks[r.mask],
-					prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, opt.RunWallLimit, stats)
+					prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, win, opt.RunWallLimit, stats)
 				if err != nil {
 					noteErr(i, err)
 					return
@@ -770,6 +829,11 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 						ObservedWrites: stats.obsWrites,
 						LadderRestored: stats.restored,
 						RungCycle:      stats.rungCycle,
+						Windowed:       stats.windowed,
+						WindowEntered:  stats.windowEntered,
+						WindowExited:   stats.windowExited,
+						FastSteps:      stats.fastSteps,
+						DetailCycles:   stats.detailCycles,
 					})
 				}
 			}
@@ -868,6 +932,24 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 		}
 	}
 
+	// The differential guard of -window-verify: every sampled windowed
+	// mask was also re-simulated fully cycle-accurately from the same
+	// window entry; its outcome class must agree with the windowed
+	// record's. A disagreement indicts the window-exit proof (settle,
+	// drain or residual-safety) or the functional tail.
+	for i := range specs {
+		for j, m := range wverifyIdx[i] {
+			windowed, _ := (Parser{}).Classify(records[i][m])
+			full, _ := (Parser{}).Classify(wverifyRecs[i][j])
+			if windowed != full {
+				return nil, nil, fmt.Errorf(
+					"core: window-verify mismatch on %s mask %d: windowed class %s (status %s), cycle-accurate class %s (status %s)",
+					fault.CampaignKey(preps[i].golden.Tool, specs[i].Benchmark, specs[i].Structure),
+					specs[i].Masks[m].ID, windowed, records[i][m].Status, full, wverifyRecs[i][j].Status)
+			}
+		}
+	}
+
 	results := make([]*CampaignResult, len(specs))
 	plans := make([]*prune.Plan, len(specs))
 	for i := range specs {
@@ -875,6 +957,24 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 		plans[i] = preps[i].plan
 	}
 	return results, plans, nil
+}
+
+// sampleWindowVerify picks up to n evenly spaced masks from the
+// simulated masks of one spec — the window-verify sample. Sampling the
+// queued masks (rather than all masks) keeps the guard about runs that
+// actually executed under the window policy.
+func sampleWindowVerify(sim []int, n int) []int {
+	if n <= 0 || len(sim) == 0 {
+		return nil
+	}
+	if len(sim) <= n {
+		return append([]int(nil), sim...)
+	}
+	out := make([]int, 0, n)
+	for j := 0; j < n; j++ {
+		out = append(out, sim[j*len(sim)/n])
+	}
+	return out
 }
 
 // makeCheckpoint captures the fault-free prefix of a row on a drained

@@ -140,7 +140,10 @@ func New(cfg core.CampaignConfig, opt CoordinatorOptions) (*Coordinator, error) 
 		return nil, err
 	}
 	if cfg.SchemaVersion == 0 {
-		cfg.SchemaVersion = core.ConfigSchemaVersion
+		// Stamp the lowest version that can express the config: configs
+		// without detail-window fields are served as version 1 so legacy
+		// workers keep accepting them.
+		cfg.SchemaVersion = cfg.WireSchemaVersion()
 	}
 	if opt.now == nil {
 		opt.now = time.Now
@@ -447,6 +450,11 @@ func (c *Coordinator) emitLocked(i int, run core.ShardRun, pruned string, repMas
 		ObservedWrites: run.ObservedWrites,
 		LadderRestored: run.LadderRestored,
 		RungCycle:      run.RungCycle,
+		Windowed:       run.Windowed,
+		WindowEntered:  run.WindowEntered,
+		WindowExited:   run.WindowExited,
+		FastSteps:      run.FastSteps,
+		DetailCycles:   run.DetailCycles,
 		Pruned:         pruned,
 		RepMask:        repMask,
 	})

@@ -131,6 +131,20 @@ func TestDistributedMatrixDifferential(t *testing.T) {
 			c.UseCheckpoint = true
 			c.CheckpointLadder = 3
 		}},
+		{"window", func(c *core.CampaignConfig) {
+			c.DetailWindow = true
+			c.WindowPre = 2000
+			c.WindowPost = 1000
+			c.WindowVerify = 2
+		}},
+		{"window+prune+ladder", func(c *core.CampaignConfig) {
+			c.DetailWindow = true
+			c.WindowPre = 2000
+			c.WindowPost = 1000
+			c.Prune = true
+			c.UseCheckpoint = true
+			c.CheckpointLadder = 3
+		}},
 	}
 	for _, v := range variants {
 		t.Run(v.name, func(t *testing.T) {

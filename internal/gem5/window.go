@@ -1,0 +1,188 @@
+package gem5
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/bitarray"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/handoff"
+	"repro/internal/isa"
+)
+
+// This file implements the core.Windower capability: detail-window
+// execution, where the scheduler runs this cycle-accurate core only
+// inside a window around the fault and hands architectural state to and
+// from the functional tier at the window edges.
+
+// Image returns the program image the machine was booted with; the
+// scheduler seeds functional-tier machines from it.
+func (c *CPU) Image() *asm.Image { return c.img }
+
+// CaptureArch snapshots the architecturally visible machine state for a
+// handoff to the functional tier. The machine must be drained (nothing
+// speculative in flight). Gem5's caches are true write-back — the data
+// arrays hold the only copy of dirty lines — so the capture first
+// flushes L1D into L2 and L2 into RAM, making RAM architecturally
+// authoritative. The flush writes each dirty line at the address its
+// stored tag names, corruption included, exactly as the eventual
+// eviction would have. L1I never holds dirty lines.
+func (c *CPU) CaptureArch() (*handoff.State, error) {
+	if !c.drained() {
+		return nil, fmt.Errorf("gem5: architectural capture requires a drained machine")
+	}
+	c.l1d.FlushDirty()
+	c.l2.FlushDirty()
+	st := &handoff.State{
+		PC:        c.pc,
+		Mem:       c.mem.SnapshotPaged(),
+		Kern:      c.kern.Clone(),
+		Cycle:     c.cycle,
+		Committed: c.stats.CommittedInstrs,
+	}
+	for i := 0; i < isa.NumIntRegs; i++ {
+		st.IntRegs[i] = c.intRF.ReadArch(i)
+	}
+	for i := 0; i < isa.NumFPRegs; i++ {
+		st.FPRegs[i] = c.fpRF.ReadArch(i)
+	}
+	return st, nil
+}
+
+// SeedArch loads an architectural state captured on the functional tier
+// into this freshly booted machine: RAM, kernel, committed registers,
+// PC and the time base. Microarchitectural state (caches, predictors)
+// stays cold — the scheduler's pre-fault margin absorbs the warm-up.
+// Call it before arming faults.
+func (c *CPU) SeedArch(st *handoff.State) {
+	c.mem.RestorePaged(st.Mem)
+	c.kern = st.Kern.Clone()
+	for i := 0; i < isa.NumIntRegs; i++ {
+		c.intRF.WriteArch(i, st.IntRegs[i])
+	}
+	for i := 0; i < isa.NumFPRegs; i++ {
+		c.fpRF.WriteArch(i, st.FPRegs[i])
+	}
+	c.pc = st.PC
+	c.cycle = st.Cycle
+	c.lastCommit = st.Cycle
+	c.stats.Cycles = st.Cycle
+	c.stats.CommittedInstrs = st.Committed
+	c.fetchReady = st.Cycle
+}
+
+// faultCaptureSafe reports whether a fault armed on array a at entry can
+// no longer make the true continuation diverge from one replayed off
+// captured architectural state. Drained pipeline structures (register
+// files, ROB, IQ, LSQ, predictors) are always safe: their content is
+// either part of the committed register mapping — which CaptureArch
+// materializes exactly — or dead. Cache arrays are safe only while the
+// faulted line cannot serve stale bytes (see cache.LineCaptureSafe);
+// TLB arrays only while the faulted entry holds no valid translation.
+func (c *CPU) faultCaptureSafe(a *bitarray.Array, entry int) bool {
+	for _, ch := range []*cache.Cache{c.l1d, c.l1i, c.l2} {
+		for _, ca := range ch.Arrays() {
+			if ca == a {
+				return ch.LineCaptureSafe(entry)
+			}
+		}
+	}
+	for _, t := range []*cache.TLB{c.dtlb, c.itlb} {
+		for _, ta := range t.Arrays() {
+			if ta == a {
+				return !t.EntryValid(entry)
+			}
+		}
+	}
+	return true
+}
+
+// residencySafe reports whether every armed fault is capture-safe.
+func (c *CPU) residencySafe() bool {
+	for _, a := range c.watch {
+		for _, f := range a.Faults() {
+			if !c.faultCaptureSafe(a, f.Entry) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RunWindow runs the cycle-accurate detail window: like Run, but once
+// the fault machinery can no longer change any cell
+// (bitarray.FaultsApplied: every flip applied, no stuck-at window still
+// forcing), postMargin further cycles have elapsed, and no residual
+// corruption can still serve from a cache or TLB, fetch stops, the
+// pipeline drains, and the method returns exited=true — the caller
+// continues the run on the functional tier from CaptureArch state. A
+// live unread transient in a pipeline structure does not hold the
+// window open: on a drained machine its corruption is ordinary stored
+// state that the architectural capture carries over exactly. Any
+// terminal outcome inside the window (completion, crash, early-masked
+// stop, deadlock, cycle limit) returns exited=false with the final
+// result, exactly as Run would.
+func (c *CPU) RunWindow(limitCycles, postMargin uint64) (res core.RunResult, exited bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ae, ok := r.(core.AssertError); ok {
+				res = c.snapshotResult(core.RunAssert)
+				res.AssertMsg = ae.Msg
+				exited = false
+				return
+			}
+			res = c.snapshotResult(core.RunSimCrash)
+			res.AssertMsg = fmt.Sprint(r)
+			exited = false
+		}
+	}()
+
+	const deadlockWindow = 100_000
+	applied, closing := false, false
+	var appliedCycle uint64
+	for c.cycle < limitCycles {
+		allApplied := true
+		for _, a := range c.watch {
+			st := a.Tick(c.cycle)
+			if c.earlyStop && (st == bitarray.StatusOverwritten || st == bitarray.StatusSkippedInvalid) {
+				return c.snapshotResult(core.RunEarlyMasked), false
+			}
+			if !applied && !a.FaultsApplied() {
+				allApplied = false
+			}
+		}
+		if !applied && allApplied && len(c.watch) > 0 {
+			applied, appliedCycle = true, c.cycle
+		}
+		if applied && !closing && c.cycle >= appliedCycle+postMargin && c.residencySafe() {
+			closing = true
+		}
+		c.commit()
+		if c.finished {
+			return c.result, false
+		}
+		c.complete()
+		c.issue()
+		c.rename()
+		if closing {
+			if c.drained() {
+				c.cycle++
+				c.stats.Cycles = c.cycle
+				return core.RunResult{}, true
+			}
+		} else {
+			c.fetch()
+		}
+		c.cycle++
+		c.stats.Cycles = c.cycle
+		if c.cycle-c.lastCommit > deadlockWindow {
+			r := c.snapshotResult(core.RunCycleLimit)
+			r.CommitStalled = true
+			return r, false
+		}
+	}
+	r := c.snapshotResult(core.RunCycleLimit)
+	r.CommitStalled = c.cycle-c.lastCommit > deadlockWindow
+	return r, false
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"repro/internal/asm"
+	"repro/internal/handoff"
 	"repro/internal/isa"
 	"repro/internal/isa/cisc"
 	"repro/internal/isa/risc"
@@ -60,7 +61,10 @@ type Result struct {
 	Events []kernel.Event
 }
 
-// Machine is a functional machine instance.
+// Machine is a functional machine instance. It is resumable: run stops
+// at instruction boundaries, so a machine can execute in slices
+// (Continue), be captured as an architectural handoff.State, or be
+// seeded from one taken on a cycle-accurate core.
 type Machine struct {
 	img  *asm.Image
 	dec  isa.Decoder
@@ -70,10 +74,16 @@ type Machine struct {
 	pc   uint64
 	regs [isa.NumIntRegs]uint64
 	fp   [isa.NumFPRegs]float64
+
+	// steps and uops count macro-instructions and micro-ops executed
+	// since machine birth; Seed initializes steps to the committed count
+	// of the source state so step stamps keep a single time base.
+	steps uint64
+	uops  uint64
 }
 
-// New builds a functional machine for the image.
-func New(img *asm.Image) *Machine {
+// newMachine builds the decoder/memory shell shared by New and Seed.
+func newMachine(img *asm.Image) *Machine {
 	m := &Machine{img: img, mem: mem.New()}
 	switch img.ISA {
 	case "arm":
@@ -81,13 +91,56 @@ func New(img *asm.Image) *Machine {
 	default:
 		m.dec = cisc.Decoder{}
 	}
+	m.mem.SetTextEnd(img.TextBase + uint64(len(img.Text)))
+	return m
+}
+
+// New builds a functional machine for the image.
+func New(img *asm.Image) *Machine {
+	m := newMachine(img)
 	m.mem.Load(img.TextBase, img.Text)
 	m.mem.Load(img.DataBase, img.Data)
-	m.mem.SetTextEnd(img.TextBase + uint64(len(img.Text)))
 	m.pc = img.Entry
 	m.regs[isa.SP] = mem.StackTop
 	return m
 }
+
+// Seed builds a functional machine resuming from an architectural state
+// captured on another tier. The image must be the one the state was
+// produced from (it supplies the decoder and the text bounds; the text
+// bytes themselves arrive with the memory snapshot).
+func Seed(img *asm.Image, st *handoff.State) *Machine {
+	m := newMachine(img)
+	m.mem.RestorePaged(st.Mem)
+	m.kern = st.Kern.Clone()
+	m.pc = st.PC
+	copy(m.regs[:], st.IntRegs[:])
+	for i := range m.fp {
+		m.fp[i] = math.Float64frombits(st.FPRegs[i])
+	}
+	m.steps = st.Committed
+	return m
+}
+
+// Capture snapshots the machine as an architectural handoff state.
+func (m *Machine) Capture() *handoff.State {
+	st := &handoff.State{
+		PC:        m.pc,
+		Mem:       m.mem.SnapshotPaged(),
+		Kern:      m.kern.Clone(),
+		Cycle:     m.steps,
+		Committed: m.steps,
+	}
+	copy(st.IntRegs[:], m.regs[:])
+	for i := range m.fp {
+		st.FPRegs[i] = math.Float64bits(m.fp[i])
+	}
+	return st
+}
+
+// Steps returns the macro-instructions executed since machine birth
+// (including any committed count inherited through Seed).
+func (m *Machine) Steps() uint64 { return m.steps }
 
 func (m *Machine) get(r isa.Reg) uint64 {
 	if r == isa.RegNone {
@@ -120,6 +173,14 @@ func Run(img *asm.Image, maxSteps uint64) Result {
 	return m.run(maxSteps)
 }
 
+// Continue executes up to maxSteps further macro-instructions on a
+// resumable machine (fresh, part-run, or seeded from a handoff state).
+// A StepLimit result leaves the machine at an instruction boundary from
+// which Continue or Capture may be called again.
+func (m *Machine) Continue(maxSteps uint64) Result {
+	return m.run(maxSteps)
+}
+
 func (m *Machine) fatal(e isa.Exception) Result {
 	return Result{Outcome: ProcessCrash, FatalExc: e, Output: m.kern.Output, Events: m.kern.Events}
 }
@@ -127,57 +188,61 @@ func (m *Machine) fatal(e isa.Exception) Result {
 func (m *Machine) run(maxSteps uint64) Result {
 	var in isa.Inst
 	buf := make([]byte, m.dec.MaxInstLen())
-	var steps, uops uint64
 	alignCheck := m.dec.Name() == "arm"
 
-	for steps = 0; steps < maxSteps; steps++ {
+	// Steps and uops accumulate on the machine so execution can resume;
+	// Result counts therefore report machine totals, which for a fresh
+	// machine are exactly the per-run counts.
+	for executed := uint64(0); executed < maxSteps; executed++ {
 		// Wild control flow into the kernel region is a panic.
 		if m.pc >= mem.KernelBase {
-			m.kern.Panic(steps, m.pc, m.pc)
+			m.kern.Panic(m.steps, m.pc, m.pc)
 			return Result{Outcome: SystemCrash, Output: m.kern.Output,
-				Steps: steps, Uops: uops, Events: m.kern.Events}
+				Steps: m.steps, Uops: m.uops, Events: m.kern.Events}
 		}
 		n, f := m.mem.Fetch(m.pc, buf)
 		if f != mem.FaultNone || n == 0 {
 			r := m.fatal(isa.ExcPageFault)
-			r.Steps, r.Uops = steps, uops
+			r.Steps, r.Uops = m.steps, m.uops
 			return r
 		}
 		if err := m.dec.Decode(buf[:n], m.pc, &in); err != nil {
 			r := m.fatal(isa.ExcIllegalInstr)
-			r.Steps, r.Uops = steps, uops
+			r.Steps, r.Uops = m.steps, m.uops
 			return r
 		}
 		next := m.pc + uint64(in.Len)
 
 		for i := 0; i < int(in.NUops); i++ {
 			u := &in.Uops[i]
-			uops++
-			exc, target, taken, stop := m.exec(u, &in, steps, alignCheck)
+			m.uops++
+			exc, target, taken, stop := m.exec(u, &in, m.steps, alignCheck)
 			if exc != isa.ExcNone {
 				switch kernel.SeverityOf(exc) {
 				case kernel.SevRecoverable:
 					// Recorded inside exec; continue.
 				case kernel.SevPanic:
 					return Result{Outcome: SystemCrash, Output: m.kern.Output,
-						Steps: steps, Uops: uops, Events: m.kern.Events}
+						Steps: m.steps, Uops: m.uops, Events: m.kern.Events}
 				default:
 					r := m.fatal(exc)
-					r.Steps, r.Uops = steps, uops
+					r.Steps, r.Uops = m.steps, m.uops
 					return r
 				}
 			}
 			if stop {
+				m.steps++
 				return Result{Outcome: Completed, ExitCode: m.kern.ExitCode,
-					Output: m.kern.Output, Steps: steps + 1, Uops: uops, Events: m.kern.Events}
+					Output: m.kern.Output, Steps: m.steps, Uops: m.uops, Events: m.kern.Events}
 			}
 			if taken {
 				next = target
 			}
 		}
 		m.pc = next
+		m.steps++
 	}
-	return Result{Outcome: StepLimit, Output: m.kern.Output, Steps: steps, Uops: uops, Events: m.kern.Events}
+	return Result{Outcome: StepLimit, Output: m.kern.Output, Steps: m.steps, Uops: m.uops, Events: m.kern.Events}
 }
 
 // exec executes one micro-op. It returns a raised exception, a branch

@@ -27,6 +27,13 @@ type Snapshot struct {
 	Resumed          uint64  `json:"resumed"`
 	PanicsContained  uint64  `json:"panics_contained"`
 
+	WindowedRuns  uint64  `json:"windowed_runs"`
+	WindowEntries uint64  `json:"window_entries"`
+	WindowExits   uint64  `json:"window_exits"`
+	FastSteps     uint64  `json:"fast_steps"`
+	DetailCycles  uint64  `json:"detail_cycles"`
+	FastTierShare float64 `json:"fast_tier_share"`
+
 	RunsPerSec        float64 `json:"runs_per_sec"`
 	SimCycles         uint64  `json:"sim_cycles"`
 	McyclesPerSec     float64 `json:"mcycles_per_sec"`
@@ -116,6 +123,9 @@ func (s Snapshot) ProgressLine() string {
 	if s.LadderRestores > 0 {
 		fmt.Fprintf(&b, "  restores %d", s.LadderRestores)
 	}
+	if s.WindowedRuns > 0 {
+		fmt.Fprintf(&b, "  window %d/%d (fast %.1f%%)", s.WindowExits, s.WindowedRuns, 100*s.FastTierShare)
+	}
 	if s.Resumed > 0 {
 		fmt.Fprintf(&b, "  resumed %d", s.Resumed)
 	}
@@ -177,6 +187,12 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	counter("resumed_total", "Completed masks loaded from the run journal instead of re-simulated.", s.Resumed)
 	counter("panics_contained_total", "Worker panics converted into per-run errors by the containment boundary.", s.PanicsContained)
 	counter("sim_cycles_total", "Simulated cycles across finished runs.", s.SimCycles)
+	counter("windowed_runs_total", "Runs executed under a detail window (sampled execution).", s.WindowedRuns)
+	counter("window_entries_total", "Runs seeded from the functional fast tier at the window entry.", s.WindowEntries)
+	counter("window_exits_total", "Runs handed back to the functional tier after the fault settled.", s.WindowExits)
+	counter("fast_instrs_total", "Instructions executed on the functional fast tier.", s.FastSteps)
+	counter("detail_cycles_total", "Cycles simulated cycle-accurately inside detail windows.", s.DetailCycles)
+	gauge("fast_tier_share", "Share of execution work done on the functional fast tier.", s.FastTierShare)
 	gauge("runs_per_second", "Finished runs per wall-clock second.", s.RunsPerSec)
 	gauge("mcycles_per_second", "Simulated megacycles per wall-clock second.", s.McyclesPerSec)
 	gauge("worker_utilization", "Fraction of worker time spent inside runs.", s.WorkerUtilization)

@@ -75,6 +75,17 @@ type RunEvent struct {
 	// gauges; the trace sink serializes them like any other run, which is
 	// what keeps a resumed trace byte-identical to an uninterrupted one.
 	Resumed bool
+	// Windowed marks a run executed under a detail window (sampled
+	// execution); WindowEntered reports that it was seeded from the
+	// functional fast tier, WindowExited that it handed back to it once
+	// the fault settled. FastSteps counts the instructions executed on
+	// the functional tier (entry fast-forward plus tail) and
+	// DetailCycles the cycles actually simulated cycle-accurately.
+	Windowed      bool
+	WindowEntered bool
+	WindowExited  bool
+	FastSteps     uint64
+	DetailCycles  uint64
 }
 
 // Sink consumes run-end events, e.g. the JSONL trace writer. RunEvent
@@ -144,6 +155,12 @@ type Collector struct {
 	ladderRestores   atomic.Uint64
 	resumed          atomic.Uint64
 	panicsContained  atomic.Uint64
+
+	windowedRuns  atomic.Uint64
+	windowEntries atomic.Uint64
+	windowExits   atomic.Uint64
+	fastSteps     atomic.Uint64
+	detailCycles  atomic.Uint64
 
 	watchedReads, watchedWrites   atomic.Uint64
 	observedReads, observedWrites atomic.Uint64
@@ -246,6 +263,17 @@ func (c *Collector) RunDone(cs *CampaignStats, ev RunEvent) {
 	if ev.LadderRestored {
 		c.ladderRestores.Add(1)
 	}
+	if ev.Windowed {
+		c.windowedRuns.Add(1)
+	}
+	if ev.WindowEntered {
+		c.windowEntries.Add(1)
+	}
+	if ev.WindowExited {
+		c.windowExits.Add(1)
+	}
+	c.fastSteps.Add(ev.FastSteps)
+	c.detailCycles.Add(ev.DetailCycles)
 	c.statuses.add(ev.Status, 1)
 	c.classes.add(ev.Class, 1)
 	if cs != nil {
@@ -275,6 +303,11 @@ func (c *Collector) Snapshot() Snapshot {
 		Resumed:          c.resumed.Load(),
 		PanicsContained:  c.panicsContained.Load(),
 		SimCycles:        c.simCycles.Load(),
+		WindowedRuns:     c.windowedRuns.Load(),
+		WindowEntries:    c.windowEntries.Load(),
+		WindowExits:      c.windowExits.Load(),
+		FastSteps:        c.fastSteps.Load(),
+		DetailCycles:     c.detailCycles.Load(),
 		WatchedReads:     c.watchedReads.Load(),
 		WatchedWrites:    c.watchedWrites.Load(),
 		ObservedReads:    c.observedReads.Load(),
@@ -303,6 +336,15 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	if s.RunsDone > 0 {
 		s.PruneRate = float64(s.PrunedDead+s.PrunedReplicated) / float64(s.RunsDone)
+	}
+	if total := s.FastSteps + s.DetailCycles; total > 0 {
+		// Fast-tier instructions and detail-window cycles are the two
+		// tiers' units of work actually performed; their ratio is the
+		// share of execution the detail window moved off the expensive
+		// model. (SimCycles is the wrong denominator: composed windowed
+		// records report whole-run cycle counts, fast-forwarded spans
+		// included.)
+		s.FastTierShare = float64(s.FastSteps) / float64(total)
 	}
 	c.mu.Lock()
 	campaigns := append([]*CampaignStats(nil), c.campaigns...)

@@ -1,9 +1,10 @@
 #!/bin/sh
 # Runs the matrix-scheduler benchmarks (the bare scheduler and the
-# telemetry-overhead variant) plus the pruning-engine benchmarks (the
+# telemetry-overhead variant), the pruning-engine benchmarks (the
 # prune ablation, the checkpoint ladder, and the golden-run profiling
-# overhead guard) and writes the machine-readable baselines
-# results/BENCH_scheduler.json and results/BENCH_prune.json via
+# overhead guard), and the detail-window ablation, and writes the
+# machine-readable baselines results/BENCH_scheduler.json,
+# results/BENCH_prune.json and results/BENCH_window.json via
 # scripts/benchjson.
 #
 # Usage: scripts/bench_scheduler.sh [count]
@@ -27,3 +28,8 @@ go test -run '^$' \
     -benchtime 3x -count "$count" . | tee "$out"
 go run ./scripts/benchjson <"$out" >results/BENCH_prune.json
 echo "wrote results/BENCH_prune.json"
+
+go test -run '^$' -bench 'BenchmarkDetailWindow' -benchtime 3x \
+    -count "$count" . | tee "$out"
+go run ./scripts/benchjson <"$out" >results/BENCH_window.json
+echo "wrote results/BENCH_window.json"

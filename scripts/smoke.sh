@@ -1,9 +1,10 @@
 #!/bin/sh
-# CI smoke test for the telemetry layer and the pruning engine: run one
+# CI smoke test for the telemetry layer and the campaign engine: run one
 # tiny campaign with tracing, the metrics endpoint, and the
 # final-snapshot dump all enabled, then a second campaign with liveness
 # pruning, the checkpoint ladder, and the -prune-verify differential
-# guard on top, then a kill-and-resume round and a distributed
+# guard on top, then a detail-window campaign with the -window-verify
+# differential guard, then a kill-and-resume round and a distributed
 # coordinator/worker round with a SIGKILLed worker, cross-checking each
 # run's artifacts with scripts/smokecheck.
 set -eu
@@ -43,6 +44,25 @@ go run ./cmd/faultcamp \
 
 go run ./scripts/smokecheck \
     -logs "$tmp/logs" -key "$key" -snapshot "$tmp/snap_prune.json" -prune
+
+# Windowed campaign: detail-window execution runs each injection
+# cycle-accurately only inside a window around its fault and functionally
+# everywhere else; -window-verify re-simulates a sample of the windowed
+# runs fully cycle-accurately from the same window entries and fails the
+# campaign on any outcome-class disagreement. smokecheck -window asserts
+# the fast tier actually carried work.
+structure=rf.int
+key="${tool}__${bench}__${structure}"
+
+go run ./cmd/faultcamp \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 30 -seed 4 -logs "$tmp/logs" \
+    -detail-window -window-verify 10 \
+    -trace -snapshot-json "$tmp/snap_window.json" \
+    -progress-every 500ms
+
+go run ./scripts/smokecheck \
+    -logs "$tmp/logs" -key "$key" -snapshot "$tmp/snap_window.json" -window
 
 # Crash-and-resume: run a journaled reference campaign to completion,
 # then start an identical campaign, SIGKILL it mid-flight, and resume it

@@ -12,6 +12,9 @@
 //     replicated rows name a representative with the same class, and the
 //     snapshot's prune counters equal the trace's flagged-row counts
 //     (with -prune additionally asserting that pruning happened at all),
+//   - with -window, the snapshot shows detail-window execution actually
+//     happened: windowed runs with functional-tier entries and fast-tier
+//     instructions, and internally consistent window counters,
 //   - with -journal, the durable run journal carries exactly one entry
 //     per simulated (non-pruned) injection, each labeled with the
 //     campaign key and byte-equivalent to the stored log record, and
@@ -43,6 +46,7 @@ func main() {
 	snapPath := flag.String("snapshot", "", "final snapshot JSON file")
 	tracePath := flag.String("trace", "", "JSONL injection trace (default <logs>/<key>.trace.jsonl)")
 	wantPrune := flag.Bool("prune", false, "assert the campaign was pruned (nonzero dead or replicated rows)")
+	wantWindow := flag.Bool("window", false, "assert the campaign ran under a detail window (windowed runs, entries, fast-tier work)")
 	wantJournal := flag.Bool("journal", false, "validate the run journal against the logs and trace")
 	wantResumed := flag.Bool("want-resumed", false, "assert the snapshot reports runs resumed from the journal")
 	flag.Parse()
@@ -161,6 +165,21 @@ func main() {
 		fatal(fmt.Errorf("-prune: campaign was not pruned at all"))
 	}
 
+	if snap.WindowExits > snap.WindowedRuns || snap.WindowEntries > snap.WindowedRuns {
+		fatal(fmt.Errorf("window counters inconsistent: %d exits, %d entries, %d windowed runs",
+			snap.WindowExits, snap.WindowEntries, snap.WindowedRuns))
+	}
+	if *wantWindow {
+		if snap.WindowedRuns == 0 || snap.WindowEntries == 0 {
+			fatal(fmt.Errorf("-window: campaign ran no detail windows (%d windowed, %d entries)",
+				snap.WindowedRuns, snap.WindowEntries))
+		}
+		if snap.FastSteps == 0 || snap.FastTierShare <= 0 || snap.FastTierShare > 1 {
+			fatal(fmt.Errorf("-window: no fast-tier work recorded (%d instrs, share %g)",
+				snap.FastSteps, snap.FastTierShare))
+		}
+	}
+
 	var journaled int
 	if *wantJournal {
 		entries, err := fault.ReadJournalFile(repo.JournalPath(*key))
@@ -208,8 +227,8 @@ func main() {
 		fatal(fmt.Errorf("-want-resumed: snapshot reports no resumed runs"))
 	}
 
-	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d (%d dead + %d replicated, %d journaled, %d resumed)\n",
-		*key, n, snap.ClassString(), len(recs), dead, replicated, journaled, snap.Resumed)
+	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d (%d dead + %d replicated, %d journaled, %d resumed, %d windowed)\n",
+		*key, n, snap.ClassString(), len(recs), dead, replicated, journaled, snap.Resumed, snap.WindowedRuns)
 }
 
 func fatal(err error) {
