@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/divergence"
 	"repro/internal/fault"
 	"repro/internal/gem5"
 	"repro/internal/marss"
@@ -676,6 +677,53 @@ func BenchmarkGoldenProfileOverhead(b *testing.B) {
 // bar is a >=5x runs/s speedup (results/BENCH_window.json records the
 // measured pair).
 func BenchmarkDetailWindow(b *testing.B) {
+	buildSpecs, _ := windowedCampaign(b)
+	for _, mode := range []struct {
+		name   string
+		window bool
+	}{{"prune+ladder", false}, {"window+prune+ladder", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var runs uint64
+			var snap telemetry.Snapshot
+			for i := 0; i < b.N; i++ {
+				col := telemetry.New()
+				opt := core.MatrixOptions{
+					Workers: 4, Telemetry: col,
+					Prune: true, CheckpointLadder: 3,
+				}
+				if mode.window {
+					opt.DetailWindow = true
+					opt.WindowPre = 2000
+					opt.WindowPost = 1000
+				}
+				results, err := core.RunMatrix(buildSpecs(), opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					runs += uint64(len(res.Records))
+				}
+				snap = col.Snapshot()
+			}
+			sec := b.Elapsed().Seconds()
+			if sec > 0 {
+				b.ReportMetric(float64(runs)/sec, "runs/s")
+			}
+			if mode.window {
+				b.ReportMetric(100*snap.FastTierShare, "fast%")
+			}
+		})
+	}
+}
+
+// windowedCampaign builds the detail-window benchmark matrix:
+// register-file and L1D transients remapped onto the live-entry
+// population so the liveness pruner cannot settle most of them at plan
+// time. The builder regenerates fresh specs per iteration; the returned
+// cache memoizes the golden run, live entries, ladder, and the
+// divergence commit signature across iterations.
+func windowedCampaign(b *testing.B) (func() []core.CampaignSpec, *core.GoldenCache) {
+	b.Helper()
 	w, err := workload.ByName("qsort")
 	if err != nil {
 		b.Fatal(err)
@@ -718,40 +766,77 @@ func BenchmarkDetailWindow(b *testing.B) {
 		}
 		return specs
 	}
-	for _, mode := range []struct {
-		name   string
-		window bool
-	}{{"prune+ladder", false}, {"window+prune+ladder", true}} {
-		b.Run(mode.name, func(b *testing.B) {
-			var runs uint64
-			var snap telemetry.Snapshot
-			for i := 0; i < b.N; i++ {
-				col := telemetry.New()
-				opt := core.MatrixOptions{
-					Workers: 4, Telemetry: col,
-					Prune: true, CheckpointLadder: 3,
-				}
-				if mode.window {
-					opt.DetailWindow = true
-					opt.WindowPre = 2000
-					opt.WindowPost = 1000
-				}
-				results, err := core.RunMatrix(buildSpecs(), opt)
-				if err != nil {
-					b.Fatal(err)
-				}
-				for _, res := range results {
-					runs += uint64(len(res.Records))
-				}
-				snap = col.Snapshot()
+	return buildSpecs, cache
+}
+
+// BenchmarkDetailWindowDivergence measures the cost of divergence
+// provenance recording on top of the windowed campaign: the same matrix
+// as BenchmarkDetailWindow's windowed mode runs with and without a
+// divergence sink attached. The probe folds each committed PC into a
+// 64-instruction FNV block hash and stops comparing at the first
+// mismatching block, so the acceptance bar is <5% overhead
+// (results/BENCH_divergence.json records the measured pair).
+func BenchmarkDetailWindowDivergence(b *testing.B) {
+	buildSpecs, cache := windowedCampaign(b)
+	run := func(div bool) uint64 {
+		var runs uint64
+		opt := core.MatrixOptions{
+			Workers: 4, Telemetry: telemetry.New(), Golden: cache,
+			Prune: true, CheckpointLadder: 3,
+			DetailWindow: true, WindowPre: 2000, WindowPost: 1000,
+		}
+		var sink *divergence.Sink
+		if div {
+			sink = divergence.NewSink()
+			opt.Divergence = sink
+		}
+		results, err := core.RunMatrix(buildSpecs(), opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, res := range results {
+			runs += uint64(len(res.Records))
+		}
+		if div {
+			if err := sink.Flush(io.Discard); err != nil {
+				b.Fatal(err)
 			}
-			sec := b.Elapsed().Seconds()
-			if sec > 0 {
-				b.ReportMetric(float64(runs)/sec, "runs/s")
-			}
-			if mode.window {
-				b.ReportMetric(100*snap.FastTierShare, "fast%")
-			}
-		})
+		}
+		return runs
 	}
+	// Warm the memoizer (golden run, live entries, ladder, commit
+	// signature) outside any timed region so neither mode pays it.
+	run(true)
+	b.Run("window", func(b *testing.B) {
+		var runs uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runs += run(false)
+		}
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(runs)/sec, "runs/s")
+		}
+	})
+	// The overhead pair is interleaved — one recorded iteration, one
+	// plain iteration, alternating — so slow machine drift hits both
+	// sides equally instead of skewing whichever phase ran second.
+	b.Run("window+divergence", func(b *testing.B) {
+		var runs uint64
+		var plain time.Duration
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runs += run(true)
+			b.StopTimer()
+			start := time.Now()
+			run(false)
+			plain += time.Since(start)
+			b.StartTimer()
+		}
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(runs)/sec, "runs/s")
+		}
+		if plain > 0 {
+			b.ReportMetric(100*(float64(b.Elapsed())/float64(plain)-1), "overhead%")
+		}
+	})
 }

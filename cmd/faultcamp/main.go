@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/divergence"
 	"repro/internal/fault"
 )
 
@@ -78,6 +79,15 @@ func main() {
 	defer obs.Close()
 	obs.StartReporter(tf, os.Stderr)
 	att.Telemetry = obs.Collector
+	var dsink *divergence.Sink
+	if cfg.Divergence {
+		dsink = divergence.NewSink()
+		att.Divergence = dsink
+	}
+	if obs.Tracer != nil {
+		att.Tracer = obs.Tracer
+		att.SpanWorker = "local"
+	}
 
 	start := time.Now()
 	results, err := core.RunConfig(cfg, cli.Resolve, att)
@@ -93,6 +103,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	divPath, err := cli.FlushDivergence(dsink, logs, key)
+	if err != nil {
+		fatal(err)
+	}
+	spansPath, err := obs.FlushSpans(logs, key)
+	if err != nil {
+		fatal(err)
+	}
 	snap, err := obs.Finish(tf)
 	if err != nil {
 		fatal(err)
@@ -104,6 +122,12 @@ func main() {
 	fmt.Printf("  logs stored in %s\n", logs.Dir())
 	if tracePath != "" {
 		fmt.Printf("  trace: %s (%d records)\n", tracePath, obs.Trace.Len())
+	}
+	if divPath != "" {
+		fmt.Printf("  divergence: %s (%d records, %d diverged)\n", divPath, dsink.Len(), snap.DivergedRuns)
+	}
+	if spansPath != "" {
+		fmt.Printf("  spans: %s\n", spansPath)
 	}
 	if snap.PrunedDead+snap.PrunedReplicated > 0 {
 		fmt.Printf("  pruned: %d dead + %d replicated of %d masks (%.1f%%), %d ladder restores\n",

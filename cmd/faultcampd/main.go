@@ -27,6 +27,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/divergence"
 	"repro/internal/fault"
 )
 
@@ -43,6 +44,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "shard lease TTL; a worker silent this long loses its shard")
 	maxRetries := flag.Int("max-retries", 3, "requeue budget per shard before the campaign fails")
 	retryBackoff := flag.Duration("retry-backoff", time.Second, "delay before a requeued shard is reassigned (scaled by retry count)")
+	fleetJSON := flag.String("fleet-json", "", "write the final fleet-aggregated snapshot (the /snapshot.json view) to this file")
 	verbose := flag.Bool("verbose", false, "log lease grants, requeues and completions to stderr")
 	cf := cli.Campaign(flag.CommandLine, 200)
 	tf := cli.Telemetry(flag.CommandLine, 2*time.Second)
@@ -94,6 +96,12 @@ func main() {
 		MaxRetries:   *maxRetries,
 		RetryBackoff: *retryBackoff,
 		Telemetry:    obs.Collector,
+		Tracer:       obs.Tracer,
+	}
+	var dsink *divergence.Sink
+	if cfg.Divergence {
+		dsink = divergence.NewSink()
+		copt.Divergence = dsink
 	}
 	if *verbose {
 		copt.Logf = func(format string, args ...any) {
@@ -115,10 +123,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: coord.Handler()}
+	srv := &http.Server{Handler: coord.ObsHandler(obs.Events)}
 	go srv.Serve(ln)
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "faultcampd listening on http://%s (%d campaigns, %d shards)\n",
+	fmt.Fprintf(os.Stderr, "faultcampd listening on http://%s (%d campaigns, %d shards; /snapshot.json /metrics /fleet.json /events)\n",
 		ln.Addr(), len(cfg.Campaigns), coord.Stats().Shards)
 	if *addrFile != "" {
 		// Write-then-rename so a polling worker never reads a torn file.
@@ -131,12 +139,27 @@ func main() {
 		}
 	}
 
-	obs.StartReporter(tf, os.Stderr)
+	obs.StartReporterLine(tf, os.Stderr, coord.ProgressLine)
 	start := time.Now()
 	results, err := coord.Wait(context.Background())
 	obs.StopReporter()
 	if err != nil {
 		fatal(err)
+	}
+	if *fleetJSON != "" {
+		// The last shard's merge completes the campaign moments before
+		// the delivering worker posts its final snapshot; wait for the
+		// fleet to settle before freezing the aggregated view.
+		if !coord.WaitFleetFinal(*leaseTTL) {
+			fmt.Fprintln(os.Stderr, "faultcampd: fleet snapshot frozen before every worker posted its final state")
+		}
+		b, err := coord.FleetSnapshot().JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*fleetJSON, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
 	}
 	for i, res := range results {
 		if err := logs.Store(keys[i], res); err != nil {
@@ -148,6 +171,14 @@ func main() {
 		traceKey = keys[0]
 	}
 	tracePath, err := obs.FlushTrace(logs, traceKey)
+	if err != nil {
+		fatal(err)
+	}
+	divPath, err := cli.FlushDivergence(dsink, logs, traceKey)
+	if err != nil {
+		fatal(err)
+	}
+	spansPath, err := obs.FlushSpans(logs, traceKey)
 	if err != nil {
 		fatal(err)
 	}
@@ -168,6 +199,15 @@ func main() {
 	fmt.Printf("  logs stored in %s\n", logs.Dir())
 	if tracePath != "" {
 		fmt.Printf("  trace: %s (%d records)\n", tracePath, obs.Trace.Len())
+	}
+	if divPath != "" {
+		fmt.Printf("  divergence: %s (%d records, %d diverged)\n", divPath, dsink.Len(), snap.DivergedRuns)
+	}
+	if spansPath != "" {
+		fmt.Printf("  spans: %s\n", spansPath)
+	}
+	if *fleetJSON != "" {
+		fmt.Printf("  fleet snapshot: %s (%d workers)\n", *fleetJSON, len(coord.Fleet()))
 	}
 	if *journalOn {
 		for _, key := range keys {

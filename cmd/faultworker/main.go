@@ -16,12 +16,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +33,8 @@ func main() {
 	id := flag.String("id", "", "worker id (default host:pid)")
 	poll := flag.Duration("poll", 0, "cap on the wait between lease polls (0: honor the coordinator's hint)")
 	heartbeat := flag.Duration("heartbeat", 0, "lease heartbeat period (0: a third of the coordinator's lease TTL)")
+	metricsAddr := flag.String("metrics-addr", "", "serve this worker's /metrics, /snapshot.json, /events and /debug/pprof on this address")
+	snapJSON := flag.String("snapshot-json", "", "write this worker's final telemetry snapshot as JSON to this file on exit")
 	quiet := flag.Bool("quiet", false, "suppress per-shard progress lines")
 	flag.Parse()
 
@@ -48,20 +53,58 @@ func main() {
 		*id = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
 
+	tel := telemetry.New()
+	drain := make(chan struct{})
 	opt := dist.WorkerOptions{
 		ID:        *id,
 		Resolve:   cli.Resolve,
 		Golden:    core.NewGoldenCache(),
 		Heartbeat: *heartbeat,
 		Poll:      *poll,
+		Telemetry: tel,
+		Drain:     drain,
 	}
 	if !*quiet {
 		opt.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	if err := dist.RunWorker(context.Background(), strings.TrimSuffix(*coordURL, "/"), opt); err != nil {
-		fatal(err)
+	if *metricsAddr != "" {
+		es := telemetry.NewEventStream(tel)
+		tel.AddSink(es)
+		srv, err := telemetry.ServeHandler(*metricsAddr, tel.HandlerWithEvents(es))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "faultworker metrics listening on http://%s\n", srv.Addr())
+	}
+
+	// Graceful shutdown: SIGTERM/SIGINT drains the worker — it finishes
+	// and delivers its in-flight shard, posts its final snapshot to the
+	// coordinator, and exits cleanly instead of abandoning the lease.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigCh
+		fmt.Fprintf(os.Stderr, "faultworker: %v: draining (finishing in-flight shard)\n", sig)
+		close(drain)
+		// A second signal kills immediately.
+		signal.Stop(sigCh)
+	}()
+
+	runErr := dist.RunWorker(context.Background(), strings.TrimSuffix(*coordURL, "/"), opt)
+	if *snapJSON != "" {
+		b, err := tel.Snapshot().JSON()
+		if err == nil {
+			err = os.WriteFile(*snapJSON, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultworker: writing snapshot:", err)
+		}
+	}
+	if runErr != nil {
+		fatal(runErr)
 	}
 }
 

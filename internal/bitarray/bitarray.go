@@ -113,6 +113,13 @@ type faultState struct {
 	// after injection, and the Tick cycle it happened at.
 	observed bool
 	obsCycle uint64
+	// touches counts every read that consumed the faulty location and
+	// lastTouch stamps the latest one — the corruption footprint over
+	// time the divergence recorder reports. Both are bumped only inside
+	// the already-matched observation branch, so the fast path and the
+	// unmatched slow path pay nothing for them.
+	touches   uint64
+	lastTouch uint64
 }
 
 // ValidFunc reports whether an entry currently holds live (allocated,
@@ -215,6 +222,19 @@ func (a *Array) FirstObservation() (uint64, bool) {
 		return 0, false
 	}
 	return min, true
+}
+
+// FaultTouches returns the total number of reads that consumed any
+// armed fault's location and the Tick cycle of the latest one — the
+// corruption footprint the divergence recorder reports.
+func (a *Array) FaultTouches() (n, last uint64) {
+	for _, fs := range a.faults {
+		n += fs.touches
+		if fs.lastTouch > last {
+			last = fs.lastTouch
+		}
+	}
+	return n, last
 }
 
 // SetValidFunc attaches a validity probe used by the invalid-entry early
@@ -575,6 +595,8 @@ func (a *Array) observeRead(entry, firstBit, nbits int, v uint64) uint64 {
 		if !fs.observed {
 			fs.observed, fs.obsCycle = true, a.tickCycle
 		}
+		fs.touches++
+		fs.lastTouch = a.tickCycle
 		fs.status = StatusConsumed
 	}
 	if changed {
@@ -638,6 +660,8 @@ func (a *Array) observeReadBytes(entry, off, n int, dst []byte) {
 		if !fs.observed {
 			fs.observed, fs.obsCycle = true, a.tickCycle
 		}
+		fs.touches++
+		fs.lastTouch = a.tickCycle
 		fs.status = StatusConsumed
 	}
 	if changed {

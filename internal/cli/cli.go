@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/divergence"
 	"repro/internal/sims"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -51,6 +52,7 @@ type CampaignFlags struct {
 	WindowPre     uint64
 	WindowPost    uint64
 	WindowVerify  int
+	Divergence    bool
 }
 
 // Campaign registers the shared campaign-execution flags on fs.
@@ -74,6 +76,7 @@ func Campaign(fs *flag.FlagSet, defaultN int) *CampaignFlags {
 	fs.Uint64Var(&c.WindowPre, "window-pre", 2000, "cycle-accurate margin before the earliest fault arms (with -detail-window)")
 	fs.Uint64Var(&c.WindowPost, "window-post", 1000, "cycle-accurate margin after the last fault settles (with -detail-window)")
 	fs.IntVar(&c.WindowVerify, "window-verify", 0, "re-simulate up to this many windowed masks per campaign fully cycle-accurately and fail on a class mismatch (implies -detail-window)")
+	fs.BoolVar(&c.Divergence, "divergence", false, "record per-run divergence provenance (first architectural divergence vs golden, corruption footprint, masking depth) to <key>.divergence.jsonl")
 	return c
 }
 
@@ -102,6 +105,7 @@ func (c *CampaignFlags) Apply(cells []core.CampaignCell) core.CampaignConfig {
 		PruneVerify:      c.PruneVerify,
 		CheckpointLadder: c.Ladder,
 		RunWallLimit:     c.RunWallLimit,
+		Divergence:       c.Divergence,
 	}
 	// The margin flags carry defaults, so they bind only when windowing
 	// is actually on — a windowless config must not grow schema-v2
@@ -124,6 +128,7 @@ type TelemetryFlags struct {
 	ProgressEvery time.Duration
 	MetricsAddr   string
 	Trace         bool
+	Spans         bool
 	SnapshotJSON  string
 }
 
@@ -132,35 +137,54 @@ func Telemetry(fs *flag.FlagSet, progressDefault time.Duration) *TelemetryFlags 
 	t := &TelemetryFlags{}
 	fs.BoolVar(&t.Quiet, "quiet", false, "suppress the periodic progress lines (the final summary stays)")
 	fs.DurationVar(&t.ProgressEvery, "progress-every", progressDefault, "period of the progress lines")
-	fs.StringVar(&t.MetricsAddr, "metrics-addr", "", "serve /metrics, /snapshot.json and /debug/pprof on this address (e.g. 127.0.0.1:8321)")
+	fs.StringVar(&t.MetricsAddr, "metrics-addr", "", "serve /metrics, /snapshot.json, /events and /debug/pprof on this address (e.g. 127.0.0.1:8321)")
 	fs.BoolVar(&t.Trace, "trace", false, "write a JSONL injection trace into the logs repository")
+	fs.BoolVar(&t.Spans, "spans", false, "write a JSONL span trace (campaign/cell/run/phase timings) into the logs repository")
 	fs.StringVar(&t.SnapshotJSON, "snapshot-json", "", "write the final telemetry snapshot as JSON to this file")
 	return t
 }
 
 // Observability bundles the live telemetry stack of one command
-// invocation: the collector, the optional trace sink, the optional
-// metrics server and the optional progress reporter. Build it with
-// TelemetryFlags.Start, stop the reporter before printing the summary,
-// Close everything on the way out.
+// invocation: the collector, the SSE event stream, the optional trace
+// sink and span tracer, the optional metrics server and the optional
+// progress reporter. Build it with TelemetryFlags.Start, stop the
+// reporter before printing the summary, Close everything on the way
+// out.
 type Observability struct {
 	Collector *telemetry.Collector
-	Trace     *telemetry.TraceSink
-	server    *telemetry.Server
-	reporter  *telemetry.Reporter
+	// Events is the SSE fan-out, always present (it costs nothing with
+	// no subscribers); it is mounted at /events on the metrics server
+	// and available for a command's own listener (faultcampd).
+	Events *telemetry.EventStream
+	Trace  *telemetry.TraceSink
+	// Tracer is non-nil when -spans asked for span recording; attach it
+	// to the campaign (core.Attach.Tracer or the coordinator options)
+	// and flush the file with FlushSpans.
+	Tracer   *telemetry.Tracer
+	spanBuf  *telemetry.SpanBuffer
+	server   *telemetry.Server
+	reporter *telemetry.Reporter
 }
 
 // Start builds the telemetry stack the parsed flags ask for. Server
 // announcements go to errw.
 func (t *TelemetryFlags) Start(errw io.Writer) (*Observability, error) {
 	o := &Observability{Collector: telemetry.New()}
+	o.Events = telemetry.NewEventStream(o.Collector)
+	o.Collector.AddSink(o.Events)
+	if t.Spans {
+		o.Tracer = telemetry.NewTracer(fmt.Sprintf("t-%d-%d", os.Getpid(), time.Now().Unix()), "c")
+		o.spanBuf = telemetry.NewSpanBuffer()
+		o.Tracer.AddSink(o.spanBuf)
+		o.Tracer.AddSink(o.Events)
+	}
 	if t.MetricsAddr != "" {
-		srv, err := o.Collector.Serve(t.MetricsAddr)
+		srv, err := telemetry.ServeHandler(t.MetricsAddr, o.Collector.HandlerWithEvents(o.Events))
 		if err != nil {
 			return nil, err
 		}
 		o.server = srv
-		fmt.Fprintf(errw, "metrics listening on http://%s (/metrics /snapshot.json /debug/pprof)\n", srv.Addr())
+		fmt.Fprintf(errw, "metrics listening on http://%s (/metrics /snapshot.json /events /debug/pprof)\n", srv.Addr())
 	}
 	if t.Trace {
 		o.Trace = telemetry.NewTraceSink()
@@ -170,10 +194,21 @@ func (t *TelemetryFlags) Start(errw io.Writer) (*Observability, error) {
 }
 
 // StartReporter starts the periodic progress reporter on w unless the
-// flags asked for quiet.
+// flags asked for quiet. Each tick also broadcasts a "progress" frame
+// to the SSE subscribers.
 func (o *Observability) StartReporter(t *TelemetryFlags, w io.Writer) {
+	o.StartReporterLine(t, w, func() string { return o.Collector.Snapshot().ProgressLine() })
+}
+
+// StartReporterLine is StartReporter with a custom line renderer — the
+// distributed coordinator's progress view (per-worker lease columns) is
+// wider than one collector's snapshot.
+func (o *Observability) StartReporterLine(t *TelemetryFlags, w io.Writer, line func() string) {
 	if !t.Quiet && o.reporter == nil {
-		o.reporter = telemetry.StartReporter(o.Collector, w, t.ProgressEvery)
+		o.reporter = telemetry.StartReporterFunc(w, t.ProgressEvery, func() string {
+			o.Events.Progress(o.Collector.Snapshot())
+			return line()
+		})
 	}
 }
 
@@ -186,9 +221,11 @@ func (o *Observability) StopReporter() {
 	}
 }
 
-// Close stops the reporter and the metrics server.
+// Close stops the reporter, disconnects the SSE subscribers, and stops
+// the metrics server.
 func (o *Observability) Close() {
 	o.StopReporter()
+	o.Events.Close()
 	if o.server != nil {
 		o.server.Close()
 		o.server = nil
@@ -231,4 +268,45 @@ func (o *Observability) FlushTrace(logs *core.LogsRepo, key string) (string, err
 		return "", err
 	}
 	return logs.TracePath(key), nil
+}
+
+// FlushSpans writes the buffered spans (when -spans is active) into the
+// logs repository under key, and reports the span file path; "" when
+// span tracing is off.
+func (o *Observability) FlushSpans(logs *core.LogsRepo, key string) (string, error) {
+	if o.spanBuf == nil {
+		return "", nil
+	}
+	f, err := logs.CreateSpans(key)
+	if err != nil {
+		return "", err
+	}
+	if err := o.spanBuf.Flush(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return logs.SpansPath(key), nil
+}
+
+// FlushDivergence writes a divergence sink into the logs repository
+// under key, and reports the file path; "" when sink is nil.
+func FlushDivergence(sink *divergence.Sink, logs *core.LogsRepo, key string) (string, error) {
+	if sink == nil {
+		return "", nil
+	}
+	f, err := logs.CreateDivergence(key)
+	if err != nil {
+		return "", err
+	}
+	if err := sink.Flush(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return logs.DivergencePath(key), nil
 }

@@ -4,8 +4,10 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"time"
 
 	"repro/internal/bitarray"
+	"repro/internal/divergence"
 	"repro/internal/fault"
 )
 
@@ -156,6 +158,22 @@ type runStats struct {
 	windowExited  bool
 	fastSteps     uint64
 	detailCycles  uint64
+	// entrySteps/tailSteps split fastSteps into the fast-forward and
+	// drain phases for span synthesis; entryWall/detailWall/tailWall
+	// are the host wall times of the three execution phases.
+	entrySteps uint64
+	tailSteps  uint64
+	entryWall  time.Duration
+	detailWall time.Duration
+	tailWall   time.Duration
+	// Divergence provenance: div, when non-nil, is the commit-stream
+	// probe runInjection attaches to the simulated machine; touches,
+	// lastTouch and corrupt are the corruption footprint gathered from
+	// the watched arrays after the run.
+	div       *divergence.Probe
+	touches   uint64
+	lastTouch uint64
+	corrupt   []string
 }
 
 // earlyStopReason names the §III.B proof behind an early-masked run.
@@ -179,6 +197,13 @@ func (s *runStats) gather(watch []*bitarray.Array) {
 		s.obsWrites += arr.ObservedWrites()
 		if c, ok := arr.FirstObservation(); ok && (!s.observed || c < s.firstObs) {
 			s.observed, s.firstObs = true, c
+		}
+		if n, last := arr.FaultTouches(); n > 0 {
+			s.touches += n
+			if last > s.lastTouch {
+				s.lastTouch = last
+			}
+			s.corrupt = append(s.corrupt, arr.Name())
 		}
 		switch st := arr.FaultStatus(); st {
 		case bitarray.StatusOverwritten:
@@ -248,6 +273,7 @@ func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo
 				rungCycle = rungs[ri].Cycle
 			}
 			if entry > rungCycle {
+				t0 := time.Now()
 				var fast uint64
 				seeded, fast = windowEntry(wi, golden, entry)
 				if seeded {
@@ -255,6 +281,8 @@ func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo
 					if stats != nil {
 						stats.windowEntered = true
 						stats.fastSteps += fast
+						stats.entrySteps = fast
+						stats.entryWall = time.Since(t0)
 					}
 				}
 			}
@@ -308,15 +336,24 @@ func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo
 	}
 	sim.WatchArrays(watch)
 	sim.SetEarlyStop(earlyStop)
+	if stats != nil && stats.div != nil {
+		if cp, ok := sim.(CommitProbed); ok {
+			cp.SetCommitProbe(stats.div)
+		}
+	}
 	if timeoutFactor == 0 {
 		timeoutFactor = 3
 	}
 	var res RunResult
 	exited := false
+	t0 := time.Now()
 	if canWindow && !win.noExit {
 		res, exited = wi.RunWindow(golden.Cycles*timeoutFactor, win.post)
 	} else {
 		res = sim.Run(golden.Cycles * timeoutFactor)
+	}
+	if stats != nil {
+		stats.detailWall = time.Since(t0)
 	}
 	// Gather before any capture: the watched arrays' raw access counters
 	// still bump on capture-time reads.
@@ -328,11 +365,14 @@ func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo
 		if err != nil {
 			return LogRecord{}, fmt.Errorf("core: mask %d: window exit: %v", m.ID, err)
 		}
+		t1 := time.Now()
 		var tailSteps uint64
 		res, tailSteps = windowTail(wi.Image(), st, golden, timeoutFactor)
 		if stats != nil {
 			stats.windowExited = true
 			stats.fastSteps += tailSteps
+			stats.tailSteps = tailSteps
+			stats.tailWall = time.Since(t1)
 			stats.detailCycles = st.Cycle - startCycle
 		}
 	} else if canWindow && stats != nil && res.Cycles >= startCycle {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/divergence"
 	"repro/internal/fault"
 	"repro/internal/prune"
 	"repro/internal/telemetry"
@@ -21,7 +22,9 @@ import (
 //	2 — detail-window fields (detail_window, window_pre_cycles,
 //	    window_post_cycles, window_verify). A config that uses none of
 //	    them is served as version 1, so legacy readers keep working.
-const ConfigSchemaVersion = 2
+//	3 — divergence-provenance recording (divergence). Served as the
+//	    lowest version that can express the config, as before.
+const ConfigSchemaVersion = 3
 
 // CampaignCell is one {tool, benchmark, structure} campaign of a
 // config. Cells reference tools and benchmarks by name — a config is
@@ -110,6 +113,13 @@ type CampaignConfig struct {
 	WindowPre    uint64 `json:"window_pre_cycles,omitempty"`
 	WindowPost   uint64 `json:"window_post_cycles,omitempty"`
 	WindowVerify int    `json:"window_verify,omitempty"`
+	// Divergence enables provenance recording: every run is probed
+	// against the golden commit-stream signature and a per-mask
+	// divergence record (first architectural divergence, corruption
+	// footprint, masking depth) is produced alongside the campaign logs.
+	// In a distributed campaign the workers measure and the coordinator
+	// assembles the single-node-identical record file.
+	Divergence bool `json:"divergence,omitempty"`
 }
 
 // usesWindow reports whether any detail-window field is in use — the
@@ -123,6 +133,9 @@ func (c CampaignConfig) usesWindow() bool {
 // stamped with when served over the wire: the lowest version that can
 // express it.
 func (c CampaignConfig) WireSchemaVersion() int {
+	if c.Divergence {
+		return 3
+	}
 	if c.usesWindow() {
 		return 2
 	}
@@ -258,6 +271,15 @@ type Attach struct {
 	// as the exactly-once completion ledger.
 	Journal *fault.Journal
 	Resume  bool
+	// Divergence receives the per-mask provenance records when the
+	// config's Divergence knob is on; nil drops them.
+	Divergence *divergence.Sink
+	// Tracer emits campaign/cell/run/phase spans parented under
+	// TraceParent; SpanWorker labels the emitting process on run and
+	// phase spans.
+	Tracer      *telemetry.Tracer
+	TraceParent string
+	SpanWorker  string
 }
 
 func (c CampaignConfig) matrixOptions(att Attach, cache *GoldenCache) MatrixOptions {
@@ -275,6 +297,10 @@ func (c CampaignConfig) matrixOptions(att Attach, cache *GoldenCache) MatrixOpti
 		WindowPre:        c.WindowPre,
 		WindowPost:       c.WindowPost,
 		WindowVerify:     c.WindowVerify,
+		Divergence:       att.Divergence,
+		Tracer:           att.Tracer,
+		TraceParent:      att.TraceParent,
+		SpanWorker:       att.SpanWorker,
 	}
 }
 
@@ -404,6 +430,39 @@ type ShardRun struct {
 	WindowExited   bool   `json:"window_exited,omitempty"`
 	FastSteps      uint64 `json:"fast_steps,omitempty"`
 	DetailCycles   uint64 `json:"detail_cycles,omitempty"`
+	// Divergence provenance of simulated rows (configs with Divergence
+	// on; all additive, so protocol version 1 peers interoperate).
+	Diverged          bool     `json:"diverged,omitempty"`
+	DivergeCycle      uint64   `json:"diverge_cycle,omitempty"`
+	DivergeIndex      uint64   `json:"diverge_index,omitempty"`
+	FaultTouches      uint64   `json:"fault_touches,omitempty"`
+	LastTouchCycle    uint64   `json:"last_touch_cycle,omitempty"`
+	CorruptStructures []string `json:"corrupt_structures,omitempty"`
+}
+
+// DivergenceRecord rebuilds the divergence-provenance row of this run —
+// the coordinator's merge path calls it with the resolved record so the
+// assembled file is byte-identical to a single-node run's.
+func (s ShardRun) DivergenceRecord(campaign string) divergence.Record {
+	cls, _ := (Parser{}).Classify(s.Record)
+	d := divergence.Record{
+		Campaign:          campaign,
+		MaskID:            s.Record.MaskID,
+		Status:            s.Record.Status,
+		Class:             string(cls),
+		Cycles:            s.Record.Cycles,
+		Observed:          s.Observed,
+		FirstObsCycle:     s.FirstObsCycle,
+		FaultTouches:      s.FaultTouches,
+		LastTouchCycle:    s.LastTouchCycle,
+		CorruptStructures: s.CorruptStructures,
+		Diverged:          s.Diverged,
+		DivergeCycle:      s.DivergeCycle,
+		DivergeIndex:      s.DivergeIndex,
+		Pruned:            s.Pruned,
+	}
+	d.Derive()
+	return d
 }
 
 // ShardResult is the outcome of one executed shard: the golden header
@@ -472,13 +531,34 @@ func RunShard(cfg CampaignConfig, campaign, lo, hi int, resolve Resolver, att At
 	collector := telemetry.New()
 	capture := &eventCapture{byMask: make(map[int]telemetry.RunEvent, hi-lo)}
 	collector.AddSink(capture)
-	opt := cfg.matrixOptions(Attach{Telemetry: collector}, cache)
+	// Divergence is measured shard-locally into a private sink and
+	// shipped per run; the coordinator assembles the campaign-wide file.
+	var dsink *divergence.Sink
+	if cfg.Divergence {
+		dsink = divergence.NewSink()
+	}
+	opt := cfg.matrixOptions(Attach{
+		Telemetry:   collector,
+		Divergence:  dsink,
+		Tracer:      att.Tracer,
+		TraceParent: att.TraceParent,
+		SpanWorker:  att.SpanWorker,
+	}, cache)
 
 	results, plans, err := runMatrix([]CampaignSpec{spec}, opt, []maskWindow{{lo, hi}})
 	if err != nil {
 		return nil, err
 	}
 	res, plan := results[0], plans[0]
+
+	var divByMask map[int]divergence.Record
+	if dsink != nil {
+		recs := dsink.Records()
+		divByMask = make(map[int]divergence.Record, len(recs))
+		for _, d := range recs {
+			divByMask[d.MaskID] = d
+		}
+	}
 
 	out := &ShardResult{Golden: res.Golden, Runs: make([]ShardRun, 0, hi-lo)}
 	for m := lo; m < hi; m++ {
@@ -510,6 +590,11 @@ func RunShard(cfg CampaignConfig, campaign, lo, hi int, resolve Resolver, att At
 				run.LadderRestored, run.RungCycle = ev.LadderRestored, ev.RungCycle
 				run.Windowed, run.WindowEntered, run.WindowExited = ev.Windowed, ev.WindowEntered, ev.WindowExited
 				run.FastSteps, run.DetailCycles = ev.FastSteps, ev.DetailCycles
+			}
+			if d, ok := divByMask[run.Record.MaskID]; ok {
+				run.Diverged, run.DivergeCycle, run.DivergeIndex = d.Diverged, d.DivergeCycle, d.DivergeIndex
+				run.FaultTouches, run.LastTouchCycle = d.FaultTouches, d.LastTouchCycle
+				run.CorruptStructures = d.CorruptStructures
 			}
 		}
 		out.Runs = append(out.Runs, run)

@@ -89,6 +89,9 @@ func runGuarded(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo, 
 		var inner *runStats
 		if stats != nil {
 			inner = new(runStats)
+			// The commit probe rides into the contained run; the normal
+			// path's copy-back returns it unchanged.
+			inner.div = stats.div
 		}
 		rec, err := runContained(f, rungs, m, golden, timeoutFactor, earlyStop, win, inner)
 		ch <- result{rec, err, inner}
@@ -102,6 +105,13 @@ func runGuarded(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo, 
 		}
 		return res.rec, res.err
 	case <-timer.C:
+		if stats != nil {
+			// The abandoned goroutine keeps folding commits into the
+			// probe; drop our reference so the caller never reads racing
+			// state. The wall-timeout record carries no divergence
+			// verdict — host-timing verdicts are nondeterministic anyway.
+			stats.div = nil
+		}
 		return wallTimeoutRecord(m), nil
 	}
 }

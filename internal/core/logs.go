@@ -71,6 +71,36 @@ func (r *LogsRepo) TracePath(name string) string {
 	return filepath.Join(r.dir, name+".trace.jsonl")
 }
 
+// CreateDivergence creates (truncating) the JSONL divergence-provenance
+// file named name+".divergence.jsonl" in the repository.
+func (r *LogsRepo) CreateDivergence(name string) (*os.File, error) {
+	f, err := os.Create(r.DivergencePath(name))
+	if err != nil {
+		return nil, fmt.Errorf("core: creating divergence file for %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// DivergencePath returns the divergence-provenance file path for a name.
+func (r *LogsRepo) DivergencePath(name string) string {
+	return filepath.Join(r.dir, name+".divergence.jsonl")
+}
+
+// CreateSpans creates (truncating) the JSONL span-trace file named
+// name+".spans.jsonl" in the repository.
+func (r *LogsRepo) CreateSpans(name string) (*os.File, error) {
+	f, err := os.Create(r.SpansPath(name))
+	if err != nil {
+		return nil, fmt.Errorf("core: creating spans file for %s: %w", name, err)
+	}
+	return f, nil
+}
+
+// SpansPath returns the span-trace file path for a name.
+func (r *LogsRepo) SpansPath(name string) string {
+	return filepath.Join(r.dir, name+".spans.jsonl")
+}
+
 // JournalPath returns the durable run-journal path for a name — the
 // append-only crash-recovery record stream that lives next to the
 // campaign logs (the logs file itself is rewritten whole at the end of a

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/divergence"
 	"repro/internal/fault"
 	"repro/internal/prune"
 	"repro/internal/telemetry"
@@ -52,6 +53,11 @@ type goldenEntry struct {
 	// golden run.
 	profMu   sync.Mutex
 	profiles map[string][]prune.Profiles
+
+	// sigMu guards the memoized commit-stream signature (see
+	// CommitSignature); building one simulates a whole golden run.
+	sigMu sync.Mutex
+	sig   *divergence.Signature
 }
 
 // NewGoldenCache returns an empty memoizer.
@@ -218,6 +224,36 @@ func (c *GoldenCache) Profiles(tool, bench string, f Factory, rungs []LadderRung
 	return p, nil
 }
 
+// CommitSignature returns the memoized golden commit-stream signature
+// of the {tool, bench} row — the per-block hash sequence of fault-free
+// committed-instruction PCs that divergence probes compare injected
+// runs against — building it on first use with one probed golden
+// replay. A nil signature (no error) means the simulator exposes no
+// commit probe; divergence records for the row then carry the
+// corruption footprint but no divergence verdict.
+func (c *GoldenCache) CommitSignature(tool, bench string, f Factory) (*divergence.Signature, error) {
+	e := c.entry(tool, bench)
+	e.sigMu.Lock()
+	defer e.sigMu.Unlock()
+	if e.sig != nil {
+		return e.sig, nil
+	}
+	sim := f()
+	cp, ok := sim.(CommitProbed)
+	if !ok {
+		return nil, nil
+	}
+	b := divergence.NewSignatureBuilder()
+	cp.SetCommitProbe(b)
+	res := sim.Run(1 << 62)
+	if res.Status != RunCompleted {
+		return nil, fmt.Errorf("core: signature replay for %s/%s did not complete: %v (%s)", tool, bench, res.Status, res.AssertMsg)
+	}
+	sig := b.Signature()
+	e.sig = &sig
+	return e.sig, nil
+}
+
 // rungCycles projects a ladder onto its capture cycles — the part of a
 // rung that identifies the replay trajectory it induces.
 func rungCycles(rungs []LadderRung) []uint64 {
@@ -305,6 +341,22 @@ type MatrixOptions struct {
 	// disagrees with the windowed verdict — the differential guard of
 	// the window-exit proof. It implies DetailWindow.
 	WindowVerify int
+	// Divergence, when non-nil, receives one provenance record per mask:
+	// where the injected run's committed-instruction stream first left
+	// the golden path (measured against a per-row golden signature
+	// memoized in the golden cache), how long the corruption lived in the
+	// watched arrays, and how the run ended. Pruned and resumed masks get
+	// footprint-free records flagged with their provenance. Like the
+	// records and the trace, the sink's sorted contents are byte-stable
+	// across worker counts.
+	Divergence *divergence.Sink
+	// Tracer, when non-nil, emits campaign/cell/run/phase spans for the
+	// matrix, parented under TraceParent (empty for a root span).
+	// SpanWorker labels the emitting process on run and phase spans (a
+	// dist worker ID, or "local").
+	Tracer      *telemetry.Tracer
+	TraceParent string
+	SpanWorker  string
 }
 
 // scheduledRun is one injection run of the flattened matrix queue.
@@ -389,6 +441,17 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 	}
 	inWindow := func(spec, m int) bool {
 		return windows == nil || (m >= windows[spec].lo && m < windows[spec].hi)
+	}
+
+	// Span tracing: the matrix is one campaign span; all golden-derived
+	// preparation (reference runs, ladders, prune profiles, commit
+	// signatures) is covered by one "golden" phase child, and each
+	// campaign gets a cell span the run spans parent on.
+	tr := opt.Tracer
+	var matrixSpan, goldenSpan *telemetry.ActiveSpan
+	if tr != nil {
+		matrixSpan = tr.Begin(telemetry.SpanCampaign, "matrix", opt.TraceParent)
+		goldenSpan = tr.Begin(telemetry.SpanPhase, "golden", matrixSpan.ID())
 	}
 
 	preps := make([]campaignPrep, len(specs))
@@ -543,6 +606,32 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 			tool = preps[i].golden.Tool
 		}
 		keys[i] = fault.CampaignKey(tool, spec.Benchmark, spec.Structure)
+	}
+
+	// Divergence provenance: resolve the golden commit-stream signature
+	// once per {tool, benchmark} row. Supplied-golden specs resolve
+	// through the cache too — the signature replay is deterministic and
+	// depends only on the factory, so the row's cells share one replay.
+	dsink := opt.Divergence
+	var sigs []*divergence.Signature
+	if dsink != nil {
+		sigs = make([]*divergence.Signature, len(specs))
+		for i, spec := range specs {
+			sig, err := cache.CommitSignature(preps[i].golden.Tool, spec.Benchmark, spec.Factory)
+			if err != nil {
+				return nil, nil, err
+			}
+			sigs[i] = sig
+		}
+	}
+
+	var cellSpans []*telemetry.ActiveSpan
+	if tr != nil {
+		goldenSpan.End()
+		cellSpans = make([]*telemetry.ActiveSpan, len(specs))
+		for i := range specs {
+			cellSpans[i] = tr.Begin(telemetry.SpanCell, keys[i], matrixSpan.ID())
+		}
 	}
 
 	// Resume: index the journal's acknowledged runs by {campaign, mask}.
@@ -703,6 +792,21 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 			})
 		}
 	}
+	// Resumed masks get divergence records rebuilt from the journal's
+	// provenance: outcome and observation survive, the commit-stream
+	// verdict and footprint do not (the run happened in another process),
+	// so the rows are flagged Resumed rather than byte-compared against
+	// an uninterrupted campaign's.
+	if dsink != nil {
+		for _, r := range resumed {
+			d := divergenceRecord(keys[r.spec], r.rec, nil)
+			d.Observed = r.entry.Observed
+			d.FirstObsCycle = r.entry.FirstObsCycle
+			d.Resumed = true
+			d.Derive()
+			dsink.Add(d)
+		}
+	}
 
 	var (
 		mu          sync.Mutex
@@ -776,11 +880,16 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 				}
 				var stats *runStats
 				var runStart time.Time
-				if tel != nil || jnl != nil {
+				if tel != nil || jnl != nil || dsink != nil || tr != nil {
 					stats = new(runStats)
+				}
+				if dsink != nil && sigs[r.spec] != nil {
+					stats.div = divergence.NewProbe(sigs[r.spec])
 				}
 				if tel != nil {
 					tel.RunStarted()
+				}
+				if tel != nil || tr != nil {
 					runStart = time.Now()
 				}
 				rec, err := runGuarded(spec.Factory, prep.rungs, spec.Masks[r.mask],
@@ -803,11 +912,18 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 						return
 					}
 				}
+				if dsink != nil {
+					dsink.Add(divergenceRecord(keys[r.spec], rec, stats))
+				}
 				if tel != nil {
 					cls, _ := (Parser{}).Classify(rec)
 					early := ""
 					if rec.Status == RunEarlyMasked.String() {
 						early = stats.earlyStopReason()
+					}
+					diverged := false
+					if stats.div != nil {
+						diverged, _, _ = stats.div.Diverged()
 					}
 					tel.RunDone(camps[r.spec], telemetry.RunEvent{
 						Campaign:       keys[r.spec],
@@ -834,7 +950,11 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 						WindowExited:   stats.windowExited,
 						FastSteps:      stats.fastSteps,
 						DetailCycles:   stats.detailCycles,
+						Diverged:       diverged,
 					})
+				}
+				if tr != nil {
+					emitRunSpans(tr, cellSpans[r.spec].ID(), opt.SpanWorker, keys[r.spec], rec, stats, runStart)
 				}
 			}
 		}()
@@ -883,6 +1003,11 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 				records[i][m] = rec
 				pruned = "replicated"
 				repMask = spec.Masks[d.Rep].ID
+			}
+			if dsink != nil {
+				d := divergenceRecord(keys[i], records[i][m], nil)
+				d.Pruned = pruned
+				dsink.Add(d)
 			}
 			if tel != nil {
 				rec := records[i][m]
@@ -950,6 +1075,14 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 		}
 	}
 
+	if tr != nil {
+		for i := range specs {
+			key := keys[i]
+			cellSpans[i].End(func(sp *telemetry.Span) { sp.Campaign = key })
+		}
+		matrixSpan.End()
+	}
+
 	results := make([]*CampaignResult, len(specs))
 	plans := make([]*prune.Plan, len(specs))
 	for i := range specs {
@@ -957,6 +1090,81 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 		plans[i] = preps[i].plan
 	}
 	return results, plans, nil
+}
+
+// divergenceRecord builds the provenance row of one completed mask.
+// stats is nil for rows nothing was simulated for in this process
+// (pruned, resumed); they carry the outcome but no footprint or
+// divergence verdict.
+func divergenceRecord(campaign string, rec LogRecord, stats *runStats) divergence.Record {
+	cls, _ := (Parser{}).Classify(rec)
+	d := divergence.Record{
+		Campaign: campaign,
+		MaskID:   rec.MaskID,
+		Status:   rec.Status,
+		Class:    string(cls),
+		Cycles:   rec.Cycles,
+	}
+	if stats != nil {
+		d.Observed = stats.observed
+		d.FirstObsCycle = stats.firstObs
+		d.FaultTouches = stats.touches
+		d.LastTouchCycle = stats.lastTouch
+		d.CorruptStructures = stats.corrupt
+		if stats.div != nil {
+			d.Diverged, d.DivergeCycle, d.DivergeIndex = stats.div.Diverged()
+		}
+	}
+	d.Derive()
+	return d
+}
+
+// emitRunSpans emits the span of one injection run plus its execution
+// phases, synthesized from the per-run stats: fast-forward (functional
+// window entry), window (the cycle-accurate section — the whole run
+// when no window applies is not a phase of its own), and drain (the
+// functional tail after window exit).
+func emitRunSpans(tr *telemetry.Tracer, parent, worker, campaign string, rec LogRecord, stats *runStats, start time.Time) {
+	mask := rec.MaskID
+	run := telemetry.Span{
+		SpanID:      tr.NewSpanID(),
+		ParentID:    parent,
+		Kind:        telemetry.SpanRun,
+		Name:        fmt.Sprintf("mask-%d", rec.MaskID),
+		Campaign:    campaign,
+		MaskID:      &mask,
+		Worker:      worker,
+		StartUnixNS: start.UnixNano(),
+		EndUnixNS:   time.Now().UnixNano(),
+		Cycles:      rec.Cycles,
+	}
+	tr.Emit(run)
+	t := start
+	phase := func(name string, wall time.Duration, cycles, steps uint64) {
+		tr.Emit(telemetry.Span{
+			SpanID:      tr.NewSpanID(),
+			ParentID:    run.SpanID,
+			Kind:        telemetry.SpanPhase,
+			Name:        name,
+			Campaign:    campaign,
+			MaskID:      &mask,
+			Worker:      worker,
+			StartUnixNS: t.UnixNano(),
+			EndUnixNS:   t.Add(wall).UnixNano(),
+			Cycles:      cycles,
+			Steps:       steps,
+		})
+		t = t.Add(wall)
+	}
+	if stats.windowEntered {
+		phase("fast-forward", stats.entryWall, 0, stats.entrySteps)
+	}
+	if stats.windowed {
+		phase("window", stats.detailWall, stats.detailCycles, 0)
+	}
+	if stats.windowExited {
+		phase("drain", stats.tailWall, 0, stats.tailSteps)
+	}
 }
 
 // sampleWindowVerify picks up to n evenly spaced masks from the

@@ -135,6 +135,23 @@ type Simulator interface {
 // Factory builds a fresh Simulator instance for one run.
 type Factory func() Simulator
 
+// CommitProbe observes the committed architectural instruction stream
+// of a simulated machine: one call per committed instruction with its
+// PC, its architectural commit index (CommittedInstrs-1, continuous
+// across checkpoint restores and window seams) and the commit cycle.
+// The divergence recorder attaches one per injected run; the commit
+// path pays a nil check when none is attached.
+type CommitProbe interface {
+	Commit(pc, index, cycle uint64)
+}
+
+// CommitProbed is the optional capability of simulators that can
+// attach a CommitProbe to their commit stage (both detailed cores
+// implement it).
+type CommitProbed interface {
+	SetCommitProbe(p CommitProbe)
+}
+
 // Checkpointer is the optional checkpointing capability of a simulator
 // (both simulators implement it). The campaign controller uses it the
 // way the paper uses simulator checkpoints: the fault-free prefix of the

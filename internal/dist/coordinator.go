@@ -6,10 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"reflect"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/divergence"
 	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
@@ -40,6 +44,18 @@ type CoordinatorOptions struct {
 	// to it — the exactly-once completion ledger of the distributed
 	// campaign (workers never journal).
 	JournalFor func(key string) (*fault.Journal, error)
+	// Divergence, when non-nil, accumulates one divergence-provenance
+	// record per merged mask, rebuilt from the per-run fields workers
+	// ship on ShardRun — so the sorted sink flushes byte-identical to a
+	// single-node -divergence run of the same config (replicated rows
+	// are resolved coordinator-side at finalize, like the plan fill-in).
+	Divergence *divergence.Sink
+	// Tracer, when non-nil, assembles the campaign's end-to-end span
+	// tree: a root campaign span, a pre-identified shard span per shard
+	// (workers parent their matrix spans under it via Shard.SpanID), a
+	// coordinator-side merge phase per completion, and every worker
+	// span forwarded on arrival.
+	Tracer *telemetry.Tracer
 	// Logf, when non-nil, receives coordinator lifecycle lines (lease
 	// grants, requeues, duplicates).
 	Logf func(format string, args ...any)
@@ -96,7 +112,27 @@ type shardState struct {
 	worker   string
 	expiry   time.Time // lease deadline while leased
 	eligible time.Time // earliest next assignment while queued
+	leased   time.Time // when the current lease was granted (span start)
 	retries  int
+}
+
+// workerView is the coordinator's per-worker accounting behind the
+// fleet snapshot, /fleet.json and the progress line's worker columns.
+type workerView struct {
+	lastSeen time.Time
+	shard    int // currently leased shard, -1 when idle
+	done     int // shards completed (accepted)
+	snap     *telemetry.Snapshot
+	final    bool // worker posted its final snapshot (draining/exited)
+}
+
+// WorkerStatus is the exported per-worker view served at /fleet.json.
+type WorkerStatus struct {
+	ID         string  `json:"id"`
+	Shard      int     `json:"shard"` // currently leased shard, -1 when idle
+	ShardsDone int     `json:"shards_done"`
+	LagSeconds float64 `json:"lag_seconds"` // seconds since last contact
+	Final      bool    `json:"final,omitempty"`
 }
 
 // pendingReplica is a replicated row awaiting its representative's
@@ -126,6 +162,8 @@ type Coordinator struct {
 	replicas  []pendingReplica
 	journals  map[string]*fault.Journal
 	camps     []*telemetry.CampaignStats
+	workers   map[string]*workerView
+	rootSpan  *telemetry.ActiveSpan
 	stats     Stats
 	failure   error
 	finished  bool
@@ -155,6 +193,7 @@ func New(cfg core.CampaignConfig, opt CoordinatorOptions) (*Coordinator, error) 
 		records:   make([][]core.LogRecord, len(cfg.Campaigns)),
 		filled:    make([][]bool, len(cfg.Campaigns)),
 		journals:  make(map[string]*fault.Journal),
+		workers:   make(map[string]*workerView),
 		doneCh:    make(chan struct{}),
 	}
 	total := 0
@@ -176,6 +215,16 @@ func New(cfg core.CampaignConfig, opt CoordinatorOptions) (*Coordinator, error) 
 	}
 	c.remaining = len(c.shards)
 	c.stats.Shards = len(c.shards)
+	if tr := opt.Tracer; tr != nil {
+		// The root span opens now and closes when the campaign finishes;
+		// each shard's span ID is minted up front so workers can parent
+		// their spans under it before the shard span itself is emitted.
+		c.rootSpan = tr.Begin(telemetry.SpanCampaign, "campaign", "")
+		for _, s := range c.shards {
+			s.shard.TraceID = tr.TraceID()
+			s.shard.SpanID = tr.NewSpanID()
+		}
+	}
 	if tel := opt.Telemetry; tel != nil {
 		// Worker pools live in the worker processes; the coordinator has
 		// no pool of its own, so the utilization gauge stays off.
@@ -213,8 +262,23 @@ func (c *Coordinator) failLocked(err error) {
 func (c *Coordinator) finishLocked() {
 	if !c.finished {
 		c.finished = true
+		if c.rootSpan != nil {
+			c.rootSpan.End()
+		}
 		close(c.doneCh)
 	}
+}
+
+// workerLocked returns (creating if needed) a worker's view, stamping
+// its last-contact time.
+func (c *Coordinator) workerLocked(id string, now time.Time) *workerView {
+	w, ok := c.workers[id]
+	if !ok {
+		w = &workerView{shard: -1}
+		c.workers[id] = w
+	}
+	w.lastSeen = now
+	return w
 }
 
 // sweepLocked requeues the shards of workers that stopped heartbeating.
@@ -243,6 +307,8 @@ func (c *Coordinator) lease(workerID string) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.opt.now()
+	w := c.workerLocked(workerID, now)
+	w.shard = -1 // a polling worker is idle until a grant below
 	c.sweepLocked(now)
 	if c.failure != nil {
 		return LeaseResponse{Status: StatusFailed, Error: c.failure.Error()}
@@ -258,6 +324,8 @@ func (c *Coordinator) lease(workerID string) LeaseResponse {
 				s.state = shardLeased
 				s.worker = workerID
 				s.expiry = now.Add(c.opt.leaseTTL())
+				s.leased = now
+				w.shard = s.shard.ID
 				c.logf("dist: shard %d leased to %s", s.shard.ID, workerID)
 				sh := s.shard
 				return LeaseResponse{Status: StatusShard, Shard: &sh}
@@ -292,10 +360,12 @@ func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
 	}
 	s := c.shards[req.ShardID]
 	now := c.opt.now()
+	w := c.workerLocked(req.WorkerID, now)
 	if s.state != shardLeased || s.worker != req.WorkerID || !s.expiry.After(now) {
 		return HeartbeatResponse{}
 	}
 	s.expiry = now.Add(c.opt.leaseTTL())
+	w.shard = req.ShardID
 	return HeartbeatResponse{OK: true}
 }
 
@@ -318,6 +388,13 @@ func (c *Coordinator) complete(req CompleteRequest) CompleteResponse {
 		return CompleteResponse{Error: fmt.Sprintf("dist: no shard %d", req.ShardID)}
 	}
 	s := c.shards[req.ShardID]
+	w := c.workerLocked(req.WorkerID, c.opt.now())
+	w.shard = -1
+	if req.Snapshot != nil && !w.final {
+		// Piggybacked telemetry: freshest view of this worker, unless it
+		// already posted its final word via /v1/snapshot.
+		w.snap = req.Snapshot
+	}
 	if req.Error != "" {
 		// Shard execution is deterministic: the same masks would fail the
 		// same way on any worker, so a reported error fails the campaign.
@@ -333,14 +410,36 @@ func (c *Coordinator) complete(req CompleteRequest) CompleteResponse {
 		c.logf("dist: duplicate completion of shard %d by %s discarded", s.shard.ID, req.WorkerID)
 		return c.ackLocked(CompleteResponse{OK: true})
 	}
+	mergeStart := time.Now()
 	if err := c.mergeLocked(s.shard, req.Result); err != nil {
 		c.failLocked(err)
 		return c.ackLocked(CompleteResponse{OK: true})
 	}
 	s.state = shardCompleted
 	s.worker = req.WorkerID
+	w.done++
 	c.remaining--
 	c.stats.Completed++
+	if tr := c.opt.Tracer; tr != nil {
+		// Worker spans first (they are the shard span's subtree), then
+		// the coordinator-side merge phase, then the shard span itself —
+		// its ID was pre-minted at plan time so the subtree already
+		// parents correctly.
+		for _, sp := range req.Spans {
+			tr.Forward(sp)
+		}
+		end := time.Now()
+		tr.Emit(telemetry.Span{
+			SpanID: tr.NewSpanID(), ParentID: s.shard.SpanID,
+			Kind: telemetry.SpanPhase, Name: "merge", Worker: req.WorkerID,
+			StartUnixNS: mergeStart.UnixNano(), EndUnixNS: end.UnixNano(),
+		})
+		tr.Emit(telemetry.Span{
+			SpanID: s.shard.SpanID, ParentID: c.rootSpan.ID(),
+			Kind: telemetry.SpanShard, Name: fmt.Sprintf("shard-%d", s.shard.ID), Worker: req.WorkerID,
+			StartUnixNS: s.leased.UnixNano(), EndUnixNS: end.UnixNano(),
+		})
+	}
 	c.logf("dist: shard %d completed by %s (%d/%d)", s.shard.ID, req.WorkerID, c.stats.Completed, c.stats.Shards)
 	if c.remaining == 0 && c.failure == nil {
 		if err := c.finalizeLocked(); err != nil {
@@ -397,6 +496,9 @@ func (c *Coordinator) mergeLocked(sh Shard, res *core.ShardResult) error {
 			}
 		}
 		c.records[i][run.Index] = run.Record
+		if c.opt.Divergence != nil {
+			c.opt.Divergence.Add(run.DivergenceRecord(c.keys[i]))
+		}
 		c.emitLocked(i, run, run.Pruned, -1)
 	}
 	return nil
@@ -423,18 +525,23 @@ func (c *Coordinator) journalLocked(key string, run core.ShardRun) error {
 
 // emitLocked synthesizes the run-end telemetry event of one merged row.
 func (c *Coordinator) emitLocked(i int, run core.ShardRun, pruned string, repMask int) {
-	tel := c.opt.Telemetry
-	if tel == nil {
-		return
+	if tel := c.opt.Telemetry; tel != nil {
+		emitShardRun(tel, c.camps[i], c.keys[i], run, pruned, repMask)
 	}
-	cell := c.cfg.Campaigns[i]
+}
+
+// emitShardRun re-emits the run-end telemetry event of one ShardRun
+// through a collector — the same event, with the same provenance, a
+// single-node run would have emitted for that mask. Shared by the
+// coordinator's merge and a worker's post-acceptance fold.
+func emitShardRun(tel *telemetry.Collector, cs *telemetry.CampaignStats, key string, run core.ShardRun, pruned string, repMask int) {
 	cls, _ := (core.Parser{}).Classify(run.Record)
 	tel.RunStarted()
-	tel.RunDone(c.camps[i], telemetry.RunEvent{
-		Campaign:       c.keys[i],
-		Tool:           c.camps[i].Tool,
-		Benchmark:      cell.Benchmark,
-		Structure:      cell.Structure,
+	tel.RunDone(cs, telemetry.RunEvent{
+		Campaign:       key,
+		Tool:           cs.Tool,
+		Benchmark:      cs.Benchmark,
+		Structure:      cs.Structure,
 		MaskID:         run.Record.MaskID,
 		Sites:          run.Record.Sites,
 		Status:         run.Record.Status,
@@ -455,6 +562,7 @@ func (c *Coordinator) emitLocked(i int, run core.ShardRun, pruned string, repMas
 		WindowExited:   run.WindowExited,
 		FastSteps:      run.FastSteps,
 		DetailCycles:   run.DetailCycles,
+		Diverged:       run.Diverged,
 		Pruned:         pruned,
 		RepMask:        repMask,
 	})
@@ -475,6 +583,9 @@ func (c *Coordinator) finalizeLocked() error {
 		rec.MaskID = r.maskID
 		rec.Sites = r.sites
 		c.records[r.campaign][r.index] = rec
+		if c.opt.Divergence != nil {
+			c.opt.Divergence.Add(core.ShardRun{Record: rec, Pruned: "replicated"}.DivergenceRecord(c.keys[r.campaign]))
+		}
 		c.emitLocked(r.campaign, core.ShardRun{Index: r.index, Record: rec}, "replicated", repMask)
 	}
 	for i := range c.records {
@@ -489,6 +600,111 @@ func (c *Coordinator) finalizeLocked() error {
 		c.results[i] = &core.CampaignResult{Golden: c.goldens[i], Records: c.records[i]}
 	}
 	return nil
+}
+
+// snapshot accepts a worker's pushed telemetry snapshot. A Final push
+// (a draining worker's last word) freezes the view: later piggybacked
+// snapshots from in-flight completions cannot roll it back.
+func (c *Coordinator) snapshot(req SnapshotRequest) SnapshotResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workerLocked(req.WorkerID, c.opt.now())
+	if !w.final {
+		snap := req.Snapshot
+		w.snap = &snap
+		if req.Final {
+			w.final = true
+			w.shard = -1
+		}
+	}
+	return SnapshotResponse{OK: true}
+}
+
+// FleetSnapshot merges every worker's last pushed snapshot into one
+// fleet-wide view — the aggregation behind /snapshot.json and /metrics.
+// The coordinator's own collector is deliberately not folded in: it
+// re-emits the same runs the workers already counted, so adding it
+// would double every counter.
+func (c *Coordinator) FleetSnapshot() telemetry.Snapshot {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.workers))
+	for id, w := range c.workers {
+		if w.snap != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	snaps := make([]telemetry.Snapshot, 0, len(ids))
+	for _, id := range ids {
+		snaps = append(snaps, *c.workers[id].snap)
+	}
+	c.mu.Unlock()
+	return telemetry.MergeSnapshots(snaps...)
+}
+
+// Fleet returns the per-worker views, sorted by worker ID.
+func (c *Coordinator) Fleet() []WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.now()
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for id, w := range c.workers {
+		lag := now.Sub(w.lastSeen).Seconds()
+		if lag < 0 {
+			lag = 0
+		}
+		out = append(out, WorkerStatus{ID: id, Shard: w.shard, ShardsDone: w.done, LagSeconds: lag, Final: w.final})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ProgressLine renders the coordinator's merged progress view plus one
+// bracketed column per worker: its leased shard, shards done, and how
+// long since it last checked in.
+func (c *Coordinator) ProgressLine() string {
+	tel := c.opt.Telemetry
+	if tel == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(tel.Snapshot().ProgressLine())
+	for _, w := range c.Fleet() {
+		shard := "-"
+		if w.Shard >= 0 {
+			shard = strconv.Itoa(w.Shard)
+		}
+		fmt.Fprintf(&b, "  [%s shard=%s done=%d lag=%.0fs]", w.ID, shard, w.ShardsDone, w.LagSeconds)
+	}
+	return b.String()
+}
+
+// WaitFleetFinal blocks until every worker that ever pushed telemetry
+// has posted its final snapshot, or timeout elapses (a crashed worker
+// never posts one). The campaign completes when the last shard merges,
+// which can be moments before the delivering worker's final snapshot
+// arrives — callers that freeze the fleet snapshot to disk wait here
+// first.
+func (c *Coordinator) WaitFleetFinal(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		all := true
+		for _, w := range c.workers {
+			if w.snap != nil && !w.final {
+				all = false
+				break
+			}
+		}
+		c.mu.Unlock()
+		if all {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // Wait blocks until every shard has completed (returning the merged
@@ -569,6 +785,50 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, c.complete(req))
+	})
+	mux.HandleFunc("/v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		var req SnapshotRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, c.snapshot(req))
+	})
+	return mux
+}
+
+// ObsHandler returns the coordinator's observability endpoints mounted
+// alongside the /v1 protocol: /snapshot.json and /metrics serve the
+// fleet-aggregated telemetry, /fleet.json the per-worker lease/lag
+// accounting, and /events — when an event stream is attached — the
+// live SSE feed of progress, run and span events.
+func (c *Coordinator) ObsHandler(es *telemetry.EventStream) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", c.Handler())
+	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, r *http.Request) {
+		b, err := c.FleetSnapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(b, '\n'))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.FleetSnapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/fleet.json", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Fleet())
+	})
+	if es != nil {
+		mux.Handle("/events", es)
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "faultcampd: /v1/{config,lease,heartbeat,complete,snapshot}  /snapshot.json  /metrics  /fleet.json  /events")
 	})
 	return mux
 }

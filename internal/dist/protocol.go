@@ -17,6 +17,7 @@ package dist
 
 import (
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // ProtocolVersion is the coordinator/worker wire format version. A
@@ -27,12 +28,17 @@ import (
 const ProtocolVersion = 1
 
 // Shard is one unit of distributed work: the mask window [MaskLo,
-// MaskHi) of one campaign cell of the config.
+// MaskHi) of one campaign cell of the config. TraceID/SpanID, when set,
+// carry the coordinator's span context: the worker parents the shard's
+// matrix span under SpanID so the coordinator assembles one end-to-end
+// span tree. Both are additive — a version-1 peer ignores them.
 type Shard struct {
-	ID       int `json:"id"`
-	Campaign int `json:"campaign"`
-	MaskLo   int `json:"mask_lo"`
-	MaskHi   int `json:"mask_hi"`
+	ID       int    `json:"id"`
+	Campaign int    `json:"campaign"`
+	MaskLo   int    `json:"mask_lo"`
+	MaskHi   int    `json:"mask_hi"`
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
 }
 
 // ConfigResponse is the body of GET /v1/config: the full campaign
@@ -92,6 +98,12 @@ type CompleteRequest struct {
 	ShardID  int               `json:"shard_id"`
 	Result   *core.ShardResult `json:"result,omitempty"`
 	Error    string            `json:"error,omitempty"`
+	// Spans are the shard's worker-side spans (matrix, cell, run,
+	// phase), forwarded into the coordinator's merged span file.
+	// Snapshot piggybacks the worker's current telemetry snapshot for
+	// the fleet aggregation. Both additive.
+	Spans    []telemetry.Span    `json:"spans,omitempty"`
+	Snapshot *telemetry.Snapshot `json:"snapshot,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Accepted false means the
@@ -107,4 +119,19 @@ type CompleteResponse struct {
 	Done     bool   `json:"done,omitempty"`
 	Failed   string `json:"failed,omitempty"`
 	Error    string `json:"error,omitempty"`
+}
+
+// SnapshotRequest is the body of POST /v1/snapshot: a worker pushing
+// its telemetry snapshot to the fleet aggregation outside the shard
+// cycle — a draining worker posts its last word with Final set, so the
+// fleet view stays complete after the worker exits.
+type SnapshotRequest struct {
+	WorkerID string             `json:"worker_id"`
+	Snapshot telemetry.Snapshot `json:"snapshot"`
+	Final    bool               `json:"final,omitempty"`
+}
+
+// SnapshotResponse acknowledges a snapshot push.
+type SnapshotResponse struct {
+	OK bool `json:"ok"`
 }

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // WorkerOptions parameterize one faultworker process.
@@ -33,6 +35,16 @@ type WorkerOptions struct {
 	Logf func(format string, args ...any)
 	// Client is the HTTP client; nil uses a default with a sane timeout.
 	Client *http.Client
+	// Telemetry, when non-nil, aggregates the worker's own view of the
+	// campaign: every accepted shard result folds into it, a snapshot
+	// piggybacks on each completion, and a final snapshot is pushed to
+	// the coordinator's /v1/snapshot when the worker exits or drains.
+	Telemetry *telemetry.Collector
+	// Drain, when non-nil, requests graceful shutdown when closed: the
+	// worker finishes its in-flight shard (results are never thrown
+	// away), delivers it, posts its final snapshot, and returns nil
+	// instead of leasing more work.
+	Drain <-chan struct{}
 }
 
 // RunWorker executes shards from the coordinator at coordURL until the
@@ -79,9 +91,47 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 		heartbeat = time.Second
 	}
 
+	if opt.Telemetry != nil {
+		// The worker's own collector mirrors a single-node run of its
+		// share of the campaign; Workers is the per-shard simulation pool
+		// so the fleet merge sums pool sizes across the fleet.
+		opt.Telemetry.Start(cfg.Workers)
+	}
+	keys := cfg.Keys()
+	camps := make(map[int]*telemetry.CampaignStats)
+	// postFinal pushes the worker's last snapshot so the coordinator's
+	// fleet view stays complete after this process exits.
+	postFinal := func() {
+		if opt.Telemetry == nil {
+			return
+		}
+		var resp SnapshotResponse
+		err := postJSON(ctx, opt.Client, coordURL+"/v1/snapshot",
+			SnapshotRequest{WorkerID: opt.ID, Snapshot: opt.Telemetry.Snapshot(), Final: true}, &resp)
+		if err != nil {
+			logf("worker %s: posting final snapshot: %v", opt.ID, err)
+		}
+	}
+	draining := func() bool {
+		if opt.Drain == nil {
+			return false
+		}
+		select {
+		case <-opt.Drain:
+			return true
+		default:
+			return false
+		}
+	}
+
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if draining() {
+			logf("worker %s: draining; posting final snapshot and exiting", opt.ID)
+			postFinal()
+			return nil
 		}
 		var lease LeaseResponse
 		if err := postJSON(ctx, opt.Client, coordURL+"/v1/lease", LeaseRequest{WorkerID: opt.ID}, &lease); err != nil {
@@ -90,6 +140,7 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 		switch lease.Status {
 		case StatusDone:
 			logf("worker %s: campaign complete", opt.ID)
+			postFinal()
 			return nil
 		case StatusFailed:
 			return fmt.Errorf("dist: campaign failed: %s", lease.Error)
@@ -104,18 +155,32 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
+			case <-opt.Drain: // nil when no drain channel; never fires then
+				// Loop back: the top-of-loop drain check posts the final
+				// snapshot and exits.
 			case <-time.After(wait):
 			}
 		case StatusShard:
 			sh := *lease.Shard
 			logf("worker %s: shard %d (campaign %d masks [%d,%d))", opt.ID, sh.ID, sh.Campaign, sh.MaskLo, sh.MaskHi)
-			result, runErr := runLeased(ctx, opt, coordURL, cfg, sh, heartbeat)
-			req := CompleteRequest{WorkerID: opt.ID, ShardID: sh.ID, Result: result}
+			result, spans, runErr := runLeased(ctx, opt, coordURL, cfg, sh, heartbeat)
+			req := CompleteRequest{WorkerID: opt.ID, ShardID: sh.ID, Result: result, Spans: spans}
 			if runErr != nil {
 				// Deterministic failure: report it so the coordinator fails
 				// the campaign instead of retrying the same masks elsewhere.
 				req.Result = nil
+				req.Spans = nil
 				req.Error = runErr.Error()
+			} else if tel := opt.Telemetry; tel != nil {
+				// Fold the shard into the worker's own aggregate before
+				// completing, so the piggybacked snapshot already counts it.
+				// A late duplicate of a requeued shard folds here too — this
+				// worker really did the work, even if the merge discards the
+				// copy; the coordinator's merged collector stays exactly-once
+				// regardless.
+				foldShardResult(tel, camps, cfg, keys, sh.Campaign, result)
+				snap := tel.Snapshot()
+				req.Snapshot = &snap
 			}
 			var resp CompleteResponse
 			if err := postJSON(ctx, opt.Client, coordURL+"/v1/complete", req, &resp); err != nil {
@@ -138,6 +203,7 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 			}
 			if resp.Done {
 				logf("worker %s: campaign complete", opt.ID)
+				postFinal()
 				return nil
 			}
 		default:
@@ -146,12 +212,48 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 	}
 }
 
+// foldShardResult replays one shard's runs into the worker's own
+// collector — the same events the coordinator synthesizes on merge.
+// Replicated stubs are skipped: their verdicts are resolved
+// coordinator-side at finalize, and counting a stub here would inflate
+// the fleet totals relative to the merged view.
+func foldShardResult(tel *telemetry.Collector, camps map[int]*telemetry.CampaignStats, cfg core.CampaignConfig, keys []string, campaign int, res *core.ShardResult) {
+	if res == nil {
+		return
+	}
+	cs, ok := camps[campaign]
+	if !ok {
+		cell := cfg.Campaigns[campaign]
+		cs = tel.Campaign(keys[campaign], cell.Tool, cell.Benchmark, cell.Structure)
+		camps[campaign] = cs
+	}
+	n := 0
+	for _, run := range res.Runs {
+		if run.Pruned == "replicated" {
+			continue
+		}
+		n++
+	}
+	tel.AddQueued(n)
+	for _, run := range res.Runs {
+		if run.Pruned == "replicated" {
+			continue
+		}
+		emitShardRun(tel, cs, keys[campaign], run, run.Pruned, -1)
+	}
+}
+
 // runLeased executes one shard while a background goroutine keeps the
 // lease alive. A lost lease (coordinator requeued the shard) does not
 // abort the run — core.RunShard is not interruptible mid-mask and the
 // completed result is still byte-identical, so it is sent anyway and
 // deduplicated by the coordinator.
-func runLeased(ctx context.Context, opt WorkerOptions, coordURL string, cfg core.CampaignConfig, sh Shard, heartbeat time.Duration) (*core.ShardResult, error) {
+//
+// When the shard carries span context, the shard runs under a private
+// per-shard tracer (span IDs prefixed "<worker>-s<shard>", so requeued
+// shards executed by several workers never collide) whose buffered
+// spans ship back with the completion.
+func runLeased(ctx context.Context, opt WorkerOptions, coordURL string, cfg core.CampaignConfig, sh Shard, heartbeat time.Duration) (*core.ShardResult, []telemetry.Span, error) {
 	hbCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	go func() {
@@ -171,7 +273,21 @@ func runLeased(ctx context.Context, opt WorkerOptions, coordURL string, cfg core
 			}
 		}
 	}()
-	return core.RunShard(cfg, sh.Campaign, sh.MaskLo, sh.MaskHi, opt.Resolve, core.Attach{Golden: opt.Golden})
+	att := core.Attach{Golden: opt.Golden}
+	var buf *telemetry.SpanBuffer
+	if sh.TraceID != "" {
+		tracer := telemetry.NewTracer(sh.TraceID, opt.ID+"-s"+strconv.Itoa(sh.ID))
+		buf = telemetry.NewSpanBuffer()
+		tracer.AddSink(buf)
+		att.Tracer = tracer
+		att.TraceParent = sh.SpanID
+		att.SpanWorker = opt.ID
+	}
+	res, err := core.RunShard(cfg, sh.Campaign, sh.MaskLo, sh.MaskHi, opt.Resolve, att)
+	if err != nil || buf == nil {
+		return res, nil, err
+	}
+	return res, buf.Spans(), nil
 }
 
 // fetchConfig GETs the coordinator's config, retrying briefly so a

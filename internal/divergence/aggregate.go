@@ -1,0 +1,114 @@
+package divergence
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TableRow is one per-campaign line of the propagation table: how many
+// injections were consumed at all, how many of those escaped into the
+// architectural stream, and how deep the masking ran for the ones that
+// did. A campaign key is {tool, benchmark, structure}, so rows compare
+// the same fault population across simulators.
+type TableRow struct {
+	Campaign string
+
+	Runs     int // injections (simulated rows only)
+	Observed int // corrupt value consumed at least once
+	Diverged int // architectural stream left the golden path
+
+	// MaskedAfterTouch counts runs whose corruption was consumed but
+	// never diverged and still classified Masked — the microarchitec-
+	// tural masking depth the differential study is after.
+	MaskedAfterTouch int
+
+	// Propagation percentiles are over diverged runs: cycles from first
+	// consumption to divergence. Outcome percentiles are over observed
+	// runs: cycles from first consumption to the end of the run.
+	PropagationP50, PropagationP90, PropagationMax uint64
+	OutcomeP50                                     uint64
+
+	// MeanTouches is the mean consumption count over observed runs.
+	MeanTouches float64
+}
+
+func percentile(xs []uint64, p float64) uint64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(xs)-1))
+	return xs[i]
+}
+
+// Aggregate folds records into per-campaign table rows, sorted by
+// campaign key. Pruned and resumed rows are skipped — they carry no
+// propagation measurements.
+func Aggregate(recs []Record) []TableRow {
+	type acc struct {
+		row      TableRow
+		props    []uint64
+		outcomes []uint64
+		touches  uint64
+	}
+	byCampaign := make(map[string]*acc)
+	var keys []string
+	for _, rec := range recs {
+		if rec.Pruned != "" || rec.Resumed {
+			continue
+		}
+		a, ok := byCampaign[rec.Campaign]
+		if !ok {
+			a = &acc{row: TableRow{Campaign: rec.Campaign}}
+			byCampaign[rec.Campaign] = a
+			keys = append(keys, rec.Campaign)
+		}
+		a.row.Runs++
+		if rec.Observed {
+			a.row.Observed++
+			a.touches += rec.FaultTouches
+			a.outcomes = append(a.outcomes, rec.TimeToOutcome)
+			if rec.Diverged {
+				a.row.Diverged++
+				a.props = append(a.props, rec.PropagationCycles)
+			} else if rec.Class == "Masked" {
+				a.row.MaskedAfterTouch++
+			}
+		}
+	}
+	sort.Strings(keys)
+	rows := make([]TableRow, 0, len(keys))
+	for _, k := range keys {
+		a := byCampaign[k]
+		sort.Slice(a.props, func(i, j int) bool { return a.props[i] < a.props[j] })
+		sort.Slice(a.outcomes, func(i, j int) bool { return a.outcomes[i] < a.outcomes[j] })
+		a.row.PropagationP50 = percentile(a.props, 0.50)
+		a.row.PropagationP90 = percentile(a.props, 0.90)
+		if n := len(a.props); n > 0 {
+			a.row.PropagationMax = a.props[n-1]
+		}
+		a.row.OutcomeP50 = percentile(a.outcomes, 0.50)
+		if a.row.Observed > 0 {
+			a.row.MeanTouches = float64(a.touches) / float64(a.row.Observed)
+		}
+		rows = append(rows, a.row)
+	}
+	return rows
+}
+
+// WriteTable renders rows as a fixed-width text table (the EXPERIMENTS
+// propagation-depth table and the smokecheck -divergence-table output).
+func WriteTable(w io.Writer, rows []TableRow) error {
+	if _, err := fmt.Fprintf(w, "%-40s %5s %5s %5s %6s %9s %9s %9s %9s %8s\n",
+		"campaign", "runs", "obs", "div", "masked", "prop-p50", "prop-p90", "prop-max", "out-p50", "touches"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-40s %5d %5d %5d %6d %9d %9d %9d %9d %8.1f\n",
+			r.Campaign, r.Runs, r.Observed, r.Diverged, r.MaskedAfterTouch,
+			r.PropagationP50, r.PropagationP90, r.PropagationMax, r.OutcomeP50, r.MeanTouches); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package divergence
+
+// Divergence detection compares the committed-instruction PC stream of
+// an injected run against the golden run's, block by block: the stream
+// is chunked into fixed blocks of BlockSize architectural instructions
+// (block b covers committed indices [b·B, (b+1)·B)) and each complete
+// block is folded into one FNV-1a hash. The golden signature is built
+// once per {tool, benchmark} by a probed golden replay and memoized;
+// every injected run then costs one hash fold per committed instruction
+// plus one word compare per block — no golden state is kept resident
+// and nothing is buffered.
+//
+// Because injected runs may attach mid-stream (checkpoint restores and
+// detail-window seeds resume at an arbitrary committed index), the
+// probe skips to the next block boundary before it starts folding: the
+// first partially observed block is never compared. Committed-index
+// continuity across those seams is what makes this sound — checkpoint
+// restore reinstates the full Stats block and window seeding sets
+// CommittedInstrs to the functional tier's step count, and both tiers
+// count architectural instructions 1:1.
+//
+// The comparison is a control-flow proxy with one-block resolution: a
+// run whose PC stream matches the golden's block hashes to the end is
+// reported as not diverged even if it wrote different data (those runs
+// are caught at output compare), and the golden run's final partial
+// block is never compared.
+
+// BlockSize is the number of committed instructions folded into one
+// comparison hash. 64 keeps the signature ~1/64 the size of the PC
+// stream while locating divergence to within a block.
+const BlockSize = 64
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// foldPC folds one committed PC into an FNV-1a running hash,
+// little-endian byte by byte.
+func foldPC(h, pc uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= pc & 0xff
+		h *= fnvPrime64
+		pc >>= 8
+	}
+	return h
+}
+
+// Signature is the golden run's committed-stream fingerprint: one hash
+// per complete BlockSize-instruction block, plus the total committed
+// count. It is immutable once built and safe to share across
+// concurrent probes.
+type Signature struct {
+	BlockSize int
+	Hashes    []uint64
+	Committed uint64
+}
+
+// Blocks returns the number of complete comparison blocks.
+func (s *Signature) Blocks() int { return len(s.Hashes) }
+
+// SignatureBuilder accumulates a Signature from a full golden replay.
+// It implements the same Commit(pc, index, cycle) hook the cores call
+// for probes, so it can be attached directly as a commit probe.
+type SignatureBuilder struct {
+	hashes    []uint64
+	cur       uint64
+	n         int
+	committed uint64
+}
+
+// NewSignatureBuilder returns an empty builder.
+func NewSignatureBuilder() *SignatureBuilder {
+	return &SignatureBuilder{cur: fnvOffset64}
+}
+
+// Commit folds one committed instruction. The builder observes the
+// stream from index 0, so every block it sees is complete.
+func (b *SignatureBuilder) Commit(pc, index, cycle uint64) {
+	_ = index
+	_ = cycle
+	b.committed++
+	b.cur = foldPC(b.cur, pc)
+	b.n++
+	if b.n == BlockSize {
+		b.hashes = append(b.hashes, b.cur)
+		b.cur, b.n = fnvOffset64, 0
+	}
+}
+
+// Signature finalizes the builder, dropping the trailing partial block.
+func (b *SignatureBuilder) Signature() Signature {
+	return Signature{BlockSize: BlockSize, Hashes: b.hashes, Committed: b.committed}
+}
+
+// Probe compares one injected run's committed stream against a golden
+// Signature. It is attached to a single simulated machine and is not
+// safe for concurrent use (each run owns its own probe). After the
+// first block mismatch it stops hashing entirely — a diverged run pays
+// only the nil-check at the commit hook.
+type Probe struct {
+	sig *Signature
+
+	started bool
+	block   int
+	cur     uint64
+	n       int
+
+	diverged bool
+	divCycle uint64
+	divIndex uint64
+}
+
+// NewProbe returns a probe comparing against sig.
+func NewProbe(sig *Signature) *Probe {
+	return &Probe{sig: sig, cur: fnvOffset64}
+}
+
+// Commit folds one committed instruction of the injected run. index is
+// the architectural commit index (CommittedInstrs-1), cycle the commit
+// cycle. The probe may attach mid-stream; it aligns itself to the next
+// block boundary before comparing.
+func (p *Probe) Commit(pc, index, cycle uint64) {
+	if p.diverged {
+		return
+	}
+	if !p.started {
+		if index%BlockSize != 0 {
+			return // skip the partially observed block
+		}
+		p.started = true
+		p.block = int(index / BlockSize)
+	}
+	p.cur = foldPC(p.cur, pc)
+	p.n++
+	if p.n < BlockSize {
+		return
+	}
+	// A block completed: the run diverged if it hashes differently from
+	// the golden block, or if it committed a complete block past the
+	// golden run's last one (a longer stream is a different stream —
+	// the fault-free prefix is identical, so a matching run ends where
+	// the golden did).
+	if p.block >= len(p.sig.Hashes) || p.cur != p.sig.Hashes[p.block] {
+		p.diverged = true
+		p.divCycle = cycle
+		p.divIndex = uint64(p.block) * BlockSize
+		return
+	}
+	p.block++
+	p.cur, p.n = fnvOffset64, 0
+}
+
+// Diverged reports whether the stream left the golden path, and if so
+// the commit cycle at which the mismatching block completed and the
+// architectural index of that block's first instruction.
+func (p *Probe) Diverged() (diverged bool, cycle, index uint64) {
+	return p.diverged, p.divCycle, p.divIndex
+}

@@ -1,0 +1,53 @@
+package divergence
+
+import (
+	"io"
+	"sort"
+	"sync"
+)
+
+// Sink accumulates divergence records in memory during a campaign and
+// writes them as one byte-stable JSONL file at the end. Add is safe for
+// concurrent use; Records sorts by (campaign, mask) so the output is
+// independent of worker count and completion order, mirroring the
+// injection trace sink.
+type Sink struct {
+	mu   sync.Mutex
+	recs []Record
+}
+
+// NewSink returns an empty sink.
+func NewSink() *Sink { return &Sink{} }
+
+// Add appends one record.
+func (s *Sink) Add(rec Record) {
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	s.mu.Unlock()
+}
+
+// Len reports the number of accumulated records.
+func (s *Sink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Records returns a sorted copy of the accumulated records.
+func (s *Sink) Records() []Record {
+	s.mu.Lock()
+	recs := append([]Record(nil), s.recs...)
+	s.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Campaign != recs[j].Campaign {
+			return recs[i].Campaign < recs[j].Campaign
+		}
+		return recs[i].MaskID < recs[j].MaskID
+	})
+	return recs
+}
+
+// Flush writes the sorted records to w as JSON Lines.
+func (s *Sink) Flush(w io.Writer) error {
+	return WriteRecords(w, s.Records())
+}

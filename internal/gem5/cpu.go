@@ -97,6 +97,11 @@ type CPU struct {
 	watch     []*bitarray.Array
 	earlyStop bool
 
+	// commitProbe, when non-nil, observes every committed architectural
+	// instruction (divergence detection); the commit path pays one nil
+	// check for it.
+	commitProbe core.CommitProbe
+
 	alignCheck bool
 	finished   bool
 	result     core.RunResult
@@ -953,8 +958,15 @@ func (c *CPU) bumpCommitted(idx int) {
 	c.stats.CommittedUops++
 	if c.instHeads[idx] {
 		c.stats.CommittedInstrs++
+		if c.commitProbe != nil {
+			c.commitProbe.Commit(c.rob.At(idx).PC, c.stats.CommittedInstrs-1, c.cycle)
+		}
 	}
 }
+
+// SetCommitProbe implements core.CommitProbed: p observes every
+// committed architectural instruction from now on; nil detaches.
+func (c *CPU) SetCommitProbe(p core.CommitProbe) { c.commitProbe = p }
 
 func (c *CPU) trainBranch(e *pipeline.ROBEntry) {
 	if e.HasPred {

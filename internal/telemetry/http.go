@@ -41,6 +41,15 @@ func (c *Collector) Handler() http.Handler {
 	return mux
 }
 
+// HandlerWithEvents returns Handler with the SSE event stream mounted
+// at /events on top of it.
+func (c *Collector) HandlerWithEvents(es *EventStream) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/events", es)
+	mux.Handle("/", c.Handler())
+	return mux
+}
+
 // Server is a running metrics endpoint.
 type Server struct {
 	ln  net.Listener
@@ -56,11 +65,17 @@ func (s *Server) Close() error { return s.srv.Close() }
 // Serve starts the metrics endpoint on addr ("host:port"; port 0 picks a
 // free one) and returns immediately; the server runs until Close.
 func (c *Collector) Serve(addr string) (*Server, error) {
+	return ServeHandler(addr, c.Handler())
+}
+
+// ServeHandler starts an HTTP endpoint serving h on addr; the server
+// runs until Close.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: c.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

@@ -42,6 +42,34 @@ func StartReporter(c *Collector, w io.Writer, interval time.Duration) *Reporter 
 	return r
 }
 
+// StartReporterFunc begins printing the result of line every interval
+// (default 5s when interval <= 0) — the custom-line variant used by the
+// distributed coordinator, whose progress view (per-worker lease
+// columns) is wider than one collector's snapshot. An empty line skips
+// the tick.
+func StartReporterFunc(w io.Writer, interval time.Duration, line func() string) *Reporter {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	r := &Reporter{w: w, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				if l := line(); l != "" {
+					fmt.Fprintln(r.w, l)
+				}
+			}
+		}
+	}()
+	return r
+}
+
 // Stop halts the ticker and waits for the printing goroutine to exit.
 // Safe to call more than once.
 func (r *Reporter) Stop() {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"reflect"
 	"sort"
 	"strings"
 )
@@ -15,10 +16,11 @@ type Snapshot struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	Workers        int     `json:"workers"`
 
-	RunsQueued  uint64 `json:"runs_queued"`
-	RunsStarted uint64 `json:"runs_started"`
-	RunsDone    uint64 `json:"runs_done"`
-	EarlyStops  uint64 `json:"early_stops"`
+	RunsQueued   uint64 `json:"runs_queued"`
+	RunsStarted  uint64 `json:"runs_started"`
+	RunsDone     uint64 `json:"runs_done"`
+	EarlyStops   uint64 `json:"early_stops"`
+	DivergedRuns uint64 `json:"diverged_runs"`
 
 	PrunedDead       uint64  `json:"pruned_dead"`
 	PrunedReplicated uint64  `json:"pruned_replicated"`
@@ -68,6 +70,103 @@ type CampaignSnapshot struct {
 // JSON renders the snapshot as indented JSON.
 func (s Snapshot) JSON() ([]byte, error) {
 	return json.MarshalIndent(s, "", "  ")
+}
+
+// MergeSnapshots folds per-worker snapshots into one fleet-wide view —
+// the coordinator's aggregation behind its /snapshot.json and /metrics.
+// Raw counters and histograms add, ElapsedSeconds is the fleet maximum,
+// and the derived gauges are recomputed from the summed counters (the
+// throughput gauges divide the fleet's summed work by the maximum
+// elapsed time, so they read as fleet throughput).
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	s := Snapshot{
+		StatusCounts: map[string]uint64{},
+		ClassCounts:  map[string]uint64{},
+	}
+	campIdx := map[[3]string]int{}
+	var busySeconds float64 // worker-seconds inside runs, reconstructed
+	for _, o := range snaps {
+		if o.ElapsedSeconds > s.ElapsedSeconds {
+			s.ElapsedSeconds = o.ElapsedSeconds
+		}
+		s.Workers += o.Workers
+		s.RunsQueued += o.RunsQueued
+		s.RunsStarted += o.RunsStarted
+		s.RunsDone += o.RunsDone
+		s.EarlyStops += o.EarlyStops
+		s.DivergedRuns += o.DivergedRuns
+		s.PrunedDead += o.PrunedDead
+		s.PrunedReplicated += o.PrunedReplicated
+		s.LadderRestores += o.LadderRestores
+		s.Resumed += o.Resumed
+		s.PanicsContained += o.PanicsContained
+		s.WindowedRuns += o.WindowedRuns
+		s.WindowEntries += o.WindowEntries
+		s.WindowExits += o.WindowExits
+		s.FastSteps += o.FastSteps
+		s.DetailCycles += o.DetailCycles
+		s.SimCycles += o.SimCycles
+		s.GoldenRuns += o.GoldenRuns
+		s.GoldenHits += o.GoldenHits
+		s.WatchedReads += o.WatchedReads
+		s.WatchedWrites += o.WatchedWrites
+		s.ObservedReads += o.ObservedReads
+		s.ObservedWrites += o.ObservedWrites
+		busySeconds += o.WorkerUtilization * o.ElapsedSeconds * float64(o.Workers)
+		for k, v := range o.StatusCounts {
+			s.StatusCounts[k] += v
+		}
+		for k, v := range o.ClassCounts {
+			s.ClassCounts[k] += v
+		}
+		for _, cs := range o.Campaigns {
+			key := [3]string{cs.Tool, cs.Benchmark, cs.Structure}
+			i, ok := campIdx[key]
+			if !ok {
+				i = len(s.Campaigns)
+				campIdx[key] = i
+				s.Campaigns = append(s.Campaigns, CampaignSnapshot{
+					Tool: cs.Tool, Benchmark: cs.Benchmark, Structure: cs.Structure,
+					Classes: map[string]uint64{},
+				})
+			}
+			s.Campaigns[i].Runs += cs.Runs
+			s.Campaigns[i].Cycles += cs.Cycles
+			for k, v := range cs.Classes {
+				s.Campaigns[i].Classes[k] += v
+			}
+		}
+	}
+	sort.Slice(s.Campaigns, func(i, j int) bool {
+		a, b := s.Campaigns[i], s.Campaigns[j]
+		if a.Tool != b.Tool {
+			return a.Tool < b.Tool
+		}
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		return a.Structure < b.Structure
+	})
+	if s.ElapsedSeconds > 0 {
+		s.RunsPerSec = float64(s.RunsDone) / s.ElapsedSeconds
+		s.McyclesPerSec = float64(s.SimCycles) / 1e6 / s.ElapsedSeconds
+		if s.Workers > 0 {
+			s.WorkerUtilization = busySeconds / s.ElapsedSeconds / float64(s.Workers)
+		}
+	}
+	if total := s.GoldenRuns + s.GoldenHits; total > 0 {
+		s.GoldenHitRate = float64(s.GoldenHits) / float64(total)
+	}
+	if total := s.WatchedReads + s.WatchedWrites; total > 0 {
+		s.FastPathRate = 1 - float64(s.ObservedReads+s.ObservedWrites)/float64(total)
+	}
+	if s.RunsDone > 0 {
+		s.PruneRate = float64(s.PrunedDead+s.PrunedReplicated) / float64(s.RunsDone)
+	}
+	if total := s.FastSteps + s.DetailCycles; total > 0 {
+		s.FastTierShare = float64(s.FastSteps) / float64(total)
+	}
+	return s
 }
 
 // classOrder is the paper's presentation order for the known classes;
@@ -126,6 +225,9 @@ func (s Snapshot) ProgressLine() string {
 	if s.WindowedRuns > 0 {
 		fmt.Fprintf(&b, "  window %d/%d (fast %.1f%%)", s.WindowExits, s.WindowedRuns, 100*s.FastTierShare)
 	}
+	if s.DivergedRuns > 0 {
+		fmt.Fprintf(&b, "  diverged %d", s.DivergedRuns)
+	}
 	if s.Resumed > 0 {
 		fmt.Fprintf(&b, "  resumed %d", s.Resumed)
 	}
@@ -161,49 +263,78 @@ func promEscape(v string) string {
 	return strings.ReplaceAll(v, "\n", `\n`)
 }
 
+// metricDef declares one scalar Prometheus metric: which Snapshot
+// field it exports, under what name and type, and its help line. The
+// exposition renders the table in order, so output is deterministic,
+// and the prometheus completeness test cross-checks the table against
+// the Snapshot struct by reflection — a new numeric snapshot field
+// without a table entry fails CI instead of silently missing HELP/TYPE.
+type metricDef struct {
+	field string // Snapshot struct field name
+	name  string // metric name without the faultinject_ prefix
+	typ   string // "counter" or "gauge"
+	help  string
+}
+
+// metricDefs lists every scalar metric in emission order.
+var metricDefs = []metricDef{
+	{"ElapsedSeconds", "elapsed_seconds", "gauge", "Wall-clock seconds since the collector started."},
+	{"Workers", "workers", "gauge", "Scheduler worker-pool size."},
+	{"RunsQueued", "runs_queued_total", "counter", "Injection runs entered into the scheduler queue."},
+	{"RunsStarted", "runs_started_total", "counter", "Injection runs dispatched to workers."},
+	{"RunsDone", "runs_done_total", "counter", "Injection runs finished."},
+	{"EarlyStops", "early_stops_total", "counter", "Runs ended early by a provably-masked fault."},
+	{"DivergedRuns", "diverged_runs_total", "counter", "Runs whose committed-instruction stream left the golden path."},
+	{"PrunedDead", "pruned_dead_total", "counter", "Masks classified Masked at plan time without simulation."},
+	{"PrunedReplicated", "pruned_replicated_total", "counter", "Masks whose verdict was copied from an equivalence-class representative."},
+	{"PruneRate", "prune_rate", "gauge", "Fraction of finished runs settled without simulation."},
+	{"LadderRestores", "ladder_restores_total", "counter", "Runs restored from a checkpoint-ladder rung instead of booting."},
+	{"Resumed", "resumed_total", "counter", "Completed masks loaded from the run journal instead of re-simulated."},
+	{"PanicsContained", "panics_contained_total", "counter", "Worker panics converted into per-run errors by the containment boundary."},
+	{"SimCycles", "sim_cycles_total", "counter", "Simulated cycles across finished runs."},
+	{"WindowedRuns", "windowed_runs_total", "counter", "Runs executed under a detail window (sampled execution)."},
+	{"WindowEntries", "window_entries_total", "counter", "Runs seeded from the functional fast tier at the window entry."},
+	{"WindowExits", "window_exits_total", "counter", "Runs handed back to the functional tier after the fault settled."},
+	{"FastSteps", "fast_instrs_total", "counter", "Instructions executed on the functional fast tier."},
+	{"DetailCycles", "detail_cycles_total", "counter", "Cycles simulated cycle-accurately inside detail windows."},
+	{"FastTierShare", "fast_tier_share", "gauge", "Share of execution work done on the functional fast tier."},
+	{"RunsPerSec", "runs_per_second", "gauge", "Finished runs per wall-clock second."},
+	{"McyclesPerSec", "mcycles_per_second", "gauge", "Simulated megacycles per wall-clock second."},
+	{"WorkerUtilization", "worker_utilization", "gauge", "Fraction of worker time spent inside runs."},
+	{"GoldenRuns", "golden_runs_total", "counter", "Golden reference simulations performed."},
+	{"GoldenHits", "golden_hits_total", "counter", "Golden references served from the memoizer."},
+	{"GoldenHitRate", "golden_hit_rate", "gauge", "Memoized fraction of golden lookups."},
+	{"WatchedReads", "watched_reads_total", "counter", "Reads of fault-armed arrays."},
+	{"WatchedWrites", "watched_writes_total", "counter", "Writes of fault-armed arrays."},
+	{"ObservedReads", "observed_reads_total", "counter", "Reads that took the observation slow path."},
+	{"ObservedWrites", "observed_writes_total", "counter", "Writes that took the observation slow path."},
+	{"FastPathRate", "fast_path_rate", "gauge", "Fraction of watched accesses skipping observation."},
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
-// format, deterministically ordered. Metric names carry the
-// faultinject_ prefix.
+// format, deterministically ordered, every metric carrying HELP and
+// TYPE lines. Metric names carry the faultinject_ prefix.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(&b, "# HELP faultinject_%s %s\n# TYPE faultinject_%s counter\nfaultinject_%s %d\n",
-			name, help, name, name, v)
+	sv := reflect.ValueOf(s)
+	for _, d := range metricDefs {
+		f := sv.FieldByName(d.field)
+		fmt.Fprintf(&b, "# HELP faultinject_%s %s\n# TYPE faultinject_%s %s\n", d.name, d.help, d.name, d.typ)
+		switch f.Kind() {
+		case reflect.Uint64:
+			if d.typ == "gauge" {
+				fmt.Fprintf(&b, "faultinject_%s %g\n", d.name, float64(f.Uint()))
+			} else {
+				fmt.Fprintf(&b, "faultinject_%s %d\n", d.name, f.Uint())
+			}
+		case reflect.Int:
+			fmt.Fprintf(&b, "faultinject_%s %g\n", d.name, float64(f.Int()))
+		case reflect.Float64:
+			fmt.Fprintf(&b, "faultinject_%s %g\n", d.name, f.Float())
+		default:
+			panic(fmt.Sprintf("telemetry: metricDef %s names non-numeric Snapshot field %s", d.name, d.field))
+		}
 	}
-	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP faultinject_%s %s\n# TYPE faultinject_%s gauge\nfaultinject_%s %g\n",
-			name, help, name, name, v)
-	}
-	gauge("elapsed_seconds", "Wall-clock seconds since the collector started.", s.ElapsedSeconds)
-	gauge("workers", "Scheduler worker-pool size.", float64(s.Workers))
-	counter("runs_queued_total", "Injection runs entered into the scheduler queue.", s.RunsQueued)
-	counter("runs_started_total", "Injection runs dispatched to workers.", s.RunsStarted)
-	counter("runs_done_total", "Injection runs finished.", s.RunsDone)
-	counter("early_stops_total", "Runs ended early by a provably-masked fault.", s.EarlyStops)
-	counter("pruned_dead_total", "Masks classified Masked at plan time without simulation.", s.PrunedDead)
-	counter("pruned_replicated_total", "Masks whose verdict was copied from an equivalence-class representative.", s.PrunedReplicated)
-	gauge("prune_rate", "Fraction of finished runs settled without simulation.", s.PruneRate)
-	counter("ladder_restores_total", "Runs restored from a checkpoint-ladder rung instead of booting.", s.LadderRestores)
-	counter("resumed_total", "Completed masks loaded from the run journal instead of re-simulated.", s.Resumed)
-	counter("panics_contained_total", "Worker panics converted into per-run errors by the containment boundary.", s.PanicsContained)
-	counter("sim_cycles_total", "Simulated cycles across finished runs.", s.SimCycles)
-	counter("windowed_runs_total", "Runs executed under a detail window (sampled execution).", s.WindowedRuns)
-	counter("window_entries_total", "Runs seeded from the functional fast tier at the window entry.", s.WindowEntries)
-	counter("window_exits_total", "Runs handed back to the functional tier after the fault settled.", s.WindowExits)
-	counter("fast_instrs_total", "Instructions executed on the functional fast tier.", s.FastSteps)
-	counter("detail_cycles_total", "Cycles simulated cycle-accurately inside detail windows.", s.DetailCycles)
-	gauge("fast_tier_share", "Share of execution work done on the functional fast tier.", s.FastTierShare)
-	gauge("runs_per_second", "Finished runs per wall-clock second.", s.RunsPerSec)
-	gauge("mcycles_per_second", "Simulated megacycles per wall-clock second.", s.McyclesPerSec)
-	gauge("worker_utilization", "Fraction of worker time spent inside runs.", s.WorkerUtilization)
-	counter("golden_runs_total", "Golden reference simulations performed.", s.GoldenRuns)
-	counter("golden_hits_total", "Golden references served from the memoizer.", s.GoldenHits)
-	gauge("golden_hit_rate", "Memoized fraction of golden lookups.", s.GoldenHitRate)
-	counter("watched_reads_total", "Reads of fault-armed arrays.", s.WatchedReads)
-	counter("watched_writes_total", "Writes of fault-armed arrays.", s.WatchedWrites)
-	counter("observed_reads_total", "Reads that took the observation slow path.", s.ObservedReads)
-	counter("observed_writes_total", "Writes that took the observation slow path.", s.ObservedWrites)
-	gauge("fast_path_rate", "Fraction of watched accesses skipping observation.", s.FastPathRate)
 
 	fmt.Fprintf(&b, "# HELP faultinject_status_total Runs by raw run status.\n# TYPE faultinject_status_total counter\n")
 	for _, k := range orderedKeys(s.StatusCounts) {

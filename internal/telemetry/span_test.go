@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestTracerSpans checks span identity minting, parentage through
+// Begin/End, and the buffer's Seq-ordered drain.
+func TestTracerSpans(t *testing.T) {
+	tr := NewTracer("trace-1", "c")
+	buf := NewSpanBuffer()
+	tr.AddSink(buf)
+
+	root := tr.Begin(SpanCampaign, "campaign", "")
+	child := tr.Begin(SpanShard, "shard-0", root.ID())
+	child.End()
+	root.End()
+
+	spans := buf.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Seq order: the child ended first.
+	if spans[0].Name != "shard-0" || spans[1].Name != "campaign" {
+		t.Fatalf("span order: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].ParentID != spans[1].SpanID {
+		t.Fatalf("child parent %q != root id %q", spans[0].ParentID, spans[1].SpanID)
+	}
+	for _, sp := range spans {
+		if sp.TraceID != "trace-1" || sp.SchemaVersion != SpanSchemaVersion {
+			t.Fatalf("span not stamped: %+v", sp)
+		}
+		if !strings.HasPrefix(sp.SpanID, "c-") {
+			t.Fatalf("span id %q lacks the tracer prefix", sp.SpanID)
+		}
+		if sp.EndUnixNS < sp.StartUnixNS {
+			t.Fatalf("span ends before it starts: %+v", sp)
+		}
+	}
+}
+
+// TestTracerForward checks forwarding preserves remote identity (trace
+// and span IDs survive) while the local tracer reassigns Seq so the
+// merged stream stays totally ordered.
+func TestTracerForward(t *testing.T) {
+	local := NewTracer("trace-1", "c")
+	buf := NewSpanBuffer()
+	local.AddSink(buf)
+
+	local.Begin(SpanCampaign, "campaign", "").End()
+	remote := Span{TraceID: "trace-1", SpanID: "w1-s0-3", ParentID: "c-2",
+		Kind: SpanRun, Name: "run-7", Worker: "w1", Seq: 3}
+	local.Forward(remote)
+
+	spans := buf.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	fwd := spans[1]
+	if fwd.SpanID != "w1-s0-3" || fwd.ParentID != "c-2" || fwd.Worker != "w1" {
+		t.Fatalf("forwarding rewrote remote identity: %+v", fwd)
+	}
+	if fwd.Seq <= spans[0].Seq {
+		t.Fatalf("forwarded span seq %d not after local %d", fwd.Seq, spans[0].Seq)
+	}
+}
+
+// TestSpanJSONLRoundTrip checks Write/ReadSpans, including the schema
+// version gate.
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	spans := []Span{
+		{SchemaVersion: SpanSchemaVersion, TraceID: "t", SpanID: "c-1", Kind: SpanCampaign, Name: "campaign", Seq: 1},
+		{SchemaVersion: SpanSchemaVersion, TraceID: "t", SpanID: "c-2", ParentID: "c-1", Kind: SpanPhase, Name: "golden", Seq: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteSpans(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpans(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].Name != "golden" || back[1].ParentID != "c-1" {
+		t.Fatalf("round trip lost spans: %+v", back)
+	}
+	if _, err := ReadSpans(strings.NewReader(`{"schema_version":99,"span_id":"x"}` + "\n")); err == nil {
+		t.Fatal("span from a newer schema accepted")
+	}
+}

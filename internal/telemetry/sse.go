@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// EventStream is the Server-Sent-Events fan-out of the live telemetry
+// plane: it is both a run-event Sink and a SpanSink, broadcasting every
+// event to all connected subscribers, and an http.Handler serving the
+// /events endpoint.
+//
+// Two properties protect the scheduler's hot path: each event is
+// marshalled exactly once regardless of subscriber count, and delivery
+// is strictly non-blocking — a subscriber that cannot drain its
+// buffered channel loses events (counted in dropped) instead of ever
+// stalling a worker. Every new subscriber first receives a "snapshot"
+// frame with the collector's current state, so a mid-campaign connect
+// starts from a coherent baseline and the lossy event tail only ever
+// under-reports deltas the next snapshot frame repairs.
+type EventStream struct {
+	c *Collector
+
+	mu      sync.Mutex
+	subs    map[chan []byte]struct{}
+	nsubs   atomic.Int64 // len(subs) mirror; broadcast's lock-free fast path
+	closed  bool
+	dropped atomic.Uint64
+}
+
+// subBuffer is the per-subscriber channel depth; a slow consumer drops
+// events beyond it.
+const subBuffer = 256
+
+// NewEventStream returns an event stream serving snapshots of c.
+func NewEventStream(c *Collector) *EventStream {
+	return &EventStream{c: c, subs: make(map[chan []byte]struct{})}
+}
+
+// Dropped reports events discarded because a subscriber was slow.
+func (s *EventStream) Dropped() uint64 { return s.dropped.Load() }
+
+// frame renders one SSE frame.
+func frame(event string, data []byte) []byte {
+	return []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", event, data))
+}
+
+// broadcast marshals v once and offers the frame to every subscriber,
+// never blocking. With no subscribers it returns before marshalling,
+// so an always-attached stream costs the hot path nothing.
+func (s *EventStream) broadcast(event string, v any) {
+	if s.nsubs.Load() == 0 {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	f := frame(event, data)
+	s.mu.Lock()
+	for ch := range s.subs {
+		select {
+		case ch <- f:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// RunEvent implements Sink: every finished run becomes a "run" frame.
+func (s *EventStream) RunEvent(ev RunEvent) { s.broadcast("run", ev) }
+
+// SpanEvent implements SpanSink: every finished span becomes a "span"
+// frame.
+func (s *EventStream) SpanEvent(sp Span) { s.broadcast("span", sp) }
+
+// Progress broadcasts a "progress" frame with a full snapshot; the
+// periodic reporter calls it at its print cadence.
+func (s *EventStream) Progress(snap Snapshot) { s.broadcast("progress", snap) }
+
+// Close disconnects every subscriber and refuses new ones.
+func (s *EventStream) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for ch := range s.subs {
+		close(ch)
+		delete(s.subs, ch)
+	}
+	s.nsubs.Store(0)
+}
+
+// subscribe registers a new subscriber channel, or returns nil if the
+// stream is closed.
+func (s *EventStream) subscribe() chan []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	ch := make(chan []byte, subBuffer)
+	s.subs[ch] = struct{}{}
+	s.nsubs.Store(int64(len(s.subs)))
+	return ch
+}
+
+func (s *EventStream) unsubscribe(ch chan []byte) {
+	s.mu.Lock()
+	if _, ok := s.subs[ch]; ok {
+		delete(s.subs, ch)
+		close(ch)
+	}
+	s.nsubs.Store(int64(len(s.subs)))
+	s.mu.Unlock()
+}
+
+// ServeHTTP implements the SSE endpoint: it registers the subscriber,
+// replays a coherent "snapshot" frame, then streams frames until the
+// client disconnects or the stream closes.
+func (s *EventStream) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	ch := s.subscribe()
+	if ch == nil {
+		http.Error(w, "stream closed", http.StatusGone)
+		return
+	}
+	defer s.unsubscribe(ch)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe-then-snapshot: events arriving between registration and
+	// this write appear after the snapshot, and counters only grow, so
+	// the client's view is coherent from the first frame.
+	if snap, err := json.Marshal(s.c.Snapshot()); err == nil {
+		if _, err := w.Write(frame("snapshot", snap)); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+
+	for {
+		select {
+		case f, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(f); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

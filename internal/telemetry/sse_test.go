@@ -1,0 +1,228 @@
+package telemetry
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	data  string
+}
+
+// readFrames parses n SSE frames off the wire, failing the test on
+// timeout (the reader goroutine sends frames over a channel so the
+// test never blocks forever on a missing frame).
+func readFrames(t *testing.T, r *bufio.Reader, n int) []sseFrame {
+	t.Helper()
+	ch := make(chan sseFrame, n)
+	errCh := make(chan error, 1)
+	go func() {
+		for sent := 0; sent < n; {
+			var f sseFrame
+			for {
+				line, err := r.ReadString('\n')
+				if err != nil {
+					errCh <- err
+					return
+				}
+				line = strings.TrimRight(line, "\n")
+				if line == "" {
+					break
+				}
+				if strings.HasPrefix(line, "event: ") {
+					f.event = strings.TrimPrefix(line, "event: ")
+				}
+				if strings.HasPrefix(line, "data: ") {
+					f.data = strings.TrimPrefix(line, "data: ")
+				}
+			}
+			if f.event != "" || f.data != "" {
+				ch <- f
+				sent++
+			}
+		}
+	}()
+	frames := make([]sseFrame, 0, n)
+	timeout := time.After(10 * time.Second)
+	for len(frames) < n {
+		select {
+		case f := <-ch:
+			frames = append(frames, f)
+		case err := <-errCh:
+			t.Fatalf("reading SSE stream: %v (got %d of %d frames)", err, len(frames), n)
+		case <-timeout:
+			t.Fatalf("timed out waiting for SSE frames: got %d of %d", len(frames), n)
+		}
+	}
+	return frames
+}
+
+// TestEventStreamMidCampaignSubscribe connects a subscriber after the
+// campaign has progressed and checks the first frame is a coherent
+// "snapshot" reflecting the runs already done, with live "run" frames
+// following.
+func TestEventStreamMidCampaignSubscribe(t *testing.T) {
+	c := New()
+	c.Start(1)
+	c.AddQueued(4)
+	es := NewEventStream(c)
+	c.AddSink(es)
+	defer es.Close()
+
+	// Two runs happen before anyone subscribes: no subscriber, no cost,
+	// no buffering — the snapshot frame carries their totals instead.
+	c.RunDone(nil, RunEvent{Campaign: "k", MaskID: 0, Class: "Masked", Status: "completed"})
+	c.RunDone(nil, RunEvent{Campaign: "k", MaskID: 1, Class: "SDC", Status: "completed"})
+
+	srv := httptest.NewServer(es)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	snap := readFrames(t, br, 1)[0]
+	if snap.event != "snapshot" {
+		t.Fatalf("first frame event = %q, want snapshot", snap.event)
+	}
+	if !strings.Contains(snap.data, `"runs_done": 2`) && !strings.Contains(snap.data, `"runs_done":2`) {
+		t.Fatalf("snapshot frame does not carry the pre-subscribe runs: %s", snap.data)
+	}
+
+	// A run finishing after the subscribe arrives as a live frame.
+	c.RunDone(nil, RunEvent{Campaign: "k", MaskID: 2, Class: "DUE", Status: "completed"})
+	run := readFrames(t, br, 1)[0]
+	if run.event != "run" {
+		t.Fatalf("live frame event = %q, want run", run.event)
+	}
+	if !strings.Contains(run.data, `"MaskID":2`) || !strings.Contains(run.data, `"Class":"DUE"`) {
+		t.Fatalf("run frame does not carry the event: %s", run.data)
+	}
+}
+
+// TestEventStreamSlowConsumer fills a subscriber channel past its
+// buffer without draining it and checks broadcast stays non-blocking:
+// every excess event is dropped and counted, none stalls the sender.
+func TestEventStreamSlowConsumer(t *testing.T) {
+	c := New()
+	es := NewEventStream(c)
+	defer es.Close()
+	ch := es.subscribe()
+	if ch == nil {
+		t.Fatal("subscribe returned nil on an open stream")
+	}
+	defer es.unsubscribe(ch)
+
+	const extra = 50
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < subBuffer+extra; i++ {
+			es.RunEvent(RunEvent{MaskID: i, Class: "Masked"})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("broadcast blocked on a slow consumer")
+	}
+	if got := es.Dropped(); got != extra {
+		t.Fatalf("Dropped() = %d, want %d", got, extra)
+	}
+	if len(ch) != subBuffer {
+		t.Fatalf("subscriber buffer holds %d frames, want %d", len(ch), subBuffer)
+	}
+}
+
+// TestEventStreamNoSubscriberFastPath checks a stream with no
+// subscribers drops broadcasts before marshalling: an unmarshalable
+// value must not matter, and nothing is counted as dropped.
+func TestEventStreamNoSubscriberFastPath(t *testing.T) {
+	es := NewEventStream(New())
+	defer es.Close()
+	es.broadcast("run", make(chan int)) // json.Marshal would fail; fast path skips it
+	if es.Dropped() != 0 {
+		t.Fatalf("Dropped() = %d with no subscribers", es.Dropped())
+	}
+}
+
+// TestEventStreamClose checks closed streams refuse new subscribers
+// with 410 Gone, disconnect existing ones, and Close is idempotent.
+func TestEventStreamClose(t *testing.T) {
+	c := New()
+	es := NewEventStream(c)
+	srv := httptest.NewServer(es)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	readFrames(t, br, 1) // the snapshot frame: the subscriber is live
+
+	es.Close()
+	es.Close() // idempotent
+	// The live subscriber's channel is closed: the stream ends.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := br.ReadString('\n'); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream did not end after Close")
+		}
+	}
+	resp.Body.Close()
+
+	resp2, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusGone {
+		t.Fatalf("subscribe after Close: %d, want %d", resp2.StatusCode, http.StatusGone)
+	}
+
+	// Broadcasting into a closed stream is a no-op, not a panic.
+	es.RunEvent(RunEvent{Class: "Masked"})
+}
+
+// TestHandlerWithEvents checks the /events route mounts over the
+// standard handler without displacing /metrics.
+func TestHandlerWithEvents(t *testing.T) {
+	c := New()
+	c.Start(1)
+	es := NewEventStream(c)
+	defer es.Close()
+	srv := httptest.NewServer(c.HandlerWithEvents(es))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("/events Content-Type = %q", ct)
+	}
+}

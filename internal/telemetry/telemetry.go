@@ -86,6 +86,10 @@ type RunEvent struct {
 	WindowExited  bool
 	FastSteps     uint64
 	DetailCycles  uint64
+	// Diverged reports that the divergence probe saw the run's
+	// committed-instruction stream leave the golden path (false when no
+	// divergence recording is attached).
+	Diverged bool
 }
 
 // Sink consumes run-end events, e.g. the JSONL trace writer. RunEvent
@@ -143,12 +147,13 @@ type Collector struct {
 	startNanos atomic.Int64 // wall-clock start, first Start wins
 	workers    atomic.Int64
 
-	queued     atomic.Uint64
-	started    atomic.Uint64
-	done       atomic.Uint64
-	earlyStops atomic.Uint64
-	simCycles  atomic.Uint64
-	busyNanos  atomic.Int64
+	queued       atomic.Uint64
+	started      atomic.Uint64
+	done         atomic.Uint64
+	earlyStops   atomic.Uint64
+	divergedRuns atomic.Uint64
+	simCycles    atomic.Uint64
+	busyNanos    atomic.Int64
 
 	prunedDead       atomic.Uint64
 	prunedReplicated atomic.Uint64
@@ -254,6 +259,9 @@ func (c *Collector) RunDone(cs *CampaignStats, ev RunEvent) {
 	if ev.EarlyStop != "" {
 		c.earlyStops.Add(1)
 	}
+	if ev.Diverged {
+		c.divergedRuns.Add(1)
+	}
 	switch ev.Pruned {
 	case "dead":
 		c.prunedDead.Add(1)
@@ -297,6 +305,7 @@ func (c *Collector) Snapshot() Snapshot {
 		RunsStarted:      c.started.Load(),
 		RunsDone:         c.done.Load(),
 		EarlyStops:       c.earlyStops.Load(),
+		DivergedRuns:     c.divergedRuns.Load(),
 		PrunedDead:       c.prunedDead.Load(),
 		PrunedReplicated: c.prunedReplicated.Load(),
 		LadderRestores:   c.ladderRestores.Load(),

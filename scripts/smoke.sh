@@ -5,8 +5,11 @@
 # pruning, the checkpoint ladder, and the -prune-verify differential
 # guard on top, then a detail-window campaign with the -window-verify
 # differential guard, then a kill-and-resume round and a distributed
-# coordinator/worker round with a SIGKILLed worker, cross-checking each
-# run's artifacts with scripts/smokecheck.
+# coordinator/worker round with a SIGKILLed worker, and finally an
+# observability round: divergence provenance plus span tracing single-
+# node and distributed, with a live SSE subscription and the fleet-
+# aggregated snapshot cross-checked against the per-worker snapshots —
+# all artifacts validated with scripts/smokecheck.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -147,3 +150,64 @@ cmp "$tmp/ref/${key}.trace.jsonl" "$tmp/dist/${key}.trace.jsonl"
 go run ./scripts/smokecheck \
     -logs "$tmp/dist" -key "$key" -snapshot "$tmp/snap_dist.json" -journal
 echo "smoke: distributed campaign merged byte-identical to the single-node reference"
+
+# Observability round. A single-node reference campaign records
+# divergence provenance and a span trace; the same campaign distributed
+# over two workers must flush a byte-identical divergence file (the
+# provenance is a deterministic function of the plan, not of the
+# scheduling), while a live smokecheck probe subscribes to the
+# coordinator's SSE /events mid-campaign and the fleet-aggregated
+# snapshot is cross-checked against the per-worker final snapshots.
+# Seed 42's mask population includes runs that architecturally diverge.
+structure=rf.int
+key="${tool}__${bench}__${structure}"
+
+"$tmp/faultcamp" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 40 -seed 42 -logs "$tmp/obsref" \
+    -divergence -spans -trace -quiet -snapshot-json "$tmp/snap_obsref.json"
+
+go run ./scripts/smokecheck \
+    -logs "$tmp/obsref" -key "$key" -snapshot "$tmp/snap_obsref.json" \
+    -divergence -spans
+
+go build -o "$tmp/smokecheck" ./scripts/smokecheck
+
+"$tmp/faultcampd" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 40 -seed 42 -logs "$tmp/obsdist" \
+    -shard-size 8 -addr-file "$tmp/obs.addr" \
+    -divergence -spans -trace -quiet \
+    -fleet-json "$tmp/fleet.json" -snapshot-json "$tmp/snap_obsdist.json" &
+opid=$!
+
+i=0
+while [ ! -s "$tmp/obs.addr" ] && [ $i -lt 600 ]; do
+    sleep 0.05
+    i=$((i + 1))
+done
+addr="$(cat "$tmp/obs.addr")"
+
+# The live probe subscribes before the workers start — a mid-campaign
+# connect whose first frame must be a coherent aggregated snapshot,
+# followed by streamed run and span frames as shards merge.
+"$tmp/smokecheck" -live "$addr" -min-run-frames 5 -min-span-frames 5 &
+livepid=$!
+
+"$tmp/faultworker" -addr-file "$tmp/obs.addr" -id obs-w1 -quiet \
+    -snapshot-json "$tmp/obs_w1.json" &
+w1=$!
+"$tmp/faultworker" -addr-file "$tmp/obs.addr" -id obs-w2 -quiet \
+    -snapshot-json "$tmp/obs_w2.json" &
+w2=$!
+wait "$w1"
+wait "$w2"
+wait "$livepid"
+wait "$opid"
+
+cmp "$tmp/obsref/${key}.divergence.jsonl" "$tmp/obsdist/${key}.divergence.jsonl"
+"$tmp/smokecheck" \
+    -logs "$tmp/obsdist" -key "$key" -snapshot "$tmp/snap_obsdist.json" \
+    -divergence -spans \
+    -fleet "$tmp/fleet.json" -worker-snaps "$tmp/obs_w1.json,$tmp/obs_w2.json"
+echo "smoke: observability round OK — distributed divergence provenance byte-identical, SSE live, fleet snapshot balanced"

@@ -19,23 +19,50 @@
 //     per simulated (non-pruned) injection, each labeled with the
 //     campaign key and byte-equivalent to the stored log record, and
 //     with -want-resumed the snapshot reports at least one run loaded
-//     from the journal rather than re-simulated.
+//     from the journal rather than re-simulated,
+//   - with -divergence, the divergence-provenance JSONL (schema-version
+//     aware: versionless rows from older builds parse, newer versions
+//     are refused) carries one row per injection in (campaign, mask)
+//     order with classes matching the offline parser, pruned/resumed
+//     stubs carrying no measurements, and the derived masking-depth
+//     fields recomputable from the primary ones,
+//   - with -spans, the span trace parses under its version gate, forms
+//     one well-parented tree per trace ID, and carries one run span per
+//     simulated injection,
+//   - with -fleet, the coordinator's fleet-aggregated snapshot equals
+//     the merge of the per-worker snapshots named by -worker-snaps and
+//     its run total matches the stored logs.
+//
+// A second, live mode (-live URL) probes a running coordinator's
+// observability plane instead of offline artifacts: /snapshot.json and
+// /metrics must serve the aggregate, and an SSE subscription to /events
+// must open with a coherent "snapshot" frame and then stream at least
+// -min-run-frames "run" and -min-span-frames "span" frames.
 //
 // Usage:
 //
 //	smokecheck -logs logsrepo -key gefin-x86__qsort__rf.int \
 //	           -snapshot snap.json [-trace logsrepo/<key>.trace.jsonl] [-prune]
-//	           [-journal [-want-resumed]]
+//	           [-journal [-want-resumed]] [-divergence [-divergence-table]] [-spans]
+//	           [-fleet fleet.json -worker-snaps w1.json,w2.json]
+//	smokecheck -live http://127.0.0.1:8400 -min-run-frames 5 -min-span-frames 5
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"reflect"
+	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/divergence"
 	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
@@ -49,7 +76,20 @@ func main() {
 	wantWindow := flag.Bool("window", false, "assert the campaign ran under a detail window (windowed runs, entries, fast-tier work)")
 	wantJournal := flag.Bool("journal", false, "validate the run journal against the logs and trace")
 	wantResumed := flag.Bool("want-resumed", false, "assert the snapshot reports runs resumed from the journal")
+	wantDivergence := flag.Bool("divergence", false, "validate the divergence-provenance JSONL against the logs and trace")
+	divTable := flag.Bool("divergence-table", false, "with -divergence: print the aggregated propagation table (the EXPERIMENTS.md format)")
+	wantSpans := flag.Bool("spans", false, "validate the span trace (<logs>/<key>.spans.jsonl)")
+	fleetPath := flag.String("fleet", "", "fleet-aggregated snapshot JSON to check against -worker-snaps and the logs")
+	workerSnaps := flag.String("worker-snaps", "", "comma-separated per-worker snapshot JSON files (with -fleet)")
+	liveURL := flag.String("live", "", "probe a running coordinator's observability plane at this base URL instead of offline artifacts")
+	minRunFrames := flag.Int("min-run-frames", 1, "with -live: minimum SSE run frames to require")
+	minSpanFrames := flag.Int("min-span-frames", 0, "with -live: minimum SSE span frames to require")
+	liveTimeout := flag.Duration("live-timeout", 2*time.Minute, "with -live: overall deadline for the probe")
 	flag.Parse()
+	if *liveURL != "" {
+		checkLive(*liveURL, *minRunFrames, *minSpanFrames, *liveTimeout)
+		return
+	}
 	if *logsDir == "" || *key == "" || *snapPath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -227,8 +267,257 @@ func main() {
 		fatal(fmt.Errorf("-want-resumed: snapshot reports no resumed runs"))
 	}
 
-	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d (%d dead + %d replicated, %d journaled, %d resumed, %d windowed)\n",
-		*key, n, snap.ClassString(), len(recs), dead, replicated, journaled, snap.Resumed, snap.WindowedRuns)
+	var diverged int
+	if *wantDivergence {
+		var drecs []divergence.Record
+		drecs, diverged = checkDivergence(repo, *key, res.Records)
+		if *divTable {
+			if err := divergence.WriteTable(os.Stdout, divergence.Aggregate(drecs)); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	var spanCount int
+	if *wantSpans {
+		simulated := 0
+		for _, tr := range recs {
+			if tr.Pruned == "" {
+				simulated++
+			}
+		}
+		spanCount = checkSpans(repo, *key, simulated, int(snap.Resumed))
+	}
+	if *fleetPath != "" {
+		checkFleet(*fleetPath, *workerSnaps, n)
+	}
+
+	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d (%d dead + %d replicated, %d journaled, %d resumed, %d windowed, %d diverged, %d spans)\n",
+		*key, n, snap.ClassString(), len(recs), dead, replicated, journaled, snap.Resumed, snap.WindowedRuns, diverged, spanCount)
+}
+
+// checkDivergence validates the provenance file: schema-gated parse,
+// one row per injection in mask order, class agreement with the offline
+// parser, measurement-free pruned/resumed stubs, internally consistent
+// propagation depths. Returns the records and the diverged-row count.
+func checkDivergence(repo *core.LogsRepo, key string, records []core.LogRecord) ([]divergence.Record, int) {
+	f, err := os.Open(repo.DivergencePath(key))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	drecs, err := divergence.ReadRecords(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(drecs) != len(records) {
+		fatal(fmt.Errorf("divergence file has %d rows, logs have %d records", len(drecs), len(records)))
+	}
+	diverged := 0
+	for i, d := range drecs {
+		if d.Campaign != key || d.MaskID != records[i].MaskID {
+			fatal(fmt.Errorf("divergence row %d is %s/%d, want %s/%d (order broken)",
+				i, d.Campaign, d.MaskID, key, records[i].MaskID))
+		}
+		if cls, _ := (core.Parser{}).Classify(records[i]); d.Class != string(cls) {
+			fatal(fmt.Errorf("divergence row %d class %q, parser says %q", i, d.Class, cls))
+		}
+		// Pruned rows carry no propagation measurements — nothing was
+		// simulated for them (replicated rows do copy the representative's
+		// cycle count along with its verdict).
+		if d.Pruned != "" && (d.Observed || d.Diverged || d.FaultTouches != 0 || d.PropagationCycles != 0) {
+			fatal(fmt.Errorf("divergence row %d is pruned %q but carries measurements: %+v", i, d.Pruned, d))
+		}
+		if d.Diverged {
+			diverged++
+			if !d.Observed && !d.Resumed {
+				fatal(fmt.Errorf("divergence row %d diverged without consuming the fault", i))
+			}
+		}
+		rederived := d
+		rederived.Derive()
+		if rederived.PropagationCycles != d.PropagationCycles || rederived.TimeToOutcome != d.TimeToOutcome {
+			fatal(fmt.Errorf("divergence row %d depth fields not derivable from primaries: %+v", i, d))
+		}
+	}
+	return drecs, diverged
+}
+
+// checkSpans validates the span trace: version-gated parse, one trace
+// ID, strictly increasing sequence, every parent resolving inside the
+// file, and one run span per simulated injection (a resumed campaign
+// re-simulates fewer runs, so resumed rows relax the count into a lower
+// bound). Returns the span count.
+func checkSpans(repo *core.LogsRepo, key string, simulated, resumed int) int {
+	f, err := os.Open(repo.SpansPath(key))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	spans, err := telemetry.ReadSpans(f)
+	if err != nil {
+		fatal(err)
+	}
+	if len(spans) == 0 {
+		fatal(fmt.Errorf("span trace is empty"))
+	}
+	ids := make(map[string]bool, len(spans))
+	campaigns, runs := 0, 0
+	lastSeq := uint64(0)
+	for i, sp := range spans {
+		if sp.TraceID != spans[0].TraceID {
+			fatal(fmt.Errorf("span %d has trace id %q, file started with %q", i, sp.TraceID, spans[0].TraceID))
+		}
+		if i > 0 && sp.Seq <= lastSeq {
+			fatal(fmt.Errorf("span %d seq %d not after %d (total order broken)", i, sp.Seq, lastSeq))
+		}
+		lastSeq = sp.Seq
+		if sp.SpanID == "" {
+			fatal(fmt.Errorf("span %d has no id", i))
+		}
+		ids[sp.SpanID] = true
+		switch sp.Kind {
+		case telemetry.SpanCampaign:
+			campaigns++
+		case telemetry.SpanRun:
+			runs++
+		}
+	}
+	for i, sp := range spans {
+		if sp.ParentID != "" && !ids[sp.ParentID] {
+			fatal(fmt.Errorf("span %d (%s %q) has parent %q outside the trace", i, sp.Kind, sp.Name, sp.ParentID))
+		}
+	}
+	if campaigns == 0 {
+		fatal(fmt.Errorf("span trace has no campaign root span"))
+	}
+	if resumed == 0 && runs != simulated {
+		fatal(fmt.Errorf("span trace has %d run spans, want %d (one per simulated injection)", runs, simulated))
+	}
+	if resumed > 0 && runs < simulated-resumed {
+		fatal(fmt.Errorf("span trace has %d run spans, want at least %d", runs, simulated-resumed))
+	}
+	return len(spans)
+}
+
+// checkFleet validates the coordinator's fleet-aggregated snapshot:
+// re-merging the per-worker snapshots must reproduce it counter for
+// counter, and its run total must match the stored logs.
+func checkFleet(fleetPath, workerSnaps string, logRecords uint64) {
+	var fleet telemetry.Snapshot
+	readSnap(fleetPath, &fleet)
+	if workerSnaps == "" {
+		fatal(fmt.Errorf("-fleet needs -worker-snaps"))
+	}
+	var parts []telemetry.Snapshot
+	for _, p := range strings.Split(workerSnaps, ",") {
+		var s telemetry.Snapshot
+		readSnap(strings.TrimSpace(p), &s)
+		parts = append(parts, s)
+	}
+	merged := telemetry.MergeSnapshots(parts...)
+	if fleet.RunsDone != merged.RunsDone || fleet.SimCycles != merged.SimCycles ||
+		fleet.DivergedRuns != merged.DivergedRuns || fleet.RunsQueued != merged.RunsQueued {
+		fatal(fmt.Errorf("fleet snapshot (%d runs, %d cycles, %d diverged) != merged workers (%d, %d, %d)",
+			fleet.RunsDone, fleet.SimCycles, fleet.DivergedRuns,
+			merged.RunsDone, merged.SimCycles, merged.DivergedRuns))
+	}
+	if !reflect.DeepEqual(fleet.ClassCounts, merged.ClassCounts) {
+		fatal(fmt.Errorf("fleet class histogram %v != merged workers %v", fleet.ClassCounts, merged.ClassCounts))
+	}
+	if fleet.RunsDone != logRecords {
+		fatal(fmt.Errorf("fleet snapshot has %d runs, logs have %d records", fleet.RunsDone, logRecords))
+	}
+	fmt.Printf("smokecheck: fleet snapshot equals the merge of %d worker snapshots (%d runs)\n",
+		len(parts), fleet.RunsDone)
+}
+
+func readSnap(path string, s *telemetry.Snapshot) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := json.Unmarshal(b, s); err != nil {
+		fatal(fmt.Errorf("%s does not parse: %w", path, err))
+	}
+}
+
+// checkLive probes a running coordinator's observability plane:
+// /snapshot.json parses, /metrics carries HELP'd exposition, and an SSE
+// subscription to /events opens with a "snapshot" frame and streams the
+// required number of run and span frames before the deadline.
+func checkLive(base string, minRuns, minSpans int, timeout time.Duration) {
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	resp, err := client.Get(base + "/snapshot.json")
+	if err != nil {
+		fatal(err)
+	}
+	var snap telemetry.Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		fatal(fmt.Errorf("/snapshot.json does not parse: %w", err))
+	}
+
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if !strings.Contains(string(metrics), "# HELP faultinject_runs_done_total") {
+		fatal(fmt.Errorf("/metrics lacks the HELP'd exposition"))
+	}
+
+	// The SSE subscription: no client timeout (the stream is long-lived);
+	// the overall deadline instead bounds the read loop via the context.
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/events", nil)
+	if err != nil {
+		fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		fatal(fmt.Errorf("/events Content-Type = %q", ct))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	first := true
+	runs, spans := 0, 0
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "event: ") {
+			continue
+		}
+		event := strings.TrimPrefix(line, "event: ")
+		if first {
+			if event != "snapshot" {
+				fatal(fmt.Errorf("/events first frame is %q, want snapshot", event))
+			}
+			first = false
+		}
+		switch event {
+		case "run":
+			runs++
+		case "span":
+			spans++
+		}
+		if runs >= minRuns && spans >= minSpans {
+			fmt.Printf("smokecheck: live plane OK — snapshot served, %d run and %d span frames streamed\n", runs, spans)
+			return
+		}
+	}
+	fatal(fmt.Errorf("/events ended after %d run and %d span frames, want %d and %d (scan err: %v)",
+		runs, spans, minRuns, minSpans, sc.Err()))
 }
 
 func fatal(err error) {
