@@ -1,6 +1,9 @@
 package bitarray
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // AccessKind classifies one liveness-profile event.
 type AccessKind uint8
@@ -99,12 +102,15 @@ func (p *Profile) EventCount() int {
 // is on. It exists only during fault-free golden replays, so it never
 // coexists with hot injection runs; the accessors gate on a single nil
 // check, keeping the disabled cost to one predictable branch. Events go
-// into one flat execution-order buffer — a single hot append target
-// instead of thousands of independently growing per-entry slices — and
-// are bucketed per entry only at StopProfile.
+// into fixed-size execution-order chunks — a full chunk is set aside
+// and a fresh one started, so recording never copies what it already
+// recorded (a golden replay logs millions of events per array; growing
+// one flat slice spends more time in copies than in the recording) —
+// and are bucketed per entry only at StopProfile.
 type profiler struct {
-	cycle func() uint64
-	recs  []flatEvent
+	cycle  func() uint64
+	chunks [][]flatEvent // full chunks, in execution order
+	cur    []flatEvent   // chunk being filled, len < cap outside profRecord
 }
 
 // flatEvent is one recorded access before per-entry bucketing.
@@ -115,6 +121,21 @@ type flatEvent struct {
 	kind            AccessKind
 }
 
+// profChunk is the event capacity of one recording chunk (~1.5 MiB).
+const profChunk = 1 << 16
+
+// chunkPool recycles recording chunks across profiling sessions and
+// arrays; a recycled chunk is re-sliced empty and overwritten by
+// appends, so it needs no zeroing either.
+var chunkPool sync.Pool
+
+func newChunk() []flatEvent {
+	if v := chunkPool.Get(); v != nil {
+		return (*v.(*[]flatEvent))[:0]
+	}
+	return make([]flatEvent, 0, profChunk)
+}
+
 // StartProfile turns on liveness profiling, sampling the current cycle
 // from cycle on every access. Profiling records every read, write and
 // eviction per entry until StopProfile; it is meant for fault-free
@@ -122,7 +143,7 @@ type flatEvent struct {
 func (a *Array) StartProfile(cycle func() uint64) {
 	a.prof = &profiler{
 		cycle: cycle,
-		recs:  make([]flatEvent, 0, 4096),
+		cur:   newChunk(),
 	}
 }
 
@@ -136,9 +157,12 @@ func (a *Array) StopProfile() *Profile {
 		return nil
 	}
 	a.prof = nil
+	all := append(p.chunks, p.cur)
 	counts := make([]int, a.entries)
-	for _, r := range p.recs {
-		counts[r.entry]++
+	for _, recs := range all {
+		for _, r := range recs {
+			counts[r.entry]++
+		}
 	}
 	events := make([][]ProfileEvent, a.entries)
 	for e, n := range counts {
@@ -146,14 +170,22 @@ func (a *Array) StopProfile() *Profile {
 			events[e] = make([]ProfileEvent, 0, n)
 		}
 	}
-	for _, r := range p.recs {
-		events[r.entry] = append(events[r.entry], ProfileEvent{
-			Cycle:    r.cycle,
-			FirstBit: r.firstBit,
-			NBits:    r.nbits,
-			Kind:     r.kind,
-		})
+	// Chunks are bucketed in recording order, so per-entry event order
+	// stays the execution order.
+	for _, recs := range all {
+		for _, r := range recs {
+			events[r.entry] = append(events[r.entry], ProfileEvent{
+				Cycle:    r.cycle,
+				FirstBit: r.firstBit,
+				NBits:    r.nbits,
+				Kind:     r.kind,
+			})
+		}
 	}
+	for i := range all {
+		chunkPool.Put(&all[i])
+	}
+	p.chunks, p.cur = nil, nil
 	return &Profile{
 		Name:         a.name,
 		Entries:      a.entries,
@@ -166,7 +198,11 @@ func (a *Array) StopProfile() *Profile {
 // range the matching observe function would check.
 func (a *Array) profRecord(kind AccessKind, entry, firstBit, nbits int) {
 	p := a.prof
-	p.recs = append(p.recs, flatEvent{
+	if len(p.cur) == cap(p.cur) {
+		p.chunks = append(p.chunks, p.cur)
+		p.cur = newChunk()
+	}
+	p.cur = append(p.cur, flatEvent{
 		cycle:    p.cycle(),
 		entry:    int32(entry),     //nolint:gosec // entries is far below 2^31
 		firstBit: uint16(firstBit), //nolint:gosec // bitsPerEntry is far below 64k

@@ -52,6 +52,8 @@ type CampaignFlags struct {
 	WindowPre     uint64
 	WindowPost    uint64
 	WindowVerify  int
+	FFRungs       int
+	NoDecodeCache bool
 	Divergence    bool
 }
 
@@ -76,6 +78,8 @@ func Campaign(fs *flag.FlagSet, defaultN int) *CampaignFlags {
 	fs.Uint64Var(&c.WindowPre, "window-pre", 2000, "cycle-accurate margin before the earliest fault arms (with -detail-window)")
 	fs.Uint64Var(&c.WindowPost, "window-post", 1000, "cycle-accurate margin after the last fault settles (with -detail-window)")
 	fs.IntVar(&c.WindowVerify, "window-verify", 0, "re-simulate up to this many windowed masks per campaign fully cycle-accurately and fail on a class mismatch (implies -detail-window)")
+	fs.IntVar(&c.FFRungs, "ff-rungs", 0, "functional fast-forward rungs per row window entries resume from (with -detail-window; 0: default ladder, negative: fast-forward from boot)")
+	fs.BoolVar(&c.NoDecodeCache, "no-decode-cache", false, "run the functional tier without the predecoded-instruction cache (with -detail-window; reference behaviour, byte-identical results)")
 	fs.BoolVar(&c.Divergence, "divergence", false, "record per-run divergence provenance (first architectural divergence vs golden, corruption footprint, masking depth) to <key>.divergence.jsonl")
 	return c
 }
@@ -115,6 +119,8 @@ func (c *CampaignFlags) Apply(cells []core.CampaignCell) core.CampaignConfig {
 		cfg.WindowPre = c.WindowPre
 		cfg.WindowPost = c.WindowPost
 		cfg.WindowVerify = c.WindowVerify
+		cfg.FFRungs = c.FFRungs
+		cfg.NoDecodeCache = c.NoDecodeCache
 	}
 	// Stamp the lowest schema version that can express the config, so
 	// configs without the new fields stay readable by legacy builds.

@@ -224,7 +224,7 @@ func RunOneFrom(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenIn
 	if cp != nil {
 		rungs = []LadderRung{{State: cp, Cycle: cpCycle}}
 	}
-	return runInjection(f, rungs, m, golden, timeoutFactor, earlyStop, nil, nil)
+	return runInjection(f, rungs, m, golden, timeoutFactor, earlyStop, nil, nil, nil)
 }
 
 // runInjection is RunOneFrom plus optional telemetry gathering; stats is
@@ -237,7 +237,7 @@ func RunOneFrom(f Factory, cp any, cpCycle uint64, m fault.Mask, golden GoldenIn
 // the functional tier, simulates cycle-accurately only until the fault
 // provably settles (or, for win.noExit, to the end — the verify mode),
 // and finishes functionally.
-func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool, win *windowConfig, stats *runStats) (LogRecord, error) {
+func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo, timeoutFactor uint64, earlyStop bool, win *windowConfig, ff *ffLadder, stats *runStats) (LogRecord, error) {
 	sim := f()
 	wi, _ := sim.(Windower)
 	// Fault-free masks never window: with no site there is no window to
@@ -275,7 +275,7 @@ func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo
 			if entry > rungCycle {
 				t0 := time.Now()
 				var fast uint64
-				seeded, fast = windowEntry(wi, golden, entry)
+				seeded, fast = windowEntry(wi, golden, entry, ff, win.noDecode)
 				if seeded {
 					startCycle = entry
 					if stats != nil {
@@ -367,7 +367,7 @@ func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo
 		}
 		t1 := time.Now()
 		var tailSteps uint64
-		res, tailSteps = windowTail(wi.Image(), st, golden, timeoutFactor)
+		res, tailSteps = windowTail(wi.Image(), st, golden, timeoutFactor, win.noDecode)
 		if stats != nil {
 			stats.windowExited = true
 			stats.fastSteps += tailSteps
@@ -398,8 +398,17 @@ func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo
 	for _, ev := range res.Events {
 		rec.EventKinds = append(rec.EventKinds, ev.Exc.String())
 	}
+	// The record is fully extracted and every capture is a copy: the
+	// simulator is dead, so its RAM can go back to the boot pool.
+	if mr, ok := sim.(memReleaser); ok {
+		mr.ReleaseMemory()
+	}
 	return rec, nil
 }
+
+// memReleaser is the optional boot-pool hook of a simulator: a machine
+// that can hand its RAM back for recycling once a run is over.
+type memReleaser interface{ ReleaseMemory() }
 
 // RunCampaign is the injection campaign controller: it resolves the
 // golden reference (running it unless spec.Golden supplies a memoized

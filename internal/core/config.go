@@ -24,7 +24,11 @@ import (
 //	    them is served as version 1, so legacy readers keep working.
 //	3 — divergence-provenance recording (divergence). Served as the
 //	    lowest version that can express the config, as before.
-const ConfigSchemaVersion = 3
+//	4 — functional-tier turbo knobs (ff_rungs, no_decode_cache). Both
+//	    only tune how windowed runs execute — results are byte-identical
+//	    across settings — so a config leaving them at zero is still
+//	    served at the lowest version expressing it.
+const ConfigSchemaVersion = 4
 
 // CampaignCell is one {tool, benchmark, structure} campaign of a
 // config. Cells reference tools and benchmarks by name — a config is
@@ -113,6 +117,16 @@ type CampaignConfig struct {
 	WindowPre    uint64 `json:"window_pre_cycles,omitempty"`
 	WindowPost   uint64 `json:"window_post_cycles,omitempty"`
 	WindowVerify int    `json:"window_verify,omitempty"`
+	// FFRungs sizes the functional fast-forward rung ladder window
+	// entries resume from (per {tool, benchmark} row, memoized lazily):
+	// 0 means the default ladder, negative disables it so every entry
+	// fast-forwards from boot. NoDecodeCache forces every functional
+	// dispatch through the slow byte-level decoder instead of the
+	// per-image predecoded instruction cache. Both are pure performance
+	// knobs for windowed execution — records, traces, journals and
+	// divergence files are byte-identical across settings.
+	FFRungs       int  `json:"ff_rungs,omitempty"`
+	NoDecodeCache bool `json:"no_decode_cache,omitempty"`
 	// Divergence enables provenance recording: every run is probed
 	// against the golden commit-stream signature and a per-mask
 	// divergence record (first architectural divergence, corruption
@@ -133,6 +147,9 @@ func (c CampaignConfig) usesWindow() bool {
 // stamped with when served over the wire: the lowest version that can
 // express it.
 func (c CampaignConfig) WireSchemaVersion() int {
+	if c.FFRungs != 0 || c.NoDecodeCache {
+		return 4
+	}
 	if c.Divergence {
 		return 3
 	}
@@ -180,6 +197,9 @@ func (c CampaignConfig) Validate() error {
 	}
 	if !c.DetailWindow && c.WindowVerify == 0 && (c.WindowPre != 0 || c.WindowPost != 0) {
 		return bad("detail_window", "window margins set but windowing is off")
+	}
+	if !c.DetailWindow && c.WindowVerify == 0 && c.FFRungs != 0 {
+		return bad("ff_rungs", "fast-forward rungs set but windowing is off")
 	}
 	for i, cell := range c.Campaigns {
 		field := func(name string) string { return fmt.Sprintf("campaigns[%d].%s", i, name) }
@@ -297,6 +317,8 @@ func (c CampaignConfig) matrixOptions(att Attach, cache *GoldenCache) MatrixOpti
 		WindowPre:        c.WindowPre,
 		WindowPost:       c.WindowPost,
 		WindowVerify:     c.WindowVerify,
+		FFRungs:          c.FFRungs,
+		NoDecodeCache:    c.NoDecodeCache,
 		Divergence:       att.Divergence,
 		Tracer:           att.Tracer,
 		TraceParent:      att.TraceParent,

@@ -7,10 +7,12 @@ import (
 	"reflect"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/divergence"
 	"repro/internal/fault"
+	"repro/internal/interp"
 	"repro/internal/prune"
 	"repro/internal/telemetry"
 )
@@ -27,6 +29,11 @@ type GoldenCache struct {
 	entries map[goldenKey]*goldenEntry
 	runs    int
 	calls   int
+
+	// ffHits and ffBuilds aggregate the functional fast-forward rung
+	// ladder activity across the cache's rows — the ff_rung telemetry
+	// gauges. Atomics: windowEntry touches them on the run path.
+	ffHits, ffBuilds atomic.Uint64
 }
 
 type goldenKey struct{ tool, bench string }
@@ -58,6 +65,13 @@ type goldenEntry struct {
 	// CommitSignature); building one simulates a whole golden run.
 	sigMu sync.Mutex
 	sig   *divergence.Signature
+
+	// ffMu guards the memoized functional fast-forward rung ladder (see
+	// FFLadder); its rungs fill lazily on the run path under the
+	// ladder's own lock.
+	ffMu      sync.Mutex
+	ffQuantum uint64
+	ff        *ffLadder
 }
 
 // NewGoldenCache returns an empty memoizer.
@@ -254,6 +268,38 @@ func (c *GoldenCache) CommitSignature(tool, bench string, f Factory) (*divergenc
 	return e.sig, nil
 }
 
+// FFLadder returns the memoized functional fast-forward rung ladder of
+// the {tool, bench} row for the given rung count, creating it (empty)
+// on first use. Unlike the detailed checkpoint ladder, creation costs
+// nothing: rungs are captured lazily on the run path, each from the
+// nearest lower rung. golden supplies the committed count the rung
+// quantum is derived from, so supplied-golden specs resolve without a
+// cache-side reference run.
+func (c *GoldenCache) FFLadder(tool, bench string, golden GoldenInfo, rungs int, noDecode bool) *ffLadder {
+	if rungs <= 0 || golden.Committed == 0 {
+		return nil
+	}
+	quantum := golden.Committed / uint64(rungs) //nolint:gosec // rungs > 0
+	if quantum == 0 {
+		return nil
+	}
+	e := c.entry(tool, bench)
+	e.ffMu.Lock()
+	defer e.ffMu.Unlock()
+	if e.ff == nil || e.ffQuantum != quantum || e.ff.noDecode != noDecode {
+		e.ff = newFFLadder(quantum, noDecode, &c.ffHits, &c.ffBuilds)
+		e.ffQuantum = quantum
+	}
+	return e.ff
+}
+
+// FFStats reports the matrix-wide functional fast-forward ladder
+// activity: window entries seeded from a memoized rung vs. rung
+// captures built. The telemetry snapshot polls it as a lazy source.
+func (c *GoldenCache) FFStats() (hits, builds uint64) {
+	return c.ffHits.Load(), c.ffBuilds.Load()
+}
+
 // rungCycles projects a ladder onto its capture cycles — the part of a
 // rung that identifies the replay trajectory it induces.
 func rungCycles(rungs []LadderRung) []uint64 {
@@ -341,6 +387,21 @@ type MatrixOptions struct {
 	// disagrees with the windowed verdict — the differential guard of
 	// the window-exit proof. It implies DetailWindow.
 	WindowVerify int
+	// FFRungs sizes the functional fast-forward rung ladder windowed
+	// runs enter their detail window through: per {tool, benchmark} row,
+	// functional-tier states are memoized at FFRungs evenly spaced step
+	// points of the fault-free prefix (lazily, on first use) and each
+	// window entry resumes from the nearest rung at or below its entry
+	// instruction instead of replaying from boot. Zero means the default
+	// ladder; negative disables it (every entry fast-forwards from
+	// boot). The seeded states are identical either way, so results,
+	// traces and journals are byte-identical across settings.
+	FFRungs int
+	// NoDecodeCache forces every functional-tier dispatch through the
+	// slow byte-level Fetch+Decode path instead of the per-image
+	// predecoded instruction cache — the reference behaviour for the
+	// differential guards; results are byte-identical either way.
+	NoDecodeCache bool
 	// Divergence, when non-nil, receives one provenance record per mask:
 	// where the injected run's committed-instruction stream first left
 	// the golden path (measured against a per-row golden signature
@@ -378,6 +439,9 @@ type campaignPrep struct {
 	golden GoldenInfo
 	rungs  []LadderRung
 	plan   *prune.Plan
+	// ff is the row's functional fast-forward rung ladder (nil when
+	// windowing is off or the ladder is disabled).
+	ff *ffLadder
 }
 
 // RunMatrix executes a set of {tool, benchmark, structure} campaigns as
@@ -665,8 +729,20 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 	// cycle-accurate from the same window entry.
 	var win, winNoExit *windowConfig
 	if opt.DetailWindow || opt.WindowVerify > 0 {
-		win = &windowConfig{pre: opt.WindowPre, post: opt.WindowPost}
-		winNoExit = &windowConfig{pre: opt.WindowPre, post: opt.WindowPost, noExit: true}
+		win = &windowConfig{pre: opt.WindowPre, post: opt.WindowPost, noDecode: opt.NoDecodeCache}
+		winNoExit = &windowConfig{pre: opt.WindowPre, post: opt.WindowPost, noDecode: opt.NoDecodeCache, noExit: true}
+		// Resolve the functional fast-forward rung ladder once per row;
+		// the rungs themselves are captured lazily on the run path.
+		if opt.FFRungs >= 0 {
+			n := opt.FFRungs
+			if n == 0 {
+				n = defaultFFRungs
+			}
+			for i := range specs {
+				preps[i].ff = cache.FFLadder(preps[i].golden.Tool, specs[i].Benchmark,
+					preps[i].golden, n, opt.NoDecodeCache)
+			}
+		}
 	}
 
 	// Flatten every injection run into one shared queue, spec-major and
@@ -754,6 +830,8 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 			r, h := cache.Stats()
 			return uint64(r), uint64(h) //nolint:gosec // counters are non-negative
 		})
+		tel.SetFFRungSource(cache.FFStats)
+		tel.SetDecodeSource(interp.DecodeCacheStats)
 		tel.Start(workers)
 		// Queue accounting counts masks, not queue slots: pruned and
 		// resumed masks complete at fill time (so queued == done holds),
@@ -857,7 +935,7 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 					// window policy as the real runs — the check is about
 					// the prune verdict, not the execution tier.
 					rec, err := runGuarded(spec.Factory, prep.rungs, spec.Masks[r.mask],
-						prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, win, opt.RunWallLimit, nil)
+						prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, win, prep.ff, opt.RunWallLimit, nil)
 					if err != nil {
 						noteErr(i, err)
 						return
@@ -870,7 +948,7 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 					// cycle-accurately from the same window entry, bypassing
 					// telemetry, the journal and the results entirely.
 					rec, err := runGuarded(spec.Factory, prep.rungs, spec.Masks[r.mask],
-						prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, winNoExit, opt.RunWallLimit, nil)
+						prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, winNoExit, prep.ff, opt.RunWallLimit, nil)
 					if err != nil {
 						noteErr(i, err)
 						return
@@ -893,7 +971,7 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 					runStart = time.Now()
 				}
 				rec, err := runGuarded(spec.Factory, prep.rungs, spec.Masks[r.mask],
-					prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, win, opt.RunWallLimit, stats)
+					prep.golden, spec.TimeoutFactor, !spec.DisableEarlyStop, win, prep.ff, opt.RunWallLimit, stats)
 				if err != nil {
 					noteErr(i, err)
 					return

@@ -43,6 +43,9 @@ type windowConfig struct {
 	// to the functional tail, so any class disagreement indicts the
 	// window-exit proof, not the entry.
 	noExit bool
+	// noDecode runs the functional tier without the predecoded
+	// instruction cache (the -no-decode-cache reference behaviour).
+	noDecode bool
 }
 
 // StatusOfOutcome maps a functional-tier outcome onto the campaign
@@ -85,11 +88,16 @@ func ResultOfInterp(r interp.Result) RunResult {
 // functional tier: the functional model executes the fault-free prefix
 // up to the instruction matching the entry cycle (by the golden run's
 // average commit rate), and the captured architectural state seeds the
-// cycle-accurate machine. It reports whether the machine was seeded and
-// the fast-forwarded step count; a prefix the functional model finishes
-// before the entry (or an entry of zero) leaves the machine untouched
-// and the caller falls back to a checkpoint rung or boot.
-func windowEntry(wi Windower, golden GoldenInfo, entry uint64) (seeded bool, steps uint64) {
+// cycle-accurate machine. With a fast-forward rung ladder the replay
+// resumes from the highest memoized rung at or below the entry
+// instruction instead of from boot; the functional tier is
+// deterministic, so the captured state — and everything downstream of
+// it — is identical either way. It reports whether the machine was
+// seeded and the fast-forwarded step count; a prefix the functional
+// model finishes before the entry (or an entry of zero) leaves the
+// machine untouched and the caller falls back to a checkpoint rung or
+// boot.
+func windowEntry(wi Windower, golden GoldenInfo, entry uint64, ff *ffLadder, noDecode bool) (seeded bool, steps uint64) {
 	if entry == 0 || golden.Cycles == 0 {
 		return false, 0
 	}
@@ -97,14 +105,25 @@ func windowEntry(wi Windower, golden GoldenInfo, entry uint64) (seeded bool, ste
 	if entryInstr == 0 {
 		return false, 0
 	}
-	fm := interp.New(wi.Image())
-	fr := fm.Continue(entryInstr)
+	fm := ff.machineAt(wi.Image(), entryInstr)
+	if fm == nil {
+		fm = interp.New(wi.Image())
+		if noDecode {
+			fm.DisableDecodeCache()
+		}
+	}
+	// Seeded machines inherit the rung's step count, so the remaining
+	// slice lands exactly on entryInstr and fr.Steps reports the same
+	// total a from-boot fast-forward would.
+	fr := fm.Continue(entryInstr - fm.Steps())
 	if fr.Outcome != interp.StepLimit {
 		// The program completes (or crashes — impossible fault-free)
 		// before the window opens at functional pace: no prefix to skip.
+		fm.Release()
 		return false, 0
 	}
 	st := fm.Capture()
+	fm.Release()
 	// The capture carries the functional tier's step count as its time
 	// base; the cycle-accurate machine resumes the golden cycle clock at
 	// the window edge so absolute fault cycles keep their meaning.
@@ -119,7 +138,7 @@ func windowEntry(wi Windower, golden GoldenInfo, entry uint64) (seeded bool, ste
 // cycle budget (golden committed count times the timeout factor). Tail
 // cycles are accounted at one instruction per cycle on top of the
 // capture cycle.
-func windowTail(img *asm.Image, st *handoff.State, golden GoldenInfo, timeoutFactor uint64) (RunResult, uint64) {
+func windowTail(img *asm.Image, st *handoff.State, golden GoldenInfo, timeoutFactor uint64, noDecode bool) (RunResult, uint64) {
 	stepBudget := golden.Committed * timeoutFactor
 	if st.Committed >= stepBudget {
 		// The window itself consumed the whole instruction budget; the
@@ -134,7 +153,11 @@ func windowTail(img *asm.Image, st *handoff.State, golden GoldenInfo, timeoutFac
 		}, 0
 	}
 	tail := interp.Seed(img, st)
+	if noDecode {
+		tail.DisableDecodeCache()
+	}
 	tr := tail.Continue(stepBudget - st.Committed)
+	tail.Release()
 	tailSteps := tr.Steps - st.Committed
 	res := ResultOfInterp(tr)
 	res.Cycles = st.Cycle + tailSteps

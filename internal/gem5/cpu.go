@@ -81,11 +81,17 @@ type CPU struct {
 	iq          *pipeline.IQ
 	lsq         *pipeline.LSQ
 
-	pc           uint64
+	pc uint64
+	// fetchQ is consumed from fetchHead instead of re-slicing forward,
+	// so the backing array is reused across the whole run; rename
+	// compacts the drained prefix away once it grows past a threshold.
 	fetchQ       []fetchedUop
+	fetchHead    int
 	fetchBlocked bool
 	fetchReady   uint64
 	inflight     []inflightOp
+	// cands is issue()'s reusable candidate buffer (cleared per cycle).
+	cands []issueCand
 
 	cycle      uint64
 	lastCommit uint64
@@ -109,6 +115,8 @@ type CPU struct {
 	textEnd uint64
 	fbuf    []byte
 	sbuf    [8]byte
+	// ibuf is fetch's decode scratch; see the Decode call site.
+	ibuf isa.Inst
 }
 
 // New boots a simulated machine with the image. The image's ISA must
@@ -156,6 +164,14 @@ func New(cfg Config, img *asm.Image) *CPU {
 	c.rasSnaps = make([][2]int, cfg.ROBEntries)
 	c.instHeads = make([]bool, cfg.ROBEntries)
 	return c
+}
+
+// ReleaseMemory returns the machine's RAM to the boot pool; the
+// scheduler calls it once a run's result and captures are fully
+// extracted. The machine is dead afterwards.
+func (c *CPU) ReleaseMemory() {
+	mem.Release(c.mem)
+	c.mem = nil
 }
 
 // Name implements core.Simulator.
@@ -359,6 +375,7 @@ func (c *CPU) flush(newPC uint64) {
 	c.tour.OnFlush()
 	c.inflight = c.inflight[:0]
 	c.fetchQ = c.fetchQ[:0]
+	c.fetchHead = 0
 	c.fetchBlocked = false
 	c.pc = newPC
 	c.fetchReady = c.cycle + 3
@@ -376,7 +393,7 @@ func (c *CPU) poison(pc uint64, exc isa.Exception, info uint64) {
 }
 
 func (c *CPU) fetch() {
-	if c.fetchBlocked || c.cycle < c.fetchReady || len(c.fetchQ) > 4*c.cfg.FetchWidth {
+	if c.fetchBlocked || c.cycle < c.fetchReady || len(c.fetchQ)-c.fetchHead > 4*c.cfg.FetchWidth {
 		return
 	}
 	for n := 0; n < c.cfg.FetchWidth; n++ {
@@ -409,8 +426,12 @@ func (c *CPU) fetch() {
 			c.fetchReady = c.cycle + uint64(stall)
 		}
 
-		var inst isa.Inst
-		if err := c.dec.Decode(c.fbuf[:need], pc, &inst); err != nil {
+		// Decode into the CPU-owned scratch instruction: a stack-local
+		// escapes through the interface call and heap-allocates on every
+		// fetch. Both decoders Reset the destination first, and the
+		// instruction is fully consumed before the next decode.
+		inst := &c.ibuf
+		if err := c.dec.Decode(c.fbuf[:need], pc, inst); err != nil {
 			// Gem5 delivers an undefined-instruction fault; commit
 			// turns it into a process crash on the true path.
 			c.poison(pc, isa.ExcIllegalInstr, pc)
@@ -485,8 +506,15 @@ func (c *CPU) fetch() {
 // ---- Rename/dispatch ----------------------------------------------------------
 
 func (c *CPU) rename() {
-	for n := 0; n < c.cfg.RenameWidth && len(c.fetchQ) > 0; n++ {
-		fu := &c.fetchQ[0]
+	// Compact the drained prefix occasionally so the backing array stays
+	// bounded without a copy on every pop.
+	if c.fetchHead >= 512 {
+		n := copy(c.fetchQ, c.fetchQ[c.fetchHead:])
+		c.fetchQ = c.fetchQ[:n]
+		c.fetchHead = 0
+	}
+	for n := 0; n < c.cfg.RenameWidth && len(c.fetchQ) > c.fetchHead; n++ {
+		fu := &c.fetchQ[c.fetchHead]
 		u := fu.uop
 		if c.rob.Full() {
 			return
@@ -568,7 +596,11 @@ func (c *CPU) rename() {
 			c.iq.Alloc(w0, w1, idx)
 			e.Dispatched = true
 		}
-		c.fetchQ = c.fetchQ[1:]
+		c.fetchHead++
+		if c.fetchHead == len(c.fetchQ) {
+			c.fetchQ = c.fetchQ[:0]
+			c.fetchHead = 0
+		}
 	}
 }
 
@@ -596,20 +628,23 @@ func actualNext(e *pipeline.ROBEntry) uint64 {
 
 // ---- Issue/execute -------------------------------------------------------------
 
+// issueCand is one occupied IQ slot under age-ordered issue selection.
+type issueCand struct {
+	slot int
+	seq  uint64
+}
+
 func (c *CPU) issue() {
 	intBudget, fpBudget, memBudget := c.cfg.IntALUs, c.cfg.FPALUs, c.cfg.MemPorts
 	issued := 0
-	type cand struct {
-		slot int
-		seq  uint64
-	}
-	var cands []cand
+	cands := c.cands[:0]
 	for i := 0; i < c.iq.Size(); i++ {
 		if c.iq.Occupied(i) {
 			_, robIdx := c.iq.Entry(i)
-			cands = append(cands, cand{i, c.rob.At(robIdx).Seq})
+			cands = append(cands, issueCand{i, c.rob.At(robIdx).Seq})
 		}
 	}
+	c.cands = cands
 	for i := 1; i < len(cands); i++ {
 		for j := i; j > 0 && cands[j].seq < cands[j-1].seq; j-- {
 			cands[j], cands[j-1] = cands[j-1], cands[j]

@@ -7,6 +7,7 @@
 package interp
 
 import (
+	"encoding/binary"
 	"math"
 
 	"repro/internal/asm"
@@ -80,6 +81,19 @@ type Machine struct {
 	// of the source state so step stamps keep a single time base.
 	steps uint64
 	uops  uint64
+
+	// Dispatch state hoisted out of the per-step loop: the fetch buffer
+	// (so Continue slices don't churn allocations), the decoder's
+	// alignment policy, the shared per-image predecode table, and a
+	// scratch Inst for slow-path decodes.
+	buf        []byte
+	alignCheck bool
+	cache      *decodeCache
+	scratch    isa.Inst
+
+	// Per-machine decode-cache counters, flushed to the package totals
+	// when a run slice returns so the hot loop stays contention-free.
+	decHits, decMisses uint64
 }
 
 // newMachine builds the decoder/memory shell shared by New and Seed.
@@ -92,8 +106,17 @@ func newMachine(img *asm.Image) *Machine {
 		m.dec = cisc.Decoder{}
 	}
 	m.mem.SetTextEnd(img.TextBase + uint64(len(img.Text)))
+	m.buf = make([]byte, m.dec.MaxInstLen())
+	m.alignCheck = m.dec.Name() == "arm"
+	m.cache = cacheFor(img)
 	return m
 }
+
+// DisableDecodeCache forces every dispatch through the slow
+// Fetch+Decode path. The -no-decode-cache knob and the equivalence
+// tests use it to produce the reference behaviour the cached path must
+// match byte for byte.
+func (m *Machine) DisableDecodeCache() { m.cache = nil }
 
 // New builds a functional machine for the image.
 func New(img *asm.Image) *Machine {
@@ -142,6 +165,14 @@ func (m *Machine) Capture() *handoff.State {
 // (including any committed count inherited through Seed).
 func (m *Machine) Steps() uint64 { return m.steps }
 
+// Release returns the machine's RAM to the boot pool. The machine is
+// dead afterwards — any further use faults on the nil memory. Captures
+// taken before the release stay valid; they never alias the RAM.
+func (m *Machine) Release() {
+	mem.Release(m.mem)
+	m.mem = nil
+}
+
 func (m *Machine) get(r isa.Reg) uint64 {
 	if r == isa.RegNone {
 		return 0
@@ -185,10 +216,21 @@ func (m *Machine) fatal(e isa.Exception) Result {
 	return Result{Outcome: ProcessCrash, FatalExc: e, Output: m.kern.Output, Events: m.kern.Events}
 }
 
+// flushDecodeStats folds the machine-local decode counters into the
+// package-wide totals and resets them.
+func (m *Machine) flushDecodeStats() {
+	if m.decHits > 0 {
+		decodeHits.Add(m.decHits)
+		m.decHits = 0
+	}
+	if m.decMisses > 0 {
+		decodeMisses.Add(m.decMisses)
+		m.decMisses = 0
+	}
+}
+
 func (m *Machine) run(maxSteps uint64) Result {
-	var in isa.Inst
-	buf := make([]byte, m.dec.MaxInstLen())
-	alignCheck := m.dec.Name() == "arm"
+	defer m.flushDecodeStats()
 
 	// Steps and uops accumulate on the machine so execution can resume;
 	// Result counts therefore report machine totals, which for a fresh
@@ -200,23 +242,33 @@ func (m *Machine) run(maxSteps uint64) Result {
 			return Result{Outcome: SystemCrash, Output: m.kern.Output,
 				Steps: m.steps, Uops: m.uops, Events: m.kern.Events}
 		}
-		n, f := m.mem.Fetch(m.pc, buf)
-		if f != mem.FaultNone || n == 0 {
-			r := m.fatal(isa.ExcPageFault)
-			r.Steps, r.Uops = m.steps, m.uops
-			return r
+		var in *isa.Inst
+		if m.cache != nil {
+			in = m.cache.lookup(m.pc, m.dec)
 		}
-		if err := m.dec.Decode(buf[:n], m.pc, &in); err != nil {
-			r := m.fatal(isa.ExcIllegalInstr)
-			r.Steps, r.Uops = m.steps, m.uops
-			return r
+		if in != nil {
+			m.decHits++
+		} else {
+			m.decMisses++
+			n, f := m.mem.Fetch(m.pc, m.buf)
+			if f != mem.FaultNone || n == 0 {
+				r := m.fatal(isa.ExcPageFault)
+				r.Steps, r.Uops = m.steps, m.uops
+				return r
+			}
+			if err := m.dec.Decode(m.buf[:n], m.pc, &m.scratch); err != nil {
+				r := m.fatal(isa.ExcIllegalInstr)
+				r.Steps, r.Uops = m.steps, m.uops
+				return r
+			}
+			in = &m.scratch
 		}
 		next := m.pc + uint64(in.Len)
 
-		for i := 0; i < int(in.NUops); i++ {
+		for i, nu := 0, int(in.NUops); i < nu; i++ {
 			u := &in.Uops[i]
 			m.uops++
-			exc, target, taken, stop := m.exec(u, &in, m.steps, alignCheck)
+			exc, target, taken, stop := m.exec(u, in, m.steps, m.alignCheck)
 			if exc != isa.ExcNone {
 				switch kernel.SeverityOf(exc) {
 				case kernel.SevRecoverable:
@@ -258,8 +310,6 @@ func (m *Machine) exec(u *isa.Uop, in *isa.Inst, step uint64, alignCheck bool) (
 		b := uint64(u.Imm)
 		if !u.UsesImm && u.Src2 != isa.RegNone {
 			b = m.get(u.Src2)
-		} else if u.UsesImm {
-			b = uint64(u.Imm)
 		}
 		r := isa.EvalInt(u.Op, a, b, m.dec.DivZero())
 		if r.DivZero {
@@ -360,6 +410,16 @@ func (m *Machine) exec(u *isa.Uop, in *isa.Inst, step uint64, alignCheck bool) (
 }
 
 func leLoad(b []byte) uint64 {
+	switch len(b) {
+	case 8:
+		return binary.LittleEndian.Uint64(b)
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b))
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b))
+	case 1:
+		return uint64(b[0])
+	}
 	var v uint64
 	for i := len(b) - 1; i >= 0; i-- {
 		v = v<<8 | uint64(b[i])
@@ -368,7 +428,18 @@ func leLoad(b []byte) uint64 {
 }
 
 func leStore(b []byte, v uint64) {
-	for i := range b {
-		b[i] = byte(v >> (8 * i))
+	switch len(b) {
+	case 8:
+		binary.LittleEndian.PutUint64(b, v)
+	case 4:
+		binary.LittleEndian.PutUint32(b, uint32(v))
+	case 2:
+		binary.LittleEndian.PutUint16(b, uint16(v))
+	case 1:
+		b[0] = byte(v)
+	default:
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
 	}
 }

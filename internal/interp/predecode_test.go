@@ -1,0 +1,48 @@
+package interp_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/interp"
+	"repro/internal/workload"
+)
+
+// TestDecodeCacheEquivalence runs every workload on both ISAs with the
+// predecoded-instruction cache on and off: the cache is a pure dispatch
+// optimisation, so outcome, exit code, output, and the step and uop
+// counts must be identical.
+func TestDecodeCacheEquivalence(t *testing.T) {
+	for _, w := range workload.All() {
+		for _, tgt := range []asm.Target{asm.TargetCISC, asm.TargetRISC} {
+			w, tgt := w, tgt
+			t.Run(w.Name+"/"+tgt.String(), func(t *testing.T) {
+				t.Parallel()
+				img, err := w.Image(tgt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const budget = uint64(1) << 62
+				cached := interp.New(img).Continue(budget)
+				slow := interp.New(img)
+				slow.DisableDecodeCache()
+				ref := slow.Continue(budget)
+
+				if cached.Outcome != ref.Outcome {
+					t.Fatalf("outcome %v with cache, %v without", cached.Outcome, ref.Outcome)
+				}
+				if cached.ExitCode != ref.ExitCode {
+					t.Fatalf("exit code %d with cache, %d without", cached.ExitCode, ref.ExitCode)
+				}
+				if !bytes.Equal(cached.Output, ref.Output) {
+					t.Fatalf("output differs: %d bytes with cache, %d without", len(cached.Output), len(ref.Output))
+				}
+				if cached.Steps != ref.Steps || cached.Uops != ref.Uops {
+					t.Fatalf("work differs: %d steps / %d uops with cache, %d / %d without",
+						cached.Steps, cached.Uops, ref.Steps, ref.Uops)
+				}
+			})
+		}
+	}
+}

@@ -110,6 +110,8 @@ type CPU struct {
 	textEnd uint64
 	fbuf    []byte
 	sbuf    [8]byte
+	// ibuf is fetch's decode scratch; see the Decode call site.
+	ibuf isa.Inst
 }
 
 // assert is the dense MARSS-style internal check: it stops the simulator
@@ -151,6 +153,14 @@ func New(cfg Config, img *asm.Image) *CPU {
 	c.rasSnaps = make([][2]int, cfg.ROBEntries)
 	c.instHeads = make([]bool, cfg.ROBEntries)
 	return c
+}
+
+// ReleaseMemory returns the machine's RAM to the boot pool; the
+// scheduler calls it once a run's result and captures are fully
+// extracted. The machine is dead afterwards.
+func (c *CPU) ReleaseMemory() {
+	mem.Release(c.mem)
+	c.mem = nil
 }
 
 // Name implements core.Simulator.
@@ -438,8 +448,12 @@ func (c *CPU) fetch() {
 			c.fetchReady = c.cycle + uint64(stall)
 		}
 
-		var inst isa.Inst
-		if err := c.dec.Decode(c.fbuf[:need], pc, &inst); err != nil {
+		// Decode into the CPU-owned scratch instruction: a stack-local
+		// escapes through the interface call and heap-allocates on every
+		// fetch. Both decoders Reset the destination first, and the
+		// instruction is fully consumed before the next decode.
+		inst := &c.ibuf
+		if err := c.dec.Decode(c.fbuf[:need], pc, inst); err != nil {
 			// Invalid encodings flow to commit as poisoned uops; if
 			// they are on the true path MARSS stops with an assert
 			// (Remark 8) — the commit stage decides.

@@ -140,8 +140,7 @@ func (q *IQ) Alloc(w0, w1 uint64, robIdx int) bool {
 
 // Entry reads the payload of slot i through the faultable array.
 func (q *IQ) Entry(i int) (PackedUop, int) {
-	w0 := q.arr.ReadWord(i, 0)
-	w1 := q.arr.ReadWord(i, 1)
+	w0, w1 := q.arr.ReadWordPair(i)
 	return UnpackUop(w0, w1), q.robIdx[i]
 }
 

@@ -45,6 +45,16 @@ type Snapshot struct {
 	GoldenHits    uint64  `json:"golden_hits"`
 	GoldenHitRate float64 `json:"golden_hit_rate"`
 
+	// Functional-tier turbo gauges: window entries seeded from a
+	// memoized fast-forward rung vs. rung captures built, and dynamic
+	// dispatches served from the predecoded-instruction cache vs. pushed
+	// through the byte-level decoder.
+	FFRungHits    uint64  `json:"ff_rung_hits"`
+	FFRungBuilds  uint64  `json:"ff_rung_builds"`
+	DecodeHits    uint64  `json:"decode_hits"`
+	DecodeMisses  uint64  `json:"decode_misses"`
+	DecodeHitRate float64 `json:"decode_hit_rate"`
+
 	WatchedReads   uint64  `json:"watched_reads"`
 	WatchedWrites  uint64  `json:"watched_writes"`
 	ObservedReads  uint64  `json:"observed_reads"`
@@ -108,6 +118,10 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 		s.SimCycles += o.SimCycles
 		s.GoldenRuns += o.GoldenRuns
 		s.GoldenHits += o.GoldenHits
+		s.FFRungHits += o.FFRungHits
+		s.FFRungBuilds += o.FFRungBuilds
+		s.DecodeHits += o.DecodeHits
+		s.DecodeMisses += o.DecodeMisses
 		s.WatchedReads += o.WatchedReads
 		s.WatchedWrites += o.WatchedWrites
 		s.ObservedReads += o.ObservedReads
@@ -156,6 +170,9 @@ func MergeSnapshots(snaps ...Snapshot) Snapshot {
 	}
 	if total := s.GoldenRuns + s.GoldenHits; total > 0 {
 		s.GoldenHitRate = float64(s.GoldenHits) / float64(total)
+	}
+	if total := s.DecodeHits + s.DecodeMisses; total > 0 {
+		s.DecodeHitRate = float64(s.DecodeHits) / float64(total)
 	}
 	if total := s.WatchedReads + s.WatchedWrites; total > 0 {
 		s.FastPathRate = 1 - float64(s.ObservedReads+s.ObservedWrites)/float64(total)
@@ -303,6 +320,11 @@ var metricDefs = []metricDef{
 	{"WorkerUtilization", "worker_utilization", "gauge", "Fraction of worker time spent inside runs."},
 	{"GoldenRuns", "golden_runs_total", "counter", "Golden reference simulations performed."},
 	{"GoldenHits", "golden_hits_total", "counter", "Golden references served from the memoizer."},
+	{"FFRungHits", "ff_rung_hits_total", "counter", "Window entries seeded from a memoized fast-forward rung."},
+	{"FFRungBuilds", "ff_rung_builds_total", "counter", "Functional fast-forward rung captures built."},
+	{"DecodeHits", "decode_hits_total", "counter", "Functional dispatches served from the predecoded-instruction cache."},
+	{"DecodeMisses", "decode_misses_total", "counter", "Functional dispatches decoded from instruction bytes."},
+	{"DecodeHitRate", "decode_hit_rate", "gauge", "Share of functional dispatches served predecoded."},
 	{"GoldenHitRate", "golden_hit_rate", "gauge", "Memoized fraction of golden lookups."},
 	{"WatchedReads", "watched_reads_total", "counter", "Reads of fault-armed arrays."},
 	{"WatchedWrites", "watched_writes_total", "counter", "Writes of fault-armed arrays."},

@@ -174,6 +174,8 @@ type Collector struct {
 	classes  counterMap
 
 	goldenSource atomic.Value // func() (runs, hits uint64)
+	ffSource     atomic.Value // func() (hits, builds uint64)
+	decodeSource atomic.Value // func() (hits, misses uint64)
 	sinks        atomic.Value // []Sink, copy-on-write
 
 	mu        sync.Mutex // guards campaign registration only
@@ -224,6 +226,21 @@ func (c *Collector) Campaign(key, tool, bench, structure string) *CampaignStats 
 // cache needs no back-reference to the collector.
 func (c *Collector) SetGoldenSource(f func() (runs, hits uint64)) {
 	c.goldenSource.Store(f)
+}
+
+// SetFFRungSource attaches a live reader of the functional fast-forward
+// rung ladder statistics (window entries seeded from a memoized rung,
+// rung captures built); pulled lazily like the golden source.
+func (c *Collector) SetFFRungSource(f func() (hits, builds uint64)) {
+	c.ffSource.Store(f)
+}
+
+// SetDecodeSource attaches a live reader of the functional tier's
+// predecoded-instruction cache statistics (dispatches served from the
+// cache, dispatches through the byte-level decoder); pulled lazily like
+// the golden source.
+func (c *Collector) SetDecodeSource(f func() (hits, misses uint64)) {
+	c.decodeSource.Store(f)
 }
 
 // AddSink attaches a run-event sink (e.g. a trace writer).
@@ -338,6 +355,15 @@ func (c *Collector) Snapshot() Snapshot {
 		s.GoldenRuns, s.GoldenHits = v.(func() (uint64, uint64))()
 		if total := s.GoldenRuns + s.GoldenHits; total > 0 {
 			s.GoldenHitRate = float64(s.GoldenHits) / float64(total)
+		}
+	}
+	if v := c.ffSource.Load(); v != nil {
+		s.FFRungHits, s.FFRungBuilds = v.(func() (uint64, uint64))()
+	}
+	if v := c.decodeSource.Load(); v != nil {
+		s.DecodeHits, s.DecodeMisses = v.(func() (uint64, uint64))()
+		if total := s.DecodeHits + s.DecodeMisses; total > 0 {
+			s.DecodeHitRate = float64(s.DecodeHits) / float64(total)
 		}
 	}
 	if total := s.WatchedReads + s.WatchedWrites; total > 0 {

@@ -2,9 +2,12 @@
 # Runs the matrix-scheduler benchmarks (the bare scheduler and the
 # telemetry-overhead variant), the pruning-engine benchmarks (the
 # prune ablation, the checkpoint ladder, and the golden-run profiling
-# overhead guard), and the detail-window ablation, and writes the
-# machine-readable baselines results/BENCH_scheduler.json,
-# results/BENCH_prune.json and results/BENCH_window.json via
+# overhead guard), the detail-window ablation, and the functional-tier
+# turbo benchmarks (interpreter dispatch with the predecode cache
+# on/off, window entries from boot vs. the fast-forward rung ladder),
+# and writes the machine-readable baselines
+# results/BENCH_scheduler.json, results/BENCH_prune.json,
+# results/BENCH_window.json and results/BENCH_interp.json via
 # scripts/benchjson.
 #
 # Usage: scripts/bench_scheduler.sh [count]
@@ -29,7 +32,14 @@ go test -run '^$' \
 go run ./scripts/benchjson <"$out" >results/BENCH_prune.json
 echo "wrote results/BENCH_prune.json"
 
-go test -run '^$' -bench 'BenchmarkDetailWindow' -benchtime 3x \
+go test -run '^$' -bench '^BenchmarkDetailWindow$' -benchtime 3x \
     -count "$count" . | tee "$out"
 go run ./scripts/benchjson <"$out" >results/BENCH_window.json
 echo "wrote results/BENCH_window.json"
+
+go test -run '^$' -bench '^BenchmarkInterpDispatch$' -benchtime 200x \
+    -count "$count" . | tee "$out"
+go test -run '^$' -bench '^BenchmarkWindowEntryLadder$' -benchtime 3x \
+    -count "$count" . | tee -a "$out"
+go run ./scripts/benchjson <"$out" >results/BENCH_interp.json
+echo "wrote results/BENCH_interp.json"

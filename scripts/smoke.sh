@@ -67,6 +67,28 @@ go run ./cmd/faultcamp \
 go run ./scripts/smokecheck \
     -logs "$tmp/logs" -key "$key" -snapshot "$tmp/snap_window.json" -window
 
+# Turbo round: the same windowed campaign with the functional-tier
+# optimisations at their defaults (predecoded-instruction cache plus
+# the fast-forward rung ladder) against a reference run with both
+# disabled (-ff-rungs=-1 -no-decode-cache). The optimisations are pure
+# performance knobs: logs and traces must be byte-identical.
+go run ./cmd/faultcamp \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 30 -seed 4 -logs "$tmp/turbo" \
+    -detail-window -trace -quiet -snapshot-json "$tmp/snap_turbo.json"
+
+go run ./cmd/faultcamp \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 30 -seed 4 -logs "$tmp/turbo_ref" \
+    -detail-window -ff-rungs=-1 -no-decode-cache \
+    -trace -quiet -snapshot-json "$tmp/snap_turbo_ref.json"
+
+cmp "$tmp/turbo/${key}.log.jsonl" "$tmp/turbo_ref/${key}.log.jsonl"
+cmp "$tmp/turbo/${key}.trace.jsonl" "$tmp/turbo_ref/${key}.trace.jsonl"
+go run ./scripts/smokecheck \
+    -logs "$tmp/turbo" -key "$key" -snapshot "$tmp/snap_turbo.json" -window
+echo "smoke: turbo windowed campaign is byte-identical to the unoptimised reference"
+
 # Crash-and-resume: run a journaled reference campaign to completion,
 # then start an identical campaign, SIGKILL it mid-flight, and resume it
 # from the journal. The resumed logs and trace must be byte-identical to
