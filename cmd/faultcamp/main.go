@@ -119,6 +119,23 @@ func main() {
 	b := core.Parser{}.ParseAll(res.Records)
 	fmt.Printf("campaign %s: %d injections in %.1fs\n", key, len(res.Records), time.Since(start).Seconds())
 	fmt.Printf("  %s\n", b)
+	if b.Weighted() {
+		fmt.Printf("  weighted (Horvitz-Thompson): Masked=%5.2f%% vuln=%5.2f%% (weight sum %.1f)\n",
+			b.WeightedPct(core.ClassMasked), b.WeightedVulnerability(), b.WeightSum)
+	}
+	if a := res.Adaptive; a != nil {
+		switch {
+		case a.Complete:
+			fmt.Printf("  exhaustive census complete: %d of %d equivalence classes simulated, margin exact\n",
+				a.SimulatedRuns, a.PlannedRuns)
+		case a.StoppedEarly:
+			fmt.Printf("  stopped early: %d of %d runs simulated, margin %.2f%% at %.0f%% confidence\n",
+				a.SimulatedRuns, a.PlannedRuns, 100*a.EffectiveMargin, 100*a.Confidence)
+		default:
+			fmt.Printf("  ran to budget: %d runs, achieved margin %.2f%% at %.0f%% confidence\n",
+				a.SimulatedRuns, 100*a.EffectiveMargin, 100*a.Confidence)
+		}
+	}
 	fmt.Printf("  logs stored in %s\n", logs.Dir())
 	if tracePath != "" {
 		fmt.Printf("  trace: %s (%d records)\n", tracePath, obs.Trace.Len())

@@ -113,6 +113,19 @@ func main() {
 			return fault.OpenJournal(logs.JournalPath(key))
 		}
 	}
+	if cfg.StopMargin > 0 {
+		// An adaptive campaign's coordinator settles the cancelled tail of
+		// a stopped cell itself, which needs the cell's deterministic mask
+		// population — built here exactly as every worker builds it.
+		maskCache := core.NewGoldenCache()
+		copt.MasksFor = func(campaign int) ([]fault.Mask, error) {
+			specs, err := cfg.BuildSpecs(cli.Resolve, maskCache)
+			if err != nil {
+				return nil, err
+			}
+			return specs[campaign].Masks, nil
+		}
+	}
 	coord, err := dist.New(cfg, copt)
 	if err != nil {
 		fatal(err)

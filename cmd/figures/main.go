@@ -63,8 +63,16 @@ func main() {
 	defer obs.Close()
 
 	// The shared campaign knobs arrive through the consolidated config
-	// API; the figure specs supply the cells later.
-	opt := report.OptionsFromConfig(cf.Apply(nil))
+	// API; the figure specs supply the cells later, so the knob
+	// cross-rules (stop margin domain, exhaustive/importance-sampling
+	// exclusions) are validated against a representative probe cell.
+	cfg := cf.Apply(nil)
+	probe := cfg
+	probe.Campaigns = []core.CampaignCell{{Tool: "gefin-x86", Benchmark: "qsort", Structure: "rf.int"}}
+	if err := probe.Validate(); err != nil {
+		fatal(err)
+	}
+	opt := report.OptionsFromConfig(cfg)
 	opt.Parser = core.Parser{GroupSimCrashWithAssert: *groupSim}
 	opt.Telemetry = obs.Collector
 	opt.ProgressEvery = tf.ProgressEvery
@@ -181,6 +189,10 @@ func main() {
 				fatal(err)
 			}
 		}
+	}
+	if len(datasets) > 0 {
+		// Prints nothing unless some cell ran under adaptive control.
+		report.RenderAdaptiveTable(os.Stdout, datasets)
 	}
 	if *summary && len(datasets) > 0 {
 		report.RenderDifferentialSummary(os.Stdout, datasets)

@@ -55,6 +55,11 @@ type CampaignFlags struct {
 	FFRungs       int
 	NoDecodeCache bool
 	Divergence    bool
+	StopMargin    float64
+	StopConf      float64
+	StopEvery     int
+	Exhaustive    bool
+	Importance    bool
 }
 
 // Campaign registers the shared campaign-execution flags on fs.
@@ -81,6 +86,11 @@ func Campaign(fs *flag.FlagSet, defaultN int) *CampaignFlags {
 	fs.IntVar(&c.FFRungs, "ff-rungs", 0, "functional fast-forward rungs per row window entries resume from (with -detail-window; 0: default ladder, negative: fast-forward from boot)")
 	fs.BoolVar(&c.NoDecodeCache, "no-decode-cache", false, "run the functional tier without the predecoded-instruction cache (with -detail-window; reference behaviour, byte-identical results)")
 	fs.BoolVar(&c.Divergence, "divergence", false, "record per-run divergence provenance (first architectural divergence vs golden, corruption footprint, masking depth) to <key>.divergence.jsonl")
+	fs.Float64Var(&c.StopMargin, "stop-margin", 0, "stop a campaign early once every outcome-class proportion is known to this ± margin at -stop-confidence (0: run the full budget)")
+	fs.Float64Var(&c.StopConf, "stop-confidence", 0.99, "confidence level of the -stop-margin sequential stopping rule")
+	fs.IntVar(&c.StopEvery, "stop-check-every", 0, "evaluate the -stop-margin rule every this many completed runs (0: default cadence)")
+	fs.BoolVar(&c.Exhaustive, "exhaustive", false, "replace sampling with the equivalence-class-collapsed census of the whole single-bit transient fault population (implies -prune)")
+	fs.BoolVar(&c.Importance, "importance-sampling", false, "oversample live fault sites from the golden-run liveness profile, with Horvitz-Thompson weights keeping the reported proportions unbiased")
 	return c
 }
 
@@ -122,6 +132,20 @@ func (c *CampaignFlags) Apply(cells []core.CampaignCell) core.CampaignConfig {
 		cfg.FFRungs = c.FFRungs
 		cfg.NoDecodeCache = c.NoDecodeCache
 	}
+	// -stop-confidence carries a default, so the stop knobs bind only
+	// when the rule is actually armed — a fixed-budget config must not
+	// grow schema-v5 fields (or trip validation) because of a default.
+	if c.StopMargin != 0 {
+		cfg.StopMargin = c.StopMargin
+		cfg.StopConfidence = c.StopConf
+		cfg.StopCheckEvery = c.StopEvery
+	} else if c.StopEvery != 0 {
+		// An explicit cadence without a margin is a user error; bind it
+		// so Validate rejects it instead of silently dropping the flag.
+		cfg.StopCheckEvery = c.StopEvery
+	}
+	cfg.Exhaustive = c.Exhaustive
+	cfg.ImportanceSampling = c.Importance
 	// Stamp the lowest schema version that can express the config, so
 	// configs without the new fields stay readable by legacy builds.
 	cfg.SchemaVersion = cfg.WireSchemaVersion()

@@ -40,6 +40,10 @@ type LogRecord struct {
 	FatalExc      string       `json:"fatal_exc,omitempty"`
 	AssertMsg     string       `json:"assert_msg,omitempty"`
 	CommitStalled bool         `json:"commit_stalled,omitempty"`
+	// Weight is the mask's Horvitz–Thompson sampling weight (zero reads
+	// as 1); importance-sampled campaigns carry it into the logs so the
+	// reweighted estimators work from the records alone.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // CampaignSpec describes one injection campaign: one tool, one benchmark,
@@ -71,12 +75,41 @@ type CampaignSpec struct {
 	// golden run. Benchmark/Structure/Tool fields are overwritten from
 	// the spec.
 	Golden *GoldenInfo
+	// Exhaustive marks a cell whose mask set enumerates the collapsed
+	// equivalence-class space of the whole fault population (one
+	// representative per liveness interval, cycle-mass weighted); the
+	// result is stamped complete with zero margin instead of sampled.
+	Exhaustive bool
 }
 
 // CampaignResult is the outcome of a whole campaign.
 type CampaignResult struct {
 	Golden  GoldenInfo
 	Records []LogRecord
+	// Adaptive summarizes the sequential-stopping outcome of the cell;
+	// nil for fixed-budget campaigns.
+	Adaptive *AdaptiveInfo
+}
+
+// AdaptiveInfo is the per-cell outcome of the adaptive control plane:
+// how many runs the stopping rule actually spent and the margin it
+// achieved, or the completeness stamp of an exhaustive cell.
+type AdaptiveInfo struct {
+	// StoppedEarly reports whether the sequential rule cancelled the
+	// cell's tail before its budget was spent.
+	StoppedEarly bool `json:"stopped_early,omitempty"`
+	// SimulatedRuns is the number of runs that fed the estimator (the
+	// cell's spend); PlannedRuns the budget it would have spent.
+	SimulatedRuns int `json:"simulated_runs"`
+	PlannedRuns   int `json:"planned_runs"`
+	// EffectiveMargin is the widest class half-width at the stop point
+	// (or at budget exhaustion), at Confidence.
+	EffectiveMargin float64 `json:"effective_margin"`
+	Confidence      float64 `json:"confidence,omitempty"`
+	// Complete marks an exhaustive cell: the collapsed mask space was
+	// enumerated in full, so the proportions are a census with zero
+	// margin rather than an estimate.
+	Complete bool `json:"complete,omitempty"`
 }
 
 func hashOutput(out []byte) string {
@@ -390,6 +423,7 @@ func runInjection(f Factory, rungs []LadderRung, m fault.Mask, golden GoldenInfo
 		FatalExc:      "",
 		AssertMsg:     res.AssertMsg,
 		CommitStalled: res.CommitStalled,
+		Weight:        m.Weight,
 	}
 	if res.Status == RunProcessCrash || res.Status == RunSystemCrash {
 		rec.FatalExc = res.FatalExc.String()

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bitarray"
 	"repro/internal/divergence"
 	"repro/internal/fault"
 	"repro/internal/prune"
@@ -28,7 +29,11 @@ import (
 //	    only tune how windowed runs execute — results are byte-identical
 //	    across settings — so a config leaving them at zero is still
 //	    served at the lowest version expressing it.
-const ConfigSchemaVersion = 4
+//	5 — adaptive campaign control (stop_margin, stop_confidence,
+//	    stop_check_every, exhaustive, importance_sampling). As before, a
+//	    config using none of them is served at the lowest version that
+//	    expresses it.
+const ConfigSchemaVersion = 5
 
 // CampaignCell is one {tool, benchmark, structure} campaign of a
 // config. Cells reference tools and benchmarks by name — a config is
@@ -134,6 +139,30 @@ type CampaignConfig struct {
 	// In a distributed campaign the workers measure and the coordinator
 	// assembles the single-node-identical record file.
 	Divergence bool `json:"divergence,omitempty"`
+	// StopMargin arms sequential-confidence early stopping: a cell stops
+	// once every outcome-class proportion is estimated to ±StopMargin at
+	// StopConfidence, evaluated every StopCheckEvery completed runs (0:
+	// a default cadence) in the cell's deterministic simulation order.
+	// Remaining masks are settled as stopped-early provenance rows, so
+	// logs, traces and journals stay byte-stable and resumable. Zero
+	// disables the rule; StopConfidence is required with it.
+	StopMargin     float64 `json:"stop_margin,omitempty"`
+	StopConfidence float64 `json:"stop_confidence,omitempty"`
+	StopCheckEvery int     `json:"stop_check_every,omitempty"`
+	// Exhaustive replaces sampling with the equivalence-class-collapsed
+	// census of the whole single-bit transient fault population: one
+	// cycle-mass-weighted representative mask per liveness interval per
+	// (entry, bit), enumerated from the golden-run profile. Implies
+	// Prune; the cell result is stamped complete with zero margin.
+	// Mutually exclusive with explicit masks, generated-count sampling
+	// knobs, live_only, importance_sampling and stop_margin.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// ImportanceSampling draws the generated masks preferentially from
+	// the live portion of the fault population (golden-run liveness as
+	// the importance distribution), carrying Horvitz–Thompson weights
+	// that keep the reported class proportions unbiased. Mutually
+	// exclusive with explicit masks, live_only and exhaustive.
+	ImportanceSampling bool `json:"importance_sampling,omitempty"`
 }
 
 // usesWindow reports whether any detail-window field is in use — the
@@ -143,10 +172,20 @@ func (c CampaignConfig) usesWindow() bool {
 	return c.DetailWindow || c.WindowPre != 0 || c.WindowPost != 0 || c.WindowVerify != 0
 }
 
+// usesAdaptive reports whether any adaptive-control field is in use —
+// the schema-version-5 surface.
+func (c CampaignConfig) usesAdaptive() bool {
+	return c.StopMargin != 0 || c.StopConfidence != 0 || c.StopCheckEvery != 0 ||
+		c.Exhaustive || c.ImportanceSampling
+}
+
 // WireSchemaVersion is the schema version a zero-version config is
 // stamped with when served over the wire: the lowest version that can
 // express it.
 func (c CampaignConfig) WireSchemaVersion() int {
+	if c.usesAdaptive() {
+		return 5
+	}
 	if c.FFRungs != 0 || c.NoDecodeCache {
 		return 4
 	}
@@ -201,6 +240,49 @@ func (c CampaignConfig) Validate() error {
 	if !c.DetailWindow && c.WindowVerify == 0 && c.FFRungs != 0 {
 		return bad("ff_rungs", "fast-forward rungs set but windowing is off")
 	}
+	// Adaptive campaign control. The comparisons are NaN-safe: a NaN
+	// margin or confidence fails the positive-range test and is rejected
+	// rather than silently disabling the rule.
+	if c.StopMargin != 0 && !(c.StopMargin > 0 && c.StopMargin < 1) {
+		return bad("stop_margin", "margin %v outside (0, 1)", c.StopMargin)
+	}
+	if c.StopMargin > 0 {
+		if _, err := fault.ZFor(c.StopConfidence); err != nil {
+			return bad("stop_confidence", "confidence %v outside (0, 1) (required with stop_margin)", c.StopConfidence)
+		}
+	} else {
+		if c.StopConfidence != 0 {
+			return bad("stop_confidence", "set without stop_margin")
+		}
+		if c.StopCheckEvery != 0 {
+			return bad("stop_check_every", "set without stop_margin")
+		}
+	}
+	if c.StopCheckEvery < 0 {
+		return bad("stop_check_every", "negative cadence %d", c.StopCheckEvery)
+	}
+	if c.Exhaustive {
+		if c.StopMargin != 0 {
+			return bad("exhaustive", "a census has nothing to stop early (unset stop_margin)")
+		}
+		if c.ImportanceSampling {
+			return bad("exhaustive", "a census has nothing to sample (unset importance_sampling)")
+		}
+		if c.LiveOnly {
+			return bad("exhaustive", "the census already enumerates liveness exactly (unset live_only)")
+		}
+		if c.model() != fault.ModelTransient {
+			return bad("exhaustive", "the census covers transient faults only, not %q", c.Model)
+		}
+	}
+	if c.ImportanceSampling {
+		if c.LiveOnly {
+			return bad("importance_sampling", "mutually exclusive with live_only")
+		}
+		if c.model() != fault.ModelTransient {
+			return bad("importance_sampling", "covers transient faults only, not %q", c.Model)
+		}
+	}
 	for i, cell := range c.Campaigns {
 		field := func(name string) string { return fmt.Sprintf("campaigns[%d].%s", i, name) }
 		if cell.Tool == "" {
@@ -218,7 +300,16 @@ func (c CampaignConfig) Validate() error {
 		if cell.Seed < 0 {
 			return bad(field("seed"), "negative seed %d", cell.Seed)
 		}
-		if len(cell.Masks) == 0 && c.MaskCount(i) <= 0 {
+		if (c.Exhaustive || c.ImportanceSampling) && len(cell.Masks) > 0 {
+			knob := "exhaustive"
+			if c.ImportanceSampling {
+				knob = "importance_sampling"
+			}
+			return bad(field("masks"), "explicit masks are mutually exclusive with %s", knob)
+		}
+		// An exhaustive cell's population comes from the census, not an
+		// injection count.
+		if !c.Exhaustive && len(cell.Masks) == 0 && c.MaskCount(i) <= 0 {
 			return bad(field("injections"), "no explicit masks and no injection count (set injections on the cell or the config)")
 		}
 		for j, m := range cell.Masks {
@@ -307,7 +398,7 @@ func (c CampaignConfig) matrixOptions(att Attach, cache *GoldenCache) MatrixOpti
 		Workers:          c.Workers,
 		Golden:           cache,
 		Telemetry:        att.Telemetry,
-		Prune:            c.Prune,
+		Prune:            c.Prune || c.Exhaustive,
 		PruneVerify:      c.PruneVerify,
 		CheckpointLadder: c.CheckpointLadder,
 		Journal:          att.Journal,
@@ -323,6 +414,9 @@ func (c CampaignConfig) matrixOptions(att Attach, cache *GoldenCache) MatrixOpti
 		Tracer:           att.Tracer,
 		TraceParent:      att.TraceParent,
 		SpanWorker:       att.SpanWorker,
+		StopMargin:       c.StopMargin,
+		StopConfidence:   c.StopConfidence,
+		StopCheckEvery:   c.StopCheckEvery,
 	}
 }
 
@@ -351,11 +445,37 @@ func (c CampaignConfig) buildSpec(i int, resolve Resolver, cache *GoldenCache) (
 		if !ok {
 			return CampaignSpec{}, fmt.Errorf("core: campaigns[%d]: %s has no structure %q", i, golden.Tool, cell.Structure)
 		}
-		masks, err = fault.Generate(fault.GeneratorSpec{
+		genSpec := fault.GeneratorSpec{
 			Structure: cell.Structure, Entries: entries, BitsPerEntry: bits,
 			MaxCycle: golden.Cycles, Model: c.model(),
 			Count: c.MaskCount(i), Seed: c.cellSeed(i),
-		})
+		}
+		switch {
+		case c.Exhaustive, c.ImportanceSampling:
+			// Both profile-driven generators read the boot liveness
+			// profile of the cell's structure — the same profile the
+			// pruner derives its plan from, so the equivalence classes
+			// agree by construction.
+			profs, perr := cache.Profiles(cell.Tool, cell.Benchmark, factory, nil, []string{cell.Structure})
+			if perr != nil {
+				return CampaignSpec{}, perr
+			}
+			var prof *bitarray.Profile
+			if len(profs) > 0 {
+				prof = profs[0][cell.Structure]
+			}
+			if prof == nil {
+				return CampaignSpec{}, fmt.Errorf("core: campaigns[%d]: %s/%s exposes no liveness profile for %s (simulator has no cycle source)",
+					i, cell.Tool, cell.Benchmark, cell.Structure)
+			}
+			if c.Exhaustive {
+				masks, err = fault.EnumerateExhaustive(genSpec, prof)
+			} else {
+				masks, err = fault.GenerateImportance(genSpec, prof, 0)
+			}
+		default:
+			masks, err = fault.Generate(genSpec)
+		}
 		if err != nil {
 			return CampaignSpec{}, err
 		}
@@ -381,6 +501,7 @@ func (c CampaignConfig) buildSpec(i int, resolve Resolver, cache *GoldenCache) (
 		TimeoutFactor:    c.TimeoutFactor,
 		DisableEarlyStop: c.DisableEarlyStop,
 		UseCheckpoint:    c.UseCheckpoint,
+		Exhaustive:       c.Exhaustive,
 	}, nil
 }
 
@@ -525,6 +646,13 @@ func RunShard(cfg CampaignConfig, campaign, lo, hi int, resolve Resolver, att At
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Exhaustive {
+		return nil, fmt.Errorf("core: exhaustive campaigns have no fixed shard geometry (the census size is profile-derived); run them single-node")
+	}
+	// The coordinator owns the global stop decision of an adaptive
+	// distributed campaign; a shard must run its whole window, so the
+	// local stopping rule is disarmed here.
+	cfg.StopMargin, cfg.StopConfidence, cfg.StopCheckEvery = 0, 0, 0
 	if resolve == nil {
 		return nil, fmt.Errorf("core: RunShard needs a Resolver to materialize simulator factories")
 	}

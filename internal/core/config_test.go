@@ -55,6 +55,44 @@ func TestCampaignConfigValidate(t *testing.T) {
 		{"bad mask model", "campaigns[0].masks[0].sites[0].model", func(c *core.CampaignConfig) {
 			c.Campaigns[0].Masks = []fault.Mask{{Sites: []fault.Site{{Structure: "s", Model: "warp"}}}}
 		}},
+		{"stop margin above domain", "stop_margin", func(c *core.CampaignConfig) { c.StopMargin = 1.5 }},
+		{"negative stop margin", "stop_margin", func(c *core.CampaignConfig) { c.StopMargin = -0.1 }},
+		{"margin without confidence", "stop_confidence", func(c *core.CampaignConfig) { c.StopMargin = 0.05 }},
+		{"confidence out of domain", "stop_confidence", func(c *core.CampaignConfig) {
+			c.StopMargin, c.StopConfidence = 0.05, 1.0
+		}},
+		{"confidence without margin", "stop_confidence", func(c *core.CampaignConfig) { c.StopConfidence = 0.99 }},
+		{"cadence without margin", "stop_check_every", func(c *core.CampaignConfig) { c.StopCheckEvery = 25 }},
+		{"negative cadence", "stop_check_every", func(c *core.CampaignConfig) {
+			c.StopMargin, c.StopConfidence, c.StopCheckEvery = 0.05, 0.99, -1
+		}},
+		{"exhaustive with stop margin", "exhaustive", func(c *core.CampaignConfig) {
+			c.Exhaustive = true
+			c.StopMargin, c.StopConfidence = 0.05, 0.99
+		}},
+		{"exhaustive with importance sampling", "exhaustive", func(c *core.CampaignConfig) {
+			c.Exhaustive, c.ImportanceSampling = true, true
+		}},
+		{"exhaustive with live-only", "exhaustive", func(c *core.CampaignConfig) {
+			c.Exhaustive, c.LiveOnly = true, true
+		}},
+		{"exhaustive with permanent model", "exhaustive", func(c *core.CampaignConfig) {
+			c.Exhaustive, c.Model = true, "permanent"
+		}},
+		{"importance sampling with live-only", "importance_sampling", func(c *core.CampaignConfig) {
+			c.ImportanceSampling, c.LiveOnly = true, true
+		}},
+		{"importance sampling with intermittent model", "importance_sampling", func(c *core.CampaignConfig) {
+			c.ImportanceSampling, c.Model = true, "intermittent"
+		}},
+		{"explicit masks with exhaustive", "campaigns[0].masks", func(c *core.CampaignConfig) {
+			c.Exhaustive = true
+			c.Campaigns[0].Masks = []fault.Mask{{Sites: []fault.Site{{Structure: "s", Model: "transient"}}}}
+		}},
+		{"explicit masks with importance sampling", "campaigns[0].masks", func(c *core.CampaignConfig) {
+			c.ImportanceSampling = true
+			c.Campaigns[0].Masks = []fault.Mask{{Sites: []fault.Site{{Structure: "s", Model: "transient"}}}}
+		}},
 	}
 	for _, tc := range cases {
 		cfg := good

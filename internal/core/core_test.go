@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -221,6 +222,40 @@ func TestLogsRepoRoundTrip(t *testing.T) {
 	}
 	if _, err := repo.Load("missing"); err == nil {
 		t.Fatal("missing load succeeded")
+	}
+	if back.Adaptive != nil {
+		t.Fatalf("fixed-budget logs grew an adaptive trailer: %+v", back.Adaptive)
+	}
+}
+
+func TestLogsRepoRoundTripAdaptiveTrailer(t *testing.T) {
+	repo, err := core.NewLogsRepo(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &core.CampaignResult{
+		Golden: core.GoldenInfo{Tool: "T", Benchmark: "b", Structure: "s", Cycles: 100},
+		Records: []core.LogRecord{
+			{MaskID: 0, Status: "completed", OutputMatch: true},
+			{MaskID: 1, Status: core.RunStopped.String()},
+		},
+		Adaptive: &core.AdaptiveInfo{
+			StoppedEarly: true, SimulatedRuns: 1, PlannedRuns: 2,
+			EffectiveMargin: 0.1049, Confidence: 0.99,
+		},
+	}
+	if err := repo.Store("T__b__s", res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := repo.Load("T__b__s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Records) != 2 {
+		t.Fatalf("trailer leaked into the records: %+v", back.Records)
+	}
+	if !reflect.DeepEqual(back.Adaptive, res.Adaptive) {
+		t.Fatalf("adaptive trailer round-trip: got %+v want %+v", back.Adaptive, res.Adaptive)
 	}
 }
 

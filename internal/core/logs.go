@@ -49,10 +49,23 @@ func (r *LogsRepo) Store(key string, res *CampaignResult) error {
 			return fmt.Errorf("core: storing logs for %s: %w", key, err)
 		}
 	}
+	if res.Adaptive != nil {
+		if err := enc.Encode(logTrailer{Adaptive: res.Adaptive}); err != nil {
+			return fmt.Errorf("core: storing logs for %s: %w", key, err)
+		}
+	}
 	if err := w.Flush(); err != nil {
 		return fmt.Errorf("core: storing logs for %s: %w", key, err)
 	}
 	return f.Close()
+}
+
+// logTrailer is the optional last line of a campaign log file, carrying
+// result fields that are not per-record — today the adaptive-control
+// outcome. Fixed-budget campaign files simply lack the line; ReadLogs
+// tells the two apart by the presence of the "adaptive" key.
+type logTrailer struct {
+	Adaptive *AdaptiveInfo `json:"adaptive"`
 }
 
 // CreateTrace creates (truncating) the JSONL injection trace file named
@@ -145,11 +158,20 @@ func ReadLogs(rd io.Reader) (*CampaignResult, error) {
 		return nil, fmt.Errorf("core: reading golden header: %w", err)
 	}
 	for {
-		var rec LogRecord
-		if err := dec.Decode(&rec); err != nil {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
 			if err == io.EOF {
 				return &res, nil
 			}
+			return nil, fmt.Errorf("core: reading log record: %w", err)
+		}
+		var trailer logTrailer
+		if err := json.Unmarshal(raw, &trailer); err == nil && trailer.Adaptive != nil {
+			res.Adaptive = trailer.Adaptive
+			continue
+		}
+		var rec LogRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
 			return nil, fmt.Errorf("core: reading log record: %w", err)
 		}
 		res.Records = append(res.Records, rec)

@@ -51,10 +51,16 @@ type Parser struct {
 // NonMasked is the pseudo-class used by the coarse-grained configuration.
 const NonMasked Class = "NonMasked"
 
+// ClassStopped is the pseudo-class of runs an adaptive campaign's
+// stopping rule cancelled before simulation. It is deliberately absent
+// from Classes: a stopped row carries provenance, not an outcome, and
+// must never dilute the reported proportions.
+const ClassStopped Class = "Stopped"
+
 // Classify maps one log record to its class and detail.
 func (p Parser) Classify(rec LogRecord) (Class, Detail) {
 	cls, det := p.classify(rec)
-	if p.CoarseMaskedOnly && cls != ClassMasked {
+	if p.CoarseMaskedOnly && cls != ClassMasked && cls != ClassStopped {
 		return NonMasked, det
 	}
 	return cls, det
@@ -64,6 +70,8 @@ func (p Parser) classify(rec LogRecord) (Class, Detail) {
 	switch rec.Status {
 	case RunEarlyMasked.String(), RunPruned.String():
 		return ClassMasked, DetailNone
+	case RunStopped.String():
+		return ClassStopped, DetailNone
 	case RunCompleted.String():
 		clean := len(rec.EventKinds) == 0
 		switch {
@@ -104,18 +112,42 @@ type Breakdown struct {
 	Total   int
 	Counts  map[Class]int
 	Details map[Detail]int
+	// Weights and WeightSum carry the Horvitz–Thompson weight mass per
+	// class — the self-normalized estimator of importance-sampled
+	// campaigns. A record without a weight counts as weight 1, so for
+	// uniform campaigns WeightedPct degenerates to Pct exactly.
+	Weights   map[Class]float64
+	WeightSum float64
+	// NonUnit records that at least one run carried a weight other than
+	// 1 — the log came from a weighted mask population.
+	NonUnit bool
 }
 
-// ParseAll classifies a full campaign log.
+// ParseAll classifies a full campaign log. Early-stopped rows are
+// counted under ClassStopped but excluded from Total: they were never
+// decided, so they must not dilute the class proportions the margin
+// was declared for.
 func (p Parser) ParseAll(recs []LogRecord) Breakdown {
 	b := Breakdown{
-		Total:   len(recs),
 		Counts:  make(map[Class]int),
 		Details: make(map[Detail]int),
+		Weights: make(map[Class]float64),
 	}
 	for _, r := range recs {
 		cls, det := p.Classify(r)
 		b.Counts[cls]++
+		if cls == ClassStopped {
+			continue
+		}
+		b.Total++
+		w := r.Weight
+		if w <= 0 {
+			w = 1
+		} else if w != 1 {
+			b.NonUnit = true
+		}
+		b.Weights[cls] += w
+		b.WeightSum += w
 		if det != DetailNone {
 			b.Details[det]++
 		}
@@ -130,6 +162,26 @@ func (b Breakdown) Pct(c Class) float64 {
 	}
 	return 100 * float64(b.Counts[c]) / float64(b.Total)
 }
+
+// WeightedPct returns the Horvitz–Thompson self-normalized percentage of
+// the class — the unbiased estimate of its uniform-population proportion
+// under importance-sampled (or cycle-mass-weighted exhaustive) mask
+// populations. Equal to Pct when every record weighs 1.
+func (b Breakdown) WeightedPct(c Class) float64 {
+	if b.WeightSum == 0 {
+		return 0
+	}
+	return 100 * b.Weights[c] / b.WeightSum
+}
+
+// WeightedVulnerability is the weighted analog of Vulnerability.
+func (b Breakdown) WeightedVulnerability() float64 {
+	return 100 - b.WeightedPct(ClassMasked)
+}
+
+// Weighted reports whether the log carried non-unit sampling weights,
+// i.e. whether WeightedPct says anything Pct doesn't.
+func (b Breakdown) Weighted() bool { return b.NonUnit }
 
 // Vulnerability returns the sum of all non-masked percentages — the
 // paper's vulnerability metric.

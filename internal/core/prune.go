@@ -204,6 +204,7 @@ func prunedRecord(m fault.Mask, golden GoldenInfo) LogRecord {
 		Status:      RunPruned.String(),
 		OutputHash:  golden.OutputHash,
 		OutputMatch: true,
+		Weight:      m.Weight,
 	}
 }
 

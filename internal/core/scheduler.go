@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/divergence"
 	"repro/internal/fault"
 	"repro/internal/interp"
@@ -418,6 +419,19 @@ type MatrixOptions struct {
 	Tracer      *telemetry.Tracer
 	TraceParent string
 	SpanWorker  string
+	// StopMargin, when positive, arms the sequential-confidence stopping
+	// rule on every cell: completions are folded into per-class Wilson
+	// score intervals in the cell's deterministic simulation order, the
+	// rule is evaluated every StopCheckEvery completions, and once every
+	// class proportion is pinned to ±StopMargin at StopConfidence the
+	// cell's remaining masks are cancelled and settled as stopped-early
+	// provenance rows. The stop point is a pure function of the mask
+	// population, so logs, traces and journals stay byte-stable across
+	// worker counts and resumes. Ignored in shard mode (windows non-nil):
+	// the distributed coordinator owns the global stop decision.
+	StopMargin     float64
+	StopConfidence float64
+	StopCheckEvery int
 }
 
 // scheduledRun is one injection run of the flattened matrix queue.
@@ -758,6 +772,8 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 	wverifyRecs := make([][]LogRecord, len(specs))
 	var queue []scheduledRun
 	totalMasks := 0
+	adaptiveOn := opt.StopMargin > 0 && windows == nil
+	simOrders := make([][]int, len(specs))
 	for i, spec := range specs {
 		records[i] = make([]LogRecord, len(spec.Masks))
 		plan := preps[i].plan
@@ -769,6 +785,12 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 			totalMasks++
 			if plan != nil && plan.Decisions[m].Action != prune.Simulate {
 				continue
+			}
+			if adaptiveOn {
+				// The cell's simulation order includes journaled masks —
+				// real and stopped alike — so positions (and therefore
+				// evaluation boundaries) are identical across resumes.
+				simOrders[i] = append(simOrders[i], spec.Masks[m].ID)
 			}
 			if e := journaled[keys[i]][spec.Masks[m].ID]; e != nil {
 				var rec LogRecord
@@ -809,6 +831,37 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 			for j, m := range wverifyIdx[i] {
 				queue = append(queue, scheduledRun{spec: i, mask: m, verify: -1, wverify: j})
 			}
+		}
+	}
+
+	// Sequential-confidence early stopping: one stopper per cell over its
+	// deterministic simulation order. Journaled completions are prefed
+	// here (stopped provenance rows excluded — they are settled outcomes
+	// of the previous process's stop decision, which this process
+	// re-derives from the real completions alone), so a resumed campaign
+	// re-evaluates the rule at the same boundaries over the same class
+	// multisets and stops at the identical point.
+	var stoppers []*cellStopper
+	if adaptiveOn {
+		stoppers = make([]*cellStopper, len(specs))
+		for i := range specs {
+			est, err := adaptive.New(adaptive.Config{
+				Margin:     opt.StopMargin,
+				Confidence: opt.StopConfidence,
+				CheckEvery: opt.StopCheckEvery,
+				Classes:    ClassStrings(),
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			stoppers[i] = newCellStopper(est, simOrders[i], opt.StopCheckEvery)
+		}
+		for _, r := range resumed {
+			if r.rec.Status == RunStopped.String() {
+				continue
+			}
+			cls, _ := (Parser{}).Classify(r.rec)
+			stoppers[r.spec].noteCompleted(r.rec.MaskID, string(cls))
 		}
 	}
 
@@ -867,6 +920,8 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 				FirstObsCycle: r.entry.FirstObsCycle,
 				EarlyStop:     r.entry.EarlyStop,
 				Resumed:       true,
+				Stopped:       r.rec.Status == RunStopped.String(),
+				Weight:        r.rec.Weight,
 			})
 		}
 	}
@@ -889,18 +944,85 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 	var (
 		mu          sync.Mutex
 		next        int
+		head        int
 		stop        bool
 		firstErr    error
 		firstErrRun = -1
 		wg          sync.WaitGroup
 	)
+	var cond *sync.Cond
+	var taken []bool
+	if adaptiveOn {
+		cond = sync.NewCond(&mu)
+		taken = make([]bool, len(queue))
+	}
 	fail := func(run int, err error) {
 		mu.Lock()
 		if firstErrRun < 0 || run < firstErrRun {
 			firstErrRun, firstErr = run, err
 		}
 		stop = true
+		if cond != nil {
+			cond.Broadcast()
+		}
 		mu.Unlock()
+	}
+	// takeNext hands a worker its next queue index. The fixed-budget path
+	// is the original O(1) cursor. With stoppers armed, dispatch scans
+	// for the first untaken entry whose mask sits below its cell's
+	// current evaluation boundary — dispatching past the boundary would
+	// waste (and worse, make nondeterministic) runs the boundary may
+	// cancel. Entries a stop decision cancelled are consumed without
+	// dispatch; verify re-runs are never gated (they cross-check settled
+	// verdicts, not the estimator's). A worker that finds only gated
+	// entries blocks until a completion advances a boundary or a failure
+	// stops the pool.
+	takeNext := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !adaptiveOn {
+			if stop || next >= len(queue) {
+				return 0, false
+			}
+			i := next
+			next++
+			return i, true
+		}
+		for {
+			if stop {
+				return 0, false
+			}
+			for head < len(queue) && taken[head] {
+				head++
+			}
+			gated := false
+			for j := head; j < len(queue); j++ {
+				if taken[j] {
+					continue
+				}
+				r := queue[j]
+				if r.verify >= 0 || r.wverify >= 0 {
+					taken[j] = true
+					return j, true
+				}
+				id := specs[r.spec].Masks[r.mask].ID
+				s := stoppers[r.spec]
+				if s.cancelled(id) {
+					taken[j] = true
+					continue
+				}
+				if !s.dispatchable(id) {
+					gated = true
+					continue
+				}
+				taken[j] = true
+				return j, true
+			}
+			if !gated {
+				return 0, false
+			}
+			cond.Wait()
+		}
 	}
 	// noteErr accounts a per-run failure before the deterministic
 	// first-error selection; a contained panic bumps the telemetry
@@ -917,14 +1039,10 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 		go func() {
 			defer wg.Done()
 			for {
-				mu.Lock()
-				if stop || next >= len(queue) {
-					mu.Unlock()
+				i, ok := takeNext()
+				if !ok {
 					return
 				}
-				i := next
-				next++
-				mu.Unlock()
 				r := queue[i]
 				spec := &specs[r.spec]
 				prep := &preps[r.spec]
@@ -977,6 +1095,16 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 					return
 				}
 				records[r.spec][r.mask] = rec
+				if adaptiveOn {
+					// Feed the cell's stopper and wake gated workers: the
+					// contiguous prefix may have extended past a boundary,
+					// releasing the next chunk — or deciding the cell.
+					cls, _ := (Parser{}).Classify(rec)
+					mu.Lock()
+					stoppers[r.spec].noteCompleted(rec.MaskID, string(cls))
+					cond.Broadcast()
+					mu.Unlock()
+				}
 				if jnl != nil {
 					// Durability point: the record is not acknowledged until
 					// its journal line is fsync'd, so a crash can only lose
@@ -1029,6 +1157,7 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 						FastSteps:      stats.fastSteps,
 						DetailCycles:   stats.detailCycles,
 						Diverged:       diverged,
+						Weight:         rec.Weight,
 					})
 				}
 				if tr != nil {
@@ -1040,6 +1169,73 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 	wg.Wait()
 	if firstErr != nil {
 		return nil, nil, firstErr
+	}
+
+	// Settle the masks the stop decisions cancelled: every in-window mask
+	// past the cell's cutoff — queued, dead-pruned or replicated alike —
+	// becomes a synthetic stopped-early provenance row. Settling the
+	// whole tail uniformly (rather than only the queued entries) is what
+	// keeps single-node and distributed campaigns byte-identical: a
+	// coordinator cancelling a shard cannot know the shard's plan
+	// actions. Rows a resumed journal already settled keep their
+	// journaled record and get no duplicate telemetry or journal line.
+	if adaptiveOn {
+		for i := range specs {
+			st := stoppers[i]
+			if st == nil {
+				continue
+			}
+			if tel != nil {
+				if st.stopped() {
+					tel.CellStopped(st.finalMargin)
+				} else if st.est.N() > 0 {
+					tel.ObserveCellMargin(st.est.EffectiveMargin())
+				}
+			}
+			if !st.stopped() {
+				continue
+			}
+			spec := &specs[i]
+			for m := range spec.Masks {
+				if !inWindow(i, m) || !st.cancelled(spec.Masks[m].ID) {
+					continue
+				}
+				if records[i][m].Status != "" {
+					continue // resumed stopped row, already accounted
+				}
+				rec := stoppedRecord(spec.Masks[m])
+				records[i][m] = rec
+				if jnl != nil {
+					e, jerr := journalEntry(keys[i], rec, nil)
+					if jerr == nil {
+						e.StoppedEarly = true
+						jerr = jnl.Append(e)
+					}
+					if jerr != nil {
+						return nil, nil, jerr
+					}
+				}
+				if dsink != nil {
+					dsink.Add(divergenceRecord(keys[i], rec, nil))
+				}
+				if tel != nil {
+					cls, _ := (Parser{}).Classify(rec)
+					tel.RunStarted()
+					tel.RunDone(camps[i], telemetry.RunEvent{
+						Campaign:  keys[i],
+						Tool:      camps[i].Tool,
+						Benchmark: spec.Benchmark,
+						Structure: spec.Structure,
+						MaskID:    rec.MaskID,
+						Sites:     rec.Sites,
+						Status:    rec.Status,
+						Class:     string(cls),
+						Stopped:   true,
+						Weight:    rec.Weight,
+					})
+				}
+			}
+		}
 	}
 
 	// Fill the records the plan settled without simulation: dead masks get
@@ -1056,6 +1252,9 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 		for m, d := range plan.Decisions {
 			if !inWindow(i, m) {
 				continue
+			}
+			if adaptiveOn && stoppers[i].cancelled(spec.Masks[m].ID) {
+				continue // settled as a stopped-early row above
 			}
 			var pruned string
 			repMask := -1
@@ -1078,6 +1277,7 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 				rec := records[i][d.Rep]
 				rec.MaskID = spec.Masks[m].ID
 				rec.Sites = spec.Masks[m].Sites
+				rec.Weight = spec.Masks[m].Weight
 				records[i][m] = rec
 				pruned = "replicated"
 				repMask = spec.Masks[d.Rep].ID
@@ -1103,6 +1303,7 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 					Cycles:    rec.Cycles,
 					Pruned:    pruned,
 					RepMask:   repMask,
+					Weight:    rec.Weight,
 				})
 			}
 		}
@@ -1123,6 +1324,12 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 			if d := preps[i].plan.Decisions[m]; d.Action == prune.Replicate {
 				ri = d.Rep
 			}
+			if records[i][ri].Status == RunStopped.String() || verifyRecs[i][j].Status == "" {
+				// The stop decision settled the comparison target (or
+				// cancelled the verify run before it dispatched); there is
+				// no planned verdict to check against.
+				continue
+			}
 			planned, _ := (Parser{}).Classify(records[i][ri])
 			simulated, _ := (Parser{}).Classify(verifyRecs[i][j])
 			if planned != simulated {
@@ -1142,6 +1349,9 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 	// drain or residual-safety) or the functional tail.
 	for i := range specs {
 		for j, m := range wverifyIdx[i] {
+			if records[i][m].Status == RunStopped.String() || wverifyRecs[i][j].Status == "" {
+				continue // stop decision settled the windowed record
+			}
 			windowed, _ := (Parser{}).Classify(records[i][m])
 			full, _ := (Parser{}).Classify(wverifyRecs[i][j])
 			if windowed != full {
@@ -1166,6 +1376,34 @@ func runMatrix(specs []CampaignSpec, opt MatrixOptions, windows []maskWindow) ([
 	for i := range specs {
 		results[i] = &CampaignResult{Golden: preps[i].golden, Records: records[i]}
 		plans[i] = preps[i].plan
+		if adaptiveOn && stoppers[i] != nil {
+			st := stoppers[i]
+			info := &AdaptiveInfo{
+				StoppedEarly:    st.stopped(),
+				SimulatedRuns:   st.est.N(),
+				PlannedRuns:     len(st.simOrder),
+				EffectiveMargin: st.est.EffectiveMargin(),
+				Confidence:      opt.StopConfidence,
+			}
+			if st.stopped() {
+				info.SimulatedRuns = st.stoppedAt
+				info.EffectiveMargin = st.finalMargin
+			}
+			results[i].Adaptive = info
+		}
+		if specs[i].Exhaustive {
+			// An exhaustive cell enumerated its collapsed mask space; its
+			// estimate is a census, not a sample: complete, zero margin.
+			sim := len(specs[i].Masks)
+			if preps[i].plan != nil {
+				sim = preps[i].plan.Simulated
+			}
+			results[i].Adaptive = &AdaptiveInfo{
+				Complete:      true,
+				SimulatedRuns: sim,
+				PlannedRuns:   len(specs[i].Masks),
+			}
+		}
 	}
 	return results, plans, nil
 }

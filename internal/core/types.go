@@ -43,6 +43,13 @@ const (
 	// never accessed before any read) at plan time, so the outcome is
 	// Masked with certainty — the §III.B proof moved before simulation.
 	RunPruned
+	// RunStopped means the run was never simulated because its cell's
+	// sequential-confidence stopping rule decided before the run's turn:
+	// every outcome-class proportion reached the target margin, so the
+	// remaining masks were cancelled deterministically. Unlike RunPruned
+	// the outcome is unknown — stopped rows are provenance, not verdicts,
+	// and are excluded from class proportions.
+	RunStopped
 )
 
 var runStatusNames = [...]string{
@@ -50,6 +57,7 @@ var runStatusNames = [...]string{
 	RunSystemCrash: "system-crash", RunAssert: "assert",
 	RunSimCrash: "simulator-crash", RunCycleLimit: "cycle-limit",
 	RunEarlyMasked: "early-masked", RunPruned: "pruned",
+	RunStopped: "stopped-early",
 }
 
 // String returns the log name of the status.

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/divergence"
 	"repro/internal/fault"
@@ -59,6 +60,13 @@ type CoordinatorOptions struct {
 	// Logf, when non-nil, receives coordinator lifecycle lines (lease
 	// grants, requeues, duplicates).
 	Logf func(format string, args ...any)
+	// MasksFor materializes the deterministic mask population of one
+	// campaign cell — required when the config arms sequential early
+	// stopping (stop_margin): the coordinator settles every mask beyond
+	// the stop point as a stopped-early provenance row, and those rows
+	// need the mask's sites and sampling weight even though no worker
+	// ever simulated them.
+	MasksFor func(campaign int) ([]fault.Mask, error)
 
 	// now is the clock; tests compress lease time.
 	now func() time.Time
@@ -98,6 +106,7 @@ type Stats struct {
 	Completed  int // shards merged
 	Requeues   int // lease expiries that put a shard back on the queue
 	Duplicates int // completions of already-completed shards (discarded)
+	Cancelled  int // shards cancelled by a cell's early-stop decision
 }
 
 const (
@@ -135,6 +144,30 @@ type WorkerStatus struct {
 	Final      bool    `json:"final,omitempty"`
 }
 
+// cellControl is the coordinator-side sequential stopping rule of one
+// campaign cell — the distributed analog of the scheduler's cellStopper.
+// Workers always run their whole shard (RunShard disarms the local
+// rule); the coordinator owns the global decision and enforces the same
+// contiguous-prefix discipline: merged rows buffer in pend until every
+// lower mask index has merged, then commit in mask order, feeding the
+// estimator one simulated run at a time and evaluating exactly when the
+// simulated count reaches a boundary. The decision therefore depends
+// only on the config, never on shard size, worker count, or merge
+// timing — a 1-, 2- and 4-worker fleet stop at the identical cutoff,
+// and journals, records and divergence files come out identical.
+type cellControl struct {
+	est      *adaptive.Estimator
+	cadence  int
+	pend     []*core.ShardRun // merged-but-uncommitted rows, by mask index
+	frontier int              // mask indices [0, frontier) committed
+	sim      int              // simulated rows fed to the estimator
+	boundary int              // next evaluation point (simulated-run count)
+
+	stopped     bool
+	settled     bool
+	finalMargin float64
+}
+
 // pendingReplica is a replicated row awaiting its representative's
 // merged record; resolved at finalize exactly like the single-node
 // plan fill-in.
@@ -160,6 +193,8 @@ type Coordinator struct {
 	records   [][]core.LogRecord
 	filled    [][]bool
 	replicas  []pendingReplica
+	adapt     []*cellControl // per-cell stopping rules, nil when disarmed
+	masks     [][]fault.Mask // memoized MasksFor results
 	journals  map[string]*fault.Journal
 	camps     []*telemetry.CampaignStats
 	workers   map[string]*workerView
@@ -176,6 +211,12 @@ type Coordinator struct {
 func New(cfg core.CampaignConfig, opt CoordinatorOptions) (*Coordinator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Exhaustive {
+		return nil, fmt.Errorf("dist: exhaustive campaigns have no fixed shard geometry (the census size is profile-derived); run them single-node")
+	}
+	if cfg.StopMargin > 0 && opt.MasksFor == nil {
+		return nil, fmt.Errorf("dist: adaptive campaigns (stop_margin) need CoordinatorOptions.MasksFor to settle cancelled masks")
 	}
 	if cfg.SchemaVersion == 0 {
 		// Stamp the lowest version that can express the config: configs
@@ -195,6 +236,29 @@ func New(cfg core.CampaignConfig, opt CoordinatorOptions) (*Coordinator, error) 
 		journals:  make(map[string]*fault.Journal),
 		workers:   make(map[string]*workerView),
 		doneCh:    make(chan struct{}),
+	}
+	if cfg.StopMargin > 0 {
+		c.adapt = make([]*cellControl, len(cfg.Campaigns))
+		c.masks = make([][]fault.Mask, len(cfg.Campaigns))
+		cadence := cfg.StopCheckEvery
+		if cadence < 1 {
+			cadence = adaptive.DefaultCheckEvery
+		}
+		for i := range cfg.Campaigns {
+			est, err := adaptive.New(adaptive.Config{
+				Margin:     cfg.StopMargin,
+				Confidence: cfg.StopConfidence,
+				CheckEvery: cfg.StopCheckEvery,
+				Classes:    core.ClassStrings(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.adapt[i] = &cellControl{
+				est: est, cadence: cadence, boundary: cadence,
+				pend: make([]*core.ShardRun, cfg.MaskCount(i)),
+			}
+		}
 	}
 	total := 0
 	size := opt.shardSize()
@@ -441,6 +505,15 @@ func (c *Coordinator) complete(req CompleteRequest) CompleteResponse {
 		})
 	}
 	c.logf("dist: shard %d completed by %s (%d/%d)", s.shard.ID, req.WorkerID, c.stats.Completed, c.stats.Shards)
+	if c.adapt != nil {
+		// A merge may have fired a cell's stopping rule; settle the
+		// cancelled masks and shards after this shard's own bookkeeping so
+		// the cancellation sweep never double-counts it.
+		if err := c.settleStopsLocked(); err != nil {
+			c.failLocked(err)
+			return c.ackLocked(CompleteResponse{OK: true})
+		}
+	}
 	if c.remaining == 0 && c.failure == nil {
 		if err := c.finalizeLocked(); err != nil {
 			c.failLocked(err)
@@ -471,6 +544,10 @@ func (c *Coordinator) mergeLocked(sh Shard, res *core.ShardResult) error {
 		// a mismatch means the fleet runs divergent builds.
 		return fmt.Errorf("dist: shard %d golden header disagrees with campaign %d's (mixed worker builds?)", sh.ID, i)
 	}
+	var ctl *cellControl
+	if c.adapt != nil {
+		ctl = c.adapt[i]
+	}
 	for _, run := range res.Runs {
 		if run.Index < sh.MaskLo || run.Index >= sh.MaskHi {
 			return fmt.Errorf("dist: shard %d returned mask index %d outside window [%d,%d)", sh.ID, run.Index, sh.MaskLo, sh.MaskHi)
@@ -479,29 +556,183 @@ func (c *Coordinator) mergeLocked(sh Shard, res *core.ShardResult) error {
 			continue // exactly-once ledger: an overlapping row merges once
 		}
 		c.filled[i][run.Index] = true
-		switch run.Pruned {
-		case "replicated":
-			c.replicas = append(c.replicas, pendingReplica{
-				campaign: i, index: run.Index, rep: run.RepIndex,
-				maskID: run.Record.MaskID, sites: run.Record.Sites,
-			})
-			continue // verdict copied from the representative at finalize
-		case "":
-			// Only simulated runs reach the journal — the same rows a
-			// single-node -journal campaign acknowledges.
+		if ctl != nil {
+			// Adaptive cells commit in mask order through the frontier
+			// below, never directly — merge order must not influence the
+			// stop decision or the artifact byte streams.
+			r := run
+			ctl.pend[run.Index] = &r
+			continue
+		}
+		if err := c.commitRunLocked(i, run); err != nil {
+			return err
+		}
+	}
+	if ctl != nil && !ctl.stopped {
+		return c.advanceFrontierLocked(i, ctl)
+	}
+	return nil
+}
+
+// commitRunLocked folds one merged row into the ledger: replicas defer
+// to finalize, simulated rows journal, and every committed row lands in
+// the record array, the divergence sink and the telemetry stream.
+func (c *Coordinator) commitRunLocked(i int, run core.ShardRun) error {
+	switch run.Pruned {
+	case "replicated":
+		c.replicas = append(c.replicas, pendingReplica{
+			campaign: i, index: run.Index, rep: run.RepIndex,
+			maskID: run.Record.MaskID, sites: run.Record.Sites,
+		})
+		return nil // verdict copied from the representative at finalize
+	case "":
+		// Only simulated runs reach the journal — the same rows a
+		// single-node -journal campaign acknowledges.
+		if c.opt.JournalFor != nil {
+			if err := c.journalLocked(c.keys[i], run); err != nil {
+				return err
+			}
+		}
+	}
+	c.records[i][run.Index] = run.Record
+	if c.opt.Divergence != nil {
+		c.opt.Divergence.Add(run.DivergenceRecord(c.keys[i]))
+	}
+	c.emitLocked(i, run, run.Pruned, -1)
+	return nil
+}
+
+// advanceFrontierLocked commits the contiguous prefix of buffered rows
+// of one adaptive cell, feeding each simulated run to the estimator and
+// evaluating the stopping rule exactly when the simulated count reaches
+// a boundary. A decision with the whole population already committed is
+// not a stop — there is nothing left to cancel, matching the scheduler's
+// final-boundary rule. (One deliberate asymmetry: the coordinator cannot
+// know whether the not-yet-merged tail contains any simulated masks, so
+// a decision landing exactly on the cell's final simulated run while
+// only pruned masks remain unmerged settles that pruned tail as stopped
+// rows, where a single-node run would have filled them from the plan.)
+func (c *Coordinator) advanceFrontierLocked(i int, ctl *cellControl) error {
+	n := len(ctl.pend)
+	for ctl.frontier < n && ctl.pend[ctl.frontier] != nil {
+		run := *ctl.pend[ctl.frontier]
+		if err := c.commitRunLocked(i, run); err != nil {
+			return err
+		}
+		ctl.pend[ctl.frontier] = nil
+		ctl.frontier++
+		if run.Pruned != "" {
+			continue
+		}
+		cls, _ := (core.Parser{}).Classify(run.Record)
+		ctl.est.Add(string(cls))
+		ctl.sim++
+		if ctl.sim == ctl.boundary {
+			if ctl.est.Decided() && ctl.frontier < n {
+				ctl.stopped = true
+				ctl.finalMargin = ctl.est.EffectiveMargin()
+				return nil
+			}
+			ctl.boundary += ctl.cadence
+		}
+	}
+	return nil
+}
+
+// masksForLocked memoizes the MasksFor population of one cell.
+func (c *Coordinator) masksForLocked(i int) ([]fault.Mask, error) {
+	if c.masks[i] != nil {
+		return c.masks[i], nil
+	}
+	m, err := c.opt.MasksFor(i)
+	if err != nil {
+		return nil, fmt.Errorf("dist: materializing campaign %d's masks: %w", i, err)
+	}
+	c.masks[i] = m
+	return m, nil
+}
+
+// settleStopsLocked converts every undecided mask of a freshly stopped
+// cell into a stopped-early provenance row (journal, records, divergence
+// and telemetry, exactly as the single-node settle pass) and cancels the
+// cell's outstanding shards: queued ones never lease again, and a late
+// completion from a still-running worker is discarded as a duplicate by
+// the exactly-once ledger.
+func (c *Coordinator) settleStopsLocked() error {
+	for i, ctl := range c.adapt {
+		if ctl == nil || !ctl.stopped || ctl.settled {
+			continue
+		}
+		ctl.settled = true
+		masks, err := c.masksForLocked(i)
+		if err != nil {
+			return err
+		}
+		n := len(ctl.pend)
+		if len(masks) != n {
+			return fmt.Errorf("dist: campaign %d: MasksFor returned %d masks, config promises %d", i, len(masks), n)
+		}
+		key := c.keys[i]
+		cell := c.cfg.Campaigns[i]
+		for idx := ctl.frontier; idx < n; idx++ {
+			m := masks[idx]
+			rec := core.LogRecord{MaskID: m.ID, Sites: m.Sites, Status: core.RunStopped.String(), Weight: m.Weight}
+			c.records[i][idx] = rec
+			c.filled[i][idx] = true
+			ctl.pend[idx] = nil
 			if c.opt.JournalFor != nil {
-				if err := c.journalLocked(c.keys[i], run); err != nil {
+				if err := c.journalStoppedLocked(key, rec); err != nil {
 					return err
 				}
 			}
+			if c.opt.Divergence != nil {
+				c.opt.Divergence.Add(core.ShardRun{Index: idx, Record: rec}.DivergenceRecord(key))
+			}
+			if tel := c.opt.Telemetry; tel != nil {
+				tel.RunStarted()
+				tel.RunDone(c.camps[i], telemetry.RunEvent{
+					Campaign: key, Tool: cell.Tool, Benchmark: cell.Benchmark, Structure: cell.Structure,
+					MaskID: rec.MaskID, Sites: rec.Sites, Status: rec.Status,
+					Class: string(core.ClassStopped), Stopped: true, Weight: rec.Weight,
+				})
+			}
 		}
-		c.records[i][run.Index] = run.Record
-		if c.opt.Divergence != nil {
-			c.opt.Divergence.Add(run.DivergenceRecord(c.keys[i]))
+		if tel := c.opt.Telemetry; tel != nil {
+			tel.CellStopped(ctl.finalMargin)
 		}
-		c.emitLocked(i, run, run.Pruned, -1)
+		cancelled := 0
+		for _, s := range c.shards {
+			if s.shard.Campaign != i || s.state == shardCompleted {
+				continue
+			}
+			s.state = shardCompleted
+			s.worker = ""
+			c.remaining--
+			c.stats.Cancelled++
+			cancelled++
+		}
+		c.logf("dist: campaign %d stopped early after %d simulated runs (margin %.4f); %d shards cancelled",
+			i, ctl.sim, ctl.finalMargin, cancelled)
 	}
 	return nil
+}
+
+func (c *Coordinator) journalStoppedLocked(key string, rec core.LogRecord) error {
+	jnl, ok := c.journals[key]
+	if !ok {
+		var err error
+		if jnl, err = c.opt.JournalFor(key); err != nil {
+			return fmt.Errorf("dist: opening journal for %s: %w", key, err)
+		}
+		c.journals[key] = jnl
+	}
+	raw, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("dist: journaling %s stopped mask %d: %w", key, rec.MaskID, err)
+	}
+	return jnl.Append(fault.JournalEntry{
+		Campaign: key, MaskID: rec.MaskID, Record: raw, StoppedEarly: true,
+	})
 }
 
 func (c *Coordinator) journalLocked(key string, run core.ShardRun) error {
@@ -565,6 +796,7 @@ func emitShardRun(tel *telemetry.Collector, cs *telemetry.CampaignStats, key str
 		Diverged:       run.Diverged,
 		Pruned:         pruned,
 		RepMask:        repMask,
+		Weight:         run.Record.Weight,
 	})
 }
 
@@ -598,6 +830,28 @@ func (c *Coordinator) finalizeLocked() error {
 	c.results = make([]*core.CampaignResult, len(c.records))
 	for i := range c.records {
 		c.results[i] = &core.CampaignResult{Golden: c.goldens[i], Records: c.records[i]}
+		if c.adapt == nil || c.adapt[i] == nil || c.adapt[i].sim == 0 {
+			continue
+		}
+		ctl := c.adapt[i]
+		// PlannedRuns: for a stopped cell the plan actions of the
+		// cancelled tail were never computed (no worker ran those masks),
+		// so the mask budget stands in for the simulated-run budget a
+		// single-node result reports.
+		info := &core.AdaptiveInfo{
+			StoppedEarly:    ctl.stopped,
+			SimulatedRuns:   ctl.sim,
+			PlannedRuns:     ctl.sim,
+			EffectiveMargin: ctl.est.EffectiveMargin(),
+			Confidence:      c.cfg.StopConfidence,
+		}
+		if ctl.stopped {
+			info.PlannedRuns = len(c.records[i])
+			info.EffectiveMargin = ctl.finalMargin
+		} else if tel := c.opt.Telemetry; tel != nil {
+			tel.ObserveCellMargin(info.EffectiveMargin)
+		}
+		c.results[i].Adaptive = info
 	}
 	return nil
 }
@@ -639,7 +893,20 @@ func (c *Coordinator) FleetSnapshot() telemetry.Snapshot {
 		snaps = append(snaps, *c.workers[id].snap)
 	}
 	c.mu.Unlock()
-	return telemetry.MergeSnapshots(snaps...)
+	merged := telemetry.MergeSnapshots(snaps...)
+	// The early-stop counters live coordinator-side only — workers never
+	// see a stopped run, so overlaying them cannot double-count. (The
+	// rest of the coordinator's collector re-emits runs the workers
+	// already counted and stays excluded.)
+	if tel := c.opt.Telemetry; tel != nil && c.adapt != nil {
+		own := tel.Snapshot()
+		merged.StoppedRuns += own.StoppedRuns
+		merged.CellsStoppedEarly += own.CellsStoppedEarly
+		if own.EffectiveMargin > merged.EffectiveMargin {
+			merged.EffectiveMargin = own.EffectiveMargin
+		}
+	}
+	return merged
 }
 
 // Fleet returns the per-worker views, sorted by worker ID.

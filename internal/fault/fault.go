@@ -84,6 +84,12 @@ type Mask struct {
 	// ID is the experiment index within the campaign, for log matching.
 	ID    int    `json:"id"`
 	Sites []Site `json:"sites"`
+	// Weight is the Horvitz–Thompson sampling weight of the mask: the
+	// ratio of its uniform draw probability to the probability the
+	// generator actually drew it with. Uniformly generated masks leave
+	// it zero (read as 1); importance-sampled and exhaustive masks carry
+	// the weight the estimators need to stay unbiased.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // Validate checks the mask against a structure geometry lookup. The
@@ -247,9 +253,29 @@ func MultiStructure(lists ...[]Mask) ([]Mask, error) {
 
 // ---- Statistical fault sampling (Leveugle et al., DATE 2009) ---------------
 
+// ZFor returns the two-sided normal quantile for the given confidence
+// level, or an error when the level lies outside the open interval
+// (0, 1) — the domain on which a quantile exists. Configuration
+// validation goes through this entry point so a bad stop_confidence is
+// reported as such instead of silently producing a garbage z-score.
+func ZFor(confidence float64) (float64, error) {
+	if math.IsNaN(confidence) || confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("fault: confidence %v outside (0, 1)", confidence)
+	}
+	return zFor(confidence), nil
+}
+
+// maxZ is the two-sided quantile at the largest confidence level
+// distinguishable from 1 in double precision — the finite ceiling the
+// sampling arithmetic clamps to instead of overflowing to +Inf.
+const maxZ = 8.29
+
 // zFor returns the two-sided normal quantile for the given confidence
 // level. The three levels used in practice are tabulated exactly; other
-// levels are computed from the inverse error function series.
+// levels go through the inverse error function. Out-of-domain levels
+// clamp to the nearest representable quantile (0 below, maxZ above) so
+// the sampling formulas stay finite; callers that want a diagnosis use
+// ZFor.
 func zFor(confidence float64) float64 {
 	switch confidence {
 	case 0.90:
@@ -259,19 +285,14 @@ func zFor(confidence float64) float64 {
 	case 0.99:
 		return 2.5758293035489004
 	}
-	// Newton iteration on the normal CDF for non-tabulated levels.
-	p := (1 + confidence) / 2
-	x := 0.0
-	for i := 0; i < 100; i++ {
-		cdf := 0.5 * (1 + math.Erf(x/math.Sqrt2))
-		pdf := math.Exp(-x*x/2) / math.Sqrt(2*math.Pi)
-		step := (cdf - p) / pdf
-		x -= step
-		if math.Abs(step) < 1e-12 {
-			break
-		}
+	if math.IsNaN(confidence) || confidence <= 0 {
+		return 0
 	}
-	return x
+	if confidence >= 1 {
+		return maxZ
+	}
+	// The two-sided quantile at confidence c satisfies erf(z/√2) = c.
+	return math.Sqrt2 * math.Erfinv(confidence)
 }
 
 // SampleSize returns the number of fault injection runs required for a
@@ -289,13 +310,30 @@ func SampleSize(populationBits uint64, confidence, margin float64) int {
 	// 1843.03) and 663 (from 663.49).
 	z := zFor(confidence)
 	p := 0.5
+	if math.IsNaN(margin) || margin <= 0 {
+		// Only a census achieves a zero margin; an unbounded population
+		// cannot be censused, so report the largest representable size.
+		if populationBits == 0 || populationBits > math.MaxInt {
+			return math.MaxInt
+		}
+		return int(populationBits)
+	}
 	num := z * z * p * (1 - p) / (margin * margin)
 	if populationBits == 0 {
 		return int(math.Round(num))
 	}
 	nf := float64(populationBits)
 	n := nf / (1 + (margin*margin*(nf-1))/(z*z*p*(1-p)))
-	return int(math.Round(n))
+	// The finite-population formula approaches N from below but rounding
+	// (or a degenerate z) can step past it; a sample can never exceed a
+	// census.
+	if r := int(math.Round(n)); r >= 0 && uint64(r) < populationBits {
+		return r
+	}
+	if populationBits > math.MaxInt {
+		return math.MaxInt
+	}
+	return int(populationBits)
 }
 
 // MarginFor returns the error margin achieved by n injection runs over a
@@ -305,10 +343,22 @@ func SampleSize(populationBits uint64, confidence, margin float64) int {
 func MarginFor(populationBits uint64, n int, confidence float64) float64 {
 	z := zFor(confidence)
 	p := 0.5
+	if n <= 0 {
+		// Nothing sampled: the proportion is unconstrained.
+		return 1
+	}
 	if populationBits == 0 {
 		return z * math.Sqrt(p*(1-p)/float64(n))
 	}
+	if populationBits == 1 {
+		// A one-site population is decided by its single run — zero
+		// sampling error — and the N−1 divisor below would be zero.
+		return 0
+	}
 	nf := float64(populationBits)
+	if float64(n) >= nf {
+		return 0 // census or better
+	}
 	// Solve n = N / (1 + e²(N−1)/(z²p(1−p))) for e.
 	e2 := (nf/float64(n) - 1) * z * z * p * (1 - p) / (nf - 1)
 	if e2 < 0 {

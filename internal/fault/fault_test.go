@@ -242,6 +242,87 @@ func TestMarginSampleSizeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSamplingMathEdgeCases(t *testing.T) {
+	// A one-site population used to divide by N−1 = 0 in MarginFor.
+	if m := MarginFor(1, 1, 0.99); m != 0 {
+		t.Errorf("MarginFor(N=1) = %v, want 0", m)
+	}
+	if n := SampleSize(1, 0.99, 0.03); n != 1 {
+		t.Errorf("SampleSize(N=1) = %d, want 1", n)
+	}
+	// Sampling more than the population is a census: zero margin, and
+	// never NaN from a negative variance term.
+	if m := MarginFor(10, 25, 0.99); m != 0 {
+		t.Errorf("MarginFor(n>N) = %v, want 0", m)
+	}
+	// Nothing sampled constrains nothing.
+	if m := MarginFor(100, 0, 0.99); m != 1 {
+		t.Errorf("MarginFor(n=0) = %v, want 1", m)
+	}
+	// A zero margin demands a census; for an unbounded population the
+	// result is clamped, not infinite.
+	if n := SampleSize(1000, 0.99, 0); n != 1000 {
+		t.Errorf("SampleSize(margin=0, N=1000) = %d, want 1000", n)
+	}
+	if n := SampleSize(0, 0.99, 0); n != math.MaxInt {
+		t.Errorf("SampleSize(margin=0, N=∞) = %d, want MaxInt", n)
+	}
+	// Out-of-domain confidence levels must stay finite everywhere.
+	for _, c := range []float64{-1, 0, 1, 1.5, math.NaN()} {
+		for _, N := range []uint64{0, 1, 100} {
+			if m := MarginFor(N, 50, c); math.IsNaN(m) || math.IsInf(m, 0) {
+				t.Errorf("MarginFor(N=%d, conf=%v) = %v", N, c, m)
+			}
+			n := SampleSize(N, c, 0.03)
+			if N != 0 && uint64(n) > N {
+				t.Errorf("SampleSize(N=%d, conf=%v) = %d exceeds population", N, c, n)
+			}
+		}
+		if z := zFor(c); math.IsNaN(z) || math.IsInf(z, 0) {
+			t.Errorf("zFor(%v) = %v", c, z)
+		}
+	}
+}
+
+func TestZForDomain(t *testing.T) {
+	for _, c := range []float64{-0.5, 0, 1, 1.01, math.NaN()} {
+		if _, err := ZFor(c); err == nil {
+			t.Errorf("ZFor(%v) accepted an out-of-domain confidence", c)
+		}
+	}
+	for _, c := range []float64{0.5, 0.90, 0.95, 0.98, 0.99, 0.999} {
+		z, err := ZFor(c)
+		if err != nil {
+			t.Fatalf("ZFor(%v): %v", c, err)
+		}
+		if z != zFor(c) {
+			t.Errorf("ZFor(%v) = %v, zFor = %v", c, z, zFor(c))
+		}
+	}
+}
+
+func TestMarginForSampleSizeProperty(t *testing.T) {
+	// Running the recommended sample achieves the requested margin (up
+	// to round-to-nearest slack on the sample size).
+	f := func(nSeed uint32, cSeed, eSeed uint8) bool {
+		N := uint64(nSeed%1_000_000) + 1
+		c := 0.80 + float64(cSeed%19)/100 // 0.80 .. 0.98
+		e := 0.01 + float64(eSeed%10)/100 // 0.01 .. 0.10
+		n := SampleSize(N, c, e)
+		if n < 0 || uint64(n) > N {
+			return false
+		}
+		// Round-to-nearest can undershoot the exact sample size by up to
+		// 0.5 runs, inflating the achieved margin by ~e/(4n); allow that
+		// slack and nothing more.
+		m := MarginFor(N, n, c)
+		return !math.IsNaN(m) && m <= e*(1+1.0/math.Max(float64(n), 1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestZForNonTabulated(t *testing.T) {
 	// 98% two-sided quantile ≈ 2.3263.
 	z := zFor(0.98)

@@ -34,12 +34,19 @@ type JournalEntry struct {
 	Observed      bool            `json:"observed,omitempty"`
 	FirstObsCycle uint64          `json:"first_obs_cycle,omitempty"`
 	EarlyStop     string          `json:"early_stop,omitempty"`
+	// StoppedEarly marks an entry whose run was cancelled by the cell's
+	// sequential stopping rule — settled provenance, not a simulated
+	// run. Resume recomputes the stop decision from the real entries and
+	// only uses this flag to avoid re-settling what is already durable.
+	StoppedEarly bool `json:"stopped_early,omitempty"`
 }
 
 // JournalSchemaVersion is the journal format version this build writes
 // (see TraceSchemaVersion for the version history; the two formats
-// version independently but are currently both at 1).
-const JournalSchemaVersion = 1
+// version independently). Version 2 adds the stopped_early flag of
+// adaptive campaigns; Append stamps it only on entries that carry the
+// flag, so fixed-budget journals keep writing version-1 lines.
+const JournalSchemaVersion = 2
 
 // Journal is an append-only JSONL run journal. Append marshals one entry,
 // writes it as a single line and fsyncs before returning, so every
@@ -130,11 +137,16 @@ func (j *Journal) Appended() int {
 	return j.appended
 }
 
-// Append writes one entry as a JSON line and fsyncs it, stamping the
-// current JournalSchemaVersion on entries that carry none.
+// Append writes one entry as a JSON line and fsyncs it, stamping
+// unstamped entries with the lowest schema version that can express
+// them (the current version for stopped-early provenance, 1 otherwise).
 func (j *Journal) Append(e JournalEntry) error {
 	if e.SchemaVersion == 0 {
-		e.SchemaVersion = JournalSchemaVersion
+		if e.StoppedEarly {
+			e.SchemaVersion = JournalSchemaVersion
+		} else {
+			e.SchemaVersion = 1
+		}
 	}
 	b, err := json.Marshal(&e)
 	if err != nil {

@@ -13,7 +13,10 @@ import (
 //
 //	0 (absent) — the unversioned PR 2–4 format; accepted on read
 //	1          — identical fields plus the schema_version stamp itself
-const TraceSchemaVersion = 1
+//	2          — adds the stopped_early provenance flag of adaptive
+//	             campaigns; stamped per row, only on rows that carry it,
+//	             so fixed-budget traces stay byte-identical to version 1
+const TraceSchemaVersion = 2
 
 // TraceRecord is one row of the JSONL injection trace that sits next to
 // the campaign logs in the logs repository. Where a core.LogRecord keeps
@@ -52,17 +55,28 @@ type TraceRecord struct {
 	// omitempty would otherwise drop).
 	Pruned  string `json:"pruned,omitempty"`
 	RepMask *int   `json:"rep_mask,omitempty"`
+	// Stopped marks a row whose run was cancelled by the cell's
+	// sequential stopping rule before simulation — provenance for
+	// smokecheck and resume, not an outcome.
+	Stopped bool `json:"stopped_early,omitempty"`
 }
 
-// WriteTrace encodes records as JSON lines, stamping the current
-// TraceSchemaVersion on rows that carry none.
+// WriteTrace encodes records as JSON lines, stamping unstamped rows
+// with the lowest schema version that can express them: rows carrying
+// the stopped_early flag get the current version, all others version 1,
+// so a fixed-budget campaign's trace is byte-identical to what older
+// builds wrote.
 func WriteTrace(w io.Writer, recs []TraceRecord) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i := range recs {
 		rec := recs[i]
 		if rec.SchemaVersion == 0 {
-			rec.SchemaVersion = TraceSchemaVersion
+			if rec.Stopped {
+				rec.SchemaVersion = TraceSchemaVersion
+			} else {
+				rec.SchemaVersion = 1
+			}
 		}
 		if err := enc.Encode(&rec); err != nil {
 			return fmt.Errorf("fault: writing trace record %d: %w", i, err)

@@ -80,23 +80,35 @@ func TestReadTraceEmpty(t *testing.T) {
 	}
 }
 
-// Every written row carries the current schema version; unversioned rows
-// (the PR 2–4 format) read back fine, and rows from a newer build are
-// rejected rather than misread.
+// Every written row carries the lowest schema version that expresses it
+// — plain rows stay at version 1 so campaigns without adaptive control
+// remain byte-identical to older builds, stopped-early rows carry
+// version 2. Unversioned rows (the PR 2–4 format) read back fine, and
+// rows from a newer build are rejected rather than misread.
 func TestTraceSchemaVersion(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteTrace(&buf, []TraceRecord{{Campaign: "k", Status: "completed", Class: "Masked"}}); err != nil {
+	rows := []TraceRecord{
+		{Campaign: "k", Status: "completed", Class: "Masked"},
+		{Campaign: "k", MaskID: 1, Status: "stopped-early", Stopped: true},
+	}
+	if err := WriteTrace(&buf, rows); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), `"schema_version":1`) {
-		t.Fatalf("written row carries no schema version: %s", buf.String())
+		t.Fatalf("plain row not stamped version 1: %s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"schema_version":2`) {
+		t.Fatalf("stopped row not stamped version 2: %s", buf.String())
 	}
 	back, err := ReadTrace(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(back) != 1 || back[0].SchemaVersion != TraceSchemaVersion {
+	if len(back) != 2 || back[0].SchemaVersion != 1 || back[1].SchemaVersion != TraceSchemaVersion {
 		t.Fatalf("round-trip version: %+v", back)
+	}
+	if !back[1].Stopped {
+		t.Fatalf("stopped flag lost in round trip: %+v", back[1])
 	}
 
 	legacy := `{"campaign":"k","mask_id":0,"sites":null,"status":"completed","class":"Masked","cycles":0,"observed":false}` + "\n"

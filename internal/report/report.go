@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bitarray"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/sims"
@@ -99,6 +100,19 @@ type Options struct {
 	// RunWallLimit bounds the host wall-clock time of a single run; 0 is
 	// off.
 	RunWallLimit time.Duration
+	// StopMargin, when positive, arms the sequential-confidence stopping
+	// rule on every campaign cell (see core.MatrixOptions.StopMargin);
+	// StopConfidence and StopCheckEvery qualify it.
+	StopMargin     float64
+	StopConfidence float64
+	StopCheckEvery int
+	// ImportanceSampling draws masks preferentially from live fault
+	// sites of the golden liveness profile, with Horvitz-Thompson
+	// weights keeping the reported proportions unbiased.
+	ImportanceSampling bool
+	// Exhaustive replaces sampling with the equivalence-class-collapsed
+	// census of the single-bit transient population (implies Prune).
+	Exhaustive bool
 	// GoldenCache, when non-nil, memoizes golden runs across report
 	// calls; by default each RunFigures/RunCampaignFor call uses a
 	// private cache.
@@ -165,8 +179,9 @@ func (o Options) timeoutFactor() uint64 {
 func (o Options) matrixOptions(cache *core.GoldenCache, collector *telemetry.Collector) core.MatrixOptions {
 	return core.MatrixOptions{
 		Workers: o.Workers, Golden: cache, Telemetry: collector,
-		Prune: o.Prune, PruneVerify: o.PruneVerify, CheckpointLadder: o.CheckpointLadder,
+		Prune: o.Prune || o.Exhaustive, PruneVerify: o.PruneVerify, CheckpointLadder: o.CheckpointLadder,
 		RunWallLimit: o.RunWallLimit,
+		StopMargin:   o.StopMargin, StopConfidence: o.StopConfidence, StopCheckEvery: o.StopCheckEvery,
 	}
 }
 
@@ -176,18 +191,23 @@ func (o Options) matrixOptions(cache *core.GoldenCache, collector *telemetry.Col
 // derives its own campaign matrix from figure specs.
 func OptionsFromConfig(cfg core.CampaignConfig) Options {
 	return Options{
-		Injections:       cfg.Injections,
-		Seed:             cfg.Seed,
-		Workers:          cfg.Workers,
-		LiveOnly:         cfg.LiveOnly,
-		UseCheckpoint:    cfg.UseCheckpoint,
-		Prune:            cfg.Prune,
-		PruneVerify:      cfg.PruneVerify,
-		CheckpointLadder: cfg.CheckpointLadder,
-		Model:            cfg.Model,
-		TimeoutFactor:    cfg.TimeoutFactor,
-		DisableEarlyStop: cfg.DisableEarlyStop,
-		RunWallLimit:     cfg.RunWallLimit,
+		Injections:         cfg.Injections,
+		Seed:               cfg.Seed,
+		Workers:            cfg.Workers,
+		LiveOnly:           cfg.LiveOnly,
+		UseCheckpoint:      cfg.UseCheckpoint,
+		Prune:              cfg.Prune,
+		PruneVerify:        cfg.PruneVerify,
+		CheckpointLadder:   cfg.CheckpointLadder,
+		Model:              cfg.Model,
+		TimeoutFactor:      cfg.TimeoutFactor,
+		DisableEarlyStop:   cfg.DisableEarlyStop,
+		RunWallLimit:       cfg.RunWallLimit,
+		StopMargin:         cfg.StopMargin,
+		StopConfidence:     cfg.StopConfidence,
+		StopCheckEvery:     cfg.StopCheckEvery,
+		ImportanceSampling: cfg.ImportanceSampling,
+		Exhaustive:         cfg.Exhaustive,
 	}
 }
 
@@ -197,6 +217,10 @@ type Cell struct {
 	Benchmark string
 	Breakdown core.Breakdown
 	Golden    core.GoldenInfo
+	// Adaptive carries the cell's adaptive-control outcome (early stop,
+	// census completion, achieved margin) when the campaign ran under
+	// one; nil for fixed-budget campaigns.
+	Adaptive *core.AdaptiveInfo
 }
 
 // FigureData is the full dataset of one figure.
@@ -243,11 +267,38 @@ func campaignSpecFor(tool, bench, structure string, opt Options, cache *core.Gol
 	if !ok {
 		return core.CampaignSpec{}, fmt.Errorf("report: %s has no structure %q", tool, structure)
 	}
-	masks, err := fault.Generate(fault.GeneratorSpec{
+	genSpec := fault.GeneratorSpec{
 		Structure: structure, Entries: entries, BitsPerEntry: bits,
 		MaxCycle: golden.Cycles, Model: opt.model(),
 		Count: opt.injections(), Seed: seedFor(opt.Seed, 0, bench, tool+structure),
-	})
+	}
+	var masks []fault.Mask
+	switch {
+	case opt.Exhaustive, opt.ImportanceSampling:
+		// Both profile-driven generators read the boot liveness profile
+		// of the cell's structure — the same profile the pruner derives
+		// its plan from, so the equivalence classes agree by
+		// construction.
+		profs, perr := cache.Profiles(tool, bench, factory, nil, []string{structure})
+		if perr != nil {
+			return core.CampaignSpec{}, perr
+		}
+		var prof *bitarray.Profile
+		if len(profs) > 0 {
+			prof = profs[0][structure]
+		}
+		if prof == nil {
+			return core.CampaignSpec{}, fmt.Errorf("report: %s/%s exposes no liveness profile for %s (simulator has no cycle source)",
+				tool, bench, structure)
+		}
+		if opt.Exhaustive {
+			masks, err = fault.EnumerateExhaustive(genSpec, prof)
+		} else {
+			masks, err = fault.GenerateImportance(genSpec, prof, 0)
+		}
+	default:
+		masks, err = fault.Generate(genSpec)
+	}
 	if err != nil {
 		return core.CampaignSpec{}, err
 	}
@@ -273,6 +324,7 @@ func campaignSpecFor(tool, bench, structure string, opt Options, cache *core.Gol
 		Masks: masks, Factory: factory, TimeoutFactor: opt.timeoutFactor(), Workers: opt.Workers,
 		UseCheckpoint:    opt.UseCheckpoint,
 		DisableEarlyStop: opt.DisableEarlyStop,
+		Exhaustive:       opt.Exhaustive,
 		Golden:           &golden,
 	}, nil
 }
@@ -393,6 +445,7 @@ func RunFigures(specs []FigureSpec, opt Options, progress io.Writer) ([]*FigureD
 			Tool: c.tool, Benchmark: c.bench,
 			Breakdown: opt.Parser.ParseAll(res.Records),
 			Golden:    res.Golden,
+			Adaptive:  res.Adaptive,
 		})
 	}
 	return fds, nil
@@ -440,17 +493,26 @@ func (fd *FigureData) CellFor(bench, tool string) (Cell, bool) {
 // Average aggregates a tool's breakdown across all benchmarks of the
 // figure — the rightmost "average" bars of the paper's charts.
 func (fd *FigureData) Average(tool string) core.Breakdown {
-	agg := core.Breakdown{Counts: make(map[core.Class]int), Details: make(map[core.Detail]int)}
+	agg := core.Breakdown{
+		Counts:  make(map[core.Class]int),
+		Details: make(map[core.Detail]int),
+		Weights: make(map[core.Class]float64),
+	}
 	for _, c := range fd.Cells {
 		if c.Tool != tool {
 			continue
 		}
 		agg.Total += c.Breakdown.Total
+		agg.WeightSum += c.Breakdown.WeightSum
+		agg.NonUnit = agg.NonUnit || c.Breakdown.NonUnit
 		for k, v := range c.Breakdown.Counts {
 			agg.Counts[k] += v
 		}
 		for k, v := range c.Breakdown.Details {
 			agg.Details[k] += v
+		}
+		for k, v := range c.Breakdown.Weights {
+			agg.Weights[k] += v
 		}
 	}
 	return agg
@@ -494,11 +556,18 @@ func (fd *FigureData) Render(w io.Writer) {
 	fmt.Fprintf(w, "%-10s %-6s %8s %8s %8s %8s %8s %8s %8s\n",
 		"benchmark", "tool", "Masked", "SDC", "DUE", "Timeout", "Crash", "Assert", "vuln")
 	row := func(name, tool string, b core.Breakdown) {
+		// Importance-sampled (and census) cells render their
+		// Horvitz–Thompson reweighted proportions — the raw run shares
+		// are biased toward live sites by construction.
+		pct, vuln := b.Pct, b.Vulnerability()
+		if b.Weighted() {
+			pct, vuln = b.WeightedPct, b.WeightedVulnerability()
+		}
 		fmt.Fprintf(w, "%-10s %-6s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
 			name, sims.ShortLabel(tool),
-			b.Pct(core.ClassMasked), b.Pct(core.ClassSDC), b.Pct(core.ClassDUE),
-			b.Pct(core.ClassTimeout), b.Pct(core.ClassCrash), b.Pct(core.ClassAssert),
-			b.Vulnerability())
+			pct(core.ClassMasked), pct(core.ClassSDC), pct(core.ClassDUE),
+			pct(core.ClassTimeout), pct(core.ClassCrash), pct(core.ClassAssert),
+			vuln)
 	}
 	for _, bench := range fd.Benchmarks() {
 		for _, tool := range fd.Tools() {
@@ -608,6 +677,41 @@ func RenderSamplingTable(w io.Writer) {
 		fault.SampleSize(0, 0.99, 0.05))
 	fmt.Fprintf(w, "  2000 injections at 99%%     -> margin = %.2f%% (paper: 2.88%%)\n",
 		100*fault.MarginFor(0, 2000, 0.99))
+}
+
+// RenderAdaptiveTable prints, next to the fixed-n sampling numbers, what
+// the adaptive campaigns actually achieved: per cell, the runs simulated
+// versus planned and the margin reached when the rule fired (or the cell
+// ran to budget / the census completed). Cells without adaptive control
+// are skipped; nothing is printed when no cell carried one.
+func RenderAdaptiveTable(w io.Writer, figs []*FigureData) {
+	header := false
+	for _, fd := range figs {
+		for _, c := range fd.Cells {
+			a := c.Adaptive
+			if a == nil {
+				continue
+			}
+			if !header {
+				header = true
+				fmt.Fprintln(w, "Adaptive campaign control (achieved margins per cell):")
+				fmt.Fprintf(w, "  %-10s %-6s %-24s %10s %10s %10s  %s\n",
+					"benchmark", "tool", "structure", "simulated", "planned", "margin", "outcome")
+			}
+			outcome := "ran to budget"
+			margin := fmt.Sprintf("%9.2f%%", 100*a.EffectiveMargin)
+			switch {
+			case a.Complete:
+				outcome = "census complete"
+				margin = "     exact"
+			case a.StoppedEarly:
+				outcome = fmt.Sprintf("stopped early at %.0f%% confidence", 100*a.Confidence)
+			}
+			fmt.Fprintf(w, "  %-10s %-6s %-24s %10d %10d %10s  %s\n",
+				c.Benchmark, sims.ShortLabel(c.Tool), fd.Spec.Structure,
+				a.SimulatedRuns, a.PlannedRuns, margin, outcome)
+		}
+	}
 }
 
 // RenderStructuresTable reproduces Table IV: the injectable structures

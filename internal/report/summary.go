@@ -27,6 +27,7 @@ func LoadFigure(logs *core.LogsRepo, spec FigureSpec, opt Options) (*FigureData,
 				Tool: tool, Benchmark: bench,
 				Breakdown: opt.Parser.ParseAll(res.Records),
 				Golden:    res.Golden,
+				Adaptive:  res.Adaptive,
 			})
 		}
 	}
@@ -44,10 +45,16 @@ func RenderDifferentialSummary(w io.Writer, figs []*FigureData) {
 		"structure", "M-x86", "G-x86", "G-ARM", "|Mx86-Gx86|", "|Gx86-GARM|")
 	var sumTools, sumISAs float64
 	n := 0
+	vulnOf := func(b core.Breakdown) float64 {
+		if b.Weighted() {
+			return b.WeightedVulnerability()
+		}
+		return b.Vulnerability()
+	}
 	for _, fd := range figs {
-		m := fd.Average(sims.MaFINX86).Vulnerability()
-		gx := fd.Average(sims.GeFINX86).Vulnerability()
-		ga := fd.Average(sims.GeFINARM).Vulnerability()
+		m := vulnOf(fd.Average(sims.MaFINX86))
+		gx := vulnOf(fd.Average(sims.GeFINX86))
+		ga := vulnOf(fd.Average(sims.GeFINARM))
 		dTools := math.Abs(m - gx)
 		dISAs := math.Abs(gx - ga)
 		sumTools += dTools
@@ -118,14 +125,16 @@ func RenderDominantClasses(w io.Writer, figs []*FigureData) {
 		fmt.Fprintf(w, "  Fig %d %-32s", fd.Spec.ID, fd.Spec.Title)
 		for _, tool := range fd.Tools() {
 			b := fd.Average(tool)
+			// Weight mass equals the raw count on uniform campaigns and
+			// the unbiased population share on importance-sampled ones.
 			best := core.ClassSDC
-			bestN := -1
+			bestN := -1.0
 			for _, c := range core.Classes {
 				if c == core.ClassMasked {
 					continue
 				}
-				if b.Counts[c] > bestN {
-					best, bestN = c, b.Counts[c]
+				if b.Weights[c] > bestN {
+					best, bestN = c, b.Weights[c]
 				}
 			}
 			fmt.Fprintf(w, "  %s:%-8s", sims.ShortLabel(tool), string(best))

@@ -13,6 +13,7 @@
 package telemetry
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -90,6 +91,13 @@ type RunEvent struct {
 	// committed-instruction stream leave the golden path (false when no
 	// divergence recording is attached).
 	Diverged bool
+	// Stopped marks a run the cell's sequential stopping rule cancelled
+	// before simulation. Stopped events carry zero Cycles/Wall and are
+	// excluded from the throughput gauges, like pruned ones.
+	Stopped bool
+	// Weight is the record's Horvitz–Thompson sampling weight; zero for
+	// uniformly drawn masks (read as 1 by the estimators).
+	Weight float64
 }
 
 // Sink consumes run-end events, e.g. the JSONL trace writer. RunEvent
@@ -170,6 +178,11 @@ type Collector struct {
 	watchedReads, watchedWrites   atomic.Uint64
 	observedReads, observedWrites atomic.Uint64
 
+	stoppedRuns      atomic.Uint64
+	cellsStopped     atomic.Uint64
+	effectiveMargin  atomic.Uint64 // math.Float64bits, CAS-max across cells
+	importanceWeight atomic.Uint64 // math.Float64bits, CAS-add of run weights
+
 	statuses counterMap
 	classes  counterMap
 
@@ -205,6 +218,46 @@ func (c *Collector) RunStarted() { c.started.Add(1) }
 // PanicContained accounts one worker panic the scheduler's recover
 // boundary converted into a per-run error.
 func (c *Collector) PanicContained() { c.panicsContained.Add(1) }
+
+// CellStopped accounts one campaign cell whose sequential stopping rule
+// fired before the fixed budget was exhausted, and folds the cell's
+// achieved margin into the effective-margin gauge (the worst — widest —
+// margin across decided cells, a conservative summary of the fleet's
+// statistical resolution).
+func (c *Collector) CellStopped(effectiveMargin float64) {
+	c.cellsStopped.Add(1)
+	c.ObserveCellMargin(effectiveMargin)
+}
+
+// ObserveCellMargin folds one cell's achieved margin into the
+// effective-margin gauge without counting a stop (used for cells that
+// ran to budget, and for exhaustive cells reporting margin zero).
+func (c *Collector) ObserveCellMargin(margin float64) {
+	if margin < 0 || math.IsNaN(margin) {
+		return
+	}
+	for {
+		old := c.effectiveMargin.Load()
+		if math.Float64frombits(old) >= margin {
+			return
+		}
+		if c.effectiveMargin.CompareAndSwap(old, math.Float64bits(margin)) {
+			return
+		}
+	}
+}
+
+// addWeight CAS-adds one run's importance weight into the float
+// accumulator.
+func (c *Collector) addWeight(w float64) {
+	for {
+		old := c.importanceWeight.Load()
+		next := math.Float64bits(math.Float64frombits(old) + w)
+		if c.importanceWeight.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
 
 // Campaign registers (or returns the existing) per-campaign aggregate
 // for a key. Registration takes a lock; it happens once per campaign at
@@ -288,6 +341,12 @@ func (c *Collector) RunDone(cs *CampaignStats, ev RunEvent) {
 	if ev.LadderRestored {
 		c.ladderRestores.Add(1)
 	}
+	if ev.Stopped {
+		c.stoppedRuns.Add(1)
+	}
+	if ev.Weight > 0 {
+		c.addWeight(ev.Weight)
+	}
 	if ev.Windowed {
 		c.windowedRuns.Add(1)
 	}
@@ -317,29 +376,33 @@ func (c *Collector) RunDone(cs *CampaignStats, ev RunEvent) {
 // final snapshot after the scheduler returns is exact.
 func (c *Collector) Snapshot() Snapshot {
 	s := Snapshot{
-		Workers:          int(c.workers.Load()),
-		RunsQueued:       c.queued.Load(),
-		RunsStarted:      c.started.Load(),
-		RunsDone:         c.done.Load(),
-		EarlyStops:       c.earlyStops.Load(),
-		DivergedRuns:     c.divergedRuns.Load(),
-		PrunedDead:       c.prunedDead.Load(),
-		PrunedReplicated: c.prunedReplicated.Load(),
-		LadderRestores:   c.ladderRestores.Load(),
-		Resumed:          c.resumed.Load(),
-		PanicsContained:  c.panicsContained.Load(),
-		SimCycles:        c.simCycles.Load(),
-		WindowedRuns:     c.windowedRuns.Load(),
-		WindowEntries:    c.windowEntries.Load(),
-		WindowExits:      c.windowExits.Load(),
-		FastSteps:        c.fastSteps.Load(),
-		DetailCycles:     c.detailCycles.Load(),
-		WatchedReads:     c.watchedReads.Load(),
-		WatchedWrites:    c.watchedWrites.Load(),
-		ObservedReads:    c.observedReads.Load(),
-		ObservedWrites:   c.observedWrites.Load(),
-		StatusCounts:     c.statuses.snapshot(),
-		ClassCounts:      c.classes.snapshot(),
+		Workers:             int(c.workers.Load()),
+		RunsQueued:          c.queued.Load(),
+		RunsStarted:         c.started.Load(),
+		RunsDone:            c.done.Load(),
+		EarlyStops:          c.earlyStops.Load(),
+		DivergedRuns:        c.divergedRuns.Load(),
+		PrunedDead:          c.prunedDead.Load(),
+		PrunedReplicated:    c.prunedReplicated.Load(),
+		LadderRestores:      c.ladderRestores.Load(),
+		Resumed:             c.resumed.Load(),
+		PanicsContained:     c.panicsContained.Load(),
+		SimCycles:           c.simCycles.Load(),
+		WindowedRuns:        c.windowedRuns.Load(),
+		WindowEntries:       c.windowEntries.Load(),
+		WindowExits:         c.windowExits.Load(),
+		FastSteps:           c.fastSteps.Load(),
+		DetailCycles:        c.detailCycles.Load(),
+		WatchedReads:        c.watchedReads.Load(),
+		WatchedWrites:       c.watchedWrites.Load(),
+		ObservedReads:       c.observedReads.Load(),
+		ObservedWrites:      c.observedWrites.Load(),
+		StoppedRuns:         c.stoppedRuns.Load(),
+		CellsStoppedEarly:   c.cellsStopped.Load(),
+		EffectiveMargin:     math.Float64frombits(c.effectiveMargin.Load()),
+		ImportanceWeightSum: math.Float64frombits(c.importanceWeight.Load()),
+		StatusCounts:        c.statuses.snapshot(),
+		ClassCounts:         c.classes.snapshot(),
 	}
 	if start := c.startNanos.Load(); start != 0 {
 		s.ElapsedSeconds = time.Since(time.Unix(0, start)).Seconds()

@@ -37,6 +37,7 @@ func (s *TraceSink) RunEvent(ev RunEvent) {
 		FirstObsCycle: ev.FirstObsCycle,
 		EarlyStop:     ev.EarlyStop,
 		Pruned:        ev.Pruned,
+		Stopped:       ev.Stopped,
 	}
 	if ev.Pruned == "replicated" {
 		rep := ev.RepMask

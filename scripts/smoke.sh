@@ -8,7 +8,9 @@
 # coordinator/worker round with a SIGKILLed worker, and finally an
 # observability round: divergence provenance plus span tracing single-
 # node and distributed, with a live SSE subscription and the fleet-
-# aggregated snapshot cross-checked against the per-worker snapshots —
+# aggregated snapshot cross-checked against the per-worker snapshots,
+# and finally an adaptive round: a sequentially-stopped campaign whose
+# stop point must survive kill/resume and distribution byte-for-byte —
 # all artifacts validated with scripts/smokecheck.
 set -eu
 
@@ -233,3 +235,70 @@ cmp "$tmp/obsref/${key}.divergence.jsonl" "$tmp/obsdist/${key}.divergence.jsonl"
     -divergence -spans \
     -fleet "$tmp/fleet.json" -worker-snaps "$tmp/obs_w1.json,$tmp/obs_w2.json"
 echo "smoke: observability round OK — distributed divergence provenance byte-identical, SSE live, fleet snapshot balanced"
+
+# Adaptive round: a 25pp margin at 99% confidence decides at the first
+# 25-run boundary whatever the outcomes, so this 120-mask campaign stops
+# at 25 simulated runs and settles the other 95 as stopped-early
+# provenance rows. A journaled reference run establishes the artifacts;
+# an identical campaign is SIGKILLed mid-flight and resumed — the
+# contiguous-prefix stopping rule must re-derive the identical stop
+# point, logs and trace byte-for-byte; and the same campaign distributed
+# through a coordinator must merge to the same bytes with the stop
+# cancelling its queued shards.
+structure=rf.int
+key="${tool}__${bench}__${structure}"
+
+"$tmp/faultcamp" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 120 -seed 5 -logs "$tmp/adaptref" \
+    -stop-margin 0.25 -stop-check-every 25 \
+    -journal -trace -quiet -snapshot-json "$tmp/snap_adapt.json"
+
+"$tmp/smokecheck" \
+    -logs "$tmp/adaptref" -key "$key" -snapshot "$tmp/snap_adapt.json" \
+    -journal -adaptive
+
+"$tmp/faultcamp" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 120 -seed 5 -logs "$tmp/adaptresumed" -workers 1 \
+    -stop-margin 0.25 -stop-check-every 25 \
+    -journal -trace -quiet -snapshot-json "$tmp/snap_adapt_gone.json" &
+pid=$!
+journal="$tmp/adaptresumed/${key}.journal.jsonl"
+i=0
+while [ "$(cat "$journal" 2>/dev/null | wc -l)" -lt 10 ] && [ $i -lt 600 ]; do
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+"$tmp/faultcamp" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 120 -seed 5 -logs "$tmp/adaptresumed" \
+    -stop-margin 0.25 -stop-check-every 25 \
+    -resume -trace -quiet -snapshot-json "$tmp/snap_adapt_resumed.json"
+
+cmp "$tmp/adaptref/${key}.log.jsonl" "$tmp/adaptresumed/${key}.log.jsonl"
+cmp "$tmp/adaptref/${key}.trace.jsonl" "$tmp/adaptresumed/${key}.trace.jsonl"
+"$tmp/smokecheck" \
+    -logs "$tmp/adaptresumed" -key "$key" -snapshot "$tmp/snap_adapt_resumed.json" \
+    -journal -want-resumed -adaptive
+echo "smoke: resumed adaptive campaign re-derived the identical stop point"
+
+"$tmp/faultcampd" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 120 -seed 5 -logs "$tmp/adaptdist" \
+    -stop-margin 0.25 -stop-check-every 25 \
+    -shard-size 10 -addr-file "$tmp/adapt.addr" \
+    -journal -trace -quiet -snapshot-json "$tmp/snap_adapt_dist.json" &
+apid=$!
+"$tmp/faultworker" -addr-file "$tmp/adapt.addr" -id adapt-w1 -quiet
+wait "$apid"
+
+cmp "$tmp/adaptref/${key}.log.jsonl" "$tmp/adaptdist/${key}.log.jsonl"
+cmp "$tmp/adaptref/${key}.trace.jsonl" "$tmp/adaptdist/${key}.trace.jsonl"
+"$tmp/smokecheck" \
+    -logs "$tmp/adaptdist" -key "$key" -snapshot "$tmp/snap_adapt_dist.json" \
+    -journal -adaptive
+echo "smoke: adaptive round OK — early stop deterministic across kill/resume and the distributed coordinator"

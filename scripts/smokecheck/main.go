@@ -12,6 +12,11 @@
 //     replicated rows name a representative with the same class, and the
 //     snapshot's prune counters equal the trace's flagged-row counts
 //     (with -prune additionally asserting that pruning happened at all),
+//   - early-stop provenance is consistent: rows the sequential stopping
+//     rule cancelled are flagged in the trace, classify as the Stopped
+//     pseudo-class, carry no simulation results, and match the
+//     snapshot's stopped-run and stopped-cell counters (with -adaptive
+//     additionally asserting the rule fired at all),
 //   - with -window, the snapshot shows detail-window execution actually
 //     happened: windowed runs with functional-tier entries and fast-tier
 //     instructions, and internally consistent window counters,
@@ -73,6 +78,7 @@ func main() {
 	snapPath := flag.String("snapshot", "", "final snapshot JSON file")
 	tracePath := flag.String("trace", "", "JSONL injection trace (default <logs>/<key>.trace.jsonl)")
 	wantPrune := flag.Bool("prune", false, "assert the campaign was pruned (nonzero dead or replicated rows)")
+	wantAdaptive := flag.Bool("adaptive", false, "assert the sequential stopping rule fired (stopped-early rows with coherent counters)")
 	wantWindow := flag.Bool("window", false, "assert the campaign ran under a detail window (windowed runs, entries, fast-tier work)")
 	wantJournal := flag.Bool("journal", false, "validate the run journal against the logs and trace")
 	wantResumed := flag.Bool("want-resumed", false, "assert the snapshot reports runs resumed from the journal")
@@ -167,8 +173,21 @@ func main() {
 	for i, tr := range recs {
 		rowOf[tr.MaskID] = i
 	}
-	var dead, replicated uint64
+	var dead, replicated, stopped uint64
 	for i, tr := range recs {
+		// Early-stop provenance: a trace row flagged Stopped must be an
+		// unsimulated cancellation (no prune verdict, no cycles) and must
+		// agree with the offline parser's pseudo-class, and vice versa.
+		if cls, _ := (core.Parser{}).Classify(res.Records[i]); tr.Stopped != (cls == core.ClassStopped) {
+			fatal(fmt.Errorf("trace row %d stopped flag %v, parser classifies %q", i, tr.Stopped, cls))
+		}
+		if tr.Stopped {
+			stopped++
+			if tr.Pruned != "" || tr.Cycles != 0 {
+				fatal(fmt.Errorf("trace row %d is stopped-early but carries simulation provenance: %+v", i, tr))
+			}
+			continue
+		}
 		switch tr.Pruned {
 		case "":
 			if tr.RepMask != nil {
@@ -203,6 +222,20 @@ func main() {
 	}
 	if *wantPrune && dead+replicated == 0 {
 		fatal(fmt.Errorf("-prune: campaign was not pruned at all"))
+	}
+	if snap.StoppedRuns != stopped {
+		fatal(fmt.Errorf("snapshot counts %d stopped runs, trace has %d stopped rows", snap.StoppedRuns, stopped))
+	}
+	if stopped > 0 {
+		if snap.CellsStoppedEarly == 0 {
+			fatal(fmt.Errorf("trace has %d stopped rows but the snapshot counts no stopped cells", stopped))
+		}
+		if !(snap.EffectiveMargin > 0 && snap.EffectiveMargin < 1) {
+			fatal(fmt.Errorf("stopped campaign's effective margin %g outside (0, 1)", snap.EffectiveMargin))
+		}
+	}
+	if *wantAdaptive && stopped == 0 {
+		fatal(fmt.Errorf("-adaptive: the stopping rule never fired (no stopped-early rows)"))
 	}
 
 	if snap.WindowExits > snap.WindowedRuns || snap.WindowEntries > snap.WindowedRuns {
@@ -250,9 +283,13 @@ func main() {
 			if !reflect.DeepEqual(rec, stored) {
 				fatal(fmt.Errorf("journal record for mask %d differs from the stored log record", e.MaskID))
 			}
+			if cls, _ := (core.Parser{}).Classify(stored); e.StoppedEarly != (cls == core.ClassStopped) {
+				fatal(fmt.Errorf("journal entry for mask %d flags stopped-early=%v, record classifies %q", e.MaskID, e.StoppedEarly, cls))
+			}
 		}
-		// The journal and the trace's simulated rows must name the same
-		// masks: every simulated run was journaled, no pruned run was.
+		// The journal and the trace's simulated and stopped rows must name
+		// the same masks: every simulated run and every stop settlement was
+		// journaled, no pruned run was.
 		for _, tr := range recs {
 			if tr.Pruned == "" && !seen[tr.MaskID] {
 				fatal(fmt.Errorf("simulated mask %d has no journal entry", tr.MaskID))
@@ -281,7 +318,7 @@ func main() {
 	if *wantSpans {
 		simulated := 0
 		for _, tr := range recs {
-			if tr.Pruned == "" {
+			if tr.Pruned == "" && !tr.Stopped {
 				simulated++
 			}
 		}
@@ -291,8 +328,8 @@ func main() {
 		checkFleet(*fleetPath, *workerSnaps, n)
 	}
 
-	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d (%d dead + %d replicated, %d journaled, %d resumed, %d windowed, %d diverged, %d spans)\n",
-		*key, n, snap.ClassString(), len(recs), dead, replicated, journaled, snap.Resumed, snap.WindowedRuns, diverged, spanCount)
+	fmt.Printf("smokecheck: %s OK — %d runs, classes %s, trace rows %d (%d dead + %d replicated, %d stopped early, %d journaled, %d resumed, %d windowed, %d diverged, %d spans)\n",
+		*key, n, snap.ClassString(), len(recs), dead, replicated, stopped, journaled, snap.Resumed, snap.WindowedRuns, diverged, spanCount)
 }
 
 // checkDivergence validates the provenance file: schema-gated parse,
