@@ -1,146 +1,129 @@
-// Command faultcampd is the distributed campaign coordinator: it plans
-// a campaign config into mask-range shards, serves them to faultworker
-// processes over HTTP/JSON with lease-based assignment (heartbeats,
-// requeue on worker death, retry with backoff), journals completed runs
-// as the exactly-once ledger, and merges the shard results into a logs
-// repository — and, with -trace, a JSONL injection trace — byte-
-// identical to a single-node faultcamp run of the same config.
+// Command faultcampd is the campaign service daemon: a durable,
+// multi-tenant queue of fault-injection campaigns multiplexed over one
+// elastic faultworker fleet. Campaigns are submitted over the
+// versioned /v1 HTTP API (see internal/svc/api), spooled to disk so
+// queued and running campaigns survive a daemon restart (running ones
+// resume from their journals), and merged into a logs repository
+// byte-identical to a single-node faultcamp run of the same config.
 //
-// Example:
+// Two modes:
 //
-//	faultcampd -tool gefin-x86 -bench qsort -structure rf.int -n 500 \
-//	           -logs logsrepo -listen 127.0.0.1:0 -addr-file coord.addr &
-//	faultworker -addr-file coord.addr -id w1 &
-//	faultworker -addr-file coord.addr -id w2
+//	faultcampd -service -logs logsrepo -listen 127.0.0.1:8400 \
+//	           -tenants tenants.json &
+//	faultworker -coordinator http://127.0.0.1:8400 -id w1 &
+//	faultctl -addr http://127.0.0.1:8400 -token tok submit -config c.json
+//
+// runs the always-on service; without -service the daemon keeps its
+// historical one-shot contract — plan one campaign, serve workers,
+// merge, print the summary, exit — but implemented as a submission
+// through the same public API the service exposes, so there is exactly
+// one code path.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
-	"repro/internal/dist"
-	"repro/internal/divergence"
 	"repro/internal/fault"
+	"repro/internal/svc"
+	"repro/internal/svc/api"
+	"repro/internal/svc/client"
+	"repro/internal/telemetry"
 )
 
 func main() {
-	tool := flag.String("tool", "gefin-x86", "tool configuration (single-cell mode)")
-	bench := flag.String("bench", "qsort", "benchmark name (single-cell mode)")
-	structure := flag.String("structure", "rf.int", "target structure (single-cell mode)")
+	tool := flag.String("tool", "gefin-x86", "tool configuration (one-shot single-cell mode)")
+	bench := flag.String("bench", "qsort", "benchmark name (one-shot single-cell mode)")
+	structure := flag.String("structure", "rf.int", "target structure (one-shot single-cell mode)")
 	configPath := flag.String("config", "", "campaign config JSON file (overrides -tool/-bench/-structure and the campaign flags)")
 	logsDir := flag.String("logs", "logsrepo", "logs repository directory for the merged results")
-	journalOn := flag.Bool("journal", false, "journal every merged simulated run to <key>.journal.jsonl (fsync'd)")
-	listen := flag.String("listen", "127.0.0.1:0", "coordinator listen address")
+	journalOn := flag.Bool("journal", false, "journal every merged simulated run to <key>.journal.jsonl (fsync'd; required for restart-resume)")
+	listen := flag.String("listen", "127.0.0.1:0", "service listen address")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (worker handshake)")
 	shardSize := flag.Int("shard-size", 50, "masks per shard")
 	leaseTTL := flag.Duration("lease-ttl", 10*time.Second, "shard lease TTL; a worker silent this long loses its shard")
 	maxRetries := flag.Int("max-retries", 3, "requeue budget per shard before the campaign fails")
 	retryBackoff := flag.Duration("retry-backoff", time.Second, "delay before a requeued shard is reassigned (scaled by retry count)")
-	fleetJSON := flag.String("fleet-json", "", "write the final fleet-aggregated snapshot (the /snapshot.json view) to this file")
-	verbose := flag.Bool("verbose", false, "log lease grants, requeues and completions to stderr")
+	fleetJSON := flag.String("fleet-json", "", "write the final fleet-aggregated snapshot (the /v1/snapshot.json view) to this file")
+	verbose := flag.Bool("verbose", false, "log scheduling, lease grants, requeues and completions to stderr")
+
+	service := flag.Bool("service", false, "run as the always-on multi-campaign service instead of one-shot mode")
+	spoolDir := flag.String("spool", "", "campaign spool directory (default <logs>/.spool); the durable queue state")
+	indexDir := flag.String("index", "", "result index directory (default <logs>/.index); finished campaigns' outcome tables")
+	tenantsPath := flag.String("tenants", "", "tenant JSON file: [{\"name\",\"token\",\"max_active\"}, ...] (default: open access)")
+	maxActive := flag.Int("max-active", 4, "campaigns running concurrently across all tenants (-service)")
+	maxQueued := flag.Int("max-queued-per-tenant", 0, "live campaigns one tenant may hold, 0 = unlimited (-service)")
+
 	cf := cli.Campaign(flag.CommandLine, 200)
 	tf := cli.Telemetry(flag.CommandLine, 2*time.Second)
 	flag.Parse()
-
-	var cfg core.CampaignConfig
-	if *configPath != "" {
-		data, err := os.ReadFile(*configPath)
-		if err != nil {
-			fatal(err)
-		}
-		if err := json.Unmarshal(data, &cfg); err != nil {
-			fatal(fmt.Errorf("parsing %s: %w", *configPath, err))
-		}
-		if err := cfg.Validate(); err != nil {
-			fatal(err)
-		}
-	} else {
-		var err error
-		cfg, err = cf.Config([]core.CampaignCell{{Tool: *tool, Benchmark: *bench, Structure: *structure}})
-		if err != nil {
-			fatal(err)
-		}
-	}
-	// Fail fast on what is checkable without a simulator: unknown tools
-	// and benchmarks die here, not on the first worker. Structure names
-	// need golden-run geometry, so those surface via a worker's shard
-	// error (which fails the campaign with the structure named).
-	for i, cell := range cfg.Campaigns {
-		if _, err := cli.Resolve(cell.Tool, cell.Benchmark); err != nil {
-			fatal(fmt.Errorf("campaigns[%d]: %w", i, err))
-		}
-	}
-	keys := cfg.Keys()
 
 	logs, err := core.NewLogsRepo(*logsDir)
 	if err != nil {
 		fatal(err)
 	}
-	obs, err := tf.Start(os.Stderr)
+	if *spoolDir == "" {
+		*spoolDir = filepath.Join(*logsDir, ".spool")
+	}
+	if *indexDir == "" {
+		*indexDir = filepath.Join(*logsDir, ".index")
+	}
+	spool, err := svc.OpenSpool(*spoolDir)
 	if err != nil {
 		fatal(err)
 	}
-	defer obs.Close()
-
-	copt := dist.CoordinatorOptions{
-		ShardSize:    *shardSize,
-		LeaseTTL:     *leaseTTL,
-		MaxRetries:   *maxRetries,
-		RetryBackoff: *retryBackoff,
-		Telemetry:    obs.Collector,
-		Tracer:       obs.Tracer,
+	index, err := fault.NewResultIndex(*indexDir)
+	if err != nil {
+		fatal(err)
 	}
-	var dsink *divergence.Sink
-	if cfg.Divergence {
-		dsink = divergence.NewSink()
-		copt.Divergence = dsink
+	tenants, err := loadTenants(*tenantsPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := svc.Options{
+		Logs:               logs,
+		Spool:              spool,
+		Index:              index,
+		Resolve:            cli.Resolve,
+		Tenants:            tenants,
+		MaxActive:          *maxActive,
+		MaxQueuedPerTenant: *maxQueued,
+		ShardSize:          *shardSize,
+		LeaseTTL:           *leaseTTL,
+		MaxRetries:         *maxRetries,
+		RetryBackoff:       *retryBackoff,
+		ExitWhenIdle:       !*service,
 	}
 	if *verbose {
-		copt.Logf = func(format string, args ...any) {
+		opt.Logf = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	if *journalOn {
-		copt.JournalFor = func(key string) (*fault.Journal, error) {
-			return fault.OpenJournal(logs.JournalPath(key))
-		}
-	}
-	if cfg.StopMargin > 0 {
-		// An adaptive campaign's coordinator settles the cancelled tail of
-		// a stopped cell itself, which needs the cell's deterministic mask
-		// population — built here exactly as every worker builds it.
-		maskCache := core.NewGoldenCache()
-		copt.MasksFor = func(campaign int) ([]fault.Mask, error) {
-			specs, err := cfg.BuildSpecs(cli.Resolve, maskCache)
-			if err != nil {
-				return nil, err
-			}
-			return specs[campaign].Masks, nil
-		}
-	}
-	coord, err := dist.New(cfg, copt)
+	s, err := svc.New(opt)
 	if err != nil {
 		fatal(err)
 	}
-	defer coord.Close()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
-	srv := &http.Server{Handler: coord.ObsHandler(obs.Events)}
+	srv := &http.Server{Handler: s.Handler()}
 	go srv.Serve(ln)
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "faultcampd listening on http://%s (%d campaigns, %d shards; /snapshot.json /metrics /fleet.json /events)\n",
-		ln.Addr(), len(cfg.Campaigns), coord.Stats().Shards)
 	if *addrFile != "" {
 		// Write-then-rename so a polling worker never reads a torn file.
 		tmp := *addrFile + ".tmp"
@@ -151,83 +134,205 @@ func main() {
 			fatal(err)
 		}
 	}
-
-	obs.StartReporterLine(tf, os.Stderr, coord.ProgressLine)
-	start := time.Now()
-	results, err := coord.Wait(context.Background())
-	obs.StopReporter()
-	if err != nil {
-		fatal(err)
-	}
-	if *fleetJSON != "" {
-		// The last shard's merge completes the campaign moments before
-		// the delivering worker posts its final snapshot; wait for the
-		// fleet to settle before freezing the aggregated view.
-		if !coord.WaitFleetFinal(*leaseTTL) {
-			fmt.Fprintln(os.Stderr, "faultcampd: fleet snapshot frozen before every worker posted its final state")
-		}
-		b, err := coord.FleetSnapshot().JSON()
+	if tf.MetricsAddr != "" {
+		msrv, err := telemetry.ServeHandler(tf.MetricsAddr, s.Handler())
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*fleetJSON, append(b, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-	}
-	for i, res := range results {
-		if err := logs.Store(keys[i], res); err != nil {
-			fatal(err)
-		}
-	}
-	traceKey := "matrix"
-	if len(keys) == 1 {
-		traceKey = keys[0]
-	}
-	tracePath, err := obs.FlushTrace(logs, traceKey)
-	if err != nil {
-		fatal(err)
-	}
-	divPath, err := cli.FlushDivergence(dsink, logs, traceKey)
-	if err != nil {
-		fatal(err)
-	}
-	spansPath, err := obs.FlushSpans(logs, traceKey)
-	if err != nil {
-		fatal(err)
-	}
-	snap, err := obs.Finish(tf)
-	if err != nil {
-		fatal(err)
+		defer msrv.Close()
+		fmt.Fprintf(os.Stderr, "faultcampd metrics listening on http://%s\n", msrv.Addr())
 	}
 
-	st := coord.Stats()
-	total := 0
-	for _, res := range results {
-		total += len(res.Records)
+	if *service {
+		runService(s, ln, spool.Dir())
+		return
 	}
+	runOneShot(s, ln, oneShotArgs{
+		tool: *tool, bench: *bench, structure: *structure,
+		configPath: *configPath, journal: *journalOn,
+		fleetJSON: *fleetJSON, leaseTTL: *leaseTTL,
+		logs: logs, cf: cf, tf: tf,
+	})
+}
+
+// runService serves the campaign queue until SIGTERM/SIGINT. Running
+// campaigns are deliberately NOT cancelled on shutdown: their spool
+// entries stay live, so the next daemon on the same spool re-queues
+// and resumes them from their journals.
+func runService(s *svc.Service, ln net.Listener, spoolDir string) {
+	fmt.Fprintf(os.Stderr, "faultcampd service listening on http://%s (spool %s)\n", ln.Addr(), spoolDir)
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	sig := <-sigCh
+	fmt.Fprintf(os.Stderr, "faultcampd: %v: shutting down (queued and running campaigns stay spooled)\n", sig)
+	s.Close()
+}
+
+type oneShotArgs struct {
+	tool, bench, structure string
+	configPath             string
+	journal                bool
+	fleetJSON              string
+	leaseTTL               time.Duration
+	logs                   *core.LogsRepo
+	cf                     *cli.CampaignFlags
+	tf                     *cli.TelemetryFlags
+}
+
+// runOneShot is the historical faultcampd contract — one campaign,
+// exit when merged — reimplemented as a submit-then-wait through the
+// service's own public /v1 API, so the one-shot and service paths
+// cannot drift.
+func runOneShot(s *svc.Service, ln net.Listener, a oneShotArgs) {
+	var cfg core.CampaignConfig
+	if a.configPath != "" {
+		data, err := os.ReadFile(a.configPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &cfg); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", a.configPath, err))
+		}
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		cfg, err = a.cf.Config([]core.CampaignCell{{Tool: a.tool, Benchmark: a.bench, Structure: a.structure}})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	keys := cfg.Keys()
+
+	ctx := context.Background()
+	cl := client.New("http://" + ln.Addr().String())
+	start := time.Now()
+	st, err := cl.Submit(ctx, api.SubmitRequest{
+		Name: "one-shot",
+		Options: api.SubmitOptions{
+			Trace:   a.tf.Trace,
+			Spans:   a.tf.Spans,
+			Journal: a.journal,
+			Flat:    true,
+		},
+		Config: cfg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "faultcampd listening on http://%s (%d campaigns, %d shards; /snapshot.json /metrics /fleet.json /events)\n",
+		ln.Addr(), len(cfg.Campaigns), st.Shards)
+
+	var rep *telemetry.Reporter
+	if !a.tf.Quiet {
+		rep = telemetry.StartReporterFunc(os.Stderr, a.tf.ProgressEvery, func() string {
+			snap, err := cl.Snapshot(ctx, st.ID)
+			if err != nil {
+				return ""
+			}
+			return snap.ProgressLine()
+		})
+	}
+	final, err := cl.Wait(ctx, st.ID, 200*time.Millisecond)
+	if rep != nil {
+		rep.Stop()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if final.State != api.StateDone {
+		fatal(fmt.Errorf("campaign %s: %s", final.State, final.Error))
+	}
+	// The last shard's merge finishes the campaign moments before its
+	// worker hears "done" on the next lease poll; drain the fleet before
+	// tearing the listener down so no worker is stranded mid-retry.
+	settled := s.WaitFleetFinal(a.leaseTTL)
+	if a.fleetJSON != "" {
+		if !settled {
+			fmt.Fprintln(os.Stderr, "faultcampd: fleet snapshot frozen before every worker posted its final state")
+		}
+		b, err := s.FleetSnapshot().JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(a.fleetJSON, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	snap, err := cl.Snapshot(ctx, st.ID)
+	if err != nil {
+		fatal(err)
+	}
+	if a.tf.SnapshotJSON != "" {
+		b, err := snap.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(a.tf.SnapshotJSON, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	akey := "matrix"
+	if len(keys) == 1 {
+		akey = keys[0]
+	}
+	total := final.Masks
 	fmt.Printf("distributed campaign: %d injections across %d campaigns in %.1fs\n",
-		total, len(results), time.Since(start).Seconds())
+		total, len(cfg.Campaigns), time.Since(start).Seconds())
 	fmt.Printf("  shards: %d completed (%d requeued, %d duplicate completions discarded)\n",
-		st.Completed, st.Requeues, st.Duplicates)
-	fmt.Printf("  logs stored in %s\n", logs.Dir())
-	if tracePath != "" {
-		fmt.Printf("  trace: %s (%d records)\n", tracePath, obs.Trace.Len())
+		final.ShardsCompleted, final.Requeues, final.Duplicates)
+	fmt.Printf("  logs stored in %s\n", a.logs.Dir())
+	if a.tf.Trace {
+		fmt.Printf("  trace: %s (%d records)\n", a.logs.TracePath(akey), total)
 	}
-	if divPath != "" {
-		fmt.Printf("  divergence: %s (%d records, %d diverged)\n", divPath, dsink.Len(), snap.DivergedRuns)
+	if cfg.Divergence {
+		fmt.Printf("  divergence: %s (%d records, %d diverged)\n",
+			a.logs.DivergencePath(akey), total, snap.DivergedRuns)
 	}
-	if spansPath != "" {
-		fmt.Printf("  spans: %s\n", spansPath)
+	if a.tf.Spans {
+		fmt.Printf("  spans: %s\n", a.logs.SpansPath(akey))
 	}
-	if *fleetJSON != "" {
-		fmt.Printf("  fleet snapshot: %s (%d workers)\n", *fleetJSON, len(coord.Fleet()))
+	if a.fleetJSON != "" {
+		fmt.Printf("  fleet snapshot: %s (%d workers)\n", a.fleetJSON, len(s.Fleet()))
 	}
-	if *journalOn {
+	if a.journal {
 		for _, key := range keys {
-			fmt.Printf("  journal: %s\n", logs.JournalPath(key))
+			fmt.Printf("  journal: %s\n", a.logs.JournalPath(key))
 		}
 	}
 	fmt.Printf("summary: %s\n", snap.SummaryLine())
+	s.Close()
+}
+
+// loadTenants parses the tenant credential file: a JSON array of
+// {"name", "token", "max_active"} objects. An empty path means open
+// access (every request acts as the anonymous tenant).
+func loadTenants(path string) ([]svc.Tenant, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var raw []struct {
+		Name      string `json:"name"`
+		Token     string `json:"token"`
+		MaxActive int    `json:"max_active"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(raw) == 0 {
+		return nil, errors.New("tenants file is empty; omit -tenants for open access")
+	}
+	ts := make([]svc.Tenant, len(raw))
+	for i, t := range raw {
+		ts[i] = svc.Tenant{Name: t.Name, Token: t.Token, MaxActive: t.MaxActive}
+	}
+	return ts, nil
 }
 
 func fatal(err error) {

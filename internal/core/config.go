@@ -581,6 +581,10 @@ type ShardRun struct {
 	FaultTouches      uint64   `json:"fault_touches,omitempty"`
 	LastTouchCycle    uint64   `json:"last_touch_cycle,omitempty"`
 	CorruptStructures []string `json:"corrupt_structures,omitempty"`
+
+	// Resumed marks a run replayed from a journal rather than received
+	// from a worker — coordinator-local bookkeeping, never on the wire.
+	Resumed bool `json:"-"`
 }
 
 // DivergenceRecord rebuilds the divergence-provenance row of this run —
@@ -603,6 +607,7 @@ func (s ShardRun) DivergenceRecord(campaign string) divergence.Record {
 		DivergeCycle:      s.DivergeCycle,
 		DivergeIndex:      s.DivergeIndex,
 		Pruned:            s.Pruned,
+		Resumed:           s.Resumed,
 	}
 	d.Derive()
 	return d

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/fault"
 )
 
 // LogsRepo is the on-disk "logs repository" of Fig. 1: one JSON-lines
@@ -32,32 +34,31 @@ func (r *LogsRepo) file(key string) string {
 	return filepath.Join(r.dir, key+".log.jsonl")
 }
 
-// Store writes one campaign's golden header and records.
+// Store writes one campaign's golden header and records. Like the masks
+// repository, the write is atomic (temp file + rename) so a crash at
+// finalize time cannot leave a truncated log file.
 func (r *LogsRepo) Store(key string, res *CampaignResult) error {
-	f, err := os.Create(r.file(key))
+	err := fault.AtomicWrite(r.file(key), func(w *bufio.Writer) error {
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(&res.Golden); err != nil {
+			return err
+		}
+		for i := range res.Records {
+			if err := enc.Encode(&res.Records[i]); err != nil {
+				return err
+			}
+		}
+		if res.Adaptive != nil {
+			if err := enc.Encode(logTrailer{Adaptive: res.Adaptive}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 	if err != nil {
 		return fmt.Errorf("core: storing logs for %s: %w", key, err)
 	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(&res.Golden); err != nil {
-		return fmt.Errorf("core: storing logs for %s: %w", key, err)
-	}
-	for i := range res.Records {
-		if err := enc.Encode(&res.Records[i]); err != nil {
-			return fmt.Errorf("core: storing logs for %s: %w", key, err)
-		}
-	}
-	if res.Adaptive != nil {
-		if err := enc.Encode(logTrailer{Adaptive: res.Adaptive}); err != nil {
-			return fmt.Errorf("core: storing logs for %s: %w", key, err)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		return fmt.Errorf("core: storing logs for %s: %w", key, err)
-	}
-	return f.Close()
+	return nil
 }
 
 // logTrailer is the optional last line of a campaign log file, carrying

@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"reflect"
@@ -16,8 +17,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/divergence"
 	"repro/internal/fault"
+	"repro/internal/svc/api"
 	"repro/internal/telemetry"
 )
+
+// ErrCancelled is the terminal failure of a campaign cancelled through
+// Cancel; errors.Is distinguishes operator cancellation from real
+// failures.
+var ErrCancelled = errors.New("dist: campaign cancelled")
 
 // CoordinatorOptions parameterize shard planning, lease terms, and the
 // coordinator-side resources of a distributed campaign.
@@ -67,6 +74,14 @@ type CoordinatorOptions struct {
 	// need the mask's sites and sampling weight even though no worker
 	// ever simulated them.
 	MasksFor func(campaign int) ([]fault.Mask, error)
+
+	// Resume replays the campaign's durable run journals before serving
+	// any lease: journaled runs prefill the exactly-once ledger (and the
+	// adaptive estimators re-derive any stop decision from the real
+	// completions, exactly like the single-node resume), fully-replayed
+	// shards never lease again, and the journals are never re-appended
+	// for replayed masks. Requires JournalFor and MasksFor.
+	Resume bool
 
 	// now is the clock; tests compress lease time.
 	now func() time.Time
@@ -135,14 +150,8 @@ type workerView struct {
 	final    bool // worker posted its final snapshot (draining/exited)
 }
 
-// WorkerStatus is the exported per-worker view served at /fleet.json.
-type WorkerStatus struct {
-	ID         string  `json:"id"`
-	Shard      int     `json:"shard"` // currently leased shard, -1 when idle
-	ShardsDone int     `json:"shards_done"`
-	LagSeconds float64 `json:"lag_seconds"` // seconds since last contact
-	Final      bool    `json:"final,omitempty"`
-}
+// WorkerStatus (the exported per-worker view served at /v1/fleet.json)
+// is aliased from the api package in protocol.go.
 
 // cellControl is the coordinator-side sequential stopping rule of one
 // campaign cell — the distributed analog of the scheduler's cellStopper.
@@ -196,14 +205,19 @@ type Coordinator struct {
 	adapt     []*cellControl // per-cell stopping rules, nil when disarmed
 	masks     [][]fault.Mask // memoized MasksFor results
 	journals  map[string]*fault.Journal
-	camps     []*telemetry.CampaignStats
-	workers   map[string]*workerView
-	rootSpan  *telemetry.ActiveSpan
-	stats     Stats
-	failure   error
-	finished  bool
-	doneCh    chan struct{}
-	results   []*core.CampaignResult
+	// journaled are the per-key mask IDs already on disk when a resumed
+	// coordinator opened the journals; appends for them are skipped so a
+	// resumed campaign's journal never holds a mask twice.
+	journaled   map[string]map[int]bool
+	resumedRuns int
+	camps       []*telemetry.CampaignStats
+	workers     map[string]*workerView
+	rootSpan    *telemetry.ActiveSpan
+	stats       Stats
+	failure     error
+	finished    bool
+	doneCh      chan struct{}
+	results     []*core.CampaignResult
 }
 
 // New validates the config, plans the shard queue, and registers the
@@ -237,9 +251,11 @@ func New(cfg core.CampaignConfig, opt CoordinatorOptions) (*Coordinator, error) 
 		workers:   make(map[string]*workerView),
 		doneCh:    make(chan struct{}),
 	}
+	if opt.MasksFor != nil {
+		c.masks = make([][]fault.Mask, len(cfg.Campaigns))
+	}
 	if cfg.StopMargin > 0 {
 		c.adapt = make([]*cellControl, len(cfg.Campaigns))
-		c.masks = make([][]fault.Mask, len(cfg.Campaigns))
 		cadence := cfg.StopCheckEvery
 		if cadence < 1 {
 			cadence = adaptive.DefaultCheckEvery
@@ -299,7 +315,162 @@ func New(cfg core.CampaignConfig, opt CoordinatorOptions) (*Coordinator, error) 
 			c.camps[i] = tel.Campaign(c.keys[i], cell.Tool, cell.Benchmark, cell.Structure)
 		}
 	}
+	if opt.Resume {
+		if err := c.resume(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// resume replays the durable run journals of a previous coordinator
+// process into the exactly-once ledger. Journaled simulated runs commit
+// through the same frontier machinery live merges use — so the adaptive
+// stop decision re-derives from the real completions alone, at the
+// identical boundary, regardless of where the crash fell — and journaled
+// stop rows prefill the ledger without feeding the estimators. Shards
+// whose whole window replayed never lease again, except that one shard
+// per cell is kept queued while the cell's golden header is unknown: the
+// journal carries no golden run, so one worker re-runs a shard (its rows
+// dedup against the ledger) purely to re-supply the fault-free
+// reference.
+func (c *Coordinator) resume() error {
+	if c.opt.JournalFor == nil {
+		return fmt.Errorf("dist: resume requires CoordinatorOptions.JournalFor")
+	}
+	if c.opt.MasksFor == nil {
+		return fmt.Errorf("dist: resume requires CoordinatorOptions.MasksFor to validate journaled masks")
+	}
+	c.journaled = make(map[string]map[int]bool)
+	for i := range c.cfg.Campaigns {
+		key := c.keys[i]
+		jnl, err := c.opt.JournalFor(key)
+		if err != nil {
+			return fmt.Errorf("dist: opening journal for %s: %w", key, err)
+		}
+		c.journals[key] = jnl
+		entries := jnl.Entries()
+		if len(entries) == 0 {
+			continue
+		}
+		masks, err := c.masksForLocked(i)
+		if err != nil {
+			return err
+		}
+		n := c.cfg.MaskCount(i)
+		if len(masks) != n {
+			return fmt.Errorf("dist: campaign %d: MasksFor returned %d masks, config promises %d", i, len(masks), n)
+		}
+		seen := make(map[int]bool, len(entries))
+		c.journaled[key] = seen
+		var ctl *cellControl
+		if c.adapt != nil {
+			ctl = c.adapt[i]
+		}
+		// Journal appends happen in commit order, which is mask order; the
+		// sort defends replay determinism against hand-edited files.
+		sorted := make([]fault.JournalEntry, len(entries))
+		copy(sorted, entries)
+		sort.Slice(sorted, func(a, b int) bool { return sorted[a].MaskID < sorted[b].MaskID })
+		for _, e := range sorted {
+			if e.MaskID < 0 || e.MaskID >= n {
+				return fmt.Errorf("dist: journal for %s references mask %d outside population of %d", key, e.MaskID, n)
+			}
+			if seen[e.MaskID] {
+				continue
+			}
+			var rec core.LogRecord
+			if err := json.Unmarshal(e.Record, &rec); err != nil {
+				return fmt.Errorf("dist: journal for %s mask %d: %w", key, e.MaskID, err)
+			}
+			if !reflect.DeepEqual(rec.Sites, masks[e.MaskID].Sites) {
+				return fmt.Errorf("dist: stale journal for %s mask %d: the campaign's mask set changed", key, e.MaskID)
+			}
+			seen[e.MaskID] = true
+			if e.StoppedEarly || rec.Status == core.RunStopped.String() {
+				// Stop rows prefill the ledger but never feed the estimator:
+				// if the decision re-derives, settleStopsLocked re-emits them
+				// (flagged Resumed); trusting them directly could disagree
+				// with a re-derived decision.
+				c.records[i][e.MaskID] = rec
+				c.filled[i][e.MaskID] = true
+				continue
+			}
+			run := core.ShardRun{
+				Index: e.MaskID, Record: rec,
+				Observed: e.Observed, FirstObsCycle: e.FirstObsCycle, EarlyStop: e.EarlyStop,
+				Resumed: true,
+			}
+			c.filled[i][e.MaskID] = true
+			c.resumedRuns++
+			if ctl != nil {
+				r := run
+				ctl.pend[e.MaskID] = &r
+				continue
+			}
+			if err := c.commitRunLocked(i, run); err != nil {
+				return err
+			}
+		}
+		if ctl != nil {
+			if err := c.advanceFrontierLocked(i, ctl); err != nil {
+				return err
+			}
+		}
+	}
+	if c.adapt != nil {
+		if err := c.settleStopsLocked(); err != nil {
+			return err
+		}
+	}
+	for i := range c.cfg.Campaigns {
+		var full []*shardState
+		partial := false
+		for _, s := range c.shards {
+			if s.shard.Campaign != i || s.state != shardQueued {
+				continue
+			}
+			f := true
+			for m := s.shard.MaskLo; m < s.shard.MaskHi; m++ {
+				if !c.filled[i][m] {
+					f = false
+					break
+				}
+			}
+			if f {
+				full = append(full, s)
+			} else {
+				partial = true
+			}
+		}
+		for k, s := range full {
+			if k == 0 && !partial && !c.goldenSet[i] {
+				continue // kept queued: a worker re-runs it for the golden header
+			}
+			s.state = shardCompleted
+			c.remaining--
+			c.stats.Completed++
+		}
+	}
+	if c.resumedRuns > 0 {
+		c.logf("dist: resumed %d journaled runs; %d/%d shards already complete", c.resumedRuns, c.stats.Completed, c.stats.Shards)
+	}
+	if c.remaining == 0 && c.failure == nil {
+		if err := c.finalizeLocked(); err != nil {
+			c.failLocked(err)
+		} else {
+			c.finishLocked()
+		}
+	}
+	return nil
+}
+
+// ResumedRuns reports how many journaled runs the coordinator replayed
+// at startup (zero unless Resume was set).
+func (c *Coordinator) ResumedRuns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resumedRuns
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -367,7 +538,43 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 	}
 }
 
-func (c *Coordinator) lease(workerID string) LeaseResponse {
+// Config returns the campaign config response served at /v1/config.
+// The service overlays CampaignID before forwarding it.
+func (c *Coordinator) Config() ConfigResponse {
+	return ConfigResponse{
+		ProtocolVersion: ProtocolVersion,
+		Config:          c.cfg,
+		LeaseTTLMS:      c.opt.leaseTTL().Milliseconds(),
+	}
+}
+
+// Cancel terminates the campaign: every outstanding shard is retired
+// (queued ones never lease again; a holder's next heartbeat reports the
+// lease lost, and a late completion dedups) and Wait returns an error
+// wrapping ErrCancelled. Idempotent; a no-op once the campaign finished.
+func (c *Coordinator) Cancel(reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return
+	}
+	if reason == "" {
+		reason = "cancelled"
+	}
+	for _, s := range c.shards {
+		if s.state == shardCompleted {
+			continue
+		}
+		s.state = shardCompleted
+		s.worker = ""
+		c.remaining--
+		c.stats.Cancelled++
+	}
+	c.failLocked(fmt.Errorf("%w: %s", ErrCancelled, reason))
+}
+
+// Lease grants a shard (or a wait/terminal status) to a polling worker.
+func (c *Coordinator) Lease(workerID string) LeaseResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.opt.now()
@@ -416,7 +623,8 @@ func (c *Coordinator) lease(workerID string) LeaseResponse {
 	return LeaseResponse{Status: StatusWait, WaitMS: wait.Milliseconds()}
 }
 
-func (c *Coordinator) heartbeat(req HeartbeatRequest) HeartbeatResponse {
+// Heartbeat extends a worker's shard lease.
+func (c *Coordinator) Heartbeat(req HeartbeatRequest) HeartbeatResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if req.ShardID < 0 || req.ShardID >= len(c.shards) {
@@ -445,7 +653,8 @@ func (c *Coordinator) ackLocked(r CompleteResponse) CompleteResponse {
 	return r
 }
 
-func (c *Coordinator) complete(req CompleteRequest) CompleteResponse {
+// Complete accepts a shard completion and merges its result.
+func (c *Coordinator) Complete(req CompleteRequest) CompleteResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if req.ShardID < 0 || req.ShardID >= len(c.shards) {
@@ -556,7 +765,7 @@ func (c *Coordinator) mergeLocked(sh Shard, res *core.ShardResult) error {
 			continue // exactly-once ledger: an overlapping row merges once
 		}
 		c.filled[i][run.Index] = true
-		if ctl != nil {
+		if ctl != nil && !ctl.settled {
 			// Adaptive cells commit in mask order through the frontier
 			// below, never directly — merge order must not influence the
 			// stop decision or the artifact byte streams.
@@ -564,6 +773,9 @@ func (c *Coordinator) mergeLocked(sh Shard, res *core.ShardResult) error {
 			ctl.pend[run.Index] = &r
 			continue
 		}
+		// A settled cell's frontier is resolved: the only unfilled masks
+		// left are pruned/replicated holes a resumed coordinator could not
+		// replay from the journal, and they commit directly.
 		if err := c.commitRunLocked(i, run); err != nil {
 			return err
 		}
@@ -677,6 +889,10 @@ func (c *Coordinator) settleStopsLocked() error {
 		for idx := ctl.frontier; idx < n; idx++ {
 			m := masks[idx]
 			rec := core.LogRecord{MaskID: m.ID, Sites: m.Sites, Status: core.RunStopped.String(), Weight: m.Weight}
+			// A resumed coordinator may have replayed this stop row from
+			// the journal; the re-derived decision settles it again with
+			// identical content, flagged Resumed like any replayed run.
+			resumed := c.journaled[key][rec.MaskID]
 			c.records[i][idx] = rec
 			c.filled[i][idx] = true
 			ctl.pend[idx] = nil
@@ -686,23 +902,36 @@ func (c *Coordinator) settleStopsLocked() error {
 				}
 			}
 			if c.opt.Divergence != nil {
-				c.opt.Divergence.Add(core.ShardRun{Index: idx, Record: rec}.DivergenceRecord(key))
+				c.opt.Divergence.Add(core.ShardRun{Index: idx, Record: rec, Resumed: resumed}.DivergenceRecord(key))
 			}
 			if tel := c.opt.Telemetry; tel != nil {
 				tel.RunStarted()
 				tel.RunDone(c.camps[i], telemetry.RunEvent{
 					Campaign: key, Tool: cell.Tool, Benchmark: cell.Benchmark, Structure: cell.Structure,
 					MaskID: rec.MaskID, Sites: rec.Sites, Status: rec.Status,
-					Class: string(core.ClassStopped), Stopped: true, Weight: rec.Weight,
+					Class: string(core.ClassStopped), Stopped: true, Resumed: resumed, Weight: rec.Weight,
 				})
 			}
 		}
 		if tel := c.opt.Telemetry; tel != nil {
 			tel.CellStopped(ctl.finalMargin)
 		}
+		// The cancellation sweep retires the cell's outstanding shards —
+		// except, on a resumed coordinator that has never heard from a
+		// worker for this cell, one shard stays queued so a worker can
+		// re-supply the golden header the journal does not carry.
+		keep := -1
+		if !c.goldenSet[i] {
+			for _, s := range c.shards {
+				if s.shard.Campaign == i && s.state != shardCompleted {
+					keep = s.shard.ID
+					break
+				}
+			}
+		}
 		cancelled := 0
 		for _, s := range c.shards {
-			if s.shard.Campaign != i || s.state == shardCompleted {
+			if s.shard.Campaign != i || s.state == shardCompleted || s.shard.ID == keep {
 				continue
 			}
 			s.state = shardCompleted
@@ -718,6 +947,9 @@ func (c *Coordinator) settleStopsLocked() error {
 }
 
 func (c *Coordinator) journalStoppedLocked(key string, rec core.LogRecord) error {
+	if c.journaled[key][rec.MaskID] {
+		return nil // replayed from this journal; the entry is already on disk
+	}
 	jnl, ok := c.journals[key]
 	if !ok {
 		var err error
@@ -736,6 +968,9 @@ func (c *Coordinator) journalStoppedLocked(key string, rec core.LogRecord) error
 }
 
 func (c *Coordinator) journalLocked(key string, run core.ShardRun) error {
+	if c.journaled[key][run.Record.MaskID] {
+		return nil // replayed from this journal; the entry is already on disk
+	}
 	jnl, ok := c.journals[key]
 	if !ok {
 		var err error
@@ -796,6 +1031,8 @@ func emitShardRun(tel *telemetry.Collector, cs *telemetry.CampaignStats, key str
 		Diverged:       run.Diverged,
 		Pruned:         pruned,
 		RepMask:        repMask,
+		Resumed:        run.Resumed,
+		Stopped:        run.Record.Status == core.RunStopped.String(),
 		Weight:         run.Record.Weight,
 	})
 }
@@ -856,10 +1093,10 @@ func (c *Coordinator) finalizeLocked() error {
 	return nil
 }
 
-// snapshot accepts a worker's pushed telemetry snapshot. A Final push
-// (a draining worker's last word) freezes the view: later piggybacked
-// snapshots from in-flight completions cannot roll it back.
-func (c *Coordinator) snapshot(req SnapshotRequest) SnapshotResponse {
+// PushSnapshot accepts a worker's pushed telemetry snapshot. A Final
+// push (a draining worker's last word) freezes the view: later
+// piggybacked snapshots from in-flight completions cannot roll it back.
+func (c *Coordinator) PushSnapshot(req SnapshotRequest) SnapshotResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w := c.workerLocked(req.WorkerID, c.opt.now())
@@ -1021,100 +1258,121 @@ func (c *Coordinator) Close() error {
 // Handler returns the /v1 protocol endpoints.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/config", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			http.Error(w, "GET only", http.StatusMethodNotAllowed)
-			return
-		}
-		writeJSON(w, ConfigResponse{
-			ProtocolVersion: ProtocolVersion,
-			Config:          c.cfg,
-			LeaseTTLMS:      c.opt.leaseTTL().Milliseconds(),
-		})
-	})
+	mux.HandleFunc("/v1/config", MethodOnly(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Config())
+	}))
 	mux.HandleFunc("/v1/lease", func(w http.ResponseWriter, r *http.Request) {
 		var req LeaseRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, c.lease(req.WorkerID))
+		writeJSON(w, c.Lease(req.WorkerID))
 	})
 	mux.HandleFunc("/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req HeartbeatRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, c.heartbeat(req))
+		writeJSON(w, c.Heartbeat(req))
 	})
 	mux.HandleFunc("/v1/complete", func(w http.ResponseWriter, r *http.Request) {
 		var req CompleteRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, c.complete(req))
+		writeJSON(w, c.Complete(req))
 	})
 	mux.HandleFunc("/v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		var req SnapshotRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, c.snapshot(req))
+		writeJSON(w, c.PushSnapshot(req))
 	})
 	return mux
 }
 
 // ObsHandler returns the coordinator's observability endpoints mounted
-// alongside the /v1 protocol: /snapshot.json and /metrics serve the
-// fleet-aggregated telemetry, /fleet.json the per-worker lease/lag
-// accounting, and /events — when an event stream is attached — the
-// live SSE feed of progress, run and span events.
+// alongside the /v1 protocol: /v1/snapshot.json and /v1/metrics serve
+// the fleet-aggregated telemetry, /v1/fleet.json the per-worker
+// lease/lag accounting, and /v1/events — when an event stream is
+// attached — the live SSE feed of progress, run and span events. The
+// unprefixed paths remain as deprecated aliases for one release so old
+// dashboards and probes keep working.
 func (c *Coordinator) ObsHandler(es *telemetry.EventStream) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", c.Handler())
-	mux.HandleFunc("/snapshot.json", func(w http.ResponseWriter, r *http.Request) {
-		b, err := c.FleetSnapshot().JSON()
+	MountObs(mux, ObsEndpoints{
+		Snapshot: c.FleetSnapshot,
+		Fleet: func() []WorkerStatus {
+			return c.Fleet()
+		},
+		Events: es,
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			api.WriteError(w, http.StatusNotFound, api.CodeNotFound, "no such endpoint: %s", r.URL.Path)
+			return
+		}
+		fmt.Fprintln(w, "faultcampd: /v1/{config,lease,heartbeat,complete,snapshot}  /v1/{snapshot.json,metrics,fleet.json,events}  (unprefixed observability paths are deprecated aliases)")
+	})
+	return mux
+}
+
+// ObsEndpoints are the data sources behind the observability plane —
+// shared by the single-campaign coordinator and the multi-campaign
+// service, which each mount them over their own aggregation.
+type ObsEndpoints struct {
+	Snapshot func() telemetry.Snapshot
+	Fleet    func() []WorkerStatus
+	Events   http.Handler // nil when no event stream is attached
+}
+
+// MountObs registers the telemetry endpoints on a mux under /v1/ and,
+// as deprecated aliases for one release, at the unprefixed paths.
+func MountObs(mux *http.ServeMux, eps ObsEndpoints) {
+	snap := MethodOnly(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		b, err := eps.Snapshot().JSON()
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(append(b, '\n'))
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	metrics := MethodOnly(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		c.FleetSnapshot().WritePrometheus(w)
+		eps.Snapshot().WritePrometheus(w)
 	})
-	mux.HandleFunc("/fleet.json", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, c.Fleet())
+	fleet := MethodOnly(http.MethodGet, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, eps.Fleet())
 	})
-	if es != nil {
-		mux.Handle("/events", es)
+	for _, prefix := range []string{"/v1", ""} {
+		mux.HandleFunc(prefix+"/snapshot.json", snap)
+		mux.HandleFunc(prefix+"/metrics", metrics)
+		mux.HandleFunc(prefix+"/fleet.json", fleet)
+		if eps.Events != nil {
+			mux.Handle(prefix+"/events", MethodOnly(http.MethodGet, eps.Events.ServeHTTP))
+		}
 	}
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/" {
-			http.NotFound(w, r)
+}
+
+// MethodOnly wraps a handler with a method check that answers the
+// shared error envelope on mismatch.
+func MethodOnly(method string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			api.WriteError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "%s only", method)
 			return
 		}
-		fmt.Fprintln(w, "faultcampd: /v1/{config,lease,heartbeat,complete,snapshot}  /snapshot.json  /metrics  /fleet.json  /events")
-	})
-	return mux
+		h(w, r)
+	}
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return false
-	}
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
-		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
-		return false
-	}
-	return true
+	return api.ReadJSON(w, r, v)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	api.WriteJSON(w, v)
 }

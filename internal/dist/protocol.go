@@ -13,125 +13,40 @@
 // checkpoint placement, prune plan — derives deterministically from the
 // config, so the wire carries only the config once plus {campaign,
 // mask_lo, mask_hi} per shard.
+//
+// The wire types themselves live in internal/svc/api — the one place
+// the versioned /v1 surface is defined — and are re-exported here as
+// aliases so the coordinator, its tests and external callers keep
+// compiling unchanged.
 package dist
 
 import (
-	"repro/internal/core"
-	"repro/internal/telemetry"
+	"repro/internal/svc/api"
 )
 
-// ProtocolVersion is the coordinator/worker wire format version. A
-// worker refuses a coordinator speaking a newer version (and vice
-// versa the coordinator's config carries its own schema version), so a
-// mixed-build fleet fails loudly instead of merging subtly different
-// outputs.
-const ProtocolVersion = 1
+// ProtocolVersion is the coordinator/worker wire format version; see
+// api.ProtocolVersion.
+const ProtocolVersion = api.ProtocolVersion
 
-// Shard is one unit of distributed work: the mask window [MaskLo,
-// MaskHi) of one campaign cell of the config. TraceID/SpanID, when set,
-// carry the coordinator's span context: the worker parents the shard's
-// matrix span under SpanID so the coordinator assembles one end-to-end
-// span tree. Both are additive — a version-1 peer ignores them.
-type Shard struct {
-	ID       int    `json:"id"`
-	Campaign int    `json:"campaign"`
-	MaskLo   int    `json:"mask_lo"`
-	MaskHi   int    `json:"mask_hi"`
-	TraceID  string `json:"trace_id,omitempty"`
-	SpanID   string `json:"span_id,omitempty"`
-}
-
-// ConfigResponse is the body of GET /v1/config: the full campaign
-// config plus the lease terms the coordinator enforces.
-type ConfigResponse struct {
-	ProtocolVersion int                 `json:"protocol_version"`
-	Config          core.CampaignConfig `json:"config"`
-	LeaseTTLMS      int64               `json:"lease_ttl_ms"`
-}
-
-// LeaseRequest is the body of POST /v1/lease.
-type LeaseRequest struct {
-	WorkerID string `json:"worker_id"`
-}
-
-// Lease statuses.
+// Lease statuses; see the api package for semantics.
 const (
-	// StatusShard carries a shard assignment.
-	StatusShard = "shard"
-	// StatusWait means every runnable shard is leased or backing off;
-	// poll again after WaitMS.
-	StatusWait = "wait"
-	// StatusDone means every shard completed; the worker may exit.
-	StatusDone = "done"
-	// StatusFailed means the campaign failed terminally (a worker
-	// reported a deterministic error, or a shard ran out of retries).
-	StatusFailed = "failed"
+	StatusShard  = api.StatusShard
+	StatusWait   = api.StatusWait
+	StatusDone   = api.StatusDone
+	StatusFailed = api.StatusFailed
 )
 
-// LeaseResponse is the body of a lease reply.
-type LeaseResponse struct {
-	Status string `json:"status"`
-	Shard  *Shard `json:"shard,omitempty"`
-	WaitMS int64  `json:"wait_ms,omitempty"`
-	Error  string `json:"error,omitempty"`
-}
-
-// HeartbeatRequest extends a shard lease.
-type HeartbeatRequest struct {
-	WorkerID string `json:"worker_id"`
-	ShardID  int    `json:"shard_id"`
-}
-
-// HeartbeatResponse acknowledges a heartbeat. OK false means the lease
-// was lost (expired and requeued, or the shard completed elsewhere);
-// the worker's result, if it still sends one, will be deduplicated.
-type HeartbeatResponse struct {
-	OK bool `json:"ok"`
-}
-
-// CompleteRequest delivers a shard's outcome. A non-empty Error marks
-// the shard — and with it the campaign — failed: shard execution is
-// deterministic, so retrying the same masks on another worker would
-// fail identically.
-type CompleteRequest struct {
-	WorkerID string            `json:"worker_id"`
-	ShardID  int               `json:"shard_id"`
-	Result   *core.ShardResult `json:"result,omitempty"`
-	Error    string            `json:"error,omitempty"`
-	// Spans are the shard's worker-side spans (matrix, cell, run,
-	// phase), forwarded into the coordinator's merged span file.
-	// Snapshot piggybacks the worker's current telemetry snapshot for
-	// the fleet aggregation. Both additive.
-	Spans    []telemetry.Span    `json:"spans,omitempty"`
-	Snapshot *telemetry.Snapshot `json:"snapshot,omitempty"`
-}
-
-// CompleteResponse acknowledges a completion. Accepted false means the
-// shard had already been completed (a requeued shard finished twice);
-// the duplicate was discarded, which is fine — the merge ledger is
-// exactly-once per mask. Done and Failed report the campaign's terminal
-// state in the acknowledgement itself, so the worker that delivers the
-// final shard learns the outcome without racing the coordinator's
-// shutdown on one more lease poll.
-type CompleteResponse struct {
-	OK       bool   `json:"ok"`
-	Accepted bool   `json:"accepted"`
-	Done     bool   `json:"done,omitempty"`
-	Failed   string `json:"failed,omitempty"`
-	Error    string `json:"error,omitempty"`
-}
-
-// SnapshotRequest is the body of POST /v1/snapshot: a worker pushing
-// its telemetry snapshot to the fleet aggregation outside the shard
-// cycle — a draining worker posts its last word with Final set, so the
-// fleet view stays complete after the worker exits.
-type SnapshotRequest struct {
-	WorkerID string             `json:"worker_id"`
-	Snapshot telemetry.Snapshot `json:"snapshot"`
-	Final    bool               `json:"final,omitempty"`
-}
-
-// SnapshotResponse acknowledges a snapshot push.
-type SnapshotResponse struct {
-	OK bool `json:"ok"`
-}
+// Worker-protocol bodies, aliased from the versioned API surface.
+type (
+	Shard             = api.Shard
+	ConfigResponse    = api.ConfigResponse
+	LeaseRequest      = api.LeaseRequest
+	LeaseResponse     = api.LeaseResponse
+	HeartbeatRequest  = api.HeartbeatRequest
+	HeartbeatResponse = api.HeartbeatResponse
+	CompleteRequest   = api.CompleteRequest
+	CompleteResponse  = api.CompleteResponse
+	SnapshotRequest   = api.SnapshotRequest
+	SnapshotResponse  = api.SnapshotResponse
+	WorkerStatus      = api.WorkerStatus
+)

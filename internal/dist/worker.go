@@ -1,16 +1,15 @@
 package dist
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/svc/api"
+	"repro/internal/svc/client"
 	"repro/internal/telemetry"
 )
 
@@ -23,7 +22,10 @@ type WorkerOptions struct {
 	Resolve core.Resolver
 	// Golden shares golden runs, ladders and liveness profiles across
 	// the worker's shards; nil uses a private cache (still shared across
-	// shards — the point of running a worker process).
+	// shards — the point of running a worker process). Applies to the
+	// single-campaign mode only: a fleet worker keeps one private cache
+	// per service campaign, since equal cell keys in different campaigns
+	// may carry different configs.
 	Golden *core.GoldenCache
 	// Heartbeat overrides the lease-extension period; 0 derives TTL/3
 	// from the coordinator's lease terms.
@@ -33,8 +35,9 @@ type WorkerOptions struct {
 	Poll time.Duration
 	// Logf, when non-nil, receives worker lifecycle lines.
 	Logf func(format string, args ...any)
-	// Client is the HTTP client; nil uses a default with a sane timeout.
-	Client *http.Client
+	// Client is the service client; nil builds one for the coordinator
+	// URL with default retry terms.
+	Client *client.Client
 	// Telemetry, when non-nil, aggregates the worker's own view of the
 	// campaign: every accepted shard result folds into it, a snapshot
 	// piggybacks on each completion, and a final snapshot is pushed to
@@ -47,8 +50,30 @@ type WorkerOptions struct {
 	Drain <-chan struct{}
 }
 
-// RunWorker executes shards from the coordinator at coordURL until the
-// campaign completes (nil), fails (the campaign error), or ctx ends.
+// workerCampaign is a fleet worker's cached view of one service
+// campaign: its validated config, telemetry rows, and a private golden
+// cache (two campaigns may share a cell key with different configs, so
+// golden runs never cross campaign boundaries).
+type workerCampaign struct {
+	id     string
+	cfg    core.CampaignConfig
+	keys   []string
+	camps  map[int]*telemetry.CampaignStats
+	golden *core.GoldenCache
+	ttl    time.Duration
+}
+
+// RunWorker executes shards from the coordinator (or campaign service)
+// at coordURL until the campaign completes (nil), fails (the campaign
+// error), or ctx ends.
+//
+// Against a single-campaign coordinator the worker fetches the one
+// config up front and exits with the campaign's terminal state. Against
+// the multi-campaign service (detected by /v1/config answering 404) the
+// worker is fleet-level: leases carry campaign IDs, per-campaign
+// configs are fetched and cached on first contact, one campaign's
+// failure or completion never stops the worker, and transient service
+// outages (a daemon restart) are ridden out by polling.
 //
 // The worker is stateless between shards: each shard rebuilds its
 // campaign cell deterministically from the config via core.RunShard,
@@ -61,53 +86,85 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 	if opt.Resolve == nil {
 		return fmt.Errorf("dist: worker needs a Resolver")
 	}
-	if opt.Client == nil {
-		opt.Client = &http.Client{Timeout: 30 * time.Second}
-	}
-	if opt.Golden == nil {
-		opt.Golden = core.NewGoldenCache()
+	cl := opt.Client
+	if cl == nil {
+		cl = client.New(coordURL)
 	}
 	logf := opt.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
 
-	cfgResp, err := fetchConfig(ctx, opt.Client, coordURL)
-	if err != nil {
-		return err
-	}
-	if cfgResp.ProtocolVersion > ProtocolVersion {
-		return fmt.Errorf("dist: coordinator speaks protocol %d; this worker speaks <= %d", cfgResp.ProtocolVersion, ProtocolVersion)
-	}
-	cfg := cfgResp.Config
-	if err := cfg.Validate(); err != nil {
-		return fmt.Errorf("dist: coordinator config: %w", err)
-	}
-	heartbeat := opt.Heartbeat
-	if heartbeat <= 0 {
-		heartbeat = time.Duration(cfgResp.LeaseTTLMS) * time.Millisecond / 3
-	}
-	if heartbeat <= 0 {
-		heartbeat = time.Second
+	camps := make(map[string]*workerCampaign)
+	fleet := false
+	started := false
+
+	// loadCampaign fetches, validates and caches the config behind a
+	// lease: the service's per-campaign config when the lease names one,
+	// the single /v1/config otherwise.
+	loadCampaign := func(id string) (*workerCampaign, error) {
+		if wc, ok := camps[id]; ok {
+			return wc, nil
+		}
+		var (
+			resp api.ConfigResponse
+			err  error
+		)
+		if id == "" {
+			resp, err = cl.Config(ctx)
+		} else {
+			resp, err = cl.CampaignConfig(ctx, id)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if resp.ProtocolVersion > ProtocolVersion {
+			return nil, fmt.Errorf("dist: coordinator speaks protocol %d; this worker speaks <= %d", resp.ProtocolVersion, ProtocolVersion)
+		}
+		if err := resp.Config.Validate(); err != nil {
+			return nil, fmt.Errorf("dist: coordinator config: %w", err)
+		}
+		wc := &workerCampaign{
+			id: id, cfg: resp.Config, keys: resp.Config.Keys(),
+			camps: make(map[int]*telemetry.CampaignStats),
+			ttl:   time.Duration(resp.LeaseTTLMS) * time.Millisecond,
+		}
+		if id == "" {
+			wc.golden = opt.Golden
+		}
+		if wc.golden == nil {
+			wc.golden = core.NewGoldenCache()
+		}
+		if opt.Telemetry != nil && !started {
+			// The worker's own collector mirrors a single-node run of its
+			// share of the campaign; Workers is the per-shard simulation
+			// pool so the fleet merge sums pool sizes across the fleet.
+			opt.Telemetry.Start(wc.cfg.Workers)
+			started = true
+		}
+		return wc, nil
 	}
 
-	if opt.Telemetry != nil {
-		// The worker's own collector mirrors a single-node run of its
-		// share of the campaign; Workers is the per-shard simulation pool
-		// so the fleet merge sums pool sizes across the fleet.
-		opt.Telemetry.Start(cfg.Workers)
+	// Single-campaign probe: a coordinator answers /v1/config; the
+	// multi-campaign service has no standalone campaign there and
+	// answers not_found, which flips the worker into fleet mode.
+	if _, err := loadCampaign(""); err != nil {
+		var apiErr *api.Error
+		if client.AsError(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+			fleet = true
+			logf("worker %s: fleet mode (multi-campaign service at %s)", opt.ID, coordURL)
+		} else {
+			return fmt.Errorf("dist: fetching coordinator config: %w", err)
+		}
 	}
-	keys := cfg.Keys()
-	camps := make(map[int]*telemetry.CampaignStats)
+
 	// postFinal pushes the worker's last snapshot so the coordinator's
 	// fleet view stays complete after this process exits.
 	postFinal := func() {
 		if opt.Telemetry == nil {
 			return
 		}
-		var resp SnapshotResponse
-		err := postJSON(ctx, opt.Client, coordURL+"/v1/snapshot",
-			SnapshotRequest{WorkerID: opt.ID, Snapshot: opt.Telemetry.Snapshot(), Final: true}, &resp)
+		_, err := cl.PushSnapshot(ctx, api.SnapshotRequest{WorkerID: opt.ID, Snapshot: opt.Telemetry.Snapshot(), Final: true})
 		if err != nil {
 			logf("worker %s: posting final snapshot: %v", opt.ID, err)
 		}
@@ -123,6 +180,24 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 			return false
 		}
 	}
+	sleep := func(wait time.Duration) error {
+		if opt.Poll > 0 && wait > opt.Poll {
+			wait = opt.Poll
+		}
+		if wait <= 0 {
+			wait = 100 * time.Millisecond
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-opt.Drain: // nil when no drain channel; never fires then
+			// Loop back: the top-of-loop drain check posts the final
+			// snapshot and exits.
+			return nil
+		case <-time.After(wait):
+			return nil
+		}
+	}
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -133,8 +208,17 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 			postFinal()
 			return nil
 		}
-		var lease LeaseResponse
-		if err := postJSON(ctx, opt.Client, coordURL+"/v1/lease", LeaseRequest{WorkerID: opt.ID}, &lease); err != nil {
+		lease, err := cl.Lease(ctx, opt.ID)
+		if err != nil {
+			if fleet && client.Retryable(err) {
+				// The service is briefly unreachable (restarting); a fleet
+				// worker outlives it rather than dying with it.
+				logf("worker %s: lease failed (%v); retrying", opt.ID, err)
+				if err := sleep(time.Second); err != nil {
+					return err
+				}
+				continue
+			}
 			return err
 		}
 		switch lease.Status {
@@ -145,26 +229,28 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 		case StatusFailed:
 			return fmt.Errorf("dist: campaign failed: %s", lease.Error)
 		case StatusWait:
-			wait := time.Duration(lease.WaitMS) * time.Millisecond
-			if opt.Poll > 0 && wait > opt.Poll {
-				wait = opt.Poll
-			}
-			if wait <= 0 {
-				wait = 100 * time.Millisecond
-			}
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-opt.Drain: // nil when no drain channel; never fires then
-				// Loop back: the top-of-loop drain check posts the final
-				// snapshot and exits.
-			case <-time.After(wait):
+			if err := sleep(time.Duration(lease.WaitMS) * time.Millisecond); err != nil {
+				return err
 			}
 		case StatusShard:
 			sh := *lease.Shard
+			wc, err := loadCampaign(lease.CampaignID)
+			if err != nil {
+				if fleet {
+					// This campaign may have finished between the lease and
+					// the config fetch; drop the lease and keep serving the
+					// rest of the fleet.
+					logf("worker %s: campaign %s config: %v", opt.ID, lease.CampaignID, err)
+					if err := sleep(time.Second); err != nil {
+						return err
+					}
+					continue
+				}
+				return err
+			}
 			logf("worker %s: shard %d (campaign %d masks [%d,%d))", opt.ID, sh.ID, sh.Campaign, sh.MaskLo, sh.MaskHi)
-			result, spans, runErr := runLeased(ctx, opt, coordURL, cfg, sh, heartbeat)
-			req := CompleteRequest{WorkerID: opt.ID, ShardID: sh.ID, Result: result, Spans: spans}
+			result, spans, runErr := runLeased(ctx, opt, cl, wc, sh)
+			req := api.CompleteRequest{WorkerID: opt.ID, ShardID: sh.ID, CampaignID: wc.id, Result: result, Spans: spans}
 			if runErr != nil {
 				// Deterministic failure: report it so the coordinator fails
 				// the campaign instead of retrying the same masks elsewhere.
@@ -178,30 +264,58 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 				// worker really did the work, even if the merge discards the
 				// copy; the coordinator's merged collector stays exactly-once
 				// regardless.
-				foldShardResult(tel, camps, cfg, keys, sh.Campaign, result)
+				foldShardResult(tel, wc, sh.Campaign, result)
 				snap := tel.Snapshot()
 				req.Snapshot = &snap
 			}
-			var resp CompleteResponse
-			if err := postJSON(ctx, opt.Client, coordURL+"/v1/complete", req, &resp); err != nil {
+			resp, err := cl.Complete(ctx, req)
+			if err != nil {
+				if fleet && client.Retryable(err) {
+					// The merge is exactly-once: if the completion did land
+					// before the connection broke, the requeued shard's second
+					// delivery dedups.
+					logf("worker %s: completing shard %d: %v", opt.ID, sh.ID, err)
+					if err := sleep(time.Second); err != nil {
+						return err
+					}
+					continue
+				}
 				return err
 			}
 			if resp.Error != "" {
+				if fleet {
+					logf("worker %s: completing shard %d of %s: %s", opt.ID, sh.ID, wc.id, resp.Error)
+					continue
+				}
 				return fmt.Errorf("dist: completing shard %d: %s", sh.ID, resp.Error)
 			}
 			if !resp.Accepted && runErr == nil {
 				logf("worker %s: shard %d was already completed elsewhere", opt.ID, sh.ID)
 			}
 			if runErr != nil {
+				if fleet {
+					// One campaign's deterministic failure is its own
+					// terminal state, not the fleet's.
+					logf("worker %s: shard %d of %s failed: %v", opt.ID, sh.ID, wc.id, runErr)
+					continue
+				}
 				return fmt.Errorf("dist: shard %d: %w", sh.ID, runErr)
 			}
 			// The ack carries the campaign's terminal state so the worker
 			// that lands the final shard exits without one more lease poll
 			// (which would race the coordinator's shutdown).
 			if resp.Failed != "" {
+				if fleet {
+					logf("worker %s: campaign %s failed: %s", opt.ID, wc.id, resp.Failed)
+					continue
+				}
 				return fmt.Errorf("dist: campaign failed: %s", resp.Failed)
 			}
 			if resp.Done {
+				if fleet {
+					logf("worker %s: campaign %s complete", opt.ID, wc.id)
+					continue
+				}
 				logf("worker %s: campaign complete", opt.ID)
 				postFinal()
 				return nil
@@ -217,15 +331,15 @@ func RunWorker(ctx context.Context, coordURL string, opt WorkerOptions) error {
 // Replicated stubs are skipped: their verdicts are resolved
 // coordinator-side at finalize, and counting a stub here would inflate
 // the fleet totals relative to the merged view.
-func foldShardResult(tel *telemetry.Collector, camps map[int]*telemetry.CampaignStats, cfg core.CampaignConfig, keys []string, campaign int, res *core.ShardResult) {
+func foldShardResult(tel *telemetry.Collector, wc *workerCampaign, campaign int, res *core.ShardResult) {
 	if res == nil {
 		return
 	}
-	cs, ok := camps[campaign]
+	cs, ok := wc.camps[campaign]
 	if !ok {
-		cell := cfg.Campaigns[campaign]
-		cs = tel.Campaign(keys[campaign], cell.Tool, cell.Benchmark, cell.Structure)
-		camps[campaign] = cs
+		cell := wc.cfg.Campaigns[campaign]
+		cs = tel.Campaign(wc.keys[campaign], cell.Tool, cell.Benchmark, cell.Structure)
+		wc.camps[campaign] = cs
 	}
 	n := 0
 	for _, run := range res.Runs {
@@ -239,7 +353,7 @@ func foldShardResult(tel *telemetry.Collector, camps map[int]*telemetry.Campaign
 		if run.Pruned == "replicated" {
 			continue
 		}
-		emitShardRun(tel, cs, keys[campaign], run, run.Pruned, -1)
+		emitShardRun(tel, cs, wc.keys[campaign], run, run.Pruned, -1)
 	}
 }
 
@@ -253,7 +367,14 @@ func foldShardResult(tel *telemetry.Collector, camps map[int]*telemetry.Campaign
 // per-shard tracer (span IDs prefixed "<worker>-s<shard>", so requeued
 // shards executed by several workers never collide) whose buffered
 // spans ship back with the completion.
-func runLeased(ctx context.Context, opt WorkerOptions, coordURL string, cfg core.CampaignConfig, sh Shard, heartbeat time.Duration) (*core.ShardResult, []telemetry.Span, error) {
+func runLeased(ctx context.Context, opt WorkerOptions, cl *client.Client, wc *workerCampaign, sh Shard) (*core.ShardResult, []telemetry.Span, error) {
+	heartbeat := opt.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = wc.ttl / 3
+	}
+	if heartbeat <= 0 {
+		heartbeat = time.Second
+	}
 	hbCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	go func() {
@@ -264,16 +385,14 @@ func runLeased(ctx context.Context, opt WorkerOptions, coordURL string, cfg core
 			case <-hbCtx.Done():
 				return
 			case <-ticker.C:
-				var resp HeartbeatResponse
-				err := postJSON(hbCtx, opt.Client, coordURL+"/v1/heartbeat",
-					HeartbeatRequest{WorkerID: opt.ID, ShardID: sh.ID}, &resp)
+				resp, err := cl.Heartbeat(hbCtx, api.HeartbeatRequest{WorkerID: opt.ID, ShardID: sh.ID, CampaignID: wc.id})
 				if err == nil && !resp.OK && opt.Logf != nil {
 					opt.Logf("worker %s: lease on shard %d lost", opt.ID, sh.ID)
 				}
 			}
 		}
 	}()
-	att := core.Attach{Golden: opt.Golden}
+	att := core.Attach{Golden: wc.golden}
 	var buf *telemetry.SpanBuffer
 	if sh.TraceID != "" {
 		tracer := telemetry.NewTracer(sh.TraceID, opt.ID+"-s"+strconv.Itoa(sh.ID))
@@ -283,76 +402,9 @@ func runLeased(ctx context.Context, opt WorkerOptions, coordURL string, cfg core
 		att.TraceParent = sh.SpanID
 		att.SpanWorker = opt.ID
 	}
-	res, err := core.RunShard(cfg, sh.Campaign, sh.MaskLo, sh.MaskHi, opt.Resolve, att)
+	res, err := core.RunShard(wc.cfg, sh.Campaign, sh.MaskLo, sh.MaskHi, opt.Resolve, att)
 	if err != nil || buf == nil {
 		return res, nil, err
 	}
 	return res, buf.Spans(), nil
-}
-
-// fetchConfig GETs the coordinator's config, retrying briefly so a
-// worker may start before its coordinator finishes binding.
-func fetchConfig(ctx context.Context, client *http.Client, coordURL string) (ConfigResponse, error) {
-	var resp ConfigResponse
-	var lastErr error
-	for attempt := 0; attempt < 10; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return resp, err
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, coordURL+"/v1/config", nil)
-		if err != nil {
-			return resp, err
-		}
-		r, err := client.Do(req)
-		if err == nil {
-			err = decodeResponse(r, &resp)
-			if err == nil {
-				return resp, nil
-			}
-		}
-		lastErr = err
-		select {
-		case <-ctx.Done():
-			return resp, ctx.Err()
-		case <-time.After(time.Duration(attempt+1) * 200 * time.Millisecond):
-		}
-	}
-	return resp, fmt.Errorf("dist: fetching coordinator config: %w", lastErr)
-}
-
-func postJSON(ctx context.Context, client *http.Client, url string, body, out any) error {
-	b, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	var lastErr error
-	for attempt := 0; attempt < 5; attempt++ {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
-		if err != nil {
-			return err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		r, err := client.Do(req)
-		if err == nil {
-			if err = decodeResponse(r, out); err == nil {
-				return nil
-			}
-		}
-		lastErr = err
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		case <-time.After(time.Duration(attempt+1) * 100 * time.Millisecond):
-		}
-	}
-	return fmt.Errorf("dist: %s: %w", url, lastErr)
-}
-
-func decodeResponse(r *http.Response, out any) error {
-	defer r.Body.Close()
-	if r.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
-		return fmt.Errorf("HTTP %d: %s", r.StatusCode, bytes.TrimSpace(msg))
-	}
-	return json.NewDecoder(r.Body).Decode(out)
 }

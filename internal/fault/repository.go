@@ -40,20 +40,53 @@ func CampaignKey(tool, benchmark, structure string) string {
 }
 
 // Store writes the masks of a campaign, replacing any previous content.
+// The write is atomic (temp file + rename), so a crash mid-Store leaves
+// either the old file or the new one, never a truncated mix.
 func (r *Repository) Store(key string, masks []Mask) error {
-	f, err := os.Create(r.campaignFile(key))
+	err := AtomicWrite(r.campaignFile(key), func(w *bufio.Writer) error {
+		return WriteMasks(w, masks)
+	})
 	if err != nil {
 		return fmt.Errorf("fault: storing masks for %s: %w", key, err)
 	}
-	defer f.Close()
+	return nil
+}
+
+// AtomicWrite writes a file via a same-directory temp file renamed over
+// the target, so readers (and crash recovery) only ever see a complete
+// old or complete new file. The temp file is fsynced before the rename.
+func AtomicWrite(path string, write func(*bufio.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
 	w := bufio.NewWriter(f)
-	if err := WriteMasks(w, masks); err != nil {
-		return fmt.Errorf("fault: storing masks for %s: %w", key, err)
+	if err := write(w); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
 	}
 	if err := w.Flush(); err != nil {
-		return fmt.Errorf("fault: storing masks for %s: %w", key, err)
+		f.Close()
+		os.Remove(tmp)
+		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load reads the masks of a campaign.

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRepositoryStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	repo, err := NewRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CampaignKey("toolA", "bench", "rf.int")
+	masks := []Mask{
+		{ID: 0, Sites: []Site{{Structure: "rf.int", Entry: 1, Bit: 2}}},
+		{ID: 1, Sites: []Site{{Structure: "rf.int", Entry: 3, Bit: 4}}, Weight: 2.5},
+	}
+	if err := repo.Store(key, masks); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overwrite with different content, then reopen the repository from
+	// scratch: the replacement must be complete, not a truncated mix.
+	masks2 := []Mask{{ID: 0, Sites: []Site{{Structure: "rf.int", Entry: 7, Bit: 0}}}}
+	if err := repo.Store(key, masks2); err != nil {
+		t.Fatal(err)
+	}
+	repo2, err := NewRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repo2.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, masks2) {
+		t.Fatalf("reopened masks = %+v, want %+v", got, masks2)
+	}
+
+	// The atomic temp file must not survive a successful Store.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+
+	keys, err := repo2.Campaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("campaigns = %v, want [%s]", keys, key)
+	}
+}
+
+func TestAtomicWriteFailureKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.json")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := os.ErrInvalid
+	if err := AtomicWrite(path, func(*bufio.Writer) error { return wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "old" {
+		t.Fatalf("old content clobbered: %q", b)
+	}
+}

@@ -1,0 +1,370 @@
+// Package api is the versioned wire surface of the campaign service:
+// every request and response body exchanged over the /v1 HTTP API, the
+// shared JSON error envelope, and the worker protocol types the
+// distributed layer speaks. The types live in one place so the daemon,
+// the Go client and the coordinator cannot drift — internal/dist
+// re-exports the worker-protocol subset as type aliases for
+// compatibility with existing callers.
+//
+// Error contract: every non-200 response carries the envelope
+//
+//	{"error": {"code": "...", "message": "..."}}
+//
+// with a stable machine-readable code and a human-readable message.
+// 200 responses carry the endpoint's documented body and nothing else.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/telemetry"
+)
+
+// ProtocolVersion is the coordinator/worker wire format version. A
+// worker refuses a coordinator speaking a newer version (and vice versa
+// the coordinator's config carries its own schema version), so a
+// mixed-build fleet fails loudly instead of merging subtly different
+// outputs. The campaign-ID fields of the multi-campaign service are
+// additive — a version-1 peer ignores them — so the version stays 1.
+const ProtocolVersion = 1
+
+// SubmitSchemaVersion is the campaign-service request/response format
+// version this build writes; requests stamped newer are rejected.
+const SubmitSchemaVersion = 1
+
+// Error codes of the shared envelope.
+const (
+	CodeBadRequest       = "bad_request"
+	CodeUnauthorized     = "unauthorized"
+	CodeForbidden        = "forbidden"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeConflict         = "conflict"
+	CodeQuotaExceeded    = "quota_exceeded"
+	CodeUnavailable      = "unavailable"
+	CodeInternal         = "internal"
+)
+
+// ErrorDetail is the inner object of the error envelope.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the body of every non-200 response.
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// Error is the typed client-side form of an envelope: the HTTP status
+// plus the decoded code and message. The svc/client package returns it
+// for every non-200 response, so callers switch on Code (or status
+// class) instead of parsing message strings.
+type Error struct {
+	StatusCode int
+	Code       string
+	Message    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: HTTP %d %s: %s", e.StatusCode, e.Code, e.Message)
+}
+
+// IsRetryable reports whether the error is transient service-side state
+// (5xx) rather than a caller mistake — the client's retry predicate.
+func (e *Error) IsRetryable() bool { return e.StatusCode >= 500 }
+
+// WriteError writes the shared error envelope with the given status.
+func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorDetail{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// WriteJSON writes a 200 JSON body.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		WriteError(w, http.StatusInternalServerError, CodeInternal, "encoding response: %v", err)
+	}
+}
+
+// ReadJSON decodes a POST body into v, answering the shared envelope
+// itself (405 on a non-POST method, 400 on an undecodable body) and
+// reporting whether the caller should proceed.
+func ReadJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		WriteError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST only")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		WriteError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// DecodeError turns a non-200 response into a typed *Error, decoding
+// the envelope when present and falling back to the raw body text for
+// peers that predate it.
+func DecodeError(status int, body io.Reader) *Error {
+	raw, _ := io.ReadAll(io.LimitReader(body, 4096))
+	var env ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		return &Error{StatusCode: status, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	code := CodeInternal
+	if status < 500 {
+		code = CodeBadRequest
+	}
+	return &Error{StatusCode: status, Code: code, Message: strings.TrimSpace(string(raw))}
+}
+
+// ---------------------------------------------------------------------
+// Worker protocol (leases, completions, fleet telemetry).
+
+// Shard is one unit of distributed work: the mask window [MaskLo,
+// MaskHi) of one campaign cell of the config. TraceID/SpanID, when set,
+// carry the coordinator's span context: the worker parents the shard's
+// matrix span under SpanID so the coordinator assembles one end-to-end
+// span tree. Both are additive — a version-1 peer ignores them.
+type Shard struct {
+	ID       int    `json:"id"`
+	Campaign int    `json:"campaign"`
+	MaskLo   int    `json:"mask_lo"`
+	MaskHi   int    `json:"mask_hi"`
+	TraceID  string `json:"trace_id,omitempty"`
+	SpanID   string `json:"span_id,omitempty"`
+}
+
+// ConfigResponse is the body of GET /v1/config (and, in the
+// multi-campaign service, GET /v1/campaigns/{id}/config): the full
+// campaign config plus the lease terms the coordinator enforces.
+// CampaignID names the service campaign the config belongs to; empty
+// from a single-campaign coordinator.
+type ConfigResponse struct {
+	ProtocolVersion int                 `json:"protocol_version"`
+	Config          core.CampaignConfig `json:"config"`
+	LeaseTTLMS      int64               `json:"lease_ttl_ms"`
+	CampaignID      string              `json:"campaign_id,omitempty"`
+}
+
+// LeaseRequest is the body of POST /v1/lease.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// Lease statuses.
+const (
+	// StatusShard carries a shard assignment.
+	StatusShard = "shard"
+	// StatusWait means every runnable shard is leased or backing off;
+	// poll again after WaitMS.
+	StatusWait = "wait"
+	// StatusDone means every shard completed; the worker may exit.
+	StatusDone = "done"
+	// StatusFailed means the campaign failed terminally (a worker
+	// reported a deterministic error, or a shard ran out of retries).
+	StatusFailed = "failed"
+)
+
+// LeaseResponse is the body of a lease reply. CampaignID, when set,
+// names the service campaign the shard belongs to — a fleet worker
+// echoes it on heartbeats and completions so the service routes them
+// to the right coordinator. Additive: a version-1 single-campaign peer
+// never sets it.
+type LeaseResponse struct {
+	Status     string `json:"status"`
+	Shard      *Shard `json:"shard,omitempty"`
+	WaitMS     int64  `json:"wait_ms,omitempty"`
+	Error      string `json:"error,omitempty"`
+	CampaignID string `json:"campaign_id,omitempty"`
+}
+
+// HeartbeatRequest extends a shard lease. CampaignID routes the
+// heartbeat in the multi-campaign service; empty against a
+// single-campaign coordinator.
+type HeartbeatRequest struct {
+	WorkerID   string `json:"worker_id"`
+	ShardID    int    `json:"shard_id"`
+	CampaignID string `json:"campaign_id,omitempty"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat. OK false means the lease
+// was lost (expired and requeued, the shard completed elsewhere, or the
+// campaign was cancelled); the worker's result, if it still sends one,
+// will be deduplicated.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// CompleteRequest delivers a shard's outcome. A non-empty Error marks
+// the shard — and with it the campaign — failed: shard execution is
+// deterministic, so retrying the same masks on another worker would
+// fail identically. CampaignID routes the completion in the
+// multi-campaign service.
+type CompleteRequest struct {
+	WorkerID   string            `json:"worker_id"`
+	ShardID    int               `json:"shard_id"`
+	CampaignID string            `json:"campaign_id,omitempty"`
+	Result     *core.ShardResult `json:"result,omitempty"`
+	Error      string            `json:"error,omitempty"`
+	// Spans are the shard's worker-side spans (matrix, cell, run,
+	// phase), forwarded into the coordinator's merged span file.
+	// Snapshot piggybacks the worker's current telemetry snapshot for
+	// the fleet aggregation. Both additive.
+	Spans    []telemetry.Span    `json:"spans,omitempty"`
+	Snapshot *telemetry.Snapshot `json:"snapshot,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion. Accepted false means the
+// shard had already been completed (a requeued shard finished twice);
+// the duplicate was discarded, which is fine — the merge ledger is
+// exactly-once per mask. Done and Failed report the campaign's terminal
+// state in the acknowledgement itself, so the worker that delivers the
+// final shard learns the outcome without racing the coordinator's
+// shutdown on one more lease poll.
+type CompleteResponse struct {
+	OK       bool   `json:"ok"`
+	Accepted bool   `json:"accepted"`
+	Done     bool   `json:"done,omitempty"`
+	Failed   string `json:"failed,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// SnapshotRequest is the body of POST /v1/snapshot: a worker pushing
+// its telemetry snapshot to the fleet aggregation outside the shard
+// cycle — a draining worker posts its last word with Final set, so the
+// fleet view stays complete after the worker exits.
+type SnapshotRequest struct {
+	WorkerID string             `json:"worker_id"`
+	Snapshot telemetry.Snapshot `json:"snapshot"`
+	Final    bool               `json:"final,omitempty"`
+}
+
+// SnapshotResponse acknowledges a snapshot push.
+type SnapshotResponse struct {
+	OK bool `json:"ok"`
+}
+
+// WorkerStatus is the per-worker accounting row served at
+// /v1/fleet.json — one entry per worker the coordinator (or the
+// service's fleet plane) has heard from.
+type WorkerStatus struct {
+	ID         string  `json:"id"`
+	Shard      int     `json:"shard"` // currently leased shard, -1 when idle
+	ShardsDone int     `json:"shards_done"`
+	LagSeconds float64 `json:"lag_seconds"` // seconds since last contact
+	Final      bool    `json:"final,omitempty"`
+}
+
+// ---------------------------------------------------------------------
+// Campaign service (submission, lifecycle, results).
+
+// Campaign lifecycle states. Terminal states are StateDone,
+// StateFailed and StateCancelled; everything else is live.
+const (
+	StateQueued     = "queued"
+	StatePlanning   = "planning"
+	StateRunning    = "running"
+	StateFinalizing = "finalizing"
+	StateDone       = "done"
+	StateFailed     = "failed"
+	StateCancelled  = "cancelled"
+)
+
+// TerminalState reports whether a lifecycle state is final.
+func TerminalState(s string) bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// SubmitOptions are the per-campaign artifact knobs of a submission —
+// the service-side equivalent of faultcamp's -trace/-spans/-journal
+// flags plus artifact placement.
+type SubmitOptions struct {
+	// Trace writes the JSONL injection trace beside the campaign logs.
+	Trace bool `json:"trace,omitempty"`
+	// Spans writes the JSONL span trace (campaign/shard/merge timings).
+	Spans bool `json:"spans,omitempty"`
+	// Journal journals every merged simulated run (fsync'd) — required
+	// for the campaign to resume across a daemon restart instead of
+	// re-running from scratch.
+	Journal bool `json:"journal,omitempty"`
+	// Divergence is implied by the config's own divergence knob; the
+	// flag here only controls whether the provenance file is flushed.
+	// ArtifactKey overrides the trace/spans/divergence file stem; the
+	// default is the campaign key for single-cell configs and "matrix"
+	// otherwise.
+	ArtifactKey string `json:"artifact_key,omitempty"`
+	// Flat stores artifacts at the logs-repository root under the
+	// legacy single-campaign names instead of a per-campaign
+	// subdirectory. The one-shot compatibility mode uses it; service
+	// submissions normally leave it off so same-key campaigns from
+	// different tenants never collide.
+	Flat bool `json:"flat,omitempty"`
+}
+
+// SubmitRequest is the body of POST /v1/campaigns.
+type SubmitRequest struct {
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// Name is a human label; the service generates the campaign ID.
+	Name string `json:"name,omitempty"`
+	// Priority orders the queue (higher first, then submission order).
+	Priority int `json:"priority,omitempty"`
+	// Options select the artifacts recorded beside the merged logs.
+	Options SubmitOptions `json:"options,omitempty"`
+	// Config is the campaign to run, validated on submission.
+	Config core.CampaignConfig `json:"config"`
+}
+
+// CampaignStatus is the body of GET /v1/campaigns/{id} and the element
+// of list responses.
+type CampaignStatus struct {
+	SchemaVersion int    `json:"schema_version,omitempty"`
+	ID            string `json:"id"`
+	Tenant        string `json:"tenant,omitempty"`
+	Name          string `json:"name,omitempty"`
+	Priority      int    `json:"priority,omitempty"`
+	State         string `json:"state"`
+	Error         string `json:"error,omitempty"`
+	// Resumed marks a campaign restored from the spool after a daemon
+	// restart mid-run and resumed from its journal.
+	Resumed bool `json:"resumed,omitempty"`
+	// Keys are the campaign-cell keys; Masks the total mask budget.
+	Keys  []string `json:"keys,omitempty"`
+	Masks int      `json:"masks,omitempty"`
+	// Shard accounting, live while running and frozen at finalize.
+	Shards          int `json:"shards,omitempty"`
+	ShardsCompleted int `json:"shards_completed,omitempty"`
+	Requeues        int `json:"requeues,omitempty"`
+	Duplicates      int `json:"duplicates,omitempty"`
+	ShardsCancelled int `json:"shards_cancelled,omitempty"`
+	// Unix-nanosecond lifecycle timestamps (zero when not reached).
+	SubmittedUnixNS int64 `json:"submitted_unix_ns,omitempty"`
+	StartedUnixNS   int64 `json:"started_unix_ns,omitempty"`
+	FinishedUnixNS  int64 `json:"finished_unix_ns,omitempty"`
+
+	Options SubmitOptions `json:"options,omitempty"`
+}
+
+// CampaignList is the body of GET /v1/campaigns.
+type CampaignList struct {
+	SchemaVersion int              `json:"schema_version,omitempty"`
+	Campaigns     []CampaignStatus `json:"campaigns"`
+}
+
+// ResultsResponse is the body of GET /v1/campaigns/{id}/results: the
+// indexed per-cell outcome breakdowns of a finished campaign, served
+// from the result index without re-reading the JSONL logs.
+type ResultsResponse struct {
+	SchemaVersion int                  `json:"schema_version,omitempty"`
+	ID            string               `json:"id"`
+	State         string               `json:"state"`
+	Cells         []fault.OutcomeIndex `json:"cells"`
+}

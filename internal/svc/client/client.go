@@ -1,0 +1,308 @@
+// Package client is the Go client of the campaign service's /v1 HTTP
+// API — the one request path shared by the fleet worker, the faultctl
+// CLI and the one-shot compatibility mode of faultcampd. It owns the
+// concerns every ad-hoc http.Post call used to reimplement: typed
+// envelope errors, context cancellation, and retry-with-backoff on
+// connection errors and 5xx responses (a daemon restarting mid-campaign
+// looks like a brief connection refusal; the retry budget is sized to
+// ride it out).
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/svc/api"
+	"repro/internal/telemetry"
+)
+
+// Client talks to one campaign-service (or single-campaign
+// coordinator) base URL.
+type Client struct {
+	base       string
+	hc         *http.Client
+	token      string
+	attempts   int
+	backoff    time.Duration
+	maxBackoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithToken sends the tenant API token as a Bearer credential.
+func WithToken(token string) Option { return func(c *Client) { c.token = token } }
+
+// WithHTTPClient substitutes the HTTP client (tests, custom timeouts).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry overrides the retry budget: attempts total tries with
+// exponential backoff starting at base (capped at 2s between tries).
+func WithRetry(attempts int, base time.Duration) Option {
+	return func(c *Client) {
+		if attempts > 0 {
+			c.attempts = attempts
+		}
+		if base > 0 {
+			c.backoff = base
+		}
+	}
+}
+
+// New builds a client for the service at base (e.g. "http://host:port").
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:       strings.TrimSuffix(base, "/"),
+		hc:         &http.Client{Timeout: 60 * time.Second},
+		attempts:   8,
+		backoff:    100 * time.Millisecond,
+		maxBackoff: 2 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Base returns the service base URL.
+func (c *Client) Base() string { return c.base }
+
+// do runs one JSON round trip with the retry policy: connection errors
+// and 5xx envelopes retry with exponential backoff; 4xx envelopes and
+// context cancellation return immediately. out may be nil.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding %s %s: %w", method, path, err)
+		}
+		body = b
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff << (attempt - 1)
+			if delay > c.maxBackoff {
+				delay = c.maxBackoff
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		var rd *bytes.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.token != "" {
+			req.Header.Set("Authorization", "Bearer "+c.token)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err // connection refused, reset, timeout: retryable
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			apiErr := api.DecodeError(resp.StatusCode, resp.Body)
+			resp.Body.Close()
+			if apiErr.IsRetryable() {
+				lastErr = apiErr
+				continue
+			}
+			return apiErr
+		}
+		if out == nil {
+			resp.Body.Close()
+			return nil
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("client: decoding %s %s: %w", method, path, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("client: %s %s%s: %w", method, c.base, path, lastErr)
+}
+
+// Retryable reports whether an error from this client is transient —
+// a connection failure or a 5xx envelope that outlived the retry
+// budget — rather than a definitive 4xx answer.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var apiErr *api.Error
+	if AsError(err, &apiErr) {
+		return apiErr.IsRetryable()
+	}
+	// Network-level failure (no envelope ever arrived).
+	return true
+}
+
+// AsError unwraps an *api.Error from err, mirroring errors.As without
+// making every caller import errors for one call.
+func AsError(err error, target **api.Error) bool {
+	for err != nil {
+		if e, ok := err.(*api.Error); ok {
+			*target = e
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// ----- worker protocol -----
+
+// Config fetches the single-campaign coordinator config.
+func (c *Client) Config(ctx context.Context) (api.ConfigResponse, error) {
+	var out api.ConfigResponse
+	err := c.do(ctx, http.MethodGet, "/v1/config", nil, &out)
+	return out, err
+}
+
+// CampaignConfig fetches one service campaign's config by ID.
+func (c *Client) CampaignConfig(ctx context.Context, id string) (api.ConfigResponse, error) {
+	var out api.ConfigResponse
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/config", nil, &out)
+	return out, err
+}
+
+// Lease polls for a shard assignment.
+func (c *Client) Lease(ctx context.Context, workerID string) (api.LeaseResponse, error) {
+	var out api.LeaseResponse
+	err := c.do(ctx, http.MethodPost, "/v1/lease", api.LeaseRequest{WorkerID: workerID}, &out)
+	return out, err
+}
+
+// Heartbeat extends a shard lease.
+func (c *Client) Heartbeat(ctx context.Context, req api.HeartbeatRequest) (api.HeartbeatResponse, error) {
+	var out api.HeartbeatResponse
+	err := c.do(ctx, http.MethodPost, "/v1/heartbeat", req, &out)
+	return out, err
+}
+
+// Complete delivers a shard result.
+func (c *Client) Complete(ctx context.Context, req api.CompleteRequest) (api.CompleteResponse, error) {
+	var out api.CompleteResponse
+	err := c.do(ctx, http.MethodPost, "/v1/complete", req, &out)
+	return out, err
+}
+
+// PushSnapshot pushes a worker telemetry snapshot to the fleet plane.
+func (c *Client) PushSnapshot(ctx context.Context, req api.SnapshotRequest) (api.SnapshotResponse, error) {
+	var out api.SnapshotResponse
+	err := c.do(ctx, http.MethodPost, "/v1/snapshot", req, &out)
+	return out, err
+}
+
+// ----- campaign service -----
+
+// Submit enqueues a campaign and returns its initial status.
+func (c *Client) Submit(ctx context.Context, req api.SubmitRequest) (api.CampaignStatus, error) {
+	if req.SchemaVersion == 0 {
+		req.SchemaVersion = api.SubmitSchemaVersion
+	}
+	var out api.CampaignStatus
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns", req, &out)
+	return out, err
+}
+
+// Get fetches one campaign's status.
+func (c *Client) Get(ctx context.Context, id string) (api.CampaignStatus, error) {
+	var out api.CampaignStatus
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil, &out)
+	return out, err
+}
+
+// List fetches every campaign visible to the caller's tenant.
+func (c *Client) List(ctx context.Context) (api.CampaignList, error) {
+	var out api.CampaignList
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation and returns the resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (api.CampaignStatus, error) {
+	var out api.CampaignStatus
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns/"+id+"/cancel", nil, &out)
+	return out, err
+}
+
+// Results fetches the indexed per-cell outcome breakdowns.
+func (c *Client) Results(ctx context.Context, id string) (api.ResultsResponse, error) {
+	var out api.ResultsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/results", nil, &out)
+	return out, err
+}
+
+// Snapshot fetches one campaign's merged telemetry snapshot — the
+// single-node-equivalent collector view.
+func (c *Client) Snapshot(ctx context.Context, id string) (telemetry.Snapshot, error) {
+	var out telemetry.Snapshot
+	err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/snapshot.json", nil, &out)
+	return out, err
+}
+
+// FleetSnapshot fetches the service-wide fleet aggregation (the
+// /v1/snapshot.json view).
+func (c *Client) FleetSnapshot(ctx context.Context) (telemetry.Snapshot, error) {
+	var out telemetry.Snapshot
+	err := c.do(ctx, http.MethodGet, "/v1/snapshot.json", nil, &out)
+	return out, err
+}
+
+// Fleet fetches the service-wide per-worker accounting.
+func (c *Client) Fleet(ctx context.Context) ([]api.WorkerStatus, error) {
+	var out []api.WorkerStatus
+	err := c.do(ctx, http.MethodGet, "/v1/fleet.json", nil, &out)
+	return out, err
+}
+
+// Wait polls a campaign until it reaches a terminal state. Transient
+// errors (the daemon restarting) keep polling; definitive 4xx answers
+// abort.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.CampaignStatus, error) {
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		st, err := c.Get(ctx, id)
+		if err != nil {
+			if !Retryable(err) {
+				return st, err
+			}
+		} else if api.TerminalState(st.State) {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return api.CampaignStatus{}, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

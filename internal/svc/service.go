@@ -1,0 +1,1027 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/divergence"
+	"repro/internal/fault"
+	"repro/internal/svc/api"
+	"repro/internal/telemetry"
+)
+
+// Tenant is one API tenant of the campaign service: a bearer token and
+// a concurrency quota. With no tenants configured the service runs in
+// open mode — every request acts as the anonymous tenant with no quota.
+type Tenant struct {
+	Name  string
+	Token string
+	// MaxActive caps the tenant's concurrently running campaigns;
+	// submissions beyond it queue until a slot frees. 0 means no cap.
+	MaxActive int
+}
+
+// Options configure a Service.
+type Options struct {
+	// Logs is the root logs repository. Campaign artifacts go into a
+	// per-campaign subdirectory unless the submission asks for Flat.
+	Logs *core.LogsRepo
+	// Spool is the durable campaign queue.
+	Spool *Spool
+	// Index is the queryable result repository fed at finalize time.
+	Index *fault.ResultIndex
+	// Resolve maps (tool, benchmark) to a simulator factory — the
+	// service validates submissions against it and builds the mask
+	// populations an adaptive or resumed coordinator needs.
+	Resolve core.Resolver
+
+	// Tenants enables bearer-token authentication; empty runs open.
+	Tenants []Tenant
+	// MaxActive caps concurrently running campaigns service-wide
+	// (default 4). MaxQueuedPerTenant, when set, bounds a tenant's
+	// non-terminal campaigns — submissions beyond it are rejected with
+	// quota_exceeded rather than queued.
+	MaxActive          int
+	MaxQueuedPerTenant int
+
+	// Coordinator knobs, shared by every campaign.
+	ShardSize    int
+	LeaseTTL     time.Duration
+	MaxRetries   int
+	RetryBackoff time.Duration
+
+	// ExitWhenIdle makes the lease endpoint answer "done" once every
+	// submitted campaign is terminal, so a fleet drains and exits —
+	// the one-shot compatibility mode. An always-on service leaves it
+	// off and workers idle-poll between campaigns.
+	ExitWhenIdle bool
+
+	Logf func(format string, args ...any)
+
+	now func() time.Time // test hook
+}
+
+// campaign is the in-memory lifecycle state of one spooled campaign.
+// The entry is the durable truth; everything else is live plumbing,
+// nil until the campaign starts (and for terminal campaigns restored
+// from the spool).
+type campaign struct {
+	entry *SpoolEntry
+
+	coord   *dist.Coordinator
+	tel     *telemetry.Collector
+	events  *telemetry.EventStream
+	trace   *telemetry.TraceSink
+	spanBuf *telemetry.SpanBuffer
+	dsink   *divergence.Sink
+	logs    *core.LogsRepo
+
+	// cancelReason, once set, cancels the campaign as soon as a
+	// coordinator exists — it covers the gap where a cancel lands
+	// while the campaign is still planning.
+	cancelReason string
+}
+
+// workerView is the service-level fleet plane: one row per worker that
+// has leased, completed or pushed a snapshot, across all campaigns.
+type workerView struct {
+	lastSeen time.Time
+	snap     *telemetry.Snapshot
+	final    bool
+}
+
+// Service is the always-on multi-campaign engine: it owns the spool,
+// schedules queued campaigns under the quotas, runs each through its
+// own dist.Coordinator, and multiplexes one shared worker fleet across
+// all of them (leases carry the campaign ID).
+type Service struct {
+	opt     Options
+	byName  map[string]*Tenant
+	byToken map[string]*Tenant
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	seq     int64
+	camps   map[string]*campaign
+	workers map[string]*workerView
+	closed  bool
+}
+
+// New builds a Service, restoring the spool: terminal campaigns become
+// queryable history, queued ones re-enter the queue, and campaigns
+// that were live when the previous daemon died are re-enqueued with
+// Resumed set — when they journaled their runs, their coordinators
+// replay the journals instead of re-running finished masks.
+func New(opt Options) (*Service, error) {
+	if opt.Logs == nil || opt.Spool == nil || opt.Index == nil || opt.Resolve == nil {
+		return nil, errors.New("svc: Logs, Spool, Index and Resolve are required")
+	}
+	if opt.MaxActive <= 0 {
+		opt.MaxActive = 4
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	if opt.now == nil {
+		opt.now = time.Now
+	}
+	s := &Service{
+		opt:     opt,
+		byName:  make(map[string]*Tenant),
+		byToken: make(map[string]*Tenant),
+		stopCh:  make(chan struct{}),
+		camps:   make(map[string]*campaign),
+		workers: make(map[string]*workerView),
+	}
+	for i := range opt.Tenants {
+		t := &opt.Tenants[i]
+		if t.Name == "" || t.Token == "" {
+			return nil, fmt.Errorf("svc: tenant %d: name and token are required", i)
+		}
+		if _, dup := s.byName[t.Name]; dup {
+			return nil, fmt.Errorf("svc: duplicate tenant %q", t.Name)
+		}
+		if _, dup := s.byToken[t.Token]; dup {
+			return nil, fmt.Errorf("svc: tenants %q and %q share a token", s.byToken[t.Token].Name, t.Name)
+		}
+		s.byName[t.Name] = t
+		s.byToken[t.Token] = t
+	}
+	entries, err := opt.Spool.Scan()
+	if err != nil {
+		return nil, err
+	}
+	requeued := 0
+	for _, e := range entries {
+		if e.Seq >= s.seq {
+			s.seq = e.Seq + 1
+		}
+		if !api.TerminalState(e.State) {
+			if e.State != api.StateQueued {
+				e.Resumed = true
+				requeued++
+			}
+			e.State = api.StateQueued
+			if err := opt.Spool.Put(e); err != nil {
+				return nil, err
+			}
+		}
+		s.camps[e.ID] = &campaign{entry: e}
+	}
+	if len(entries) > 0 {
+		s.opt.Logf("svc: restored %d campaigns from spool (%d re-enqueued mid-run)", len(entries), requeued)
+	}
+	s.mu.Lock()
+	s.scheduleLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Close stops the scheduler and waits for the campaign goroutines to
+// park. Running campaigns are NOT cancelled: their spool entries stay
+// live, so the next daemon on the same spool resumes them — Close is
+// the graceful half of what a SIGKILL leaves behind anyway.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stopCh)
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.camps {
+		if c.events != nil {
+			c.events.Close()
+		}
+	}
+}
+
+func (s *Service) stopping() bool {
+	select {
+	case <-s.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func apiErr(status int, code, format string, args ...any) *api.Error {
+	return &api.Error{StatusCode: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// ---------------------------------------------------------------------
+// Campaign API.
+
+// Submit validates and enqueues a campaign for the tenant, returning
+// its initial status. All errors are *api.Error.
+func (s *Service) Submit(tenant string, req api.SubmitRequest) (api.CampaignStatus, error) {
+	if req.SchemaVersion > api.SubmitSchemaVersion {
+		return api.CampaignStatus{}, apiErr(http.StatusBadRequest, api.CodeBadRequest,
+			"submit schema version %d newer than this service (%d)", req.SchemaVersion, api.SubmitSchemaVersion)
+	}
+	cfg := req.Config
+	if err := cfg.Validate(); err != nil {
+		return api.CampaignStatus{}, apiErr(http.StatusBadRequest, api.CodeBadRequest, "invalid config: %v", err)
+	}
+	// Fail fast on what is checkable without a simulator, exactly like
+	// the single-campaign coordinator: unknown tools and benchmarks die
+	// at submission, not on the first worker.
+	for i, cell := range cfg.Campaigns {
+		if _, err := s.opt.Resolve(cell.Tool, cell.Benchmark); err != nil {
+			return api.CampaignStatus{}, apiErr(http.StatusBadRequest, api.CodeBadRequest, "campaigns[%d]: %v", i, err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return api.CampaignStatus{}, apiErr(http.StatusServiceUnavailable, api.CodeUnavailable, "service shutting down")
+	}
+	if s.opt.MaxQueuedPerTenant > 0 {
+		open := 0
+		for _, c := range s.camps {
+			if c.entry.Tenant == tenant && !api.TerminalState(c.entry.State) {
+				open++
+			}
+		}
+		if open >= s.opt.MaxQueuedPerTenant {
+			return api.CampaignStatus{}, apiErr(http.StatusTooManyRequests, api.CodeQuotaExceeded,
+				"tenant %q already has %d open campaigns", tenant, open)
+		}
+	}
+	id := fmt.Sprintf("c%05d", s.seq)
+	e := &SpoolEntry{
+		SchemaVersion:   SpoolSchemaVersion,
+		ID:              id,
+		Seq:             s.seq,
+		Tenant:          tenant,
+		Name:            req.Name,
+		Priority:        req.Priority,
+		State:           api.StateQueued,
+		SubmittedUnixNS: s.opt.now().UnixNano(),
+		Options:         req.Options,
+		Config:          cfg,
+	}
+	s.seq++
+	if err := s.opt.Spool.Put(e); err != nil {
+		return api.CampaignStatus{}, apiErr(http.StatusInternalServerError, api.CodeInternal, "spooling campaign: %v", err)
+	}
+	c := &campaign{entry: e}
+	s.camps[id] = c
+	s.opt.Logf("svc: campaign %s submitted by %q (%d cells, priority %d)", id, tenant, len(cfg.Campaigns), e.Priority)
+	s.scheduleLocked()
+	return s.statusLocked(c), nil
+}
+
+// lookup returns the tenant's campaign; unknown IDs and other tenants'
+// campaigns are both not_found, so IDs cannot be probed across tenants.
+func (s *Service) lookupLocked(tenant, id string) (*campaign, error) {
+	c := s.camps[id]
+	if c == nil || (len(s.byName) > 0 && c.entry.Tenant != tenant) {
+		return nil, apiErr(http.StatusNotFound, api.CodeNotFound, "no campaign %q", id)
+	}
+	return c, nil
+}
+
+// Get returns one campaign's status.
+func (s *Service) Get(tenant, id string) (api.CampaignStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.lookupLocked(tenant, id)
+	if err != nil {
+		return api.CampaignStatus{}, err
+	}
+	return s.statusLocked(c), nil
+}
+
+// List returns the tenant's campaigns in submission order.
+func (s *Service) List(tenant string) api.CampaignList {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cs []*campaign
+	for _, c := range s.camps {
+		if len(s.byName) > 0 && c.entry.Tenant != tenant {
+			continue
+		}
+		cs = append(cs, c)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].entry.Seq < cs[j].entry.Seq })
+	out := api.CampaignList{SchemaVersion: api.SubmitSchemaVersion, Campaigns: make([]api.CampaignStatus, 0, len(cs))}
+	for _, c := range cs {
+		out.Campaigns = append(out.Campaigns, s.statusLocked(c))
+	}
+	return out
+}
+
+// Cancel cancels a queued or running campaign (idempotent on terminal
+// ones). A running campaign's coordinator retires its outstanding
+// leases, so workers move on at their next contact.
+func (s *Service) Cancel(tenant, id string) (api.CampaignStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, err := s.lookupLocked(tenant, id)
+	if err != nil {
+		return api.CampaignStatus{}, err
+	}
+	switch {
+	case api.TerminalState(c.entry.State):
+		// Nothing to do.
+	case c.entry.State == api.StateQueued:
+		c.entry.State = api.StateCancelled
+		c.entry.Error = "cancelled before start"
+		c.entry.FinishedUnixNS = s.opt.now().UnixNano()
+		s.put(c.entry)
+		s.opt.Logf("svc: campaign %s cancelled while queued", id)
+		s.scheduleLocked()
+	default:
+		c.cancelReason = "cancelled by " + orAnon(tenant)
+		if c.coord != nil {
+			c.coord.Cancel(c.cancelReason)
+		}
+		// The campaign goroutine observes the coordinator failure and
+		// finishes the lifecycle transition.
+	}
+	return s.statusLocked(c), nil
+}
+
+func orAnon(tenant string) string {
+	if tenant == "" {
+		return "request"
+	}
+	return tenant
+}
+
+// Results serves a finished campaign's indexed outcome breakdowns.
+func (s *Service) Results(tenant, id string) (api.ResultsResponse, error) {
+	s.mu.Lock()
+	c, err := s.lookupLocked(tenant, id)
+	if err != nil {
+		s.mu.Unlock()
+		return api.ResultsResponse{}, err
+	}
+	state := c.entry.State
+	s.mu.Unlock()
+	if !api.TerminalState(state) {
+		return api.ResultsResponse{}, apiErr(http.StatusConflict, api.CodeConflict,
+			"campaign %s is %s; results are indexed at completion", id, state)
+	}
+	if !s.opt.Index.Has(id) {
+		return api.ResultsResponse{}, apiErr(http.StatusNotFound, api.CodeNotFound,
+			"no results indexed for campaign %s (state %s)", id, state)
+	}
+	cells, err := s.opt.Index.Load(id)
+	if err != nil {
+		return api.ResultsResponse{}, apiErr(http.StatusInternalServerError, api.CodeInternal, "loading results: %v", err)
+	}
+	return api.ResultsResponse{SchemaVersion: api.SubmitSchemaVersion, ID: id, State: state, Cells: cells}, nil
+}
+
+func (s *Service) statusLocked(c *campaign) api.CampaignStatus {
+	e := c.entry
+	cfg := e.Config
+	masks := 0
+	for i := range cfg.Campaigns {
+		masks += cfg.MaskCount(i)
+	}
+	st := api.CampaignStatus{
+		SchemaVersion:   api.SubmitSchemaVersion,
+		ID:              e.ID,
+		Tenant:          e.Tenant,
+		Name:            e.Name,
+		Priority:        e.Priority,
+		State:           e.State,
+		Error:           e.Error,
+		Resumed:         e.Resumed,
+		Keys:            cfg.Keys(),
+		Masks:           masks,
+		SubmittedUnixNS: e.SubmittedUnixNS,
+		StartedUnixNS:   e.StartedUnixNS,
+		FinishedUnixNS:  e.FinishedUnixNS,
+		Options:         e.Options,
+	}
+	if c.coord != nil {
+		cs := c.coord.Stats()
+		st.Shards = cs.Shards
+		st.ShardsCompleted = cs.Completed
+		st.Requeues = cs.Requeues
+		st.Duplicates = cs.Duplicates
+		st.ShardsCancelled = cs.Cancelled
+	}
+	return st
+}
+
+// put persists a spool entry, logging (rather than failing the caller)
+// when the disk write fails — in-memory state stays authoritative for
+// this process either way.
+func (s *Service) put(e *SpoolEntry) {
+	if err := s.opt.Spool.Put(e); err != nil {
+		s.opt.Logf("svc: %v", err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Scheduler and campaign lifecycle.
+
+// scheduleLocked starts queued campaigns while the global and
+// per-tenant concurrency allow, highest priority first and submission
+// order within a priority.
+func (s *Service) scheduleLocked() {
+	if s.closed {
+		return
+	}
+	running := 0
+	perTenant := make(map[string]int)
+	var queued []*campaign
+	for _, c := range s.camps {
+		switch c.entry.State {
+		case api.StatePlanning, api.StateRunning, api.StateFinalizing:
+			running++
+			perTenant[c.entry.Tenant]++
+		case api.StateQueued:
+			queued = append(queued, c)
+		}
+	}
+	sort.Slice(queued, func(i, j int) bool {
+		if queued[i].entry.Priority != queued[j].entry.Priority {
+			return queued[i].entry.Priority > queued[j].entry.Priority
+		}
+		return queued[i].entry.Seq < queued[j].entry.Seq
+	})
+	for _, c := range queued {
+		if running >= s.opt.MaxActive {
+			return
+		}
+		if t := s.byName[c.entry.Tenant]; t != nil && t.MaxActive > 0 && perTenant[t.Name] >= t.MaxActive {
+			continue
+		}
+		c.entry.State = api.StatePlanning
+		if c.entry.StartedUnixNS == 0 {
+			c.entry.StartedUnixNS = s.opt.now().UnixNano()
+		}
+		s.put(c.entry)
+		running++
+		perTenant[c.entry.Tenant]++
+		s.wg.Add(1)
+		go s.run(c)
+	}
+}
+
+// run drives one campaign's lifecycle: build the telemetry stack and
+// coordinator (replaying the run journal when resuming), wait for the
+// fleet to finish the shards, then merge artifacts and index results.
+func (s *Service) run(c *campaign) {
+	defer s.wg.Done()
+	e := c.entry
+	id, cfg, opts := e.ID, e.Config, e.Options
+
+	tel := telemetry.New()
+	events := telemetry.NewEventStream(tel)
+	tel.AddSink(events)
+	var traceSink *telemetry.TraceSink
+	if opts.Trace {
+		traceSink = telemetry.NewTraceSink()
+		tel.AddSink(traceSink)
+	}
+	var tracer *telemetry.Tracer
+	var spanBuf *telemetry.SpanBuffer
+	if opts.Spans {
+		tracer = telemetry.NewTracer("t-"+id, "c")
+		spanBuf = telemetry.NewSpanBuffer()
+		tracer.AddSink(spanBuf)
+		tracer.AddSink(events)
+	}
+	var dsink *divergence.Sink
+	if cfg.Divergence {
+		dsink = divergence.NewSink()
+	}
+	logs := s.opt.Logs
+	if !opts.Flat {
+		var err error
+		if logs, err = core.NewLogsRepo(filepath.Join(s.opt.Logs.Dir(), id)); err != nil {
+			s.finish(c, err)
+			return
+		}
+	}
+
+	// The deterministic mask populations, built once on demand — an
+	// adaptive coordinator needs them to settle stopped tails, a
+	// resuming one to check journals for staleness.
+	var (
+		specsOnce sync.Once
+		specs     []core.CampaignSpec
+		specsErr  error
+	)
+	masksFor := func(i int) ([]fault.Mask, error) {
+		specsOnce.Do(func() {
+			specs, specsErr = cfg.BuildSpecs(s.opt.Resolve, core.NewGoldenCache())
+		})
+		if specsErr != nil {
+			return nil, specsErr
+		}
+		return specs[i].Masks, nil
+	}
+
+	copt := dist.CoordinatorOptions{
+		ShardSize:    s.opt.ShardSize,
+		LeaseTTL:     s.opt.LeaseTTL,
+		MaxRetries:   s.opt.MaxRetries,
+		RetryBackoff: s.opt.RetryBackoff,
+		Telemetry:    tel,
+		Tracer:       tracer,
+		Divergence:   dsink,
+		MasksFor:     masksFor,
+		Logf: func(format string, args ...any) {
+			s.opt.Logf("campaign "+id+": "+format, args...)
+		},
+	}
+	if opts.Journal {
+		copt.JournalFor = func(key string) (*fault.Journal, error) {
+			return fault.OpenJournal(logs.JournalPath(key))
+		}
+		copt.Resume = e.Resumed
+	}
+	coord, err := dist.New(cfg, copt)
+	if err != nil {
+		s.finish(c, err)
+		return
+	}
+
+	s.mu.Lock()
+	c.coord, c.tel, c.events, c.trace, c.spanBuf, c.dsink, c.logs = coord, tel, events, traceSink, spanBuf, dsink, logs
+	e.State = api.StateRunning
+	s.put(e)
+	if c.cancelReason != "" {
+		coord.Cancel(c.cancelReason)
+	}
+	s.mu.Unlock()
+	st := coord.Stats()
+	s.opt.Logf("svc: campaign %s running (%d shards, %d already merged from journal)", id, st.Shards, coord.ResumedRuns())
+
+	results, err := coord.Wait(waitContext{s.stopCh})
+	if s.stopping() {
+		// Graceful shutdown mid-run: close the journals and leave the
+		// spool entry live, so the next daemon resumes the campaign.
+		coord.Close()
+		return
+	}
+	if err != nil {
+		coord.Close()
+		s.finish(c, err)
+		return
+	}
+
+	s.mu.Lock()
+	e.State = api.StateFinalizing
+	s.put(e)
+	s.mu.Unlock()
+
+	ferr := s.finalize(id, cfg, opts, logs, results, traceSink, spanBuf, dsink)
+	coord.Close()
+	s.finish(c, ferr)
+}
+
+// finalize merges a completed campaign's artifacts into the logs
+// repository and feeds the result index — the service-side equivalent
+// of the one-shot coordinator's post-Wait sequence.
+func (s *Service) finalize(id string, cfg core.CampaignConfig, opts api.SubmitOptions, logs *core.LogsRepo,
+	results []*core.CampaignResult, traceSink *telemetry.TraceSink, spanBuf *telemetry.SpanBuffer, dsink *divergence.Sink) error {
+	keys := cfg.Keys()
+	for i, res := range results {
+		if err := logs.Store(keys[i], res); err != nil {
+			return err
+		}
+	}
+	akey := opts.ArtifactKey
+	if akey == "" {
+		akey = "matrix"
+		if len(keys) == 1 {
+			akey = keys[0]
+		}
+	}
+	if traceSink != nil {
+		if err := flushTo(logs.CreateTrace, akey, traceSink.Flush); err != nil {
+			return err
+		}
+	}
+	if dsink != nil {
+		if err := flushTo(logs.CreateDivergence, akey, dsink.Flush); err != nil {
+			return err
+		}
+	}
+	if spanBuf != nil {
+		if err := flushTo(logs.CreateSpans, akey, spanBuf.Flush); err != nil {
+			return err
+		}
+	}
+	return s.opt.Index.Store(id, outcomeCells(cfg, keys, results, dsink))
+}
+
+// flushTo writes one buffered artifact stream into a freshly created
+// repository file.
+func flushTo(create func(string) (*os.File, error), key string, flush func(io.Writer) error) error {
+	f, err := create(key)
+	if err != nil {
+		return err
+	}
+	if err := flush(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// finish moves a campaign to its terminal state and persists it. On a
+// graceful shutdown the transition is skipped: the spool keeps the
+// live state for the next daemon to resume.
+func (s *Service) finish(c *campaign, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping() {
+		return
+	}
+	e := c.entry
+	switch {
+	case err == nil:
+		e.State = api.StateDone
+		e.Error = ""
+	case errors.Is(err, dist.ErrCancelled):
+		e.State = api.StateCancelled
+		e.Error = err.Error()
+	default:
+		e.State = api.StateFailed
+		e.Error = err.Error()
+	}
+	e.FinishedUnixNS = s.opt.now().UnixNano()
+	s.put(e)
+	s.opt.Logf("svc: campaign %s %s", e.ID, e.State)
+	s.scheduleLocked()
+}
+
+// waitContext adapts the service stop channel to the context the
+// coordinator's Wait loop expects, without tying campaign goroutines
+// to any request-scoped context.
+type waitContext struct {
+	done chan struct{}
+}
+
+func (w waitContext) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (w waitContext) Done() <-chan struct{}       { return w.done }
+func (w waitContext) Value(any) any               { return nil }
+func (w waitContext) Err() error {
+	select {
+	case <-w.done:
+		return errors.New("svc: service shutting down")
+	default:
+		return nil
+	}
+}
+
+// outcomeCells computes the indexed per-cell outcome breakdowns served
+// by GET /v1/campaigns/{id}/results.
+func outcomeCells(cfg core.CampaignConfig, keys []string, results []*core.CampaignResult, dsink *divergence.Sink) []fault.OutcomeIndex {
+	var divByKey map[string][]divergence.Record
+	if dsink != nil {
+		divByKey = make(map[string][]divergence.Record)
+		for _, rec := range dsink.Records() {
+			divByKey[rec.Campaign] = append(divByKey[rec.Campaign], rec)
+		}
+	}
+	cells := make([]fault.OutcomeIndex, len(results))
+	for i, res := range results {
+		cell := cfg.Campaigns[i]
+		b := core.Parser{}.ParseAll(res.Records)
+		statuses := make(map[string]int)
+		for _, r := range res.Records {
+			statuses[r.Status]++
+		}
+		classes := make(map[string]int)
+		shares := make(map[string]float64)
+		wshares := make(map[string]float64)
+		for cls, n := range b.Counts {
+			classes[string(cls)] = n
+			if cls == core.ClassStopped {
+				continue
+			}
+			shares[string(cls)] = b.Pct(cls) / 100
+			wshares[string(cls)] = b.WeightedPct(cls) / 100
+		}
+		oi := fault.OutcomeIndex{
+			SchemaVersion:  fault.OutcomeIndexSchemaVersion,
+			Key:            keys[i],
+			Tool:           cell.Tool,
+			Benchmark:      cell.Benchmark,
+			Structure:      cell.Structure,
+			Runs:           b.Total,
+			WeightSum:      b.WeightSum,
+			Statuses:       statuses,
+			Classes:        classes,
+			Shares:         shares,
+			WeightedShares: wshares,
+			Vulnerability:  b.WeightedVulnerability() / 100,
+		}
+		if res.Adaptive != nil {
+			oi.Adaptive = &fault.AdaptiveIndexSummary{
+				StoppedEarly:    res.Adaptive.StoppedEarly,
+				SimulatedRuns:   res.Adaptive.SimulatedRuns,
+				PlannedRuns:     res.Adaptive.PlannedRuns,
+				EffectiveMargin: res.Adaptive.EffectiveMargin,
+				Confidence:      res.Adaptive.Confidence,
+			}
+		}
+		if recs := divByKey[keys[i]]; len(recs) > 0 {
+			sum := &fault.DivergenceIndexSummary{Records: len(recs)}
+			var propSum, timeSum float64
+			var propN, timeN int
+			for _, r := range recs {
+				if r.Diverged {
+					sum.Diverged++
+				}
+				if r.Observed && r.Diverged {
+					propSum += float64(r.PropagationCycles)
+					propN++
+				}
+				if r.Observed {
+					timeSum += float64(r.TimeToOutcome)
+					timeN++
+				}
+			}
+			if propN > 0 {
+				sum.MeanPropagationCycles = propSum / float64(propN)
+			}
+			if timeN > 0 {
+				sum.MeanTimeToOutcome = timeSum / float64(timeN)
+			}
+			oi.Divergence = sum
+		}
+		cells[i] = oi
+	}
+	return cells
+}
+
+// ---------------------------------------------------------------------
+// Worker plane: one fleet, many campaigns.
+
+func (s *Service) workerLocked(id string) *workerView {
+	w := s.workers[id]
+	if w == nil {
+		w = &workerView{}
+		s.workers[id] = w
+	}
+	w.lastSeen = s.opt.now()
+	return w
+}
+
+// runnableLocked returns the non-terminal campaigns in scheduling
+// order (priority, then submission).
+func (s *Service) runnableLocked() []*campaign {
+	var cs []*campaign
+	for _, c := range s.camps {
+		if !api.TerminalState(c.entry.State) {
+			cs = append(cs, c)
+		}
+	}
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].entry.Priority != cs[j].entry.Priority {
+			return cs[i].entry.Priority > cs[j].entry.Priority
+		}
+		return cs[i].entry.Seq < cs[j].entry.Seq
+	})
+	return cs
+}
+
+// Lease assigns the worker a shard from the highest-priority campaign
+// that has one, stamping the campaign ID into the response. With no
+// work anywhere: wait — or done, once every campaign is terminal and
+// the service was built to exit when idle.
+func (s *Service) Lease(workerID string) api.LeaseResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.workerLocked(workerID)
+	live := s.runnableLocked()
+	var wait int64 = 500
+	for _, c := range live {
+		if c.coord == nil {
+			continue // still planning; work is coming
+		}
+		resp := c.coord.Lease(workerID)
+		switch resp.Status {
+		case api.StatusShard:
+			resp.CampaignID = c.entry.ID
+			return resp
+		case api.StatusWait:
+			if resp.WaitMS > 0 && resp.WaitMS < wait {
+				wait = resp.WaitMS
+			}
+		}
+		// done/failed: the campaign goroutine is mid-transition;
+		// skip it and look at the next campaign.
+	}
+	if len(live) == 0 && s.opt.ExitWhenIdle && len(s.camps) > 0 {
+		return api.LeaseResponse{Status: api.StatusDone}
+	}
+	return api.LeaseResponse{Status: api.StatusWait, WaitMS: wait}
+}
+
+// Heartbeat routes a lease extension to its campaign's coordinator.
+func (s *Service) Heartbeat(req api.HeartbeatRequest) api.HeartbeatResponse {
+	s.mu.Lock()
+	s.workerLocked(req.WorkerID)
+	var coord *dist.Coordinator
+	if c := s.camps[req.CampaignID]; c != nil {
+		coord = c.coord
+	}
+	s.mu.Unlock()
+	if coord == nil {
+		return api.HeartbeatResponse{OK: false}
+	}
+	return coord.Heartbeat(req)
+}
+
+// Complete routes a shard completion to its campaign's coordinator and
+// folds the piggybacked worker snapshot into the service fleet plane.
+func (s *Service) Complete(req api.CompleteRequest) api.CompleteResponse {
+	s.mu.Lock()
+	w := s.workerLocked(req.WorkerID)
+	if req.Snapshot != nil && !w.final {
+		snap := *req.Snapshot
+		w.snap = &snap
+	}
+	var coord *dist.Coordinator
+	if c := s.camps[req.CampaignID]; c != nil {
+		coord = c.coord
+	}
+	s.mu.Unlock()
+	if coord == nil {
+		return api.CompleteResponse{OK: false, Error: fmt.Sprintf("unknown campaign %q", req.CampaignID)}
+	}
+	return coord.Complete(req)
+}
+
+// PushSnapshot records a worker's out-of-cycle telemetry snapshot in
+// the service fleet plane (final ones freeze the worker's last word).
+func (s *Service) PushSnapshot(req api.SnapshotRequest) api.SnapshotResponse {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w := s.workerLocked(req.WorkerID)
+	if !w.final {
+		snap := req.Snapshot
+		w.snap = &snap
+		if req.Final {
+			w.final = true
+		}
+	}
+	return api.SnapshotResponse{OK: true}
+}
+
+// CampaignConfig serves a campaign's coordinator config to a fleet
+// worker, stamped with the campaign ID.
+func (s *Service) CampaignConfig(id string) (api.ConfigResponse, error) {
+	s.mu.Lock()
+	var coord *dist.Coordinator
+	c := s.camps[id]
+	if c != nil {
+		coord = c.coord
+	}
+	s.mu.Unlock()
+	if c == nil || coord == nil {
+		return api.ConfigResponse{}, apiErr(http.StatusNotFound, api.CodeNotFound, "no running campaign %q", id)
+	}
+	resp := coord.Config()
+	resp.CampaignID = id
+	return resp, nil
+}
+
+// FleetSnapshot merges every worker's last pushed snapshot into the
+// service-wide view, overlaying the coordinator-side early-stop
+// counters of adaptive campaigns (workers never see a stopped run, so
+// the overlay cannot double-count).
+func (s *Service) FleetSnapshot() telemetry.Snapshot {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.workers))
+	for id, w := range s.workers {
+		if w.snap != nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	snaps := make([]telemetry.Snapshot, 0, len(ids))
+	for _, id := range ids {
+		snaps = append(snaps, *s.workers[id].snap)
+	}
+	var own []telemetry.Snapshot
+	for _, c := range s.camps {
+		if c.tel != nil && c.entry.Config.StopMargin > 0 {
+			own = append(own, c.tel.Snapshot())
+		}
+	}
+	s.mu.Unlock()
+	merged := telemetry.MergeSnapshots(snaps...)
+	for _, o := range own {
+		merged.StoppedRuns += o.StoppedRuns
+		merged.CellsStoppedEarly += o.CellsStoppedEarly
+		if o.EffectiveMargin > merged.EffectiveMargin {
+			merged.EffectiveMargin = o.EffectiveMargin
+		}
+	}
+	return merged
+}
+
+// Fleet returns the service-wide per-worker accounting: the union of
+// every campaign coordinator's lease bookkeeping plus workers known
+// only from snapshot pushes.
+func (s *Service) Fleet() []api.WorkerStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.opt.now()
+	rows := make(map[string]*api.WorkerStatus)
+	for id, w := range s.workers {
+		lag := now.Sub(w.lastSeen).Seconds()
+		if lag < 0 {
+			lag = 0
+		}
+		rows[id] = &api.WorkerStatus{ID: id, Shard: -1, LagSeconds: lag, Final: w.final}
+	}
+	for _, c := range s.camps {
+		if c.coord == nil {
+			continue
+		}
+		for _, ws := range c.coord.Fleet() {
+			r := rows[ws.ID]
+			if r == nil {
+				r = &api.WorkerStatus{ID: ws.ID, Shard: -1, LagSeconds: ws.LagSeconds}
+				rows[ws.ID] = r
+			}
+			r.ShardsDone += ws.ShardsDone
+			if ws.Shard >= 0 {
+				r.Shard = ws.Shard
+			}
+			if ws.LagSeconds < r.LagSeconds {
+				r.LagSeconds = ws.LagSeconds
+			}
+		}
+	}
+	ids := make([]string, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]api.WorkerStatus, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *rows[id])
+	}
+	return out
+}
+
+// WaitFleetFinal blocks until every worker that ever pushed a snapshot
+// has pushed its final one (or the timeout passes), mirroring the
+// single-campaign coordinator's fleet settling.
+func (s *Service) WaitFleetFinal(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		s.mu.Lock()
+		settled := len(s.workers) > 0
+		for _, w := range s.workers {
+			if w.snap != nil && !w.final {
+				settled = false
+			}
+		}
+		s.mu.Unlock()
+		if settled {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Idle reports whether every submitted campaign reached a terminal
+// state (false while the spool is empty — nothing was submitted yet).
+func (s *Service) Idle() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.camps) == 0 {
+		return false
+	}
+	for _, c := range s.camps {
+		if !api.TerminalState(c.entry.State) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+// Package svc is the always-on campaign service behind faultcampd: a
+// durable submission queue, a per-tenant quota and priority scheduler,
+// and a campaign lifecycle engine that multiplexes many distributed
+// coordinators over one shared worker fleet. Campaign state lives in a
+// spool directory (one JSON file per campaign, written atomically), so
+// queued and running campaigns survive a daemon crash: on restart the
+// service re-enqueues them and — when they journaled their runs —
+// resumes them through the coordinator's exactly-once replay instead of
+// re-running from scratch.
+package svc
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/svc/api"
+)
+
+// SpoolSchemaVersion stamps spool entries so a future daemon can tell
+// old campaign files from new ones.
+const SpoolSchemaVersion = 1
+
+// SpoolEntry is the durable record of one submitted campaign — the
+// whole submission (config and artifact options included) plus the
+// lifecycle bookkeeping, so a restarted daemon can rebuild its queue
+// from the spool directory alone.
+type SpoolEntry struct {
+	SchemaVersion int    `json:"schema_version"`
+	ID            string `json:"id"`
+	// Seq is the service-wide submission sequence number; it breaks
+	// priority ties (earlier submissions first) and seeds ID generation
+	// after a restart.
+	Seq      int64  `json:"seq"`
+	Tenant   string `json:"tenant,omitempty"`
+	Name     string `json:"name,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+	// Resumed marks a campaign that was live (planning or beyond) when
+	// the previous daemon died and was re-enqueued on restart.
+	Resumed         bool  `json:"resumed,omitempty"`
+	SubmittedUnixNS int64 `json:"submitted_unix_ns,omitempty"`
+	StartedUnixNS   int64 `json:"started_unix_ns,omitempty"`
+	FinishedUnixNS  int64 `json:"finished_unix_ns,omitempty"`
+
+	Options api.SubmitOptions   `json:"options"`
+	Config  core.CampaignConfig `json:"config"`
+}
+
+// Spool is the on-disk campaign queue: one <id>.json file per
+// campaign, each written whole via temp-file-and-rename so a crash
+// mid-write can never leave a torn entry (the previous state survives
+// instead).
+type Spool struct {
+	dir string
+}
+
+// OpenSpool opens (creating if needed) a spool directory.
+func OpenSpool(dir string) (*Spool, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("svc: creating spool: %w", err)
+	}
+	return &Spool{dir: dir}, nil
+}
+
+// Dir returns the spool root.
+func (s *Spool) Dir() string { return s.dir }
+
+func (s *Spool) file(id string) string {
+	return filepath.Join(s.dir, id+".json")
+}
+
+// Put writes (atomically, replacing) one campaign's durable state.
+func (s *Spool) Put(e *SpoolEntry) error {
+	err := fault.AtomicWrite(s.file(e.ID), func(w *bufio.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(e)
+	})
+	if err != nil {
+		return fmt.Errorf("svc: spooling campaign %s: %w", e.ID, err)
+	}
+	return nil
+}
+
+// Scan loads every spooled campaign, sorted by submission sequence.
+func (s *Spool) Scan() ([]*SpoolEntry, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("svc: scanning spool: %w", err)
+	}
+	var out []*SpoolEntry
+	for _, de := range ents {
+		name := de.Name()
+		if !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("svc: scanning spool: %w", err)
+		}
+		var e SpoolEntry
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("svc: spool entry %s: %w", name, err)
+		}
+		if e.SchemaVersion > SpoolSchemaVersion {
+			return nil, fmt.Errorf("svc: spool entry %s: schema version %d newer than this build (%d)",
+				name, e.SchemaVersion, SpoolSchemaVersion)
+		}
+		if e.ID != strings.TrimSuffix(name, ".json") {
+			return nil, fmt.Errorf("svc: spool entry %s names campaign %q", name, e.ID)
+		}
+		out = append(out, &e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}

@@ -11,7 +11,12 @@
 # aggregated snapshot cross-checked against the per-worker snapshots,
 # and finally an adaptive round: a sequentially-stopped campaign whose
 # stop point must survive kill/resume and distribution byte-for-byte —
-# all artifacts validated with scripts/smokecheck.
+# all artifacts validated with scripts/smokecheck — and a campaign-
+# service round: an always-on multi-tenant faultcampd -service daemon
+# takes submissions over /v1, is SIGKILLed and restarted mid-campaign
+# (the spooled queue resumes from the journal, byte-identical), and the
+# one-shot compatibility mode replays the pruned and detail-window
+# campaigns through the same public API.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -302,3 +307,177 @@ cmp "$tmp/adaptref/${key}.trace.jsonl" "$tmp/adaptdist/${key}.trace.jsonl"
     -logs "$tmp/adaptdist" -key "$key" -snapshot "$tmp/snap_adapt_dist.json" \
     -journal -adaptive
 echo "smoke: adaptive round OK — early stop deterministic across kill/resume and the distributed coordinator"
+
+# Campaign-service round: an always-on faultcampd -service daemon takes
+# submissions from two tenants over the /v1 API, shares one fleet
+# worker, is SIGKILLed mid-campaign and restarted on the same spool —
+# the spooled campaign must resume from its journal and merge
+# byte-identical to the single-node reference — while the second
+# tenant's campaign is cancelled mid-run and must release its work
+# without leaving a result index behind.
+structure=rf.int
+key="${tool}__${bench}__${structure}"
+go build -o "$tmp/faultctl" ./cmd/faultctl
+
+cat > "$tmp/tenants.json" <<'EOF'
+[{"name": "alice", "token": "tok-alice", "max_active": 2},
+ {"name": "bob", "token": "tok-bob", "max_active": 1}]
+EOF
+cat > "$tmp/svc_a.json" <<EOF
+{"campaigns": [{"tool": "$tool", "benchmark": "$bench", "structure": "$structure"}],
+ "injections": 60, "seed": 3}
+EOF
+cat > "$tmp/svc_b.json" <<EOF
+{"campaigns": [{"tool": "$tool", "benchmark": "$bench", "structure": "$structure"}],
+ "injections": 1000, "seed": 11}
+EOF
+
+"$tmp/faultcampd" -service -logs "$tmp/svclogs" \
+    -spool "$tmp/spool" -index "$tmp/svcindex" -tenants "$tmp/tenants.json" \
+    -listen 127.0.0.1:0 -addr-file "$tmp/svc.addr" \
+    -shard-size 10 -lease-ttl 2s -retry-backoff 100ms &
+spid=$!
+i=0
+while [ ! -s "$tmp/svc.addr" ] && [ $i -lt 600 ]; do
+    sleep 0.05
+    i=$((i + 1))
+done
+addr="$(cat "$tmp/svc.addr")"
+hostport="${addr#http://}"
+
+# A request without (or with a bogus) token must bounce off the
+# bearer-auth envelope before anything is spooled.
+if "$tmp/faultctl" -addr "$addr" submit -config "$tmp/svc_a.json" 2>/dev/null; then
+    echo "smoke: FAIL — tokenless submit was accepted" >&2
+    exit 1
+fi
+
+idA="$("$tmp/faultctl" -addr "$addr" -token tok-alice submit \
+    -config "$tmp/svc_a.json" -name parity -journal -trace)"
+
+"$tmp/faultworker" -coordinator "$addr" -id fleet-w1 -quiet &
+fwpid=$!
+
+# SIGKILL the daemon once campaign A's journal carries at least 10
+# merged runs; the fleet worker stays up and rides out the restart.
+journal="$tmp/svclogs/$idA/${key}.journal.jsonl"
+i=0
+while [ "$(cat "$journal" 2>/dev/null | wc -l)" -lt 10 ] && [ $i -lt 1200 ]; do
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -9 "$spid" 2>/dev/null || true
+wait "$spid" 2>/dev/null || true
+
+# Restart on the same spool and the same address (the worker's base URL
+# is fixed): the non-terminal spool entry re-queues flagged resumed and
+# the coordinator replays the journal.
+"$tmp/faultcampd" -service -logs "$tmp/svclogs" \
+    -spool "$tmp/spool" -index "$tmp/svcindex" -tenants "$tmp/tenants.json" \
+    -listen "$hostport" -addr-file "$tmp/svc.addr" \
+    -shard-size 10 -lease-ttl 2s -retry-backoff 100ms &
+spid=$!
+
+stateA="$("$tmp/faultctl" -addr "$addr" -token tok-alice wait "$idA")"
+if [ "$stateA" != "done" ]; then
+    echo "smoke: FAIL — campaign $idA finished $stateA, want done" >&2
+    exit 1
+fi
+
+cmp "$tmp/ref/${key}.log.jsonl" "$tmp/svclogs/$idA/${key}.log.jsonl"
+cmp "$tmp/ref/${key}.trace.jsonl" "$tmp/svclogs/$idA/${key}.trace.jsonl"
+"$tmp/faultctl" -addr "$addr" -token tok-alice snapshot "$idA" > "$tmp/snap_svc_a.json"
+"$tmp/smokecheck" \
+    -logs "$tmp/svclogs/$idA" -key "$key" -snapshot "$tmp/snap_svc_a.json" \
+    -journal -want-resumed
+echo "smoke: service campaign survived the daemon SIGKILL/restart byte-identical to the reference"
+
+# Tenant bob: a long campaign on the shared fleet, probed live over the
+# service-root SSE plane mid-run, then cancelled; alice must not see it.
+idB="$("$tmp/faultctl" -addr "$addr" -token tok-bob submit -config "$tmp/svc_b.json" -name doomed)"
+if "$tmp/faultctl" -addr "$addr" -token tok-alice status "$idB" 2>/dev/null; then
+    echo "smoke: FAIL — cross-tenant status leak for $idB" >&2
+    exit 1
+fi
+i=0
+while [ $i -lt 1200 ]; do
+    set -- $("$tmp/faultctl" -addr "$addr" -token tok-bob status "$idB")
+    state=$2
+    done_shards=${3%%/*}
+    if [ "$state" = "running" ] && [ "$done_shards" -ge 1 ]; then
+        break
+    fi
+    sleep 0.05
+    i=$((i + 1))
+done
+"$tmp/smokecheck" -live "$addr" -min-run-frames 3
+"$tmp/faultctl" -addr "$addr" -token tok-bob cancel "$idB" > /dev/null
+stateB="$("$tmp/faultctl" -addr "$addr" -token tok-bob wait "$idB")"
+if [ "$stateB" != "cancelled" ]; then
+    echo "smoke: FAIL — campaign $idB finished $stateB, want cancelled" >&2
+    exit 1
+fi
+
+# The result repository serves alice's aggregated breakdown without
+# re-reading the logs; bob's cancelled campaign must have none.
+"$tmp/faultctl" -addr "$addr" -token tok-alice results "$idA" | grep -q '"runs": 60'
+if "$tmp/faultctl" -addr "$addr" -token tok-bob results "$idB" 2>/dev/null; then
+    echo "smoke: FAIL — cancelled campaign $idB served results" >&2
+    exit 1
+fi
+
+kill "$fwpid" 2>/dev/null || true
+wait "$fwpid" 2>/dev/null || true
+kill "$spid" 2>/dev/null || true
+wait "$spid" 2>/dev/null || true
+
+"$tmp/smokecheck" -service "$idA=done,$idB=cancelled" \
+    -spool "$tmp/spool" -index "$tmp/svcindex"
+echo "smoke: service round OK — durable queue resumed across SIGKILL, cancel released the fleet, results indexed"
+
+# One-shot compatibility mode: the legacy faultcampd contract now runs
+# as a submission through the same /v1 API. The pruned ladder campaign
+# and the detail-window campaign must merge byte-identical to their
+# single-node references through that path.
+structure=l1d.data
+key="${tool}__${bench}__${structure}"
+
+"$tmp/faultcamp" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 40 -seed 2 -logs "$tmp/svc_prune_ref" \
+    -prune -checkpoint -ladder 3 -trace -quiet
+
+"$tmp/faultcampd" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 40 -seed 2 -logs "$tmp/svc_prune" \
+    -prune -checkpoint -ladder 3 \
+    -shard-size 10 -addr-file "$tmp/oneshot.addr" \
+    -trace -quiet -snapshot-json "$tmp/snap_svc_prune.json" &
+ospid=$!
+"$tmp/faultworker" -addr-file "$tmp/oneshot.addr" -id oneshot-w1 -quiet
+wait "$ospid"
+
+cmp "$tmp/svc_prune_ref/${key}.log.jsonl" "$tmp/svc_prune/${key}.log.jsonl"
+cmp "$tmp/svc_prune_ref/${key}.trace.jsonl" "$tmp/svc_prune/${key}.trace.jsonl"
+"$tmp/smokecheck" \
+    -logs "$tmp/svc_prune" -key "$key" -snapshot "$tmp/snap_svc_prune.json" -prune
+
+structure=rf.int
+key="${tool}__${bench}__${structure}"
+rm -f "$tmp/oneshot.addr"
+
+"$tmp/faultcampd" \
+    -tool "$tool" -bench "$bench" -structure "$structure" \
+    -n 30 -seed 4 -logs "$tmp/svc_window" \
+    -detail-window \
+    -shard-size 10 -addr-file "$tmp/oneshot.addr" \
+    -trace -quiet -snapshot-json "$tmp/snap_svc_window.json" &
+ospid=$!
+"$tmp/faultworker" -addr-file "$tmp/oneshot.addr" -id oneshot-w2 -quiet
+wait "$ospid"
+
+cmp "$tmp/turbo/${key}.log.jsonl" "$tmp/svc_window/${key}.log.jsonl"
+cmp "$tmp/turbo/${key}.trace.jsonl" "$tmp/svc_window/${key}.trace.jsonl"
+"$tmp/smokecheck" \
+    -logs "$tmp/svc_window" -key "$key" -snapshot "$tmp/snap_svc_window.json" -window
+echo "smoke: one-shot mode through the service API merged the pruned and windowed campaigns byte-identical"

@@ -69,6 +69,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/divergence"
 	"repro/internal/fault"
+	"repro/internal/svc"
 	"repro/internal/telemetry"
 )
 
@@ -91,9 +92,16 @@ func main() {
 	minRunFrames := flag.Int("min-run-frames", 1, "with -live: minimum SSE run frames to require")
 	minSpanFrames := flag.Int("min-span-frames", 0, "with -live: minimum SSE span frames to require")
 	liveTimeout := flag.Duration("live-timeout", 2*time.Minute, "with -live: overall deadline for the probe")
+	servicePairs := flag.String("service", "", "validate campaign-service durable state: comma-separated id=state pairs (with -spool and -index)")
+	spoolDir := flag.String("spool", "", "with -service: the daemon's campaign spool directory")
+	indexDir := flag.String("index", "", "with -service: the daemon's result index directory")
 	flag.Parse()
 	if *liveURL != "" {
 		checkLive(*liveURL, *minRunFrames, *minSpanFrames, *liveTimeout)
+		return
+	}
+	if *servicePairs != "" {
+		checkService(*spoolDir, *indexDir, *servicePairs)
 		return
 	}
 	if *logsDir == "" || *key == "" || *snapPath == "" {
@@ -555,6 +563,76 @@ func checkLive(base string, minRuns, minSpans int, timeout time.Duration) {
 	}
 	fatal(fmt.Errorf("/events ended after %d run and %d span frames, want %d and %d (scan err: %v)",
 		runs, spans, minRuns, minSpans, sc.Err()))
+}
+
+// checkService validates the campaign service's durable state after a
+// smoke round: every named campaign's spool entry parses under its
+// schema gate and sits in the expected lifecycle state, done campaigns
+// have an indexed outcome table whose shares form a distribution, and
+// campaigns that never finished left no index behind.
+func checkService(spoolDir, indexDir, pairs string) {
+	if spoolDir == "" || indexDir == "" {
+		fatal(fmt.Errorf("-service needs -spool and -index"))
+	}
+	spool, err := svc.OpenSpool(spoolDir)
+	if err != nil {
+		fatal(err)
+	}
+	entries, err := spool.Scan()
+	if err != nil {
+		fatal(err)
+	}
+	byID := make(map[string]*svc.SpoolEntry, len(entries))
+	for _, e := range entries {
+		byID[e.ID] = e
+	}
+	index, err := fault.NewResultIndex(indexDir)
+	if err != nil {
+		fatal(err)
+	}
+	checked := 0
+	for _, pair := range strings.Split(pairs, ",") {
+		id, state, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			fatal(fmt.Errorf("-service: bad pair %q, want id=state", pair))
+		}
+		e := byID[id]
+		if e == nil {
+			fatal(fmt.Errorf("campaign %s has no spool entry in %s", id, spoolDir))
+		}
+		if e.State != state {
+			fatal(fmt.Errorf("campaign %s spooled in state %q, want %q", id, e.State, state))
+		}
+		if state == "done" {
+			cells, err := index.Load(id)
+			if err != nil {
+				fatal(fmt.Errorf("done campaign %s has no result index: %w", id, err))
+			}
+			if len(cells) == 0 {
+				fatal(fmt.Errorf("done campaign %s indexed zero cells", id))
+			}
+			for _, c := range cells {
+				if c.Runs <= 0 {
+					fatal(fmt.Errorf("campaign %s cell %s indexed %d runs", id, c.Key, c.Runs))
+				}
+				var sum float64
+				for _, s := range c.Shares {
+					sum += s
+				}
+				if sum < 0.999 || sum > 1.001 {
+					fatal(fmt.Errorf("campaign %s cell %s shares sum to %g, want 1", id, c.Key, sum))
+				}
+				if c.Vulnerability < 0 || c.Vulnerability > 1 {
+					fatal(fmt.Errorf("campaign %s cell %s vulnerability %g outside [0, 1]", id, c.Key, c.Vulnerability))
+				}
+			}
+		} else if index.Has(id) {
+			fatal(fmt.Errorf("campaign %s is %s but left a result index behind", id, state))
+		}
+		checked++
+	}
+	fmt.Printf("smokecheck: service state OK — %d campaigns checked in %s (%d spooled total)\n",
+		checked, spoolDir, len(entries))
 }
 
 func fatal(err error) {
